@@ -1,0 +1,68 @@
+//! Ablations of STABILIZER's design choices (the knobs DESIGN.md
+//! calls out):
+//!
+//! 1. **Shuffle parameter `N`** — §3.2 argues `N` must be "large
+//!    enough to create sufficient randomization, but values that are
+//!    too large will increase overhead with no added benefit". We
+//!    sweep `N` and report overhead.
+//! 2. **Re-randomization interval** — §4 needs enough randomization
+//!    periods per run for the CLT; shorter intervals cost more. We
+//!    sweep the interval and report overhead and normality.
+//! 3. **Base allocator** — §3.2 notes DieHard as a base "can lead to
+//!    very high overhead" vs the segregated/TLSF bases.
+//!
+//! Run with `cargo bench -p sz-bench --bench ablations`.
+
+use stabilizer::{BaseAllocator, Config};
+use sz_bench::{emit, options_from_env};
+use sz_harness::report::render_table;
+use sz_harness::runner::{linked_samples, stabilized_samples};
+use sz_machine::SimTime;
+use sz_stats::{mean, shapiro_wilk};
+
+fn main() {
+    let opts = options_from_env();
+    let bench = "mcf"; // heap- and layout-sensitive: a good probe
+    let program = sz_workloads::build(bench, opts.scale).expect("mcf exists");
+    let baseline = mean(&linked_samples(&program, &opts, opts.runs));
+    let overhead = |cfg: Config| -> f64 {
+        mean(&stabilized_samples(&program, &opts, cfg, opts.runs)) / baseline - 1.0
+    };
+
+    let mut out = format!("ABLATIONS (benchmark: {bench})\n\n1. Shuffle parameter N\n");
+    let mut rows = Vec::new();
+    for n in [1usize, 4, 16, 64, 256, 1024] {
+        let cfg = Config { shuffle_n: n, ..Config::default() };
+        rows.push(vec![format!("N={n}"), format!("{:+.1}%", overhead(cfg) * 100.0)]);
+    }
+    out.push_str(&render_table(&["config", "overhead"], &rows));
+
+    out.push_str("\n2. Re-randomization interval\n");
+    let mut rows = Vec::new();
+    for us in [10.0f64, 25.0, 50.0, 100.0, 400.0] {
+        let cfg = Config::default().with_interval(SimTime::from_nanos(us * 1000.0));
+        let samples = stabilized_samples(&program, &opts, cfg, opts.runs);
+        let oh = mean(&samples) / baseline - 1.0;
+        let sw = shapiro_wilk(&samples).map_or(f64::NAN, |r| r.p_value);
+        rows.push(vec![
+            format!("{us}us"),
+            format!("{:+.1}%", oh * 100.0),
+            format!("{sw:.3}"),
+        ]);
+    }
+    out.push_str(&render_table(&["interval", "overhead", "shapiro-wilk p"], &rows));
+
+    out.push_str("\n3. Base allocator beneath the shuffle layer\n");
+    let mut rows = Vec::new();
+    for (name, base) in [
+        ("segregated", BaseAllocator::Segregated),
+        ("tlsf", BaseAllocator::Tlsf),
+        ("diehard", BaseAllocator::DieHard),
+    ] {
+        let cfg = Config { base_allocator: base, ..Config::default() };
+        rows.push(vec![name.to_string(), format!("{:+.1}%", overhead(cfg) * 100.0)]);
+    }
+    out.push_str(&render_table(&["base", "overhead"], &rows));
+
+    emit("ablations", &out);
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 5**: QQ plots of execution-time distributions
+//! against the Gaussian, one panel per benchmark, both randomization
+//! modes normalized to the re-randomized standard deviation.
+//!
+//! Output is gnuplot-ready data blocks plus a per-panel slope summary
+//! (a slope near 1 on the re-randomized series = Gaussian with the
+//! reference variance; steeper one-time slopes = greater variance,
+//! exactly how the paper reads the figure).
+//!
+//! Run with `cargo bench -p sz-bench --bench fig5_qq`.
+
+use sz_bench::{emit, options_from_env};
+use sz_harness::experiments::{fig5, table1};
+use sz_stats::qq::qq_slope;
+
+fn main() {
+    let opts = options_from_env();
+    let rows = table1::run(&opts);
+    let panels = fig5::from_table1(&rows);
+    let mut out = String::from("FIGURE 5 — QQ plots vs the Gaussian\n\n");
+    for panel in &panels {
+        out.push_str(&format!(
+            "# {}: slope(one-time) = {:.2}, slope(re-randomized) = {:.2}\n",
+            panel.benchmark,
+            qq_slope(&panel.one_time),
+            qq_slope(&panel.rerandomized),
+        ));
+        out.push_str(&fig5::render_panel(panel));
+        out.push('\n');
+    }
+    emit("fig5_qq", &out);
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 7** and the **§6.1 ANOVA**: the speedup of
+//! `-O2` over `-O1` and `-O3` over `-O2` under STABILIZER, with
+//! per-benchmark significance tests, followed by the suite-wide
+//! within-subjects analysis of variance (the two artifacts share their
+//! data in the paper as well).
+//!
+//! Run with `cargo bench -p sz-bench --bench fig7_opt_speedup`.
+
+use sz_bench::{emit, options_from_env};
+use sz_harness::experiments::{anova, fig7};
+
+fn main() {
+    let opts = options_from_env();
+    let rows = fig7::run(&opts);
+    let summary = fig7::summarize(&rows);
+    let mut out = String::from(
+        "FIGURE 7 — speedup of -O2 over -O1 and -O3 over -O2\n\
+         († marks statistically significant change at 95%)\n\n",
+    );
+    out.push_str(&fig7::render(&rows));
+    out.push_str(&format!(
+        "\nsignificant -O2 vs -O1: {}/{} ({} regressions)\n\
+         significant -O3 vs -O2: {}/{} ({} regressions)\n\
+         (paper: 17/18 and 9/18, with 3 regressions each)\n\n",
+        summary.significant_o2,
+        summary.total,
+        summary.regressions_o2,
+        summary.significant_o3,
+        summary.total,
+        summary.regressions_o3,
+    ));
+    out.push_str("SECTION 6.1 — one-way within-subjects ANOVA across the suite\n");
+    match anova::run(&rows) {
+        Ok(result) => {
+            out.push_str(&anova::render(&result));
+            out.push_str(
+                "(paper: -O2 F=3.235, significant only at 90%; -O3 F=1.335, p=0.254 -> \
+                 indistinguishable from noise)\n",
+            );
+        }
+        Err(e) => out.push_str(&format!("ANOVA unavailable: {e}\n")),
+    }
+    emit("fig7_opt_speedup", &out);
+}

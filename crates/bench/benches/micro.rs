@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the substrate itself: allocator
+//! throughput (the shuffling layer's direct cost), memory-system and
+//! predictor simulation speed, interpreter throughput, and the
+//! statistical kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sz_heap::{Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator};
+use sz_machine::{MachineConfig, MemorySystem};
+use sz_rng::{Marsaglia, Rng};
+use sz_stats::shapiro_wilk;
+use sz_vm::{RunLimits, SimpleLayout, Vm};
+use sz_workloads::Scale;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_malloc_free");
+    group.bench_function("segregated", |b| {
+        let mut a = SegregatedAllocator::new(Region::new(0x1000, 1 << 30));
+        b.iter(|| {
+            let p = a.malloc(black_box(64)).unwrap();
+            a.free(p);
+        });
+    });
+    group.bench_function("tlsf", |b| {
+        let mut a = TlsfAllocator::new(Region::new(0x1000, 1 << 30));
+        b.iter(|| {
+            let p = a.malloc(black_box(64)).unwrap();
+            a.free(p);
+        });
+    });
+    group.bench_function("diehard", |b| {
+        let mut a = DieHardAllocator::new(Region::new(0x1000, 1 << 34), Marsaglia::seeded(1));
+        b.iter(|| {
+            let p = a.malloc(black_box(64)).unwrap();
+            a.free(p);
+        });
+    });
+    group.bench_function("shuffle256_over_segregated", |b| {
+        let mut a = ShuffleLayer::new(
+            SegregatedAllocator::new(Region::new(0x1000, 1 << 30)),
+            256,
+            Marsaglia::seeded(1),
+        );
+        b.iter(|| {
+            let p = a.malloc(black_box(64)).unwrap();
+            a.free(p);
+        });
+    });
+    group.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.bench_function("l1_hit_load", |b| {
+        let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+        m.load(0x1000);
+        b.iter(|| m.load(black_box(0x1000)));
+    });
+    group.bench_function("streaming_loads", |b| {
+        let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            m.load(black_box(addr))
+        });
+    });
+    group.bench_function("branch_predict", |b| {
+        let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.branch(black_box(0x400_000), i % 7 == 0)
+        });
+    });
+    group.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    group.sample_size(10);
+    let program = sz_workloads::build("bzip2", Scale::Tiny).unwrap();
+    let vm = Vm::new(&program);
+    group.bench_function("bzip2_tiny_simple_layout", |b| {
+        b.iter(|| {
+            let mut e = SimpleLayout::new();
+            vm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let mut rng = Marsaglia::seeded(1);
+    let data: Vec<f64> = (0..30).map(|_| rng.next_f64()).collect();
+    group.bench_function("shapiro_wilk_n30", |b| {
+        b.iter(|| shapiro_wilk(black_box(&data)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_memory_system, bench_vm, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the **§3.2 NIST comparison**: randomness of the cache
+//! index bits of heap addresses from `lrand48`, DieHard, and the
+//! shuffled heap at several values of `N`.
+//!
+//! Run with `cargo bench -p sz-bench --bench sec32_nist`.
+
+use sz_bench::emit;
+use sz_harness::experiments::nist;
+
+fn main() {
+    let draws = if std::env::var("SZ_QUICK").is_ok() { 8_192 } else { 65_536 };
+    let rows = nist::run(draws, &[2, 16, 64, 256]);
+    let mut out = String::from(
+        "SECTION 3.2 — NIST SP 800-22 tests over heap-address index bits\n\
+         (paper: lrand48 and DieHard pass six tests; the shuffled heap\n\
+          passes the same tests with N = 256)\n\n",
+    );
+    out.push_str(&nist::render(&rows));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&format!("{}: {}/7 tests passed\n", row.source, row.passes()));
+    }
+    emit("sec32_nist", &out);
+}

@@ -1,0 +1,70 @@
+//! Regenerates the **§1/§5 measurement-bias demonstration**: how much
+//! execution time swings when only the link order or the environment
+//! size changes — and that a semantics-free code change is (correctly)
+//! not significant under STABILIZER.
+//!
+//! Run with `cargo bench -p sz-bench --bench sec5_bias`.
+
+use sz_bench::{emit, options_from_env};
+use sz_harness::experiments::bias;
+use sz_harness::report::render_table;
+use sz_harness::ExperimentOptions;
+
+fn sweep_table(opts: &ExperimentOptions, orders: usize, env_sizes: usize) -> String {
+    let mut rows = Vec::new();
+    for spec in opts.selected_suite() {
+        let link = bias::link_order_sweep(opts, spec.name, orders);
+        let env = bias::env_size_sweep(opts, spec.name, env_sizes);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:+.1}%", link.swing * 100.0),
+            format!("{:+.1}%", env.swing * 100.0),
+        ]);
+    }
+    render_table(
+        &["Benchmark", "link-order swing (max/min-1)", "env-size swing"],
+        &rows,
+    )
+}
+
+fn main() {
+    let opts = options_from_env();
+    let (orders, env_sizes) = if std::env::var("SZ_QUICK").is_ok() { (8, 6) } else { (24, 16) };
+
+    let mut out = String::from(
+        "SECTION 1/5 — measurement bias from incidental layout factors\n\
+         (paper: link order alone changed performance by up to 57%;\n\
+          environment size by up to 300% in Mytkowicz et al.)\n\n\
+         (a) Default machine model (i3-550-sized caches). Our synthetic\n\
+         workloads' hot code fits the 32 KB L1I with room to spare, so\n\
+         swings here are the *floor* of the effect:\n\n",
+    );
+    out.push_str(&sweep_table(&opts, orders, env_sizes));
+
+    // SPEC's hot footprints exceed L1 capacity margins; match that
+    // footprint-to-cache ratio with the small machine model (see
+    // DESIGN.md §5a). This is the regime the paper's 57% lives in.
+    let mut stressed = opts.clone();
+    stressed.machine = sz_machine::MachineConfig::tiny();
+    stressed.scale = sz_workloads::Scale::Tiny;
+    out.push_str(
+        "\n(b) Footprint-matched configuration (hot code and data exceed\n\
+         cache capacity margins, as SPEC does on the real machine):\n\n",
+    );
+    out.push_str(&sweep_table(&stressed, orders, env_sizes));
+
+    out.push_str("\nNo-op code change (unreachable padding), conventional vs sound evaluation:\n");
+    for name in ["bzip2", "gcc", "mcf"] {
+        if opts.selected_suite().iter().any(|s| s.name == name) {
+            let r = bias::no_op_change_comparison(&opts, name);
+            out.push_str(&format!(
+                "  {name}: conventional single-layout delta {:+.2}% (layout luck); \
+                 stabilized delta {:+.3}% (true cost), p = {:.3}\n",
+                r.biased_delta * 100.0,
+                r.stabilized_delta * 100.0,
+                r.p_value,
+            ));
+        }
+    }
+    emit("sec5_bias", &out);
+}

@@ -1,0 +1,65 @@
+//! Shared plumbing for the figure/table regeneration benches.
+//!
+//! Every bench target honours two environment variables:
+//!
+//! - `SZ_QUICK=1` — run a reduced configuration (Tiny scale, few
+//!   runs) to smoke-test the bench itself;
+//! - `SZ_BENCHMARKS=mcf,lbm` — restrict the suite.
+//!
+//! Results are printed to stdout and mirrored to
+//! `target/paper-results/<name>.txt` for EXPERIMENTS.md.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use sz_harness::ExperimentOptions;
+
+/// Builds experiment options from the environment.
+pub fn options_from_env() -> ExperimentOptions {
+    let mut opts = if std::env::var("SZ_QUICK").is_ok() {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::paper()
+    };
+    if let Ok(list) = std::env::var("SZ_BENCHMARKS") {
+        opts.benchmarks = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    opts
+}
+
+/// Prints `content` and mirrors it to `target/paper-results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("paper-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
+            let _ = f.write_all(content.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_env_reduces_runs() {
+        // Can't set env vars safely in parallel tests; just check both
+        // constructors directly.
+        assert!(ExperimentOptions::quick().runs < ExperimentOptions::paper().runs);
+    }
+
+    #[test]
+    fn emit_writes_the_mirror_file() {
+        emit("selftest", "hello table");
+        let p = PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+        )
+        .join("paper-results/selftest.txt");
+        let content = std::fs::read_to_string(p).expect("mirror file exists");
+        assert_eq!(content, "hello table");
+    }
+}

@@ -1,0 +1,163 @@
+//! The randomized data heap: the shuffling layer over a configurable
+//! base allocator (§3.2).
+
+use sz_heap::{Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator};
+use sz_machine::MemorySystem;
+use sz_rng::Marsaglia;
+
+use crate::costs;
+
+/// Data heap region (disjoint from the text segment, the low and high
+/// code heaps, and the pad-table region — see the address map in
+/// `runtime.rs`).
+const DATA_HEAP_BASE: u64 = 0x40_0000_0000;
+const DATA_HEAP_SIZE: u64 = 1 << 36;
+
+/// Base allocator choices beneath the shuffling layer (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BaseAllocator {
+    /// Power-of-two size-segregated (the paper's default).
+    Segregated,
+    /// Two-level segregated fits (the paper's optional base).
+    Tlsf,
+    /// DieHard itself (the original substrate; high overhead).
+    DieHard,
+}
+
+#[derive(Debug)]
+enum HeapImpl {
+    Shuffled(ShuffleLayer<SegregatedAllocator, Marsaglia>),
+    ShuffledTlsf(ShuffleLayer<TlsfAllocator, Marsaglia>),
+    /// DieHard is already fully randomized; no shuffle layer needed.
+    DieHard(DieHardAllocator),
+    /// Heap randomization disabled: the deterministic base alone.
+    Plain(SegregatedAllocator),
+}
+
+/// The data heap STABILIZER gives the program.
+#[derive(Debug)]
+pub struct StabilizerHeap {
+    inner: HeapImpl,
+    mallocs: u64,
+    frees: u64,
+}
+
+impl StabilizerHeap {
+    /// Builds the heap. With `randomize = false` the shuffling layer is
+    /// bypassed entirely (the heap-randomization-off configurations of
+    /// Figure 6).
+    pub fn new(randomize: bool, base: BaseAllocator, shuffle_n: usize, rng: Marsaglia) -> Self {
+        let region = Region::new(DATA_HEAP_BASE, DATA_HEAP_SIZE);
+        let inner = if !randomize {
+            HeapImpl::Plain(SegregatedAllocator::new(region))
+        } else {
+            match base {
+                BaseAllocator::Segregated => HeapImpl::Shuffled(ShuffleLayer::new(
+                    SegregatedAllocator::new(region),
+                    shuffle_n,
+                    rng,
+                )),
+                BaseAllocator::Tlsf => HeapImpl::ShuffledTlsf(ShuffleLayer::new(
+                    TlsfAllocator::new(region),
+                    shuffle_n,
+                    rng,
+                )),
+                BaseAllocator::DieHard => HeapImpl::DieHard(DieHardAllocator::new(region, rng)),
+            }
+        };
+        StabilizerHeap { inner, mallocs: 0, frees: 0 }
+    }
+
+    /// Whether the shuffling layer (or DieHard) is active.
+    pub fn is_randomized(&self) -> bool {
+        !matches!(self.inner, HeapImpl::Plain(_))
+    }
+
+    /// Allocates, charging the layer's own work to `mem`.
+    pub fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.mallocs += 1;
+        if self.is_randomized() {
+            mem.charge(costs::SHUFFLE_OP_CYCLES);
+        }
+        match &mut self.inner {
+            HeapImpl::Shuffled(h) => h.malloc(size),
+            HeapImpl::ShuffledTlsf(h) => h.malloc(size),
+            HeapImpl::DieHard(h) => h.malloc(size),
+            HeapImpl::Plain(h) => h.malloc(size),
+        }
+    }
+
+    /// Frees, charging the layer's own work to `mem`.
+    pub fn free(&mut self, addr: u64, mem: &mut MemorySystem) {
+        self.frees += 1;
+        if self.is_randomized() {
+            mem.charge(costs::SHUFFLE_OP_CYCLES);
+        }
+        match &mut self.inner {
+            HeapImpl::Shuffled(h) => h.free(addr),
+            HeapImpl::ShuffledTlsf(h) => h.free(addr),
+            HeapImpl::DieHard(h) => h.free(addr),
+            HeapImpl::Plain(h) => h.free(addr),
+        }
+    }
+
+    /// `(mallocs, frees)` performed so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.mallocs, self.frees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MachineConfig::tiny())
+    }
+
+    fn addresses(randomize: bool, base: BaseAllocator, seed: u64, n: usize) -> Vec<u64> {
+        let mut h = StabilizerHeap::new(randomize, base, 256, Marsaglia::seeded(seed));
+        let mut m = mem();
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let p = h.malloc(64, &mut m).unwrap();
+            out.push(p);
+            h.free(p, &mut m);
+        }
+        out
+    }
+
+    #[test]
+    fn plain_heap_is_deterministic_and_reuses() {
+        let a = addresses(false, BaseAllocator::Segregated, 1, 50);
+        assert!(a.windows(2).all(|w| w[0] == w[1]), "LIFO reuse: one address forever");
+    }
+
+    #[test]
+    fn randomized_heaps_spread_addresses() {
+        for base in [BaseAllocator::Segregated, BaseAllocator::Tlsf, BaseAllocator::DieHard] {
+            let a = addresses(true, base, 1, 100);
+            let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+            assert!(distinct.len() > 30, "{base:?}: only {} distinct", distinct.len());
+        }
+    }
+
+    #[test]
+    fn shuffle_work_is_charged() {
+        let mut h = StabilizerHeap::new(true, BaseAllocator::Segregated, 16, Marsaglia::seeded(2));
+        let mut m = mem();
+        let before = m.counters().cycles;
+        let p = h.malloc(64, &mut m).unwrap();
+        h.free(p, &mut m);
+        assert!(m.counters().cycles - before >= 2 * costs::SHUFFLE_OP_CYCLES);
+        assert_eq!(h.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = addresses(true, BaseAllocator::Segregated, 7, 50);
+        let b = addresses(true, BaseAllocator::Segregated, 7, 50);
+        assert_eq!(a, b);
+    }
+}

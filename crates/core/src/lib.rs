@@ -1,0 +1,178 @@
+//! **STABILIZER**: dynamic layout re-randomization for statistically
+//! sound performance evaluation (Curtsinger & Berger, ASPLOS 2013).
+//!
+//! Modern hardware makes execution time a function of memory layout:
+//! caches, TLBs, and branch predictors are all indexed by addresses, so
+//! the placement of code, stack frames, and heap objects — decided by
+//! incidental factors like link order — systematically biases every
+//! measurement. A single binary is *one sample* from the space of
+//! layouts, no matter how many times you run it.
+//!
+//! STABILIZER removes that bias by making every run (and, with
+//! re-randomization, every slice of every run) an independent sample of
+//! the layout space:
+//!
+//! - **Code** is randomized per function: every function starts trapped
+//!   and is relocated to a random spot in a shuffled code heap on first
+//!   call, with a relocation table placed after the body; a timer
+//!   periodically re-traps everything, and a stack-walking collector
+//!   frees old copies (§3.3, [`code::CodeRandomizer`]).
+//! - **The stack** gets up to a page of random padding per call, driven
+//!   by per-function 256-entry pad tables that are refilled at every
+//!   re-randomization (§3.4, [`stack::StackRandomizer`]).
+//! - **The heap** is a shuffling layer over a deterministic base
+//!   allocator (§3.2, re-exported from `sz-heap`).
+//!
+//! Re-randomization makes total execution time a sum over many
+//! independent random layouts, so the Central Limit Theorem drives it
+//! to a Gaussian (§4) — unlocking parametric statistics (t-tests,
+//! ANOVA) for performance evaluation.
+//!
+//! The [`Stabilizer`] layout engine plugs into the `sz-vm` interpreter;
+//! [`prepare_program`] is the compile-time half (the LLVM pass in the
+//! paper): it rewrites floating-point constants into globals and
+//! int↔float conversions into calls to per-module helpers, and wraps
+//! `main` with the runtime's initialization (§3.1, §3.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use stabilizer::{prepare_program, Config, Stabilizer};
+//! use sz_ir::{AluOp, ProgramBuilder};
+//! use sz_machine::MachineConfig;
+//! use sz_vm::{RunLimits, Vm};
+//!
+//! let mut p = ProgramBuilder::new("demo");
+//! let mut f = p.function("main", 0);
+//! let x = f.alu(AluOp::Add, 40, 2);
+//! f.ret(Some(x.into()));
+//! let main = p.add_function(f);
+//! let program = p.finish(main)?;
+//!
+//! let machine = MachineConfig::core_i3_550();
+//! let (prepared, info) = prepare_program(&program);
+//! let mut engine = Stabilizer::new(Config::default().with_seed(1), &machine, &info);
+//! let report = Vm::new(&prepared).run(&mut engine, machine, RunLimits::default())?;
+//! assert_eq!(report.return_value, Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod code;
+pub mod costs;
+pub mod related;
+pub mod stack;
+
+mod heap;
+mod runtime;
+mod transform;
+
+pub use heap::{BaseAllocator, StabilizerHeap};
+pub use runtime::{Stabilizer, Stats};
+pub use transform::{prepare_program, TransformInfo};
+
+use sz_machine::SimTime;
+
+/// Which randomizations are enabled and how they are tuned.
+///
+/// All three randomizations can be toggled independently (§2.5), which
+/// is how layout optimizations are evaluated: to test a stack
+/// optimization, run with only code and heap randomization enabled.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Config {
+    /// Randomize code placement per function (§3.3).
+    pub code: bool,
+    /// Randomize stack placement per call (§3.4).
+    pub stack: bool,
+    /// Randomize heap placement with the shuffling layer (§3.2).
+    pub heap: bool,
+    /// Re-randomize periodically during execution; `false` gives the
+    /// "one-time randomization" configuration of Table 1.
+    pub rerandomize: bool,
+    /// Re-randomization period in simulated wall-clock time
+    /// (500 ms by default, §3.3).
+    pub interval: SimTime,
+    /// Shuffling-layer size `N` (§3.2 settles on 256).
+    pub shuffle_n: usize,
+    /// Base allocator beneath the shuffling layer.
+    pub base_allocator: BaseAllocator,
+    /// Seed for all layout randomness; runs with equal seeds are
+    /// bit-identical.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            code: true,
+            stack: true,
+            heap: true,
+            rerandomize: true,
+            interval: SimTime::from_millis(500.0),
+            shuffle_n: 256,
+            base_allocator: BaseAllocator::Segregated,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Config {
+    /// The Figure-6 `code` configuration: only code randomization.
+    pub fn code_only() -> Self {
+        Config { stack: false, heap: false, ..Config::default() }
+    }
+
+    /// The Figure-6 `code.stack` configuration.
+    pub fn code_stack() -> Self {
+        Config { heap: false, ..Config::default() }
+    }
+
+    /// One-time randomization (no re-randomization), the Table-1
+    /// comparison configuration.
+    pub fn one_time() -> Self {
+        Config { rerandomize: false, ..Config::default() }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different re-randomization interval.
+    pub fn with_interval(mut self, interval: SimTime) -> Self {
+        self.interval = interval;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = Config::default();
+        assert!(c.code && c.stack && c.heap && c.rerandomize);
+        assert_eq!(c.interval.as_millis(), 500.0);
+        assert_eq!(c.shuffle_n, 256);
+    }
+
+    #[test]
+    fn presets() {
+        let c = Config::code_only();
+        assert!(c.code && !c.stack && !c.heap);
+        let cs = Config::code_stack();
+        assert!(cs.code && cs.stack && !cs.heap);
+        let ot = Config::one_time();
+        assert!(!ot.rerandomize && ot.code && ot.stack && ot.heap);
+    }
+
+    #[test]
+    fn with_helpers_chain() {
+        let c = Config::default()
+            .with_seed(99)
+            .with_interval(SimTime::from_millis(1.0));
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.interval.as_millis(), 1.0);
+    }
+}

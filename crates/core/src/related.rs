@@ -1,0 +1,195 @@
+//! The paper's **Table 2**: prior layout-randomization systems and
+//! which randomizations they support.
+//!
+//! Not an experiment — a typed rendition of the related-work feature
+//! matrix (§7), kept here so the comparison the paper makes is
+//! machine-checkable: STABILIZER is the only row with fine-grained
+//! randomization of *all three* segments plus dynamic re-randomization.
+
+/// Degree of support for one randomization axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Support {
+    /// Not provided.
+    No,
+    /// Provided in restricted form (the asterisks in Table 2).
+    Partial,
+    /// Fully provided.
+    Yes,
+}
+
+impl Support {
+    /// Whether any support exists.
+    pub fn any(self) -> bool {
+        !matches!(self, Support::No)
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RandomizationSystem {
+    /// System name as the paper lists it.
+    pub name: &'static str,
+    /// Coarse (whole-segment) code randomization.
+    pub base_code: Support,
+    /// Coarse stack randomization.
+    pub base_stack: Support,
+    /// Coarse heap randomization.
+    pub base_heap: Support,
+    /// Fine-grained (per-function / per-frame / per-object) code
+    /// randomization.
+    pub fine_code: Support,
+    /// Fine-grained stack randomization.
+    pub fine_stack: Support,
+    /// Fine-grained heap randomization.
+    pub fine_heap: Support,
+    /// Requires recompilation.
+    pub needs_recompilation: bool,
+    /// Re-randomizes layout *during* execution.
+    pub dynamic_rerandomization: bool,
+}
+
+/// The full matrix from Table 2 of the paper.
+pub fn table2() -> Vec<RandomizationSystem> {
+    use Support::{No, Partial, Yes};
+    vec![
+        RandomizationSystem {
+            name: "ASLR / PaX",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: No,
+            fine_stack: No,
+            fine_heap: No,
+            needs_recompilation: false,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "Transparent Runtime Randomization",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: No,
+            fine_stack: No,
+            fine_heap: No,
+            needs_recompilation: false,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "Address Space Layout Permutation",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: Partial,
+            fine_stack: No,
+            fine_heap: No,
+            needs_recompilation: false,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "Address Obfuscation",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: Partial,
+            fine_stack: Partial,
+            fine_heap: Partial,
+            needs_recompilation: false,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "Dynamic Offset Randomization",
+            base_code: No,
+            base_stack: Yes,
+            base_heap: No,
+            fine_code: Partial,
+            fine_stack: No,
+            fine_heap: No,
+            needs_recompilation: true,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "Bhatkar, Sekar, and DuVarney",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: Partial,
+            fine_stack: Partial,
+            fine_heap: No,
+            needs_recompilation: true,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "DieHard",
+            base_code: No,
+            base_stack: No,
+            base_heap: Yes,
+            fine_code: No,
+            fine_stack: No,
+            fine_heap: Yes,
+            needs_recompilation: false,
+            dynamic_rerandomization: false,
+        },
+        RandomizationSystem {
+            name: "STABILIZER",
+            base_code: Yes,
+            base_stack: Yes,
+            base_heap: Yes,
+            fine_code: Yes,
+            fine_stack: Yes,
+            fine_heap: Yes,
+            needs_recompilation: true,
+            dynamic_rerandomization: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilizer_is_the_unique_full_row() {
+        let rows = table2();
+        let full: Vec<&RandomizationSystem> = rows
+            .iter()
+            .filter(|r| {
+                r.fine_code == Support::Yes
+                    && r.fine_stack == Support::Yes
+                    && r.fine_heap == Support::Yes
+                    && r.dynamic_rerandomization
+            })
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "STABILIZER");
+    }
+
+    #[test]
+    fn diehard_randomizes_only_the_heap() {
+        let rows = table2();
+        let dh = rows.iter().find(|r| r.name == "DieHard").unwrap();
+        assert_eq!(dh.fine_heap, Support::Yes);
+        assert!(!dh.base_code.any() && !dh.base_stack.any());
+    }
+
+    #[test]
+    fn no_prior_system_rerandomizes_dynamically() {
+        // §7: "These systems do not re-randomize programs during
+        // execution."
+        for r in table2() {
+            if r.name != "STABILIZER" {
+                assert!(!r.dynamic_rerandomization, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matches_our_implementation() {
+        // The claims in the STABILIZER row must be true of this crate:
+        // all three randomizations exist and toggle independently, and
+        // re-randomization is implemented.
+        let cfg = crate::Config::default();
+        assert!(cfg.code && cfg.stack && cfg.heap && cfg.rerandomize);
+        let co = crate::Config::code_only();
+        assert!(co.code && !co.stack && !co.heap);
+    }
+}

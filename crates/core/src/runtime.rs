@@ -1,0 +1,400 @@
+//! The STABILIZER runtime: a [`LayoutEngine`] tying together code,
+//! stack, and heap randomization with the re-randomization timer.
+//!
+//! Simulated address map (all regions disjoint):
+//!
+//! | Region | Base | Contents |
+//! |---|---|---|
+//! | text | `0x0040_0000` | original function entries (trap sites) |
+//! | globals | `0x0200_0000` | program globals + FP-constant globals |
+//! | low code heap | `0x0800_0000` | relocated copies, 32-bit reachable |
+//! | pad tables | `0x7A00_0000` | stack-randomization tables |
+//! | stack | grows down from `0x7FFF_FFFF_F000` | frames + pads |
+//! | high code heap | `0x2_0000_0000` | far copies (64-bit jumps) |
+//! | data heap | `0x40_0000_0000` | the program's heap |
+
+use sz_ir::{FuncId, GlobalId, Program};
+use sz_machine::{MachineConfig, MemorySystem};
+use sz_rng::{Marsaglia, Rng, SplitMix64};
+use sz_vm::{FrameView, LayoutEngine};
+
+use crate::code::{CodeRandomizer, CodeStats};
+use crate::costs;
+use crate::stack::StackRandomizer;
+use crate::{Config, StabilizerHeap, TransformInfo};
+
+/// Text segment base for unrandomized placement.
+const TEXT_BASE: u64 = 0x40_0000;
+/// Globals segment base.
+const GLOBALS_BASE: u64 = 0x200_0000;
+/// Stack top.
+const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
+
+/// Runtime activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Stats {
+    /// Re-randomization rounds completed.
+    pub rerandomizations: u64,
+    /// Code statistics (relocations, GC activity).
+    pub code: CodeStats,
+    /// Pad-table refills.
+    pub stack_refills: u64,
+    /// Heap operations `(mallocs, frees)`.
+    pub heap_ops: (u64, u64),
+}
+
+/// The STABILIZER layout engine (§3).
+///
+/// Create one per run with a distinct seed; identical seeds reproduce
+/// identical layouts and therefore identical simulated times.
+#[derive(Debug)]
+pub struct Stabilizer {
+    config: Config,
+    info: TransformInfo,
+    interval_cycles: u64,
+
+    // Per-run state, (re)built in `prepare`.
+    code: Option<CodeRandomizer>,
+    stack_rand: Option<StackRandomizer>,
+    stack_rng: Marsaglia,
+    heap: Option<StabilizerHeap>,
+    originals: Vec<u64>,
+    global_bases: Vec<u64>,
+    function_count: u64,
+    next_rerand: u64,
+    init_charged: bool,
+    rerandomizations: u64,
+}
+
+impl Stabilizer {
+    /// Builds the engine.
+    ///
+    /// `machine` supplies the clock used to convert the configured
+    /// re-randomization interval into cycles; `info` comes from
+    /// [`crate::prepare_program`] and identifies the non-relocatable
+    /// conversion helpers.
+    pub fn new(config: Config, machine: &MachineConfig, info: &TransformInfo) -> Self {
+        let interval_cycles = machine.cycles_of(config.interval).max(1);
+        Stabilizer {
+            config,
+            info: info.clone(),
+            interval_cycles,
+            code: None,
+            stack_rand: None,
+            stack_rng: Marsaglia::seeded(0),
+            heap: None,
+            originals: Vec::new(),
+            global_bases: Vec::new(),
+            function_count: 0,
+            next_rerand: 0,
+            init_charged: false,
+            rerandomizations: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Runtime statistics for the current/most recent run.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            rerandomizations: self.rerandomizations,
+            code: self.code.as_ref().map(CodeRandomizer::stats).unwrap_or_default(),
+            stack_refills: self.stack_rand.as_ref().map(StackRandomizer::refills).unwrap_or(0),
+            heap_ops: self.heap.as_ref().map(StabilizerHeap::op_counts).unwrap_or((0, 0)),
+        }
+    }
+
+    fn heap_mut(&mut self) -> &mut StabilizerHeap {
+        self.heap.as_mut().expect("prepare() ran before execution")
+    }
+}
+
+impl LayoutEngine for Stabilizer {
+    fn prepare(&mut self, program: &Program) {
+        // Derive independent streams from the seed so enabling one
+        // randomization never perturbs another's choices.
+        let mut seeder = SplitMix64::new(self.config.seed);
+        let code_rng = Marsaglia::seeded(seeder.next_u64());
+        let heap_rng = Marsaglia::seeded(seeder.next_u64());
+        self.stack_rng = Marsaglia::seeded(seeder.next_u64());
+
+        self.originals.clear();
+        let mut pc = TEXT_BASE;
+        for f in &program.functions {
+            self.originals.push(pc);
+            pc = (pc + f.code_size() + 15) & !15;
+        }
+        self.global_bases.clear();
+        let mut g = GLOBALS_BASE;
+        for global in &program.globals {
+            self.global_bases.push(g);
+            g = (g + global.size + 15) & !15;
+        }
+
+        self.code = self.config.code.then(|| {
+            CodeRandomizer::new(program, &self.info, self.config.shuffle_n, code_rng)
+        });
+        self.stack_rand = self
+            .config
+            .stack
+            .then(|| StackRandomizer::new(program, &mut self.stack_rng));
+        self.heap = Some(StabilizerHeap::new(
+            self.config.heap,
+            self.config.base_allocator,
+            self.config.shuffle_n,
+            heap_rng,
+        ));
+        self.function_count = program.functions.len() as u64;
+        self.next_rerand = self.interval_cycles;
+        self.init_charged = false;
+        self.rerandomizations = 0;
+    }
+
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        match &mut self.code {
+            Some(code) => code.enter(func, mem),
+            None => self.originals[func.0 as usize],
+        }
+    }
+
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        match &mut self.stack_rand {
+            Some(s) => s.pad(func, mem),
+            None => 0,
+        }
+    }
+
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.global_bases[g.0 as usize]
+    }
+
+    fn stack_base(&self) -> u64 {
+        STACK_TOP
+    }
+
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.heap_mut().malloc(size, mem)
+    }
+
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) {
+        self.heap_mut().free(addr, mem);
+    }
+
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
+        if !self.init_charged {
+            // The runtime's own main: register functions, plant traps,
+            // run deferred constructors (§3.3).
+            mem.charge(
+                costs::INIT_BASE_CYCLES + self.function_count * costs::INIT_PER_FUNCTION_CYCLES,
+            );
+            self.init_charged = true;
+        }
+        if !self.config.rerandomize || now_cycles < self.next_rerand {
+            return;
+        }
+        // Timer expired: re-randomization happens at the next function
+        // entry — which is exactly now, since the VM ticks at entries.
+        if let Some(code) = &mut self.code {
+            code.rerandomize(stack, mem);
+        }
+        if let Some(s) = &mut self.stack_rand {
+            s.refill(&mut self.stack_rng, mem);
+        }
+        self.rerandomizations += 1;
+        self.next_rerand = now_cycles + self.interval_cycles;
+    }
+
+    fn name(&self) -> &'static str {
+        "stabilizer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare_program;
+    use sz_ir::{AluOp, Operand, ProgramBuilder};
+    use sz_machine::SimTime;
+    use sz_vm::{RunLimits, Vm};
+
+    /// A call-heavy program with heap and float traffic, large enough
+    /// that layout matters.
+    fn workload() -> sz_ir::Program {
+        let mut p = ProgramBuilder::new("w");
+        let g = p.global("table", 4096);
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let mut f = p.function(format!("f{i}"), 1);
+            let x = f.param(0);
+            for _ in 0..3 {
+                f.nop(40);
+            }
+            let v = f.load_global(g, x);
+            let w = f.alu(AluOp::Add, v, 1);
+            f.store_global(g, x, w);
+            f.ret(Some(w.into()));
+            ids.push(p.add_function(f));
+        }
+        let mut main = p.function("main", 0);
+        let s_i = main.slot();
+        main.store_slot(s_i, 0);
+        let header = main.new_block();
+        let body = main.new_block();
+        let exit = main.new_block();
+        main.jump(header);
+        main.switch_to(header);
+        let i = main.load_slot(s_i);
+        let c = main.alu(AluOp::CmpLt, i, 200);
+        main.branch(c, body, exit);
+        main.switch_to(body);
+        let i2 = main.load_slot(s_i);
+        let off = main.alu(AluOp::And, i2, 511);
+        let buf = main.malloc(64);
+        for id in &ids {
+            main.call_void(*id, vec![Operand::Reg(off)]);
+        }
+        main.free(buf);
+        let half = main.fp_const(0.5);
+        let fi = main.int_to_fp(i2);
+        let prod = main.alu(AluOp::FMul, fi, half);
+        let _ = main.fp_to_int(prod);
+        let ni = main.alu(AluOp::Add, i2, 1);
+        main.store_slot(s_i, ni);
+        main.jump(header);
+        main.switch_to(exit);
+        let out = main.load_slot(s_i);
+        main.ret(Some(out.into()));
+        let entry = p.add_function(main);
+        p.finish(entry).unwrap()
+    }
+
+    fn run_with(config: Config, seed: u64) -> (sz_vm::RunReport, Stats) {
+        let machine = MachineConfig::tiny();
+        let (prepared, info) = prepare_program(&workload());
+        let mut engine = Stabilizer::new(config.with_seed(seed), &machine, &info);
+        let report = Vm::new(&prepared)
+            .run(&mut engine, machine, RunLimits::default())
+            .expect("run succeeds");
+        (report, engine.stats())
+    }
+
+    /// An interval short enough that a tiny run re-randomizes often.
+    fn fast_interval() -> SimTime {
+        SimTime::from_nanos(6_000.0) // ~19k cycles at 3.2 GHz
+    }
+
+    #[test]
+    fn behaviour_matches_unrandomized_execution() {
+        let (prepared, _) = prepare_program(&workload());
+        let mut simple = sz_vm::SimpleLayout::new();
+        let expected = Vm::new(&prepared)
+            .run(&mut simple, MachineConfig::tiny(), RunLimits::default())
+            .unwrap()
+            .return_value;
+        let (report, _) = run_with(Config::default().with_interval(fast_interval()), 42);
+        assert_eq!(report.return_value, expected, "randomization must not change results");
+        assert_eq!(report.return_value, Some(200));
+    }
+
+    #[test]
+    fn rerandomization_fires_on_schedule() {
+        let (_, stats) = run_with(Config::default().with_interval(fast_interval()), 1);
+        assert!(
+            stats.rerandomizations >= 3,
+            "expected several rounds, got {}",
+            stats.rerandomizations
+        );
+        assert_eq!(stats.stack_refills, stats.rerandomizations);
+        assert!(stats.code.relocations > stats.rerandomizations, "functions re-trap each round");
+    }
+
+    #[test]
+    fn one_time_mode_never_rerandomizes() {
+        let (_, stats) = run_with(Config::one_time(), 1);
+        assert_eq!(stats.rerandomizations, 0);
+        assert!(stats.code.relocations > 0, "but initial randomization still happens");
+    }
+
+    #[test]
+    fn different_seeds_different_times() {
+        let times: Vec<u64> = (0..8)
+            .map(|s| run_with(Config::default().with_interval(fast_interval()), s).0.cycles)
+            .collect();
+        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        assert!(distinct.len() >= 6, "layout must drive timing: {times:?}");
+    }
+
+    #[test]
+    fn same_seed_bit_identical() {
+        let a = run_with(Config::default().with_interval(fast_interval()), 123).0;
+        let b = run_with(Config::default().with_interval(fast_interval()), 123).0;
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn randomizations_toggle_independently() {
+        let (_, code_only) = run_with(
+            Config { stack: false, heap: false, ..Config::default() }.with_interval(fast_interval()),
+            5,
+        );
+        assert!(code_only.code.relocations > 0);
+        assert_eq!(code_only.stack_refills, 0);
+
+        let (_, heap_only) = run_with(
+            Config { code: false, stack: false, ..Config::default() }.with_interval(fast_interval()),
+            5,
+        );
+        assert_eq!(heap_only.code.relocations, 0);
+        assert!(heap_only.heap_ops.0 > 0);
+    }
+
+    #[test]
+    fn disabled_code_randomization_uses_text_addresses() {
+        let machine = MachineConfig::tiny();
+        let (prepared, info) = prepare_program(&workload());
+        let mut engine = Stabilizer::new(
+            Config { code: false, ..Config::default() }.with_seed(1),
+            &machine,
+            &info,
+        );
+        engine.prepare(&prepared);
+        let mut mem = MemorySystem::new(machine);
+        let base = engine.enter_function(FuncId(0), &mut mem);
+        assert_eq!(base, TEXT_BASE);
+    }
+
+    #[test]
+    fn longer_intervals_amortize_rerandomization_cost() {
+        // The paper's 500 ms interval amortizes relocation work to
+        // nothing; this run is thousands of times shorter, so instead
+        // we check the *monotonicity*: a 16x longer interval must cost
+        // fewer cycles (averaged over seeds to wash out layout luck).
+        let (prepared, info) = prepare_program(&workload());
+        let machine = MachineConfig::tiny();
+        let avg = |interval: SimTime| -> u64 {
+            let mut total = 0;
+            for s in 0..6 {
+                let mut engine = Stabilizer::new(
+                    Config::default().with_interval(interval).with_seed(s),
+                    &machine,
+                    &info,
+                );
+                total += Vm::new(&prepared)
+                    .run(&mut engine, machine, RunLimits::default())
+                    .unwrap()
+                    .cycles;
+            }
+            total / 6
+        };
+        let frantic = avg(fast_interval());
+        let calm = avg(SimTime::from_nanos(320_000.0));
+        assert!(
+            calm < frantic,
+            "amortization failed: calm = {calm}, frantic = {frantic}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The compile-time half of STABILIZER (§3.1, §3.3): the equivalent of
+//! its LLVM pass.
+//!
+//! Three rewrites, all of which the paper performs so that code can be
+//! relocated safely:
+//!
+//! 1. **Floating-point constants become globals.** Code generation
+//!    would otherwise embed them as PC-relative constant-pool loads
+//!    that break when the function moves; as globals they are reached
+//!    through the relocation table.
+//! 2. **Int↔float conversions become calls** to per-module helper
+//!    functions (`fptosi` etc. generate implicit constant-pool
+//!    references STABILIZER cannot rewrite). These helpers are the only
+//!    code STABILIZER cannot relocate.
+//! 3. **`main` is renamed**: the runtime's own entry point initializes
+//!    code randomization before any user code runs.
+
+use std::collections::HashMap;
+
+use sz_ir::{
+    Block, FuncId, Function, Global, GlobalId, GlobalInit, Instr, Operand, Program, Reg,
+    Terminator,
+};
+
+/// What [`prepare_program`] did — consumed by the [`crate::Stabilizer`]
+/// runtime.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransformInfo {
+    /// The int→float and float→int helpers (non-relocatable, §3.3).
+    pub helpers: Vec<FuncId>,
+    /// Globals added for floating-point constants.
+    pub fp_globals: Vec<GlobalId>,
+    /// The runtime's entry wrapper (the renamed-`main` mechanism).
+    pub entry_wrapper: FuncId,
+    /// The original entry function.
+    pub original_entry: FuncId,
+}
+
+impl TransformInfo {
+    /// Whether `func` must never be relocated.
+    pub fn is_non_relocatable(&self, func: FuncId) -> bool {
+        self.helpers.contains(&func)
+    }
+}
+
+/// Applies STABILIZER's program transformation and returns the
+/// transformed program plus a description of what changed.
+///
+/// The result is a valid program whose observable behaviour is
+/// identical; only its code size, call structure, and constant
+/// placement differ — exactly the footprint of the paper's pass.
+pub fn prepare_program(program: &Program) -> (Program, TransformInfo) {
+    let mut out = program.clone();
+
+    // Helper functions appended at the end: ids are known up front.
+    let n = out.functions.len() as u32;
+    let sitofp = FuncId(n);
+    let fptosi = FuncId(n + 1);
+    let entry_wrapper = FuncId(n + 2);
+
+    let mut fp_globals: Vec<GlobalId> = Vec::new();
+    let mut fp_map: HashMap<u64, GlobalId> = HashMap::new();
+
+    for function in &mut out.functions {
+        for block in &mut function.blocks {
+            for instr in &mut block.instrs {
+                match *instr {
+                    // Rewrite 1: non-zero FP constants -> globals.
+                    Instr::FpConst { dst, bits } if bits != 0 => {
+                        let gid = *fp_map.entry(bits).or_insert_with(|| {
+                            let gid = GlobalId(out.globals.len() as u32);
+                            out.globals.push(Global {
+                                name: format!("__fp_const_{:x}", bits),
+                                size: 8,
+                                init: GlobalInit::F64Bits(bits),
+                            });
+                            fp_globals.push(gid);
+                            gid
+                        });
+                        *instr = Instr::LoadGlobal { dst, global: gid, offset: Operand::Imm(0) };
+                    }
+                    // Rewrite 2: conversions -> helper calls.
+                    Instr::IntToFp { dst, src } => {
+                        *instr = Instr::Call { func: sitofp, args: vec![src], ret: Some(dst) };
+                    }
+                    Instr::FpToInt { dst, src } => {
+                        *instr = Instr::Call { func: fptosi, args: vec![src], ret: Some(dst) };
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // The conversion helpers themselves (kept out of the rewrite loop,
+    // so they may legitimately contain the raw conversion ops).
+    out.functions.push(conversion_helper("__stabilizer_sitofp", true));
+    out.functions.push(conversion_helper("__stabilizer_fptosi", false));
+
+    // Rewrite 3: the runtime's main wraps the program's.
+    let original_entry = out.entry;
+    out.functions.push(Function {
+        name: "__stabilizer_main".into(),
+        params: 0,
+        num_regs: 1,
+        num_slots: 0,
+        blocks: vec![Block {
+            // The padding models the runtime's startup work footprint;
+            // its cycle cost is charged by the engine at prepare time.
+            instrs: vec![
+                Instr::Nop { bytes: 64 },
+                Instr::Call { func: original_entry, args: vec![], ret: Some(Reg(0)) },
+            ],
+            term: Terminator::Ret { value: Some(Operand::Reg(Reg(0))) },
+        }],
+    });
+    out.entry = entry_wrapper;
+
+    let info = TransformInfo {
+        helpers: vec![sitofp, fptosi],
+        fp_globals,
+        entry_wrapper,
+        original_entry,
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    (out, info)
+}
+
+fn conversion_helper(name: &str, to_fp: bool) -> Function {
+    let body = if to_fp {
+        Instr::IntToFp { dst: Reg(1), src: Operand::Reg(Reg(0)) }
+    } else {
+        Instr::FpToInt { dst: Reg(1), src: Operand::Reg(Reg(0)) }
+    };
+    Function {
+        name: name.into(),
+        params: 1,
+        num_regs: 2,
+        num_slots: 0,
+        blocks: vec![Block {
+            instrs: vec![body],
+            term: Terminator::Ret { value: Some(Operand::Reg(Reg(1))) },
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::{AluOp, ProgramBuilder};
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    fn float_program() -> Program {
+        let mut p = ProgramBuilder::new("fp");
+        let mut f = p.function("main", 0);
+        let pi = f.fp_const(3.25);
+        let two = f.int_to_fp(2);
+        let v = f.alu(AluOp::FMul, pi, two);
+        let out = f.fp_to_int(v); // 6.5 -> 6
+        f.ret(Some(out.into()));
+        let main = p.add_function(f);
+        p.finish(main).unwrap()
+    }
+
+    fn run(prog: &Program) -> Option<u64> {
+        let mut e = SimpleLayout::new();
+        Vm::new(prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap()
+            .return_value
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        let prog = float_program();
+        let (prepared, _) = prepare_program(&prog);
+        assert_eq!(run(&prog), run(&prepared));
+        assert_eq!(run(&prepared), Some(6));
+    }
+
+    #[test]
+    fn fp_constants_become_globals() {
+        let prog = float_program();
+        let (prepared, info) = prepare_program(&prog);
+        assert_eq!(info.fp_globals.len(), 1, "one non-zero constant");
+        let g = &prepared.globals[info.fp_globals[0].0 as usize];
+        assert_eq!(g.init, GlobalInit::F64Bits(3.25f64.to_bits()));
+        // No FpConst remains outside the helpers.
+        for (i, f) in prepared.functions.iter().enumerate() {
+            if info.helpers.contains(&FuncId(i as u32)) {
+                continue;
+            }
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    assert!(
+                        !matches!(instr, Instr::FpConst { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. }),
+                        "unrewritten {instr:?} in {}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_constants_are_left_alone() {
+        let mut p = ProgramBuilder::new("z");
+        let mut f = p.function("main", 0);
+        let z = f.fp_const(0.0);
+        f.ret(Some(z.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let (_, info) = prepare_program(&prog);
+        assert!(info.fp_globals.is_empty(), "paper: only non-zero constants move");
+    }
+
+    #[test]
+    fn duplicate_constants_share_a_global() {
+        let mut p = ProgramBuilder::new("dup");
+        let mut f = p.function("main", 0);
+        let a = f.fp_const(1.5);
+        let b = f.fp_const(1.5);
+        let v = f.alu(AluOp::FAdd, a, b);
+        let out = f.fp_to_int(v);
+        f.ret(Some(out.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let (prepared, info) = prepare_program(&prog);
+        assert_eq!(info.fp_globals.len(), 1);
+        assert_eq!(run(&prepared), Some(3));
+    }
+
+    #[test]
+    fn entry_is_wrapped() {
+        let prog = float_program();
+        let (prepared, info) = prepare_program(&prog);
+        assert_eq!(prepared.entry, info.entry_wrapper);
+        assert_ne!(prepared.entry, info.original_entry);
+        assert_eq!(
+            prepared.functions[info.entry_wrapper.0 as usize].name,
+            "__stabilizer_main"
+        );
+    }
+
+    #[test]
+    fn helpers_are_marked_non_relocatable() {
+        let (_, info) = prepare_program(&float_program());
+        for h in &info.helpers {
+            assert!(info.is_non_relocatable(*h));
+        }
+        assert!(!info.is_non_relocatable(info.original_entry));
+    }
+
+    #[test]
+    fn transformed_program_validates() {
+        let (prepared, _) = prepare_program(&float_program());
+        assert_eq!(prepared.validate(), Ok(()));
+    }
+}

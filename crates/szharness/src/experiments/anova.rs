@@ -1,0 +1,127 @@
+//! **§6.1**: one-way within-subjects ANOVA across the whole suite.
+//!
+//! The paper: "We perform a one-way analysis of variance within
+//! subjects to ensure execution times are only compared between runs
+//! of the same benchmark." Benchmarks are the subjects, optimization
+//! levels the treatments; because benchmarks run at wildly different
+//! magnitudes, responses are normalized per benchmark (each level's
+//! mean divided by the benchmark's grand mean), which is exactly the
+//! benchmark-differences term the within-subjects design removes.
+
+use sz_stats::{mean, repeated_measures_anova, AnovaResult, StatError};
+
+use crate::experiments::fig7::Fig7Row;
+
+/// The two suite-wide tests of §6.1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sec61Result {
+    /// ANOVA for `-O2` vs `-O1`.
+    pub o2_vs_o1: AnovaResult,
+    /// ANOVA for `-O3` vs `-O2`.
+    pub o3_vs_o2: AnovaResult,
+}
+
+/// Runs both ANOVAs from Figure 7's samples.
+///
+/// # Errors
+///
+/// Propagates [`StatError`] if fewer than two benchmarks are supplied.
+pub fn run(rows: &[Fig7Row]) -> Result<Sec61Result, StatError> {
+    Ok(Sec61Result {
+        o2_vs_o1: pairwise(rows, 0, 1)?,
+        o3_vs_o2: pairwise(rows, 1, 2)?,
+    })
+}
+
+fn pairwise(rows: &[Fig7Row], lo: usize, hi: usize) -> Result<AnovaResult, StatError> {
+    let data: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            let a = mean(&r.samples[lo]);
+            let b = mean(&r.samples[hi]);
+            let grand = (a + b) / 2.0;
+            vec![a / grand, b / grand]
+        })
+        .collect();
+    repeated_measures_anova(&data)
+}
+
+/// Renders the §6.1 conclusion in the paper's wording.
+pub fn render(result: &Sec61Result) -> String {
+    let line = |name: &str, a: &AnovaResult| {
+        format!(
+            "{name}: F({:.0}, {:.0}) = {:.3}, p = {:.3} -> {}\n",
+            a.df_treatment,
+            a.df_error,
+            a.f,
+            a.p_value,
+            if a.p_value < 0.05 {
+                "significant at 95%"
+            } else if a.p_value < 0.10 {
+                "significant at 90% only"
+            } else {
+                "NOT significant (indistinguishable from noise)"
+            }
+        )
+    };
+    format!(
+        "{}{}",
+        line("-O2 vs -O1", &result.o2_vs_o1),
+        line("-O3 vs -O2", &result.o3_vs_o2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7::{compare, Fig7Row};
+
+    /// Builds a synthetic Fig7Row with controllable level means.
+    fn row(name: &str, means: [f64; 3], jitter: f64, phase: usize) -> Fig7Row {
+        let series = |m: f64, k: usize| -> Vec<f64> {
+            (0..10)
+                .map(|i| m + jitter * (((i + k + phase) % 5) as f64 - 2.0))
+                .collect()
+        };
+        let samples = [series(means[0], 0), series(means[1], 1), series(means[2], 2)];
+        Fig7Row {
+            benchmark: name.to_string(),
+            o2_vs_o1: compare(&samples[0], &samples[1]),
+            o3_vs_o2: compare(&samples[1], &samples[2]),
+            samples,
+        }
+    }
+
+    #[test]
+    fn consistent_effect_is_detected() {
+        // Every benchmark speeds up 10% at O2, not at O3.
+        let rows: Vec<Fig7Row> = (0..10)
+            .map(|i| {
+                let base = 10.0 * (i + 1) as f64;
+                row(&format!("b{i}"), [base, base * 0.9, base * 0.9], base * 0.001, i)
+            })
+            .collect();
+        let r = run(&rows).unwrap();
+        assert!(r.o2_vs_o1.p_value < 0.01, "O2 effect: p = {}", r.o2_vs_o1.p_value);
+        assert!(r.o3_vs_o2.p_value > 0.3, "O3 noise: p = {}", r.o3_vs_o2.p_value);
+        let text = render(&r);
+        assert!(text.contains("-O3 vs -O2"));
+    }
+
+    #[test]
+    fn inconsistent_effects_cancel() {
+        // Half the suite speeds up at O3, half slows down by the same
+        // amount: per-benchmark t-tests fire, the suite-wide ANOVA must
+        // not (the paper's core finding).
+        let rows: Vec<Fig7Row> = (0..10)
+            .map(|i| {
+                let base = 5.0 + i as f64;
+                let o3 = if i % 2 == 0 { base * 0.93 } else { base * 1.07 };
+                row(&format!("b{i}"), [base * 1.1, base, o3], base * 0.002, i)
+            })
+            .collect();
+        let r = run(&rows).unwrap();
+        assert!(r.o3_vs_o2.p_value > 0.2, "p = {}", r.o3_vs_o2.p_value);
+        assert!(r.o2_vs_o1.p_value < 0.05);
+    }
+}

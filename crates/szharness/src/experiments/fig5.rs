@@ -1,0 +1,81 @@
+//! **Figure 5**: quantile-quantile plots of execution times against
+//! the Gaussian, for one-time vs re-randomized layouts.
+//!
+//! As in the paper, samples are shifted to mean zero and normalized to
+//! the standard deviation of the *re-randomized* samples, so both
+//! series share axes and the one-time series' steeper slope reads as
+//! its larger variance.
+
+use sz_stats::{mean, qq_points, sample_std, QqPoint};
+
+use crate::experiments::table1::Table1Row;
+
+/// QQ data for one benchmark (one panel of Figure 5).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig5Panel {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One-time-randomization points.
+    pub one_time: Vec<QqPoint>,
+    /// Re-randomization points.
+    pub rerandomized: Vec<QqPoint>,
+}
+
+/// Builds Figure 5 panels from Table 1's samples (the figure reuses
+/// the same 30-run data).
+pub fn from_table1(rows: &[Table1Row]) -> Vec<Fig5Panel> {
+    rows.iter()
+        .map(|r| {
+            let sigma = sample_std(&r.rerandomized_samples);
+            let center = |s: &[f64]| -> Vec<f64> {
+                let m = mean(s);
+                s.iter().map(|v| v - m).collect()
+            };
+            let ot = center(&r.one_time_samples);
+            let rr = center(&r.rerandomized_samples);
+            Fig5Panel {
+                benchmark: r.benchmark.clone(),
+                one_time: qq_points(&ot, true, Some(sigma)).unwrap_or_default(),
+                rerandomized: qq_points(&rr, true, Some(sigma)).unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a panel as a gnuplot-ready data block (theoretical,
+/// one-time, re-randomized columns).
+pub fn render_panel(panel: &Fig5Panel) -> String {
+    let mut out = format!("# {} (x: normal quantile, y1: one-time, y2: re-randomized)\n", panel.benchmark);
+    for (a, b) in panel.one_time.iter().zip(&panel.rerandomized) {
+        out.push_str(&format!(
+            "{:+.4}  {:+.4}  {:+.4}\n",
+            a.theoretical, a.observed, b.observed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table1;
+    use crate::runner::ExperimentOptions;
+
+    #[test]
+    fn panels_mirror_table1() {
+        let mut opts = ExperimentOptions::quick();
+        opts.benchmarks = Some(vec!["astar".into()]);
+        opts.runs = 10;
+        let rows = table1::run(&opts);
+        let panels = from_table1(&rows);
+        assert_eq!(panels.len(), 1);
+        assert_eq!(panels[0].one_time.len(), 10);
+        assert_eq!(panels[0].rerandomized.len(), 10);
+        // Centered: middle of each series near zero.
+        let mid = panels[0].rerandomized[5].observed;
+        assert!(mid.abs() < 3.0);
+        let text = render_panel(&panels[0]);
+        assert!(text.contains("astar"));
+        assert_eq!(text.lines().count(), 11);
+    }
+}

@@ -1,0 +1,113 @@
+//! **Figure 6**: overhead of STABILIZER relative to runs with
+//! randomized link order, per randomization configuration
+//! (`code`, `code.stack`, `code.heap.stack`).
+
+use stabilizer::Config;
+use sz_stats::{mean, median};
+
+use crate::report::render_table;
+use crate::runner::{linked_samples, stabilized_samples, ExperimentOptions};
+
+/// The three configurations of the figure, cumulative as in the paper.
+pub const CONFIGS: [&str; 3] = ["code", "code.stack", "code.heap.stack"];
+
+fn config_for(name: &str) -> Config {
+    match name {
+        "code" => Config::code_only(),
+        "code.stack" => Config::code_stack(),
+        "code.heap.stack" => Config::default(),
+        other => panic!("unknown Figure-6 configuration {other}"),
+    }
+}
+
+/// One benchmark's overheads.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Overhead per configuration, aligned with [`CONFIGS`]:
+    /// `mean(stabilizer) / mean(random link order) - 1`.
+    pub overhead: [f64; 3],
+}
+
+/// Aggregate of the figure.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6Result {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig6Row>,
+    /// Median overhead of the full configuration across the suite —
+    /// the paper's headline "< 7% median overhead".
+    pub median_full_overhead: f64,
+}
+
+/// Runs the Figure 6 experiment.
+pub fn run(opts: &ExperimentOptions) -> Fig6Result {
+    let mut rows = Vec::new();
+    for spec in opts.selected_suite() {
+        let program = spec.program(opts.scale);
+        let baseline = mean(&linked_samples(&program, opts, opts.runs));
+        let mut overhead = [0.0f64; 3];
+        for (i, cfg) in CONFIGS.iter().enumerate() {
+            let t = mean(&stabilized_samples(
+                &program,
+                opts,
+                config_for(cfg),
+                opts.runs,
+            ));
+            overhead[i] = t / baseline - 1.0;
+        }
+        rows.push(Fig6Row { benchmark: spec.name.to_string(), overhead });
+    }
+    let fulls: Vec<f64> = rows.iter().map(|r| r.overhead[2]).collect();
+    let median_full_overhead = if fulls.is_empty() { f64::NAN } else { median(&fulls) };
+    Fig6Result { rows, median_full_overhead }
+}
+
+/// Renders the figure as a table (the paper plots it as bars).
+pub fn render(result: &Fig6Result) -> String {
+    let body: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.benchmark.clone()];
+            row.extend(r.overhead.iter().map(|o| format!("{:+.1}%", o * 100.0)));
+            row
+        })
+        .collect();
+    let mut out = render_table(
+        &["Benchmark", "code", "code.stack", "code.heap.stack"],
+        &body,
+    );
+    out.push_str(&format!(
+        "\nmedian overhead (all randomizations): {:+.1}%\n",
+        result.median_full_overhead * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_finite_and_ordered_configs_exist() {
+        let mut opts = ExperimentOptions::quick();
+        opts.benchmarks = Some(vec!["libquantum".into()]);
+        opts.runs = 4;
+        let result = run(&opts);
+        assert_eq!(result.rows.len(), 1);
+        for o in result.rows[0].overhead {
+            assert!(o.is_finite());
+            assert!(o > -0.9, "overhead {o} is implausibly negative");
+        }
+        let text = render(&result);
+        assert!(text.contains("libquantum"));
+        assert!(text.contains("median overhead"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Figure-6 configuration")]
+    fn bad_config_panics() {
+        config_for("heap.only");
+    }
+}

@@ -1,0 +1,181 @@
+//! **Figure 7**: speedup of `-O2` over `-O1` and `-O3` over `-O2`
+//! under STABILIZER, with per-benchmark significance.
+//!
+//! Per the paper's §6 protocol: benchmarks whose (stabilized)
+//! execution times pass Shapiro–Wilk use the two-sample t-test; the
+//! rest fall back to the Wilcoxon signed-rank test.
+
+use stabilizer::Config;
+use sz_opt::{optimize, OptLevel};
+use sz_stats::{mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, Verdict, ALPHA};
+
+use crate::report::render_table;
+use crate::runner::{stabilized_samples, ExperimentOptions};
+
+/// One optimization comparison for one benchmark.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OptComparison {
+    /// Speedup `time(lower) / time(higher)`; > 1 means the higher
+    /// level is faster.
+    pub speedup: f64,
+    /// Two-sided p-value of the chosen test.
+    pub p_value: f64,
+    /// Whether the parametric test was applicable (both samples
+    /// normal) or the Wilcoxon fallback was used.
+    pub used_t_test: bool,
+    /// Verdict at α = 0.05.
+    pub verdict: Verdict,
+}
+
+/// One benchmark's Figure 7 entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `-O2` vs `-O1`.
+    pub o2_vs_o1: OptComparison,
+    /// `-O3` vs `-O2`.
+    pub o3_vs_o2: OptComparison,
+    /// Raw per-level samples (seconds) for the §6.1 ANOVA:
+    /// `[O1, O2, O3]`.
+    pub samples: [Vec<f64>; 3],
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(opts: &ExperimentOptions) -> Vec<Fig7Row> {
+    opts.selected_suite()
+        .iter()
+        .map(|spec| {
+            let base = spec.program(opts.scale);
+            let levels = [OptLevel::O1, OptLevel::O2, OptLevel::O3];
+            let samples: Vec<Vec<f64>> = levels
+                .iter()
+                .map(|&lv| {
+                    let p = optimize(&base, lv);
+                    stabilized_samples(&p, opts, Config::default(), opts.runs)
+                })
+                .collect();
+            let o2_vs_o1 = compare(&samples[0], &samples[1]);
+            let o3_vs_o2 = compare(&samples[1], &samples[2]);
+            Fig7Row {
+                benchmark: spec.name.to_string(),
+                o2_vs_o1,
+                o3_vs_o2,
+                samples: [
+                    samples[0].clone(),
+                    samples[1].clone(),
+                    samples[2].clone(),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Compares a lower optimization level's times against a higher one's.
+pub fn compare(lower: &[f64], higher: &[f64]) -> OptComparison {
+    let normal = |s: &[f64]| shapiro_wilk(s).map_or(false, |r| r.p_value >= ALPHA);
+    let both_normal = normal(lower) && normal(higher);
+    let p_value = if both_normal {
+        welch_t_test(lower, higher).map_or(1.0, |t| t.p_value)
+    } else {
+        wilcoxon_signed_rank(lower, higher).map_or(1.0, |w| w.p_value)
+    };
+    OptComparison {
+        speedup: mean(lower) / mean(higher),
+        p_value,
+        used_t_test: both_normal,
+        verdict: Verdict::from_p(p_value, ALPHA),
+    }
+}
+
+/// Summary counts matching the paper's §6 narrative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Fig7Summary {
+    /// Benchmarks with a significant `-O2` vs `-O1` difference.
+    pub significant_o2: usize,
+    /// Benchmarks with a significant `-O3` vs `-O2` difference.
+    pub significant_o3: usize,
+    /// Significant *regressions* (speedup < 1) at `-O2`.
+    pub regressions_o2: usize,
+    /// Significant regressions at `-O3`.
+    pub regressions_o3: usize,
+    /// Total benchmarks.
+    pub total: usize,
+}
+
+/// Summarizes Figure 7 rows.
+pub fn summarize(rows: &[Fig7Row]) -> Fig7Summary {
+    let sig = |c: &OptComparison| c.verdict.is_significant();
+    Fig7Summary {
+        significant_o2: rows.iter().filter(|r| sig(&r.o2_vs_o1)).count(),
+        significant_o3: rows.iter().filter(|r| sig(&r.o3_vs_o2)).count(),
+        regressions_o2: rows
+            .iter()
+            .filter(|r| sig(&r.o2_vs_o1) && r.o2_vs_o1.speedup < 1.0)
+            .count(),
+        regressions_o3: rows
+            .iter()
+            .filter(|r| sig(&r.o3_vs_o2) && r.o3_vs_o2.speedup < 1.0)
+            .count(),
+        total: rows.len(),
+    }
+}
+
+/// Renders the figure as a table (the paper plots bars with asterisks
+/// for regressions and shading for significance).
+pub fn render(rows: &[Fig7Row]) -> String {
+    let fmt = |c: &OptComparison| {
+        format!(
+            "{:.3}{} (p={:.3}, {})",
+            c.speedup,
+            if c.verdict.is_significant() { "†" } else { "" },
+            c.p_value,
+            if c.used_t_test { "t" } else { "wilcoxon" },
+        )
+    };
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.benchmark.clone(), fmt(&r.o2_vs_o1), fmt(&r.o3_vs_o2)])
+        .collect();
+    render_table(&["Benchmark", "O2 vs O1", "O3 vs O2"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_detects_an_obvious_speedup() {
+        let slow: Vec<f64> = (0..12).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
+        let fast: Vec<f64> = (0..12).map(|i| 8.0 + 0.01 * ((i + 2) % 5) as f64).collect();
+        let c = compare(&slow, &fast);
+        assert!(c.speedup > 1.2);
+        assert!(c.verdict.is_significant());
+    }
+
+    #[test]
+    fn compare_sees_no_difference_in_identical_distributions() {
+        let a: Vec<f64> = (0..12).map(|i| 5.0 + 0.1 * (i % 6) as f64).collect();
+        let b: Vec<f64> = (0..12).map(|i| 5.0 + 0.1 * ((i + 3) % 6) as f64).collect();
+        let c = compare(&a, &b);
+        assert!(!c.verdict.is_significant(), "p = {}", c.p_value);
+        assert!((c.speedup - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn end_to_end_row_for_one_benchmark() {
+        let mut opts = ExperimentOptions::quick();
+        opts.benchmarks = Some(vec!["bzip2".into()]);
+        opts.runs = 6;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.o2_vs_o1.speedup.is_finite());
+        assert!(r.o3_vs_o2.speedup.is_finite());
+        assert_eq!(r.samples[0].len(), 6);
+        let text = render(&rows);
+        assert!(text.contains("bzip2"));
+        let s = summarize(&rows);
+        assert_eq!(s.total, 1);
+    }
+}

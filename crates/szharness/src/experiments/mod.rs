@@ -1,0 +1,19 @@
+//! One module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — Shapiro–Wilk & Brown–Forsythe p-values |
+//! | [`fig5`] | Figure 5 — QQ plots vs the Gaussian |
+//! | [`fig6`] | Figure 6 — overhead vs randomized link order |
+//! | [`fig7`] | Figure 7 — speedup of `-O2`/`-O3` with significance |
+//! | [`anova`] | §6.1 — suite-wide within-subjects ANOVA |
+//! | [`nist`] | §3.2 — NIST randomness of heap addresses |
+//! | [`bias`] | §1/§5 — link-order & environment measurement bias |
+
+pub mod anova;
+pub mod bias;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod nist;
+pub mod table1;

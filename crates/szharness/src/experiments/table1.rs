@@ -1,0 +1,135 @@
+//! **Table 1**: Shapiro–Wilk normality p-values with one-time vs
+//! re-randomization, plus Brown–Forsythe variance homogeneity.
+
+use stabilizer::Config;
+use sz_stats::{brown_forsythe, shapiro_wilk};
+
+use crate::report::{fmt_p_marked, render_table};
+use crate::runner::{stabilized_samples, ExperimentOptions};
+
+/// One benchmark's row of Table 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Shapiro–Wilk p-value with one-time randomization.
+    pub sw_one_time: f64,
+    /// Shapiro–Wilk p-value with re-randomization.
+    pub sw_rerandomized: f64,
+    /// Brown–Forsythe p-value comparing the two configurations'
+    /// variances.
+    pub brown_forsythe: f64,
+    /// The raw samples (seconds), kept for Figure 5.
+    pub one_time_samples: Vec<f64>,
+    /// Re-randomized samples (seconds).
+    pub rerandomized_samples: Vec<f64>,
+}
+
+/// Runs the Table 1 experiment over the selected suite.
+pub fn run(opts: &ExperimentOptions) -> Vec<Table1Row> {
+    opts.selected_suite()
+        .iter()
+        .map(|spec| {
+            let program = spec.program(opts.scale);
+            let one_time =
+                stabilized_samples(&program, opts, Config::one_time(), opts.runs);
+            let rerand =
+                stabilized_samples(&program, opts, Config::default(), opts.runs);
+            let sw_one = shapiro_wilk(&one_time).map_or(f64::NAN, |r| r.p_value);
+            let sw_re = shapiro_wilk(&rerand).map_or(f64::NAN, |r| r.p_value);
+            let bf = brown_forsythe(&[one_time.clone(), rerand.clone()])
+                .map_or(f64::NAN, |r| r.p_value);
+            Table1Row {
+                benchmark: spec.name.to_string(),
+                sw_one_time: sw_one,
+                sw_rerandomized: sw_re,
+                brown_forsythe: bf,
+                one_time_samples: one_time,
+                rerandomized_samples: rerand,
+            }
+        })
+        .collect()
+}
+
+/// Renders rows in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                fmt_p_marked(r.sw_one_time),
+                fmt_p_marked(r.sw_rerandomized),
+                fmt_p_marked(r.brown_forsythe),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Benchmark", "SW (randomized)", "SW (re-randomized)", "Brown-Forsythe"],
+        &body,
+    )
+}
+
+/// Summary counts matching the paper's §5.1 narrative.
+pub fn summarize(rows: &[Table1Row]) -> Table1Summary {
+    Table1Summary {
+        non_normal_one_time: rows.iter().filter(|r| r.sw_one_time < 0.05).count(),
+        non_normal_rerandomized: rows.iter().filter(|r| r.sw_rerandomized < 0.05).count(),
+        variance_changed: rows.iter().filter(|r| r.brown_forsythe < 0.05).count(),
+        total: rows.len(),
+    }
+}
+
+/// Aggregate verdicts over Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Summary {
+    /// Benchmarks rejecting normality with one-time randomization.
+    pub non_normal_one_time: usize,
+    /// Benchmarks rejecting normality with re-randomization.
+    pub non_normal_rerandomized: usize,
+    /// Benchmarks whose variance differs significantly between modes.
+    pub variance_changed: usize,
+    /// Total benchmarks tested.
+    pub total: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExperimentOptions {
+        let mut o = ExperimentOptions::quick();
+        o.benchmarks = Some(vec!["bzip2".into(), "mcf".into()]);
+        o.runs = 8;
+        o
+    }
+
+    #[test]
+    fn produces_one_row_per_benchmark() {
+        let rows = run(&tiny_opts());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.one_time_samples.len(), 8);
+            assert_eq!(r.rerandomized_samples.len(), 8);
+            assert!(r.sw_one_time.is_finite());
+            assert!((0.0..=1.0).contains(&r.sw_rerandomized));
+        }
+    }
+
+    #[test]
+    fn render_includes_all_benchmarks() {
+        let rows = run(&tiny_opts());
+        let text = render(&rows);
+        assert!(text.contains("bzip2"));
+        assert!(text.contains("mcf"));
+        assert!(text.contains("Brown-Forsythe"));
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let rows = run(&tiny_opts());
+        let s = summarize(&rows);
+        assert_eq!(s.total, 2);
+        assert!(s.non_normal_one_time <= s.total);
+    }
+}

@@ -1,0 +1,48 @@
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! [`runner`] executes benchmarks repeatedly (in parallel) under any
+//! configuration; [`experiments`] contains one module per paper
+//! artifact (Table 1, Figures 5–7, the §6.1 ANOVA, the §3.2 NIST
+//! comparison, and the §1/§5 measurement-bias demonstration);
+//! [`report`] renders aligned text tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_harness::{ExperimentOptions, runner};
+//! use sz_workloads::Scale;
+//!
+//! let opts = ExperimentOptions::quick();
+//! let program = sz_workloads::build("mcf", Scale::Tiny).unwrap();
+//! let samples = runner::stabilized_samples(&program, &opts, stabilizer::Config::default(), 5);
+//! assert_eq!(samples.len(), 5);
+//! ```
+
+pub mod evaluate;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use evaluate::{evaluate_change, ChangeEvaluation};
+pub use runner::{run_once, ExperimentOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_workloads::Scale;
+
+    #[test]
+    fn quick_options_are_small() {
+        let o = ExperimentOptions::quick();
+        assert!(o.runs <= 8);
+        assert_eq!(o.scale, Scale::Tiny);
+    }
+
+    #[test]
+    fn paper_options_match_methodology() {
+        let o = ExperimentOptions::paper();
+        assert_eq!(o.runs, 30, "the paper runs every benchmark 30 times");
+        assert_eq!(o.scale, Scale::Small);
+    }
+}

@@ -1,0 +1,94 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table with a header row and a separator.
+///
+/// # Examples
+///
+/// ```
+/// use sz_harness::report::render_table;
+///
+/// let t = render_table(
+///     &["benchmark", "p"],
+///     &[vec!["mcf".to_string(), "0.42".to_string()]],
+/// );
+/// assert!(t.contains("benchmark"));
+/// assert!(t.contains("mcf"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a p-value the way the paper's Table 1 does (three decimal
+/// places, with very small values pinned to "<0.001").
+pub fn fmt_p(p: f64) -> String {
+    if p < 0.001 {
+        "<0.001".to_string()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+/// Marks a p-value that rejects the null at α = 0.05 with an asterisk
+/// (boldface in the paper).
+pub fn fmt_p_marked(p: f64) -> String {
+    let s = fmt_p(p);
+    if p < 0.05 {
+        format!("{s}*")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["a", "long_header"],
+            &[
+                vec!["xxxxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every row.
+        let col = lines[0].find("long_header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn p_value_formatting() {
+        assert_eq!(fmt_p(0.5), "0.500");
+        assert_eq!(fmt_p(0.0004), "<0.001");
+        assert_eq!(fmt_p_marked(0.01), "0.010*");
+        assert_eq!(fmt_p_marked(0.2), "0.200");
+    }
+}

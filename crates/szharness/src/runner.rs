@@ -1,0 +1,251 @@
+//! Parallel benchmark execution under configurable layout engines.
+
+use stabilizer::{prepare_program, Config, Stabilizer};
+use sz_ir::Program;
+use sz_link::{LinkOrder, LinkedLayout};
+use sz_machine::{MachineConfig, SimTime};
+use sz_rng::{Rng, SplitMix64};
+use sz_vm::{LayoutEngine, RunLimits, RunReport, Vm};
+use sz_workloads::Scale;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Runs per configuration (the paper uses 30).
+    pub runs: usize,
+    /// Simulated machine.
+    pub machine: MachineConfig,
+    /// Re-randomization interval. The paper uses 500 ms on runs lasting
+    /// minutes; our simulated runs last simulated milliseconds, so the
+    /// default scales the interval down by the same factor, keeping
+    /// ≳30 randomization periods per run (the CLT requirement of §4).
+    pub interval: SimTime,
+    /// Base seed; run `i` of a configuration uses `seed_base + i`.
+    pub seed_base: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Restrict the suite to these benchmarks (None = all 18).
+    pub benchmarks: Option<Vec<String>>,
+}
+
+impl ExperimentOptions {
+    /// Paper-methodology options: 30 runs at Small scale.
+    pub fn paper() -> Self {
+        ExperimentOptions {
+            scale: Scale::Small,
+            runs: 30,
+            machine: MachineConfig::core_i3_550(),
+            interval: SimTime::from_millis(0.05),
+            seed_base: 0x5EED_0000,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
+            benchmarks: None,
+        }
+    }
+
+    /// Fast options for unit/integration tests.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            scale: Scale::Tiny,
+            runs: 6,
+            interval: SimTime::from_millis(0.005),
+            ..Self::paper()
+        }
+    }
+
+    /// Returns the benchmark specs selected by `benchmarks`.
+    pub fn selected_suite(&self) -> Vec<sz_workloads::BenchmarkSpec> {
+        let all = sz_workloads::suite();
+        match &self.benchmarks {
+            None => all,
+            Some(names) => all
+                .into_iter()
+                .filter(|s| names.iter().any(|n| n == s.name))
+                .collect(),
+        }
+    }
+}
+
+/// Runs a program once under STABILIZER with the given seed, using the
+/// default paper configuration — the one-call entry point used by the
+/// quickstart.
+pub fn run_once(program: &Program, config: &Config, seed: u64) -> RunReport {
+    let machine = MachineConfig::core_i3_550();
+    let (prepared, info) = prepare_program(program);
+    let mut engine = Stabilizer::new(config.clone().with_seed(seed), &machine, &info);
+    Vm::new(&prepared)
+        .run(&mut engine, machine, RunLimits::default())
+        .expect("benchmark programs terminate")
+}
+
+/// Collects `n` execution-time samples (simulated seconds) of
+/// `program` under STABILIZER, one seed per run, in parallel.
+///
+/// The seed stream is mixed with a fingerprint of the program so that
+/// samples of two *different* programs (e.g. the same benchmark at two
+/// optimization levels) are statistically independent draws of the
+/// layout space. Reusing one seed stream across programs would
+/// correlate their layouts and invalidate the independence assumption
+/// of every two-sample test downstream.
+pub fn stabilized_samples(
+    program: &Program,
+    opts: &ExperimentOptions,
+    config: Config,
+    n: usize,
+) -> Vec<f64> {
+    let (prepared, info) = prepare_program(program);
+    // The library default of 500 ms is meant for full-length programs;
+    // experiments replace it with the scaled `opts.interval`. A caller
+    // that *explicitly* set a different interval (e.g. the interval
+    // ablation) keeps it.
+    let config = if config.interval == Config::default().interval {
+        config.with_interval(opts.interval)
+    } else {
+        config
+    };
+    let machine = opts.machine;
+    let fingerprint = program_fingerprint(program);
+    parallel_runs(opts, n, &prepared, move |seed| {
+        let mut mix = SplitMix64::new(seed ^ fingerprint);
+        Stabilizer::new(config.clone().with_seed(mix.next_u64()), &machine, &info)
+    })
+}
+
+/// A cheap structural fingerprint: programs that differ anywhere in
+/// code size, shape, or data differ here with high probability.
+fn program_fingerprint(p: &Program) -> u64 {
+    let mut h = SplitMix64::new(p.code_size());
+    let mut acc = h.next_u64();
+    for f in &p.functions {
+        let mut g = SplitMix64::new(
+            f.code_size() ^ (u64::from(f.num_regs) << 40) ^ (u64::from(f.num_slots) << 20),
+        );
+        acc = acc.rotate_left(7) ^ g.next_u64();
+    }
+    let mut g = SplitMix64::new(p.global_size() ^ (p.instr_count() as u64) << 13);
+    acc ^ g.next_u64()
+}
+
+/// Collects `n` execution-time samples under the *conventional*
+/// toolchain, one random link order per run — the paper's baseline
+/// configuration for Figure 6.
+pub fn linked_samples(program: &Program, opts: &ExperimentOptions, n: usize) -> Vec<f64> {
+    parallel_runs(opts, n, program, move |seed| {
+        LinkedLayout::builder()
+            .link_order(LinkOrder::Shuffled { seed })
+            .build()
+    })
+}
+
+/// One deterministic run under a fixed link order and environment
+/// size (the single-binary world of §1).
+pub fn linked_run(
+    program: &Program,
+    opts: &ExperimentOptions,
+    order: LinkOrder,
+    env_bytes: u64,
+) -> RunReport {
+    let mut engine = LinkedLayout::builder()
+        .link_order(order)
+        .env_bytes(env_bytes)
+        .build();
+    Vm::new(program)
+        .run(&mut engine, opts.machine, RunLimits::default())
+        .expect("benchmark programs terminate")
+}
+
+/// Fans runs out over `opts.threads` workers. `make_engine` builds a
+/// fresh engine for each seed.
+fn parallel_runs<E, F>(
+    opts: &ExperimentOptions,
+    n: usize,
+    program: &Program,
+    make_engine: F,
+) -> Vec<f64>
+where
+    E: LayoutEngine,
+    F: Fn(u64) -> E + Sync,
+{
+    let vm = Vm::new(program);
+    let machine = opts.machine;
+    let seed_base = opts.seed_base;
+    let mut out = vec![0.0f64; n];
+    let threads = opts.threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let vm = &vm;
+            let make_engine = &make_engine;
+            scope.spawn(move |_| {
+                for (k, s) in slot.iter_mut().enumerate() {
+                    let i = t * chunk + k;
+                    let mut engine = make_engine(seed_base + i as u64);
+                    let report = vm
+                        .run(&mut engine, machine, RunLimits::default())
+                        .expect("benchmark programs terminate");
+                    *s = report.seconds();
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        sz_workloads::build("bzip2", Scale::Tiny).unwrap()
+    }
+
+    #[test]
+    fn stabilized_samples_vary_linked_fixed_does_not() {
+        let opts = ExperimentOptions::quick();
+        let p = program();
+        let stab = stabilized_samples(&p, &opts, Config::default(), 6);
+        let distinct: std::collections::HashSet<u64> =
+            stab.iter().map(|s| s.to_bits()).collect();
+        assert!(distinct.len() >= 4, "stabilized runs must differ: {stab:?}");
+
+        let a = linked_run(&p, &opts, LinkOrder::Default, 0);
+        let b = linked_run(&p, &opts, LinkOrder::Default, 0);
+        assert_eq!(a.cycles, b.cycles, "a fixed binary is one sample");
+    }
+
+    #[test]
+    fn linked_samples_vary_by_link_order() {
+        let opts = ExperimentOptions::quick();
+        let samples = linked_samples(&program(), &opts, 6);
+        let distinct: std::collections::HashSet<u64> =
+            samples.iter().map(|s| s.to_bits()).collect();
+        assert!(distinct.len() >= 2, "{samples:?}");
+    }
+
+    #[test]
+    fn parallel_matches_expected_count_and_determinism() {
+        let opts = ExperimentOptions::quick();
+        let p = program();
+        let a = stabilized_samples(&p, &opts, Config::default(), 7);
+        let b = stabilized_samples(&p, &opts, Config::default(), 7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a, b, "same seeds, same samples, regardless of threading");
+    }
+
+    #[test]
+    fn run_once_returns_a_report() {
+        let r = run_once(&program(), &Config::default(), 3);
+        assert!(r.cycles > 0);
+        assert_eq!(r.engine, "stabilizer");
+    }
+
+    #[test]
+    fn selected_suite_filters() {
+        let mut opts = ExperimentOptions::quick();
+        opts.benchmarks = Some(vec!["mcf".into(), "lbm".into()]);
+        let names: Vec<&str> = opts.selected_suite().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["lbm", "mcf"], "suite order is alphabetical");
+    }
+}

@@ -1,0 +1,99 @@
+//! A bump-allocated span of the simulated virtual address space.
+
+/// A contiguous span of simulated virtual memory that allocators carve
+/// chunks from (an `sbrk`/`mmap` stand-in).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Region {
+    base: u64,
+    size: u64,
+    cursor: u64,
+}
+
+impl Region {
+    /// Creates a region spanning `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span would wrap the address space.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(base.checked_add(size).is_some(), "region wraps the address space");
+        Region { base, size, cursor: base }
+    }
+
+    /// First address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total span in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes not yet handed out.
+    pub fn remaining(&self) -> u64 {
+        self.base + self.size - self.cursor
+    }
+
+    /// Carves `bytes` aligned to `align` from the region.
+    ///
+    /// Returns `None` when exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn carve(&mut self, bytes: u64, align: u64) -> Option<u64> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let aligned = self.cursor.checked_add(align - 1)? & !(align - 1);
+        let end = aligned.checked_add(bytes)?;
+        if end > self.base + self.size {
+            return None;
+        }
+        self.cursor = end;
+        Some(aligned)
+    }
+
+    /// Whether `addr` lies inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_respects_alignment() {
+        let mut r = Region::new(0x1001, 0x1000);
+        let a = r.carve(10, 64).unwrap();
+        assert_eq!(a % 64, 0);
+        assert!(a >= 0x1001);
+        let b = r.carve(10, 64).unwrap();
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = Region::new(0, 128);
+        assert!(r.carve(100, 16).is_some());
+        assert!(r.carve(100, 16).is_none());
+    }
+
+    #[test]
+    fn remaining_shrinks() {
+        let mut r = Region::new(0x1000, 0x1000);
+        let before = r.remaining();
+        r.carve(256, 16).unwrap();
+        assert_eq!(r.remaining(), before - 256);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let r = Region::new(0x1000, 0x100);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10FF));
+        assert!(!r.contains(0x1100));
+        assert!(!r.contains(0xFFF));
+    }
+}

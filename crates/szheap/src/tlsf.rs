@@ -1,0 +1,298 @@
+//! A two-level segregated-fits (TLSF) allocator.
+//!
+//! The paper (§3.2) offers TLSF as an alternative base allocator
+//! beneath the shuffling layer. Unlike the power-of-two base, TLSF
+//! splits and coalesces blocks, so its address patterns differ — which
+//! is exactly why the shuffling layer, not the base, must provide the
+//! randomness.
+
+use std::collections::HashMap;
+
+use crate::{Allocator, Region};
+
+/// log2 of the number of second-level subdivisions per first level.
+const SL_LOG: u32 = 4;
+/// Minimum block size (and the alignment guarantee).
+const MIN_BLOCK: u64 = 16;
+/// Size of each pool carved from the region when the allocator grows.
+const POOL_BYTES: u64 = 1 << 20;
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    size: u64,
+    prev_phys: Option<u64>,
+    next_phys: Option<u64>,
+    free: bool,
+}
+
+/// Two-level segregated-fits allocator (Masmano et al.), with block
+/// splitting and immediate coalescing.
+#[derive(Debug, Clone)]
+pub struct TlsfAllocator {
+    region: Region,
+    blocks: HashMap<u64, BlockMeta>,
+    /// `free_lists[fl][sl]` holds addresses of free blocks.
+    free_lists: Vec<Vec<Vec<u64>>>,
+    live: HashMap<u64, u64>,
+    live_bytes: u64,
+}
+
+impl TlsfAllocator {
+    /// Creates an allocator that carves pools from `region` on demand.
+    pub fn new(region: Region) -> Self {
+        TlsfAllocator {
+            region,
+            blocks: HashMap::new(),
+            free_lists: vec![vec![Vec::new(); 1 << SL_LOG]; 64],
+            live: HashMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// Maps a size to its (first level, second level) indices.
+    fn mapping(size: u64) -> (usize, usize) {
+        let fl = 63 - size.leading_zeros();
+        let sl = if fl >= SL_LOG {
+            ((size >> (fl - SL_LOG)) - (1 << SL_LOG)) as usize
+        } else {
+            0
+        };
+        (fl as usize, sl)
+    }
+
+    fn insert_free(&mut self, addr: u64) {
+        let size = self.blocks[&addr].size;
+        let (fl, sl) = Self::mapping(size);
+        self.free_lists[fl][sl].push(addr);
+    }
+
+    fn remove_free(&mut self, addr: u64) {
+        let size = self.blocks[&addr].size;
+        let (fl, sl) = Self::mapping(size);
+        let list = &mut self.free_lists[fl][sl];
+        let pos = list.iter().position(|&a| a == addr).expect("block in its free list");
+        list.swap_remove(pos);
+    }
+
+    /// Finds a free block of at least `size` bytes (good fit: smallest
+    /// list at or above the request's mapping).
+    fn find_block(&self, size: u64) -> Option<u64> {
+        let (fl0, sl0) = Self::mapping(size);
+        for fl in fl0..self.free_lists.len() {
+            let start = if fl == fl0 { sl0 } else { 0 };
+            for sl in start..(1 << SL_LOG) {
+                // A block in the request's own list may be smaller than
+                // the request (the list holds [class, next) sizes), so
+                // verify.
+                if let Some(&addr) = self.free_lists[fl][sl]
+                    .iter()
+                    .find(|&&a| self.blocks[&a].size >= size)
+                {
+                    return Some(addr);
+                }
+            }
+        }
+        None
+    }
+
+    fn grow(&mut self, at_least: u64) -> Option<()> {
+        let bytes = at_least.max(POOL_BYTES);
+        let addr = self.region.carve(bytes, MIN_BLOCK)?;
+        self.blocks.insert(
+            addr,
+            BlockMeta { size: bytes, prev_phys: None, next_phys: None, free: true },
+        );
+        self.insert_free(addr);
+        Some(())
+    }
+
+    fn round(size: u64) -> u64 {
+        ((size + MIN_BLOCK - 1) / MIN_BLOCK) * MIN_BLOCK
+    }
+}
+
+impl Allocator for TlsfAllocator {
+    fn malloc(&mut self, size: u64) -> Option<u64> {
+        assert!(size > 0, "zero-size allocation");
+        let need = Self::round(size);
+        let addr = match self.find_block(need) {
+            Some(a) => a,
+            None => {
+                self.grow(need)?;
+                self.find_block(need)?
+            }
+        };
+        self.remove_free(addr);
+        let meta = self.blocks.get_mut(&addr).expect("found block exists");
+        meta.free = false;
+        let block_size = meta.size;
+
+        // Split if the remainder is usable.
+        if block_size >= need + MIN_BLOCK {
+            let rest_addr = addr + need;
+            let rest_size = block_size - need;
+            let old_next = meta.next_phys;
+            meta.size = need;
+            meta.next_phys = Some(rest_addr);
+            self.blocks.insert(
+                rest_addr,
+                BlockMeta {
+                    size: rest_size,
+                    prev_phys: Some(addr),
+                    next_phys: old_next,
+                    free: true,
+                },
+            );
+            if let Some(next) = old_next {
+                self.blocks.get_mut(&next).expect("physical neighbor exists").prev_phys =
+                    Some(rest_addr);
+            }
+            self.insert_free(rest_addr);
+        }
+
+        self.live.insert(addr, size);
+        self.live_bytes += size;
+        Some(addr)
+    }
+
+    fn free(&mut self, addr: u64) {
+        let size = self
+            .live
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        self.live_bytes -= size;
+
+        let mut addr = addr;
+        self.blocks.get_mut(&addr).expect("live block has metadata").free = true;
+
+        // Coalesce with the next physical block.
+        if let Some(next) = self.blocks[&addr].next_phys {
+            if self.blocks[&next].free {
+                self.remove_free(next);
+                let next_meta = self.blocks.remove(&next).expect("neighbor exists");
+                let meta = self.blocks.get_mut(&addr).expect("block exists");
+                meta.size += next_meta.size;
+                meta.next_phys = next_meta.next_phys;
+                if let Some(nn) = next_meta.next_phys {
+                    self.blocks.get_mut(&nn).expect("neighbor exists").prev_phys = Some(addr);
+                }
+            }
+        }
+        // Coalesce with the previous physical block.
+        if let Some(prev) = self.blocks[&addr].prev_phys {
+            if self.blocks[&prev].free {
+                self.remove_free(prev);
+                let meta = self.blocks.remove(&addr).expect("block exists");
+                let prev_meta = self.blocks.get_mut(&prev).expect("neighbor exists");
+                prev_meta.size += meta.size;
+                prev_meta.next_phys = meta.next_phys;
+                if let Some(nn) = meta.next_phys {
+                    self.blocks.get_mut(&nn).expect("neighbor exists").prev_phys = Some(prev);
+                }
+                addr = prev;
+            }
+        }
+        self.insert_free(addr);
+    }
+
+    fn name(&self) -> &'static str {
+        "tlsf"
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> TlsfAllocator {
+        TlsfAllocator::new(Region::new(0x200_0000, 1 << 26))
+    }
+
+    #[test]
+    fn mapping_is_monotone() {
+        let mut prev = (0usize, 0usize);
+        for size in (16u64..4096).step_by(16) {
+            let m = TlsfAllocator::mapping(size);
+            assert!(m >= prev, "mapping must not decrease: {size}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn split_and_reuse() {
+        let mut a = alloc();
+        let p = a.malloc(64).unwrap();
+        let q = a.malloc(64).unwrap();
+        // TLSF splits sequentially from the pool: q follows p.
+        assert_eq!(q, p + 64);
+    }
+
+    #[test]
+    fn coalescing_restores_large_blocks() {
+        let mut a = alloc();
+        // Allocate three adjacent blocks, free in an order that
+        // exercises both forward and backward merges.
+        let p = a.malloc(1024).unwrap();
+        let q = a.malloc(1024).unwrap();
+        let r = a.malloc(1024).unwrap();
+        a.free(p);
+        a.free(r);
+        a.free(q); // merges with both neighbors
+        // After full coalescing a pool-sized request near the original
+        // block must be satisfiable from the merged space.
+        let big = a.malloc(3072).unwrap();
+        assert_eq!(big, p, "coalesced block reused from the start");
+    }
+
+    #[test]
+    fn awkward_sizes_do_not_round_to_power_of_two() {
+        // TLSF's selling point vs the pow2 base: a 4097-byte request
+        // consumes ~4112 bytes, not 8192.
+        let mut a = alloc();
+        let p = a.malloc(4097).unwrap();
+        let q = a.malloc(4097).unwrap();
+        assert!(q - p < 8192, "gap {} should be close to the request", q - p);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of non-live address")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let p = a.malloc(64).unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    fn stress_random_malloc_free_keeps_invariants() {
+        let mut a = alloc();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            if live.len() < 50 || next() % 2 == 0 {
+                let size = 1 + next() % 2000;
+                let addr = a.malloc(size).unwrap();
+                for &(o, os) in &live {
+                    assert!(addr + size <= o || o + os <= addr, "overlap");
+                }
+                live.push((addr, size));
+            } else {
+                let idx = (next() % live.len() as u64) as usize;
+                let (addr, _) = live.swap_remove(idx);
+                a.free(addr);
+            }
+        }
+        let total: u64 = live.iter().map(|&(_, s)| s).sum();
+        assert_eq!(a.live_bytes(), total);
+    }
+}

@@ -1,0 +1,494 @@
+//! Fluent builders for programs and functions.
+
+use crate::{
+    AluOp, Block, BlockId, FuncId, Function, Global, GlobalId, GlobalInit, Instr, IrError,
+    Operand, Program, Reg, Terminator,
+};
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Builds a [`Program`] incrementally.
+///
+/// Functions that call each other can be declared first with
+/// [`ProgramBuilder::declare`] and defined later with
+/// [`ProgramBuilder::define`].
+///
+/// # Examples
+///
+/// ```
+/// use sz_ir::{AluOp, ProgramBuilder};
+///
+/// let mut p = ProgramBuilder::new("adder");
+/// let mut helper = p.function("add1", 1);
+/// let arg = helper.param(0);
+/// let out = helper.alu(AluOp::Add, arg, 1);
+/// helper.ret(Some(out.into()));
+/// let add1 = p.add_function(helper);
+///
+/// let mut main = p.function("main", 0);
+/// let v = main.call(add1, vec![41.into()]);
+/// main.ret(Some(v.into()));
+/// let entry = p.add_function(main);
+///
+/// let program = p.finish(entry)?;
+/// assert_eq!(program.functions.len(), 2);
+/// # Ok::<(), sz_ir::IrError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    functions: Vec<Option<Function>>,
+    globals: Vec<Global>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), functions: Vec::new(), globals: Vec::new() }
+    }
+
+    /// Reserves a function id for a body defined later (mutual
+    /// recursion). The declared arity is recorded by the eventual
+    /// [`ProgramBuilder::define`] call.
+    pub fn declare(&mut self) -> FuncId {
+        self.functions.push(None);
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Creates a builder for a new function with `params` parameters.
+    pub fn function(&self, name: impl Into<String>, params: u16) -> FunctionBuilder {
+        FunctionBuilder::new(name, params)
+    }
+
+    /// Finishes `fb` and appends it, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder has unterminated blocks.
+    pub fn add_function(&mut self, fb: FunctionBuilder) -> FuncId {
+        self.functions.push(Some(fb.finish()));
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Fills a previously [`ProgramBuilder::declare`]d slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared, is already defined, or if the
+    /// builder has unterminated blocks.
+    pub fn define(&mut self, id: FuncId, fb: FunctionBuilder) {
+        let slot = self
+            .functions
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("function {id} was never declared"));
+        assert!(slot.is_none(), "function {id} is already defined");
+        *slot = Some(fb.finish());
+    }
+
+    /// Adds a zero-initialized global of `size` bytes.
+    pub fn global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.global_init(name, size, GlobalInit::Zero)
+    }
+
+    /// Adds a global with explicit initial contents.
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        init: GlobalInit,
+    ) -> GlobalId {
+        self.globals.push(Global { name: name.into(), size, init });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Completes the program with `entry` as its entry point and
+    /// validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`IrError`] found by [`Program::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared function was never defined.
+    pub fn finish(self, entry: FuncId) -> Result<Program, IrError> {
+        let functions: Vec<Function> = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function @{i} declared but never defined")))
+            .collect();
+        let program = Program { name: self.name, functions, globals: self.globals, entry };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Builds one [`Function`].
+///
+/// The builder maintains a *current block*; instruction methods append
+/// to it, terminator methods seal it. Create more blocks with
+/// [`FunctionBuilder::new_block`] and move between them with
+/// [`FunctionBuilder::switch_to`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: u16,
+    next_reg: u16,
+    next_slot: u32,
+    blocks: Vec<(Vec<Instr>, Option<Terminator>)>,
+    current: usize,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `params` parameters (arriving in
+    /// registers `r0..r{params}`) and an empty entry block.
+    pub fn new(name: impl Into<String>, params: u16) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            params,
+            next_reg: params,
+            next_slot: 0,
+            blocks: vec![(Vec::new(), None)],
+            current: 0,
+        }
+    }
+
+    /// The entry block's id (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= params`.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.params, "parameter {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates one fresh stack slot and returns its index.
+    pub fn slot(&mut self) -> u32 {
+        self.slots(1)
+    }
+
+    /// Allocates `n` contiguous stack slots, returning the first index.
+    pub fn slots(&mut self, n: u32) -> u32 {
+        let s = self.next_slot;
+        self.next_slot += n;
+        s
+    }
+
+    /// Creates a new (unterminated) block and returns its id without
+    /// switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Makes `block` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or already sealed.
+    pub fn switch_to(&mut self, block: BlockId) {
+        let idx = block.0 as usize;
+        assert!(idx < self.blocks.len(), "no such block {block}");
+        assert!(self.blocks[idx].1.is_none(), "block {block} is already terminated");
+        self.current = idx;
+    }
+
+    fn push(&mut self, instr: Instr) {
+        let (instrs, term) = &mut self.blocks[self.current];
+        assert!(term.is_none(), "current block is already terminated");
+        instrs.push(instr);
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let (_, t) = &mut self.blocks[self.current];
+        assert!(t.is_none(), "current block is already terminated");
+        *t = Some(term);
+    }
+
+    // --- instructions -------------------------------------------------
+
+    /// Appends `dst = a <op> b` with a fresh destination register.
+    pub fn alu(&mut self, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::Alu { dst, op, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Appends `dst = a <op> b` into an existing register.
+    pub fn alu_into(
+        &mut self,
+        dst: Reg,
+        op: AluOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Instr::Alu { dst, op, a: a.into(), b: b.into() });
+    }
+
+    /// Materializes a floating-point constant.
+    pub fn fp_const(&mut self, value: f64) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::FpConst { dst, bits: value.to_bits() });
+        dst
+    }
+
+    /// Converts an integer value to floating point.
+    pub fn int_to_fp(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::IntToFp { dst, src: src.into() });
+        dst
+    }
+
+    /// Converts a floating-point value to an integer.
+    pub fn fp_to_int(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::FpToInt { dst, src: src.into() });
+        dst
+    }
+
+    /// Loads a stack slot.
+    pub fn load_slot(&mut self, slot: u32) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::LoadSlot { dst, slot });
+        dst
+    }
+
+    /// Stores to a stack slot.
+    pub fn store_slot(&mut self, slot: u32, src: impl Into<Operand>) {
+        self.push(Instr::StoreSlot { src: src.into(), slot });
+    }
+
+    /// Loads `global[offset]`.
+    pub fn load_global(&mut self, global: GlobalId, offset: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::LoadGlobal { dst, global, offset: offset.into() });
+        dst
+    }
+
+    /// Stores to `global[offset]`.
+    pub fn store_global(
+        &mut self,
+        global: GlobalId,
+        offset: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) {
+        self.push(Instr::StoreGlobal { src: src.into(), global, offset: offset.into() });
+    }
+
+    /// Loads `*(base + offset)`.
+    pub fn load_ptr(&mut self, base: Reg, offset: i64) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::LoadPtr { dst, base, offset });
+        dst
+    }
+
+    /// Stores `*(base + offset) = src`.
+    pub fn store_ptr(&mut self, base: Reg, offset: i64, src: impl Into<Operand>) {
+        self.push(Instr::StorePtr { src: src.into(), base, offset });
+    }
+
+    /// Allocates heap memory.
+    pub fn malloc(&mut self, size: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::Malloc { dst, size: size.into() });
+        dst
+    }
+
+    /// Frees heap memory.
+    pub fn free(&mut self, ptr: Reg) {
+        self.push(Instr::Free { ptr });
+    }
+
+    /// Calls `func`, capturing its return value in a fresh register.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::Call { func, args, ret: Some(dst) });
+        dst
+    }
+
+    /// Calls `func`, ignoring any return value.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        self.push(Instr::Call { func, args, ret: None });
+    }
+
+    /// Appends `bytes` of padding.
+    pub fn nop(&mut self, bytes: u8) {
+        self.push(Instr::Nop { bytes });
+    }
+
+    // --- terminators ----------------------------------------------------
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Seals the current block with a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, taken: BlockId, not_taken: BlockId) {
+        self.seal(Terminator::Branch { cond: cond.into(), taken, not_taken });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.seal(Terminator::Ret { value });
+    }
+
+    /// Completes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self) -> Function {
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (instrs, term))| Block {
+                instrs,
+                term: term.unwrap_or_else(|| {
+                    panic!("block bb{i} of function `{}` has no terminator", self.name)
+                }),
+            })
+            .collect();
+        Function {
+            name: self.name,
+            params: self.params,
+            num_regs: self.next_reg.max(self.params).max(1),
+            num_slots: self.next_slot,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_a_loop() {
+        // for (i = 0; i < 10; i++) sum += i;
+        let mut p = ProgramBuilder::new("loop");
+        let mut f = p.function("main", 0);
+        let i = f.reg();
+        let sum = f.reg();
+        f.alu_into(i, AluOp::Add, 0, 0);
+        f.alu_into(sum, AluOp::Add, 0, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        let cond = f.alu(AluOp::CmpLt, i, 10);
+        f.branch(cond, body, exit);
+        f.switch_to(body);
+        f.alu_into(sum, AluOp::Add, sum, i);
+        f.alu_into(i, AluOp::Add, i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(sum.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(prog.functions[0].blocks.len(), 4);
+        assert!(prog.validate().is_ok());
+    }
+
+    #[test]
+    fn declare_define_mutual_recursion() {
+        let mut p = ProgramBuilder::new("mutual");
+        let even = p.declare();
+        let odd = p.declare();
+
+        // even(n): n == 0 ? 1 : odd(n - 1)
+        let mut fe = p.function("even", 1);
+        let n = fe.param(0);
+        let base = fe.new_block();
+        let rec = fe.new_block();
+        let z = fe.alu(AluOp::CmpEq, n, 0);
+        fe.branch(z, base, rec);
+        fe.switch_to(base);
+        fe.ret(Some(1.into()));
+        fe.switch_to(rec);
+        let m = fe.alu(AluOp::Sub, n, 1);
+        let r = fe.call(odd, vec![m.into()]);
+        fe.ret(Some(r.into()));
+        p.define(even, fe);
+
+        // odd(n): n == 0 ? 0 : even(n - 1)
+        let mut fo = p.function("odd", 1);
+        let n = fo.param(0);
+        let base = fo.new_block();
+        let rec = fo.new_block();
+        let z = fo.alu(AluOp::CmpEq, n, 0);
+        fo.branch(z, base, rec);
+        fo.switch_to(base);
+        fo.ret(Some(0.into()));
+        fo.switch_to(rec);
+        let m = fo.alu(AluOp::Sub, n, 1);
+        let r = fo.call(even, vec![m.into()]);
+        fo.ret(Some(r.into()));
+        p.define(odd, fo);
+
+        let mut main = p.function("main", 0);
+        let r = main.call(even, vec![6.into()]);
+        main.ret(Some(r.into()));
+        let entry = p.add_function(main);
+        let prog = p.finish(entry).unwrap();
+        assert_eq!(prog.functions.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no terminator")]
+    fn unterminated_block_panics() {
+        let fb = FunctionBuilder::new("broken", 0);
+        fb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.ret(None);
+        fb.ret(None);
+    }
+
+    #[test]
+    fn globals_and_slots() {
+        let mut p = ProgramBuilder::new("g");
+        let g = p.global("table", 4096);
+        let mut f = p.function("main", 0);
+        let s = f.slots(4);
+        assert_eq!(s, 0);
+        assert_eq!(f.slot(), 4);
+        let v = f.load_global(g, 16);
+        f.store_slot(0, v);
+        f.ret(None);
+        let id = p.add_function(f);
+        let prog = p.finish(id).unwrap();
+        assert_eq!(prog.globals[0].size, 4096);
+        assert_eq!(prog.functions[0].num_slots, 5);
+    }
+}

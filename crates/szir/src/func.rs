@@ -1,0 +1,157 @@
+//! Functions, basic blocks, and intra-function code layout.
+
+use crate::{BlockId, Instr, Terminator};
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Block {
+    /// Instructions executed in order.
+    pub instrs: Vec<Instr>,
+    /// The control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Encoded size of the whole block in bytes.
+    pub fn encoded_size(&self) -> u64 {
+        self.instrs.iter().map(Instr::encoded_size).sum::<u64>() + self.term.encoded_size()
+    }
+}
+
+/// A function: parameters, a register frame, stack slots, and blocks.
+///
+/// Block 0 is the entry block.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Number of parameters; arguments arrive in registers `r0..rN`.
+    pub params: u16,
+    /// Total virtual registers (≥ `params`).
+    pub num_regs: u16,
+    /// Stack frame size in 8-byte slots.
+    pub num_slots: u32,
+    /// Basic blocks; index = [`BlockId`].
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Frame size in bytes (slots are 8 bytes, x86-64 style).
+    pub fn frame_bytes(&self) -> u64 {
+        u64::from(self.num_slots) * 8
+    }
+
+    /// Total encoded code size in bytes.
+    pub fn code_size(&self) -> u64 {
+        self.blocks.iter().map(Block::encoded_size).sum()
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Computes byte offsets for every instruction (see [`CodeLayout`]).
+    pub fn layout(&self) -> CodeLayout {
+        let mut block_starts = Vec::with_capacity(self.blocks.len());
+        let mut instr_offsets = Vec::with_capacity(self.blocks.len());
+        let mut pc = 0u64;
+        for block in &self.blocks {
+            block_starts.push(pc);
+            let mut offsets = Vec::with_capacity(block.instrs.len() + 1);
+            for instr in &block.instrs {
+                offsets.push(pc);
+                pc += instr.encoded_size();
+            }
+            // Terminator offset goes last.
+            offsets.push(pc);
+            pc += block.term.encoded_size();
+            instr_offsets.push(offsets);
+        }
+        CodeLayout { block_starts, instr_offsets, total_size: pc }
+    }
+}
+
+/// Byte offsets of every instruction within a function's code, laid
+/// out block after block in block order.
+///
+/// The VM adds the function's (possibly randomized) base address to
+/// these offsets to form fetch addresses — this is where code layout
+/// meets the instruction cache.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CodeLayout {
+    /// Starting offset of each block.
+    pub block_starts: Vec<u64>,
+    /// `instr_offsets[block][i]` = offset of instruction `i`; the final
+    /// entry of each block is the terminator's offset.
+    pub instr_offsets: Vec<Vec<u64>>,
+    /// Total encoded size.
+    pub total_size: u64,
+}
+
+impl CodeLayout {
+    /// Offset of the terminator of `block`.
+    pub fn terminator_offset(&self, block: BlockId) -> u64 {
+        let offsets = &self.instr_offsets[block.0 as usize];
+        offsets[offsets.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Operand, Reg};
+
+    fn two_block_function() -> Function {
+        Function {
+            name: "f".into(),
+            params: 0,
+            num_regs: 2,
+            num_slots: 1,
+            blocks: vec![
+                Block {
+                    instrs: vec![
+                        Instr::Alu {
+                            dst: Reg(0),
+                            op: AluOp::Add,
+                            a: Operand::Imm(1),
+                            b: Operand::Imm(2),
+                        }, // 5 bytes
+                        Instr::LoadSlot { dst: Reg(1), slot: 0 }, // 4 bytes
+                    ],
+                    term: Terminator::Jump(BlockId(1)), // 5 bytes
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Ret { value: None }, // 1 byte
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let f = two_block_function();
+        let l = f.layout();
+        assert_eq!(l.block_starts, vec![0, 14]);
+        assert_eq!(l.instr_offsets[0], vec![0, 5, 9]);
+        assert_eq!(l.instr_offsets[1], vec![14]);
+        assert_eq!(l.total_size, 15);
+        assert_eq!(l.total_size, f.code_size());
+        assert_eq!(l.terminator_offset(BlockId(0)), 9);
+        assert_eq!(l.terminator_offset(BlockId(1)), 14);
+    }
+
+    #[test]
+    fn frame_bytes() {
+        let f = two_block_function();
+        assert_eq!(f.frame_bytes(), 8);
+        assert_eq!(f.instr_count(), 2);
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let f = two_block_function();
+        assert_eq!(f.layout(), f.layout());
+    }
+}

@@ -1,0 +1,459 @@
+//! Instructions, operands, and terminators.
+
+use crate::{BlockId, FuncId, GlobalId, Reg};
+
+/// A value source: either a register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Operand {
+    /// Read a register.
+    Reg(Reg),
+    /// A constant (integer ops treat it as `u64` two's complement;
+    /// floating ops never take immediates — see [`Instr::FpConst`]).
+    Imm(i64),
+}
+
+/// Arithmetic/logic operations.
+///
+/// Integer ops wrap; `F*` ops reinterpret their operand bits as `f64`.
+/// Comparison ops produce 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (x / 0 = 0, like a guarded divide).
+    Div,
+    /// Unsigned remainder (x % 0 = x).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (modulo 64).
+    Shl,
+    /// Logical right shift (modulo 64).
+    Shr,
+    /// Unsigned less-than comparison (result 0/1).
+    CmpLt,
+    /// Equality comparison (result 0/1).
+    CmpEq,
+    /// Unsigned greater-than comparison (result 0/1).
+    CmpGt,
+    /// IEEE-754 addition on the f64 bit patterns.
+    FAdd,
+    /// IEEE-754 subtraction.
+    FSub,
+    /// IEEE-754 multiplication.
+    FMul,
+    /// IEEE-754 division.
+    FDiv,
+}
+
+impl AluOp {
+    /// Whether this is a floating-point operation (relevant to the
+    /// STABILIZER transformation of FP constants, §3.3).
+    pub fn is_float(self) -> bool {
+        matches!(self, AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FDiv)
+    }
+
+    /// Evaluates the operation on two 64-bit values — the single
+    /// source of truth for ALU semantics, shared by the interpreter
+    /// and the constant folder.
+    ///
+    /// Integer ops wrap; division by zero yields 0 (and remainder by
+    /// zero yields the dividend), matching a guarded divide; `F*` ops
+    /// operate on the f64 bit patterns; comparisons yield 0 or 1.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            AluOp::CmpLt => u64::from(a < b),
+            AluOp::CmpEq => u64::from(a == b),
+            AluOp::CmpGt => u64::from(a > b),
+            AluOp::FAdd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+            AluOp::FSub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+            AluOp::FMul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+            AluOp::FDiv => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+        }
+    }
+
+    /// Whether `op(a, b) == op(b, a)` for all inputs.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            AluOp::Add | AluOp::Mul | AluOp::And | AluOp::Or | AluOp::Xor | AluOp::CmpEq
+        )
+    }
+
+    /// Base latency in cycles (before memory effects).
+    pub fn base_cycles(self) -> u64 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div | AluOp::Rem => 20,
+            AluOp::FAdd | AluOp::FSub => 3,
+            AluOp::FMul => 5,
+            AluOp::FDiv => 22,
+            _ => 1,
+        }
+    }
+}
+
+/// One non-terminating instruction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Instr {
+    /// `dst = a <op> b`.
+    Alu {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Materialize a floating-point constant (bit pattern of an `f64`).
+    ///
+    /// STABILIZER converts these to global-variable references so they
+    /// are reached through the relocation table (§3.3).
+    FpConst {
+        /// Destination register.
+        dst: Reg,
+        /// IEEE-754 bit pattern.
+        bits: u64,
+    },
+    /// Convert an integer to floating point (`sitofp`/`uitofp`).
+    ///
+    /// STABILIZER replaces this with a call to a per-module conversion
+    /// helper — the only non-relocatable code (§3.3).
+    IntToFp {
+        /// Destination register.
+        dst: Reg,
+        /// Integer source.
+        src: Operand,
+    },
+    /// Convert floating point to an integer (`fptosi`/`fptoui`).
+    FpToInt {
+        /// Destination register.
+        dst: Reg,
+        /// Floating source.
+        src: Operand,
+    },
+    /// Load from this function's stack frame: `dst = frame[slot]`.
+    LoadSlot {
+        /// Destination register.
+        dst: Reg,
+        /// Frame slot index (8-byte slots).
+        slot: u32,
+    },
+    /// Store into the stack frame: `frame[slot] = src`.
+    StoreSlot {
+        /// Value to store.
+        src: Operand,
+        /// Frame slot index.
+        slot: u32,
+    },
+    /// Load from a global: `dst = global[offset]` (byte offset).
+    LoadGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// The global.
+        global: GlobalId,
+        /// Byte offset within the global.
+        offset: Operand,
+    },
+    /// Store to a global: `global[offset] = src`.
+    StoreGlobal {
+        /// Value to store.
+        src: Operand,
+        /// The global.
+        global: GlobalId,
+        /// Byte offset within the global.
+        offset: Operand,
+    },
+    /// Load through a pointer: `dst = *(base + offset)`.
+    LoadPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base address.
+        base: Reg,
+        /// Constant byte displacement.
+        offset: i64,
+    },
+    /// Store through a pointer: `*(base + offset) = src`.
+    StorePtr {
+        /// Value to store.
+        src: Operand,
+        /// Register holding the base address.
+        base: Reg,
+        /// Constant byte displacement.
+        offset: i64,
+    },
+    /// Allocate `size` bytes on the heap; `dst` receives the address.
+    Malloc {
+        /// Destination register for the address.
+        dst: Reg,
+        /// Allocation size in bytes.
+        size: Operand,
+    },
+    /// Free a heap allocation.
+    Free {
+        /// Register holding the address to free.
+        ptr: Reg,
+    },
+    /// Call another function; arguments land in the callee's `r0..`.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument values.
+        args: Vec<Operand>,
+        /// Register receiving the return value, if any.
+        ret: Option<Reg>,
+    },
+    /// Padding bytes (models alignment or code the IR doesn't express).
+    Nop {
+        /// Encoded size in bytes.
+        bytes: u8,
+    },
+}
+
+impl Instr {
+    /// Encoded size in bytes (x86-64-flavoured estimates) — this is
+    /// what makes code layout byte-accurate.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Instr::Alu { b: Operand::Imm(_), .. } => 5,
+            Instr::Alu { .. } => 3,
+            Instr::FpConst { .. } => 10, // movabs
+            Instr::IntToFp { .. } | Instr::FpToInt { .. } => 4,
+            Instr::LoadSlot { .. } | Instr::StoreSlot { .. } => 4,
+            Instr::LoadGlobal { .. } | Instr::StoreGlobal { .. } => 7,
+            Instr::LoadPtr { .. } | Instr::StorePtr { .. } => 4,
+            Instr::Malloc { .. } | Instr::Free { .. } => 5, // call into allocator
+            Instr::Call { .. } => 5,
+            Instr::Nop { bytes } => u64::from(*bytes),
+        }
+    }
+
+    /// Base execution latency in cycles, before memory-system effects.
+    pub fn base_cycles(&self) -> u64 {
+        match self {
+            Instr::Alu { op, .. } => op.base_cycles(),
+            Instr::FpConst { .. } => 1,
+            Instr::IntToFp { .. } | Instr::FpToInt { .. } => 4,
+            Instr::LoadSlot { .. } | Instr::StoreSlot { .. } => 1,
+            Instr::LoadGlobal { .. } | Instr::StoreGlobal { .. } => 1,
+            Instr::LoadPtr { .. } | Instr::StorePtr { .. } => 1,
+            Instr::Malloc { .. } | Instr::Free { .. } => 30, // allocator work
+            Instr::Call { .. } => 2,
+            Instr::Nop { .. } => 1,
+        }
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instr::Alu { dst, .. }
+            | Instr::FpConst { dst, .. }
+            | Instr::IntToFp { dst, .. }
+            | Instr::FpToInt { dst, .. }
+            | Instr::LoadSlot { dst, .. }
+            | Instr::LoadGlobal { dst, .. }
+            | Instr::LoadPtr { dst, .. }
+            | Instr::Malloc { dst, .. } => Some(*dst),
+            Instr::Call { ret, .. } => *ret,
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn uses(&self) -> Vec<Reg> {
+        fn op_reg(o: &Operand, out: &mut Vec<Reg>) {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Instr::Alu { a, b, .. } => {
+                op_reg(a, &mut out);
+                op_reg(b, &mut out);
+            }
+            Instr::FpConst { .. } | Instr::Nop { .. } => {}
+            Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => op_reg(src, &mut out),
+            Instr::LoadSlot { .. } => {}
+            Instr::StoreSlot { src, .. } => op_reg(src, &mut out),
+            Instr::LoadGlobal { offset, .. } => op_reg(offset, &mut out),
+            Instr::StoreGlobal { src, offset, .. } => {
+                op_reg(src, &mut out);
+                op_reg(offset, &mut out);
+            }
+            Instr::LoadPtr { base, .. } => out.push(*base),
+            Instr::StorePtr { src, base, .. } => {
+                op_reg(src, &mut out);
+                out.push(*base);
+            }
+            Instr::Malloc { size, .. } => op_reg(size, &mut out),
+            Instr::Free { ptr } => out.push(*ptr),
+            Instr::Call { args, .. } => {
+                for a in args {
+                    op_reg(a, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this instruction has side effects beyond its register
+    /// write (memory, allocation, control transfer) and therefore can
+    /// never be removed by dead-code elimination.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Instr::StoreSlot { .. }
+                | Instr::StoreGlobal { .. }
+                | Instr::StorePtr { .. }
+                | Instr::Malloc { .. }
+                | Instr::Free { .. }
+                | Instr::Call { .. }
+        )
+    }
+
+    /// Whether the instruction is a pure computation on its operands
+    /// (safe to CSE: same operands always give the same result).
+    pub fn is_pure(&self) -> bool {
+        matches!(self, Instr::Alu { .. } | Instr::FpConst { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. })
+    }
+}
+
+/// A basic block's terminating control transfer.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch: to `taken` if `cond != 0`, else `not_taken`.
+    Branch {
+        /// Condition value.
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        taken: BlockId,
+        /// Target when the condition is zero.
+        not_taken: BlockId,
+    },
+    /// Return from the function.
+    Ret {
+        /// Optional return value.
+        value: Option<Operand>,
+    },
+}
+
+impl Terminator {
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Terminator::Jump(_) => 5,
+            Terminator::Branch { .. } => 6,
+            Terminator::Ret { .. } => 1,
+        }
+    }
+
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_positive() {
+        let samples: Vec<Instr> = vec![
+            Instr::Alu { dst: Reg(0), op: AluOp::Add, a: Operand::Imm(1), b: Operand::Imm(2) },
+            Instr::FpConst { dst: Reg(0), bits: 0 },
+            Instr::LoadSlot { dst: Reg(0), slot: 0 },
+            Instr::Call { func: FuncId(0), args: vec![], ret: None },
+            Instr::Nop { bytes: 3 },
+        ];
+        for i in &samples {
+            assert!(i.encoded_size() > 0, "{i:?}");
+            assert!(i.base_cycles() > 0, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn def_use_accounting() {
+        let i = Instr::Alu {
+            dst: Reg(3),
+            op: AluOp::Add,
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Reg(Reg(2)),
+        };
+        assert_eq!(i.def(), Some(Reg(3)));
+        assert_eq!(i.uses(), vec![Reg(1), Reg(2)]);
+
+        let s = Instr::StorePtr { src: Operand::Reg(Reg(5)), base: Reg(6), offset: 8 };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg(5), Reg(6)]);
+        assert!(s.has_side_effects());
+    }
+
+    #[test]
+    fn purity_classification() {
+        let alu = Instr::Alu { dst: Reg(0), op: AluOp::Mul, a: Operand::Imm(2), b: Operand::Imm(3) };
+        assert!(alu.is_pure() && !alu.has_side_effects());
+        let call = Instr::Call { func: FuncId(1), args: vec![], ret: Some(Reg(0)) };
+        assert!(!call.is_pure() && call.has_side_effects());
+        let load = Instr::LoadPtr { dst: Reg(0), base: Reg(1), offset: 0 };
+        assert!(!load.is_pure(), "loads observe memory, not pure");
+    }
+
+    #[test]
+    fn float_op_latencies_exceed_integer() {
+        assert!(AluOp::FDiv.base_cycles() > AluOp::Add.base_cycles());
+        assert!(AluOp::FAdd.is_float());
+        assert!(!AluOp::Add.is_float());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        let b = Terminator::Branch {
+            cond: Operand::Reg(Reg(0)),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Ret { value: None }.successors().is_empty());
+    }
+}

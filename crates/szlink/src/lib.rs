@@ -1,0 +1,352 @@
+//! The unsound baseline: deterministic linking with incidental layout
+//! knobs.
+//!
+//! The paper's motivation (§1) is that conventional evaluation fixes
+//! one layout per binary, and that incidental factors pick that layout:
+//! *link order* moves every function, and *environment variable size*
+//! shifts the base of the stack (Mytkowicz et al. measured up to 300%
+//! swings; the authors measured 57% from link order alone). This crate
+//! is that world: a linker that places functions in link order, a
+//! deterministic LIFO heap, and an environment block that offsets the
+//! stack — every knob measurable, none randomized at runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_link::{LinkOrder, LinkedLayout};
+//! use sz_vm::LayoutEngine;
+//!
+//! // The default layout a compiler/linker would produce:
+//! let default = LinkedLayout::builder().build();
+//! // The same program "recompiled" with a different object-file order:
+//! let permuted = LinkedLayout::builder()
+//!     .link_order(LinkOrder::Shuffled { seed: 7 })
+//!     .build();
+//! assert_eq!(default.name(), "linked");
+//! # let _ = permuted;
+//! ```
+
+use sz_heap::{Allocator, Region, SegregatedAllocator};
+use sz_ir::{FuncId, GlobalId, Program};
+use sz_machine::MemorySystem;
+use sz_rng::{fisher_yates, Rng, SplitMix64};
+use sz_vm::LayoutEngine;
+
+/// Text segment base (where the linker places the first function).
+const CODE_BASE: u64 = 0x40_0000;
+/// Data segment base.
+const GLOBAL_BASE: u64 = 0x60_0000;
+/// Heap region handed to the base allocator.
+const HEAP_BASE: u64 = 0x100_0000;
+const HEAP_SIZE: u64 = 1 << 34;
+/// Top of the stack before the environment block is subtracted.
+const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
+
+/// How the linker orders functions in the text segment.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LinkOrder {
+    /// Program order (`FuncId` order) — the "default build".
+    Default,
+    /// A seeded random permutation — "the same objects, linked in a
+    /// different order", the §5 baseline configuration.
+    Shuffled {
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// An explicit permutation of function indices.
+    Explicit(Vec<u32>),
+}
+
+/// Builder for [`LinkedLayout`].
+#[derive(Debug, Clone)]
+pub struct LinkedLayoutBuilder {
+    order: LinkOrder,
+    env_bytes: u64,
+    function_alignment: u64,
+}
+
+impl LinkedLayoutBuilder {
+    /// Chooses the link order (default: program order).
+    pub fn link_order(mut self, order: LinkOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the size of the environment block, which shifts the stack
+    /// base down — the Mytkowicz et al. effect (§1, §7).
+    pub fn env_bytes(mut self, bytes: u64) -> Self {
+        self.env_bytes = bytes;
+        self
+    }
+
+    /// Function alignment in the text segment (default 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `align` is a power of two.
+    pub fn function_alignment(mut self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.function_alignment = align;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> LinkedLayout {
+        LinkedLayout {
+            order: self.order,
+            env_bytes: self.env_bytes,
+            function_alignment: self.function_alignment,
+            code_bases: Vec::new(),
+            global_bases: Vec::new(),
+            heap: SegregatedAllocator::new(Region::new(HEAP_BASE, HEAP_SIZE)),
+        }
+    }
+}
+
+/// The conventional-toolchain layout engine.
+///
+/// Deterministic given its configuration: two runs of the same binary
+/// see identical addresses everywhere, which is precisely why a single
+/// binary is "just one sample from the space of program layouts".
+#[derive(Debug, Clone)]
+pub struct LinkedLayout {
+    order: LinkOrder,
+    env_bytes: u64,
+    function_alignment: u64,
+    code_bases: Vec<u64>,
+    global_bases: Vec<u64>,
+    heap: SegregatedAllocator,
+}
+
+impl LinkedLayout {
+    /// Starts a builder with default-order linking and an empty
+    /// environment.
+    pub fn builder() -> LinkedLayoutBuilder {
+        LinkedLayoutBuilder { order: LinkOrder::Default, env_bytes: 0, function_alignment: 16 }
+    }
+
+    /// The code placement produced for the last prepared program
+    /// (function id -> base address).
+    pub fn code_bases(&self) -> &[u64] {
+        &self.code_bases
+    }
+
+    fn permutation(&self, n: usize) -> Vec<u32> {
+        match &self.order {
+            LinkOrder::Default => (0..n as u32).collect(),
+            LinkOrder::Shuffled { seed } => {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                let mut rng = SplitMix64::new(*seed);
+                // Skip one draw so seed 0 does not produce the identity
+                // on tiny inputs.
+                rng.next_u64();
+                fisher_yates(&mut perm, &mut rng);
+                perm
+            }
+            LinkOrder::Explicit(p) => {
+                assert_eq!(p.len(), n, "explicit link order must cover every function");
+                p.clone()
+            }
+        }
+    }
+}
+
+impl LayoutEngine for LinkedLayout {
+    fn prepare(&mut self, program: &Program) {
+        let n = program.functions.len();
+        let perm = self.permutation(n);
+        self.code_bases = vec![0; n];
+        let mut pc = CODE_BASE;
+        for &fi in &perm {
+            let f = &program.functions[fi as usize];
+            self.code_bases[fi as usize] = pc;
+            let a = self.function_alignment;
+            pc = (pc + f.code_size() + a - 1) & !(a - 1);
+        }
+        self.global_bases.clear();
+        let mut g = GLOBAL_BASE;
+        for global in &program.globals {
+            self.global_bases.push(g);
+            g = (g + global.size + 15) & !15;
+        }
+        self.heap = SegregatedAllocator::new(Region::new(HEAP_BASE, HEAP_SIZE));
+    }
+
+    fn enter_function(&mut self, func: FuncId, _mem: &mut MemorySystem) -> u64 {
+        self.code_bases[func.0 as usize]
+    }
+
+    fn stack_pad(&mut self, _func: FuncId, _mem: &mut MemorySystem) -> u64 {
+        0
+    }
+
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.global_bases[g.0 as usize]
+    }
+
+    fn stack_base(&self) -> u64 {
+        // The environment block sits at the top of the stack region;
+        // growing it pushes every frame down by the same amount.
+        STACK_TOP - ((self.env_bytes + 15) & !15)
+    }
+
+    fn malloc(&mut self, size: u64, _mem: &mut MemorySystem) -> Option<u64> {
+        self.heap.malloc(size)
+    }
+
+    fn free(&mut self, addr: u64, _mem: &mut MemorySystem) {
+        self.heap.free(addr);
+    }
+
+    fn tick(&mut self, _now: u64, _stack: &[sz_vm::FrameView], _mem: &mut MemorySystem) {}
+
+    fn name(&self) -> &'static str {
+        "linked"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::{AluOp, ProgramBuilder};
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, Vm};
+
+    fn program_with_functions(n: usize) -> Program {
+        let mut p = ProgramBuilder::new("t");
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let mut f = p.function(format!("f{i}"), 0);
+            // Bulk up each function (~200 bytes) so together they
+            // overflow the tiny L1I and placement decides the conflicts.
+            for _ in 0..4 {
+                f.nop(50);
+            }
+            let v = f.alu(AluOp::Add, i as i64, 1);
+            f.ret(Some(v.into()));
+            ids.push(p.add_function(f));
+        }
+        // main: 50 iterations calling every function, so the i-cache
+        // sees heavy reuse and conflict misses depend on layout.
+        let mut main = p.function("main", 0);
+        let s_i = main.slot();
+        main.store_slot(s_i, 0);
+        let header = main.new_block();
+        let body = main.new_block();
+        let exit = main.new_block();
+        main.jump(header);
+        main.switch_to(header);
+        let i = main.load_slot(s_i);
+        let c = main.alu(AluOp::CmpLt, i, 50);
+        main.branch(c, body, exit);
+        main.switch_to(body);
+        for id in &ids {
+            main.call_void(*id, vec![]);
+        }
+        let i = main.load_slot(s_i);
+        let ni = main.alu(AluOp::Add, i, 1);
+        main.store_slot(s_i, ni);
+        main.jump(header);
+        main.switch_to(exit);
+        main.ret(None);
+        let entry = p.add_function(main);
+        p.finish(entry).unwrap()
+    }
+
+    #[test]
+    fn default_order_is_sequential() {
+        let prog = program_with_functions(4);
+        let mut e = LinkedLayout::builder().build();
+        e.prepare(&prog);
+        let bases = e.code_bases().to_vec();
+        for w in bases.windows(2) {
+            assert!(w[1] > w[0], "default link order preserves program order");
+        }
+    }
+
+    #[test]
+    fn shuffled_orders_differ_and_are_deterministic() {
+        let prog = program_with_functions(8);
+        let place = |order: LinkOrder| {
+            let mut e = LinkedLayout::builder().link_order(order).build();
+            e.prepare(&prog);
+            e.code_bases().to_vec()
+        };
+        let a = place(LinkOrder::Shuffled { seed: 1 });
+        let a2 = place(LinkOrder::Shuffled { seed: 1 });
+        let b = place(LinkOrder::Shuffled { seed: 2 });
+        assert_eq!(a, a2, "same seed, same layout");
+        assert_ne!(a, b, "different seed, different layout");
+    }
+
+    #[test]
+    fn functions_never_overlap_in_any_order() {
+        let prog = program_with_functions(10);
+        for seed in 0..20 {
+            let mut e = LinkedLayout::builder()
+                .link_order(LinkOrder::Shuffled { seed })
+                .build();
+            e.prepare(&prog);
+            let mut spans: Vec<(u64, u64)> = e
+                .code_bases()
+                .iter()
+                .zip(&prog.functions)
+                .map(|(&b, f)| (b, b + f.code_size()))
+                .collect();
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap in seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_bytes_shift_the_stack() {
+        let no_env = LinkedLayout::builder().build();
+        let env = LinkedLayout::builder().env_bytes(4096).build();
+        assert_eq!(no_env.stack_base() - env.stack_base(), 4096);
+    }
+
+    #[test]
+    fn link_order_changes_execution_time() {
+        // End-to-end bias demonstration in miniature: same program,
+        // different link order, different cycle count.
+        let prog = program_with_functions(12);
+        let vm = Vm::new(&prog);
+        let cycles = |seed: u64| {
+            let mut e = LinkedLayout::builder()
+                .link_order(LinkOrder::Shuffled { seed })
+                .build();
+            vm.run(&mut e, MachineConfig::tiny(), RunLimits::default())
+                .unwrap()
+                .cycles
+        };
+        let times: Vec<u64> = (0..10).map(cycles).collect();
+        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        assert!(distinct.len() > 1, "link order must affect timing: {times:?}");
+    }
+
+    #[test]
+    fn identical_specs_give_identical_runs() {
+        let prog = program_with_functions(5);
+        let vm = Vm::new(&prog);
+        let run = || {
+            let mut e = LinkedLayout::builder()
+                .link_order(LinkOrder::Shuffled { seed: 3 })
+                .env_bytes(512)
+                .build();
+            vm.run(&mut e, MachineConfig::tiny(), RunLimits::default()).unwrap()
+        };
+        assert_eq!(run().cycles, run().cycles, "one binary = one layout = one time");
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit link order must cover")]
+    fn explicit_order_must_be_complete() {
+        let prog = program_with_functions(3);
+        let mut e = LinkedLayout::builder()
+            .link_order(LinkOrder::Explicit(vec![0, 1]))
+            .build();
+        e.prepare(&prog);
+    }
+}

@@ -1,0 +1,225 @@
+//! Machine configuration and the cycle cost model.
+
+use crate::{CacheConfig, TlbConfig};
+
+/// Latency (in cycles) charged for each event class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Extra cycles for an L1 data hit (loads have a use latency).
+    pub l1_hit: u64,
+    /// Extra cycles when an access misses L1 and hits L2.
+    pub l2_hit: u64,
+    /// Extra cycles when an access misses L2 and hits L3.
+    pub l3_hit: u64,
+    /// Extra cycles for a DRAM access.
+    pub memory: u64,
+    /// Extra cycles per TLB miss (page walk).
+    pub tlb_miss: u64,
+    /// Pipeline flush penalty for a branch misprediction.
+    pub branch_mispredict: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Rough Nehalem/Westmere-class latencies (the paper's i3-550
+        // is a Clarkdale, a Westmere derivative).
+        CostModel {
+            l1_hit: 1,
+            l2_hit: 10,
+            l3_hit: 30,
+            memory: 180,
+            tlb_miss: 30,
+            branch_mispredict: 15,
+        }
+    }
+}
+
+/// Full description of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry (per core on the i3-550).
+    pub l2: CacheConfig,
+    /// Shared L3 geometry.
+    pub l3: CacheConfig,
+    /// Instruction TLB geometry.
+    pub itlb: TlbConfig,
+    /// Data TLB geometry.
+    pub dtlb: TlbConfig,
+    /// Branch predictor table index bits.
+    pub predictor_index_bits: u32,
+    /// Branch predictor global history bits.
+    pub predictor_history_bits: u32,
+    /// Event latencies.
+    pub costs: CostModel,
+    /// Core clock in GHz, for converting cycles to wall-clock time.
+    pub clock_ghz: f64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation machine (§5): a dual-core Intel Core
+    /// i3-550 at 3.2 GHz with 256 KB per-core L2 and a shared 4 MB L3.
+    pub fn core_i3_550() -> Self {
+        MachineConfig {
+            l1i: CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
+            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
+            l2: CacheConfig { size_bytes: 256 * 1024, ways: 8, line_bytes: 64 },
+            l3: CacheConfig { size_bytes: 4 * 1024 * 1024, ways: 16, line_bytes: 64 },
+            itlb: TlbConfig { entries: 64, ways: 4, page_bytes: 4096 },
+            dtlb: TlbConfig { entries: 64, ways: 4, page_bytes: 4096 },
+            predictor_index_bits: 12,
+            predictor_history_bits: 8,
+            costs: CostModel::default(),
+            clock_ghz: 3.2,
+        }
+    }
+
+    /// A scaled-down machine for fast unit tests: tiny caches so
+    /// layout effects appear with small working sets.
+    pub fn tiny() -> Self {
+        MachineConfig {
+            l1i: CacheConfig { size_bytes: 2 * 1024, ways: 2, line_bytes: 64 },
+            l1d: CacheConfig { size_bytes: 2 * 1024, ways: 2, line_bytes: 64 },
+            l2: CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 },
+            l3: CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 64 },
+            itlb: TlbConfig { entries: 16, ways: 4, page_bytes: 4096 },
+            dtlb: TlbConfig { entries: 16, ways: 4, page_bytes: 4096 },
+            predictor_index_bits: 10,
+            predictor_history_bits: 4,
+            costs: CostModel::default(),
+            clock_ghz: 3.2,
+        }
+    }
+
+    /// Converts a cycle count into simulated wall-clock time.
+    pub fn time_of(&self, cycles: u64) -> SimTime {
+        SimTime::from_nanos(cycles as f64 / self.clock_ghz)
+    }
+
+    /// Converts a simulated duration into cycles.
+    pub fn cycles_of(&self, time: SimTime) -> u64 {
+        (time.as_nanos() * self.clock_ghz).round() as u64
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::core_i3_550()
+    }
+}
+
+/// Simulated wall-clock time, stored as nanoseconds.
+///
+/// The simulator has no connection to host time; STABILIZER's 500 ms
+/// re-randomization timer (§3.3) counts *simulated* milliseconds
+/// derived from the cycle counter and the configured clock.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime {
+    nanos: f64,
+}
+
+impl SimTime {
+    /// Zero duration.
+    pub const ZERO: SimTime = SimTime { nanos: 0.0 };
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(nanos: f64) -> Self {
+        SimTime { nanos }
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime { nanos: ms * 1e6 }
+    }
+
+    /// Creates a duration from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime { nanos: s * 1e9 }
+    }
+
+    /// Duration in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.nanos
+    }
+
+    /// Duration in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.nanos / 1e6
+    }
+
+    /// Duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.nanos / 1e9
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.nanos >= 1e9 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.nanos >= 1e6 {
+            write!(f, "{:.3}ms", self.as_millis())
+        } else {
+            write!(f, "{:.0}ns", self.nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i3_geometry_matches_paper() {
+        let m = MachineConfig::core_i3_550();
+        assert_eq!(m.l2.size_bytes, 256 * 1024, "each core has a 256KB L2 (§5)");
+        assert_eq!(m.l3.size_bytes, 4 * 1024 * 1024, "cores share a 4MB L3 (§5)");
+        assert_eq!(m.clock_ghz, 3.2);
+    }
+
+    #[test]
+    fn cycle_time_round_trip() {
+        let m = MachineConfig::core_i3_550();
+        let t = m.time_of(3_200_000_000);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+        assert_eq!(m.cycles_of(SimTime::from_secs(1.0)), 3_200_000_000);
+    }
+
+    #[test]
+    fn simtime_arithmetic_and_display() {
+        let a = SimTime::from_millis(500.0);
+        let b = SimTime::from_millis(250.0);
+        assert!((a + b).as_millis() - 750.0 < 1e-12);
+        assert!((a - b).as_millis() - 250.0 < 1e-12);
+        assert_eq!(SimTime::from_secs(2.5).to_string(), "2.500s");
+        assert_eq!(SimTime::from_millis(1.5).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_nanos(42.0).to_string(), "42ns");
+    }
+
+    #[test]
+    fn index_bits_cover_6_to_17() {
+        // The paper: "bits 6-17 on the Core2 architecture" are the cache
+        // index bits. L1 uses 6..12; L3 (4MB/16way/64B = 4096 sets) uses
+        // 6..18 — together they cover the sensitive range.
+        let m = MachineConfig::core_i3_550();
+        assert_eq!(m.l1d.sets(), 64);
+        assert_eq!(m.l3.sets(), 4096);
+    }
+}

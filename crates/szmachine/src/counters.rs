@@ -1,0 +1,86 @@
+//! Performance counters.
+
+/// Event counts accumulated over a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PerfCounters {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Instruction fetches that missed L1I.
+    pub l1i_misses: u64,
+    /// Data accesses that missed L1D.
+    pub l1d_misses: u64,
+    /// Accesses that missed L2.
+    pub l2_misses: u64,
+    /// Accesses that missed L3 (went to DRAM).
+    pub l3_misses: u64,
+    /// Instruction TLB misses.
+    pub itlb_misses: u64,
+    /// Data TLB misses.
+    pub dtlb_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branches mispredicted.
+    pub branch_mispredicts: u64,
+}
+
+impl PerfCounters {
+    /// Cycles per instruction; `NaN` before any instruction retires.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Element-wise difference, for measuring a region of interest.
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions - earlier.instructions,
+            cycles: self.cycles - earlier.cycles,
+            l1i_misses: self.l1i_misses - earlier.l1i_misses,
+            l1d_misses: self.l1d_misses - earlier.l1d_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l3_misses: self.l3_misses - earlier.l3_misses,
+            itlb_misses: self.itlb_misses - earlier.itlb_misses,
+            dtlb_misses: self.dtlb_misses - earlier.dtlb_misses,
+            branches: self.branches - earlier.branches,
+            branch_mispredicts: self.branch_mispredicts - earlier.branch_mispredicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_rates() {
+        let c = PerfCounters {
+            instructions: 100,
+            cycles: 250,
+            branches: 20,
+            branch_mispredicts: 5,
+            ..Default::default()
+        };
+        assert!((c.cpi() - 2.5).abs() < 1e-12);
+        assert!((c.mispredict_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(PerfCounters::default().mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let early = PerfCounters { instructions: 10, cycles: 20, ..Default::default() };
+        let late = PerfCounters { instructions: 25, cycles: 70, ..Default::default() };
+        let d = late.delta_since(&early);
+        assert_eq!(d.instructions, 15);
+        assert_eq!(d.cycles, 50);
+    }
+}

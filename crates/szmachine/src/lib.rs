@@ -1,0 +1,38 @@
+//! Layout-sensitive hardware simulation.
+//!
+//! The paper's central observation is that modern architectural
+//! features — caches and branch predictors — are *address-indexed*, so
+//! program performance depends on the exact placement of code, stack
+//! frames, and heap objects (§1). This crate reproduces that mechanism:
+//! a cycle-level memory hierarchy and branch predictor whose structures
+//! are indexed by the same address bits as the paper's Core i3-550 test
+//! machine (cache index bits 6–17, low-order PC bits for the
+//! predictor), so layout changes perturb simulated time exactly the way
+//! they perturb real time.
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_machine::{MachineConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MachineConfig::core_i3_550());
+//! // First access to a line misses all the way to DRAM...
+//! let cold = mem.load(0x1000);
+//! // ...the second hits in L1.
+//! let warm = mem.load(0x1008);
+//! assert!(cold > warm);
+//! ```
+
+mod branch;
+mod cache;
+mod config;
+mod counters;
+mod mem;
+mod tlb;
+
+pub use branch::BranchPredictor;
+pub use cache::{Cache, CacheConfig};
+pub use config::{CostModel, MachineConfig, SimTime};
+pub use counters::PerfCounters;
+pub use mem::MemorySystem;
+pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,264 @@
+//! The combined memory system: caches + TLBs + branch predictor with
+//! cycle accounting.
+
+use crate::{BranchPredictor, Cache, MachineConfig, PerfCounters, Tlb};
+
+/// The full simulated memory hierarchy of one core.
+///
+/// All methods return the number of *extra* cycles charged for the
+/// event (beyond an instruction's base cost) and update the
+/// [`PerfCounters`].
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MachineConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    predictor: BranchPredictor,
+    counters: PerfCounters,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a machine description.
+    pub fn new(config: MachineConfig) -> Self {
+        MemorySystem {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l3: Cache::new(config.l3),
+            itlb: Tlb::new(config.itlb),
+            dtlb: Tlb::new(config.dtlb),
+            predictor: BranchPredictor::new(
+                config.predictor_index_bits,
+                config.predictor_history_bits,
+            ),
+            counters: PerfCounters::default(),
+            config,
+        }
+    }
+
+    /// The machine description this system was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Accumulated performance counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Charges `cycles` of straight-line execution for one instruction.
+    pub fn retire(&mut self, base_cycles: u64) {
+        self.counters.instructions += 1;
+        self.counters.cycles += base_cycles;
+    }
+
+    /// Adds raw cycles (used for runtime-system costs such as
+    /// STABILIZER's relocation work).
+    pub fn charge(&mut self, cycles: u64) {
+        self.counters.cycles += cycles;
+    }
+
+    /// Fetches the instruction bytes `[addr, addr + len)`; returns the
+    /// extra cycles charged. Every cache line touched is fetched.
+    pub fn fetch(&mut self, addr: u64, len: u64) -> u64 {
+        let line = self.config.l1i.line_bytes;
+        let first = addr / line;
+        let last = (addr + len.max(1) - 1) / line;
+        let mut extra = 0;
+        for l in first..=last {
+            extra += self.fetch_line(l * line);
+        }
+        self.counters.cycles += extra;
+        extra
+    }
+
+    fn fetch_line(&mut self, addr: u64) -> u64 {
+        let costs = self.config.costs;
+        let mut extra = 0;
+        if !self.itlb.access(addr) {
+            self.counters.itlb_misses += 1;
+            extra += costs.tlb_miss;
+        }
+        if !self.l1i.access(addr) {
+            self.counters.l1i_misses += 1;
+            extra += self.lower_levels(addr);
+        }
+        extra
+    }
+
+    /// Loads the data at `addr`; returns the extra cycles charged.
+    pub fn load(&mut self, addr: u64) -> u64 {
+        let extra = self.data_access(addr);
+        self.counters.cycles += extra;
+        extra
+    }
+
+    /// Stores to `addr`; returns the extra cycles charged. The cache is
+    /// write-allocate, so the cost path matches a load.
+    pub fn store(&mut self, addr: u64) -> u64 {
+        let extra = self.data_access(addr);
+        self.counters.cycles += extra;
+        extra
+    }
+
+    fn data_access(&mut self, addr: u64) -> u64 {
+        let costs = self.config.costs;
+        let mut extra = 0;
+        if !self.dtlb.access(addr) {
+            self.counters.dtlb_misses += 1;
+            extra += costs.tlb_miss;
+        }
+        if self.l1d.access(addr) {
+            extra += costs.l1_hit;
+        } else {
+            self.counters.l1d_misses += 1;
+            extra += costs.l1_hit + self.lower_levels(addr);
+        }
+        extra
+    }
+
+    /// L2 -> L3 -> DRAM path shared by instruction and data misses.
+    fn lower_levels(&mut self, addr: u64) -> u64 {
+        let costs = self.config.costs;
+        if self.l2.access(addr) {
+            return costs.l2_hit;
+        }
+        self.counters.l2_misses += 1;
+        if self.l3.access(addr) {
+            return costs.l3_hit;
+        }
+        self.counters.l3_misses += 1;
+        costs.memory
+    }
+
+    /// Executes a conditional branch at `pc` with outcome `taken`;
+    /// returns the extra cycles charged (0 or the mispredict penalty).
+    pub fn branch(&mut self, pc: u64, taken: bool) -> u64 {
+        self.counters.branches += 1;
+        if self.predictor.predict_and_update(pc, taken) {
+            0
+        } else {
+            self.counters.branch_mispredicts += 1;
+            let penalty = self.config.costs.branch_mispredict;
+            self.counters.cycles += penalty;
+            penalty
+        }
+    }
+
+    /// Clears all microarchitectural state and counters (a fresh run).
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.itlb.reset();
+        self.dtlb.reset();
+        self.predictor.reset();
+        self.counters = PerfCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MachineConfig::core_i3_550())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut m = sys();
+        let cold = m.load(0x10_000);
+        let warm = m.load(0x10_020);
+        let c = m.config().costs;
+        assert_eq!(cold, c.tlb_miss + c.l1_hit + c.memory);
+        assert_eq!(warm, c.l1_hit);
+        assert_eq!(m.counters().l1d_misses, 1);
+        assert_eq!(m.counters().dtlb_misses, 1);
+    }
+
+    #[test]
+    fn fetch_spanning_two_lines_costs_two_fills() {
+        let mut m = sys();
+        // 16 bytes starting 8 before a line boundary.
+        let extra = m.fetch(0x20_038, 16);
+        assert_eq!(m.counters().l1i_misses, 2);
+        assert!(extra >= 2 * m.config().costs.memory);
+    }
+
+    #[test]
+    fn l2_and_l3_hits_are_cheaper_than_memory() {
+        let mut m = sys();
+        m.load(0x1_000);
+        // Evict from L1 by filling its set (64 sets, 8 ways -> 9 lines
+        // with a 4 KiB stride map to the same L1 set but different L2
+        // sets).
+        for i in 1..=8u64 {
+            m.load(0x1_000 + i * 4096);
+        }
+        let c = m.config().costs;
+        let again = m.load(0x1_000);
+        assert_eq!(again, c.l1_hit + c.l2_hit, "should now hit in L2");
+    }
+
+    #[test]
+    fn branch_penalty_accounting() {
+        let mut m = sys();
+        let mut penalties = 0;
+        for i in 0..200u64 {
+            penalties += m.branch(0x400_000, i % 2 == 0); // alternating
+        }
+        assert_eq!(
+            penalties,
+            m.counters().branch_mispredicts * m.config().costs.branch_mispredict
+        );
+        assert_eq!(m.counters().branches, 200);
+    }
+
+    #[test]
+    fn retire_and_charge_add_up() {
+        let mut m = sys();
+        m.retire(1);
+        m.retire(3);
+        m.charge(10);
+        assert_eq!(m.counters().instructions, 2);
+        assert_eq!(m.counters().cycles, 14);
+    }
+
+    #[test]
+    fn reset_gives_identical_cold_behavior() {
+        let mut m = sys();
+        let first = m.load(0xABC_000);
+        m.reset();
+        let second = m.load(0xABC_000);
+        assert_eq!(first, second);
+        assert_eq!(m.counters().instructions, 0);
+    }
+
+    #[test]
+    fn layout_changes_conflict_behavior_end_to_end() {
+        // Two data blocks accessed alternately. If their addresses alias
+        // in L1 (same set, stride = way capacity), the loop thrashes.
+        let run = |stride: u64| {
+            let mut m = MemorySystem::new(MachineConfig::tiny());
+            // tiny L1D: 2KiB, 2-way, 64B lines -> 16 sets -> 1KiB aliasing stride.
+            for _ in 0..100 {
+                for j in 0..3u64 {
+                    m.load(j * stride);
+                }
+            }
+            m.counters().cycles
+        };
+        let aliased = run(1024); // 3 lines, same set, 2 ways -> thrash
+        let spread = run(64 + 1024); // different sets
+        assert!(
+            aliased > spread * 2,
+            "aliased = {aliased}, spread = {spread}"
+        );
+    }
+}

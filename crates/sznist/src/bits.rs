@@ -1,0 +1,118 @@
+//! Bit-stream container and extraction helpers.
+
+/// A packed bit stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// Builds a stream of `n` bits from a predicate on the index.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut b = Bits { words: vec![0; n.div_ceil(64)], len: n };
+        for i in 0..n {
+            if f(i) {
+                b.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        b
+    }
+
+    /// Builds a stream from a bool slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        Self::from_fn(bools.len(), |i| bools[i])
+    }
+
+    /// The paper's extraction protocol (§3.2): take the cache index
+    /// bits — `lo..=hi`, bits 6–17 on the test machine — of each
+    /// address and concatenate them, low bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > 63`.
+    pub fn from_address_index_bits(addresses: &[u64], lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi && hi < 64, "bad bit range {lo}..={hi}");
+        let per = (hi - lo + 1) as usize;
+        Self::from_fn(addresses.len() * per, |i| {
+            let addr = addresses[i / per];
+            let bit = lo + (i % per) as u32;
+            (addr >> bit) & 1 == 1
+        })
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Count of one bits.
+    pub fn count_ones(&self) -> usize {
+        // The final word may contain padding zeros only, so a plain
+        // popcount is exact.
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates bits as ±1 (1 for a one bit, -1 for a zero bit).
+    pub fn signs(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.len).map(move |i| if self.get(i) { 1 } else { -1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let pattern = [true, false, true, true, false];
+        let b = Bits::from_bools(&pattern);
+        assert_eq!(b.len(), 5);
+        for (i, &p) in pattern.iter().enumerate() {
+            assert_eq!(b.get(i), p);
+        }
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn address_index_extraction() {
+        // One address, bits 6..=8 of 0b111000000 = bits (1,1,1)?
+        // 0x1C0 = 0b1_1100_0000: bit6=1, bit7=1, bit8=1.
+        let b = Bits::from_address_index_bits(&[0x1C0], 6, 8);
+        assert_eq!(b.len(), 3);
+        assert!(b.get(0) && b.get(1) && b.get(2));
+        // Bits outside the range are ignored.
+        let b = Bits::from_address_index_bits(&[0xFFFF_FFFF_FFFF_0000], 6, 8);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn paper_bit_range_width() {
+        // Bits 6-17 give 12 bits per address.
+        let b = Bits::from_address_index_bits(&[0, 0, 0], 6, 17);
+        assert_eq!(b.len(), 36);
+    }
+
+    #[test]
+    fn signs_sum_matches_counts() {
+        let b = Bits::from_fn(100, |i| i % 3 == 0);
+        let ones = b.count_ones() as i64;
+        let sum: i64 = b.signs().sum();
+        assert_eq!(sum, ones - (100 - ones));
+    }
+}

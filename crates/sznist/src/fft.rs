@@ -1,0 +1,120 @@
+//! Radix-2 complex FFT for the spectral test.
+
+/// Computes the magnitudes of the first `n/2` DFT coefficients of a
+/// real ±1 signal, where `n` is the largest power of two not exceeding
+/// `signal.len()` (excess samples are ignored, as the spectral test
+/// tolerates truncation).
+///
+/// # Panics
+///
+/// Panics if fewer than 2 samples are supplied.
+pub fn fft_magnitudes(signal: &[f64]) -> Vec<f64> {
+    assert!(signal.len() >= 2, "need at least 2 samples");
+    let n = if signal.len().is_power_of_two() {
+        signal.len()
+    } else {
+        1 << (usize::BITS - 1 - signal.len().leading_zeros())
+    };
+    let mut re: Vec<f64> = signal[..n].to_vec();
+    let mut im = vec![0.0f64; n];
+    fft_in_place(&mut re, &mut im);
+    (0..n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt())
+        .collect()
+}
+
+/// Iterative in-place radix-2 Cooley–Tukey FFT.
+fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_signal_concentrates_at_zero() {
+        let mags = fft_magnitudes(&[1.0; 64]);
+        assert!((mags[0] - 64.0).abs() < 1e-9);
+        for &m in &mags[1..] {
+            assert!(m < 1e-9, "non-DC energy {m}");
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_frequency() {
+        let n = 128;
+        let f = 16;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mags = fft_magnitudes(&signal);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, f);
+        assert!((mags[f] - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        // sum |x|^2 = (1/n) sum |X|^2 ; with ±1 inputs sum |x|^2 = n.
+        let signal: Vec<f64> = (0..256).map(|i| if (i * 7) % 13 < 6 { 1.0 } else { -1.0 }).collect();
+        let n = 256.0;
+        let mut re = signal.clone();
+        let mut im = vec![0.0; 256];
+        super::fft_in_place(&mut re, &mut im);
+        let spectrum_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        assert!((spectrum_energy / n - n).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncates_to_power_of_two() {
+        let mags = fft_magnitudes(&vec![1.0; 100]);
+        assert_eq!(mags.len(), 32, "100 -> 64 samples -> 32 magnitudes");
+    }
+}

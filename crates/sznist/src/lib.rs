@@ -1,0 +1,140 @@
+//! The NIST SP 800-22 statistical tests used by the paper (§3.2).
+//!
+//! STABILIZER justifies its shuffled heap by running seven NIST tests
+//! over the *index bits* (bits 6–17) of the addresses each allocator
+//! returns: Frequency, BlockFrequency, CumulativeSums, Runs,
+//! LongestRun, FFT, and Rank. `lrand48` and DieHard pass the first six
+//! and fail only Rank; the shuffled heap with `N = 256` matches them.
+//!
+//! This crate implements those seven tests from the SP 800-22
+//! specification, plus the bit-stream plumbing ([`Bits`], including
+//! [`Bits::from_address_index_bits`] for the paper's exact protocol).
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_nist::{run_suite, Bits};
+//! use sz_rng::{Marsaglia, Rng};
+//!
+//! let mut rng = Marsaglia::seeded(7);
+//! let bits = Bits::from_fn(1 << 16, |_| rng.next_u32() & 1 == 1);
+//! for result in run_suite(&bits) {
+//!     assert!(result.p_value >= 0.0 && result.p_value <= 1.0);
+//! }
+//! ```
+
+mod bits;
+mod fft;
+mod rank;
+mod tests_impl;
+
+pub use bits::Bits;
+pub use fft::fft_magnitudes;
+pub use rank::binary_rank_32;
+pub use tests_impl::{
+    block_frequency, cumulative_sums, fft_spectral, frequency, longest_run, rank_test, runs,
+};
+
+/// Pass threshold used in the paper's discussion ("> 95% confidence").
+pub const ALPHA: f64 = 0.05;
+
+/// One NIST test outcome.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NistResult {
+    /// Test name as the paper lists it.
+    pub name: &'static str,
+    /// P-value (uniform on [0,1] for truly random input).
+    pub p_value: f64,
+    /// Whether the stream passes at [`ALPHA`].
+    pub pass: bool,
+}
+
+impl NistResult {
+    fn new(name: &'static str, p_value: f64) -> Self {
+        NistResult { name, p_value, pass: p_value >= ALPHA }
+    }
+}
+
+/// Runs the paper's seven tests over a bit stream.
+///
+/// # Panics
+///
+/// Panics if the stream is shorter than 1024 bits (the Rank test's
+/// single-matrix minimum).
+pub fn run_suite(bits: &Bits) -> Vec<NistResult> {
+    assert!(bits.len() >= 1024, "need at least 1024 bits, got {}", bits.len());
+    vec![
+        NistResult::new("Frequency", frequency(bits)),
+        NistResult::new("BlockFrequency", block_frequency(bits, 128)),
+        NistResult::new("CumulativeSums", cumulative_sums(bits)),
+        NistResult::new("Runs", runs(bits)),
+        NistResult::new("LongestRun", longest_run(bits)),
+        NistResult::new("FFT", fft_spectral(bits)),
+        NistResult::new("Rank", rank_test(bits)),
+    ]
+}
+
+#[cfg(test)]
+mod suite_tests {
+    use super::*;
+    use sz_rng::{Marsaglia, Rng, SplitMix64};
+
+    fn random_bits(n: usize, seed: u64) -> Bits {
+        let mut rng = SplitMix64::new(seed);
+        Bits::from_fn(n, |_| rng.next_u64() & 1 == 1)
+    }
+
+    #[test]
+    fn good_generator_passes_everything() {
+        let bits = random_bits(1 << 17, 42);
+        let results = run_suite(&bits);
+        for r in &results {
+            assert!(r.pass, "{} failed with p = {}", r.name, r.p_value);
+        }
+        assert_eq!(results.len(), 7);
+    }
+
+    #[test]
+    fn marsaglia_passes_like_the_paper_says() {
+        // §3.2: STABILIZER's own PRNG must be sound.
+        let mut rng = Marsaglia::seeded(3);
+        let bits = Bits::from_fn(1 << 17, |_| rng.next_u32() & 0x8000 != 0);
+        for r in run_suite(&bits) {
+            assert!(r.pass, "{} failed with p = {}", r.name, r.p_value);
+        }
+    }
+
+    #[test]
+    fn constant_stream_fails_frequency() {
+        let bits = Bits::from_fn(1 << 14, |_| true);
+        let results = run_suite(&bits);
+        let freq = results.iter().find(|r| r.name == "Frequency").unwrap();
+        assert!(!freq.pass);
+        assert!(freq.p_value < 1e-10);
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs() {
+        // 0101...: perfectly balanced (Frequency passes) but has the
+        // maximum possible number of runs.
+        let bits = Bits::from_fn(1 << 14, |i| i % 2 == 0);
+        let results = run_suite(&bits);
+        assert!(results.iter().find(|r| r.name == "Frequency").unwrap().pass);
+        assert!(!results.iter().find(|r| r.name == "Runs").unwrap().pass);
+        assert!(!results.iter().find(|r| r.name == "FFT").unwrap().pass, "periodic signal lights up the spectrum");
+    }
+
+    #[test]
+    fn p_values_are_roughly_uniform_for_random_input() {
+        // Over many seeds, the Frequency p-value should spread across
+        // [0,1]: not clustered at 0 or 1.
+        let mut below_half = 0;
+        for seed in 0..40 {
+            let bits = random_bits(1 << 12, 1000 + seed);
+            if frequency(&bits) < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((10..=30).contains(&below_half), "got {below_half}/40 below 0.5");
+    }
+}

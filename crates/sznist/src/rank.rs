@@ -1,0 +1,70 @@
+//! Binary matrix rank over GF(2), for the Rank test.
+
+/// Rank of a 32×32 binary matrix given as 32 row bitmasks.
+pub fn binary_rank_32(rows: &[u32; 32]) -> u32 {
+    let mut m = *rows;
+    let mut rank = 0u32;
+    let mut row = 0usize;
+    for col in 0..32u32 {
+        // Find a pivot at or below `row` with a one in `col`.
+        let Some(pivot) = (row..32).find(|&r| m[r] >> col & 1 == 1) else {
+            continue;
+        };
+        m.swap(row, pivot);
+        for r in 0..32 {
+            if r != row && (m[r] >> col) & 1 == 1 {
+                m[r] ^= m[row];
+            }
+        }
+        rank += 1;
+        row += 1;
+        if row == 32 {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut rows = [0u32; 32];
+        for (i, r) in rows.iter_mut().enumerate() {
+            *r = 1 << i;
+        }
+        assert_eq!(binary_rank_32(&rows), 32);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(binary_rank_32(&[0; 32]), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reduce_rank() {
+        let mut rows = [0u32; 32];
+        for (i, r) in rows.iter_mut().enumerate() {
+            *r = 1 << i;
+        }
+        rows[31] = rows[0]; // duplicate
+        assert_eq!(binary_rank_32(&rows), 31);
+    }
+
+    #[test]
+    fn xor_dependent_row_reduces_rank() {
+        let mut rows = [0u32; 32];
+        for (i, r) in rows.iter_mut().enumerate().take(31) {
+            *r = 1 << i;
+        }
+        rows[31] = rows[0] ^ rows[1] ^ rows[2];
+        assert_eq!(binary_rank_32(&rows), 31);
+    }
+
+    #[test]
+    fn all_ones_matrix_has_rank_one() {
+        assert_eq!(binary_rank_32(&[u32::MAX; 32]), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The seven SP 800-22 tests §3.2 applies to heap addresses.
+
+use sz_stats::dist::Normal;
+use sz_stats::special::{erfc, gamma_q};
+
+use crate::{binary_rank_32, fft_magnitudes, Bits};
+
+/// Frequency (monobit) test: is the ±1 sum plausibly zero?
+pub fn frequency(bits: &Bits) -> f64 {
+    let n = bits.len() as f64;
+    let s: i64 = bits.signs().sum();
+    erfc((s.abs() as f64 / n.sqrt()) / std::f64::consts::SQRT_2)
+}
+
+/// Block-frequency test with `m`-bit blocks.
+///
+/// # Panics
+///
+/// Panics if the stream yields no complete block.
+pub fn block_frequency(bits: &Bits, m: usize) -> f64 {
+    let n_blocks = bits.len() / m;
+    assert!(n_blocks > 0, "stream shorter than one block");
+    let mut chi2 = 0.0;
+    for b in 0..n_blocks {
+        let ones = (0..m).filter(|&i| bits.get(b * m + i)).count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    gamma_q(n_blocks as f64 / 2.0, chi2 / 2.0)
+}
+
+/// Cumulative-sums (forward) test: the maximum excursion of the ±1
+/// random walk.
+pub fn cumulative_sums(bits: &Bits) -> f64 {
+    let n = bits.len() as f64;
+    let mut sum = 0i64;
+    let mut z = 0i64;
+    for s in bits.signs() {
+        sum += s;
+        z = z.max(sum.abs());
+    }
+    if z == 0 {
+        // A constant alternating pattern can have zero max excursion
+        // only for trivial streams; excursion 0 means sum never left 0,
+        // which is itself wildly non-random for long streams, but the
+        // formula needs z >= 1.
+        return 0.0;
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    let mut p = 1.0;
+    let k_lo = ((-n / z + 1.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p -= Normal::cdf((4.0 * k + 1.0) * z / sqrt_n) - Normal::cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo = ((-n / z - 3.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p += Normal::cdf((4.0 * k + 3.0) * z / sqrt_n) - Normal::cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Runs test: the number of maximal same-bit runs.
+pub fn runs(bits: &Bits) -> f64 {
+    let n = bits.len() as f64;
+    let pi = bits.count_ones() as f64 / n;
+    // Prerequisite from the spec: the frequency test must be passable.
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return 0.0;
+    }
+    let mut v = 1u64;
+    for i in 1..bits.len() {
+        if bits.get(i) != bits.get(i - 1) {
+            v += 1;
+        }
+    }
+    let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    erfc(num / den)
+}
+
+/// Longest-run-of-ones test (M = 128 variant for n ≥ 6272 uses M = 512
+/// per the spec; both variants are provided automatically).
+///
+/// # Panics
+///
+/// Panics for streams shorter than 128 bits.
+pub fn longest_run(bits: &Bits) -> f64 {
+    let n = bits.len();
+    assert!(n >= 128, "longest-run test needs at least 128 bits");
+    // Spec tables: (M, K, v_min, category probabilities).
+    let (m, v_min, pi): (usize, u32, &[f64]) = if n < 6272 {
+        (8, 1, &[0.2148, 0.3672, 0.2305, 0.1875])
+    } else if n < 750_000 {
+        (128, 4, &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124])
+    } else {
+        (10_000, 10, &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727])
+    };
+    let k = pi.len() - 1;
+    let n_blocks = n / m;
+    let mut v = vec![0u64; pi.len()];
+    for b in 0..n_blocks {
+        let mut longest = 0u32;
+        let mut run = 0u32;
+        for i in 0..m {
+            if bits.get(b * m + i) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let cat = longest.saturating_sub(v_min).min(k as u32) as usize;
+        v[cat] += 1;
+    }
+    let nb = n_blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(pi)
+        .map(|(&obs, &p)| {
+            let e = nb * p;
+            (obs as f64 - e) * (obs as f64 - e) / e
+        })
+        .sum();
+    gamma_q(k as f64 / 2.0, chi2 / 2.0)
+}
+
+/// Discrete-Fourier-transform (spectral) test.
+pub fn fft_spectral(bits: &Bits) -> f64 {
+    let signal: Vec<f64> = bits.signs().map(|s| s as f64).collect();
+    let mags = fft_magnitudes(&signal);
+    let n = (mags.len() * 2) as f64; // power-of-two length actually used
+    let threshold = ((1.0 / 0.05f64).ln() * n).sqrt();
+    let n0 = 0.95 * n / 2.0;
+    let n1 = mags.iter().filter(|&&m| m < threshold).count() as f64;
+    let d = (n1 - n0) / (n * 0.95 * 0.05 / 4.0).sqrt();
+    erfc(d.abs() / std::f64::consts::SQRT_2)
+}
+
+/// Binary-matrix-rank test with 32×32 matrices.
+///
+/// This is the test `lrand48` fails in the paper: linear congruential
+/// generators produce bit matrices with excess linear dependence.
+pub fn rank_test(bits: &Bits) -> f64 {
+    let per_matrix = 32 * 32;
+    let n_matrices = bits.len() / per_matrix;
+    assert!(n_matrices > 0, "need at least 1024 bits");
+    // Asymptotic category probabilities for rank 32, 31, <=30.
+    const P_FULL: f64 = 0.288_8;
+    const P_MINUS1: f64 = 0.577_6;
+    const P_REST: f64 = 0.133_6;
+    let (mut f_full, mut f_minus1, mut f_rest) = (0u64, 0u64, 0u64);
+    for mi in 0..n_matrices {
+        let mut rows = [0u32; 32];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for c in 0..32 {
+                if bits.get(mi * per_matrix + r * 32 + c) {
+                    *row |= 1 << c;
+                }
+            }
+        }
+        match binary_rank_32(&rows) {
+            32 => f_full += 1,
+            31 => f_minus1 += 1,
+            _ => f_rest += 1,
+        }
+    }
+    let n = n_matrices as f64;
+    let chi2 = (f_full as f64 - P_FULL * n).powi(2) / (P_FULL * n)
+        + (f_minus1 as f64 - P_MINUS1 * n).powi(2) / (P_MINUS1 * n)
+        + (f_rest as f64 - P_REST * n).powi(2) / (P_REST * n);
+    gamma_q(1.0, chi2 / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_rng::{Rng, SplitMix64};
+
+    fn random_bits(n: usize, seed: u64) -> Bits {
+        let mut rng = SplitMix64::new(seed);
+        Bits::from_fn(n, |_| rng.next_u64() & 1 == 1)
+    }
+
+    #[test]
+    fn frequency_spec_example() {
+        // SP 800-22 §2.1.8 example: 1011010101 -> p = 0.527089.
+        let bits = Bits::from_bools(&[
+            true, false, true, true, false, true, false, true, false, true,
+        ]);
+        assert!((frequency(&bits) - 0.527_089).abs() < 1e-5);
+    }
+
+    #[test]
+    fn runs_spec_example() {
+        // SP 800-22 §2.3.8 example: 1001101011 -> p = 0.147232.
+        let bits = Bits::from_bools(&[
+            true, false, false, true, true, false, true, false, true, true,
+        ]);
+        assert!((runs(&bits) - 0.147_232).abs() < 1e-5);
+    }
+
+    #[test]
+    fn block_frequency_spec_example() {
+        // SP 800-22 §2.2.8 example: 0110011010, M = 3 -> p = 0.801252.
+        let bits = Bits::from_bools(&[
+            false, true, true, false, false, true, true, false, true, false,
+        ]);
+        assert!((block_frequency(&bits, 3) - 0.801_252).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cusum_spec_example() {
+        // SP 800-22 §2.13.8 example: 1011010111 -> forward p = 0.4116588.
+        let bits = Bits::from_bools(&[
+            true, false, true, true, false, true, false, true, true, true,
+        ]);
+        assert!((cumulative_sums(&bits) - 0.411_658_8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn biased_stream_fails_frequency_tests() {
+        let mut rng = SplitMix64::new(1);
+        // 60% ones.
+        let bits = Bits::from_fn(1 << 14, |_| rng.next_f64() < 0.6);
+        assert!(frequency(&bits) < 1e-6);
+        assert!(block_frequency(&bits, 128) < 1e-6);
+        assert!(cumulative_sums(&bits) < 1e-6);
+    }
+
+    #[test]
+    fn structured_matrices_fail_rank() {
+        // Period-64 stream: every matrix row pair repeats -> rank ~ 2.
+        let bits = Bits::from_fn(1 << 14, |i| (i / 2) % 2 == 0);
+        assert!(rank_test(&bits) < 1e-10);
+    }
+
+    #[test]
+    fn random_stream_passes_each_test() {
+        let bits = random_bits(1 << 16, 99);
+        assert!(frequency(&bits) > 0.01);
+        assert!(block_frequency(&bits, 128) > 0.01);
+        assert!(cumulative_sums(&bits) > 0.01);
+        assert!(runs(&bits) > 0.01);
+        assert!(longest_run(&bits) > 0.01);
+        assert!(fft_spectral(&bits) > 0.01);
+        assert!(rank_test(&bits) > 0.01);
+    }
+
+    #[test]
+    fn longest_run_flags_clumped_streams() {
+        // Random except every 128-block carries a 40-bit run of ones.
+        let mut rng = SplitMix64::new(5);
+        let bits = Bits::from_fn(1 << 14, |i| {
+            if i % 128 < 40 {
+                true
+            } else {
+                rng.next_u64() & 1 == 1
+            }
+        });
+        assert!(longest_run(&bits) < 1e-6);
+    }
+}

@@ -1,0 +1,894 @@
+//! The individual optimization passes.
+//!
+//! Each pass is a semantics-preserving transform over a [`Program`] or
+//! its functions. Helper conventions: a register-to-register or
+//! immediate "mov" is canonically encoded as `Alu { Add, src, Imm(0) }`.
+
+use std::collections::{HashMap, HashSet};
+
+use sz_ir::{AluOp, Function, GlobalId, Instr, Operand, Program, Reg, Terminator};
+
+/// Canonical move encoding.
+fn mov(dst: Reg, src: Operand) -> Instr {
+    Instr::Alu { dst, op: AluOp::Add, a: src, b: Operand::Imm(0) }
+}
+
+/// A hashable, order-canonical key for an ALU expression.
+fn expr_key(op: AluOp, a: Operand, b: Operand) -> (AluOp, Operand, Operand) {
+    fn rank(o: Operand) -> (u8, u64) {
+        match o {
+            Operand::Reg(r) => (0, u64::from(r.0)),
+            Operand::Imm(v) => (1, v as u64),
+        }
+    }
+    if op.is_commutative() && rank(a) > rank(b) {
+        (op, b, a)
+    } else {
+        (op, a, b)
+    }
+}
+
+/// Substitutes known-constant registers in an operand.
+fn subst(op: &mut Operand, known: &HashMap<Reg, u64>) {
+    if let Operand::Reg(r) = op {
+        if let Some(&v) = known.get(r) {
+            *op = Operand::Imm(v as i64);
+        }
+    }
+}
+
+/// Local constant propagation and folding.
+///
+/// Within each block, registers assigned constant values are
+/// substituted into later operands, and ALU operations on two
+/// constants are evaluated at compile time (via [`AluOp::eval`], the
+/// interpreter's own semantics).
+pub fn const_fold(p: &mut Program) {
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            let mut known: HashMap<Reg, u64> = HashMap::new();
+            for instr in &mut block.instrs {
+                // Substitute into every operand position.
+                match instr {
+                    Instr::Alu { a, b, .. } => {
+                        subst(a, &known);
+                        subst(b, &known);
+                    }
+                    Instr::StoreSlot { src, .. } => subst(src, &known),
+                    Instr::LoadGlobal { offset, .. } => subst(offset, &known),
+                    Instr::StoreGlobal { src, offset, .. } => {
+                        subst(src, &known);
+                        subst(offset, &known);
+                    }
+                    Instr::StorePtr { src, .. } => subst(src, &known),
+                    Instr::Malloc { size, .. } => subst(size, &known),
+                    Instr::Call { args, .. } => {
+                        for a in args {
+                            subst(a, &known);
+                        }
+                    }
+                    Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => {
+                        subst(src, &known)
+                    }
+                    _ => {}
+                }
+                // Fold two-immediate ALU ops.
+                if let Instr::Alu { dst, op, a: Operand::Imm(x), b: Operand::Imm(y) } = *instr {
+                    let v = op.eval(x as u64, y as u64);
+                    *instr = mov(dst, Operand::Imm(v as i64));
+                    known.insert(dst, v);
+                    continue;
+                }
+                // Track constants from movs; invalidate other defs.
+                if let Some(d) = instr.def() {
+                    match instr {
+                        Instr::Alu { op: AluOp::Add, a: Operand::Imm(v), b: Operand::Imm(0), .. } => {
+                            known.insert(d, *v as u64);
+                        }
+                        _ => {
+                            known.remove(&d);
+                        }
+                    }
+                }
+            }
+            // Terminator operands.
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => subst(cond, &known),
+                Terminator::Ret { value: Some(v) } => subst(v, &known),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Strength reduction: multiplications, divisions, and remainders by
+/// powers of two become shifts and masks; identity operations become
+/// moves.
+pub fn strength_reduce(p: &mut Program) {
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            for instr in &mut block.instrs {
+                let Instr::Alu { dst, op, a, b } = *instr else { continue };
+                let pow2 = |o: Operand| match o {
+                    Operand::Imm(v) if v > 0 && (v as u64).is_power_of_two() => {
+                        Some((v as u64).trailing_zeros() as i64)
+                    }
+                    _ => None,
+                };
+                *instr = match (op, a, b) {
+                    // x * 2^k  (either side)
+                    (AluOp::Mul, x, c) if pow2(c).is_some() => {
+                        Instr::Alu { dst, op: AluOp::Shl, a: x, b: Operand::Imm(pow2(c).unwrap()) }
+                    }
+                    (AluOp::Mul, c, x) if pow2(c).is_some() => {
+                        Instr::Alu { dst, op: AluOp::Shl, a: x, b: Operand::Imm(pow2(c).unwrap()) }
+                    }
+                    // x / 2^k, x % 2^k (unsigned semantics make this exact)
+                    (AluOp::Div, x, c) if pow2(c).is_some() => {
+                        Instr::Alu { dst, op: AluOp::Shr, a: x, b: Operand::Imm(pow2(c).unwrap()) }
+                    }
+                    (AluOp::Rem, x, Operand::Imm(c))
+                        if c > 0 && (c as u64).is_power_of_two() =>
+                    {
+                        Instr::Alu { dst, op: AluOp::And, a: x, b: Operand::Imm(c - 1) }
+                    }
+                    // Identities.
+                    (AluOp::Mul, x, Operand::Imm(1)) => mov(dst, x),
+                    (AluOp::Mul, Operand::Imm(1), x) => mov(dst, x),
+                    (AluOp::Add, Operand::Imm(0), x) => mov(dst, x),
+                    (AluOp::Sub, x, Operand::Imm(0)) => mov(dst, x),
+                    _ => continue,
+                };
+            }
+        }
+    }
+}
+
+/// Promotes up to `limit` stack slots per function to virtual
+/// registers (the mem2reg analogue; at `u32::MAX` this doubles as the
+/// paper's argument-promotion stand-in, since promoted slots include
+/// spilled arguments).
+///
+/// Registers are function-scoped and zero-initialized exactly like
+/// stack slots, so the rewrite is unconditionally sound in this IR.
+pub fn promote_slots(p: &mut Program, limit: u32) {
+    for f in &mut p.functions {
+        if f.num_slots == 0 {
+            continue;
+        }
+        let promoted = f.num_slots.min(limit);
+        // Register frame must stay within u16.
+        if u32::from(f.num_regs) + promoted > u32::from(u16::MAX) {
+            continue;
+        }
+        let base_reg = f.num_regs;
+        for block in &mut f.blocks {
+            for instr in &mut block.instrs {
+                match *instr {
+                    Instr::LoadSlot { dst, slot } if slot < promoted => {
+                        *instr = mov(dst, Operand::Reg(Reg(base_reg + slot as u16)));
+                    }
+                    Instr::StoreSlot { src, slot } if slot < promoted => {
+                        *instr = mov(Reg(base_reg + slot as u16), src);
+                    }
+                    Instr::LoadSlot { ref mut slot, .. } | Instr::StoreSlot { ref mut slot, .. } => {
+                        *slot -= promoted;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        f.num_regs += promoted as u16;
+        f.num_slots -= promoted;
+    }
+}
+
+/// Block-local copy propagation: uses of a register defined by a move
+/// are rewritten to the move's source, exposing the move to DCE.
+///
+/// Run after CSE, which canonicalizes redundant computations into
+/// moves; together they delete the recomputation entirely.
+pub fn copy_propagate(p: &mut Program) {
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            // copy_of[dst] = source operand of a live mov.
+            let mut copy_of: HashMap<Reg, Operand> = HashMap::new();
+            let resolve = |copy_of: &HashMap<Reg, Operand>, o: &mut Operand| {
+                if let Operand::Reg(r) = o {
+                    if let Some(src) = copy_of.get(r) {
+                        *o = *src;
+                    }
+                }
+            };
+            for instr in &mut block.instrs {
+                // Rewrite operand uses (register-position uses such as
+                // pointer bases cannot take immediates, so only
+                // `Operand` positions are rewritten).
+                match instr {
+                    Instr::Alu { a, b, .. } => {
+                        resolve(&copy_of, a);
+                        resolve(&copy_of, b);
+                    }
+                    Instr::StoreSlot { src, .. } | Instr::StorePtr { src, .. } => {
+                        resolve(&copy_of, src)
+                    }
+                    Instr::LoadGlobal { offset, .. } => resolve(&copy_of, offset),
+                    Instr::StoreGlobal { src, offset, .. } => {
+                        resolve(&copy_of, src);
+                        resolve(&copy_of, offset);
+                    }
+                    Instr::Malloc { size, .. } => resolve(&copy_of, size),
+                    Instr::Call { args, .. } => {
+                        for a in args {
+                            resolve(&copy_of, a);
+                        }
+                    }
+                    Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => {
+                        resolve(&copy_of, src)
+                    }
+                    _ => {}
+                }
+                // Track moves; any other definition invalidates.
+                if let Some(d) = instr.def() {
+                    copy_of.remove(&d);
+                    copy_of.retain(|_, v| *v != Operand::Reg(d));
+                    if let Instr::Alu { dst, op: AluOp::Add, a, b: Operand::Imm(0) } = *instr {
+                        if a != Operand::Reg(dst) {
+                            copy_of.insert(dst, a);
+                        }
+                    }
+                }
+            }
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => resolve(&copy_of, cond),
+                Terminator::Ret { value: Some(v) } => resolve(&copy_of, v),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Dead-code elimination: pure instructions whose results are never
+/// read anywhere in the function are removed, to a fixpoint.
+pub fn dce(p: &mut Program) {
+    for f in &mut p.functions {
+        loop {
+            let mut used: HashSet<Reg> = HashSet::new();
+            for block in &f.blocks {
+                for instr in &block.instrs {
+                    used.extend(instr.uses());
+                }
+                match &block.term {
+                    Terminator::Branch { cond: Operand::Reg(r), .. } => {
+                        used.insert(*r);
+                    }
+                    Terminator::Ret { value: Some(Operand::Reg(r)) } => {
+                        used.insert(*r);
+                    }
+                    _ => {}
+                }
+            }
+            let mut removed = false;
+            for block in &mut f.blocks {
+                let before = block.instrs.len();
+                block.instrs.retain(|i| {
+                    !(i.is_pure() && i.def().map(|d| !used.contains(&d)).unwrap_or(false))
+                });
+                removed |= block.instrs.len() != before;
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+}
+
+/// Basic-block-level common subexpression elimination — the pass the
+/// paper names as `-O2`'s distinguishing addition.
+pub fn local_cse(p: &mut Program) {
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            let mut avail: HashMap<(AluOp, Operand, Operand), Reg> = HashMap::new();
+            for instr in &mut block.instrs {
+                let replacement = if let Instr::Alu { dst, op, a, b } = *instr {
+                    let key = expr_key(op, a, b);
+                    match avail.get(&key) {
+                        Some(&prev) if prev != dst => Some((dst, prev)),
+                        _ => {
+                            avail.insert(key, dst);
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let Some((dst, prev)) = replacement {
+                    *instr = mov(dst, Operand::Reg(prev));
+                }
+                // Any (re)definition invalidates expressions mentioning
+                // the register, and entries whose value it held.
+                if let Some(d) = instr.def() {
+                    avail.retain(|(_, a, b), v| {
+                        *v != d && *a != Operand::Reg(d) && *b != Operand::Reg(d)
+                    });
+                    // Re-register the surviving instruction if still an ALU.
+                    if let Instr::Alu { dst, op, a, b } = *instr {
+                        avail.insert(expr_key(op, a, b), dst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Procedure-wide common subexpression elimination — the pass the
+/// paper names as `-O3`'s distinguishing addition.
+///
+/// Conservative global value numbering: expressions computed in the
+/// entry block from *stable* operands (registers defined exactly once)
+/// are reused everywhere else. Sound because the entry block executes
+/// first and exactly once (the builder API cannot create back edges
+/// into it, and we verify that no terminator targets it).
+pub fn global_cse(p: &mut Program) {
+    for f in &mut p.functions {
+        // Entry must have no predecessors.
+        let entry_targeted = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.term.successors())
+            .any(|s| s.0 == 0);
+        if entry_targeted {
+            continue;
+        }
+        // Definition counts; parameters count as an entry definition.
+        let mut defs: HashMap<Reg, usize> = HashMap::new();
+        for i in 0..f.params {
+            defs.insert(Reg(i), 1);
+        }
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                if let Some(d) = instr.def() {
+                    *defs.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        let stable = |o: Operand| match o {
+            Operand::Imm(_) => true,
+            Operand::Reg(r) => defs.get(&r) == Some(&1),
+        };
+        // Expressions available from the entry block.
+        let mut avail: HashMap<(AluOp, Operand, Operand), Reg> = HashMap::new();
+        for instr in &f.blocks[0].instrs {
+            if let Instr::Alu { dst, op, a, b } = *instr {
+                if stable(a) && stable(b) && defs.get(&dst) == Some(&1) {
+                    avail.entry(expr_key(op, a, b)).or_insert(dst);
+                }
+            }
+        }
+        if avail.is_empty() {
+            continue;
+        }
+        // Rewrite redundant recomputations in the other blocks.
+        for block in f.blocks.iter_mut().skip(1) {
+            for instr in &mut block.instrs {
+                if let Instr::Alu { dst, op, a, b } = *instr {
+                    if let Some(&prev) = avail.get(&expr_key(op, a, b)) {
+                        if prev != dst && stable(a) && stable(b) {
+                            *instr = mov(dst, Operand::Reg(prev));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inlines calls to small functions. `threshold` bounds the callee's
+/// instruction count; `rounds` repeats the pass so chains of small
+/// calls flatten; `multi_block` additionally allows callees with
+/// control flow — the "increased amount of inlining" that
+/// distinguishes `-O3` (§6).
+pub fn inline_calls(p: &mut Program, threshold: usize, rounds: u32, multi_block: bool) {
+    for _ in 0..rounds {
+        // Inline against a snapshot so this round's rewrites don't
+        // cascade within themselves.
+        let snapshot = p.functions.clone();
+        for (caller_idx, f) in p.functions.iter_mut().enumerate() {
+            inline_into(f, caller_idx, &snapshot, threshold, multi_block);
+        }
+    }
+}
+
+fn inline_into(
+    caller: &mut Function,
+    caller_idx: usize,
+    snapshot: &[Function],
+    threshold: usize,
+    multi_block: bool,
+) {
+    let mut bi = 0;
+    while bi < caller.blocks.len() {
+        let mut ii = 0;
+        while ii < caller.blocks[bi].instrs.len() {
+            let Instr::Call { func, ref args, ret } = caller.blocks[bi].instrs[ii] else {
+                ii += 1;
+                continue;
+            };
+            let callee = &snapshot[func.0 as usize];
+            let shape_ok = if multi_block {
+                callee.blocks.iter().any(|b| matches!(b.term, Terminator::Ret { .. }))
+            } else {
+                callee.blocks.len() == 1
+                    && matches!(callee.blocks[0].term, Terminator::Ret { .. })
+            };
+            let inlinable = func.0 as usize != caller_idx
+                && shape_ok
+                && callee.instr_count() <= threshold
+                && u32::from(caller.num_regs) + u32::from(callee.num_regs)
+                    <= u32::from(u16::MAX)
+                && caller.num_slots.checked_add(callee.num_slots).is_some();
+            if !inlinable {
+                ii += 1;
+                continue;
+            }
+            let args = args.clone();
+            let reg_off = caller.num_regs;
+            let slot_off = caller.num_slots;
+            let remap_reg = move |r: Reg| Reg(r.0 + reg_off);
+            let remap_op = move |o: Operand| match o {
+                Operand::Reg(r) => Operand::Reg(remap_reg(r)),
+                imm => imm,
+            };
+            caller.num_regs += callee.num_regs;
+            caller.num_slots += callee.num_slots;
+
+            if callee.blocks.len() == 1 {
+                // Straight-line splice.
+                let mut spliced: Vec<Instr> =
+                    Vec::with_capacity(callee.instr_count() + args.len() + 1);
+                for (i, a) in args.iter().enumerate() {
+                    spliced.push(mov(Reg(reg_off + i as u16), *a));
+                }
+                for instr in &callee.blocks[0].instrs {
+                    spliced.push(remap_instr(instr, remap_reg, remap_op, slot_off));
+                }
+                if let (Some(dst), Terminator::Ret { value: Some(v) }) =
+                    (ret, &callee.blocks[0].term)
+                {
+                    spliced.push(mov(dst, remap_op(*v)));
+                }
+                let n = spliced.len();
+                caller.blocks[bi].instrs.splice(ii..=ii, spliced);
+                ii += n;
+                continue;
+            }
+
+            // Multi-block splice: split the caller block at the call,
+            // append the callee's CFG, and rewire returns to the
+            // continuation.
+            let block_off = caller.blocks.len() as u32 + 1; // after continuation
+            let cont_id = BlockIdx(caller.blocks.len() as u32);
+
+            // Continuation block takes the tail of the caller block and
+            // its terminator.
+            let tail: Vec<Instr> = caller.blocks[bi].instrs.split_off(ii + 1);
+            caller.blocks[bi].instrs.pop(); // remove the call itself
+            let cont_term = std::mem::replace(
+                &mut caller.blocks[bi].term,
+                Terminator::Jump(sz_ir::BlockId(block_off)),
+            );
+            // Parameter moves sit at the end of the pre-call block.
+            for (i, a) in args.iter().enumerate() {
+                caller.blocks[bi].instrs.push(mov(Reg(reg_off + i as u16), *a));
+            }
+            caller
+                .blocks
+                .push(sz_ir::Block { instrs: tail, term: cont_term });
+
+            // Append the callee's blocks.
+            for cb in &callee.blocks {
+                let mut instrs: Vec<Instr> = cb
+                    .instrs
+                    .iter()
+                    .map(|i| remap_instr(i, remap_reg, remap_op, slot_off))
+                    .collect();
+                let term = match &cb.term {
+                    Terminator::Jump(t) => Terminator::Jump(sz_ir::BlockId(t.0 + block_off)),
+                    Terminator::Branch { cond, taken, not_taken } => Terminator::Branch {
+                        cond: remap_op(*cond),
+                        taken: sz_ir::BlockId(taken.0 + block_off),
+                        not_taken: sz_ir::BlockId(not_taken.0 + block_off),
+                    },
+                    Terminator::Ret { value } => {
+                        if let (Some(dst), Some(v)) = (ret, value) {
+                            instrs.push(mov(dst, remap_op(*v)));
+                        }
+                        Terminator::Jump(sz_ir::BlockId(cont_id.0))
+                    }
+                };
+                caller.blocks.push(sz_ir::Block { instrs, term });
+            }
+            // The rest of the original block moved to the continuation;
+            // scanning resumes there on a later iteration of `bi`.
+            break;
+        }
+        bi += 1;
+    }
+}
+
+/// Internal light-weight block index (avoids confusion with the
+/// caller's `BlockId` space during splicing).
+#[derive(Clone, Copy)]
+struct BlockIdx(u32);
+
+/// Clones an instruction with registers remapped by `rr`, operands by
+/// `ro`, and slots shifted by `slot_off`.
+fn remap_instr(
+    instr: &Instr,
+    rr: impl Fn(Reg) -> Reg,
+    ro: impl Fn(Operand) -> Operand,
+    slot_off: u32,
+) -> Instr {
+    match *instr {
+        Instr::Alu { dst, op, a, b } => Instr::Alu { dst: rr(dst), op, a: ro(a), b: ro(b) },
+        Instr::FpConst { dst, bits } => Instr::FpConst { dst: rr(dst), bits },
+        Instr::IntToFp { dst, src } => Instr::IntToFp { dst: rr(dst), src: ro(src) },
+        Instr::FpToInt { dst, src } => Instr::FpToInt { dst: rr(dst), src: ro(src) },
+        Instr::LoadSlot { dst, slot } => Instr::LoadSlot { dst: rr(dst), slot: slot + slot_off },
+        Instr::StoreSlot { src, slot } => {
+            Instr::StoreSlot { src: ro(src), slot: slot + slot_off }
+        }
+        Instr::LoadGlobal { dst, global, offset } => {
+            Instr::LoadGlobal { dst: rr(dst), global, offset: ro(offset) }
+        }
+        Instr::StoreGlobal { src, global, offset } => {
+            Instr::StoreGlobal { src: ro(src), global, offset: ro(offset) }
+        }
+        Instr::LoadPtr { dst, base, offset } => {
+            Instr::LoadPtr { dst: rr(dst), base: rr(base), offset }
+        }
+        Instr::StorePtr { src, base, offset } => {
+            Instr::StorePtr { src: ro(src), base: rr(base), offset }
+        }
+        Instr::Malloc { dst, size } => Instr::Malloc { dst: rr(dst), size: ro(size) },
+        Instr::Free { ptr } => Instr::Free { ptr: rr(ptr) },
+        Instr::Call { func, ref args, ret } => Instr::Call {
+            func,
+            args: args.iter().map(|a| ro(*a)).collect(),
+            ret: ret.map(&rr),
+        },
+        Instr::Nop { bytes } => Instr::Nop { bytes },
+    }
+}
+
+/// Dead-global elimination (the `-O3` pass the paper names): drops
+/// globals no instruction references and renumbers the rest.
+pub fn dead_global_elim(p: &mut Program) {
+    let mut used: HashSet<u32> = HashSet::new();
+    for f in &p.functions {
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::LoadGlobal { global, .. } | Instr::StoreGlobal { global, .. } => {
+                        used.insert(global.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if used.len() == p.globals.len() {
+        return;
+    }
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut kept = Vec::new();
+    for (i, g) in p.globals.drain(..).enumerate() {
+        if used.contains(&(i as u32)) {
+            remap.insert(i as u32, kept.len() as u32);
+            kept.push(g);
+        }
+    }
+    p.globals = kept;
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            for instr in &mut block.instrs {
+                match instr {
+                    Instr::LoadGlobal { global, .. } | Instr::StoreGlobal { global, .. } => {
+                        *global = GlobalId(remap[&global.0]);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::ProgramBuilder;
+
+    fn single_fn_program(build: impl FnOnce(&mut sz_ir::FunctionBuilder)) -> Program {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        build(&mut f);
+        let main = p.add_function(f);
+        p.finish(main).unwrap()
+    }
+
+    #[test]
+    fn const_fold_evaluates_chains() {
+        let mut prog = single_fn_program(|f| {
+            let a = f.alu(AluOp::Mul, 6, 7); // 42
+            let b = f.alu(AluOp::Add, a, 8); // 50, needs propagation
+            f.ret(Some(b.into()));
+        });
+        const_fold(&mut prog);
+        let instrs = &prog.functions[0].blocks[0].instrs;
+        assert!(matches!(
+            instrs[1],
+            Instr::Alu { op: AluOp::Add, a: Operand::Imm(50), b: Operand::Imm(0), .. }
+        ));
+        // The return value also becomes an immediate.
+        assert!(matches!(
+            prog.functions[0].blocks[0].term,
+            Terminator::Ret { value: Some(Operand::Imm(50)) }
+        ));
+    }
+
+    #[test]
+    fn strength_reduce_rewrites_pow2() {
+        let mut prog = single_fn_program(|f| {
+            let x = f.reg();
+            let a = f.alu(AluOp::Mul, x, 8);
+            let b = f.alu(AluOp::Div, a, 4);
+            let c = f.alu(AluOp::Rem, b, 16);
+            f.ret(Some(c.into()));
+        });
+        strength_reduce(&mut prog);
+        let instrs = &prog.functions[0].blocks[0].instrs;
+        assert!(matches!(instrs[0], Instr::Alu { op: AluOp::Shl, b: Operand::Imm(3), .. }));
+        assert!(matches!(instrs[1], Instr::Alu { op: AluOp::Shr, b: Operand::Imm(2), .. }));
+        assert!(matches!(instrs[2], Instr::Alu { op: AluOp::And, b: Operand::Imm(15), .. }));
+    }
+
+    #[test]
+    fn promote_slots_removes_memory_traffic() {
+        let mut prog = single_fn_program(|f| {
+            let s = f.slot();
+            f.store_slot(s, 5);
+            let v = f.load_slot(s);
+            f.ret(Some(v.into()));
+        });
+        promote_slots(&mut prog, u32::MAX);
+        assert_eq!(prog.functions[0].num_slots, 0);
+        for i in &prog.functions[0].blocks[0].instrs {
+            assert!(!matches!(i, Instr::LoadSlot { .. } | Instr::StoreSlot { .. }));
+        }
+        assert_eq!(prog.validate(), Ok(()));
+    }
+
+    #[test]
+    fn promote_slots_respects_limit_and_renumbers() {
+        let mut prog = single_fn_program(|f| {
+            let s0 = f.slot();
+            let s1 = f.slot();
+            f.store_slot(s0, 1);
+            f.store_slot(s1, 2);
+            let v = f.load_slot(s1);
+            f.ret(Some(v.into()));
+        });
+        promote_slots(&mut prog, 1);
+        assert_eq!(prog.functions[0].num_slots, 1);
+        // Slot 1 became slot 0.
+        assert!(prog.functions[0].blocks[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StoreSlot { slot: 0, .. })));
+        assert_eq!(prog.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dce_removes_transitively_dead_code() {
+        let mut prog = single_fn_program(|f| {
+            let a = f.alu(AluOp::Add, 1, 2); // dead via b
+            let _b = f.alu(AluOp::Mul, a, 3); // dead
+            let c = f.alu(AluOp::Add, 4, 5); // live
+            f.ret(Some(c.into()));
+        });
+        dce(&mut prog);
+        assert_eq!(prog.functions[0].blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut prog = single_fn_program(|f| {
+            let p = f.malloc(64); // result unused but has side effects
+            let _ = p;
+            f.ret(None);
+        });
+        dce(&mut prog);
+        assert_eq!(prog.functions[0].blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn local_cse_reuses_and_respects_redefinition() {
+        let mut prog = single_fn_program(|f| {
+            let x = f.reg();
+            let a = f.alu(AluOp::Add, x, 5);
+            let b = f.alu(AluOp::Add, x, 5); // CSE -> mov from a
+            f.alu_into(x, AluOp::Add, x, 1); // x redefined
+            let c = f.alu(AluOp::Add, x, 5); // must NOT reuse
+            let s = f.alu(AluOp::Add, a, b);
+            let t = f.alu(AluOp::Add, s, c);
+            f.ret(Some(t.into()));
+        });
+        local_cse(&mut prog);
+        let instrs = &prog.functions[0].blocks[0].instrs;
+        assert!(
+            matches!(instrs[1], Instr::Alu { op: AluOp::Add, a: Operand::Reg(_), b: Operand::Imm(0), .. }),
+            "second compute became a mov: {:?}",
+            instrs[1]
+        );
+        assert!(
+            matches!(instrs[3], Instr::Alu { op: AluOp::Add, b: Operand::Imm(5), .. }),
+            "post-redefinition compute survives: {:?}",
+            instrs[3]
+        );
+    }
+
+    #[test]
+    fn local_cse_normalizes_commutative_operands() {
+        let mut prog = single_fn_program(|f| {
+            let x = f.reg();
+            let a = f.alu(AluOp::Add, x, 5);
+            let b = f.alu(AluOp::Add, 5, x); // same expression, swapped
+            let s = f.alu(AluOp::Add, a, b);
+            f.ret(Some(s.into()));
+        });
+        local_cse(&mut prog);
+        assert!(matches!(
+            prog.functions[0].blocks[0].instrs[1],
+            Instr::Alu { a: Operand::Reg(_), b: Operand::Imm(0), .. }
+        ));
+    }
+
+    #[test]
+    fn global_cse_reuses_entry_computations() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 1);
+        let x = f.param(0);
+        let a = f.alu(AluOp::Mul, x, 3); // entry, stable
+        let next = f.new_block();
+        f.jump(next);
+        f.switch_to(next);
+        let b = f.alu(AluOp::Mul, x, 3); // redundant across blocks
+        let s = f.alu(AluOp::Add, a, b);
+        f.ret(Some(s.into()));
+        let main = p.add_function(f);
+        let mut prog = p.finish(main).unwrap();
+        global_cse(&mut prog);
+        assert!(
+            matches!(
+                prog.functions[0].blocks[1].instrs[0],
+                Instr::Alu { a: Operand::Reg(_), b: Operand::Imm(0), .. }
+            ),
+            "{:?}",
+            prog.functions[0].blocks[1].instrs[0]
+        );
+    }
+
+    #[test]
+    fn global_cse_skips_unstable_operands() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let x = f.reg();
+        f.alu_into(x, AluOp::Add, 0, 1);
+        let a = f.alu(AluOp::Mul, x, 3);
+        let next = f.new_block();
+        f.jump(next);
+        f.switch_to(next);
+        f.alu_into(x, AluOp::Add, x, 1); // x redefined: 2 defs total
+        let b = f.alu(AluOp::Mul, x, 3); // must not be CSE'd
+        let s = f.alu(AluOp::Add, a, b);
+        f.ret(Some(s.into()));
+        let main = p.add_function(f);
+        let mut prog = p.finish(main).unwrap();
+        global_cse(&mut prog);
+        assert!(matches!(
+            prog.functions[0].blocks[1].instrs[1],
+            Instr::Alu { op: AluOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn inlining_splices_the_callee() {
+        let mut p = ProgramBuilder::new("t");
+        let mut add1 = p.function("add1", 1);
+        let x = add1.param(0);
+        let v = add1.alu(AluOp::Add, x, 1);
+        add1.ret(Some(v.into()));
+        let callee = p.add_function(add1);
+        let mut main = p.function("main", 0);
+        let r = main.call(callee, vec![41.into()]);
+        main.ret(Some(r.into()));
+        let entry = p.add_function(main);
+        let mut prog = p.finish(entry).unwrap();
+
+        inline_calls(&mut prog, 10, 1, false);
+        let main_f = &prog.functions[1];
+        assert!(
+            main_f.blocks[0].instrs.iter().all(|i| !matches!(i, Instr::Call { .. })),
+            "call must be gone"
+        );
+        assert_eq!(prog.validate(), Ok(()));
+    }
+
+    #[test]
+    fn inlining_respects_threshold() {
+        let mut p = ProgramBuilder::new("t");
+        let mut big = p.function("big", 0);
+        for _ in 0..20 {
+            big.nop(1);
+        }
+        big.ret(None);
+        let callee = p.add_function(big);
+        let mut main = p.function("main", 0);
+        main.call_void(callee, vec![]);
+        main.ret(None);
+        let entry = p.add_function(main);
+        let mut prog = p.finish(entry).unwrap();
+        inline_calls(&mut prog, 10, 1, false);
+        assert!(prog.functions[1].blocks[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Call { .. })));
+    }
+
+    #[test]
+    fn two_rounds_flatten_call_chains() {
+        // main -> outer -> inner; one round inlines inner into outer
+        // (and outer-with-call is too big? no: we check main flattens
+        // after two rounds).
+        let mut p = ProgramBuilder::new("t");
+        let mut inner = p.function("inner", 0);
+        let v = inner.alu(AluOp::Add, 1, 1);
+        inner.ret(Some(v.into()));
+        let inner_id = p.add_function(inner);
+        let mut outer = p.function("outer", 0);
+        let r = outer.call(inner_id, vec![]);
+        outer.ret(Some(r.into()));
+        let outer_id = p.add_function(outer);
+        let mut main = p.function("main", 0);
+        let r = main.call(outer_id, vec![]);
+        main.ret(Some(r.into()));
+        let entry = p.add_function(main);
+        let mut prog = p.finish(entry).unwrap();
+        inline_calls(&mut prog, 10, 2, false);
+        assert!(
+            prog.functions[2].blocks[0].instrs.iter().all(|i| !matches!(i, Instr::Call { .. })),
+            "main should be fully flat after two rounds"
+        );
+        assert_eq!(prog.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dead_global_elim_renumbers() {
+        let mut p = ProgramBuilder::new("t");
+        let _dead = p.global("dead", 64);
+        let live = p.global("live", 64);
+        let mut f = p.function("main", 0);
+        let v = f.load_global(live, 0);
+        f.ret(Some(v.into()));
+        let main = p.add_function(f);
+        let mut prog = p.finish(main).unwrap();
+        dead_global_elim(&mut prog);
+        assert_eq!(prog.globals.len(), 1);
+        assert_eq!(prog.globals[0].name, "live");
+        assert!(matches!(
+            prog.functions[0].blocks[0].instrs[0],
+            Instr::LoadGlobal { global: GlobalId(0), .. }
+        ));
+        assert_eq!(prog.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Analysis of variance (§2.5 and §6.1 of the paper).
+//!
+//! The paper evaluates compiler optimizations with a *one-way analysis
+//! of variance within subjects* (repeated measures): each benchmark is
+//! a subject, each optimization level a treatment, and
+//! benchmark-to-benchmark differences are removed from the error term
+//! so that only the treatment effect and run-to-run noise remain.
+
+use crate::desc::mean;
+use crate::dist::FDist;
+use crate::error::check_finite;
+use crate::StatError;
+
+/// Result of an analysis of variance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnovaResult {
+    /// The F statistic.
+    pub f: f64,
+    /// Treatment degrees of freedom (numerator).
+    pub df_treatment: f64,
+    /// Error degrees of freedom (denominator).
+    pub df_error: f64,
+    /// P-value: probability of an F at least this large under the null.
+    pub p_value: f64,
+    /// Sum of squares attributed to the treatment.
+    pub ss_treatment: f64,
+    /// Sum of squares attributed to error.
+    pub ss_error: f64,
+}
+
+impl AnovaResult {
+    /// Effect size η² (partial): treatment SS over treatment + error SS.
+    pub fn partial_eta_squared(&self) -> f64 {
+        self.ss_treatment / (self.ss_treatment + self.ss_error)
+    }
+}
+
+/// One-way between-subjects ANOVA over `groups`.
+///
+/// # Errors
+///
+/// - [`StatError::TooFewSamples`] with fewer than two groups or any
+///   group smaller than two observations;
+/// - [`StatError::ZeroVariance`] if all observations are identical;
+/// - [`StatError::NonFinite`] for NaN/infinite data.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::one_way_anova;
+///
+/// let g1 = vec![1.0, 2.0, 3.0];
+/// let g2 = vec![11.0, 12.0, 13.0];
+/// let g3 = vec![21.0, 22.0, 23.0];
+/// let r = one_way_anova(&[g1, g2, g3])?;
+/// assert!(r.p_value < 1e-6);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<AnovaResult, StatError> {
+    if groups.len() < 2 {
+        return Err(StatError::TooFewSamples { needed: 2, got: groups.len() });
+    }
+    for g in groups {
+        if g.len() < 2 {
+            return Err(StatError::TooFewSamples { needed: 2, got: g.len() });
+        }
+        check_finite(g)?;
+    }
+    let all: Vec<f64> = groups.iter().flatten().copied().collect();
+    let grand = mean(&all);
+    let n_total = all.len() as f64;
+    let k = groups.len() as f64;
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let gm = mean(g);
+        ss_between += g.len() as f64 * (gm - grand) * (gm - grand);
+        ss_within += g.iter().map(|v| (v - gm) * (v - gm)).sum::<f64>();
+    }
+    let df_t = k - 1.0;
+    let df_e = n_total - k;
+    if ss_within <= 0.0 && ss_between <= 0.0 {
+        return Err(StatError::ZeroVariance);
+    }
+    let ms_t = ss_between / df_t;
+    let ms_e = ss_within / df_e;
+    let f = if ms_e == 0.0 { f64::INFINITY } else { ms_t / ms_e };
+    let p_value = if f.is_finite() { FDist::new(df_t, df_e).sf(f) } else { 0.0 };
+    Ok(AnovaResult {
+        f,
+        df_treatment: df_t,
+        df_error: df_e,
+        p_value,
+        ss_treatment: ss_between,
+        ss_error: ss_within,
+    })
+}
+
+/// One-way *within-subjects* (repeated-measures) ANOVA.
+///
+/// `data[i][j]` is subject `i`'s response under treatment `j` — in the
+/// paper's §6.1, benchmark `i`'s mean execution time at optimization
+/// level `j`. Subject-to-subject variation is partitioned out, so
+/// "differences between benchmarks [are] not included in the final
+/// result".
+///
+/// # Errors
+///
+/// - [`StatError::TooFewSamples`] with fewer than two subjects or two
+///   treatments;
+/// - [`StatError::RaggedData`] if subjects have differing numbers of
+///   treatments;
+/// - [`StatError::ZeroVariance`] / [`StatError::NonFinite`] as usual.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::repeated_measures_anova;
+///
+/// // Three subjects, two treatments; treatment 2 is consistently faster.
+/// let data = vec![
+///     vec![10.0, 9.0],
+///     vec![20.0, 19.1],
+///     vec![30.0, 28.9],
+/// ];
+/// let r = repeated_measures_anova(&data)?;
+/// assert!(r.p_value < 0.05);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn repeated_measures_anova(data: &[Vec<f64>]) -> Result<AnovaResult, StatError> {
+    let n = data.len();
+    if n < 2 {
+        return Err(StatError::TooFewSamples { needed: 2, got: n });
+    }
+    let k = data[0].len();
+    if k < 2 {
+        return Err(StatError::TooFewSamples { needed: 2, got: k });
+    }
+    for row in data {
+        if row.len() != k {
+            return Err(StatError::RaggedData);
+        }
+        check_finite(row)?;
+    }
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let grand = data.iter().flatten().sum::<f64>() / (nf * kf);
+
+    // Treatment (column) means.
+    let mut ss_treatment = 0.0;
+    for j in 0..k {
+        let col_mean = data.iter().map(|row| row[j]).sum::<f64>() / nf;
+        ss_treatment += nf * (col_mean - grand) * (col_mean - grand);
+    }
+    // Subject (row) means.
+    let mut ss_subjects = 0.0;
+    for row in data {
+        let rm = mean(row);
+        ss_subjects += kf * (rm - grand) * (rm - grand);
+    }
+    // Total.
+    let ss_total: f64 = data
+        .iter()
+        .flatten()
+        .map(|v| (v - grand) * (v - grand))
+        .sum();
+    let ss_error = (ss_total - ss_treatment - ss_subjects).max(0.0);
+
+    let df_t = kf - 1.0;
+    let df_e = (kf - 1.0) * (nf - 1.0);
+    if ss_total <= 0.0 {
+        return Err(StatError::ZeroVariance);
+    }
+    let ms_t = ss_treatment / df_t;
+    let ms_e = ss_error / df_e;
+    let f = if ms_e == 0.0 { f64::INFINITY } else { ms_t / ms_e };
+    let p_value = if f.is_finite() { FDist::new(df_t, df_e).sf(f) } else { 0.0 };
+    Ok(AnovaResult {
+        f,
+        df_treatment: df_t,
+        df_error: df_e,
+        p_value,
+        ss_treatment,
+        ss_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_hand_fixture() {
+        // Two groups of two: {0, 2} and {2, 4}.
+        // Grand mean 2; SS_between = 2*(1-2)^2 + 2*(3-2)^2 = 4;
+        // SS_within = 2 + 2 = 4; df = (1, 2); F = 4 / (4/2) = 2.
+        let r = one_way_anova(&[vec![0.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!((r.f - 2.0).abs() < 1e-12, "F = {}", r.f);
+        assert_eq!(r.df_treatment, 1.0);
+        assert_eq!(r.df_error, 2.0);
+    }
+
+    #[test]
+    fn one_way_no_effect() {
+        let g: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let r = one_way_anova(&[g.clone(), g.clone(), g]).unwrap();
+        assert!((r.f - 0.0).abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_measures_removes_subject_variance() {
+        // Subjects at wildly different baselines, but a small consistent
+        // treatment effect. Between-subjects ANOVA on the columns would
+        // drown the effect; within-subjects must find it.
+        let data: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let base = 100.0 * i as f64;
+                // Deterministic jitter so the error term is nonzero.
+                let j1 = 0.01 * ((i * 7 % 5) as f64);
+                let j2 = 0.01 * ((i * 3 % 5) as f64);
+                vec![base + j1, base - 1.0 + j2]
+            })
+            .collect();
+        let rm = repeated_measures_anova(&data).unwrap();
+        assert!(rm.p_value < 1e-6, "within-subjects p = {}", rm.p_value);
+
+        let col1: Vec<f64> = data.iter().map(|r| r[0]).collect();
+        let col2: Vec<f64> = data.iter().map(|r| r[1]).collect();
+        let bw = one_way_anova(&[col1, col2]).unwrap();
+        assert!(bw.p_value > 0.9, "between-subjects p = {}", bw.p_value);
+    }
+
+    #[test]
+    fn repeated_measures_partition_adds_up() {
+        let data = vec![
+            vec![3.0, 4.0, 5.0],
+            vec![2.0, 4.0, 6.0],
+            vec![5.0, 5.0, 8.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let r = repeated_measures_anova(&data).unwrap();
+        let grand = data.iter().flatten().sum::<f64>() / 12.0;
+        let ss_total: f64 = data.iter().flatten().map(|v| (v - grand) * (v - grand)).sum();
+        let mut ss_subjects = 0.0;
+        for row in &data {
+            let rm = mean(row);
+            ss_subjects += 3.0 * (rm - grand) * (rm - grand);
+        }
+        assert!(
+            (r.ss_treatment + r.ss_error + ss_subjects - ss_total).abs() < 1e-9,
+            "partition must be exact"
+        );
+        assert_eq!(r.df_treatment, 2.0);
+        assert_eq!(r.df_error, 6.0);
+    }
+
+    #[test]
+    fn ragged_data_rejected() {
+        let data = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
+        assert_eq!(repeated_measures_anova(&data), Err(StatError::RaggedData));
+    }
+
+    #[test]
+    fn eta_squared_bounds() {
+        let r = one_way_anova(&[vec![0.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let eta = r.partial_eta_squared();
+        assert!((0.0..=1.0).contains(&eta));
+    }
+}

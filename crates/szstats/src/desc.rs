@@ -1,0 +1,190 @@
+//! Descriptive statistics.
+
+use crate::error::check_finite;
+use crate::StatError;
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty data");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (the `n - 1` denominator).
+///
+/// # Panics
+///
+/// Panics if fewer than two observations are supplied.
+pub fn sample_variance(data: &[f64]) -> f64 {
+    assert!(data.len() >= 2, "variance needs at least 2 samples");
+    let m = mean(data);
+    data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+///
+/// # Panics
+///
+/// Panics if fewer than two observations are supplied.
+pub fn sample_std(data: &[f64]) -> f64 {
+    sample_variance(data).sqrt()
+}
+
+/// Median (average of the two central order statistics for even `n`).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Quantile with linear interpolation between order statistics
+/// (R's default "type 7" definition).
+///
+/// # Panics
+///
+/// Panics on an empty slice or if `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Geometric mean of strictly positive data.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geometric_mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "geometric mean of empty data");
+    assert!(data.iter().all(|&v| v > 0.0), "geometric mean needs positive data");
+    (data.iter().map(|v| v.ln()).sum::<f64>() / data.len() as f64).exp()
+}
+
+/// A five-number-plus summary of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 100.0])?;
+/// assert_eq!(s.median, 3.0);
+/// assert!(s.mean > s.median, "the outlier pulls the mean up");
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::TooFewSamples`] for fewer than two
+    /// observations and [`StatError::NonFinite`] for NaN/infinite data.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatError> {
+        if data.len() < 2 {
+            return Err(StatError::TooFewSamples { needed: 2, got: data.len() });
+        }
+        check_finite(data)?;
+        Ok(Summary {
+            n: data.len(),
+            mean: mean(data),
+            std: sample_std(data),
+            min: quantile(data, 0.0),
+            q1: quantile(data, 0.25),
+            median: median(data),
+            q3: quantile(data, 0.75),
+            max: quantile(data, 1.0),
+        })
+    }
+
+    /// Coefficient of variation (`std / mean`).
+    pub fn cv(&self) -> f64 {
+        self.std / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), 5.0);
+        // Sum of squared deviations = 32; 32 / 7.
+        assert!((sample_variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        // h = 0.25 * 3 = 0.75 -> 1 + 0.75*(2-1) = 1.75 (type 7).
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_fixture() {
+        assert!((geometric_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(matches!(
+            Summary::from_slice(&[1.0]),
+            Err(StatError::TooFewSamples { .. })
+        ));
+        assert_eq!(Summary::from_slice(&[1.0, f64::NAN]), Err(StatError::NonFinite));
+    }
+
+    #[test]
+    fn summary_orders_quartiles() {
+        let data: Vec<f64> = (0..101).map(|i| (i * 7 % 101) as f64).collect();
+        let s = Summary::from_slice(&data).unwrap();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Probability distributions used by the hypothesis tests.
+
+use crate::special::{beta_inc, erfc, gamma_q};
+
+/// The standard normal distribution.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::dist::Normal;
+///
+/// let p = Normal::cdf(1.96);
+/// assert!((p - 0.975).abs() < 1e-4);
+/// let z = Normal::quantile(0.975);
+/// assert!((z - 1.96).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Normal;
+
+impl Normal {
+    /// Cumulative distribution function `P(Z <= z)`.
+    pub fn cdf(z: f64) -> f64 {
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Survival function `P(Z > z)`, accurate deep in the tail.
+    pub fn sf(z: f64) -> f64 {
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+
+    /// Probability density function.
+    pub fn pdf(z: f64) -> f64 {
+        (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+
+    /// Quantile function (inverse CDF), via Acklam's rational
+    /// approximation refined with one Halley step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+        // Acklam's coefficients.
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_690e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        const P_LOW: f64 = 0.024_25;
+        let x = if p < P_LOW {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - P_LOW {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement using the accurate CDF.
+        let e = Normal::cdf(x) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        x - u / (1.0 + x * u / 2.0)
+    }
+}
+
+/// Student's t distribution with `df` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::dist::StudentT;
+///
+/// let t = StudentT::new(10.0);
+/// // 2.228 is the classic two-sided 5% critical value for df = 10.
+/// assert!((t.two_sided_p(2.228_138_85) - 0.05).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `df <= 0`.
+    pub fn new(df: f64) -> Self {
+        assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+        Self { df }
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Cumulative distribution function `P(T <= t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.df / (self.df + t * t);
+        let tail = 0.5 * beta_inc(self.df / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Two-sided p-value: `P(|T| >= |t|)`.
+    pub fn two_sided_p(&self, t: f64) -> f64 {
+        beta_inc(self.df / 2.0, 0.5, self.df / (self.df + t * t)).clamp(0.0, 1.0)
+    }
+}
+
+/// Fisher's F distribution with `d1` and `d2` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::dist::FDist;
+///
+/// let f = FDist::new(1.0, 17.0);
+/// // 4.4513 is the 5% critical value for F(1, 17).
+/// assert!((f.sf(4.451_322) - 0.05).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FDist {
+    d1: f64,
+    d2: f64,
+}
+
+impl FDist {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degrees-of-freedom parameter is not positive.
+    pub fn new(d1: f64, d2: f64) -> Self {
+        assert!(d1 > 0.0 && d2 > 0.0, "degrees of freedom must be positive");
+        Self { d1, d2 }
+    }
+
+    /// Cumulative distribution function `P(F <= f)`.
+    pub fn cdf(&self, f: f64) -> f64 {
+        if f <= 0.0 {
+            return 0.0;
+        }
+        beta_inc(
+            self.d1 / 2.0,
+            self.d2 / 2.0,
+            self.d1 * f / (self.d1 * f + self.d2),
+        )
+    }
+
+    /// Survival function `P(F > f)` — the ANOVA p-value.
+    pub fn sf(&self, f: f64) -> f64 {
+        if f <= 0.0 {
+            return 1.0;
+        }
+        beta_inc(
+            self.d2 / 2.0,
+            self.d1 / 2.0,
+            self.d2 / (self.d1 * f + self.d2),
+        )
+    }
+}
+
+/// The χ² distribution with `k` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::dist::ChiSquared;
+///
+/// let chi = ChiSquared::new(1.0);
+/// assert!((chi.sf(3.841_458_8) - 0.05).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0, "degrees of freedom must be positive, got {k}");
+        Self { k }
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        gamma_q(self.k / 2.0, x / 2.0)
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        1.0 - self.sf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn normal_cdf_fixtures() {
+        close(Normal::cdf(0.0), 0.5, 1e-15);
+        close(Normal::cdf(1.0), 0.841_344_746_068_543, 1e-12);
+        close(Normal::cdf(1.959_963_985), 0.975, 1e-9);
+        close(Normal::cdf(-2.0), 0.022_750_131_948_179_2, 1e-12);
+        close(Normal::sf(3.0), 1.349_898_031_630_095e-3, 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip() {
+        for p in [1e-10, 1e-6, 0.001, 0.01, 0.05, 0.3, 0.5, 0.7, 0.95, 0.999, 1.0 - 1e-9] {
+            let z = Normal::quantile(p);
+            close(Normal::cdf(z), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_fixtures() {
+        close(Normal::quantile(0.975), 1.959_963_984_540_054, 1e-9);
+        close(Normal::quantile(0.5), 0.0, 1e-12);
+        close(Normal::quantile(0.05), -1.644_853_626_951_472, 1e-9);
+    }
+
+    #[test]
+    fn normal_symmetry() {
+        for z in [0.3, 1.0, 2.5, 4.0] {
+            close(Normal::cdf(-z), Normal::sf(z), 1e-15);
+        }
+    }
+
+    #[test]
+    fn t_cdf_fixtures() {
+        // df = 1 is the Cauchy distribution: CDF(1) = 3/4.
+        let t1 = StudentT::new(1.0);
+        close(t1.cdf(1.0), 0.75, 1e-10);
+        // Large df approaches the normal.
+        let t1000 = StudentT::new(1000.0);
+        close(t1000.cdf(1.96), Normal::cdf(1.96), 2e-3);
+        // Known critical value: P(T_29 <= 2.045230) = 0.975.
+        let t29 = StudentT::new(29.0);
+        close(t29.cdf(2.045_229_64), 0.975, 1e-6);
+    }
+
+    #[test]
+    fn t_two_sided_consistency() {
+        let t = StudentT::new(8.0);
+        for v in [0.5, 1.0, 2.0, 3.5] {
+            close(t.two_sided_p(v), 2.0 * (1.0 - t.cdf(v)), 1e-12);
+            close(t.two_sided_p(-v), t.two_sided_p(v), 1e-12);
+        }
+        close(t.two_sided_p(0.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn f_dist_fixtures() {
+        // F(1, n) is the square of T(n): P(F > t^2) = two-sided t p-value.
+        let f = FDist::new(1.0, 12.0);
+        let t = StudentT::new(12.0);
+        for v in [0.8, 1.5, 2.2] {
+            close(f.sf(v * v), t.two_sided_p(v), 1e-10);
+        }
+        close(f.cdf(2.0) + f.sf(2.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_fixtures() {
+        let chi1 = ChiSquared::new(1.0);
+        // chi^2_1 is Z^2: P(X > x) = 2 * P(Z > sqrt(x)).
+        for x in [0.5, 1.0, 4.0, 9.0] {
+            close(chi1.sf(x), 2.0 * Normal::sf(x.sqrt()), 1e-11);
+        }
+        // chi^2_2 is exponential(1/2).
+        let chi2 = ChiSquared::new(2.0);
+        for x in [0.5, 2.0, 6.0] {
+            close(chi2.sf(x), (-x / 2.0).exp(), 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires 0 < p < 1")]
+    fn quantile_rejects_bounds() {
+        Normal::quantile(1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by all statistical routines.
+
+/// Error returned by statistical tests on unusable input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatError {
+    /// Fewer observations than the test requires.
+    TooFewSamples {
+        /// Minimum number of observations the test needs.
+        needed: usize,
+        /// Number actually supplied.
+        got: usize,
+    },
+    /// More observations than the method's approximations support.
+    TooManySamples {
+        /// Maximum supported number of observations.
+        max: usize,
+        /// Number actually supplied.
+        got: usize,
+    },
+    /// All observations are identical, so scale-based statistics are
+    /// undefined.
+    ZeroVariance,
+    /// An observation was NaN or infinite.
+    NonFinite,
+    /// Group sizes are inconsistent (e.g. ragged repeated-measures data).
+    RaggedData,
+}
+
+impl std::fmt::Display for StatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatError::TooFewSamples { needed, got } => {
+                write!(f, "needs at least {needed} samples, got {got}")
+            }
+            StatError::TooManySamples { max, got } => {
+                write!(f, "supports at most {max} samples, got {got}")
+            }
+            StatError::ZeroVariance => write!(f, "all observations are identical"),
+            StatError::NonFinite => write!(f, "observations must be finite"),
+            StatError::RaggedData => write!(f, "groups must have equal sizes"),
+        }
+    }
+}
+
+impl std::error::Error for StatError {}
+
+/// Validates that every value in `data` is finite.
+pub(crate) fn check_finite(data: &[f64]) -> Result<(), StatError> {
+    if data.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(StatError::NonFinite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StatError::TooFewSamples { needed: 3, got: 1 }.to_string(),
+            "needs at least 3 samples, got 1"
+        );
+        assert_eq!(StatError::ZeroVariance.to_string(), "all observations are identical");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(check_finite(&[1.0, 2.0]).is_ok());
+        assert_eq!(check_finite(&[1.0, f64::NAN]), Err(StatError::NonFinite));
+        assert_eq!(check_finite(&[f64::INFINITY]), Err(StatError::NonFinite));
+    }
+}

@@ -1,0 +1,116 @@
+//! The Brown–Forsythe test for homogeneity of variance.
+//!
+//! Table 1 of the paper uses Brown–Forsythe to ask whether one-time
+//! randomization and re-randomization produce execution times with the
+//! same variance (re-randomization usually *reduces* variance through
+//! regression to the mean, §5.1).
+
+use crate::anova::one_way_anova;
+use crate::desc::median;
+use crate::StatError;
+
+/// Result of the Brown–Forsythe (median-centered Levene) test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeveneResult {
+    /// The F statistic of the ANOVA on absolute median deviations.
+    pub f: f64,
+    /// Numerator degrees of freedom (`k - 1`).
+    pub df_between: f64,
+    /// Denominator degrees of freedom (`N - k`).
+    pub df_within: f64,
+    /// P-value for the null hypothesis of equal variances.
+    pub p_value: f64,
+}
+
+/// Brown–Forsythe test: a one-way ANOVA on `|x_ij - median_j|`.
+///
+/// Median centering (rather than Levene's mean centering) makes the
+/// test robust to the heavy-tailed timing distributions this crate
+/// exists to diagnose.
+///
+/// # Errors
+///
+/// Propagates the error conditions of [`one_way_anova`]; in addition
+/// all-identical groups yield [`StatError::ZeroVariance`].
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::brown_forsythe;
+///
+/// let tight: Vec<f64> = (0..20).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
+/// let wide: Vec<f64> = (0..20).map(|i| 10.0 + 1.0 * (i % 5) as f64).collect();
+/// let r = brown_forsythe(&[tight, wide])?;
+/// assert!(r.p_value < 0.01, "variances clearly differ");
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn brown_forsythe(groups: &[Vec<f64>]) -> Result<LeveneResult, StatError> {
+    if groups.len() < 2 {
+        return Err(StatError::TooFewSamples { needed: 2, got: groups.len() });
+    }
+    let mut deviations = Vec::with_capacity(groups.len());
+    for g in groups {
+        if g.len() < 2 {
+            return Err(StatError::TooFewSamples { needed: 2, got: g.len() });
+        }
+        let med = median(g);
+        deviations.push(g.iter().map(|v| (v - med).abs()).collect::<Vec<f64>>());
+    }
+    let anova = one_way_anova(&deviations)?;
+    Ok(LeveneResult {
+        f: anova.f,
+        df_between: anova.df_treatment,
+        df_within: anova.df_error,
+        p_value: anova.p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_spread_not_rejected() {
+        let a: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 100.0 + ((i + 3) % 7) as f64).collect();
+        let r = brown_forsythe(&[a, b]).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn location_shift_alone_is_ignored() {
+        // Same shape, wildly different means: the test must not fire.
+        let a: Vec<f64> = (0..25).map(|i| (i % 5) as f64 * 0.3).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 1000.0).collect();
+        let r = brown_forsythe(&[a, b]).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn tenfold_spread_detected() {
+        let a: Vec<f64> = (0..30).map(|i| 0.1 * (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 1.0 * (i % 10) as f64).collect();
+        let r = brown_forsythe(&[a, b]).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert_eq!(r.df_between, 1.0);
+        assert_eq!(r.df_within, 58.0);
+    }
+
+    #[test]
+    fn identical_groups_error() {
+        assert_eq!(
+            brown_forsythe(&[vec![1.0; 5], vec![1.0; 5]]),
+            Err(StatError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn three_groups_supported() {
+        let groups: Vec<Vec<f64>> = (1..=3)
+            .map(|k| (0..20).map(|i| k as f64 * (i % 6) as f64).collect())
+            .collect();
+        let r = brown_forsythe(&groups).unwrap();
+        assert_eq!(r.df_between, 2.0);
+        assert!(r.p_value < 0.05);
+    }
+}

@@ -1,0 +1,150 @@
+//! Quantile-quantile points against the Gaussian (Figure 5).
+
+use crate::dist::Normal;
+use crate::error::check_finite;
+use crate::{mean, sample_std, StatError};
+
+/// One point of a QQ plot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QqPoint {
+    /// Theoretical standard-normal quantile (x axis).
+    pub theoretical: f64,
+    /// Observed sample quantile (y axis).
+    pub observed: f64,
+}
+
+/// Computes QQ-plot points for `data` against the standard normal.
+///
+/// Sample quantiles use Blom's plotting positions
+/// `(i − 0.375) / (n + 0.25)`. When `standardize` is set, observations
+/// are shifted to mean zero and scaled by `scale` (the paper's Figure 5
+/// normalizes every benchmark to the standard deviation of its
+/// *re-randomized* samples so both configurations share axes); pass
+/// `None` to use the sample's own standard deviation.
+///
+/// Points from a normal sample fall on the line `y = x`; a steeper
+/// slope indicates greater variance.
+///
+/// # Errors
+///
+/// - [`StatError::TooFewSamples`] for fewer than 3 observations;
+/// - [`StatError::ZeroVariance`] when standardizing constant data;
+/// - [`StatError::NonFinite`] for NaN/infinite data.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::qq_points;
+///
+/// let data: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+/// let pts = qq_points(&data, true, None)?;
+/// assert_eq!(pts.len(), 30);
+/// // Middle of a symmetric sample sits near the origin.
+/// assert!(pts[14].theoretical.abs() < 0.1);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn qq_points(
+    data: &[f64],
+    standardize: bool,
+    scale: Option<f64>,
+) -> Result<Vec<QqPoint>, StatError> {
+    let n = data.len();
+    if n < 3 {
+        return Err(StatError::TooFewSamples { needed: 3, got: n });
+    }
+    check_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+
+    let (shift, s) = if standardize {
+        let s = match scale {
+            Some(s) => s,
+            None => sample_std(&sorted),
+        };
+        if s <= 0.0 {
+            return Err(StatError::ZeroVariance);
+        }
+        (mean(&sorted), s)
+    } else {
+        (0.0, 1.0)
+    };
+
+    let nf = n as f64;
+    Ok(sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| QqPoint {
+            theoretical: Normal::quantile(((i + 1) as f64 - 0.375) / (nf + 0.25)),
+            observed: (v - shift) / s,
+        })
+        .collect())
+}
+
+/// Least-squares slope of observed on theoretical quantiles.
+///
+/// A slope near 1 for standardized data indicates the sample variance
+/// matches the reference; the paper reads variance differences off the
+/// QQ slopes in Figure 5.
+pub fn qq_slope(points: &[QqPoint]) -> f64 {
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.theoretical).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.observed).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for p in points {
+        num += (p.theoretical - mx) * (p.observed - my);
+        den += (p.theoretical - mx) * (p.theoretical - mx);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_scores_lie_on_diagonal() {
+        // Feed exact normal scores back in: points must sit on y = x.
+        let n = 50;
+        let data: Vec<f64> = (1..=n)
+            .map(|i| Normal::quantile((i as f64 - 0.375) / (n as f64 + 0.25)))
+            .collect();
+        let pts = qq_points(&data, false, None).unwrap();
+        for p in &pts {
+            assert!((p.theoretical - p.observed).abs() < 1e-9);
+        }
+        assert!((qq_slope(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardization_centers_the_points() {
+        let data: Vec<f64> = (1..=30).map(|i| 1000.0 + 3.0 * i as f64).collect();
+        let pts = qq_points(&data, true, None).unwrap();
+        let mean_obs: f64 = pts.iter().map(|p| p.observed).sum::<f64>() / 30.0;
+        assert!(mean_obs.abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_scale_controls_slope() {
+        let data: Vec<f64> = (1..=40)
+            .map(|i| 2.0 * Normal::quantile((i as f64 - 0.375) / 40.25))
+            .collect();
+        // Standardized by sigma = 1 (not the sample's own 2.0), the slope
+        // must come out near 2 — exactly how Figure 5 shows variance.
+        let pts = qq_points(&data, true, Some(1.0)).unwrap();
+        let slope = qq_slope(&pts);
+        assert!((slope - 2.0).abs() < 0.05, "slope = {slope}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(matches!(
+            qq_points(&[1.0, 2.0], false, None),
+            Err(StatError::TooFewSamples { .. })
+        ));
+        assert_eq!(
+            qq_points(&[1.0, 1.0, 1.0], true, None),
+            Err(StatError::ZeroVariance)
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The Shapiro–Wilk test for normality (Royston's AS R94 algorithm).
+//!
+//! This is the test the paper applies to every benchmark's 30 runs in
+//! Table 1 and §6 to decide whether execution times are drawn from a
+//! Gaussian distribution.
+
+use crate::dist::Normal;
+use crate::error::check_finite;
+use crate::StatError;
+
+/// Result of the Shapiro–Wilk normality test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShapiroWilk {
+    /// The W statistic, in `(0, 1]`; values near 1 are consistent with
+    /// normality.
+    pub w: f64,
+    /// P-value for the null hypothesis that the sample is normal.
+    pub p_value: f64,
+}
+
+/// Polynomial evaluation: `c[0] + c[1] x + c[2] x^2 + ...`.
+fn poly(c: &[f64], x: f64) -> f64 {
+    c.iter().rev().fold(0.0, |acc, &ci| acc * x + ci)
+}
+
+/// Runs the Shapiro–Wilk test for normality.
+///
+/// Implements Royston (1995), Applied Statistics algorithm AS R94,
+/// matching R's `shapiro.test`. Valid for `3 <= n <= 5000`.
+///
+/// # Errors
+///
+/// - [`StatError::TooFewSamples`] for `n < 3`;
+/// - [`StatError::TooManySamples`] for `n > 5000` (the p-value
+///   approximation is not calibrated beyond that);
+/// - [`StatError::ZeroVariance`] if all observations are equal;
+/// - [`StatError::NonFinite`] for NaN or infinite observations.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::shapiro_wilk;
+///
+/// // Uniformly spaced data is close enough to normal for n = 10 that
+/// // the test cannot reject.
+/// let data: Vec<f64> = (1..=10).map(f64::from).collect();
+/// let r = shapiro_wilk(&data)?;
+/// assert!(r.w > 0.9);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn shapiro_wilk(data: &[f64]) -> Result<ShapiroWilk, StatError> {
+    let n = data.len();
+    if n < 3 {
+        return Err(StatError::TooFewSamples { needed: 3, got: n });
+    }
+    if n > 5000 {
+        return Err(StatError::TooManySamples { max: 5000, got: n });
+    }
+    check_finite(data)?;
+
+    let mut x = data.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let range = x[n - 1] - x[0];
+    if range <= 0.0 {
+        return Err(StatError::ZeroVariance);
+    }
+
+    let an = n as f64;
+    let nn2 = n / 2;
+    // `a[k]` holds the coefficient for the (n-k)-th order statistic,
+    // positive after normalization; the full coefficient vector is
+    // antisymmetric.
+    let mut a = vec![0.0f64; nn2];
+
+    if n == 3 {
+        a[0] = std::f64::consts::FRAC_1_SQRT_2;
+    } else {
+        const C1: [f64; 6] = [0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056];
+        const C2: [f64; 6] = [0.0, 0.042_981, -0.293_762, -1.752_461, 5.682_633, -3.582_633];
+        let an25 = an + 0.25;
+        let mut summ2 = 0.0;
+        for (k, ak) in a.iter_mut().enumerate() {
+            *ak = Normal::quantile(((k + 1) as f64 - 0.375) / an25); // negative half
+            summ2 += *ak * *ak;
+        }
+        summ2 *= 2.0;
+        let ssumm2 = summ2.sqrt();
+        let rsn = 1.0 / an.sqrt();
+        let a1 = poly(&C1, rsn) - a[0] / ssumm2;
+
+        let (i1, fac) = if n > 5 {
+            let a2 = -a[1] / ssumm2 + poly(&C2, rsn);
+            let fac = ((summ2 - 2.0 * a[0] * a[0] - 2.0 * a[1] * a[1])
+                / (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2))
+                .sqrt();
+            a[1] = a2;
+            (2usize, fac)
+        } else {
+            let fac = ((summ2 - 2.0 * a[0] * a[0]) / (1.0 - 2.0 * a1 * a1)).sqrt();
+            (1usize, fac)
+        };
+        a[0] = a1;
+        for ak in a.iter_mut().skip(i1) {
+            *ak /= -fac; // flips sign: stored values become positive
+        }
+    }
+
+    // Full antisymmetric coefficient for the i-th order statistic
+    // (0-based): negative in the lower half, positive in the upper.
+    let coeff = |i: usize| -> f64 {
+        let j = n - 1 - i;
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Less => -a[i],
+            Greater => a[j],
+            Equal => 0.0,
+        }
+    };
+
+    // W as the squared correlation between data and coefficients,
+    // computed on range-scaled data for numerical robustness (as in
+    // R's swilk.c).
+    let sa = (0..n).map(coeff).sum::<f64>() / an;
+    let sx = x.iter().map(|v| v / range).sum::<f64>() / an;
+    let (mut ssa, mut ssx, mut sax) = (0.0, 0.0, 0.0);
+    for (i, xi) in x.iter().enumerate() {
+        let asa = coeff(i) - sa;
+        let xsx = xi / range - sx;
+        ssa += asa * asa;
+        ssx += xsx * xsx;
+        sax += asa * xsx;
+    }
+    let ssassx = (ssa * ssx).sqrt();
+    // w1 = 1 - W, formed to avoid cancellation when W is near 1.
+    let w1 = (ssassx - sax) * (ssassx + sax) / (ssa * ssx);
+    let w = 1.0 - w1;
+
+    // Significance level.
+    let p_value = if n == 3 {
+        let pi6 = 1.909_859_317_102_744; // 6 / pi
+        let stqr = 1.047_197_551_196_598; // asin(sqrt(3/4))
+        (pi6 * (w.sqrt().asin() - stqr)).clamp(0.0, 1.0)
+    } else {
+        const C3: [f64; 4] = [0.544, -0.399_78, 0.025_054, -6.714e-4];
+        const C4: [f64; 4] = [1.382_2, -0.778_57, 0.062_767, -0.002_032_2];
+        const C5: [f64; 4] = [-1.586_1, -0.310_82, -0.083_751, 0.003_891_5];
+        const C6: [f64; 3] = [-0.480_3, -0.082_676, 0.003_030_2];
+        const G: [f64; 2] = [-2.273, 0.459];
+        let y = w1.ln();
+        let (m, s, y) = if n <= 11 {
+            let gamma = poly(&G, an);
+            if y >= gamma {
+                // W so small that the transform degenerates.
+                return Ok(ShapiroWilk { w, p_value: 1e-99 });
+            }
+            (poly(&C3, an), poly(&C4, an).exp(), -(gamma - y).ln())
+        } else {
+            let ln_n = an.ln();
+            (poly(&C5, ln_n), poly(&C6, ln_n).exp(), y)
+        };
+        Normal::sf((y - m) / s).clamp(0.0, 1.0)
+    };
+
+    Ok(ShapiroWilk { w, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal as N;
+
+    /// Data that are *exactly* normal order-statistic medians should
+    /// score W very close to 1.
+    #[test]
+    fn perfect_normal_scores_high() {
+        for n in [10usize, 30, 100] {
+            let data: Vec<f64> = (1..=n)
+                .map(|i| N::quantile((i as f64 - 0.375) / (n as f64 + 0.25)))
+                .collect();
+            let r = shapiro_wilk(&data).unwrap();
+            assert!(r.w > 0.99, "n={n}: W = {}", r.w);
+            assert!(r.p_value > 0.5, "n={n}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn heavy_skew_is_rejected() {
+        // Exponential-looking data, n = 30: decisively non-normal.
+        let data: Vec<f64> = (1..=30)
+            .map(|i| -((1.0 - (i as f64 - 0.5) / 30.0) as f64).ln())
+            .collect();
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn bimodal_is_rejected() {
+        // Two well-separated clusters of 15 each.
+        let mut data: Vec<f64> = (0..15).map(|i| i as f64 * 0.01).collect();
+        data.extend((0..15).map(|i| 100.0 + i as f64 * 0.01));
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn translation_and_scale_invariant() {
+        let data: Vec<f64> = vec![
+            2.1, 3.4, 1.9, 2.8, 3.3, 3.1, 2.9, 2.2, 2.5, 2.7, 3.6, 2.0, 2.4, 3.0, 2.6,
+        ];
+        let base = shapiro_wilk(&data).unwrap();
+        let moved: Vec<f64> = data.iter().map(|v| 1000.0 + 7.5 * v).collect();
+        let shifted = shapiro_wilk(&moved).unwrap();
+        assert!((base.w - shifted.w).abs() < 1e-9);
+        assert!((base.p_value - shifted.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlier_lowers_w() {
+        let mut data: Vec<f64> = (1..=29)
+            .map(|i| N::quantile((i as f64 - 0.375) / 29.25))
+            .collect();
+        let clean = shapiro_wilk(&data).unwrap();
+        data.push(25.0); // gross outlier
+        let dirty = shapiro_wilk(&data).unwrap();
+        assert!(dirty.w < clean.w);
+        assert!(dirty.p_value < 1e-6, "p = {}", dirty.p_value);
+    }
+
+    #[test]
+    fn small_n_paths() {
+        // n = 3 exact path.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.w > 0.99 && r.p_value > 0.9, "{r:?}");
+        // n in 4..=11 uses the small-sample transform.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        assert!(r.p_value > 0.5, "{r:?}");
+        // n = 5 exercises the n <= 5 normalization branch.
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(r.w > 0.95, "{r:?}");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            shapiro_wilk(&[1.0, 2.0]),
+            Err(StatError::TooFewSamples { .. })
+        ));
+        assert_eq!(shapiro_wilk(&[5.0; 10]), Err(StatError::ZeroVariance));
+        assert_eq!(shapiro_wilk(&[1.0, 2.0, f64::NAN]), Err(StatError::NonFinite));
+        let big = vec![0.0; 5001];
+        assert!(matches!(big.as_slice(), _s if matches!(shapiro_wilk(&big), Err(StatError::TooManySamples { .. }))));
+    }
+
+    #[test]
+    fn w_is_in_unit_interval() {
+        // A grab bag of shapes.
+        let cases: Vec<Vec<f64>> = vec![
+            (0..50).map(|i| (i as f64).sqrt()).collect(),
+            (0..20).map(|i| ((i * i) % 17) as f64).collect(),
+            vec![1.0, 1.0, 1.0, 1.0, 2.0],
+        ];
+        for data in cases {
+            let r = shapiro_wilk(&data).unwrap();
+            assert!(r.w > 0.0 && r.w <= 1.0 + 1e-12, "W = {}", r.w);
+            assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+        }
+    }
+}

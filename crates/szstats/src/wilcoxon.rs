@@ -1,0 +1,222 @@
+//! Non-parametric rank tests: Wilcoxon signed-rank and Mann–Whitney U.
+//!
+//! The paper (§6) falls back to the Wilcoxon signed-rank test for the
+//! benchmarks whose execution times are not normally distributed even
+//! under STABILIZER (hmmer, wrf, zeusmp).
+
+use crate::dist::Normal;
+use crate::error::check_finite;
+use crate::StatError;
+
+/// Result of a rank-based test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankTest {
+    /// The test statistic (W⁺ for signed-rank, U for Mann–Whitney).
+    pub statistic: f64,
+    /// Normal-approximation z score (with continuity correction).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Assigns mid-ranks (average ranks for ties) to the values and returns
+/// `(ranks, tie_correction_sum)` where the correction sum is
+/// `Σ (t³ - t)` over tie groups.
+fn mid_ranks(values: &[f64]) -> (Vec<f64>, f64) {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut tie_sum = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        if t > 1.0 {
+            tie_sum += t * t * t - t;
+        }
+        i = j + 1;
+    }
+    (ranks, tie_sum)
+}
+
+/// Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); the
+/// p-value uses the normal approximation with tie correction and a
+/// continuity correction, matching R's `wilcox.test(..., exact = FALSE,
+/// correct = TRUE)`.
+///
+/// # Errors
+///
+/// - [`StatError::RaggedData`] if lengths differ;
+/// - [`StatError::TooFewSamples`] if fewer than 6 non-zero differences
+///   remain (below that, the normal approximation is meaningless);
+/// - [`StatError::NonFinite`] for NaN/infinite data.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::wilcoxon_signed_rank;
+///
+/// let before = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0];
+/// let after = [9.0, 10.2, 11.1, 11.9, 13.2, 14.1, 15.0, 15.8];
+/// let r = wilcoxon_signed_rank(&before, &after)?;
+/// assert!(r.p_value < 0.05);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<RankTest, StatError> {
+    if a.len() != b.len() {
+        return Err(StatError::RaggedData);
+    }
+    check_finite(a)?;
+    check_finite(b)?;
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 6 {
+        return Err(StatError::TooFewSamples { needed: 6, got: n });
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let (ranks, tie_sum) = mid_ranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_sum / 48.0;
+    if var <= 0.0 {
+        return Err(StatError::ZeroVariance);
+    }
+    let delta = w_plus - mean;
+    // Continuity correction toward the mean.
+    let z = (delta - 0.5 * delta.signum()) / var.sqrt();
+    let p_value = (2.0 * Normal::sf(z.abs())).min(1.0);
+    Ok(RankTest { statistic: w_plus, z, p_value })
+}
+
+/// Mann–Whitney U test (Wilcoxon rank-sum) on two independent samples.
+///
+/// Uses the normal approximation with tie and continuity corrections.
+///
+/// # Errors
+///
+/// - [`StatError::TooFewSamples`] if either sample has fewer than 4
+///   observations;
+/// - [`StatError::ZeroVariance`] if all observations are tied;
+/// - [`StatError::NonFinite`] for NaN/infinite data.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<RankTest, StatError> {
+    for s in [a, b] {
+        if s.len() < 4 {
+            return Err(StatError::TooFewSamples { needed: 4, got: s.len() });
+        }
+        check_finite(s)?;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let pooled: Vec<f64> = a.iter().chain(b).copied().collect();
+    let (ranks, tie_sum) = mid_ranks(&pooled);
+    let ra: f64 = ranks[..a.len()].iter().sum();
+    let u = ra - na * (na + 1.0) / 2.0;
+    let mean = na * nb / 2.0;
+    let n = na + nb;
+    let var = na * nb / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
+    if var <= 0.0 {
+        return Err(StatError::ZeroVariance);
+    }
+    let delta = u - mean;
+    let z = (delta - 0.5 * delta.signum()) / var.sqrt();
+    let p_value = (2.0 * Normal::sf(z.abs())).min(1.0);
+    Ok(RankTest { statistic: u, z, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mid_ranks_handles_ties() {
+        let (ranks, tie_sum) = mid_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(tie_sum, 2.0 * 2.0 * 2.0 - 2.0);
+    }
+
+    #[test]
+    fn signed_rank_detects_consistent_shift() {
+        let a: Vec<f64> = (0..20).map(|i| 10.0 + i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v - 1.0 - 0.01 * (v % 3.0)).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert!(r.z > 0.0);
+    }
+
+    #[test]
+    fn signed_rank_null_case() {
+        // Alternating +1/-1 differences: W+ should sit near its mean.
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20)
+            .map(|i| i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn signed_rank_drops_zero_differences() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert!(matches!(
+            wilcoxon_signed_rank(&a, &b),
+            Err(StatError::TooFewSamples { got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn mann_whitney_separated_samples() {
+        let a: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| 100.0 + i as f64).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        // Complete separation: U = 0.
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value < 1e-5);
+    }
+
+    #[test]
+    fn mann_whitney_identical_distributions() {
+        let a: Vec<f64> = (0..20).map(|i| (i % 10) as f64).collect();
+        let b = a.clone();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_all_tied_is_error() {
+        assert_eq!(
+            mann_whitney_u(&[3.0; 6], &[3.0; 6]),
+            Err(StatError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn signed_rank_symmetry() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.5];
+        let b = [2.0, 2.5, 6.0, 6.5, 10.0, 10.5, 14.0, 14.5];
+        let ab = wilcoxon_signed_rank(&a, &b).unwrap();
+        let ba = wilcoxon_signed_rank(&b, &a).unwrap();
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        assert!((ab.z + ba.z).abs() < 1e-12);
+    }
+}

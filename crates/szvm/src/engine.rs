@@ -1,0 +1,234 @@
+//! The layout-engine abstraction and a deterministic default.
+
+use sz_ir::{FuncId, GlobalId, Program};
+use sz_machine::MemorySystem;
+
+/// One live activation as seen by a stack walk: which function, and
+/// the code base its return address points into.
+///
+/// STABILIZER's garbage collector walks exactly this information to
+/// decide which relocated code copies are still reachable (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView {
+    /// The function whose frame this is.
+    pub func: FuncId,
+    /// The code base address this activation is executing from.
+    pub code_base: u64,
+}
+
+/// Supplies every address the interpreter needs: code bases, stack
+/// placement, global placement, and heap allocation.
+///
+/// Implementations may charge runtime costs (relocation work, allocator
+/// logic beyond the instruction's base cost) through the
+/// [`MemorySystem`] they are handed, and may change their answers over
+/// time — that is exactly how STABILIZER's re-randomization is
+/// expressed.
+pub trait LayoutEngine {
+    /// Called once before execution with the program being run.
+    fn prepare(&mut self, program: &Program);
+
+    /// The code base address for calling `func` right now.
+    ///
+    /// STABILIZER's engine may relocate the function here (trap →
+    /// copy → relocation table, §3.3), charging the work to `mem`.
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64;
+
+    /// Extra bytes of padding to insert below the caller's frame before
+    /// `func`'s frame (STABILIZER's stack randomization, §3.4).
+    ///
+    /// Implementations that consult an in-memory pad table should issue
+    /// the table read through `mem` — that cache traffic is a real
+    /// component of STABILIZER's overhead (§5.2).
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64;
+
+    /// Base address of global `g`.
+    fn global_base(&self, g: GlobalId) -> u64;
+
+    /// Initial stack pointer (stacks grow down).
+    fn stack_base(&self) -> u64;
+
+    /// Allocates `size` bytes of heap; `None` when out of memory.
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64>;
+
+    /// Frees a heap allocation.
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem);
+
+    /// Called at function-call boundaries with the current cycle count
+    /// and a view of the live call stack.
+    ///
+    /// STABILIZER uses this to fire its re-randomization timer; the
+    /// stack is what its garbage collector walks to decide which old
+    /// code copies may be freed (§3.3).
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem);
+
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic, unrandomized layout: functions placed sequentially
+/// in `FuncId` order, globals likewise, bump-pointer heap, fixed stack
+/// base, no padding.
+///
+/// This is the minimal "how a naive loader would do it" engine; the
+/// richer baseline with link-order and environment effects lives in
+/// `sz-link`.
+#[derive(Debug, Clone)]
+pub struct SimpleLayout {
+    code_bases: Vec<u64>,
+    global_bases: Vec<u64>,
+    heap_cursor: u64,
+    heap_end: u64,
+    stack_base: u64,
+}
+
+/// Traditional text segment start.
+const CODE_BASE: u64 = 0x40_0000;
+/// Data segment follows code at a fixed gap.
+const GLOBAL_BASE: u64 = 0x60_0000;
+/// Heap start.
+const HEAP_BASE: u64 = 0x100_0000;
+/// Heap limit for the simple engine.
+const HEAP_LIMIT: u64 = 0x8000_0000;
+/// Stack top.
+const STACK_BASE: u64 = 0x7FFF_FFFF_F000;
+
+impl SimpleLayout {
+    /// Creates the engine; bases are filled in by
+    /// [`LayoutEngine::prepare`].
+    pub fn new() -> Self {
+        SimpleLayout {
+            code_bases: Vec::new(),
+            global_bases: Vec::new(),
+            heap_cursor: HEAP_BASE,
+            heap_end: HEAP_LIMIT,
+            stack_base: STACK_BASE,
+        }
+    }
+}
+
+impl Default for SimpleLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LayoutEngine for SimpleLayout {
+    fn prepare(&mut self, program: &Program) {
+        self.code_bases.clear();
+        let mut pc = CODE_BASE;
+        for f in &program.functions {
+            self.code_bases.push(pc);
+            // 16-byte function alignment, like common linkers.
+            pc = (pc + f.code_size() + 15) & !15;
+        }
+        self.global_bases.clear();
+        let mut g = GLOBAL_BASE;
+        for global in &program.globals {
+            self.global_bases.push(g);
+            g = (g + global.size + 15) & !15;
+        }
+        self.heap_cursor = HEAP_BASE;
+    }
+
+    fn enter_function(&mut self, func: FuncId, _mem: &mut MemorySystem) -> u64 {
+        self.code_bases[func.0 as usize]
+    }
+
+    fn stack_pad(&mut self, _func: FuncId, _mem: &mut MemorySystem) -> u64 {
+        0
+    }
+
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.global_bases[g.0 as usize]
+    }
+
+    fn stack_base(&self) -> u64 {
+        self.stack_base
+    }
+
+    fn malloc(&mut self, size: u64, _mem: &mut MemorySystem) -> Option<u64> {
+        let addr = (self.heap_cursor + 15) & !15;
+        let end = addr.checked_add(size)?;
+        if end > self.heap_end {
+            return None;
+        }
+        self.heap_cursor = end;
+        Some(addr)
+    }
+
+    fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) {
+        // Bump allocator: no reuse. (Timing of the free call is charged
+        // by the instruction's base cost in the VM.)
+    }
+
+    fn tick(&mut self, _now_cycles: u64, _stack: &[FrameView], _mem: &mut MemorySystem) {}
+
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::ProgramBuilder;
+    use sz_machine::MachineConfig;
+
+    fn program() -> Program {
+        let mut p = ProgramBuilder::new("t");
+        p.global("a", 100);
+        p.global("b", 8);
+        let mut f = p.function("main", 0);
+        f.ret(None);
+        let mut g = p.function("leaf", 0);
+        g.ret(None);
+        let main = p.add_function(f);
+        p.add_function(g);
+        p.finish(main).unwrap()
+    }
+
+    #[test]
+    fn functions_are_sequential_and_aligned() {
+        let prog = program();
+        let mut e = SimpleLayout::new();
+        e.prepare(&prog);
+        let mut mem = MemorySystem::new(MachineConfig::tiny());
+        let f0 = e.enter_function(FuncId(0), &mut mem);
+        let f1 = e.enter_function(FuncId(1), &mut mem);
+        assert_eq!(f0, CODE_BASE);
+        assert!(f1 > f0);
+        assert_eq!(f1 % 16, 0);
+    }
+
+    #[test]
+    fn globals_do_not_overlap() {
+        let prog = program();
+        let mut e = SimpleLayout::new();
+        e.prepare(&prog);
+        let a = e.global_base(GlobalId(0));
+        let b = e.global_base(GlobalId(1));
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn heap_is_monotone() {
+        let mut e = SimpleLayout::new();
+        e.prepare(&program());
+        let mut mem = MemorySystem::new(MachineConfig::tiny());
+        let p = e.malloc(32, &mut mem).unwrap();
+        let q = e.malloc(32, &mut mem).unwrap();
+        assert!(q >= p + 32);
+        assert_eq!(p % 16, 0);
+    }
+
+    #[test]
+    fn determinism_across_prepares() {
+        let prog = program();
+        let mut e1 = SimpleLayout::new();
+        let mut e2 = SimpleLayout::new();
+        e1.prepare(&prog);
+        e2.prepare(&prog);
+        assert_eq!(e1.global_base(GlobalId(1)), e2.global_base(GlobalId(1)));
+    }
+}

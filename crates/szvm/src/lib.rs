@@ -1,0 +1,42 @@
+//! The IR interpreter: executes `sz-ir` programs against the
+//! layout-sensitive `sz-machine` model.
+//!
+//! The interpreter is where layout meets time. Every instruction fetch
+//! goes through the I-cache at `function base + instruction offset`;
+//! every stack slot access goes through the D-cache at
+//! `frame address + slot offset`; every heap access at whatever address
+//! the allocator returned. All of those base addresses come from a
+//! pluggable [`LayoutEngine`] — the default deterministic placement
+//! lives in `sz-link`, and STABILIZER's randomizing engine in the
+//! `stabilizer` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_ir::{AluOp, ProgramBuilder};
+//! use sz_machine::MachineConfig;
+//! use sz_vm::{RunLimits, SimpleLayout, Vm};
+//!
+//! let mut p = ProgramBuilder::new("answer");
+//! let mut f = p.function("main", 0);
+//! let v = f.alu(AluOp::Mul, 6, 7);
+//! f.ret(Some(v.into()));
+//! let main = p.add_function(f);
+//! let program = p.finish(main)?;
+//!
+//! let mut engine = SimpleLayout::new();
+//! let report = Vm::new(&program)
+//!     .run(&mut engine, MachineConfig::core_i3_550(), RunLimits::default())?;
+//! assert_eq!(report.return_value, Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod memory;
+mod report;
+mod vm;
+
+pub use engine::{FrameView, LayoutEngine, SimpleLayout};
+pub use memory::ValueMemory;
+pub use report::{RunLimits, RunReport, VmError};
+pub use vm::Vm;

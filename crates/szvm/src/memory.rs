@@ -1,0 +1,71 @@
+//! Sparse value memory for the simulated address space.
+
+use std::collections::HashMap;
+
+/// Word-granular sparse memory holding the *values* at simulated
+/// addresses (the timing side of memory lives in `sz-machine`).
+///
+/// Cells are 8 bytes, aligned down; uninitialized memory reads zero,
+/// matching zero-filled pages from the OS.
+#[derive(Debug, Clone, Default)]
+pub struct ValueMemory {
+    words: HashMap<u64, u64>,
+}
+
+impl ValueMemory {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the 8-byte word containing `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 8-byte word containing `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        if value == 0 {
+            // Keep the map sparse: zero is the default.
+            self.words.remove(&(addr & !7));
+        } else {
+            self.words.insert(addr & !7, value);
+        }
+    }
+
+    /// Number of non-zero words (for footprint assertions in tests).
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninitialized_reads_zero() {
+        let m = ValueMemory::new();
+        assert_eq!(m.read(0x1234), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = ValueMemory::new();
+        m.write(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read(0x1000), 0xDEAD_BEEF);
+        // Same word, different byte offset.
+        assert_eq!(m.read(0x1007), 0xDEAD_BEEF);
+        // Next word is separate.
+        assert_eq!(m.read(0x1008), 0);
+    }
+
+    #[test]
+    fn zero_writes_keep_memory_sparse() {
+        let mut m = ValueMemory::new();
+        m.write(0x10, 5);
+        m.write(0x10, 0);
+        assert_eq!(m.nonzero_words(), 0);
+        assert_eq!(m.read(0x10), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Run results, limits, and errors.
+
+use sz_machine::{PerfCounters, SimTime};
+
+/// Execution limits protecting against runaway programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunLimits {
+    /// Maximum instructions to execute before aborting.
+    pub max_instructions: u64,
+    /// Maximum call-stack depth.
+    pub max_stack_depth: usize,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_instructions: 2_000_000_000, max_stack_depth: 100_000 }
+    }
+}
+
+/// The result of one complete program execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Simulated wall-clock time (cycles / clock).
+    pub time: SimTime,
+    /// Full hardware event counts.
+    pub counters: PerfCounters,
+    /// The entry function's return value.
+    pub return_value: Option<u64>,
+    /// Which layout engine produced this run.
+    pub engine: String,
+}
+
+impl RunReport {
+    /// Execution time in simulated seconds (the y axis of every figure
+    /// in the paper).
+    pub fn seconds(&self) -> f64 {
+        self.time.as_secs()
+    }
+}
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The instruction budget was exhausted (probable infinite loop).
+    OutOfFuel {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Call depth exceeded the configured maximum.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The layout engine's heap was exhausted.
+    OutOfMemory {
+        /// The failing request size.
+        request: u64,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfFuel { limit } => {
+                write!(f, "instruction limit of {limit} exhausted")
+            }
+            VmError::StackOverflow { limit } => {
+                write!(f, "call depth exceeded {limit}")
+            }
+            VmError::OutOfMemory { request } => {
+                write!(f, "heap exhausted allocating {request} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits_are_generous() {
+        let l = RunLimits::default();
+        assert!(l.max_instructions >= 1_000_000_000);
+        assert!(l.max_stack_depth >= 10_000);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            VmError::OutOfMemory { request: 64 }.to_string(),
+            "heap exhausted allocating 64 bytes"
+        );
+    }
+}

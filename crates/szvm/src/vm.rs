@@ -1,0 +1,566 @@
+//! The interpreter proper.
+
+use sz_ir::{AluOp, CodeLayout, FuncId, Instr, Operand, Program, Reg, Terminator};
+use sz_machine::{MachineConfig, MemorySystem};
+
+use crate::engine::FrameView;
+use crate::{LayoutEngine, RunLimits, RunReport, ValueMemory, VmError};
+
+/// An interpreter for one program.
+///
+/// Construction precomputes per-function code layouts (instruction
+/// byte offsets); [`Vm::run`] then executes the program under any
+/// [`LayoutEngine`].
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    layouts: Vec<CodeLayout>,
+}
+
+/// One activation record.
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    code_base: u64,
+    regs: Vec<u64>,
+    /// Address of stack slot 0 (frames grow down from the caller).
+    frame_addr: u64,
+    /// Where the caller stores this activation's return value.
+    ret_to: Option<Reg>,
+    block: usize,
+    instr: usize,
+    /// Stack pointer to restore on return.
+    sp_restore: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Prepares the program for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation — run
+    /// [`Program::validate`] first for a recoverable check.
+    pub fn new(program: &'p Program) -> Self {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program {}: {e}", program.name));
+        let layouts = program.functions.iter().map(|f| f.layout()).collect();
+        Vm { program, layouts }
+    }
+
+    /// The program this VM executes.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Executes the program to completion under `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] if the instruction budget, stack depth, or
+    /// heap is exhausted.
+    pub fn run(
+        &self,
+        engine: &mut dyn LayoutEngine,
+        config: MachineConfig,
+        limits: RunLimits,
+    ) -> Result<RunReport, VmError> {
+        let mut mem = MemorySystem::new(config);
+        engine.prepare(self.program);
+
+        let mut values = ValueMemory::new();
+        for (i, g) in self.program.globals.iter().enumerate() {
+            let base = engine.global_base(sz_ir::GlobalId(i as u32));
+            match g.init {
+                sz_ir::GlobalInit::Zero => {}
+                sz_ir::GlobalInit::F64Bits(b) | sz_ir::GlobalInit::U64(b) => {
+                    values.write(base, b);
+                }
+            }
+        }
+
+        let mut exec = Exec {
+            vm: self,
+            engine,
+            mem: &mut mem,
+            values,
+            stack: Vec::new(),
+            stack_view: Vec::new(),
+            sp: 0,
+            limits,
+        };
+        exec.sp = exec.engine.stack_base();
+        exec.push_frame(self.program.entry, &[], None)?;
+
+        let mut return_value = None;
+        while !exec.stack.is_empty() {
+            return_value = exec.step()?;
+        }
+
+        let counters = *mem.counters();
+        Ok(RunReport {
+            cycles: counters.cycles,
+            instructions: counters.instructions,
+            time: config.time_of(counters.cycles),
+            counters,
+            return_value,
+            engine: engine.name().to_string(),
+        })
+    }
+}
+
+/// Mutable execution state, split out so borrows stay simple.
+struct Exec<'a, 'p> {
+    vm: &'a Vm<'p>,
+    engine: &'a mut dyn LayoutEngine,
+    mem: &'a mut MemorySystem,
+    values: ValueMemory,
+    stack: Vec<Frame>,
+    stack_view: Vec<FrameView>,
+    sp: u64,
+    limits: RunLimits,
+}
+
+impl Exec<'_, '_> {
+    fn operand(&self, frame: &Frame, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => frame.regs[r.0 as usize],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: &[u64],
+        ret_to: Option<Reg>,
+    ) -> Result<(), VmError> {
+        if self.stack.len() >= self.limits.max_stack_depth {
+            return Err(VmError::StackOverflow { limit: self.limits.max_stack_depth });
+        }
+        // Re-randomization check fires at function entry, modelling the
+        // trap STABILIZER plants at each function's first byte (§3.3).
+        self.engine
+            .tick(self.mem.counters().cycles, &self.stack_view, self.mem);
+
+        let code_base = self.engine.enter_function(func, self.mem);
+        let f = &self.vm.program.functions[func.0 as usize];
+        let pad = self.engine.stack_pad(func, self.mem);
+        let sp_restore = self.sp;
+        // Layout below the caller: [linkage word][slots...], padded.
+        let new_sp = self.sp - pad - f.frame_bytes() - 8;
+        // Pushing the return address is a real store through the cache:
+        // this is how stack placement reaches the timing model.
+        self.mem.store(new_sp + f.frame_bytes());
+        self.sp = new_sp;
+
+        let mut regs = vec![0u64; usize::from(f.num_regs)];
+        regs[..args.len()].copy_from_slice(args);
+        self.stack.push(Frame {
+            func,
+            code_base,
+            regs,
+            frame_addr: new_sp,
+            ret_to,
+            block: 0,
+            instr: 0,
+            sp_restore,
+        });
+        self.stack_view.push(FrameView { func, code_base });
+        Ok(())
+    }
+
+    /// Executes one instruction or terminator of the top frame.
+    /// Returns the program's final value when the last frame returns.
+    fn step(&mut self) -> Result<Option<u64>, VmError> {
+        if self.mem.counters().instructions >= self.limits.max_instructions {
+            return Err(VmError::OutOfFuel { limit: self.limits.max_instructions });
+        }
+
+        let top = self.stack.len() - 1;
+        let (func, block, instr_idx, code_base) = {
+            let f = &self.stack[top];
+            (f.func, f.block, f.instr, f.code_base)
+        };
+        let function = &self.vm.program.functions[func.0 as usize];
+        let layout = &self.vm.layouts[func.0 as usize];
+        let block_ref = &function.blocks[block];
+
+        if instr_idx < block_ref.instrs.len() {
+            let instr = &block_ref.instrs[instr_idx];
+            let pc = code_base + layout.instr_offsets[block][instr_idx];
+            self.mem.fetch(pc, instr.encoded_size());
+            self.mem.retire(instr.base_cycles());
+            self.stack[top].instr += 1;
+            self.exec_instr(top, instr.clone())?;
+        } else {
+            let pc = code_base + layout.terminator_offset(sz_ir::BlockId(block as u32));
+            let term = block_ref.term.clone();
+            self.mem.fetch(pc, term.encoded_size());
+            self.mem.retire(1);
+            return self.exec_terminator(top, pc, term);
+        }
+        Ok(None)
+    }
+
+    fn exec_instr(&mut self, top: usize, instr: Instr) -> Result<(), VmError> {
+        match instr {
+            Instr::Alu { dst, op, a, b } => {
+                let frame = &self.stack[top];
+                let x = self.operand(frame, a);
+                let y = self.operand(frame, b);
+                let v = alu(op, x, y);
+                self.stack[top].regs[dst.0 as usize] = v;
+            }
+            Instr::FpConst { dst, bits } => {
+                self.stack[top].regs[dst.0 as usize] = bits;
+            }
+            Instr::IntToFp { dst, src } => {
+                let v = self.operand(&self.stack[top], src) as i64;
+                self.stack[top].regs[dst.0 as usize] = (v as f64).to_bits();
+            }
+            Instr::FpToInt { dst, src } => {
+                let v = f64::from_bits(self.operand(&self.stack[top], src));
+                self.stack[top].regs[dst.0 as usize] = v as i64 as u64;
+            }
+            Instr::LoadSlot { dst, slot } => {
+                let addr = self.stack[top].frame_addr + u64::from(slot) * 8;
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StoreSlot { src, slot } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let addr = frame.frame_addr + u64::from(slot) * 8;
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::LoadGlobal { dst, global, offset } => {
+                let off = self.operand(&self.stack[top], offset);
+                let addr = self.engine.global_base(global).wrapping_add(off);
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StoreGlobal { src, global, offset } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let off = self.operand(frame, offset);
+                let addr = self.engine.global_base(global).wrapping_add(off);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::LoadPtr { dst, base, offset } => {
+                let addr = self.stack[top].regs[base.0 as usize].wrapping_add(offset as u64);
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StorePtr { src, base, offset } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let addr = frame.regs[base.0 as usize].wrapping_add(offset as u64);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::Malloc { dst, size } => {
+                let sz = self.operand(&self.stack[top], size).max(1);
+                let addr = self
+                    .engine
+                    .malloc(sz, self.mem)
+                    .ok_or(VmError::OutOfMemory { request: sz })?;
+                self.stack[top].regs[dst.0 as usize] = addr;
+            }
+            Instr::Free { ptr } => {
+                let addr = self.stack[top].regs[ptr.0 as usize];
+                self.engine.free(addr, self.mem);
+            }
+            Instr::Call { func, args, ret } => {
+                let frame = &self.stack[top];
+                let argv: Vec<u64> = args.iter().map(|a| self.operand(frame, *a)).collect();
+                self.push_frame(func, &argv, ret)?;
+            }
+            Instr::Nop { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn exec_terminator(
+        &mut self,
+        top: usize,
+        pc: u64,
+        term: Terminator,
+    ) -> Result<Option<u64>, VmError> {
+        match term {
+            Terminator::Jump(target) => {
+                self.stack[top].block = target.0 as usize;
+                self.stack[top].instr = 0;
+                Ok(None)
+            }
+            Terminator::Branch { cond, taken, not_taken } => {
+                let c = self.operand(&self.stack[top], cond) != 0;
+                self.mem.branch(pc, c);
+                let target = if c { taken } else { not_taken };
+                self.stack[top].block = target.0 as usize;
+                self.stack[top].instr = 0;
+                Ok(None)
+            }
+            Terminator::Ret { value } => {
+                let v = value.map(|op| self.operand(&self.stack[top], op));
+                let frame = self.stack.pop().expect("top frame exists");
+                self.stack_view.pop();
+                // Popping the return address is a load.
+                let function = &self.vm.program.functions[frame.func.0 as usize];
+                self.mem.load(frame.frame_addr + function.frame_bytes());
+                self.sp = frame.sp_restore;
+                if let Some(caller) = self.stack.last_mut() {
+                    if let (Some(reg), Some(val)) = (frame.ret_to, v) {
+                        caller.regs[reg.0 as usize] = val;
+                    }
+                    Ok(None)
+                } else {
+                    Ok(v)
+                }
+            }
+        }
+    }
+}
+
+/// ALU semantics live on [`AluOp::eval`] so the optimizer's constant
+/// folder and the interpreter can never disagree.
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    op.eval(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimpleLayout;
+    use sz_ir::ProgramBuilder;
+
+    fn run(program: &Program) -> RunReport {
+        let mut engine = SimpleLayout::new();
+        Vm::new(program)
+            .run(&mut engine, MachineConfig::tiny(), RunLimits::default())
+            .expect("run succeeds")
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let a = f.alu(AluOp::Mul, 6, 7);
+        let b = f.alu(AluOp::Sub, a, 2);
+        f.ret(Some(b.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(40));
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        // sum 0..100 via slots, exercising branches and stack memory.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let s_i = f.slot();
+        let s_sum = f.slot();
+        f.store_slot(s_i, 0);
+        f.store_slot(s_sum, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        let i = f.load_slot(s_i);
+        let c = f.alu(AluOp::CmpLt, i, 100);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i = f.load_slot(s_i);
+        let sum = f.load_slot(s_sum);
+        let ns = f.alu(AluOp::Add, sum, i);
+        f.store_slot(s_sum, ns);
+        let ni = f.alu(AluOp::Add, i, 1);
+        f.store_slot(s_i, ni);
+        f.jump(header);
+        f.switch_to(exit);
+        let out = f.load_slot(s_sum);
+        f.ret(Some(out.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(4950));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return_values() {
+        let mut p = ProgramBuilder::new("t");
+        let mut sq = p.function("square", 1);
+        let x = sq.param(0);
+        let v = sq.alu(AluOp::Mul, x, x);
+        sq.ret(Some(v.into()));
+        let square = p.add_function(sq);
+        let mut f = p.function("main", 0);
+        let r = f.call(square, vec![9.into()]);
+        let r2 = f.call(square, vec![r.into()]);
+        f.ret(Some(r2.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(6561));
+    }
+
+    #[test]
+    fn recursion_computes_factorial() {
+        let mut p = ProgramBuilder::new("t");
+        let fact = p.declare();
+        let mut fb = p.function("fact", 1);
+        let n = fb.param(0);
+        let base = fb.new_block();
+        let rec = fb.new_block();
+        let c = fb.alu(AluOp::CmpLt, n, 2);
+        fb.branch(c, base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(1.into()));
+        fb.switch_to(rec);
+        let m = fb.alu(AluOp::Sub, n, 1);
+        let sub = fb.call(fact, vec![m.into()]);
+        let out = fb.alu(AluOp::Mul, n, sub);
+        fb.ret(Some(out.into()));
+        p.define(fact, fb);
+        let mut f = p.function("main", 0);
+        let r = f.call(fact, vec![10.into()]);
+        f.ret(Some(r.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(3_628_800));
+    }
+
+    #[test]
+    fn heap_pointers_work() {
+        // Build a 3-node linked list on the heap and walk it.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        // node: [value, next]
+        let n1 = f.malloc(16);
+        let n2 = f.malloc(16);
+        let n3 = f.malloc(16);
+        f.store_ptr(n1, 0, 10);
+        f.store_ptr(n1, 8, n2);
+        f.store_ptr(n2, 0, 20);
+        f.store_ptr(n2, 8, n3);
+        f.store_ptr(n3, 0, 30);
+        f.store_ptr(n3, 8, 0);
+        // walk
+        let v1 = f.load_ptr(n1, 0);
+        let p2 = f.load_ptr(n1, 8);
+        let v2 = f.load_ptr(p2, 0);
+        let p3 = f.load_ptr(p2, 8);
+        let v3 = f.load_ptr(p3, 0);
+        let s = f.alu(AluOp::Add, v1, v2);
+        let s = f.alu(AluOp::Add, s, v3);
+        f.free(n1);
+        f.ret(Some(s.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(60));
+    }
+
+    #[test]
+    fn float_path() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let half = f.fp_const(0.5);
+        let three = f.int_to_fp(3);
+        let v = f.alu(AluOp::FMul, three, half);
+        let out = f.fp_to_int(v); // 1.5 -> 1
+        f.ret(Some(out.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(1));
+    }
+
+    #[test]
+    fn globals_initialized_and_mutable() {
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global_init("k", 8, sz_ir::GlobalInit::U64(100));
+        let arr = p.global("arr", 64);
+        let mut f = p.function("main", 0);
+        let k = f.load_global(g, 0);
+        f.store_global(arr, 16, k);
+        let v = f.load_global(arr, 16);
+        f.ret(Some(v.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        assert_eq!(run(&prog).return_value, Some(100));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let spin = f.new_block();
+        f.jump(spin);
+        f.switch_to(spin);
+        f.jump(spin);
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let mut engine = SimpleLayout::new();
+        let err = Vm::new(&prog)
+            .run(
+                &mut engine,
+                MachineConfig::tiny(),
+                RunLimits { max_instructions: 1000, max_stack_depth: 10 },
+            )
+            .unwrap_err();
+        assert_eq!(err, VmError::OutOfFuel { limit: 1000 });
+    }
+
+    #[test]
+    fn stack_depth_limit() {
+        let mut p = ProgramBuilder::new("t");
+        let f_id = p.declare();
+        let mut fb = p.function("f", 0);
+        let r = fb.call(f_id, vec![]);
+        fb.ret(Some(r.into()));
+        p.define(f_id, fb);
+        let mut main = p.function("main", 0);
+        main.call_void(f_id, vec![]);
+        main.ret(None);
+        let entry = p.add_function(main);
+        let prog = p.finish(entry).unwrap();
+        let mut engine = SimpleLayout::new();
+        let err = Vm::new(&prog)
+            .run(
+                &mut engine,
+                MachineConfig::tiny(),
+                RunLimits { max_instructions: 10_000_000, max_stack_depth: 64 },
+            )
+            .unwrap_err();
+        assert_eq!(err, VmError::StackOverflow { limit: 64 });
+    }
+
+    #[test]
+    fn identical_runs_are_cycle_deterministic() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let s = f.slot();
+        f.store_slot(s, 7);
+        let v = f.load_slot(s);
+        f.ret(Some(v.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let a = run(&prog);
+        let b = run(&prog);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn report_time_matches_cycles() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        f.ret(None);
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let r = run(&prog);
+        let cfg = MachineConfig::tiny();
+        assert!((r.time.as_nanos() - cfg.time_of(r.cycles).as_nanos()).abs() < 1e-9);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! `astar` — grid pathfinding: pointer-linked node traversal with
+//! data-dependent branches (SPEC 473.astar's character).
+
+use sz_ir::{AluOp, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let nodes = scale.iters(256);
+    let steps = scale.iters(6_000);
+
+    let mut p = ProgramBuilder::new("astar");
+    // Pointer table for the node graph.
+    let node_table = p.global("node_table", (nodes as u64) * 8);
+    // Terrain cost field.
+    let grid = p.global("grid", scale.bytes(16_384));
+
+    // heuristic(dx, dy): |dx| + |dy| in branchless-ish arithmetic.
+    let mut h = p.function("heuristic", 2);
+    let dx = h.param(0);
+    let dy = h.param(1);
+    // abs(x) for our unsigned values: min(x, -x) by comparison.
+    let ndx = h.alu(AluOp::Sub, 0, dx);
+    let c1 = h.alu(AluOp::CmpLt, dx, ndx);
+    let sel1 = h.alu(AluOp::Mul, c1, dx);
+    let nc1 = h.alu(AluOp::CmpEq, c1, 0);
+    let sel2 = h.alu(AluOp::Mul, nc1, ndx);
+    let ax = h.alu(AluOp::Add, sel1, sel2);
+    let out = h.alu(AluOp::Add, ax, dy);
+    h.ret(Some(out.into()));
+    let heuristic = p.add_function(h);
+
+    // visit(node): load f-cost and position, fold in terrain cost.
+    let mut v = p.function("visit", 1);
+    let node = v.param(0);
+    let fcost = v.load_ptr(node, 0);
+    let pos = v.load_ptr(node, 8);
+    let off = v.alu(AluOp::And, pos, (scale.bytes(16_384) - 8) as i64 & !7);
+    let terrain = v.load_global(grid, off);
+    let sum = v.alu(AluOp::Add, fcost, terrain);
+    v.ret(Some(sum.into()));
+    let visit = p.add_function(v);
+
+    // main: build the node graph on the heap, then search.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0xA57A);
+    // Allocation phase: one 32-byte node per slot.
+    counted_loop(&mut m, nodes, |f, i| {
+        let node = f.malloc(32);
+        let idx = f.alu(AluOp::Shl, i, 3);
+        f.store_global(node_table, idx, node);
+        let r = lcg_next(f, rng);
+        f.store_ptr(node, 0, r); // f-cost
+        f.store_ptr(node, 8, i); // position
+    });
+    // Linking phase: node[i].next = node[(i * 7 + 3) % nodes] — a long
+    // pseudo-random cycle, so traversal hops around the heap.
+    counted_loop(&mut m, nodes, |f, i| {
+        let idx = f.alu(AluOp::Shl, i, 3);
+        let node = f.load_global(node_table, idx);
+        let j7 = f.alu(AluOp::Mul, i, 7);
+        let j = f.alu(AluOp::Add, j7, 3);
+        let jm = f.alu(AluOp::Rem, j, nodes);
+        let jidx = f.alu(AluOp::Shl, jm, 3);
+        let next = f.load_global(node_table, jidx);
+        f.store_ptr(node, 16, next);
+    });
+    // Search phase: walk the list, scoring each node; branch on the
+    // score's parity (data-dependent).
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    let cur = m.load_global(node_table, 0);
+    counted_loop(&mut m, steps, |f, i| {
+        let score = f.call(visit, vec![cur.into()]);
+        let hx = f.alu(AluOp::And, score, 63);
+        let hv = f.call(heuristic, vec![hx.into(), i.into()]);
+        let odd = f.alu(AluOp::And, score, 1);
+        let then_b = f.new_block();
+        let else_b = f.new_block();
+        let done = f.new_block();
+        f.branch(odd, then_b, else_b);
+        f.switch_to(then_b);
+        f.alu_into(acc, AluOp::Add, acc, hv);
+        f.jump(done);
+        f.switch_to(else_b);
+        f.alu_into(acc, AluOp::Xor, acc, score);
+        f.jump(done);
+        f.switch_to(done);
+        let next = f.load_ptr(cur, 16);
+        f.alu_into(cur, AluOp::Add, next, 0);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("astar generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn pointer_chasing_dominates() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Characteristic: plenty of branches AND loads.
+        assert!(r.counters.branches > 100);
+        assert!(r.counters.l1d_misses > 10, "graph walk must miss");
+    }
+}

@@ -1,0 +1,118 @@
+//! `bzip2` — block compression: move-to-front table scans and
+//! bit-counting with data-dependent branches (SPEC 401.bzip2's
+//! character).
+
+use sz_ir::{AluOp, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let block = scale.bytes(32_768);
+    let iters = scale.iters(8_000);
+
+    let mut p = ProgramBuilder::new("bzip2");
+    let input = p.global("input_block", block);
+    let mtf = p.global("mtf_table", 256 * 8);
+    let freq = p.global("freq_table", 256 * 8);
+
+    // mtf_rank(symbol): scan the first 16 table entries for the symbol,
+    // counting positions (branch per entry); then rotate the head.
+    let mut f = p.function("mtf_rank", 1);
+    let sym = f.param(0);
+    let rank = f.reg();
+    f.alu_into(rank, AluOp::Add, 0, 0);
+    counted_loop(&mut f, 16, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let entry = f.load_global(mtf, off);
+        let ne = f.alu(AluOp::CmpEq, entry, sym);
+        let miss = f.alu(AluOp::CmpEq, ne, 0);
+        f.alu_into(rank, AluOp::Add, rank, miss);
+    });
+    // Move-to-front: write the symbol at slot 0 (simplified rotation).
+    f.store_global(mtf, 0, sym);
+    f.ret(Some(rank.into()));
+    let mtf_rank = p.add_function(f);
+
+    // bit_cost(v): number of significant bits, via a shift loop with a
+    // branch per bit.
+    let mut f = p.function("bit_cost", 1);
+    let v = f.param(0);
+    let bits = f.reg();
+    let cur = f.reg();
+    f.alu_into(bits, AluOp::Add, 0, 0);
+    f.alu_into(cur, AluOp::Add, v, 0);
+    counted_loop(&mut f, 8, |f, _| {
+        let nz = f.alu(AluOp::CmpLt, 0, cur);
+        f.alu_into(bits, AluOp::Add, bits, nz);
+        let sh = f.alu(AluOp::Shr, cur, 1);
+        f.alu_into(cur, AluOp::Add, sh, 0);
+    });
+    f.ret(Some(bits.into()));
+    let bit_cost = p.add_function(f);
+
+    // main: fill the block pseudo-randomly, then encode it.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0xB212);
+    let fill = (block / 8) as i64;
+    counted_loop(&mut m, fill, |f, i| {
+        let r = lcg_next(f, rng);
+        let off = f.alu(AluOp::Shl, i, 3);
+        let byte = f.alu(AluOp::And, r, 255);
+        f.store_global(input, off, byte);
+    });
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, iters, |f, i| {
+        let pos = f.alu(AluOp::Rem, i, fill);
+        let off = f.alu(AluOp::Shl, pos, 3);
+        let sym = f.load_global(input, off);
+        let rank = f.call(mtf_rank, vec![sym.into()]);
+        let cost = f.call(bit_cost, vec![rank.into()]);
+        // Frequency update: histogram store at a data-dependent slot.
+        let foff = f.alu(AluOp::Shl, sym, 3);
+        let fold = f.load_global(freq, foff);
+        let finc = f.alu(AluOp::Add, fold, 1);
+        f.store_global(freq, foff, finc);
+        // Cheap symbols take a different path than expensive ones.
+        let cheap = f.alu(AluOp::CmpLt, rank, 8);
+        let t = f.new_block();
+        let e = f.new_block();
+        let done = f.new_block();
+        f.branch(cheap, t, e);
+        f.switch_to(t);
+        f.alu_into(acc, AluOp::Add, acc, cost);
+        f.jump(done);
+        f.switch_to(e);
+        let penalty = f.alu(AluOp::Shl, cost, 2);
+        f.alu_into(acc, AluOp::Add, acc, penalty);
+        f.jump(done);
+        f.switch_to(done);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("bzip2 generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn branch_heavy_profile() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Characteristic: branches dominate (table scans + bit loops).
+        assert!(
+            r.counters.branches * 4 > r.counters.instructions / 4,
+            "bzip2 must be branchy: {} branches / {} instrs",
+            r.counters.branches,
+            r.counters.instructions
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! `cactusADM` — numerical relativity: FP stencils over large heap
+//! arrays whose awkward sizes round badly in a power-of-two allocator
+//! (the paper singles this benchmark out for exactly that, §5.2).
+
+use sz_ir::{AluOp, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    // Deliberately pow2-hostile array size (in 8-byte lattice cells).
+    let cells = (scale.bytes(36_000) / 8) as i64;
+    let sweeps = scale.iters(48);
+
+    let mut p = ProgramBuilder::new("cactusADM");
+    // Pointers to the heap arrays live in globals.
+    let field_ptr = p.global("field_ptr", 8);
+    let next_ptr = p.global("next_ptr", 8);
+
+    // relax_strip(base_cell): one 8-cell strip of the 1-D Einstein-toy
+    // relaxation: next[i] = 0.25*field[i-1] + 0.5*field[i] + 0.25*field[i+1].
+    let mut f = p.function("relax_strip", 1);
+    let base = f.param(0);
+    let field = f.load_global(field_ptr, 0);
+    let next = f.load_global(next_ptr, 0);
+    let quarter = f.fp_const(0.25);
+    let half = f.fp_const(0.5);
+    counted_loop(&mut f, 8, |f, k| {
+        let cell = f.alu(AluOp::Add, base, k);
+        let off = f.alu(AluOp::Shl, cell, 3);
+        let addr = f.alu(AluOp::Add, field, off);
+        let left = f.load_ptr(addr, 0);
+        let mid = f.load_ptr(addr, 8);
+        let right = f.load_ptr(addr, 16);
+        let a = f.alu(AluOp::FMul, left, quarter);
+        let b = f.alu(AluOp::FMul, mid, half);
+        let c = f.alu(AluOp::FMul, right, quarter);
+        let ab = f.alu(AluOp::FAdd, a, b);
+        let abc = f.alu(AluOp::FAdd, ab, c);
+        let daddr = f.alu(AluOp::Add, next, off);
+        f.store_ptr(daddr, 8, abc);
+    });
+    f.ret(None);
+    let relax_strip = p.add_function(f);
+
+    // main: allocate the two big arrays, initialize, sweep repeatedly.
+    let mut m = p.function("main", 0);
+    let bytes = (cells as u64 * 8 + 16) as i64; // +ghost cells
+    let a1 = m.malloc(bytes);
+    let a2 = m.malloc(bytes);
+    m.store_global(field_ptr, 0, a1);
+    m.store_global(next_ptr, 0, a2);
+    let one = m.fp_const(1.0);
+    let tiny = m.fp_const(0.001);
+    let val = m.reg();
+    m.alu_into(val, AluOp::Add, one, 0);
+    counted_loop(&mut m, cells, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        f.store_ptr(a1, 0, val); // warm the allocator's first line
+        let addr = f.alu(AluOp::Add, a1, off);
+        f.store_ptr(addr, 0, val);
+        f.alu_into(val, AluOp::FAdd, val, tiny);
+    });
+    let strips = cells / 8 - 1;
+    counted_loop(&mut m, sweeps, |f, _t| {
+        counted_loop(f, strips, |f, s| {
+            let base = f.alu(AluOp::Shl, s, 3);
+            f.call_void(relax_strip, vec![base.into()]);
+        });
+        // Swap field/next pointers for the next sweep.
+        let fp = f.load_global(field_ptr, 0);
+        let np = f.load_global(next_ptr, 0);
+        f.store_global(field_ptr, 0, np);
+        f.store_global(next_ptr, 0, fp);
+    });
+    // Checksum: center cell, bit pattern truncated.
+    let field = m.load_global(field_ptr, 0);
+    let mid_off = ((cells / 2) * 8) as i64;
+    let center = m.load_ptr(field, mid_off);
+    let sum = m.alu(AluOp::Shr, center, 32);
+    m.free(a1);
+    m.free(a2);
+    m.ret(Some(sum.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("cactusADM generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn fp_streaming_profile() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Few functions, low branch fraction (stencil, not logic).
+        assert!(prog.functions.len() <= 4);
+        assert!(
+            r.counters.branches * 4 < r.counters.instructions,
+            "stencil code should be branch-light"
+        );
+    }
+}

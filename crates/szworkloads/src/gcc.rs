@@ -1,0 +1,130 @@
+//! `gcc` — a compiler-shaped workload: dozens of distinct "pass"
+//! functions with a very large combined code footprint, so instruction
+//! cache behaviour (and therefore code layout) dominates (SPEC
+//! 403.gcc's character; the paper notes gcc's many functions make
+//! stack-table overhead visible too).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Number of distinct pass functions.
+const PASSES: usize = 36;
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let units = scale.iters(600);
+
+    let mut p = ProgramBuilder::new("gcc");
+    let symtab = p.global("symtab", scale.bytes(32_768));
+    let symtab_mask = (scale.bytes(32_768) - 8) as i64 & !7;
+
+    // Generate PASSES distinct pass functions. Each has a different
+    // body size (code-footprint diversity) and hits the symbol table
+    // at pass-specific offsets.
+    let mut passes = Vec::with_capacity(PASSES);
+    for k in 0..PASSES {
+        let mut f = p.function(format!("pass_{k}"), 1);
+        let ir = f.param(0);
+        // Size diversity: pass k carries k*11 bytes of extra code.
+        for _ in 0..(k % 12) {
+            f.nop(11);
+        }
+        let acc = f.reg();
+        f.alu_into(acc, AluOp::Add, ir, k as i64);
+        // A few symbol-table probes at pass-specific strides.
+        let stride = (k as i64 % 7 + 1) * 8;
+        counted_loop(&mut f, 4, |f, i| {
+            let step = f.alu(AluOp::Mul, i, stride);
+            let mix = f.alu(AluOp::Add, step, acc);
+            let off = f.alu(AluOp::And, mix, symtab_mask);
+            let sym = f.load_global(symtab, off);
+            f.alu_into(acc, AluOp::Xor, acc, sym);
+            let upd = f.alu(AluOp::Add, sym, 1);
+            f.store_global(symtab, off, upd);
+        });
+        let out = f.alu(AluOp::And, acc, 0xFFFF);
+        f.ret(Some(out.into()));
+        passes.push(p.add_function(f));
+    }
+
+    // main: for each "compilation unit", run a front-end group of
+    // passes unconditionally and a back-end pass selected by the unit's
+    // content (a 3-way branch tree — dispatch is how gcc behaves).
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x6CC);
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, units, |f, i| {
+        let r = lcg_next(f, rng);
+        let ir0 = f.alu(AluOp::And, r, 1023);
+        // Front end: first 12 passes, always.
+        let cur = f.reg();
+        f.alu_into(cur, AluOp::Add, ir0, 0);
+        for &pass in &passes[..12] {
+            let out = f.call(pass, vec![Operand::Reg(cur)]);
+            f.alu_into(cur, AluOp::Add, out, 0);
+        }
+        // Back end: pick one of three pass groups by the unit's shape.
+        let sel = f.alu(AluOp::Rem, r, 3);
+        let is0 = f.alu(AluOp::CmpEq, sel, 0);
+        let is1 = f.alu(AluOp::CmpEq, sel, 1);
+        let g0 = f.new_block();
+        let g12 = f.new_block();
+        let g1 = f.new_block();
+        let g2 = f.new_block();
+        let done = f.new_block();
+        f.branch(is0, g0, g12);
+        f.switch_to(g0);
+        for &pass in &passes[12..20] {
+            let out = f.call(pass, vec![Operand::Reg(cur)]);
+            f.alu_into(cur, AluOp::Add, out, 0);
+        }
+        f.jump(done);
+        f.switch_to(g12);
+        f.branch(is1, g1, g2);
+        f.switch_to(g1);
+        for &pass in &passes[20..28] {
+            let out = f.call(pass, vec![Operand::Reg(cur)]);
+            f.alu_into(cur, AluOp::Add, out, 0);
+        }
+        f.jump(done);
+        f.switch_to(g2);
+        for &pass in &passes[28..36] {
+            let out = f.call(pass, vec![Operand::Reg(cur)]);
+            f.alu_into(cur, AluOp::Add, out, 0);
+        }
+        f.jump(done);
+        f.switch_to(done);
+        f.alu_into(acc, AluOp::Xor, acc, cur);
+        let _ = i;
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("gcc generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn huge_code_footprint() {
+        let prog = build(Scale::Small);
+        assert!(prog.functions.len() >= PASSES, "one function per pass");
+        // Big combined code size: i-cache pressure is the point.
+        assert!(prog.code_size() > 4_000, "code size {}", prog.code_size());
+    }
+
+    #[test]
+    fn icache_misses_appear_on_a_small_machine() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert!(r.counters.l1i_misses > 50, "only {} L1I misses", r.counters.l1i_misses);
+    }
+}

@@ -1,0 +1,127 @@
+//! `gobmk` — Go engine: recursive game-tree search over a board with
+//! many small evaluation functions (SPEC 445.gobmk's character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Number of pattern-matcher helper functions.
+const PATTERNS: usize = 16;
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let root_moves = scale.iters(96);
+    let depth = 4i64;
+
+    let mut p = ProgramBuilder::new("gobmk");
+    let board = p.global("board", 368 * 8); // 19x19 + edges
+
+    // Pattern matchers: small distinct functions probing the board.
+    let mut patterns = Vec::with_capacity(PATTERNS);
+    for k in 0..PATTERNS {
+        let mut f = p.function(format!("pattern_{k}"), 1);
+        let pos = f.param(0);
+        let o1 = f.alu(AluOp::Add, pos, (k as i64 * 3 + 1) % 32);
+        let w1 = f.alu(AluOp::Rem, o1, 368);
+        let b1 = f.alu(AluOp::Shl, w1, 3);
+        let s1 = f.load_global(board, b1);
+        let o2 = f.alu(AluOp::Add, pos, (k as i64 * 5 + 2) % 32);
+        let w2 = f.alu(AluOp::Rem, o2, 368);
+        let b2 = f.alu(AluOp::Shl, w2, 3);
+        let s2 = f.load_global(board, b2);
+        let m = f.alu(AluOp::Xor, s1, s2);
+        let score = f.alu(AluOp::And, m, 0xFF);
+        f.ret(Some(score.into()));
+        patterns.push(p.add_function(f));
+    }
+
+    // evaluate(pos): sum a spread of pattern matchers (many calls).
+    let mut ev = p.function("evaluate", 1);
+    let pos = ev.param(0);
+    let total = ev.reg();
+    ev.alu_into(total, AluOp::Add, 0, 0);
+    for &pat in &patterns[..8] {
+        let s = ev.call(pat, vec![Operand::Reg(pos)]);
+        ev.alu_into(total, AluOp::Add, total, s);
+    }
+    ev.ret(Some(total.into()));
+    let evaluate = p.add_function(ev);
+
+    // search(pos, depth): recursive 3-way tree with board mutation.
+    let search = p.declare();
+    let mut s = p.function("search", 2);
+    let pos = s.param(0);
+    let d = s.param(1);
+    let leaf = s.new_block();
+    let rec = s.new_block();
+    let at_leaf = s.alu(AluOp::CmpEq, d, 0);
+    s.branch(at_leaf, leaf, rec);
+    s.switch_to(leaf);
+    let e = s.call(evaluate, vec![Operand::Reg(pos)]);
+    s.ret(Some(e.into()));
+    s.switch_to(rec);
+    let best = s.reg();
+    s.alu_into(best, AluOp::Add, 0, 0);
+    let nd = s.alu(AluOp::Sub, d, 1);
+    counted_loop(&mut s, 3, |f, mv| {
+        // Play: perturb the board at a move-dependent point.
+        let delta = f.alu(AluOp::Mul, mv, 37);
+        let np = f.alu(AluOp::Add, pos, delta);
+        let w = f.alu(AluOp::Rem, np, 368);
+        let boff = f.alu(AluOp::Shl, w, 3);
+        let old = f.load_global(board, boff);
+        let played = f.alu(AluOp::Xor, old, 1);
+        f.store_global(board, boff, played);
+        let child = f.call(search, vec![Operand::Reg(w), Operand::Reg(nd)]);
+        // Undo.
+        f.store_global(board, boff, old);
+        // best = max(best, child): data-dependent branch.
+        let better = f.alu(AluOp::CmpLt, best, child);
+        let take = f.new_block();
+        let keep = f.new_block();
+        f.branch(better, take, keep);
+        f.switch_to(take);
+        f.alu_into(best, AluOp::Add, child, 0);
+        f.jump(keep);
+        f.switch_to(keep);
+    });
+    s.ret(Some(best.into()));
+    p.define(search, s);
+
+    // main: seed the board, then search from many root positions.
+    let mut m = p.function("main", 0);
+    counted_loop(&mut m, 368, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let v = f.alu(AluOp::Mul, i, 0x9E37);
+        let stone = f.alu(AluOp::And, v, 3);
+        f.store_global(board, off, stone);
+    });
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, root_moves, |f, i| {
+        let root = f.alu(AluOp::Rem, i, 361);
+        let v = f.call(search, vec![Operand::Reg(root), depth.into()]);
+        f.alu_into(acc, AluOp::Add, acc, v);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("gobmk generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn recursion_and_many_functions() {
+        let prog = build(Scale::Tiny);
+        assert!(prog.functions.len() >= PATTERNS + 3);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert!(r.counters.branches > 500, "tree search is branchy");
+    }
+}

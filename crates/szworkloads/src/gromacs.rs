@@ -1,0 +1,98 @@
+//! `gromacs` — molecular dynamics: reciprocal-power force kernels,
+//! floating-point heavy with regular array access (SPEC 435.gromacs's
+//! character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let particles = scale.iters(512);
+    let steps = scale.iters(24);
+
+    let mut p = ProgramBuilder::new("gromacs");
+    let xs = p.global("pos_x", particles as u64 * 8);
+    let ys = p.global("pos_y", particles as u64 * 8);
+    let fs = p.global("force", particles as u64 * 8);
+
+    // lj_force(i, j): Lennard-Jones-flavoured 1/r^6, 1/r^12 kernel.
+    let mut f = p.function("lj_force", 2);
+    let i = f.param(0);
+    let j = f.param(1);
+    let io = f.alu(AluOp::Shl, i, 3);
+    let jo = f.alu(AluOp::Shl, j, 3);
+    let xi = f.load_global(xs, io);
+    let xj = f.load_global(xs, jo);
+    let yi = f.load_global(ys, io);
+    let yj = f.load_global(ys, jo);
+    let dx = f.alu(AluOp::FSub, xi, xj);
+    let dy = f.alu(AluOp::FSub, yi, yj);
+    let dx2 = f.alu(AluOp::FMul, dx, dx);
+    let dy2 = f.alu(AluOp::FMul, dy, dy);
+    let r2pre = f.alu(AluOp::FAdd, dx2, dy2);
+    let eps = f.fp_const(0.03125);
+    let r2 = f.alu(AluOp::FAdd, r2pre, eps); // softening avoids /0
+    let one = f.fp_const(1.0);
+    let inv = f.alu(AluOp::FDiv, one, r2);
+    let inv2 = f.alu(AluOp::FMul, inv, inv);
+    let inv6 = f.alu(AluOp::FMul, inv2, inv2);
+    let rep = f.alu(AluOp::FMul, inv6, inv6);
+    let force = f.alu(AluOp::FSub, rep, inv6);
+    f.ret(Some(force.into()));
+    let lj_force = p.add_function(f);
+
+    // main: initialize positions, run neighbor-window force sweeps.
+    let mut m = p.function("main", 0);
+    let spacing = m.fp_const(0.7);
+    counted_loop(&mut m, particles, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let fi = f.int_to_fp(i);
+        let x = f.alu(AluOp::FMul, fi, spacing);
+        f.store_global(xs, off, x);
+        let jig = f.alu(AluOp::Rem, i, 17);
+        let fj = f.int_to_fp(jig);
+        let y = f.alu(AluOp::FMul, fj, spacing);
+        f.store_global(ys, off, y);
+    });
+    counted_loop(&mut m, steps, |f, _t| {
+        counted_loop(f, particles - 8, |f, i| {
+            let io = f.alu(AluOp::Shl, i, 3);
+            let facc = f.load_global(fs, io);
+            let total = f.reg();
+            f.alu_into(total, AluOp::Add, facc, 0);
+            // 8-neighbour window.
+            counted_loop(f, 8, |f, k| {
+                let j = f.alu(AluOp::Add, i, k);
+                let jj = f.alu(AluOp::Add, j, 1);
+                let fv = f.call(lj_force, vec![Operand::Reg(i), Operand::Reg(jj)]);
+                f.alu_into(total, AluOp::FAdd, total, fv);
+            });
+            f.store_global(fs, io, total);
+        });
+    });
+    let mid = ((particles / 2) * 8) as i64;
+    let out = m.load_global(fs, mid);
+    let sum = m.alu(AluOp::Shr, out, 30);
+    m.ret(Some(sum.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("gromacs generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn floating_point_dominates() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // FDiv/FMul latency should push CPI well above integer code.
+        assert!(r.counters.cpi() > 2.0, "CPI {}", r.counters.cpi());
+    }
+}

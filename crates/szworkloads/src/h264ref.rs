@@ -1,0 +1,113 @@
+//! `h264ref` — video encoding: sum-of-absolute-differences motion
+//! search with data-dependent minimum tracking (SPEC 464.h264ref's
+//! character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let frame = scale.bytes(65_536);
+    let blocks = scale.iters(256);
+    let mask = (frame - 256) as i64 & !7;
+
+    let mut p = ProgramBuilder::new("h264ref");
+    let cur = p.global("cur_frame", frame);
+    let reference = p.global("ref_frame", frame);
+
+    // sad16(a_off, b_off): 16-sample sum of absolute differences.
+    let mut f = p.function("sad16", 2);
+    let a = f.param(0);
+    let b = f.param(1);
+    let acc = f.reg();
+    f.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut f, 16, |f, k| {
+        let step = f.alu(AluOp::Shl, k, 3);
+        let ao = f.alu(AluOp::Add, a, step);
+        let bo = f.alu(AluOp::Add, b, step);
+        let va = f.load_global(cur, ao);
+        let vb = f.load_global(reference, bo);
+        // |va - vb| with a branch (as the sign check compiles on x86
+        // with cmov disabled — deliberately branchy like the original).
+        let lt = f.alu(AluOp::CmpLt, va, vb);
+        let t = f.new_block();
+        let e = f.new_block();
+        let done = f.new_block();
+        f.branch(lt, t, e);
+        f.switch_to(t);
+        let d1 = f.alu(AluOp::Sub, vb, va);
+        f.alu_into(acc, AluOp::Add, acc, d1);
+        f.jump(done);
+        f.switch_to(e);
+        let d2 = f.alu(AluOp::Sub, va, vb);
+        f.alu_into(acc, AluOp::Add, acc, d2);
+        f.jump(done);
+        f.switch_to(done);
+    });
+    f.ret(Some(acc.into()));
+    let sad16 = p.add_function(f);
+
+    // main: fill both frames, then motion-search each block over 9
+    // candidate displacements, tracking the minimum.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x264);
+    counted_loop(&mut m, (frame / 8) as i64, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let r = lcg_next(f, rng);
+        let pix = f.alu(AluOp::And, r, 255);
+        f.store_global(cur, off, pix);
+        let r2 = lcg_next(f, rng);
+        let pix2 = f.alu(AluOp::And, r2, 255);
+        f.store_global(reference, off, pix2);
+    });
+    let total = m.reg();
+    m.alu_into(total, AluOp::Add, 0, 0);
+    counted_loop(&mut m, blocks, |f, b| {
+        let scaled = f.alu(AluOp::Mul, b, 131);
+        let base = f.alu(AluOp::And, scaled, mask);
+        let best = f.reg();
+        f.alu_into(best, AluOp::Add, i64::MAX, 0);
+        counted_loop(f, 9, |f, cand| {
+            let disp = f.alu(AluOp::Mul, cand, 24);
+            let cpos = f.alu(AluOp::Add, base, disp);
+            let cmask = f.alu(AluOp::And, cpos, mask);
+            let sad = f.call(sad16, vec![Operand::Reg(base), Operand::Reg(cmask)]);
+            let better = f.alu(AluOp::CmpLt, sad, best);
+            let take = f.new_block();
+            let keep = f.new_block();
+            f.branch(better, take, keep);
+            f.switch_to(take);
+            f.alu_into(best, AluOp::Add, sad, 0);
+            f.jump(keep);
+            f.switch_to(keep);
+        });
+        f.alu_into(total, AluOp::Add, total, best);
+    });
+    m.ret(Some(total.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("h264ref generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn data_dependent_branches_mispredict() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // The |a-b| sign branches follow random pixels: the predictor
+        // cannot learn them.
+        assert!(
+            r.counters.mispredict_rate() > 0.05,
+            "mispredict rate {}",
+            r.counters.mispredict_rate()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! `hmmer` — profile hidden-Markov-model search: three-matrix dynamic
+//! programming with branchy three-way maxima (SPEC 456.hmmer's
+//! character; the paper notes its alignment-sensitive floating point).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let model_len = scale.iters(128);
+    let seq_len = scale.iters(160);
+
+    let mut p = ProgramBuilder::new("hmmer");
+    let m_row = p.global("match_row", model_len as u64 * 8 + 16);
+    let i_row = p.global("insert_row", model_len as u64 * 8 + 16);
+    let d_row = p.global("delete_row", model_len as u64 * 8 + 16);
+    let emissions = p.global("emissions", 256 * 8);
+
+    // cell(j, emit): the Viterbi cell update — a three-way max of the
+    // match/insert/delete paths, each a load plus an add.
+    let mut f = p.function("cell", 2);
+    let j = f.param(0);
+    let emit = f.param(1);
+    let jo = f.alu(AluOp::Shl, j, 3);
+    let mprev = f.load_global(m_row, jo);
+    let iprev = f.load_global(i_row, jo);
+    let dprev = f.load_global(d_row, jo);
+    let mpath = f.alu(AluOp::Add, mprev, emit);
+    let ipath = f.alu(AluOp::Add, iprev, 3);
+    let dpath = f.alu(AluOp::Add, dprev, 7);
+    // max(mpath, ipath, dpath) with branches (data-dependent).
+    let best = f.reg();
+    f.alu_into(best, AluOp::Add, mpath, 0);
+    let c1 = f.alu(AluOp::CmpLt, best, ipath);
+    let t1 = f.new_block();
+    let n1 = f.new_block();
+    f.branch(c1, t1, n1);
+    f.switch_to(t1);
+    f.alu_into(best, AluOp::Add, ipath, 0);
+    f.jump(n1);
+    f.switch_to(n1);
+    let c2 = f.alu(AluOp::CmpLt, best, dpath);
+    let t2 = f.new_block();
+    let n2 = f.new_block();
+    f.branch(c2, t2, n2);
+    f.switch_to(t2);
+    f.alu_into(best, AluOp::Add, dpath, 0);
+    f.jump(n2);
+    f.switch_to(n2);
+    // Write back the new row values (next j+1 column reads them).
+    let jn = f.alu(AluOp::Add, jo, 8);
+    f.store_global(m_row, jn, best);
+    let ins = f.alu(AluOp::Shr, best, 1);
+    f.store_global(i_row, jn, ins);
+    let del = f.alu(AluOp::Shr, best, 2);
+    f.store_global(d_row, jn, del);
+    f.ret(Some(best.into()));
+    let cell = p.add_function(f);
+
+    // main: random sequence against the model, full DP sweep.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x4333);
+    counted_loop(&mut m, 256, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let r = lcg_next(f, rng);
+        let e = f.alu(AluOp::And, r, 31);
+        f.store_global(emissions, off, e);
+    });
+    let score = m.reg();
+    m.alu_into(score, AluOp::Add, 0, 0);
+    counted_loop(&mut m, seq_len, |f, _si| {
+        let r = lcg_next(f, rng);
+        let sym = f.alu(AluOp::And, r, 255);
+        let so = f.alu(AluOp::Shl, sym, 3);
+        let emit = f.load_global(emissions, so);
+        counted_loop(f, model_len, |f, j| {
+            let v = f.call(cell, vec![Operand::Reg(j), Operand::Reg(emit)]);
+            f.alu_into(score, AluOp::Xor, score, v);
+        });
+    });
+    m.ret(Some(score.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("hmmer generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn dp_inner_loop_dominates() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Rows stay resident: high load count, decent hit rate.
+        assert!(r.counters.branches > 200);
+        assert!(r.instructions > 5_000);
+    }
+}

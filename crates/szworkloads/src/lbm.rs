@@ -1,0 +1,95 @@
+//! `lbm` — lattice Boltzmann: a streaming floating-point stencil over
+//! a large array, memory-bandwidth bound with almost no branches (SPEC
+//! 470.lbm's character).
+
+use sz_ir::{AluOp, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let cells = (scale.bytes(262_144) / 8) as i64;
+    let sweeps = scale.iters(12);
+
+    let mut p = ProgramBuilder::new("lbm");
+    let src_ptr = p.global("src_ptr", 8);
+    let dst_ptr = p.global("dst_ptr", 8);
+
+    // collide_stream(base): 32 cells of the collide-and-stream update.
+    let mut f = p.function("collide_stream", 1);
+    let base = f.param(0);
+    let src = f.load_global(src_ptr, 0);
+    let dst = f.load_global(dst_ptr, 0);
+    let omega = f.fp_const(1.85);
+    let one = f.fp_const(1.0);
+    let rest = f.alu(AluOp::FSub, one, omega);
+    counted_loop(&mut f, 32, |f, k| {
+        let cell = f.alu(AluOp::Add, base, k);
+        let off = f.alu(AluOp::Shl, cell, 3);
+        let saddr = f.alu(AluOp::Add, src, off);
+        let here = f.load_ptr(saddr, 0);
+        let east = f.load_ptr(saddr, 8);
+        let far = f.load_ptr(saddr, 64);
+        let eq = f.alu(AluOp::FAdd, east, far);
+        let relax = f.alu(AluOp::FMul, eq, omega);
+        let keep = f.alu(AluOp::FMul, here, rest);
+        let new = f.alu(AluOp::FAdd, relax, keep);
+        let daddr = f.alu(AluOp::Add, dst, off);
+        f.store_ptr(daddr, 0, new);
+    });
+    f.ret(None);
+    let collide_stream = p.add_function(f);
+
+    // main: allocate the two distribution arrays and sweep.
+    let mut m = p.function("main", 0);
+    let bytes = (cells as u64 * 8 + 128) as i64;
+    let a = m.malloc(bytes);
+    let b = m.malloc(bytes);
+    m.store_global(src_ptr, 0, a);
+    m.store_global(dst_ptr, 0, b);
+    let rho = m.fp_const(0.1);
+    counted_loop(&mut m, cells, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let addr = f.alu(AluOp::Add, a, off);
+        f.store_ptr(addr, 0, rho);
+    });
+    let strips = cells / 32 - 1;
+    counted_loop(&mut m, sweeps, |f, _t| {
+        counted_loop(f, strips, |f, s| {
+            let base = f.alu(AluOp::Shl, s, 5);
+            f.call_void(collide_stream, vec![base.into()]);
+        });
+        let sp = f.load_global(src_ptr, 0);
+        let dp = f.load_global(dst_ptr, 0);
+        f.store_global(src_ptr, 0, dp);
+        f.store_global(dst_ptr, 0, sp);
+    });
+    let sp = m.load_global(src_ptr, 0);
+    let sample = m.load_ptr(sp, 512);
+    let out = m.alu(AluOp::Shr, sample, 40);
+    m.free(a);
+    m.free(b);
+    m.ret(Some(out.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("lbm generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn streaming_memory_bound_profile() {
+        let prog = build(Scale::Tiny);
+        assert!(prog.functions.len() <= 3, "lbm is a couple of big kernels");
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Branch-light: essentially only loop back-edges.
+        assert!(r.counters.mispredict_rate() < 0.2);
+        assert!(r.counters.l1d_misses > 50, "streaming must miss");
+    }
+}

@@ -1,0 +1,128 @@
+//! The synthetic SPEC CPU2006-like benchmark suite.
+//!
+//! The paper evaluates STABILIZER on the C and Fortran subsets of SPEC
+//! CPU2006 — 18 benchmarks spanning pointer-chasing (mcf, astar),
+//! enormous code footprints (gcc, gobmk, perlbench), floating-point
+//! stencils (lbm, cactusADM, zeusmp, wrf), bit manipulation
+//! (libquantum, bzip2), dynamic programming (hmmer), recursion (sjeng,
+//! gobmk), and interpreter dispatch (perlbench). SPEC itself is
+//! proprietary, so each benchmark here is a from-scratch IR generator
+//! reproducing that benchmark's published *workload character* — the
+//! property that determines its row in every table and figure of the
+//! paper (code-footprint sensitivity, heap behaviour, branchiness,
+//! and layout sensitivity).
+//!
+//! # Examples
+//!
+//! ```
+//! use sz_workloads::{suite, Scale};
+//!
+//! let specs = suite();
+//! assert_eq!(specs.len(), 18);
+//! let mcf = sz_workloads::build("mcf", Scale::Tiny).expect("mcf exists");
+//! assert!(mcf.validate().is_ok());
+//! ```
+
+mod suite;
+mod util;
+
+mod astar;
+mod bzip2;
+mod cactusadm;
+mod gcc;
+mod gobmk;
+mod gromacs;
+mod h264ref;
+mod hmmer;
+mod lbm;
+mod libquantum;
+mod mcf;
+mod milc;
+mod namd;
+mod perlbench;
+mod sjeng;
+mod sphinx3;
+mod wrf;
+mod zeusmp;
+
+pub use suite::{build, suite, BenchmarkSpec};
+pub use util::Scale;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn all_benchmarks_validate_at_every_scale() {
+        for spec in suite() {
+            for scale in [Scale::Tiny, Scale::Small] {
+                let p = spec.program(scale);
+                assert_eq!(p.validate(), Ok(()), "{} at {scale:?}", spec.name);
+                assert_eq!(p.name, spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_to_completion_tiny() {
+        for spec in suite() {
+            let p = spec.program(Scale::Tiny);
+            let mut e = SimpleLayout::new();
+            let r = Vm::new(&p)
+                .run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            assert!(r.instructions > 1_000, "{} did almost nothing", spec.name);
+            assert!(r.return_value.is_some(), "{} returns a checksum", spec.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        for spec in suite().into_iter().take(6) {
+            let p = spec.program(Scale::Tiny);
+            let run = || {
+                let mut e = SimpleLayout::new();
+                Vm::new(&p)
+                    .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+                    .unwrap()
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.return_value, b.return_value, "{}", spec.name);
+            assert_eq!(a.cycles, b.cycles, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn suite_matches_paper_names() {
+        let names: Vec<&str> = suite().iter().map(|s| s.name).collect();
+        for expected in [
+            "astar", "bzip2", "cactusADM", "gcc", "gobmk", "gromacs", "h264ref", "hmmer",
+            "lbm", "libquantum", "mcf", "milc", "namd", "perlbench", "sjeng", "sphinx3",
+            "wrf", "zeusmp",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn characters_differ_across_suite() {
+        // The suite must be *diverse*: code sizes and call structures
+        // should span a wide range, like the real SPEC.
+        let sizes: Vec<u64> = suite()
+            .iter()
+            .map(|s| (s.build)(Scale::Small).code_size())
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > &(min * 4), "code sizes too uniform: {sizes:?}");
+
+        let fn_counts: Vec<usize> = suite()
+            .iter()
+            .map(|s| (s.build)(Scale::Small).functions.len())
+            .collect();
+        assert!(fn_counts.iter().max().unwrap() >= &20, "gcc-likes need many functions");
+        assert!(fn_counts.iter().min().unwrap() <= &8, "lbm-likes need few functions");
+    }
+}

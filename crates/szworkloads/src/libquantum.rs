@@ -1,0 +1,76 @@
+//! `libquantum` — quantum computer simulation: regular bit-twiddling
+//! sweeps over a register file (SPEC 462.libquantum's character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let states = (scale.bytes(131_072) / 8) as i64;
+    let gates = scale.iters(64);
+
+    let mut p = ProgramBuilder::new("libquantum");
+    let reg_file = p.global("register_file", states as u64 * 8);
+
+    // apply_gate(mask, phase): sweep the register, flipping amplitude
+    // words that match the control mask.
+    let mut f = p.function("apply_gate", 2);
+    let mask = f.param(0);
+    let phase = f.param(1);
+    let flips = f.reg();
+    f.alu_into(flips, AluOp::Add, 0, 0);
+    counted_loop(&mut f, states, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let amp = f.load_global(reg_file, off);
+        let controlled = f.alu(AluOp::And, amp, mask);
+        let hit = f.alu(AluOp::CmpEq, controlled, mask);
+        // Branch-free update, like the real tight loops: amplitude
+        // XORed with (hit * phase).
+        let delta = f.alu(AluOp::Mul, hit, phase);
+        let new = f.alu(AluOp::Xor, amp, delta);
+        f.store_global(reg_file, off, new);
+        f.alu_into(flips, AluOp::Add, flips, hit);
+    });
+    f.ret(Some(flips.into()));
+    let apply_gate = p.add_function(f);
+
+    // main: initialize the register, apply a circuit of gates.
+    let mut m = p.function("main", 0);
+    counted_loop(&mut m, states, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let v = f.alu(AluOp::Mul, i, 0x9E37_79B9);
+        f.store_global(reg_file, off, v);
+    });
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, gates, |f, g| {
+        let bit = f.alu(AluOp::And, g, 31);
+        let mask = f.alu(AluOp::Shl, 1, bit);
+        let phase = f.alu(AluOp::Mul, g, 0xC0FFEE);
+        let flips = f.call(apply_gate, vec![Operand::Reg(mask), Operand::Reg(phase)]);
+        f.alu_into(acc, AluOp::Add, acc, flips);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("libquantum generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn regular_streaming_bit_ops() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Almost all branches are loop back-edges: near-perfect
+        // prediction.
+        assert!(r.counters.mispredict_rate() < 0.1);
+    }
+}

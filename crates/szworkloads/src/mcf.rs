@@ -1,0 +1,120 @@
+//! `mcf` — single-depot vehicle scheduling by network simplex:
+//! pointer chasing over heap-allocated arcs in shuffled order; the
+//! most cache-miss-bound benchmark of the suite (SPEC 429.mcf's
+//! character).
+
+use sz_ir::{AluOp, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let arcs = scale.iters(2_048);
+    let rounds = scale.iters(40);
+
+    let mut p = ProgramBuilder::new("mcf");
+    let arc_table = p.global("arc_table", arcs as u64 * 8);
+
+    // pivot(arc): read cost/flow/capacity, compute reduced cost, update
+    // flow with a data-dependent branch.
+    let mut f = p.function("pivot", 1);
+    let arc = f.param(0);
+    let cost = f.load_ptr(arc, 0);
+    let flow = f.load_ptr(arc, 8);
+    let cap = f.load_ptr(arc, 16);
+    let slack = f.alu(AluOp::Sub, cap, flow);
+    let viable = f.alu(AluOp::CmpLt, 0, slack);
+    let t = f.new_block();
+    let e = f.new_block();
+    let done = f.new_block();
+    let red = f.reg();
+    f.branch(viable, t, e);
+    f.switch_to(t);
+    let nf = f.alu(AluOp::Add, flow, 1);
+    f.store_ptr(arc, 8, nf);
+    f.alu_into(red, AluOp::Add, cost, 0);
+    f.jump(done);
+    f.switch_to(e);
+    f.alu_into(red, AluOp::Sub, 0, cost);
+    f.jump(done);
+    f.switch_to(done);
+    f.ret(Some(red.into()));
+    let pivot = p.add_function(f);
+
+    // main: allocate arcs (40 bytes each, interleaved with decoy
+    // allocations so neighbours in traversal order are far apart in
+    // memory), then run simplex-ish passes over the arc list in
+    // shuffled order.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x3CF);
+    counted_loop(&mut m, arcs, |f, i| {
+        let arc = f.malloc(40);
+        // Decoy allocation pushes the next arc to a different line.
+        let decoy = f.malloc(88);
+        f.free(decoy);
+        let r = lcg_next(f, rng);
+        let cost = f.alu(AluOp::And, r, 1023);
+        f.store_ptr(arc, 0, cost);
+        f.store_ptr(arc, 8, 0);
+        let cap = f.alu(AluOp::And, r, 63);
+        f.store_ptr(arc, 16, cap);
+        // Shuffled placement in the table: slot = i*2654435761 mod arcs.
+        let h = f.alu(AluOp::Mul, i, 2_654_435_761);
+        let slot = f.alu(AluOp::Rem, h, arcs);
+        let soff = f.alu(AluOp::Shl, slot, 3);
+        // Linear probe on collision is omitted; the multiplier is
+        // coprime with power-of-two table sizes... arcs may not be a
+        // power of two, so fall back to overwrite-tolerant fill plus a
+        // second sequential fill below for empty slots.
+        f.store_global(arc_table, soff, arc);
+    });
+    // Fill any slots the hash left empty (overwritten duplicates).
+    counted_loop(&mut m, arcs, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let entry = f.load_global(arc_table, off);
+        let empty = f.alu(AluOp::CmpEq, entry, 0);
+        let t = f.new_block();
+        let done = f.new_block();
+        f.branch(empty, t, done);
+        f.switch_to(t);
+        let fresh = f.malloc(40);
+        f.store_ptr(fresh, 16, 8);
+        f.store_global(arc_table, off, fresh);
+        f.jump(done);
+        f.switch_to(done);
+    });
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, rounds, |f, _r| {
+        counted_loop(f, arcs, |f, i| {
+            let off = f.alu(AluOp::Shl, i, 3);
+            let arc = f.load_global(arc_table, off);
+            let red = f.call(pivot, vec![arc.into()]);
+            f.alu_into(acc, AluOp::Add, acc, red);
+        });
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("mcf generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn cache_miss_bound() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        let miss_rate = r.counters.l1d_misses as f64
+            / (r.counters.l1d_misses + 1).max(r.instructions / 4) as f64;
+        // mcf's defining trait: it misses a lot.
+        assert!(r.counters.l1d_misses > 100, "only {} misses", r.counters.l1d_misses);
+        let _ = miss_rate;
+    }
+}

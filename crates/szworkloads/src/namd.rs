@@ -1,0 +1,110 @@
+//! `namd` — molecular dynamics with pair lists: cutoff branches make
+//! the expensive path data-dependent (SPEC 444.namd's character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let atoms = scale.iters(512);
+    let pairs = scale.iters(6_000);
+
+    let mut p = ProgramBuilder::new("namd");
+    let pos = p.global("positions", atoms as u64 * 8);
+    let forces = p.global("forces", atoms as u64 * 8);
+    let pairlist = p.global("pairlist", pairs as u64 * 16);
+
+    // interact(i, j): distance check, then either the expensive
+    // electrostatics path or a cheap skip.
+    let mut f = p.function("interact", 2);
+    let i = f.param(0);
+    let j = f.param(1);
+    let io = f.alu(AluOp::Shl, i, 3);
+    let jo = f.alu(AluOp::Shl, j, 3);
+    let xi = f.load_global(pos, io);
+    let xj = f.load_global(pos, jo);
+    let dx = f.alu(AluOp::FSub, xi, xj);
+    let r2 = f.alu(AluOp::FMul, dx, dx);
+    let cutoff = f.fp_const(0.2);
+    // FP compare via integer trick: both non-negative doubles compare
+    // like their bit patterns.
+    let within = f.alu(AluOp::CmpLt, r2, cutoff);
+    let near = f.new_block();
+    let farb = f.new_block();
+    let done = f.new_block();
+    let contrib = f.reg();
+    f.branch(within, near, farb);
+    f.switch_to(near);
+    let one = f.fp_const(1.0);
+    let soft = f.fp_const(0.01);
+    let r2s = f.alu(AluOp::FAdd, r2, soft);
+    let inv = f.alu(AluOp::FDiv, one, r2s);
+    let inv2 = f.alu(AluOp::FMul, inv, inv);
+    f.alu_into(contrib, AluOp::Add, inv2, 0);
+    f.jump(done);
+    f.switch_to(farb);
+    f.alu_into(contrib, AluOp::Add, 0, 0);
+    f.jump(done);
+    f.switch_to(done);
+    let fold = f.load_global(forces, io);
+    let fnew = f.alu(AluOp::FAdd, fold, contrib);
+    f.store_global(forces, io, fnew);
+    f.ret(Some(contrib.into()));
+    let interact = p.add_function(f);
+
+    // main: place atoms, build a random pair list, sweep it.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x7A3D);
+    let jitter = m.fp_const(0.001);
+    let x = m.reg();
+    let zero = m.fp_const(0.0);
+    m.alu_into(x, AluOp::Add, zero, 0);
+    counted_loop(&mut m, atoms, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        f.store_global(pos, off, x);
+        f.alu_into(x, AluOp::FAdd, x, jitter);
+    });
+    counted_loop(&mut m, pairs, |f, k| {
+        let off = f.alu(AluOp::Shl, k, 4);
+        let r1 = lcg_next(f, rng);
+        let a = f.alu(AluOp::Rem, r1, atoms);
+        f.store_global(pairlist, off, a);
+        let r2v = lcg_next(f, rng);
+        let b = f.alu(AluOp::Rem, r2v, atoms);
+        let off8 = f.alu(AluOp::Add, off, 8);
+        f.store_global(pairlist, off8, b);
+    });
+    let hits = m.reg();
+    m.alu_into(hits, AluOp::Add, 0, 0);
+    counted_loop(&mut m, pairs, |f, k| {
+        let off = f.alu(AluOp::Shl, k, 4);
+        let a = f.load_global(pairlist, off);
+        let off8 = f.alu(AluOp::Add, off, 8);
+        let b = f.load_global(pairlist, off8);
+        let c = f.call(interact, vec![Operand::Reg(a), Operand::Reg(b)]);
+        let nz = f.alu(AluOp::CmpLt, 0, c);
+        f.alu_into(hits, AluOp::Add, hits, nz);
+    });
+    m.ret(Some(hits.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("namd generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn cutoff_branch_is_data_dependent() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        let hits = r.return_value.unwrap();
+        assert!(hits > 0, "some pairs inside the cutoff");
+    }
+}

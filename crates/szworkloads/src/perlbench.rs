@@ -1,0 +1,144 @@
+//! `perlbench` — interpreter: opcode-dispatch trees, many handler
+//! functions, and heavy malloc/free churn for short-lived scalars
+//! (SPEC 400.perlbench's character — the paper's classic example of
+//! heap-intensive behaviour and many-function stack-table overhead).
+
+use sz_ir::{AluOp, FuncId, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Number of opcode handlers.
+const HANDLERS: usize = 12;
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let opcodes = scale.iters(4_000);
+
+    let mut p = ProgramBuilder::new("perlbench");
+    let pad_stash = p.global("pad_stash", 4096);
+
+    // Opcode handlers: each does distinct small work; several allocate
+    // short-lived "scalars" (the generational-hypothesis behaviour §4
+    // relies on for heap re-randomization to bite).
+    let mut handlers: Vec<FuncId> = Vec::with_capacity(HANDLERS);
+    for k in 0..HANDLERS {
+        let mut f = p.function(format!("pp_op{k}"), 1);
+        let arg = f.param(0);
+        let out = match k % 4 {
+            0 => {
+                // String-ish op: allocate, fill, read back, free.
+                let sv = f.malloc(24 + (k as i64 * 8));
+                f.store_ptr(sv, 0, arg);
+                let hash = f.alu(AluOp::Mul, arg, 31);
+                f.store_ptr(sv, 8, hash);
+                let v = f.load_ptr(sv, 0);
+                f.free(sv);
+                f.alu(AluOp::Add, v, k as i64)
+            }
+            1 => {
+                // Pad lookup: scratch-table read/write.
+                let off = f.alu(AluOp::And, arg, 4088);
+                let cur = f.load_global(pad_stash, off);
+                let nv = f.alu(AluOp::Add, cur, 1);
+                f.store_global(pad_stash, off, nv);
+                f.alu(AluOp::Xor, nv, arg)
+            }
+            2 => {
+                // Numeric op: a short arithmetic chain.
+                let a = f.alu(AluOp::Mul, arg, 7);
+                let b = f.alu(AluOp::Add, a, k as i64);
+                f.alu(AluOp::Rem, b, 8191)
+            }
+            _ => {
+                // Match-ish op: branch on a bit of the argument.
+                let bit = f.alu(AluOp::And, arg, 1);
+                let t = f.new_block();
+                let e = f.new_block();
+                let done = f.new_block();
+                let r = f.reg();
+                f.branch(bit, t, e);
+                f.switch_to(t);
+                f.alu_into(r, AluOp::Shl, arg, 1);
+                f.jump(done);
+                f.switch_to(e);
+                f.alu_into(r, AluOp::Shr, arg, 1);
+                f.jump(done);
+                f.switch_to(done);
+                r
+            }
+        };
+        f.ret(Some(out.into()));
+        handlers.push(p.add_function(f));
+    }
+
+    // main: the dispatch loop — decode an opcode, walk a branch tree
+    // to the handler (indirect-branch-like behaviour), accumulate.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x9E71);
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, opcodes, |f, _pc| {
+        let r = lcg_next(f, rng);
+        let op = f.alu(AluOp::Rem, r, HANDLERS as i64);
+        let arg = f.alu(AluOp::And, r, 0xFFFF);
+        // Binary dispatch tree over 12 handlers.
+        dispatch(f, &handlers, 0, HANDLERS, op, arg, acc);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("perlbench generates valid IR")
+}
+
+/// Emits a binary branch tree selecting `handlers[lo..hi]` by `op`,
+/// calling the match and folding the result into `acc`.
+fn dispatch(
+    f: &mut sz_ir::FunctionBuilder,
+    handlers: &[FuncId],
+    lo: usize,
+    hi: usize,
+    op: sz_ir::Reg,
+    arg: sz_ir::Reg,
+    acc: sz_ir::Reg,
+) {
+    if hi - lo == 1 {
+        let v = f.call(handlers[lo], vec![Operand::Reg(arg)]);
+        f.alu_into(acc, AluOp::Add, acc, v);
+        return;
+    }
+    let mid = (lo + hi) / 2;
+    let below = f.alu(AluOp::CmpLt, op, mid as i64);
+    let left = f.new_block();
+    let right = f.new_block();
+    let done = f.new_block();
+    f.branch(below, left, right);
+    f.switch_to(left);
+    dispatch(f, handlers, lo, mid, op, arg, acc);
+    f.jump(done);
+    f.switch_to(right);
+    dispatch(f, handlers, mid, hi, op, arg, acc);
+    f.jump(done);
+    f.switch_to(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn heap_churn_and_dispatch() {
+        let prog = build(Scale::Tiny);
+        assert!(prog.functions.len() >= HANDLERS + 1);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        // Dispatch on random opcodes defeats the direction predictor.
+        assert!(
+            r.counters.mispredict_rate() > 0.05,
+            "rate {}",
+            r.counters.mispredict_rate()
+        );
+    }
+}

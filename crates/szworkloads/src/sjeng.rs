@@ -1,0 +1,123 @@
+//! `sjeng` — chess: recursive search with a transposition hash table
+//! (SPEC 458.sjeng's character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let roots = scale.iters(160);
+    let depth = 4i64;
+    let table_bytes = scale.bytes(32_768);
+    let table_mask = (table_bytes - 8) as i64 & !7;
+
+    let mut p = ProgramBuilder::new("sjeng");
+    let hash_table = p.global("tt", table_bytes);
+    let piece_sq = p.global("piece_square", 64 * 8);
+
+    // eval(pos): piece-square lookup plus mobility arithmetic.
+    let mut f = p.function("eval", 1);
+    let pos = f.param(0);
+    let sq = f.alu(AluOp::And, pos, 63);
+    let off = f.alu(AluOp::Shl, sq, 3);
+    let psq = f.load_global(piece_sq, off);
+    let mob = f.alu(AluOp::Mul, pos, 13);
+    let mm = f.alu(AluOp::And, mob, 255);
+    let score = f.alu(AluOp::Add, psq, mm);
+    f.ret(Some(score.into()));
+    let eval = p.add_function(f);
+
+    // search(pos, depth): probe the transposition table; on miss,
+    // recurse over two child moves and store the result.
+    let search = p.declare();
+    let mut s = p.function("search", 2);
+    let pos = s.param(0);
+    let d = s.param(1);
+    let leaf = s.new_block();
+    let probe = s.new_block();
+    let at_leaf = s.alu(AluOp::CmpEq, d, 0);
+    s.branch(at_leaf, leaf, probe);
+    s.switch_to(leaf);
+    let e = s.call(eval, vec![Operand::Reg(pos)]);
+    s.ret(Some(e.into()));
+    s.switch_to(probe);
+    // Zobrist-ish key.
+    let h1 = s.alu(AluOp::Mul, pos, 0x9E37_79B9_7F4A_7C15_u64 as i64);
+    let dk = s.alu(AluOp::Shl, d, 5);
+    let key = s.alu(AluOp::Xor, h1, dk);
+    let slot = s.alu(AluOp::And, key, table_mask);
+    let entry = s.load_global(hash_table, slot);
+    let tag = s.alu(AluOp::Shr, key, 48);
+    let etag = s.alu(AluOp::Shr, entry, 48);
+    let hit = s.alu(AluOp::CmpEq, tag, etag);
+    let hit_b = s.new_block();
+    let miss_b = s.new_block();
+    s.branch(hit, hit_b, miss_b);
+    s.switch_to(hit_b);
+    let cached = s.alu(AluOp::And, entry, 0xFFFF);
+    s.ret(Some(cached.into()));
+    s.switch_to(miss_b);
+    let nd = s.alu(AluOp::Sub, d, 1);
+    let c1pos = s.alu(AluOp::Mul, pos, 3);
+    let c1m = s.alu(AluOp::Add, c1pos, 1);
+    let v1 = s.call(search, vec![Operand::Reg(c1m), Operand::Reg(nd)]);
+    let c2pos = s.alu(AluOp::Mul, pos, 5);
+    let c2m = s.alu(AluOp::Add, c2pos, 2);
+    let v2 = s.call(search, vec![Operand::Reg(c2m), Operand::Reg(nd)]);
+    // best = max(v1, v2) with a branch.
+    let best = s.reg();
+    s.alu_into(best, AluOp::Add, v1, 0);
+    let lt = s.alu(AluOp::CmpLt, v1, v2);
+    let take = s.new_block();
+    let store = s.new_block();
+    s.branch(lt, take, store);
+    s.switch_to(take);
+    s.alu_into(best, AluOp::Add, v2, 0);
+    s.jump(store);
+    s.switch_to(store);
+    let low = s.alu(AluOp::And, best, 0xFFFF);
+    let tshift = s.alu(AluOp::Shl, tag, 48);
+    let packed = s.alu(AluOp::Or, tshift, low);
+    s.store_global(hash_table, slot, packed);
+    s.ret(Some(low.into()));
+    p.define(search, s);
+
+    // main: seed piece-square table, search many root positions.
+    let mut m = p.function("main", 0);
+    counted_loop(&mut m, 64, |f, i| {
+        let off = f.alu(AluOp::Shl, i, 3);
+        let v = f.alu(AluOp::Mul, i, 21);
+        let sc = f.alu(AluOp::And, v, 127);
+        f.store_global(piece_sq, off, sc);
+    });
+    let acc = m.reg();
+    m.alu_into(acc, AluOp::Add, 0, 0);
+    counted_loop(&mut m, roots, |f, i| {
+        let root = f.alu(AluOp::Mul, i, 2_654_435_761);
+        let pos = f.alu(AluOp::And, root, 0xFFFF);
+        let v = f.call(search, vec![Operand::Reg(pos), depth.into()]);
+        f.alu_into(acc, AluOp::Add, acc, v);
+    });
+    m.ret(Some(acc.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("sjeng generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn hash_probes_and_recursion() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert!(r.counters.branches > 300, "search is branchy");
+        assert!(r.counters.l1d_misses > 10, "hash table scatter misses");
+    }
+}

@@ -1,0 +1,106 @@
+//! `sphinx3` — speech recognition: Gaussian-mixture acoustic scoring
+//! with floating-point polynomial kernels (SPEC 482.sphinx3's
+//! character).
+
+use sz_ir::{AluOp, Operand, Program, ProgramBuilder};
+
+use crate::util::{counted_loop, lcg_next, lcg_seed, Scale};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Program {
+    let frames = scale.iters(240);
+    let mixtures = scale.iters(32);
+
+    let mut p = ProgramBuilder::new("sphinx3");
+    let means = p.global("means", mixtures as u64 * 8);
+    let variances = p.global("variances", mixtures as u64 * 8);
+    let scores = p.global("scores", frames as u64 * 8);
+
+    // gauss_score(x_bits, k): -(x - mean_k)^2 / var_k, then a cubic
+    // polynomial approximation of exp.
+    let mut f = p.function("gauss_score", 2);
+    let x = f.param(0);
+    let k = f.param(1);
+    let ko = f.alu(AluOp::Shl, k, 3);
+    let mean = f.load_global(means, ko);
+    let var = f.load_global(variances, ko);
+    let d = f.alu(AluOp::FSub, x, mean);
+    let d2 = f.alu(AluOp::FMul, d, d);
+    let t = f.alu(AluOp::FDiv, d2, var);
+    // exp(-t) ~= 1 - t + t^2/2 - t^3/6 for small t.
+    let one = f.fp_const(1.0);
+    let half = f.fp_const(0.5);
+    let sixth = f.fp_const(0.166_666_666_667);
+    let t2 = f.alu(AluOp::FMul, t, t);
+    let t3 = f.alu(AluOp::FMul, t2, t);
+    let a = f.alu(AluOp::FSub, one, t);
+    let b = f.alu(AluOp::FMul, t2, half);
+    let c = f.alu(AluOp::FMul, t3, sixth);
+    let ab = f.alu(AluOp::FAdd, a, b);
+    let out = f.alu(AluOp::FSub, ab, c);
+    f.ret(Some(out.into()));
+    let gauss_score = p.add_function(f);
+
+    // main: initialize the mixture model, score every frame against
+    // every mixture, track the best with a data-dependent branch.
+    let mut m = p.function("main", 0);
+    let rng = lcg_seed(&mut m, 0x5F1);
+    let base = m.fp_const(0.4);
+    let step = m.fp_const(0.07);
+    let mv = m.reg();
+    m.alu_into(mv, AluOp::Add, base, 0);
+    counted_loop(&mut m, mixtures, |f, k| {
+        let ko = f.alu(AluOp::Shl, k, 3);
+        f.store_global(means, ko, mv);
+        f.alu_into(mv, AluOp::FAdd, mv, step);
+        let v = f.fp_const(1.5);
+        f.store_global(variances, ko, v);
+    });
+    let best_total = m.reg();
+    m.alu_into(best_total, AluOp::Add, 0, 0);
+    counted_loop(&mut m, frames, |f, fr| {
+        let r = lcg_next(f, rng);
+        let cents = f.alu(AluOp::And, r, 255);
+        let xf = f.int_to_fp(cents);
+        let scale_c = f.fp_const(0.0078125); // /128
+        let x = f.alu(AluOp::FMul, xf, scale_c);
+        let best = f.reg();
+        f.alu_into(best, AluOp::Add, 0, 0);
+        counted_loop(f, mixtures, |f, k| {
+            let s = f.call(gauss_score, vec![Operand::Reg(x), Operand::Reg(k)]);
+            // Positive doubles compare like their bit patterns.
+            let better = f.alu(AluOp::CmpLt, best, s);
+            let take = f.new_block();
+            let keep = f.new_block();
+            f.branch(better, take, keep);
+            f.switch_to(take);
+            f.alu_into(best, AluOp::Add, s, 0);
+            f.jump(keep);
+            f.switch_to(keep);
+        });
+        let fo = f.alu(AluOp::Shl, fr, 3);
+        f.store_global(scores, fo, best);
+        f.alu_into(best_total, AluOp::Xor, best_total, best);
+    });
+    let out = m.alu(AluOp::Shr, best_total, 32);
+    m.ret(Some(out.into()));
+    let main = p.add_function(m);
+    p.finish(main).expect("sphinx3 generates valid IR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn fp_scoring_profile() {
+        let prog = build(Scale::Tiny);
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert!(r.counters.cpi() > 1.5, "FP latency should show: CPI {}", r.counters.cpi());
+    }
+}

@@ -1,0 +1,159 @@
+//! The suite registry.
+
+use sz_ir::Program;
+
+use crate::Scale;
+
+/// One benchmark of the suite: a name, the workload class it
+/// reproduces, and its program generator.
+#[derive(Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name, matching the paper's tables.
+    pub name: &'static str,
+    /// One-line description of the workload character.
+    pub description: &'static str,
+    /// Raw generator producing the benchmark at a given scale.
+    pub build: fn(Scale) -> Program,
+}
+
+impl BenchmarkSpec {
+    /// Builds the benchmark in *naive frontend form* (the shape real
+    /// code reaches an optimizer in — see
+    /// [`crate::util::naive_codegen`]). This is what experiments
+    /// should run and what `sz-opt` levels should be applied to.
+    pub fn program(&self, scale: Scale) -> Program {
+        let mut p = (self.build)(scale);
+        crate::util::naive_codegen(&mut p);
+        p
+    }
+}
+
+impl std::fmt::Debug for BenchmarkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkSpec")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// All 18 benchmarks, in the paper's alphabetical order.
+pub fn suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec {
+            name: "astar",
+            description: "grid pathfinding: pointer-linked open list, data-dependent branches",
+            build: crate::astar::build,
+        },
+        BenchmarkSpec {
+            name: "bzip2",
+            description: "block compression: move-to-front tables, bit-level branches",
+            build: crate::bzip2::build,
+        },
+        BenchmarkSpec {
+            name: "cactusADM",
+            description: "numerical relativity stencil over large heap arrays (pow2-hostile sizes)",
+            build: crate::cactusadm::build,
+        },
+        BenchmarkSpec {
+            name: "gcc",
+            description: "compiler: dozens of pass functions, very large code footprint",
+            build: crate::gcc::build,
+        },
+        BenchmarkSpec {
+            name: "gobmk",
+            description: "Go engine: recursive tree search over a board, many functions",
+            build: crate::gobmk::build,
+        },
+        BenchmarkSpec {
+            name: "gromacs",
+            description: "molecular dynamics: reciprocal-power force kernels, FP-heavy",
+            build: crate::gromacs::build,
+        },
+        BenchmarkSpec {
+            name: "h264ref",
+            description: "video encoder: SAD motion search with data-dependent minima",
+            build: crate::h264ref::build,
+        },
+        BenchmarkSpec {
+            name: "hmmer",
+            description: "profile HMM: three-matrix dynamic programming, branchy max chains",
+            build: crate::hmmer::build,
+        },
+        BenchmarkSpec {
+            name: "lbm",
+            description: "lattice Boltzmann: streaming stencil, bandwidth-bound, few branches",
+            build: crate::lbm::build,
+        },
+        BenchmarkSpec {
+            name: "libquantum",
+            description: "quantum simulation: bit manipulation sweeps over a register file",
+            build: crate::libquantum::build,
+        },
+        BenchmarkSpec {
+            name: "mcf",
+            description: "network simplex: random-order linked-list chasing, miss-bound",
+            build: crate::mcf::build,
+        },
+        BenchmarkSpec {
+            name: "milc",
+            description: "lattice QCD: small complex-matrix FP kernels over a big lattice",
+            build: crate::milc::build,
+        },
+        BenchmarkSpec {
+            name: "namd",
+            description: "molecular dynamics: pair-list interactions with cutoff branches",
+            build: crate::namd::build,
+        },
+        BenchmarkSpec {
+            name: "perlbench",
+            description: "interpreter: opcode dispatch tree, malloc/free churn, many handlers",
+            build: crate::perlbench::build,
+        },
+        BenchmarkSpec {
+            name: "sjeng",
+            description: "chess: recursive alpha-beta-ish search with a hash table",
+            build: crate::sjeng::build,
+        },
+        BenchmarkSpec {
+            name: "sphinx3",
+            description: "speech recognition: Gaussian-mixture scoring, FP polynomial kernels",
+            build: crate::sphinx3::build,
+        },
+        BenchmarkSpec {
+            name: "wrf",
+            description: "weather model: several FP stencil kernels over multiple fields",
+            build: crate::wrf::build,
+        },
+        BenchmarkSpec {
+            name: "zeusmp",
+            description: "astrophysics: stencils with boundary-condition branches",
+            build: crate::zeusmp::build,
+        },
+    ]
+}
+
+/// Builds a benchmark by name (in naive frontend form), if it exists
+/// in the suite.
+pub fn build(name: &str, scale: Scale) -> Option<Program> {
+    suite().into_iter().find(|s| s.name == name).map(|s| s.program(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_by_name() {
+        assert!(build("mcf", Scale::Tiny).is_some());
+        assert!(build("nonesuch", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = suite().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+}

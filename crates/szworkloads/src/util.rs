@@ -1,0 +1,283 @@
+//! Shared IR-construction helpers for the benchmark generators.
+
+use sz_ir::{AluOp, FunctionBuilder, Instr, Operand, Program, Reg};
+
+/// Workload size: all benchmarks scale their loop counts and data
+/// footprints from the same knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scale {
+    /// Minimal: unit tests and smoke checks (sub-second suites).
+    Tiny,
+    /// The default for statistical experiments: large enough for
+    /// layout effects, small enough for 30-run batches.
+    Small,
+    /// Benchmark scale for the figure-regeneration harness.
+    Full,
+}
+
+impl Scale {
+    /// Scales an iteration count.
+    pub fn iters(self, base: i64) -> i64 {
+        match self {
+            Scale::Tiny => (base / 8).max(2),
+            Scale::Small => base,
+            Scale::Full => base * 4,
+        }
+    }
+
+    /// Scales a data size in bytes (kept a multiple of 8).
+    pub fn bytes(self, base: u64) -> u64 {
+        let b = match self {
+            Scale::Tiny => (base / 16).max(64),
+            Scale::Small => base,
+            Scale::Full => base * 4,
+        };
+        b & !7
+    }
+}
+
+/// Builds `for i in 0..n { body(i) }` around `body`, using a register
+/// counter. The current block must be open; the builder is left in a
+/// fresh open block after the loop.
+pub fn counted_loop(
+    f: &mut FunctionBuilder,
+    n: impl Into<Operand>,
+    body: impl FnOnce(&mut FunctionBuilder, Reg),
+) {
+    let i = f.reg();
+    f.alu_into(i, AluOp::Add, 0, 0);
+    let header = f.new_block();
+    let body_block = f.new_block();
+    let exit = f.new_block();
+    f.jump(header);
+    f.switch_to(header);
+    let c = f.alu(AluOp::CmpLt, i, n);
+    f.branch(c, body_block, exit);
+    f.switch_to(body_block);
+    body(f, i);
+    f.alu_into(i, AluOp::Add, i, 1);
+    f.jump(header);
+    f.switch_to(exit);
+}
+
+/// Seeds an in-IR linear congruential generator into a fresh register.
+pub fn lcg_seed(f: &mut FunctionBuilder, seed: i64) -> Reg {
+    let s = f.reg();
+    f.alu_into(s, AluOp::Add, seed, 0);
+    s
+}
+
+/// Advances the in-IR LCG and returns a register with well-mixed bits
+/// (the state's upper half). Gives benchmarks data-dependent — but
+/// deterministic — branches and indices.
+pub fn lcg_next(f: &mut FunctionBuilder, state: Reg) -> Reg {
+    // Knuth's MMIX multiplier.
+    let m = f.alu(AluOp::Mul, state, 0x5851_F42D_4C95_7F2D_u64 as i64);
+    f.alu_into(state, AluOp::Add, m, 0x1405_7B7E_F767_814F_u64 as i64);
+    f.alu(AluOp::Shr, state, 33)
+}
+
+/// Expands a program into *naive frontend form*, the shape real code
+/// reaches an optimizer in: common subexpressions are recomputed per
+/// expression tree instead of reused.
+///
+/// Concretely, every pure integer ALU result that is used again later
+/// in its block gets a redundant recomputation (inserted immediately
+/// after the original, so the operand values are identical), and the
+/// next use reads the duplicate. Semantics are unchanged; `-O2`'s
+/// local CSE + copy propagation + DCE collapse the redundancy, which
+/// is precisely the `-O2`-vs-`-O1` gap the paper's Figure 7 measures
+/// on real SPEC builds.
+pub fn naive_codegen(p: &mut Program) {
+    for f in &mut p.functions {
+        for block in &mut f.blocks {
+            let mut i = 0;
+            while i < block.instrs.len() {
+                let dup = match &block.instrs[i] {
+                    Instr::Alu { dst, op, a, b }
+                        if !op.is_float()
+                            && *a != Operand::Reg(*dst)
+                            && *b != Operand::Reg(*dst)
+                            // Skip canonical movs: duplicating them is noise.
+                            && !(matches!(op, AluOp::Add) && *b == Operand::Imm(0)) =>
+                    {
+                        // The register frame is bounded; stop when full.
+                        if f.num_regs == u16::MAX {
+                            None
+                        } else {
+                            Some((*dst, *op, *a, *b))
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((dst, op, a, b)) = dup {
+                    // Find the next in-block use of dst after i.
+                    let next_use = block.instrs[i + 1..]
+                        .iter()
+                        .position(|ins| {
+                            ins.uses().contains(&dst)
+                                && ins.def() != Some(dst)
+                        })
+                        .map(|k| i + 1 + k);
+                    // Only duplicate if no redefinition of dst or the
+                    // operands occurs before that use.
+                    if let Some(u) = next_use {
+                        let clobbered = block.instrs[i + 1..u].iter().any(|ins| {
+                            match ins.def() {
+                                Some(d) => {
+                                    d == dst
+                                        || a == Operand::Reg(d)
+                                        || b == Operand::Reg(d)
+                                }
+                                None => false,
+                            }
+                        });
+                        if !clobbered {
+                            let scratch = Reg(f.num_regs);
+                            f.num_regs += 1;
+                            block.instrs.insert(i + 1, Instr::Alu { dst: scratch, op, a, b });
+                            replace_use(&mut block.instrs[u + 1], dst, scratch);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    debug_assert_eq!(p.validate(), Ok(()), "naive codegen must stay valid");
+}
+
+/// Rewrites the first read of `from` in `instr` to `to`.
+fn replace_use(instr: &mut Instr, from: Reg, to: Reg) {
+    let swap_op = |o: &mut Operand| {
+        if *o == Operand::Reg(from) {
+            *o = Operand::Reg(to);
+            true
+        } else {
+            false
+        }
+    };
+    match instr {
+        Instr::Alu { a, b, .. } => {
+            if !swap_op(a) {
+                swap_op(b);
+            }
+        }
+        Instr::StoreSlot { src, .. } => {
+            swap_op(src);
+        }
+        Instr::StorePtr { src, base, .. } => {
+            if !swap_op(src) && *base == from {
+                *base = to;
+            }
+        }
+        Instr::Free { ptr } => {
+            if *ptr == from {
+                *ptr = to;
+            }
+        }
+        Instr::LoadGlobal { offset, .. } => {
+            swap_op(offset);
+        }
+        Instr::StoreGlobal { src, offset, .. } => {
+            if !swap_op(src) {
+                swap_op(offset);
+            }
+        }
+        Instr::Malloc { size, .. } => {
+            swap_op(size);
+        }
+        Instr::Call { args, .. } => {
+            for a in args {
+                if swap_op(a) {
+                    break;
+                }
+            }
+        }
+        Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => {
+            swap_op(src);
+        }
+        Instr::LoadPtr { base, .. } => {
+            if *base == from {
+                *base = to;
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::ProgramBuilder;
+    use sz_machine::MachineConfig;
+    use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.iters(100) < Scale::Small.iters(100));
+        assert!(Scale::Small.iters(100) < Scale::Full.iters(100));
+        assert!(Scale::Tiny.bytes(4096) < Scale::Full.bytes(4096));
+        assert_eq!(Scale::Small.bytes(4096) % 8, 0);
+    }
+
+    #[test]
+    fn counted_loop_iterates_exactly_n_times() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let acc = f.reg();
+        f.alu_into(acc, AluOp::Add, 0, 0);
+        counted_loop(&mut f, 17, |f, _i| {
+            f.alu_into(acc, AluOp::Add, acc, 1);
+        });
+        f.ret(Some(acc.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert_eq!(r.return_value, Some(17));
+    }
+
+    #[test]
+    fn nested_loops_compose() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let acc = f.reg();
+        f.alu_into(acc, AluOp::Add, 0, 0);
+        counted_loop(&mut f, 5, |f, _| {
+            counted_loop(f, 7, |f, _| {
+                f.alu_into(acc, AluOp::Add, acc, 1);
+            });
+        });
+        f.ret(Some(acc.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert_eq!(r.return_value, Some(35));
+    }
+
+    #[test]
+    fn lcg_produces_varied_values() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let s = lcg_seed(&mut f, 42);
+        let a = lcg_next(&mut f, s);
+        let b = lcg_next(&mut f, s);
+        let same = f.alu(AluOp::CmpEq, a, b);
+        f.ret(Some(same.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let mut e = SimpleLayout::new();
+        let r = Vm::new(&prog)
+            .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        assert_eq!(r.return_value, Some(0), "consecutive draws differ");
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: measure one benchmark under STABILIZER and test whether
+//! an optimization helps.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use stabilizer_repro::prelude::*;
+
+use stabilizer::Config;
+use sz_harness::{runner, ExperimentOptions};
+use sz_opt::{optimize, OptLevel};
+use sz_stats::{mean, shapiro_wilk, welch_t_test, Summary};
+use sz_workloads::Scale;
+
+fn main() {
+    // 1. Pick a benchmark and build it.
+    let program = sz_workloads::build("mcf", Scale::Small).expect("mcf is in the suite");
+    println!(
+        "benchmark: {} ({} functions, {} instructions, {} bytes of code)",
+        program.name,
+        program.functions.len(),
+        program.instr_count(),
+        program.code_size()
+    );
+
+    // 2. Collect 30 stabilized runs — each a fresh sample of the
+    //    space of memory layouts.
+    let opts = ExperimentOptions::paper();
+    let times = runner::stabilized_samples(&program, &opts, Config::default(), 30);
+    let summary = Summary::from_slice(&times).expect("30 samples");
+    println!(
+        "\n30 stabilized runs: mean {:.3}ms, sd {:.3}ms (cv {:.2}%)",
+        summary.mean * 1e3,
+        summary.std * 1e3,
+        summary.cv() * 100.0
+    );
+
+    // 3. Re-randomization makes the distribution Gaussian, so
+    //    parametric statistics apply (the paper's central claim).
+    let sw = shapiro_wilk(&times).expect("well-formed sample");
+    println!(
+        "Shapiro-Wilk: W = {:.4}, p = {:.3} -> {}",
+        sw.w,
+        sw.p_value,
+        if sw.p_value >= 0.05 { "consistent with a normal distribution" } else { "non-normal" }
+    );
+
+    // 4. Evaluate a change: does -O2 beat -O1 on this benchmark?
+    let o1 = optimize(&program, OptLevel::O1);
+    let o2 = optimize(&program, OptLevel::O2);
+    let t_o1 = runner::stabilized_samples(&o1, &opts, Config::default(), 30);
+    let t_o2 = runner::stabilized_samples(&o2, &opts, Config::default(), 30);
+    let t = welch_t_test(&t_o1, &t_o2).expect("well-formed samples");
+    println!(
+        "\n-O2 vs -O1: speedup {:.3}x, t = {:.2}, p = {:.4} -> {}",
+        mean(&t_o1) / mean(&t_o2),
+        t.t,
+        t.p_value,
+        if t.p_value < 0.05 {
+            "statistically significant"
+        } else {
+            "indistinguishable from noise"
+        }
+    );
+}

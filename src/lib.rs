@@ -1,0 +1,43 @@
+//! # stabilizer-repro
+//!
+//! A full reproduction of **STABILIZER: Statistically Sound Performance
+//! Evaluation** (Curtsinger & Berger, ASPLOS 2013) as a Rust workspace.
+//!
+//! This facade crate re-exports every subsystem so examples and
+//! integration tests can reach the whole system through one dependency.
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stabilizer_repro::prelude::*;
+//!
+//! // Build a workload, run it once under STABILIZER, and inspect the time.
+//! let program = sz_workloads::build("mcf", sz_workloads::Scale::Tiny)
+//!     .expect("mcf is part of the suite");
+//! let config = stabilizer::Config::default();
+//! let report = sz_harness::run_once(&program, &config, 1);
+//! assert!(report.cycles > 0);
+//! ```
+
+pub use stabilizer;
+pub use sz_harness;
+pub use sz_heap;
+pub use sz_ir;
+pub use sz_link;
+pub use sz_machine;
+pub use sz_nist;
+pub use sz_opt;
+pub use sz_rng;
+pub use sz_stats;
+pub use sz_vm;
+pub use sz_workloads;
+
+/// Convenience imports for examples and tests.
+pub mod prelude {
+    pub use crate::{
+        stabilizer, sz_harness, sz_heap, sz_ir, sz_link, sz_machine, sz_nist, sz_opt, sz_rng,
+        sz_stats, sz_vm, sz_workloads,
+    };
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the full pipeline from workload generation
+//! through STABILIZER to statistical verdicts.
+
+use stabilizer::{prepare_program, Config, Stabilizer};
+use sz_harness::{runner, ExperimentOptions};
+use sz_link::{LinkOrder, LinkedLayout};
+use sz_machine::MachineConfig;
+use sz_stats::{sample_variance, shapiro_wilk};
+use sz_vm::{RunLimits, Vm};
+use sz_workloads::Scale;
+
+#[test]
+fn stabilized_execution_preserves_benchmark_results() {
+    // Every benchmark must compute the same answer under the
+    // conventional layout and under full randomization.
+    let machine = MachineConfig::core_i3_550();
+    for spec in sz_workloads::suite() {
+        let program = spec.program(Scale::Tiny);
+        let mut linked = LinkedLayout::builder().build();
+        let expected = Vm::new(&program)
+            .run(&mut linked, machine, RunLimits::default())
+            .unwrap()
+            .return_value;
+
+        let (prepared, info) = prepare_program(&program);
+        let mut engine = Stabilizer::new(Config::default().with_seed(99), &machine, &info);
+        let got = Vm::new(&prepared)
+            .run(&mut engine, machine, RunLimits::default())
+            .unwrap()
+            .return_value;
+        assert_eq!(expected, got, "{} result changed under STABILIZER", spec.name);
+    }
+}
+
+#[test]
+fn one_binary_is_one_sample_but_stabilizer_samples_the_space() {
+    let opts = ExperimentOptions::quick();
+    let program = sz_workloads::build("sjeng", Scale::Tiny).unwrap();
+
+    // Conventional: identical runs.
+    let a = runner::linked_run(&program, &opts, LinkOrder::Default, 0);
+    let b = runner::linked_run(&program, &opts, LinkOrder::Default, 0);
+    assert_eq!(a.cycles, b.cycles);
+
+    // Stabilized: a distribution.
+    let samples = runner::stabilized_samples(&program, &opts, Config::default(), 8);
+    assert!(sample_variance(&samples) > 0.0);
+}
+
+#[test]
+fn both_randomization_modes_give_usable_distributions() {
+    // §5.1 finds re-randomization usually reduces variance but can
+    // also increase it (cactusADM, mcf) — the direction is
+    // benchmark-specific, so the integration check is sanity, not
+    // direction: both modes must yield genuine distributions with
+    // small relative spread (layout effects are a few percent, not a
+    // few hundred).
+    let mut opts = ExperimentOptions::quick();
+    opts.runs = 12;
+    let program = sz_workloads::build("gcc", Scale::Tiny).unwrap();
+    for config in [Config::one_time(), Config::default()] {
+        let samples = runner::stabilized_samples(&program, &opts, config, opts.runs);
+        let var = sample_variance(&samples);
+        assert!(var > 0.0, "layouts must differ");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv < 0.25, "cv {cv} implausibly wide");
+    }
+}
+
+#[test]
+fn stabilizer_run_report_is_reproducible_across_engines() {
+    // The same seed must give bit-identical reports even when the
+    // engine is constructed twice.
+    let machine = MachineConfig::core_i3_550();
+    let program = sz_workloads::build("libquantum", Scale::Tiny).unwrap();
+    let (prepared, info) = prepare_program(&program);
+    let run = |seed| {
+        let mut e = Stabilizer::new(Config::default().with_seed(seed), &machine, &info);
+        Vm::new(&prepared).run(&mut e, machine, RunLimits::default()).unwrap()
+    };
+    assert_eq!(run(5).counters, run(5).counters);
+    assert_ne!(run(5).cycles, run(6).cycles);
+}
+
+#[test]
+fn shapiro_wilk_accepts_rerandomized_times_on_a_clean_benchmark() {
+    // A benchmark with strong phase mixing should give comfortably
+    // normal times under re-randomization.
+    let mut opts = ExperimentOptions::quick();
+    opts.runs = 20;
+    let program = sz_workloads::build("milc", Scale::Tiny).unwrap();
+    let samples = runner::stabilized_samples(&program, &opts, Config::default(), opts.runs);
+    let sw = shapiro_wilk(&samples).unwrap();
+    assert!(sw.p_value > 0.001, "unexpectedly strong non-normality: p = {}", sw.p_value);
+}

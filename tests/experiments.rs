@@ -1,0 +1,79 @@
+//! Integration coverage of every paper-artifact experiment at reduced
+//! scale.
+
+use sz_harness::experiments::{anova, bias, fig5, fig6, fig7, nist, table1};
+use sz_harness::ExperimentOptions;
+
+fn opts(benchmarks: &[&str], runs: usize) -> ExperimentOptions {
+    let mut o = ExperimentOptions::quick();
+    o.benchmarks = Some(benchmarks.iter().map(|s| s.to_string()).collect());
+    o.runs = runs;
+    o
+}
+
+#[test]
+fn table1_and_fig5_pipeline() {
+    let rows = table1::run(&opts(&["astar", "lbm"], 8));
+    assert_eq!(rows.len(), 2);
+    let rendered = table1::render(&rows);
+    assert!(rendered.contains("astar") && rendered.contains("lbm"));
+
+    let panels = fig5::from_table1(&rows);
+    assert_eq!(panels.len(), 2);
+    for p in &panels {
+        assert_eq!(p.one_time.len(), 8);
+        // Theoretical quantiles must be sorted.
+        for w in p.rerandomized.windows(2) {
+            assert!(w[0].theoretical <= w[1].theoretical);
+        }
+    }
+}
+
+#[test]
+fn fig6_overheads_are_plausible() {
+    let result = fig6::run(&opts(&["wrf"], 5));
+    assert_eq!(result.rows.len(), 1);
+    for o in result.rows[0].overhead {
+        assert!(o > -0.5 && o < 3.0, "overhead {o} out of plausible band");
+    }
+    assert!(result.median_full_overhead.is_finite());
+}
+
+#[test]
+fn fig7_and_anova_pipeline() {
+    let rows = fig7::run(&opts(&["gcc", "hmmer", "libquantum"], 6));
+    assert_eq!(rows.len(), 3);
+    // O2 should win on at least one of these (they all have redundancy
+    // and calls); the suite-wide ANOVA must run.
+    assert!(rows.iter().any(|r| r.o2_vs_o1.speedup > 1.0));
+    let a = anova::run(&rows).expect("three subjects suffice");
+    assert!(a.o2_vs_o1.p_value <= 1.0 && a.o2_vs_o1.p_value >= 0.0);
+    assert!(anova::render(&a).contains("-O2 vs -O1"));
+}
+
+#[test]
+fn nist_comparison_has_the_papers_shape() {
+    let rows = nist::run(16_384, &[256]);
+    let lr = rows.iter().find(|r| r.source == "lrand48").unwrap();
+    let sh = rows.iter().find(|r| r.source == "shuffle(N=256)").unwrap();
+    // The shuffled heap must be competitive with lrand48 (§3.2's
+    // conclusion), allowing one marginal test either way.
+    assert!(
+        sh.passes() + 1 >= lr.passes(),
+        "shuffle {}/7 vs lrand48 {}/7",
+        sh.passes(),
+        lr.passes()
+    );
+    assert!(sh.passes() >= 6, "shuffle(256) passed only {}/7", sh.passes());
+}
+
+#[test]
+fn bias_sweeps_and_noop_comparison() {
+    let o = opts(&["gcc"], 8);
+    let link = bias::link_order_sweep(&o, "gcc", 6);
+    assert!(link.swing >= 0.0 && link.times.len() == 6);
+    let cv = bias::stabilized_cv(&o, "gcc");
+    assert!(cv > 0.0, "stabilized runs must vary");
+    let noop = bias::no_op_change_comparison(&o, "gcc");
+    assert!(noop.stabilized_delta.abs() < 0.05);
+}

@@ -1,0 +1,192 @@
+//! Property-based cross-crate tests: a random-program differential
+//! fuzzer for the optimizer and the randomizing runtime, plus
+//! allocator and statistics invariants.
+
+use proptest::prelude::*;
+
+use stabilizer::{prepare_program, Config, Stabilizer};
+use sz_heap::{Allocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator};
+use sz_ir::{AluOp, Block, BlockId, FuncId, Function, Instr, Operand, Program, Reg, Terminator};
+use sz_machine::MachineConfig;
+use sz_opt::{optimize, OptLevel};
+use sz_rng::Marsaglia;
+use sz_vm::{RunLimits, SimpleLayout, Vm};
+
+/// Number of registers in generated functions.
+const REGS: u16 = 8;
+/// Stack slots in generated functions.
+const SLOTS: u32 = 4;
+
+/// Strategy for one random (pure-ish) instruction.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let reg = 0..REGS;
+    let operand = prop_oneof![
+        (0..REGS).prop_map(|r| Operand::Reg(Reg(r))),
+        (-100i64..100).prop_map(Operand::Imm),
+    ];
+    let op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::CmpLt),
+        Just(AluOp::CmpEq),
+    ];
+    prop_oneof![
+        8 => (reg.clone(), op, operand.clone(), operand.clone())
+            .prop_map(|(d, op, a, b)| Instr::Alu { dst: Reg(d), op, a, b }),
+        2 => (reg.clone(), 0..SLOTS).prop_map(|(d, s)| Instr::LoadSlot { dst: Reg(d), slot: s }),
+        2 => (operand, 0..SLOTS).prop_map(|(src, s)| Instr::StoreSlot { src, slot: s }),
+        1 => (1u8..20).prop_map(|b| Instr::Nop { bytes: b }),
+    ]
+}
+
+/// A structured random program: a chain of blocks with forward-only
+/// control flow (always terminates), ending in a return of r0.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..6, proptest::collection::vec(proptest::collection::vec(arb_instr(), 0..12), 2..6))
+        .prop_map(|(_, block_bodies)| {
+            let n = block_bodies.len();
+            let blocks: Vec<Block> = block_bodies
+                .into_iter()
+                .enumerate()
+                .map(|(i, instrs)| {
+                    let term = if i + 1 >= n {
+                        Terminator::Ret { value: Some(Operand::Reg(Reg(0))) }
+                    } else if i % 2 == 0 && i + 2 < n {
+                        Terminator::Branch {
+                            cond: Operand::Reg(Reg(1)),
+                            taken: BlockId((i + 1) as u32),
+                            not_taken: BlockId((i + 2) as u32),
+                        }
+                    } else {
+                        Terminator::Jump(BlockId((i + 1) as u32))
+                    };
+                    Block { instrs, term }
+                })
+                .collect();
+            Program {
+                name: "fuzz".into(),
+                functions: vec![Function {
+                    name: "main".into(),
+                    params: 0,
+                    num_regs: REGS,
+                    num_slots: SLOTS,
+                    blocks,
+                }],
+                globals: vec![],
+                entry: FuncId(0),
+            }
+        })
+        .prop_filter("valid", |p| p.validate().is_ok())
+}
+
+fn run_simple(p: &Program) -> Option<u64> {
+    let mut e = SimpleLayout::new();
+    Vm::new(p)
+        .run(&mut e, MachineConfig::tiny(), RunLimits::default())
+        .unwrap()
+        .return_value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential test: every optimization level preserves the
+    /// result of every random program.
+    #[test]
+    fn optimizer_preserves_semantics(p in arb_program()) {
+        let expected = run_simple(&p);
+        for level in OptLevel::ALL {
+            let o = optimize(&p, level);
+            prop_assert_eq!(o.validate(), Ok(()));
+            prop_assert_eq!(run_simple(&o), expected, "{} diverged", level);
+        }
+    }
+
+    /// STABILIZER's transformation and randomizing runtime preserve the
+    /// result of every random program, for any seed.
+    #[test]
+    fn stabilizer_preserves_semantics(p in arb_program(), seed in 0u64..1000) {
+        let expected = run_simple(&p);
+        let machine = MachineConfig::tiny();
+        let (prepared, info) = prepare_program(&p);
+        let mut engine = Stabilizer::new(Config::default().with_seed(seed), &machine, &info);
+        let got = Vm::new(&prepared)
+            .run(&mut engine, machine, RunLimits::default())
+            .unwrap()
+            .return_value;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Allocators never hand out overlapping live blocks, under any
+    /// operation sequence.
+    #[test]
+    fn allocators_never_overlap(ops in proptest::collection::vec((1u64..500, any::<bool>()), 1..120)) {
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(SegregatedAllocator::new(Region::new(0x10000, 1 << 28))),
+            Box::new(TlsfAllocator::new(Region::new(0x10000, 1 << 28))),
+            Box::new(ShuffleLayer::new(
+                SegregatedAllocator::new(Region::new(0x10000, 1 << 28)),
+                16,
+                Marsaglia::seeded(1),
+            )),
+        ];
+        for mut a in allocators {
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for &(size, is_free) in &ops {
+                if is_free && !live.is_empty() {
+                    let (addr, _) = live.swap_remove(size as usize % live.len());
+                    a.free(addr);
+                } else {
+                    let addr = a.malloc(size).unwrap();
+                    for &(o, os) in &live {
+                        prop_assert!(addr + size <= o || o + os <= addr,
+                            "{}: overlap {addr:#x}+{size} vs {o:#x}+{os}", a.name());
+                    }
+                    live.push((addr, size));
+                }
+            }
+            let total: u64 = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(a.live_bytes(), total);
+        }
+    }
+
+    /// Shapiro-Wilk is invariant under positive affine transforms.
+    #[test]
+    fn shapiro_wilk_affine_invariant(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 5..40),
+        scale in 0.001f64..1000.0,
+        shift in -1e6f64..1e6,
+    ) {
+        prop_assume!(data.iter().any(|&v| (v - data[0]).abs() > 1e-9));
+        let base = sz_stats::shapiro_wilk(&data);
+        let moved: Vec<f64> = data.iter().map(|v| shift + scale * v).collect();
+        let transformed = sz_stats::shapiro_wilk(&moved);
+        match (base, transformed) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!((a.w - b.w).abs() < 1e-6, "W {} vs {}", a.w, b.w);
+            }
+            (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+        }
+    }
+
+    /// The t-test p-value is symmetric in its arguments and bounded.
+    #[test]
+    fn t_test_symmetry(
+        a in proptest::collection::vec(-100.0f64..100.0, 3..20),
+        b in proptest::collection::vec(-100.0f64..100.0, 3..20),
+    ) {
+        if let (Ok(ab), Ok(ba)) = (sz_stats::welch_t_test(&a, &b), sz_stats::welch_t_test(&b, &a)) {
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&ab.p_value));
+            prop_assert!((ab.t + ba.t).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Monte Carlo calibration of the statistics engine.
+//!
+//! The whole point of the paper is that sound conclusions need sound
+//! tests, so the tests themselves deserve validation: under a true
+//! null hypothesis a test's p-values must be roughly uniform (type-I
+//! error ≈ α), and under a true effect its power must rise with effect
+//! size and sample count.
+
+use sz_rng::{Marsaglia, Rng};
+use sz_stats::dist::Normal;
+use sz_stats::{one_way_anova, shapiro_wilk, welch_t_test, wilcoxon_signed_rank};
+
+/// Standard-normal draws via inverse-CDF sampling of our own quantile.
+fn normal_sample(rng: &mut Marsaglia, n: usize, mean: f64, sd: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64().clamp(1e-12, 1.0 - 1e-12);
+            mean + sd * Normal::quantile(u)
+        })
+        .collect()
+}
+
+#[test]
+fn t_test_type_i_error_is_calibrated() {
+    // Two samples from the SAME normal population: p < 0.05 should
+    // happen about 5% of the time.
+    let mut rng = Marsaglia::seeded(0xCA11);
+    let trials = 400;
+    let mut rejections = 0;
+    for _ in 0..trials {
+        let a = normal_sample(&mut rng, 20, 10.0, 1.0);
+        let b = normal_sample(&mut rng, 20, 10.0, 1.0);
+        if welch_t_test(&a, &b).unwrap().p_value < 0.05 {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / trials as f64;
+    // Binomial sd at p=0.05, n=400 is ~1.1%; allow 4 sigma.
+    assert!((0.005..=0.095).contains(&rate), "type-I rate {rate}");
+}
+
+#[test]
+fn t_test_power_grows_with_effect_and_samples() {
+    let mut rng = Marsaglia::seeded(0x90E5);
+    let power = |n: usize, delta: f64, rng: &mut Marsaglia| {
+        let trials = 150;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let a = normal_sample(rng, n, 10.0, 1.0);
+            let b = normal_sample(rng, n, 10.0 + delta, 1.0);
+            if welch_t_test(&a, &b).unwrap().p_value < 0.05 {
+                hits += 1;
+            }
+        }
+        hits as f64 / trials as f64
+    };
+    let weak = power(10, 0.3, &mut rng);
+    let strong_effect = power(10, 1.5, &mut rng);
+    let strong_n = power(80, 0.3, &mut rng);
+    assert!(strong_effect > weak + 0.3, "{strong_effect} vs {weak}");
+    assert!(strong_n > weak + 0.15, "{strong_n} vs {weak}");
+    assert!(strong_effect > 0.8, "d = 1.5 at n = 10 should be near-certain");
+}
+
+#[test]
+fn shapiro_wilk_type_i_error_is_calibrated() {
+    // Normal data should be rejected ~5% of the time at alpha = 0.05.
+    let mut rng = Marsaglia::seeded(0x57A7);
+    let trials = 300;
+    let mut rejections = 0;
+    for _ in 0..trials {
+        let x = normal_sample(&mut rng, 30, 0.0, 1.0);
+        if shapiro_wilk(&x).unwrap().p_value < 0.05 {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / trials as f64;
+    assert!((0.005..=0.11).contains(&rate), "SW type-I rate {rate}");
+}
+
+#[test]
+fn shapiro_wilk_detects_uniform_and_exponential() {
+    let mut rng = Marsaglia::seeded(0xDE7E);
+    let mut uniform_rejections = 0;
+    let mut expo_rejections = 0;
+    let trials = 60;
+    for _ in 0..trials {
+        let u: Vec<f64> = (0..50).map(|_| rng.next_f64()).collect();
+        if shapiro_wilk(&u).unwrap().p_value < 0.05 {
+            uniform_rejections += 1;
+        }
+        let e: Vec<f64> = (0..50)
+            .map(|_| -(1.0 - rng.next_f64()).max(1e-12).ln())
+            .collect();
+        if shapiro_wilk(&e).unwrap().p_value < 0.05 {
+            expo_rejections += 1;
+        }
+    }
+    // Exponential (heavily skewed) must be rejected almost always at
+    // n = 50; uniform (short tails) often but less reliably.
+    assert!(expo_rejections as f64 > 0.9 * trials as f64, "{expo_rejections}/{trials}");
+    assert!(uniform_rejections as f64 > 0.3 * trials as f64, "{uniform_rejections}/{trials}");
+}
+
+#[test]
+fn anova_type_i_error_is_calibrated() {
+    let mut rng = Marsaglia::seeded(0xA0A0);
+    let trials = 250;
+    let mut rejections = 0;
+    for _ in 0..trials {
+        let groups: Vec<Vec<f64>> =
+            (0..4).map(|_| normal_sample(&mut rng, 12, 3.0, 0.7)).collect();
+        if one_way_anova(&groups).unwrap().p_value < 0.05 {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / trials as f64;
+    assert!((0.005..=0.10).contains(&rate), "ANOVA type-I rate {rate}");
+}
+
+#[test]
+fn wilcoxon_agrees_with_t_test_on_normal_shifts() {
+    // On clean normal data both tests should reach the same verdict
+    // for a solid effect; Wilcoxon just pays a small power premium.
+    let mut rng = Marsaglia::seeded(0x3117);
+    let mut agreements = 0;
+    let trials = 100;
+    for _ in 0..trials {
+        let a = normal_sample(&mut rng, 25, 10.0, 1.0);
+        let b: Vec<f64> = normal_sample(&mut rng, 25, 11.2, 1.0);
+        let t_sig = welch_t_test(&a, &b).unwrap().p_value < 0.05;
+        let w_sig = wilcoxon_signed_rank(&a, &b).unwrap().p_value < 0.05;
+        if t_sig == w_sig {
+            agreements += 1;
+        }
+    }
+    assert!(agreements > 85, "agreement {agreements}/{trials}");
+}
+
+#[test]
+fn p_values_are_uniform_under_the_null() {
+    // Kolmogorov-style check: under H0, t-test p-values are Uniform(0,1).
+    let mut rng = Marsaglia::seeded(0x0F0F);
+    let mut ps: Vec<f64> = (0..300)
+        .map(|_| {
+            let a = normal_sample(&mut rng, 15, 0.0, 1.0);
+            let b = normal_sample(&mut rng, 15, 0.0, 1.0);
+            welch_t_test(&a, &b).unwrap().p_value
+        })
+        .collect();
+    ps.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let n = ps.len() as f64;
+    let d = ps
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let ecdf_hi = (i + 1) as f64 / n;
+            let ecdf_lo = i as f64 / n;
+            (p - ecdf_lo).abs().max((ecdf_hi - p).abs())
+        })
+        .fold(0.0f64, f64::max);
+    // KS critical value at alpha = 0.01 for n = 300 is ~0.094.
+    assert!(d < 0.094, "KS distance {d} from uniform");
+}
