@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 CI entry point.
+#
+# The workspace has zero external dependencies, so everything below
+# runs with an empty cargo registry cache and no network. Keep it that
+# way: any step that needs the registry is a regression.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

@@ -11,7 +11,7 @@
 //! 3. **Base allocator** — §3.2 notes DieHard as a base "can lead to
 //!    very high overhead" vs the segregated/TLSF bases.
 //!
-//! Run with `cargo bench -p sz-bench --bench ablations`.
+//! Run with `cargo run --release -p sz-bench --bin ablations`.
 
 use stabilizer::{BaseAllocator, Config};
 use sz_bench::{emit, options_from_env};
@@ -32,8 +32,14 @@ fn main() {
     let mut out = format!("ABLATIONS (benchmark: {bench})\n\n1. Shuffle parameter N\n");
     let mut rows = Vec::new();
     for n in [1usize, 4, 16, 64, 256, 1024] {
-        let cfg = Config { shuffle_n: n, ..Config::default() };
-        rows.push(vec![format!("N={n}"), format!("{:+.1}%", overhead(cfg) * 100.0)]);
+        let cfg = Config {
+            shuffle_n: n,
+            ..Config::default()
+        };
+        rows.push(vec![
+            format!("N={n}"),
+            format!("{:+.1}%", overhead(cfg) * 100.0),
+        ]);
     }
     out.push_str(&render_table(&["config", "overhead"], &rows));
 
@@ -50,7 +56,10 @@ fn main() {
             format!("{sw:.3}"),
         ]);
     }
-    out.push_str(&render_table(&["interval", "overhead", "shapiro-wilk p"], &rows));
+    out.push_str(&render_table(
+        &["interval", "overhead", "shapiro-wilk p"],
+        &rows,
+    ));
 
     out.push_str("\n3. Base allocator beneath the shuffle layer\n");
     let mut rows = Vec::new();
@@ -59,8 +68,14 @@ fn main() {
         ("tlsf", BaseAllocator::Tlsf),
         ("diehard", BaseAllocator::DieHard),
     ] {
-        let cfg = Config { base_allocator: base, ..Config::default() };
-        rows.push(vec![name.to_string(), format!("{:+.1}%", overhead(cfg) * 100.0)]);
+        let cfg = Config {
+            base_allocator: base,
+            ..Config::default()
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{:+.1}%", overhead(cfg) * 100.0),
+        ]);
     }
     out.push_str(&render_table(&["base", "overhead"], &rows));
 

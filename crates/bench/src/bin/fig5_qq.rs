@@ -7,16 +7,17 @@
 //! reference variance; steeper one-time slopes = greater variance,
 //! exactly how the paper reads the figure).
 //!
-//! Run with `cargo bench -p sz-bench --bench fig5_qq`.
+//! Run with `cargo run --release -p sz-bench --bin fig5_qq`.
 
-use sz_bench::{emit, options_from_env};
+use sz_bench::{emit, options_from_env, trace_sink};
 use sz_harness::experiments::{fig5, table1};
 use sz_stats::qq::qq_slope;
 
 fn main() {
     let opts = options_from_env();
-    let rows = table1::run(&opts);
-    let panels = fig5::from_table1(&rows);
+    let trace = trace_sink("fig5_qq");
+    let rows = table1::run_traced(&opts, trace.as_ref());
+    let panels = fig5::from_table1_traced(&rows, trace.as_ref());
     let mut out = String::from("FIGURE 5 — QQ plots vs the Gaussian\n\n");
     for panel in &panels {
         out.push_str(&format!(

@@ -2,14 +2,15 @@
 //! with randomized link order, for the `code`, `code.stack`, and
 //! `code.heap.stack` configurations.
 //!
-//! Run with `cargo bench -p sz-bench --bench fig6_overhead`.
+//! Run with `cargo run --release -p sz-bench --bin fig6_overhead`.
 
-use sz_bench::{emit, options_from_env};
+use sz_bench::{emit, options_from_env, trace_sink};
 use sz_harness::experiments::fig6;
 
 fn main() {
     let opts = options_from_env();
-    let result = fig6::run(&opts);
+    let trace = trace_sink("fig6_overhead");
+    let result = fig6::run_traced(&opts, trace.as_ref());
     let mut out = String::from(
         "FIGURE 6 — overhead of STABILIZER vs randomized link order\n\
          (paper: median 6.7% with all randomizations, <40% for all but four)\n\n",

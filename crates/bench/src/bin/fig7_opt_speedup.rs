@@ -4,14 +4,15 @@
 //! within-subjects analysis of variance (the two artifacts share their
 //! data in the paper as well).
 //!
-//! Run with `cargo bench -p sz-bench --bench fig7_opt_speedup`.
+//! Run with `cargo run --release -p sz-bench --bin fig7_opt_speedup`.
 
-use sz_bench::{emit, options_from_env};
+use sz_bench::{emit, options_from_env, trace_sink};
 use sz_harness::experiments::{anova, fig7};
 
 fn main() {
     let opts = options_from_env();
-    let rows = fig7::run(&opts);
+    let trace = trace_sink("fig7_opt_speedup");
+    let rows = fig7::run_traced(&opts, trace.as_ref());
     let summary = fig7::summarize(&rows);
     let mut out = String::from(
         "FIGURE 7 — speedup of -O2 over -O1 and -O3 over -O2\n\
@@ -30,7 +31,7 @@ fn main() {
         summary.regressions_o3,
     ));
     out.push_str("SECTION 6.1 — one-way within-subjects ANOVA across the suite\n");
-    match anova::run(&rows) {
+    match anova::run_traced(&rows, trace.as_ref()) {
         Ok(result) => {
             out.push_str(&anova::render(&result));
             out.push_str(

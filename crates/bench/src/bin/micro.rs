@@ -1,0 +1,129 @@
+//! Micro-benchmarks for the substrate itself: allocator throughput
+//! (the shuffling layer's direct cost), memory-system and predictor
+//! simulation speed, interpreter throughput, and the statistical
+//! kernels.
+//!
+//! Run with `cargo run --release -p sz-bench --bin micro`. Build with
+//! `--features criterion` for criterion-grade sampling (more warmup
+//! and samples; see [`sz_bench::timing`]).
+
+use std::hint::black_box;
+
+use sz_bench::emit;
+use sz_bench::timing::bench;
+use sz_heap::{
+    Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator,
+};
+use sz_machine::{MachineConfig, MemorySystem};
+use sz_rng::{Marsaglia, Rng};
+use sz_stats::shapiro_wilk;
+use sz_vm::{RunLimits, SimpleLayout, Vm};
+use sz_workloads::Scale;
+
+fn main() {
+    let mut out = String::from("MICRO — substrate micro-benchmarks\n\n");
+
+    // Allocator malloc/free round-trips.
+    let mut seg = SegregatedAllocator::new(Region::new(0x1000, 1 << 30));
+    out.push_str(
+        &bench(|| {
+            let p = seg.malloc(black_box(64)).unwrap();
+            seg.free(p);
+        })
+        .render("allocator/segregated"),
+    );
+    out.push('\n');
+
+    let mut tlsf = TlsfAllocator::new(Region::new(0x1000, 1 << 30));
+    out.push_str(
+        &bench(|| {
+            let p = tlsf.malloc(black_box(64)).unwrap();
+            tlsf.free(p);
+        })
+        .render("allocator/tlsf"),
+    );
+    out.push('\n');
+
+    let mut dh = DieHardAllocator::new(Region::new(0x1000, 1 << 34), Marsaglia::seeded(1));
+    out.push_str(
+        &bench(|| {
+            let p = dh.malloc(black_box(64)).unwrap();
+            dh.free(p);
+        })
+        .render("allocator/diehard"),
+    );
+    out.push('\n');
+
+    let mut sh = ShuffleLayer::new(
+        SegregatedAllocator::new(Region::new(0x1000, 1 << 30)),
+        256,
+        Marsaglia::seeded(1),
+    );
+    out.push_str(
+        &bench(|| {
+            let p = sh.malloc(black_box(64)).unwrap();
+            sh.free(p);
+        })
+        .render("allocator/shuffle256_over_segregated"),
+    );
+    out.push('\n');
+
+    // Memory-system and predictor simulation speed.
+    let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+    m.load(0x1000);
+    out.push_str(
+        &bench(|| {
+            m.load(black_box(0x1000));
+        })
+        .render("machine/l1_hit_load"),
+    );
+    out.push('\n');
+
+    let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+    let mut addr = 0u64;
+    out.push_str(
+        &bench(|| {
+            addr = addr.wrapping_add(64);
+            m.load(black_box(addr));
+        })
+        .render("machine/streaming_loads"),
+    );
+    out.push('\n');
+
+    let mut m = MemorySystem::new(MachineConfig::core_i3_550());
+    let mut i = 0u64;
+    out.push_str(
+        &bench(|| {
+            i += 1;
+            m.branch(black_box(0x40_0000), i.is_multiple_of(7));
+        })
+        .render("machine/branch_predict"),
+    );
+    out.push('\n');
+
+    // Interpreter throughput over a full benchmark.
+    let program = sz_workloads::build("bzip2", Scale::Tiny).unwrap();
+    let vm = Vm::new(&program);
+    out.push_str(
+        &bench(|| {
+            let mut e = SimpleLayout::new();
+            vm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+                .unwrap();
+        })
+        .render("vm/bzip2_tiny_simple_layout"),
+    );
+    out.push('\n');
+
+    // Statistical kernels.
+    let mut rng = Marsaglia::seeded(1);
+    let data: Vec<f64> = (0..30).map(|_| rng.next_f64()).collect();
+    out.push_str(
+        &bench(|| {
+            shapiro_wilk(black_box(&data)).unwrap();
+        })
+        .render("stats/shapiro_wilk_n30"),
+    );
+    out.push('\n');
+
+    emit("micro", &out);
+}

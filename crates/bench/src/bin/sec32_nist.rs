@@ -2,14 +2,19 @@
 //! index bits of heap addresses from `lrand48`, DieHard, and the
 //! shuffled heap at several values of `N`.
 //!
-//! Run with `cargo bench -p sz-bench --bench sec32_nist`.
+//! Run with `cargo run --release -p sz-bench --bin sec32_nist`.
 
-use sz_bench::emit;
+use sz_bench::{emit, trace_sink};
 use sz_harness::experiments::nist;
 
 fn main() {
-    let draws = if std::env::var("SZ_QUICK").is_ok() { 8_192 } else { 65_536 };
-    let rows = nist::run(draws, &[2, 16, 64, 256]);
+    let draws = if std::env::var("SZ_QUICK").is_ok() {
+        8_192
+    } else {
+        65_536
+    };
+    let trace = trace_sink("sec32_nist");
+    let rows = nist::run_traced(draws, &[2, 16, 64, 256], trace.as_ref());
     let mut out = String::from(
         "SECTION 3.2 — NIST SP 800-22 tests over heap-address index bits\n\
          (paper: lrand48 and DieHard pass six tests; the shuffled heap\n\
@@ -18,7 +23,11 @@ fn main() {
     out.push_str(&nist::render(&rows));
     out.push('\n');
     for row in &rows {
-        out.push_str(&format!("{}: {}/7 tests passed\n", row.source, row.passes()));
+        out.push_str(&format!(
+            "{}: {}/7 tests passed\n",
+            row.source,
+            row.passes()
+        ));
     }
     emit("sec32_nist", &out);
 }

@@ -3,18 +3,23 @@
 //! size changes — and that a semantics-free code change is (correctly)
 //! not significant under STABILIZER.
 //!
-//! Run with `cargo bench -p sz-bench --bench sec5_bias`.
+//! Run with `cargo run --release -p sz-bench --bin sec5_bias`.
 
-use sz_bench::{emit, options_from_env};
+use sz_bench::{emit, options_from_env, trace_sink};
 use sz_harness::experiments::bias;
 use sz_harness::report::render_table;
-use sz_harness::ExperimentOptions;
+use sz_harness::{ExperimentOptions, TraceSink};
 
-fn sweep_table(opts: &ExperimentOptions, orders: usize, env_sizes: usize) -> String {
+fn sweep_table(
+    opts: &ExperimentOptions,
+    orders: usize,
+    env_sizes: usize,
+    trace: Option<&TraceSink>,
+) -> String {
     let mut rows = Vec::new();
     for spec in opts.selected_suite() {
-        let link = bias::link_order_sweep(opts, spec.name, orders);
-        let env = bias::env_size_sweep(opts, spec.name, env_sizes);
+        let link = bias::link_order_sweep_traced(opts, spec.name, orders, trace);
+        let env = bias::env_size_sweep_traced(opts, spec.name, env_sizes, trace);
         rows.push(vec![
             spec.name.to_string(),
             format!("{:+.1}%", link.swing * 100.0),
@@ -22,14 +27,23 @@ fn sweep_table(opts: &ExperimentOptions, orders: usize, env_sizes: usize) -> Str
         ]);
     }
     render_table(
-        &["Benchmark", "link-order swing (max/min-1)", "env-size swing"],
+        &[
+            "Benchmark",
+            "link-order swing (max/min-1)",
+            "env-size swing",
+        ],
         &rows,
     )
 }
 
 fn main() {
     let opts = options_from_env();
-    let (orders, env_sizes) = if std::env::var("SZ_QUICK").is_ok() { (8, 6) } else { (24, 16) };
+    let trace = trace_sink("sec5_bias");
+    let (orders, env_sizes) = if std::env::var("SZ_QUICK").is_ok() {
+        (8, 6)
+    } else {
+        (24, 16)
+    };
 
     let mut out = String::from(
         "SECTION 1/5 — measurement bias from incidental layout factors\n\
@@ -39,7 +53,7 @@ fn main() {
          workloads' hot code fits the 32 KB L1I with room to spare, so\n\
          swings here are the *floor* of the effect:\n\n",
     );
-    out.push_str(&sweep_table(&opts, orders, env_sizes));
+    out.push_str(&sweep_table(&opts, orders, env_sizes, trace.as_ref()));
 
     // SPEC's hot footprints exceed L1 capacity margins; match that
     // footprint-to-cache ratio with the small machine model (see
@@ -51,12 +65,12 @@ fn main() {
         "\n(b) Footprint-matched configuration (hot code and data exceed\n\
          cache capacity margins, as SPEC does on the real machine):\n\n",
     );
-    out.push_str(&sweep_table(&stressed, orders, env_sizes));
+    out.push_str(&sweep_table(&stressed, orders, env_sizes, trace.as_ref()));
 
     out.push_str("\nNo-op code change (unreachable padding), conventional vs sound evaluation:\n");
     for name in ["bzip2", "gcc", "mcf"] {
         if opts.selected_suite().iter().any(|s| s.name == name) {
-            let r = bias::no_op_change_comparison(&opts, name);
+            let r = bias::no_op_change_comparison_traced(&opts, name, trace.as_ref());
             out.push_str(&format!(
                 "  {name}: conventional single-layout delta {:+.2}% (layout luck); \
                  stabilized delta {:+.3}% (true cost), p = {:.3}\n",

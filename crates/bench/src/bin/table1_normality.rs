@@ -2,14 +2,15 @@
 //! re-randomized layouts) and Brown–Forsythe variance homogeneity for
 //! every benchmark.
 //!
-//! Run with `cargo bench -p sz-bench --bench table1_normality`.
+//! Run with `cargo run --release -p sz-bench --bin table1_normality`.
 
-use sz_bench::{emit, options_from_env};
+use sz_bench::{emit, options_from_env, trace_sink};
 use sz_harness::experiments::table1;
 
 fn main() {
     let opts = options_from_env();
-    let rows = table1::run(&opts);
+    let trace = trace_sink("table1_normality");
+    let rows = table1::run_traced(&opts, trace.as_ref());
     let summary = table1::summarize(&rows);
     let mut out = String::from("TABLE 1 — Shapiro-Wilk and Brown-Forsythe p-values\n");
     out.push_str("(* marks p < 0.05: non-normal times / unequal variances)\n\n");

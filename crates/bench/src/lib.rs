@@ -1,18 +1,22 @@
-//! Shared plumbing for the figure/table regeneration benches.
+//! Shared plumbing for the figure/table regeneration runners.
 //!
-//! Every bench target honours two environment variables:
+//! The runners are plain `src/bin` binaries (`cargo run --release -p
+//! sz-bench --bin table1_normality`, …) so the tier-1 path needs no
+//! registry crates. Every runner honours two environment variables:
 //!
 //! - `SZ_QUICK=1` — run a reduced configuration (Tiny scale, few
-//!   runs) to smoke-test the bench itself;
+//!   runs) to smoke-test the runner itself;
 //! - `SZ_BENCHMARKS=mcf,lbm` — restrict the suite.
 //!
 //! Results are printed to stdout and mirrored to
 //! `target/paper-results/<name>.txt` for EXPERIMENTS.md.
 
+pub mod timing;
+
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use sz_harness::ExperimentOptions;
+use sz_harness::{ExperimentOptions, TraceSink};
 
 /// Builds experiment options from the environment.
 pub fn options_from_env() -> ExperimentOptions {
@@ -27,13 +31,28 @@ pub fn options_from_env() -> ExperimentOptions {
     opts
 }
 
+/// Opens the JSONL trace sink for a runner at
+/// `target/paper-results/<name>.jsonl` (set `SZ_NO_TRACE=1` to skip
+/// writing traces). See EXPERIMENTS.md, "Per-run traces", for the
+/// record schema.
+pub fn trace_sink(name: &str) -> Option<TraceSink> {
+    if std::env::var("SZ_NO_TRACE").is_ok() {
+        return None;
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok()?;
+    TraceSink::create(dir.join(format!("{name}.jsonl"))).ok()
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+        .join("paper-results")
+}
+
 /// Prints `content` and mirrors it to `target/paper-results/<name>.txt`.
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("paper-results");
+    let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
         if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
             let _ = f.write_all(content.as_bytes());

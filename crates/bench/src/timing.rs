@@ -1,0 +1,119 @@
+//! A std-only micro-benchmark harness: wall-clock sampling with
+//! warmup, batching, and robust summary statistics.
+//!
+//! This replaces the criterion benches on the tier-1 path (criterion
+//! is a registry crate and the workspace must build offline from an
+//! empty registry cache). The default mode takes a quick but honest
+//! measurement; building `sz-bench` with `--features criterion`
+//! switches to criterion-grade sampling: longer warmup, many more
+//! samples, and outlier-trimmed statistics.
+
+use std::time::Instant;
+
+/// Samples per measurement.
+pub fn sample_count() -> usize {
+    if cfg!(feature = "criterion") {
+        100
+    } else {
+        20
+    }
+}
+
+/// Warmup duration in milliseconds.
+fn warmup_ms() -> u128 {
+    if cfg!(feature = "criterion") {
+        300
+    } else {
+        50
+    }
+}
+
+/// One measured operation's timing summary, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Trimmed mean (middle 80% of samples).
+    pub mean_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Fastest sample — the least-noise estimate.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// Renders as a one-line report.
+    pub fn render(&self, name: &str) -> String {
+        format!(
+            "{name:<32} {:>12.1} ns/iter (median {:.1}, min {:.1}, {} x {} iters)",
+            self.mean_ns, self.median_ns, self.min_ns, self.samples, self.iters_per_sample
+        )
+    }
+}
+
+/// Times `op`, automatically choosing a batch size so each sample runs
+/// for at least ~1 ms, then reports per-iteration statistics.
+pub fn bench<F: FnMut()>(mut op: F) -> Measurement {
+    // Warmup: run until the warmup budget elapses, counting iterations
+    // to calibrate the batch size.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed().as_millis() < warmup_ms() {
+        op();
+        warmup_iters += 1;
+    }
+    let warmup_ns = warmup_start.elapsed().as_nanos() as f64;
+    let ns_per_iter = (warmup_ns / warmup_iters.max(1) as f64).max(1.0);
+    // Aim for ~1 ms per sample so Instant's resolution is negligible.
+    let iters_per_sample = ((1_000_000.0 / ns_per_iter) as u64).clamp(1, 10_000_000);
+
+    let samples = sample_count();
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            op();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let trim = samples / 10;
+    let kept = &per_iter[trim..samples - trim];
+    Measurement {
+        mean_ns: kept.iter().sum::<f64>() / kept.len() as f64,
+        median_ns: per_iter[samples / 2],
+        min_ns: per_iter[0],
+        samples,
+        iters_per_sample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_op() {
+        let mut x = 0u64;
+        let m = bench(|| x = std::hint::black_box(x).wrapping_add(1));
+        assert!(m.min_ns >= 0.0);
+        assert!(m.mean_ns >= m.min_ns);
+        assert_eq!(m.samples, sample_count());
+        assert!(m.render("noop").contains("ns/iter"));
+    }
+
+    #[test]
+    fn ordering_holds_between_cheap_and_expensive_ops() {
+        let mut acc = 0u64;
+        let cheap = bench(|| acc = std::hint::black_box(acc).wrapping_add(1));
+        let expensive = bench(|| {
+            for i in 0..1000u64 {
+                acc = std::hint::black_box(acc).wrapping_add(i);
+            }
+        });
+        assert!(expensive.mean_ns > cheap.mean_ns);
+    }
+}

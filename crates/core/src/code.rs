@@ -38,7 +38,7 @@ enum CopyState {
 }
 
 /// Counters describing the randomizer's activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CodeStats {
     /// On-demand relocations performed (traps taken).
     pub relocations: u64,
@@ -310,10 +310,17 @@ mod tests {
         let a0 = cr.enter(f0, &mut mem);
         let a1 = cr.enter(f1, &mut mem);
         // f1's frame is still on the stack during the re-randomization.
-        let stack = [FrameView { func: f1, code_base: a1 }];
+        let stack = [FrameView {
+            func: f1,
+            code_base: a1,
+        }];
         cr.rerandomize(&stack, &mut mem);
         assert_eq!(cr.stats().copies_freed, 1, "f0's copy was collectable");
-        assert_eq!(cr.stats().copies_kept, 1, "f1's copy is pinned by the stack");
+        assert_eq!(
+            cr.stats().copies_kept,
+            1,
+            "f1's copy is pinned by the stack"
+        );
         assert_eq!(cr.pile_len(), 1);
         let _ = a0;
         // Once f1 is off the stack, the next GC frees it.

@@ -60,7 +60,8 @@ mod tests {
     fn relocation_amortizes_against_default_interval() {
         // Sanity: relocating a whole 500-function program costs well
         // under 1% of a 500 ms interval at 3.2 GHz.
-        let relocation = 500 * (TRAP_CYCLES + 4096 / COPY_BYTES_PER_CYCLE + 32 * TABLE_ENTRY_CYCLES);
+        let relocation =
+            500 * (TRAP_CYCLES + 4096 / COPY_BYTES_PER_CYCLE + 32 * TABLE_ENTRY_CYCLES);
         let interval_cycles = (0.5 * 3.2e9) as u64;
         assert!(relocation * 100 < interval_cycles);
     }

@@ -1,7 +1,9 @@
 //! The randomized data heap: the shuffling layer over a configurable
 //! base allocator (§3.2).
 
-use sz_heap::{Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator};
+use sz_heap::{
+    Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator,
+};
 use sz_machine::MemorySystem;
 use sz_rng::Marsaglia;
 
@@ -14,7 +16,7 @@ const DATA_HEAP_BASE: u64 = 0x40_0000_0000;
 const DATA_HEAP_SIZE: u64 = 1 << 36;
 
 /// Base allocator choices beneath the shuffling layer (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaseAllocator {
     /// Power-of-two size-segregated (the paper's default).
     Segregated,
@@ -65,7 +67,11 @@ impl StabilizerHeap {
                 BaseAllocator::DieHard => HeapImpl::DieHard(DieHardAllocator::new(region, rng)),
             }
         };
-        StabilizerHeap { inner, mallocs: 0, frees: 0 }
+        StabilizerHeap {
+            inner,
+            mallocs: 0,
+            frees: 0,
+        }
     }
 
     /// Whether the shuffling layer (or DieHard) is active.
@@ -131,15 +137,26 @@ mod tests {
     #[test]
     fn plain_heap_is_deterministic_and_reuses() {
         let a = addresses(false, BaseAllocator::Segregated, 1, 50);
-        assert!(a.windows(2).all(|w| w[0] == w[1]), "LIFO reuse: one address forever");
+        assert!(
+            a.windows(2).all(|w| w[0] == w[1]),
+            "LIFO reuse: one address forever"
+        );
     }
 
     #[test]
     fn randomized_heaps_spread_addresses() {
-        for base in [BaseAllocator::Segregated, BaseAllocator::Tlsf, BaseAllocator::DieHard] {
+        for base in [
+            BaseAllocator::Segregated,
+            BaseAllocator::Tlsf,
+            BaseAllocator::DieHard,
+        ] {
             let a = addresses(true, base, 1, 100);
             let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
-            assert!(distinct.len() > 30, "{base:?}: only {} distinct", distinct.len());
+            assert!(
+                distinct.len() > 30,
+                "{base:?}: only {} distinct",
+                distinct.len()
+            );
         }
     }
 

@@ -77,7 +77,7 @@ use sz_machine::SimTime;
 /// All three randomizations can be toggled independently (§2.5), which
 /// is how layout optimizations are evaluated: to test a stack
 /// optimization, run with only code and heap randomization enabled.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Config {
     /// Randomize code placement per function (§3.3).
     pub code: bool,
@@ -118,18 +118,28 @@ impl Default for Config {
 impl Config {
     /// The Figure-6 `code` configuration: only code randomization.
     pub fn code_only() -> Self {
-        Config { stack: false, heap: false, ..Config::default() }
+        Config {
+            stack: false,
+            heap: false,
+            ..Config::default()
+        }
     }
 
     /// The Figure-6 `code.stack` configuration.
     pub fn code_stack() -> Self {
-        Config { heap: false, ..Config::default() }
+        Config {
+            heap: false,
+            ..Config::default()
+        }
     }
 
     /// One-time randomization (no re-randomization), the Table-1
     /// comparison configuration.
     pub fn one_time() -> Self {
-        Config { rerandomize: false, ..Config::default() }
+        Config {
+            rerandomize: false,
+            ..Config::default()
+        }
     }
 
     /// Returns the config with a different seed.

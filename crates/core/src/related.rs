@@ -7,7 +7,7 @@
 //! randomization of *all three* segments plus dynamic re-randomization.
 
 /// Degree of support for one randomization axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Support {
     /// Not provided.
     No,
@@ -25,7 +25,7 @@ impl Support {
 }
 
 /// One row of Table 2.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RandomizationSystem {
     /// System name as the paper lists it.
     pub name: &'static str,

@@ -14,7 +14,7 @@
 //! | data heap | `0x40_0000_0000` | the program's heap |
 
 use sz_ir::{FuncId, GlobalId, Program};
-use sz_machine::{MachineConfig, MemorySystem};
+use sz_machine::{MachineConfig, MemorySystem, PerfCounters};
 use sz_rng::{Marsaglia, Rng, SplitMix64};
 use sz_vm::{FrameView, LayoutEngine};
 
@@ -31,7 +31,7 @@ const GLOBALS_BASE: u64 = 0x200_0000;
 const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
 
 /// Runtime activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Re-randomization rounds completed.
     pub rerandomizations: u64,
@@ -64,6 +64,7 @@ pub struct Stabilizer {
     next_rerand: u64,
     init_charged: bool,
     rerandomizations: u64,
+    period_marks: Vec<PerfCounters>,
 }
 
 impl Stabilizer {
@@ -89,6 +90,7 @@ impl Stabilizer {
             next_rerand: 0,
             init_charged: false,
             rerandomizations: 0,
+            period_marks: Vec::new(),
         }
     }
 
@@ -101,9 +103,21 @@ impl Stabilizer {
     pub fn stats(&self) -> Stats {
         Stats {
             rerandomizations: self.rerandomizations,
-            code: self.code.as_ref().map(CodeRandomizer::stats).unwrap_or_default(),
-            stack_refills: self.stack_rand.as_ref().map(StackRandomizer::refills).unwrap_or(0),
-            heap_ops: self.heap.as_ref().map(StabilizerHeap::op_counts).unwrap_or((0, 0)),
+            code: self
+                .code
+                .as_ref()
+                .map(CodeRandomizer::stats)
+                .unwrap_or_default(),
+            stack_refills: self
+                .stack_rand
+                .as_ref()
+                .map(StackRandomizer::refills)
+                .unwrap_or(0),
+            heap_ops: self
+                .heap
+                .as_ref()
+                .map(StabilizerHeap::op_counts)
+                .unwrap_or((0, 0)),
         }
     }
 
@@ -134,9 +148,10 @@ impl LayoutEngine for Stabilizer {
             g = (g + global.size + 15) & !15;
         }
 
-        self.code = self.config.code.then(|| {
-            CodeRandomizer::new(program, &self.info, self.config.shuffle_n, code_rng)
-        });
+        self.code = self
+            .config
+            .code
+            .then(|| CodeRandomizer::new(program, &self.info, self.config.shuffle_n, code_rng));
         self.stack_rand = self
             .config
             .stack
@@ -151,6 +166,7 @@ impl LayoutEngine for Stabilizer {
         self.next_rerand = self.interval_cycles;
         self.init_charged = false;
         self.rerandomizations = 0;
+        self.period_marks.clear();
     }
 
     fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
@@ -205,10 +221,17 @@ impl LayoutEngine for Stabilizer {
         }
         self.rerandomizations += 1;
         self.next_rerand = now_cycles + self.interval_cycles;
+        // The period that just ended carries the relocation/refill
+        // work that closed it: snapshot after charging it.
+        self.period_marks.push(*mem.counters());
     }
 
     fn name(&self) -> &'static str {
         "stabilizer"
+    }
+
+    fn period_marks(&self) -> &[PerfCounters] {
+        &self.period_marks
     }
 }
 
@@ -295,7 +318,10 @@ mod tests {
             .unwrap()
             .return_value;
         let (report, _) = run_with(Config::default().with_interval(fast_interval()), 42);
-        assert_eq!(report.return_value, expected, "randomization must not change results");
+        assert_eq!(
+            report.return_value, expected,
+            "randomization must not change results"
+        );
         assert_eq!(report.return_value, Some(200));
     }
 
@@ -308,20 +334,30 @@ mod tests {
             stats.rerandomizations
         );
         assert_eq!(stats.stack_refills, stats.rerandomizations);
-        assert!(stats.code.relocations > stats.rerandomizations, "functions re-trap each round");
+        assert!(
+            stats.code.relocations > stats.rerandomizations,
+            "functions re-trap each round"
+        );
     }
 
     #[test]
     fn one_time_mode_never_rerandomizes() {
         let (_, stats) = run_with(Config::one_time(), 1);
         assert_eq!(stats.rerandomizations, 0);
-        assert!(stats.code.relocations > 0, "but initial randomization still happens");
+        assert!(
+            stats.code.relocations > 0,
+            "but initial randomization still happens"
+        );
     }
 
     #[test]
     fn different_seeds_different_times() {
         let times: Vec<u64> = (0..8)
-            .map(|s| run_with(Config::default().with_interval(fast_interval()), s).0.cycles)
+            .map(|s| {
+                run_with(Config::default().with_interval(fast_interval()), s)
+                    .0
+                    .cycles
+            })
             .collect();
         let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
         assert!(distinct.len() >= 6, "layout must drive timing: {times:?}");
@@ -338,14 +374,24 @@ mod tests {
     #[test]
     fn randomizations_toggle_independently() {
         let (_, code_only) = run_with(
-            Config { stack: false, heap: false, ..Config::default() }.with_interval(fast_interval()),
+            Config {
+                stack: false,
+                heap: false,
+                ..Config::default()
+            }
+            .with_interval(fast_interval()),
             5,
         );
         assert!(code_only.code.relocations > 0);
         assert_eq!(code_only.stack_refills, 0);
 
         let (_, heap_only) = run_with(
-            Config { code: false, stack: false, ..Config::default() }.with_interval(fast_interval()),
+            Config {
+                code: false,
+                stack: false,
+                ..Config::default()
+            }
+            .with_interval(fast_interval()),
             5,
         );
         assert_eq!(heap_only.code.relocations, 0);
@@ -357,7 +403,11 @@ mod tests {
         let machine = MachineConfig::tiny();
         let (prepared, info) = prepare_program(&workload());
         let mut engine = Stabilizer::new(
-            Config { code: false, ..Config::default() }.with_seed(1),
+            Config {
+                code: false,
+                ..Config::default()
+            }
+            .with_seed(1),
             &machine,
             &info,
         );

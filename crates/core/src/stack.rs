@@ -174,8 +174,15 @@ mod tests {
         let mut mem = MemorySystem::new(MachineConfig::tiny());
         let pads: Vec<u64> = (0..256).map(|_| s.pad(FuncId(0), &mut mem)).collect();
         let distinct: std::collections::HashSet<u64> = pads.iter().copied().collect();
-        assert!(distinct.len() > 100, "pads must be diverse, got {}", distinct.len());
-        assert!(pads.iter().any(|&p| p > 2048), "upper half of the range is reachable");
+        assert!(
+            distinct.len() > 100,
+            "pads must be diverse, got {}",
+            distinct.len()
+        );
+        assert!(
+            pads.iter().any(|&p| p > 2048),
+            "upper half of the range is reachable"
+        );
     }
 
     #[test]
@@ -185,8 +192,15 @@ mod tests {
         let mut s = StackRandomizer::new(&prog, &mut rng);
         let mut mem = MemorySystem::new(MachineConfig::tiny());
         s.pad(FuncId(0), &mut mem);
-        assert!(mem.counters().l1d_misses >= 1, "first table read is a cold miss");
+        assert!(
+            mem.counters().l1d_misses >= 1,
+            "first table read is a cold miss"
+        );
         s.pad(FuncId(0), &mut mem);
-        assert_eq!(mem.counters().l1d_misses, 1, "subsequent reads hit the line");
+        assert_eq!(
+            mem.counters().l1d_misses,
+            1,
+            "subsequent reads hit the line"
+        );
     }
 }

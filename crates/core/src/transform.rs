@@ -18,13 +18,12 @@
 use std::collections::HashMap;
 
 use sz_ir::{
-    Block, FuncId, Function, Global, GlobalId, GlobalInit, Instr, Operand, Program, Reg,
-    Terminator,
+    Block, FuncId, Function, Global, GlobalId, GlobalInit, Instr, Operand, Program, Reg, Terminator,
 };
 
 /// What [`prepare_program`] did — consumed by the [`crate::Stabilizer`]
 /// runtime.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformInfo {
     /// The int→float and float→int helpers (non-relocatable, §3.3).
     pub helpers: Vec<FuncId>,
@@ -77,14 +76,26 @@ pub fn prepare_program(program: &Program) -> (Program, TransformInfo) {
                             fp_globals.push(gid);
                             gid
                         });
-                        *instr = Instr::LoadGlobal { dst, global: gid, offset: Operand::Imm(0) };
+                        *instr = Instr::LoadGlobal {
+                            dst,
+                            global: gid,
+                            offset: Operand::Imm(0),
+                        };
                     }
                     // Rewrite 2: conversions -> helper calls.
                     Instr::IntToFp { dst, src } => {
-                        *instr = Instr::Call { func: sitofp, args: vec![src], ret: Some(dst) };
+                        *instr = Instr::Call {
+                            func: sitofp,
+                            args: vec![src],
+                            ret: Some(dst),
+                        };
                     }
                     Instr::FpToInt { dst, src } => {
-                        *instr = Instr::Call { func: fptosi, args: vec![src], ret: Some(dst) };
+                        *instr = Instr::Call {
+                            func: fptosi,
+                            args: vec![src],
+                            ret: Some(dst),
+                        };
                     }
                     _ => {}
                 }
@@ -94,8 +105,10 @@ pub fn prepare_program(program: &Program) -> (Program, TransformInfo) {
 
     // The conversion helpers themselves (kept out of the rewrite loop,
     // so they may legitimately contain the raw conversion ops).
-    out.functions.push(conversion_helper("__stabilizer_sitofp", true));
-    out.functions.push(conversion_helper("__stabilizer_fptosi", false));
+    out.functions
+        .push(conversion_helper("__stabilizer_sitofp", true));
+    out.functions
+        .push(conversion_helper("__stabilizer_fptosi", false));
 
     // Rewrite 3: the runtime's main wraps the program's.
     let original_entry = out.entry;
@@ -109,9 +122,15 @@ pub fn prepare_program(program: &Program) -> (Program, TransformInfo) {
             // its cycle cost is charged by the engine at prepare time.
             instrs: vec![
                 Instr::Nop { bytes: 64 },
-                Instr::Call { func: original_entry, args: vec![], ret: Some(Reg(0)) },
+                Instr::Call {
+                    func: original_entry,
+                    args: vec![],
+                    ret: Some(Reg(0)),
+                },
             ],
-            term: Terminator::Ret { value: Some(Operand::Reg(Reg(0))) },
+            term: Terminator::Ret {
+                value: Some(Operand::Reg(Reg(0))),
+            },
         }],
     });
     out.entry = entry_wrapper;
@@ -128,9 +147,15 @@ pub fn prepare_program(program: &Program) -> (Program, TransformInfo) {
 
 fn conversion_helper(name: &str, to_fp: bool) -> Function {
     let body = if to_fp {
-        Instr::IntToFp { dst: Reg(1), src: Operand::Reg(Reg(0)) }
+        Instr::IntToFp {
+            dst: Reg(1),
+            src: Operand::Reg(Reg(0)),
+        }
     } else {
-        Instr::FpToInt { dst: Reg(1), src: Operand::Reg(Reg(0)) }
+        Instr::FpToInt {
+            dst: Reg(1),
+            src: Operand::Reg(Reg(0)),
+        }
     };
     Function {
         name: name.into(),
@@ -139,7 +164,9 @@ fn conversion_helper(name: &str, to_fp: bool) -> Function {
         num_slots: 0,
         blocks: vec![Block {
             instrs: vec![body],
-            term: Terminator::Ret { value: Some(Operand::Reg(Reg(1))) },
+            term: Terminator::Ret {
+                value: Some(Operand::Reg(Reg(1))),
+            },
         }],
     }
 }
@@ -194,7 +221,10 @@ mod tests {
             for b in &f.blocks {
                 for instr in &b.instrs {
                     assert!(
-                        !matches!(instr, Instr::FpConst { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. }),
+                        !matches!(
+                            instr,
+                            Instr::FpConst { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. }
+                        ),
                         "unrewritten {instr:?} in {}",
                         f.name
                     );
@@ -212,7 +242,10 @@ mod tests {
         let main = p.add_function(f);
         let prog = p.finish(main).unwrap();
         let (_, info) = prepare_program(&prog);
-        assert!(info.fp_globals.is_empty(), "paper: only non-zero constants move");
+        assert!(
+            info.fp_globals.is_empty(),
+            "paper: only non-zero constants move"
+        );
     }
 
     #[test]

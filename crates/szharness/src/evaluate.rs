@@ -5,14 +5,14 @@
 use stabilizer::Config;
 use sz_ir::Program;
 use sz_stats::{
-    cohens_d, diff_ci, mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank,
-    ConfidenceInterval, Verdict, ALPHA,
+    cohens_d, diff_ci, mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, ConfidenceInterval,
+    Verdict, ALPHA,
 };
 
 use crate::runner::{stabilized_samples, ExperimentOptions};
 
 /// The complete sound evaluation of one code change.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChangeEvaluation {
     /// Speedup `mean(before) / mean(after)`; > 1 means the change
     /// made the program faster.
@@ -72,8 +72,7 @@ pub fn evaluate_change(
 ) -> ChangeEvaluation {
     let a = stabilized_samples(before, opts, Config::default(), opts.runs);
     let b = stabilized_samples(after, opts, Config::default(), opts.runs);
-    let normal =
-        |s: &[f64]| shapiro_wilk(s).map(|r| r.p_value >= ALPHA).unwrap_or(false);
+    let normal = |s: &[f64]| shapiro_wilk(s).map(|r| r.p_value >= ALPHA).unwrap_or(false);
     let parametric = normal(&a) && normal(&b);
     let p_value = if parametric {
         welch_t_test(&a, &b).map_or(1.0, |t| t.p_value)
@@ -111,7 +110,11 @@ mod tests {
         let before = sz_workloads::build("gobmk", Scale::Tiny).unwrap();
         let after = optimize(&before, OptLevel::O2);
         let eval = evaluate_change(&before, &after, &opts);
-        assert!(eval.speedup > 1.02, "O2 should clearly win: {}", eval.speedup);
+        assert!(
+            eval.speedup > 1.02,
+            "O2 should clearly win: {}",
+            eval.speedup
+        );
         assert!(eval.verdict.is_significant(), "p = {}", eval.p_value);
         assert!(eval.diff_ci.excludes(0.0));
         assert!(eval.effect_size < 0.0, "after is faster");

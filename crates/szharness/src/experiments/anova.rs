@@ -11,9 +11,10 @@
 use sz_stats::{mean, repeated_measures_anova, AnovaResult, StatError};
 
 use crate::experiments::fig7::Fig7Row;
+use crate::report::TraceSink;
 
 /// The two suite-wide tests of §6.1.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sec61Result {
     /// ANOVA for `-O2` vs `-O1`.
     pub o2_vs_o1: AnovaResult,
@@ -27,10 +28,39 @@ pub struct Sec61Result {
 ///
 /// Propagates [`StatError`] if fewer than two benchmarks are supplied.
 pub fn run(rows: &[Fig7Row]) -> Result<Sec61Result, StatError> {
-    Ok(Sec61Result {
+    run_traced(rows, None)
+}
+
+/// [`run`] with optional JSONL tracing: one `summary` record per
+/// suite-wide ANOVA. (The underlying runs are traced by
+/// `fig7::run_traced`, which produced `rows`.)
+///
+/// # Errors
+///
+/// Propagates [`StatError`] if fewer than two benchmarks are supplied.
+pub fn run_traced(rows: &[Fig7Row], trace: Option<&TraceSink>) -> Result<Sec61Result, StatError> {
+    let result = Sec61Result {
         o2_vs_o1: pairwise(rows, 0, 1)?,
         o3_vs_o2: pairwise(rows, 1, 2)?,
-    })
+    };
+    if let Some(t) = trace {
+        for (name, a) in [
+            ("o2_vs_o1", &result.o2_vs_o1),
+            ("o3_vs_o2", &result.o3_vs_o2),
+        ] {
+            t.summary_record(
+                "anova",
+                vec![
+                    ("comparison", name.into()),
+                    ("f", a.f.into()),
+                    ("df_treatment", a.df_treatment.into()),
+                    ("df_error", a.df_error.into()),
+                    ("p_value", a.p_value.into()),
+                ],
+            );
+        }
+    }
+    Ok(result)
 }
 
 fn pairwise(rows: &[Fig7Row], lo: usize, hi: usize) -> Result<AnovaResult, StatError> {
@@ -83,7 +113,11 @@ mod tests {
                 .map(|i| m + jitter * (((i + k + phase) % 5) as f64 - 2.0))
                 .collect()
         };
-        let samples = [series(means[0], 0), series(means[1], 1), series(means[2], 2)];
+        let samples = [
+            series(means[0], 0),
+            series(means[1], 1),
+            series(means[2], 2),
+        ];
         Fig7Row {
             benchmark: name.to_string(),
             o2_vs_o1: compare(&samples[0], &samples[1]),
@@ -98,12 +132,25 @@ mod tests {
         let rows: Vec<Fig7Row> = (0..10)
             .map(|i| {
                 let base = 10.0 * (i + 1) as f64;
-                row(&format!("b{i}"), [base, base * 0.9, base * 0.9], base * 0.001, i)
+                row(
+                    &format!("b{i}"),
+                    [base, base * 0.9, base * 0.9],
+                    base * 0.001,
+                    i,
+                )
             })
             .collect();
         let r = run(&rows).unwrap();
-        assert!(r.o2_vs_o1.p_value < 0.01, "O2 effect: p = {}", r.o2_vs_o1.p_value);
-        assert!(r.o3_vs_o2.p_value > 0.3, "O3 noise: p = {}", r.o3_vs_o2.p_value);
+        assert!(
+            r.o2_vs_o1.p_value < 0.01,
+            "O2 effect: p = {}",
+            r.o2_vs_o1.p_value
+        );
+        assert!(
+            r.o3_vs_o2.p_value > 0.3,
+            "O3 noise: p = {}",
+            r.o3_vs_o2.p_value
+        );
         let text = render(&r);
         assert!(text.contains("-O3 vs -O2"));
     }

@@ -12,11 +12,13 @@
 use stabilizer::Config;
 use sz_link::LinkOrder;
 use sz_stats::{mean, sample_std, Summary};
+use sz_vm::RunReport;
 
-use crate::runner::{linked_run, stabilized_samples, ExperimentOptions};
+use crate::report::TraceSink;
+use crate::runner::{linked_run, stabilized_reports, ExperimentOptions};
 
 /// Result of sweeping one incidental factor for one benchmark.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BiasSweep {
     /// Benchmark name.
     pub benchmark: String,
@@ -32,35 +34,84 @@ fn sweep(benchmark: &str, times: Vec<f64>) -> BiasSweep {
     let min = times.iter().copied().fold(f64::INFINITY, f64::min);
     let max = times.iter().copied().fold(0.0f64, f64::max);
     let summary = Summary::from_slice(&times).expect("sweep has >= 2 samples");
-    BiasSweep { benchmark: benchmark.to_string(), swing: max / min - 1.0, times, summary }
+    BiasSweep {
+        benchmark: benchmark.to_string(),
+        swing: max / min - 1.0,
+        times,
+        summary,
+    }
 }
 
 /// Sweeps `n_orders` link orders for one benchmark (no STABILIZER).
-pub fn link_order_sweep(
+pub fn link_order_sweep(opts: &ExperimentOptions, benchmark: &str, n_orders: usize) -> BiasSweep {
+    link_order_sweep_traced(opts, benchmark, n_orders, None)
+}
+
+/// [`link_order_sweep`] with optional JSONL tracing: one `run` record
+/// per link order plus a `summary` record with the swing.
+pub fn link_order_sweep_traced(
     opts: &ExperimentOptions,
     benchmark: &str,
     n_orders: usize,
+    trace: Option<&TraceSink>,
 ) -> BiasSweep {
     let program = sz_workloads::build(benchmark, opts.scale).expect("benchmark exists");
-    let times: Vec<f64> = (0..n_orders)
-        .map(|s| {
-            linked_run(&program, opts, LinkOrder::Shuffled { seed: s as u64 }, 0).seconds()
-        })
+    let reports: Vec<RunReport> = (0..n_orders)
+        .map(|s| linked_run(&program, opts, LinkOrder::Shuffled { seed: s as u64 }, 0))
         .collect();
-    sweep(benchmark, times)
+    if let Some(t) = trace {
+        t.run_records("bias", benchmark, "link-order", &reports);
+    }
+    let result = sweep(benchmark, reports.iter().map(RunReport::seconds).collect());
+    if let Some(t) = trace {
+        t.summary_record(
+            "bias",
+            vec![
+                ("benchmark", benchmark.into()),
+                ("sweep", "link-order".into()),
+                ("swing", result.swing.into()),
+            ],
+        );
+    }
+    result
 }
 
 /// Sweeps environment sizes (0, 64, 128, … bytes) for one benchmark.
 pub fn env_size_sweep(opts: &ExperimentOptions, benchmark: &str, n_sizes: usize) -> BiasSweep {
+    env_size_sweep_traced(opts, benchmark, n_sizes, None)
+}
+
+/// [`env_size_sweep`] with optional JSONL tracing: one `run` record
+/// per environment size plus a `summary` record with the swing.
+pub fn env_size_sweep_traced(
+    opts: &ExperimentOptions,
+    benchmark: &str,
+    n_sizes: usize,
+    trace: Option<&TraceSink>,
+) -> BiasSweep {
     let program = sz_workloads::build(benchmark, opts.scale).expect("benchmark exists");
-    let times: Vec<f64> = (0..n_sizes)
-        .map(|k| linked_run(&program, opts, LinkOrder::Default, k as u64 * 64).seconds())
+    let reports: Vec<RunReport> = (0..n_sizes)
+        .map(|k| linked_run(&program, opts, LinkOrder::Default, k as u64 * 64))
         .collect();
-    sweep(benchmark, times)
+    if let Some(t) = trace {
+        t.run_records("bias", benchmark, "env-size", &reports);
+    }
+    let result = sweep(benchmark, reports.iter().map(RunReport::seconds).collect());
+    if let Some(t) = trace {
+        t.summary_record(
+            "bias",
+            vec![
+                ("benchmark", benchmark.into()),
+                ("sweep", "env-size".into()),
+                ("swing", result.swing.into()),
+            ],
+        );
+    }
+    result
 }
 
 /// Outcome of evaluating a semantics-free padding change both ways.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoOpComparison {
     /// What the conventional single-layout measurement reports as the
     /// change's "performance delta" — pure layout luck.
@@ -80,9 +131,17 @@ pub struct NoOpComparison {
 /// (unreachable padding in one function, which shifts every later
 /// function — what a link-order change effectively does) evaluated the
 /// conventional way vs under STABILIZER.
-pub fn no_op_change_comparison(
+pub fn no_op_change_comparison(opts: &ExperimentOptions, benchmark: &str) -> NoOpComparison {
+    no_op_change_comparison_traced(opts, benchmark, None)
+}
+
+/// [`no_op_change_comparison`] with optional JSONL tracing: `run`
+/// records for the stabilized distributions (variants `padding-before`
+/// and `padding-after`) plus a `summary` record with both deltas.
+pub fn no_op_change_comparison_traced(
     opts: &ExperimentOptions,
     benchmark: &str,
+    trace: Option<&TraceSink>,
 ) -> NoOpComparison {
     let program = sz_workloads::build(benchmark, opts.scale).expect("benchmark exists");
     // The "changed" program: one function grows by an *unreachable*
@@ -103,14 +162,33 @@ pub fn no_op_change_comparison(
     let biased_delta = after / before - 1.0;
 
     // Sound: two stabilized distributions and a hypothesis test.
-    let a = stabilized_samples(&program, opts, Config::default(), opts.runs);
-    let b = stabilized_samples(&changed, opts, Config::default(), opts.runs);
+    let before_reports = stabilized_reports(&program, opts, Config::default(), opts.runs);
+    let after_reports = stabilized_reports(&changed, opts, Config::default(), opts.runs);
+    if let Some(t) = trace {
+        t.run_records("bias", benchmark, "padding-before", &before_reports);
+        t.run_records("bias", benchmark, "padding-after", &after_reports);
+    }
+    let a: Vec<f64> = before_reports.iter().map(RunReport::seconds).collect();
+    let b: Vec<f64> = after_reports.iter().map(RunReport::seconds).collect();
     let p_value = sz_stats::welch_t_test(&a, &b).map_or(1.0, |t| t.p_value);
-    NoOpComparison {
+    let result = NoOpComparison {
         biased_delta,
         stabilized_delta: mean(&b) / mean(&a) - 1.0,
         p_value,
+    };
+    if let Some(t) = trace {
+        t.summary_record(
+            "bias",
+            vec![
+                ("benchmark", benchmark.into()),
+                ("sweep", "no-op-change".into()),
+                ("biased_delta", result.biased_delta.into()),
+                ("stabilized_delta", result.stabilized_delta.into()),
+                ("p_value", result.p_value.into()),
+            ],
+        );
     }
+    result
 }
 
 /// Stabilized coefficient of variation for a benchmark — used to show
@@ -118,7 +196,10 @@ pub fn no_op_change_comparison(
 /// sweep (layout bias is *within* the sampled space).
 pub fn stabilized_cv(opts: &ExperimentOptions, benchmark: &str) -> f64 {
     let program = sz_workloads::build(benchmark, opts.scale).expect("benchmark exists");
-    let s = stabilized_samples(&program, opts, Config::default(), opts.runs);
+    let s: Vec<f64> = stabilized_reports(&program, opts, Config::default(), opts.runs)
+        .iter()
+        .map(RunReport::seconds)
+        .collect();
     sample_std(&s) / mean(&s)
 }
 

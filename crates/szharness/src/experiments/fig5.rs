@@ -9,9 +9,10 @@
 use sz_stats::{mean, qq_points, sample_std, QqPoint};
 
 use crate::experiments::table1::Table1Row;
+use crate::report::{Json, TraceSink};
 
 /// QQ data for one benchmark (one panel of Figure 5).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Panel {
     /// Benchmark name.
     pub benchmark: String,
@@ -24,6 +25,43 @@ pub struct Fig5Panel {
 /// Builds Figure 5 panels from Table 1's samples (the figure reuses
 /// the same 30-run data).
 pub fn from_table1(rows: &[Table1Row]) -> Vec<Fig5Panel> {
+    from_table1_traced(rows, None)
+}
+
+/// [`from_table1`] with optional JSONL tracing: one `summary` record
+/// per panel carrying the full QQ point lists. (The underlying runs
+/// are traced by `table1::run_traced`, which produced `rows`.)
+pub fn from_table1_traced(rows: &[Table1Row], trace: Option<&TraceSink>) -> Vec<Fig5Panel> {
+    let panels = build_panels(rows);
+    if let Some(t) = trace {
+        for p in &panels {
+            let points = |series: &[QqPoint]| {
+                Json::Arr(
+                    series
+                        .iter()
+                        .map(|q| {
+                            Json::obj([
+                                ("theoretical", q.theoretical.into()),
+                                ("observed", q.observed.into()),
+                            ])
+                        })
+                        .collect(),
+                )
+            };
+            t.summary_record(
+                "fig5",
+                vec![
+                    ("benchmark", p.benchmark.as_str().into()),
+                    ("one_time", points(&p.one_time)),
+                    ("rerandomized", points(&p.rerandomized)),
+                ],
+            );
+        }
+    }
+    panels
+}
+
+fn build_panels(rows: &[Table1Row]) -> Vec<Fig5Panel> {
     rows.iter()
         .map(|r| {
             let sigma = sample_std(&r.rerandomized_samples);
@@ -45,7 +83,10 @@ pub fn from_table1(rows: &[Table1Row]) -> Vec<Fig5Panel> {
 /// Renders a panel as a gnuplot-ready data block (theoretical,
 /// one-time, re-randomized columns).
 pub fn render_panel(panel: &Fig5Panel) -> String {
-    let mut out = format!("# {} (x: normal quantile, y1: one-time, y2: re-randomized)\n", panel.benchmark);
+    let mut out = format!(
+        "# {} (x: normal quantile, y1: one-time, y2: re-randomized)\n",
+        panel.benchmark
+    );
     for (a, b) in panel.one_time.iter().zip(&panel.rerandomized) {
         out.push_str(&format!(
             "{:+.4}  {:+.4}  {:+.4}\n",

@@ -4,9 +4,10 @@
 
 use stabilizer::Config;
 use sz_stats::{mean, median};
+use sz_vm::RunReport;
 
-use crate::report::render_table;
-use crate::runner::{linked_samples, stabilized_samples, ExperimentOptions};
+use crate::report::{render_table, TraceSink};
+use crate::runner::{linked_reports, stabilized_reports, ExperimentOptions};
 
 /// The three configurations of the figure, cumulative as in the paper.
 pub const CONFIGS: [&str; 3] = ["code", "code.stack", "code.heap.stack"];
@@ -21,7 +22,7 @@ fn config_for(name: &str) -> Config {
 }
 
 /// One benchmark's overheads.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -31,7 +32,7 @@ pub struct Fig6Row {
 }
 
 /// Aggregate of the figure.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Result {
     /// Per-benchmark rows.
     pub rows: Vec<Fig6Row>,
@@ -42,25 +43,63 @@ pub struct Fig6Result {
 
 /// Runs the Figure 6 experiment.
 pub fn run(opts: &ExperimentOptions) -> Fig6Result {
+    run_traced(opts, None)
+}
+
+/// [`run`] with optional JSONL tracing: every baseline and stabilized
+/// run is emitted as a `run` record (variants `linked-baseline`,
+/// `code`, `code.stack`, `code.heap.stack`) plus per-benchmark and
+/// suite-median `summary` records.
+pub fn run_traced(opts: &ExperimentOptions, trace: Option<&TraceSink>) -> Fig6Result {
+    let seconds = |r: &[RunReport]| -> Vec<f64> { r.iter().map(RunReport::seconds).collect() };
     let mut rows = Vec::new();
     for spec in opts.selected_suite() {
         let program = spec.program(opts.scale);
-        let baseline = mean(&linked_samples(&program, opts, opts.runs));
+        let base_reports = linked_reports(&program, opts, opts.runs);
+        if let Some(t) = trace {
+            t.run_records("fig6", spec.name, "linked-baseline", &base_reports);
+        }
+        let baseline = mean(&seconds(&base_reports));
         let mut overhead = [0.0f64; 3];
         for (i, cfg) in CONFIGS.iter().enumerate() {
-            let t = mean(&stabilized_samples(
-                &program,
-                opts,
-                config_for(cfg),
-                opts.runs,
-            ));
-            overhead[i] = t / baseline - 1.0;
+            let reports = stabilized_reports(&program, opts, config_for(cfg), opts.runs);
+            if let Some(t) = trace {
+                t.run_records("fig6", spec.name, cfg, &reports);
+            }
+            overhead[i] = mean(&seconds(&reports)) / baseline - 1.0;
         }
-        rows.push(Fig6Row { benchmark: spec.name.to_string(), overhead });
+        if let Some(t) = trace {
+            t.summary_record(
+                "fig6",
+                vec![
+                    ("benchmark", spec.name.into()),
+                    ("overhead_code", overhead[0].into()),
+                    ("overhead_code_stack", overhead[1].into()),
+                    ("overhead_full", overhead[2].into()),
+                ],
+            );
+        }
+        rows.push(Fig6Row {
+            benchmark: spec.name.to_string(),
+            overhead,
+        });
     }
     let fulls: Vec<f64> = rows.iter().map(|r| r.overhead[2]).collect();
-    let median_full_overhead = if fulls.is_empty() { f64::NAN } else { median(&fulls) };
-    Fig6Result { rows, median_full_overhead }
+    let median_full_overhead = if fulls.is_empty() {
+        f64::NAN
+    } else {
+        median(&fulls)
+    };
+    if let Some(t) = trace {
+        t.summary_record(
+            "fig6",
+            vec![("median_full_overhead", median_full_overhead.into())],
+        );
+    }
+    Fig6Result {
+        rows,
+        median_full_overhead,
+    }
 }
 
 /// Renders the figure as a table (the paper plots it as bars).

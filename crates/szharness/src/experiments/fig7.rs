@@ -8,12 +8,13 @@
 use stabilizer::Config;
 use sz_opt::{optimize, OptLevel};
 use sz_stats::{mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, Verdict, ALPHA};
+use sz_vm::RunReport;
 
-use crate::report::render_table;
-use crate::runner::{stabilized_samples, ExperimentOptions};
+use crate::report::{render_table, TraceSink};
+use crate::runner::{stabilized_reports, ExperimentOptions};
 
 /// One optimization comparison for one benchmark.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptComparison {
     /// Speedup `time(lower) / time(higher)`; > 1 means the higher
     /// level is faster.
@@ -28,7 +29,7 @@ pub struct OptComparison {
 }
 
 /// One benchmark's Figure 7 entry.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -43,37 +44,81 @@ pub struct Fig7Row {
 
 /// Runs the Figure 7 experiment.
 pub fn run(opts: &ExperimentOptions) -> Vec<Fig7Row> {
-    opts.selected_suite()
+    run_traced(opts, None)
+}
+
+/// [`run`] with optional JSONL tracing: every stabilized run at every
+/// optimization level is emitted as a `run` record (variants `O1`,
+/// `O2`, `O3`) plus per-benchmark and suite-count `summary` records.
+pub fn run_traced(opts: &ExperimentOptions, trace: Option<&TraceSink>) -> Vec<Fig7Row> {
+    let rows: Vec<Fig7Row> = opts
+        .selected_suite()
         .iter()
         .map(|spec| {
             let base = spec.program(opts.scale);
-            let levels = [OptLevel::O1, OptLevel::O2, OptLevel::O3];
+            let levels = [
+                (OptLevel::O1, "O1"),
+                (OptLevel::O2, "O2"),
+                (OptLevel::O3, "O3"),
+            ];
             let samples: Vec<Vec<f64>> = levels
                 .iter()
-                .map(|&lv| {
+                .map(|&(lv, variant)| {
                     let p = optimize(&base, lv);
-                    stabilized_samples(&p, opts, Config::default(), opts.runs)
+                    let reports = stabilized_reports(&p, opts, Config::default(), opts.runs);
+                    if let Some(t) = trace {
+                        t.run_records("fig7", spec.name, variant, &reports);
+                    }
+                    reports.iter().map(RunReport::seconds).collect()
                 })
                 .collect();
             let o2_vs_o1 = compare(&samples[0], &samples[1]);
             let o3_vs_o2 = compare(&samples[1], &samples[2]);
+            if let Some(t) = trace {
+                let cmp = |c: &OptComparison| {
+                    crate::report::Json::obj([
+                        ("speedup", c.speedup.into()),
+                        ("p_value", c.p_value.into()),
+                        ("used_t_test", c.used_t_test.into()),
+                        ("significant", c.verdict.is_significant().into()),
+                    ])
+                };
+                t.summary_record(
+                    "fig7",
+                    vec![
+                        ("benchmark", spec.name.into()),
+                        ("o2_vs_o1", cmp(&o2_vs_o1)),
+                        ("o3_vs_o2", cmp(&o3_vs_o2)),
+                    ],
+                );
+            }
             Fig7Row {
                 benchmark: spec.name.to_string(),
                 o2_vs_o1,
                 o3_vs_o2,
-                samples: [
-                    samples[0].clone(),
-                    samples[1].clone(),
-                    samples[2].clone(),
-                ],
+                samples: [samples[0].clone(), samples[1].clone(), samples[2].clone()],
             }
         })
-        .collect()
+        .collect();
+    if let Some(t) = trace {
+        let s = summarize(&rows);
+        t.summary_record(
+            "fig7",
+            vec![
+                ("significant_o2", s.significant_o2.into()),
+                ("significant_o3", s.significant_o3.into()),
+                ("regressions_o2", s.regressions_o2.into()),
+                ("regressions_o3", s.regressions_o3.into()),
+                ("total", s.total.into()),
+            ],
+        );
+    }
+    rows
 }
 
 /// Compares a lower optimization level's times against a higher one's.
 pub fn compare(lower: &[f64], higher: &[f64]) -> OptComparison {
-    let normal = |s: &[f64]| shapiro_wilk(s).map_or(false, |r| r.p_value >= ALPHA);
+    let normal = |s: &[f64]| shapiro_wilk(s).is_ok_and(|r| r.p_value >= ALPHA);
     let both_normal = normal(lower) && normal(higher);
     let p_value = if both_normal {
         welch_t_test(lower, higher).map_or(1.0, |t| t.p_value)
@@ -89,7 +134,7 @@ pub fn compare(lower: &[f64], higher: &[f64]) -> OptComparison {
 }
 
 /// Summary counts matching the paper's §6 narrative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fig7Summary {
     /// Benchmarks with a significant `-O2` vs `-O1` difference.
     pub significant_o2: usize,
@@ -128,7 +173,11 @@ pub fn render(rows: &[Fig7Row]) -> String {
         format!(
             "{:.3}{} (p={:.3}, {})",
             c.speedup,
-            if c.verdict.is_significant() { "†" } else { "" },
+            if c.verdict.is_significant() {
+                "†"
+            } else {
+                ""
+            },
             c.p_value,
             if c.used_t_test { "t" } else { "wilcoxon" },
         )

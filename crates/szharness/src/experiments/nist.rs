@@ -9,7 +9,7 @@ use sz_heap::{Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleL
 use sz_nist::{run_suite, Bits, NistResult};
 use sz_rng::{Marsaglia, Rng};
 
-use crate::report::render_table;
+use crate::report::{render_table, Json, TraceSink};
 
 /// Lowest tested index bit, as in the paper ("bits 6-17 on the
 /// Core2").
@@ -26,10 +26,7 @@ pub const INDEX_LO: u32 = 6;
 pub const INDEX_HI: u32 = 13;
 
 /// One row of the §3.2 comparison.
-///
-/// Not `Deserialize` because [`NistResult`] borrows its test name for
-/// the program's lifetime.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NistRow {
     /// Source of the bit stream.
     pub source: String,
@@ -77,6 +74,46 @@ fn addresses(alloc: &mut dyn Allocator, n: usize) -> Vec<u64> {
 /// per source (the paper uses streams of ~2^20 bits; 87k draws × 12
 /// bits ≈ 2^20).
 pub fn run(draws: usize, shuffle_sizes: &[usize]) -> Vec<NistRow> {
+    run_traced(draws, shuffle_sizes, None)
+}
+
+/// [`run`] with optional JSONL tracing: one `summary` record per bit
+/// source carrying every test's p-value and verdict. (This experiment
+/// exercises allocators directly, so there are no per-run records.)
+pub fn run_traced(
+    draws: usize,
+    shuffle_sizes: &[usize],
+    trace: Option<&TraceSink>,
+) -> Vec<NistRow> {
+    let rows = collect_rows(draws, shuffle_sizes);
+    if let Some(t) = trace {
+        for row in &rows {
+            let tests = Json::Arr(
+                row.results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", r.name.into()),
+                            ("p_value", r.p_value.into()),
+                            ("pass", r.pass.into()),
+                        ])
+                    })
+                    .collect(),
+            );
+            t.summary_record(
+                "nist",
+                vec![
+                    ("source", row.source.as_str().into()),
+                    ("passes", row.passes().into()),
+                    ("tests", tests),
+                ],
+            );
+        }
+    }
+    rows
+}
+
+fn collect_rows(draws: usize, shuffle_sizes: &[usize]) -> Vec<NistRow> {
     let mut rows = Vec::new();
 
     // lrand48: the test uses the same bit positions of the raw values.
@@ -88,10 +125,7 @@ pub fn run(draws: usize, shuffle_sizes: &[usize]) -> Vec<NistRow> {
     });
 
     // DieHard addresses.
-    let mut dh = DieHardAllocator::new(
-        Region::new(0x1000_0000, 1 << 38),
-        Marsaglia::seeded(777),
-    );
+    let mut dh = DieHardAllocator::new(Region::new(0x1000_0000, 1 << 38), Marsaglia::seeded(777));
     let addrs = addresses(&mut dh, draws);
     rows.push(NistRow {
         source: "DieHard".into(),
@@ -124,7 +158,11 @@ pub fn render(rows: &[NistRow]) -> String {
         .map(|row| {
             std::iter::once(row.source.clone())
                 .chain(row.results.iter().map(|r| {
-                    format!("{} ({:.2})", if r.pass { "pass" } else { "FAIL" }, r.p_value)
+                    format!(
+                        "{} ({:.2})",
+                        if r.pass { "pass" } else { "FAIL" },
+                        r.p_value
+                    )
                 }))
                 .collect()
         })

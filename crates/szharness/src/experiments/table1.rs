@@ -3,12 +3,13 @@
 
 use stabilizer::Config;
 use sz_stats::{brown_forsythe, shapiro_wilk};
+use sz_vm::RunReport;
 
-use crate::report::{fmt_p_marked, render_table};
-use crate::runner::{stabilized_samples, ExperimentOptions};
+use crate::report::{fmt_p_marked, render_table, Json, TraceSink};
+use crate::runner::{stabilized_reports, ExperimentOptions};
 
 /// One benchmark's row of Table 1.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -27,18 +28,42 @@ pub struct Table1Row {
 
 /// Runs the Table 1 experiment over the selected suite.
 pub fn run(opts: &ExperimentOptions) -> Vec<Table1Row> {
-    opts.selected_suite()
+    run_traced(opts, None)
+}
+
+/// [`run`] with optional JSONL tracing: every run of both
+/// configurations is emitted as a `run` record, and each benchmark's
+/// p-values plus the suite-wide counts as `summary` records.
+pub fn run_traced(opts: &ExperimentOptions, trace: Option<&TraceSink>) -> Vec<Table1Row> {
+    let seconds = |r: &[RunReport]| -> Vec<f64> { r.iter().map(RunReport::seconds).collect() };
+    let rows: Vec<Table1Row> = opts
+        .selected_suite()
         .iter()
         .map(|spec| {
             let program = spec.program(opts.scale);
-            let one_time =
-                stabilized_samples(&program, opts, Config::one_time(), opts.runs);
-            let rerand =
-                stabilized_samples(&program, opts, Config::default(), opts.runs);
+            let one_reports = stabilized_reports(&program, opts, Config::one_time(), opts.runs);
+            let re_reports = stabilized_reports(&program, opts, Config::default(), opts.runs);
+            if let Some(t) = trace {
+                t.run_records("table1", spec.name, "one_time", &one_reports);
+                t.run_records("table1", spec.name, "rerandomized", &re_reports);
+            }
+            let one_time = seconds(&one_reports);
+            let rerand = seconds(&re_reports);
             let sw_one = shapiro_wilk(&one_time).map_or(f64::NAN, |r| r.p_value);
             let sw_re = shapiro_wilk(&rerand).map_or(f64::NAN, |r| r.p_value);
-            let bf = brown_forsythe(&[one_time.clone(), rerand.clone()])
-                .map_or(f64::NAN, |r| r.p_value);
+            let bf =
+                brown_forsythe(&[one_time.clone(), rerand.clone()]).map_or(f64::NAN, |r| r.p_value);
+            if let Some(t) = trace {
+                t.summary_record(
+                    "table1",
+                    vec![
+                        ("benchmark", spec.name.into()),
+                        ("sw_one_time", sw_one.into()),
+                        ("sw_rerandomized", sw_re.into()),
+                        ("brown_forsythe", bf.into()),
+                    ],
+                );
+            }
             Table1Row {
                 benchmark: spec.name.to_string(),
                 sw_one_time: sw_one,
@@ -48,7 +73,20 @@ pub fn run(opts: &ExperimentOptions) -> Vec<Table1Row> {
                 rerandomized_samples: rerand,
             }
         })
-        .collect()
+        .collect();
+    if let Some(t) = trace {
+        let s = summarize(&rows);
+        t.summary_record(
+            "table1",
+            vec![
+                ("non_normal_one_time", s.non_normal_one_time.into()),
+                ("non_normal_rerandomized", s.non_normal_rerandomized.into()),
+                ("variance_changed", s.variance_changed.into()),
+                ("total", Json::from(s.total)),
+            ],
+        );
+    }
+    rows
 }
 
 /// Renders rows in the paper's layout.
@@ -65,7 +103,12 @@ pub fn render(rows: &[Table1Row]) -> String {
         })
         .collect();
     render_table(
-        &["Benchmark", "SW (randomized)", "SW (re-randomized)", "Brown-Forsythe"],
+        &[
+            "Benchmark",
+            "SW (randomized)",
+            "SW (re-randomized)",
+            "Brown-Forsythe",
+        ],
         &body,
     )
 }
@@ -81,7 +124,7 @@ pub fn summarize(rows: &[Table1Row]) -> Table1Summary {
 }
 
 /// Aggregate verdicts over Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table1Summary {
     /// Benchmarks rejecting normality with one-time randomization.
     pub non_normal_one_time: usize,

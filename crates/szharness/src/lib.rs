@@ -21,10 +21,12 @@
 
 pub mod evaluate;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod runner;
 
 pub use evaluate::{evaluate_change, ChangeEvaluation};
+pub use report::{Json, TraceBuffer, TraceSink};
 pub use runner::{run_once, ExperimentOptions};
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! A dependency-free work-stealing pool for embarrassingly parallel
+//! experiment runs.
+//!
+//! The pool replaces the crossbeam-scoped chunked runner: instead of
+//! pre-slicing the run indices into one contiguous chunk per thread
+//! (which leaves late threads idle when run times are skewed), workers
+//! *steal* the next unclaimed index from a shared atomic counter. Each
+//! worker buffers `(index, result)` pairs locally and the results are
+//! reassembled by index after the scope joins, so the output vector is
+//! bit-identical for any `threads` value — determinism is positional,
+//! not temporal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `job(i)` for every `i in 0..n` on up to `threads` workers and
+/// returns the results **in index order**, regardless of which worker
+/// ran which index or in what order they finished.
+///
+/// `threads <= 1`, `n == 0`, and `n < threads` are all first-class:
+/// the single-threaded path runs inline (no spawn), an empty request
+/// returns an empty vector, and surplus workers simply find the
+/// counter exhausted and exit.
+///
+/// # Panics
+///
+/// Panics are propagated: if any `job(i)` panics, the scope unwinds
+/// and re-raises on the caller's thread.
+pub fn run_indexed<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    if workers == 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker threads do not panic"))
+            .collect()
+    });
+
+    // Reassemble by index: every index in 0..n was claimed exactly once.
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for buffer in &mut buffers {
+        for (i, value) in buffer.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..53).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_indexed(threads, 53, |i| i * i);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_an_empty_vector() {
+        let out: Vec<u64> = run_indexed(8, 0, |_| unreachable!("no job to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fewer_jobs_than_threads() {
+        let out = run_indexed(16, 3, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        let out = run_indexed(0, 4, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = run_indexed(4, 1000, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn uneven_job_durations_still_reassemble_in_order() {
+        // Early indices sleep longest, so a chunked splitter would
+        // finish them last; stealing must still return index order.
+        let out = run_indexed(4, 12, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((12 - i) as u64));
+            i * 3
+        });
+        assert_eq!(out, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

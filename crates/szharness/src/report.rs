@@ -1,4 +1,19 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering and JSONL trace emission for experiment
+//! output.
+//!
+//! [`TraceSink`] captures the raw observations behind every table and
+//! figure: one JSON object per line, either a `run` record (one
+//! benchmark execution with its hardware counters and
+//! per-randomization-period snapshots) or a `summary` record (one
+//! experiment-level result). The JSON is hand-rolled — the tier-1
+//! build resolves offline with an empty registry cache, so no serde.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use sz_machine::PerfCounters;
+use sz_vm::RunReport;
 
 /// Renders an aligned text table with a header row and a separator.
 ///
@@ -63,6 +78,280 @@ pub fn fmt_p_marked(p: f64) -> String {
     }
 }
 
+/// A JSON value, sufficient for trace records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, indices, seeds).
+    U64(u64),
+    /// A floating-point number; non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::F64(v) if v.is_finite() => write!(f, "{v}"),
+            Json::F64(_) => f.write_str("null"),
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => f.write_fmt(format_args!("{c}"))?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serializes one [`PerfCounters`] as a JSON object.
+fn counters_json(c: &PerfCounters) -> Json {
+    Json::obj([
+        ("instructions", c.instructions.into()),
+        ("cycles", c.cycles.into()),
+        ("l1i_misses", c.l1i_misses.into()),
+        ("l1d_misses", c.l1d_misses.into()),
+        ("l2_misses", c.l2_misses.into()),
+        ("l3_misses", c.l3_misses.into()),
+        ("itlb_misses", c.itlb_misses.into()),
+        ("dtlb_misses", c.dtlb_misses.into()),
+        ("branches", c.branches.into()),
+        ("branch_mispredicts", c.branch_mispredicts.into()),
+    ])
+}
+
+/// A thread-safe JSONL trace writer shared by every experiment.
+///
+/// Records are written one JSON object per line. Two record shapes
+/// exist (distinguished by the `"type"` field):
+///
+/// - `run`: one benchmark execution — experiment, benchmark, variant
+///   (configuration label), run index, engine, seconds, cumulative
+///   counters, and the per-randomization-period counter deltas;
+/// - `summary`: one experiment-level result with free-form fields.
+pub struct TraceSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+/// In-memory buffer target for [`TraceSink::in_memory`].
+#[derive(Clone, Default)]
+pub struct TraceBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl TraceBuffer {
+    /// The captured trace as a UTF-8 string.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().expect("trace buffer lock").clone())
+            .expect("traces are UTF-8")
+    }
+
+    /// Parsed (well, split) JSONL lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_string).collect()
+    }
+}
+
+impl Write for TraceBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer lock")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl TraceSink {
+    /// Wraps any writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncating) a JSONL trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<TraceSink> {
+        Ok(TraceSink::to_writer(Box::new(io::BufWriter::new(
+            std::fs::File::create(path)?,
+        ))))
+    }
+
+    /// An in-memory sink plus a handle to read back what was written.
+    pub fn in_memory() -> (TraceSink, TraceBuffer) {
+        let buffer = TraceBuffer::default();
+        (TraceSink::to_writer(Box::new(buffer.clone())), buffer)
+    }
+
+    /// Writes one record (a single line).
+    pub fn record(&self, value: &Json) {
+        let mut out = self.out.lock().expect("trace sink lock");
+        writeln!(out, "{value}").expect("trace writes succeed");
+    }
+
+    /// Emits a `run` record for one benchmark execution.
+    pub fn run_record(
+        &self,
+        experiment: &str,
+        benchmark: &str,
+        variant: &str,
+        run: usize,
+        report: &RunReport,
+    ) {
+        let periods: Vec<Json> = report
+            .periods
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("index", p.index.into()),
+                    ("start_cycles", p.start_cycles.into()),
+                    ("end_cycles", p.end_cycles.into()),
+                    ("counters", counters_json(&p.counters)),
+                ])
+            })
+            .collect();
+        self.record(&Json::obj([
+            ("type", "run".into()),
+            ("experiment", experiment.into()),
+            ("benchmark", benchmark.into()),
+            ("variant", variant.into()),
+            ("run", run.into()),
+            ("engine", report.engine.as_str().into()),
+            ("seconds", report.seconds().into()),
+            ("counters", counters_json(&report.counters)),
+            ("periods", Json::Arr(periods)),
+        ]));
+    }
+
+    /// Emits a `summary` record with experiment-specific fields.
+    pub fn summary_record(&self, experiment: &str, fields: Vec<(&str, Json)>) {
+        let mut obj: Vec<(String, Json)> = vec![
+            ("type".to_string(), "summary".into()),
+            ("experiment".to_string(), experiment.into()),
+        ];
+        obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        self.record(&Json::Obj(obj));
+    }
+
+    /// Emits every report of one `(experiment, benchmark, variant)`
+    /// series as `run` records.
+    pub fn run_records(
+        &self,
+        experiment: &str,
+        benchmark: &str,
+        variant: &str,
+        reports: &[RunReport],
+    ) {
+        for (i, report) in reports.iter().enumerate() {
+            self.run_record(experiment, benchmark, variant, i, report);
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("trace sink lock").flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +379,68 @@ mod tests {
         assert_eq!(fmt_p(0.0004), "<0.001");
         assert_eq!(fmt_p_marked(0.01), "0.010*");
         assert_eq!(fmt_p_marked(0.2), "0.200");
+    }
+
+    #[test]
+    fn json_renders_all_value_shapes() {
+        let v = Json::obj([
+            ("a", 3u64.into()),
+            ("b", 1.5f64.into()),
+            ("c", "x\"y\\z\n".into()),
+            ("d", Json::Arr(vec![Json::Null, true.into()])),
+            ("e", f64::NAN.into()),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":3,"b":1.5,"c":"x\"y\\z\n","d":[null,true],"e":null}"#
+        );
+    }
+
+    #[test]
+    fn trace_sink_writes_jsonl_records() {
+        let (sink, buffer) = TraceSink::in_memory();
+        sink.summary_record("selftest", vec![("k", 7u64.into())]);
+        sink.summary_record("selftest", vec![("k", 8u64.into())]);
+        let lines = buffer.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"type":"summary","experiment":"selftest","k":7}"#
+        );
+        assert!(lines[1].contains("\"k\":8"));
+    }
+
+    #[test]
+    fn run_record_carries_counters_and_periods() {
+        use sz_machine::{PeriodSnapshot, SimTime};
+        let counters = PerfCounters {
+            instructions: 10,
+            cycles: 40,
+            l1d_misses: 2,
+            ..Default::default()
+        };
+        let report = RunReport {
+            cycles: 40,
+            instructions: 10,
+            time: SimTime::from_nanos(12.5),
+            counters,
+            periods: vec![PeriodSnapshot {
+                index: 0,
+                start_cycles: 0,
+                end_cycles: 40,
+                counters,
+            }],
+            return_value: Some(1),
+            engine: "stabilizer".to_string(),
+        };
+        let (sink, buffer) = TraceSink::in_memory();
+        sink.run_record("table1", "mcf", "rerandomized", 3, &report);
+        let line = buffer.contents();
+        assert!(line.contains(r#""type":"run""#));
+        assert!(line.contains(r#""benchmark":"mcf""#));
+        assert!(line.contains(r#""variant":"rerandomized""#));
+        assert!(line.contains(r#""run":3"#));
+        assert!(line.contains(r#""l1d_misses":2"#));
+        assert!(line.contains(r#""periods":[{"index":0"#));
     }
 }

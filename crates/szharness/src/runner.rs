@@ -94,6 +94,22 @@ pub fn stabilized_samples(
     config: Config,
     n: usize,
 ) -> Vec<f64> {
+    stabilized_reports(program, opts, config, n)
+        .iter()
+        .map(RunReport::seconds)
+        .collect()
+}
+
+/// Collects `n` full [`RunReport`]s of `program` under STABILIZER —
+/// the trace-level variant of [`stabilized_samples`], exposing the
+/// hardware counters and per-randomization-period snapshots of every
+/// run.
+pub fn stabilized_reports(
+    program: &Program,
+    opts: &ExperimentOptions,
+    config: Config,
+    n: usize,
+) -> Vec<RunReport> {
     let (prepared, info) = prepare_program(program);
     // The library default of 500 ms is meant for full-length programs;
     // experiments replace it with the scaled `opts.interval`. A caller
@@ -106,7 +122,7 @@ pub fn stabilized_samples(
     };
     let machine = opts.machine;
     let fingerprint = program_fingerprint(program);
-    parallel_runs(opts, n, &prepared, move |seed| {
+    parallel_reports(opts, n, &prepared, move |seed| {
         let mut mix = SplitMix64::new(seed ^ fingerprint);
         Stabilizer::new(config.clone().with_seed(mix.next_u64()), &machine, &info)
     })
@@ -131,7 +147,16 @@ fn program_fingerprint(p: &Program) -> u64 {
 /// toolchain, one random link order per run — the paper's baseline
 /// configuration for Figure 6.
 pub fn linked_samples(program: &Program, opts: &ExperimentOptions, n: usize) -> Vec<f64> {
-    parallel_runs(opts, n, program, move |seed| {
+    linked_reports(program, opts, n)
+        .iter()
+        .map(RunReport::seconds)
+        .collect()
+}
+
+/// Collects `n` full [`RunReport`]s under randomized link orders — the
+/// trace-level variant of [`linked_samples`].
+pub fn linked_reports(program: &Program, opts: &ExperimentOptions, n: usize) -> Vec<RunReport> {
+    parallel_reports(opts, n, program, move |seed| {
         LinkedLayout::builder()
             .link_order(LinkOrder::Shuffled { seed })
             .build()
@@ -155,14 +180,17 @@ pub fn linked_run(
         .expect("benchmark programs terminate")
 }
 
-/// Fans runs out over `opts.threads` workers. `make_engine` builds a
-/// fresh engine for each seed.
-fn parallel_runs<E, F>(
+/// Fans runs out over `opts.threads` workers via the in-tree
+/// work-stealing pool. `make_engine` builds a fresh engine for each
+/// seed; run `i` always uses `seed_base + i`, and results come back in
+/// run-index order, so the output is bit-identical for any `threads`
+/// value.
+fn parallel_reports<E, F>(
     opts: &ExperimentOptions,
     n: usize,
     program: &Program,
     make_engine: F,
-) -> Vec<f64>
+) -> Vec<RunReport>
 where
     E: LayoutEngine,
     F: Fn(u64) -> E + Sync,
@@ -170,27 +198,11 @@ where
     let vm = Vm::new(program);
     let machine = opts.machine;
     let seed_base = opts.seed_base;
-    let mut out = vec![0.0f64; n];
-    let threads = opts.threads.max(1).min(n.max(1));
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let vm = &vm;
-            let make_engine = &make_engine;
-            scope.spawn(move |_| {
-                for (k, s) in slot.iter_mut().enumerate() {
-                    let i = t * chunk + k;
-                    let mut engine = make_engine(seed_base + i as u64);
-                    let report = vm
-                        .run(&mut engine, machine, RunLimits::default())
-                        .expect("benchmark programs terminate");
-                    *s = report.seconds();
-                }
-            });
-        }
+    crate::pool::run_indexed(opts.threads, n, |i| {
+        let mut engine = make_engine(seed_base + i as u64);
+        vm.run(&mut engine, machine, RunLimits::default())
+            .expect("benchmark programs terminate")
     })
-    .expect("worker threads do not panic");
-    out
 }
 
 #[cfg(test)]
@@ -206,8 +218,7 @@ mod tests {
         let opts = ExperimentOptions::quick();
         let p = program();
         let stab = stabilized_samples(&p, &opts, Config::default(), 6);
-        let distinct: std::collections::HashSet<u64> =
-            stab.iter().map(|s| s.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = stab.iter().map(|s| s.to_bits()).collect();
         assert!(distinct.len() >= 4, "stabilized runs must differ: {stab:?}");
 
         let a = linked_run(&p, &opts, LinkOrder::Default, 0);

@@ -156,7 +156,11 @@ mod tests {
             distinct.insert(p);
             a.free(p);
         }
-        assert!(distinct.len() > 30, "only {} distinct addresses", distinct.len());
+        assert!(
+            distinct.len() > 30,
+            "only {} distinct addresses",
+            distinct.len()
+        );
     }
 
     #[test]

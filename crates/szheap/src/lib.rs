@@ -108,7 +108,11 @@ mod tests {
                 let addr = a.malloc(size).expect("arena large enough");
                 for &(other, osize) in &live {
                     let disjoint = addr + size <= other || other + osize <= addr;
-                    assert!(disjoint, "{}: [{addr:#x}+{size}] overlaps [{other:#x}+{osize}]", a.name());
+                    assert!(
+                        disjoint,
+                        "{}: [{addr:#x}+{size}] overlaps [{other:#x}+{osize}]",
+                        a.name()
+                    );
                 }
                 live.push((addr, size));
             }

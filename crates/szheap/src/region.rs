@@ -2,7 +2,7 @@
 
 /// A contiguous span of simulated virtual memory that allocators carve
 /// chunks from (an `sbrk`/`mmap` stand-in).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     base: u64,
     size: u64,
@@ -16,8 +16,15 @@ impl Region {
     ///
     /// Panics if the span would wrap the address space.
     pub fn new(base: u64, size: u64) -> Self {
-        assert!(base.checked_add(size).is_some(), "region wraps the address space");
-        Region { base, size, cursor: base }
+        assert!(
+            base.checked_add(size).is_some(),
+            "region wraps the address space"
+        );
+        Region {
+            base,
+            size,
+            cursor: base,
+        }
     }
 
     /// First address of the region.

@@ -118,7 +118,10 @@ mod tests {
         let small = a.malloc(16).unwrap();
         a.free(small);
         let big = a.malloc(1024).unwrap();
-        assert_ne!(small, big, "1024-byte request must not reuse a 16-byte block");
+        assert_ne!(
+            small, big,
+            "1024-byte request must not reuse a 16-byte block"
+        );
     }
 
     #[test]
@@ -147,6 +150,9 @@ mod tests {
         let mut a = alloc();
         let p = a.malloc(4097).unwrap();
         let q = a.malloc(4097).unwrap();
-        assert!(q - p >= 8192, "each 4097-byte array occupies an 8 KiB class");
+        assert!(
+            q - p >= 8192,
+            "each 4097-byte array occupies an 8 KiB class"
+        );
     }
 }

@@ -109,7 +109,9 @@ impl<A: Allocator, R: Rng> Allocator for ShuffleLayer<A, R> {
         // The mirror step: freed object in, random object out to the
         // base heap.
         let i = self.rng.below(self.shuffle_size as u64) as usize;
-        let array = self.arrays[k].as_mut().expect("freeing into an initialized class");
+        let array = self.arrays[k]
+            .as_mut()
+            .expect("freeing into an initialized class");
         let out = std::mem::replace(&mut array[i], addr);
         self.base.free(out);
     }
@@ -205,7 +207,10 @@ mod tests {
             }
             seen.len()
         };
-        assert!(spread(256) > spread(4), "N=256 must spread further than N=4");
+        assert!(
+            spread(256) > spread(4),
+            "N=256 must spread further than N=4"
+        );
     }
 
     #[test]

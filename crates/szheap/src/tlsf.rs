@@ -70,7 +70,10 @@ impl TlsfAllocator {
         let size = self.blocks[&addr].size;
         let (fl, sl) = Self::mapping(size);
         let list = &mut self.free_lists[fl][sl];
-        let pos = list.iter().position(|&a| a == addr).expect("block in its free list");
+        let pos = list
+            .iter()
+            .position(|&a| a == addr)
+            .expect("block in its free list");
         list.swap_remove(pos);
     }
 
@@ -100,14 +103,19 @@ impl TlsfAllocator {
         let addr = self.region.carve(bytes, MIN_BLOCK)?;
         self.blocks.insert(
             addr,
-            BlockMeta { size: bytes, prev_phys: None, next_phys: None, free: true },
+            BlockMeta {
+                size: bytes,
+                prev_phys: None,
+                next_phys: None,
+                free: true,
+            },
         );
         self.insert_free(addr);
         Some(())
     }
 
     fn round(size: u64) -> u64 {
-        ((size + MIN_BLOCK - 1) / MIN_BLOCK) * MIN_BLOCK
+        size.div_ceil(MIN_BLOCK) * MIN_BLOCK
     }
 }
 
@@ -144,8 +152,10 @@ impl Allocator for TlsfAllocator {
                 },
             );
             if let Some(next) = old_next {
-                self.blocks.get_mut(&next).expect("physical neighbor exists").prev_phys =
-                    Some(rest_addr);
+                self.blocks
+                    .get_mut(&next)
+                    .expect("physical neighbor exists")
+                    .prev_phys = Some(rest_addr);
             }
             self.insert_free(rest_addr);
         }
@@ -163,7 +173,10 @@ impl Allocator for TlsfAllocator {
         self.live_bytes -= size;
 
         let mut addr = addr;
-        self.blocks.get_mut(&addr).expect("live block has metadata").free = true;
+        self.blocks
+            .get_mut(&addr)
+            .expect("live block has metadata")
+            .free = true;
 
         // Coalesce with the next physical block.
         if let Some(next) = self.blocks[&addr].next_phys {
@@ -242,8 +255,8 @@ mod tests {
         a.free(p);
         a.free(r);
         a.free(q); // merges with both neighbors
-        // After full coalescing a pool-sized request near the original
-        // block must be satisfiable from the merged space.
+                   // After full coalescing a pool-sized request near the original
+                   // block must be satisfiable from the merged space.
         let big = a.malloc(3072).unwrap();
         assert_eq!(big, p, "coalesced block reused from the start");
     }

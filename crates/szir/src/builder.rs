@@ -1,8 +1,8 @@
 //! Fluent builders for programs and functions.
 
 use crate::{
-    AluOp, Block, BlockId, FuncId, Function, Global, GlobalId, GlobalInit, Instr, IrError,
-    Operand, Program, Reg, Terminator,
+    AluOp, Block, BlockId, FuncId, Function, Global, GlobalId, GlobalInit, Instr, IrError, Operand,
+    Program, Reg, Terminator,
 };
 
 impl From<Reg> for Operand {
@@ -54,7 +54,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a new program.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), functions: Vec::new(), globals: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
     }
 
     /// Reserves a function id for a body defined later (mutual
@@ -107,7 +111,11 @@ impl ProgramBuilder {
         size: u64,
         init: GlobalInit,
     ) -> GlobalId {
-        self.globals.push(Global { name: name.into(), size, init });
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+        });
         GlobalId(self.globals.len() as u32 - 1)
     }
 
@@ -128,7 +136,12 @@ impl ProgramBuilder {
             .enumerate()
             .map(|(i, f)| f.unwrap_or_else(|| panic!("function @{i} declared but never defined")))
             .collect();
-        let program = Program { name: self.name, functions, globals: self.globals, entry };
+        let program = Program {
+            name: self.name,
+            functions,
+            globals: self.globals,
+            entry,
+        };
         program.validate()?;
         Ok(program)
     }
@@ -213,7 +226,10 @@ impl FunctionBuilder {
     pub fn switch_to(&mut self, block: BlockId) {
         let idx = block.0 as usize;
         assert!(idx < self.blocks.len(), "no such block {block}");
-        assert!(self.blocks[idx].1.is_none(), "block {block} is already terminated");
+        assert!(
+            self.blocks[idx].1.is_none(),
+            "block {block} is already terminated"
+        );
         self.current = idx;
     }
 
@@ -234,39 +250,52 @@ impl FunctionBuilder {
     /// Appends `dst = a <op> b` with a fresh destination register.
     pub fn alu(&mut self, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::Alu { dst, op, a: a.into(), b: b.into() });
+        self.push(Instr::Alu {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Appends `dst = a <op> b` into an existing register.
-    pub fn alu_into(
-        &mut self,
-        dst: Reg,
-        op: AluOp,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
-        self.push(Instr::Alu { dst, op, a: a.into(), b: b.into() });
+    pub fn alu_into(&mut self, dst: Reg, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.push(Instr::Alu {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// Materializes a floating-point constant.
     pub fn fp_const(&mut self, value: f64) -> Reg {
         let dst = self.reg();
-        self.push(Instr::FpConst { dst, bits: value.to_bits() });
+        self.push(Instr::FpConst {
+            dst,
+            bits: value.to_bits(),
+        });
         dst
     }
 
     /// Converts an integer value to floating point.
     pub fn int_to_fp(&mut self, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::IntToFp { dst, src: src.into() });
+        self.push(Instr::IntToFp {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// Converts a floating-point value to an integer.
     pub fn fp_to_int(&mut self, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::FpToInt { dst, src: src.into() });
+        self.push(Instr::FpToInt {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -279,13 +308,20 @@ impl FunctionBuilder {
 
     /// Stores to a stack slot.
     pub fn store_slot(&mut self, slot: u32, src: impl Into<Operand>) {
-        self.push(Instr::StoreSlot { src: src.into(), slot });
+        self.push(Instr::StoreSlot {
+            src: src.into(),
+            slot,
+        });
     }
 
     /// Loads `global[offset]`.
     pub fn load_global(&mut self, global: GlobalId, offset: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::LoadGlobal { dst, global, offset: offset.into() });
+        self.push(Instr::LoadGlobal {
+            dst,
+            global,
+            offset: offset.into(),
+        });
         dst
     }
 
@@ -296,7 +332,11 @@ impl FunctionBuilder {
         offset: impl Into<Operand>,
         src: impl Into<Operand>,
     ) {
-        self.push(Instr::StoreGlobal { src: src.into(), global, offset: offset.into() });
+        self.push(Instr::StoreGlobal {
+            src: src.into(),
+            global,
+            offset: offset.into(),
+        });
     }
 
     /// Loads `*(base + offset)`.
@@ -308,13 +348,20 @@ impl FunctionBuilder {
 
     /// Stores `*(base + offset) = src`.
     pub fn store_ptr(&mut self, base: Reg, offset: i64, src: impl Into<Operand>) {
-        self.push(Instr::StorePtr { src: src.into(), base, offset });
+        self.push(Instr::StorePtr {
+            src: src.into(),
+            base,
+            offset,
+        });
     }
 
     /// Allocates heap memory.
     pub fn malloc(&mut self, size: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::Malloc { dst, size: size.into() });
+        self.push(Instr::Malloc {
+            dst,
+            size: size.into(),
+        });
         dst
     }
 
@@ -326,13 +373,21 @@ impl FunctionBuilder {
     /// Calls `func`, capturing its return value in a fresh register.
     pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Instr::Call { func, args, ret: Some(dst) });
+        self.push(Instr::Call {
+            func,
+            args,
+            ret: Some(dst),
+        });
         dst
     }
 
     /// Calls `func`, ignoring any return value.
     pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
-        self.push(Instr::Call { func, args, ret: None });
+        self.push(Instr::Call {
+            func,
+            args,
+            ret: None,
+        });
     }
 
     /// Appends `bytes` of padding.
@@ -349,7 +404,11 @@ impl FunctionBuilder {
 
     /// Seals the current block with a conditional branch.
     pub fn branch(&mut self, cond: impl Into<Operand>, taken: BlockId, not_taken: BlockId) {
-        self.seal(Terminator::Branch { cond: cond.into(), taken, not_taken });
+        self.seal(Terminator::Branch {
+            cond: cond.into(),
+            taken,
+            not_taken,
+        });
     }
 
     /// Seals the current block with a return.

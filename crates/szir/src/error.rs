@@ -73,7 +73,12 @@ impl std::fmt::Display for IrError {
             IrError::BadGlobal { func, global } => {
                 write!(f, "global reference {global} out of range in {func}")
             }
-            IrError::BadArity { caller, callee, expected, got } => write!(
+            IrError::BadArity {
+                caller,
+                callee,
+                expected,
+                got,
+            } => write!(
                 f,
                 "call from {caller} to {callee} passes {got} arguments, expected {expected}"
             ),
@@ -89,7 +94,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = IrError::BadArity { caller: FuncId(0), callee: FuncId(1), expected: 2, got: 3 };
-        assert_eq!(e.to_string(), "call from @0 to @1 passes 3 arguments, expected 2");
+        let e = IrError::BadArity {
+            caller: FuncId(0),
+            callee: FuncId(1),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "call from @0 to @1 passes 3 arguments, expected 2"
+        );
     }
 }

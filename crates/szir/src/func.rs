@@ -3,7 +3,7 @@
 use crate::{BlockId, Instr, Terminator};
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Instructions executed in order.
     pub instrs: Vec<Instr>,
@@ -21,7 +21,7 @@ impl Block {
 /// A function: parameters, a register frame, stack slots, and blocks.
 ///
 /// Block 0 is the entry block.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -68,7 +68,11 @@ impl Function {
             pc += block.term.encoded_size();
             instr_offsets.push(offsets);
         }
-        CodeLayout { block_starts, instr_offsets, total_size: pc }
+        CodeLayout {
+            block_starts,
+            instr_offsets,
+            total_size: pc,
+        }
     }
 }
 
@@ -78,7 +82,7 @@ impl Function {
 /// The VM adds the function's (possibly randomized) base address to
 /// these offsets to form fetch addresses — this is where code layout
 /// meets the instruction cache.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodeLayout {
     /// Starting offset of each block.
     pub block_starts: Vec<u64>,
@@ -117,7 +121,10 @@ mod tests {
                             a: Operand::Imm(1),
                             b: Operand::Imm(2),
                         }, // 5 bytes
-                        Instr::LoadSlot { dst: Reg(1), slot: 0 }, // 4 bytes
+                        Instr::LoadSlot {
+                            dst: Reg(1),
+                            slot: 0,
+                        }, // 4 bytes
                     ],
                     term: Terminator::Jump(BlockId(1)), // 5 bytes
                 },

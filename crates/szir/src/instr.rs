@@ -3,7 +3,7 @@
 use crate::{BlockId, FuncId, GlobalId, Reg};
 
 /// A value source: either a register or a 64-bit immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Read a register.
     Reg(Reg),
@@ -16,7 +16,7 @@ pub enum Operand {
 ///
 /// Integer ops wrap; `F*` ops reinterpret their operand bits as `f64`.
 /// Comparison ops produce 0 or 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -73,20 +73,8 @@ impl AluOp {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
-            AluOp::Rem => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
+            AluOp::Rem => a.checked_rem(b).unwrap_or(a),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
@@ -124,7 +112,7 @@ impl AluOp {
 }
 
 /// One non-terminating instruction.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dst = a <op> b`.
     Alu {
@@ -247,7 +235,9 @@ impl Instr {
     /// what makes code layout byte-accurate.
     pub fn encoded_size(&self) -> u64 {
         match self {
-            Instr::Alu { b: Operand::Imm(_), .. } => 5,
+            Instr::Alu {
+                b: Operand::Imm(_), ..
+            } => 5,
             Instr::Alu { .. } => 3,
             Instr::FpConst { .. } => 10, // movabs
             Instr::IntToFp { .. } | Instr::FpToInt { .. } => 4,
@@ -347,12 +337,18 @@ impl Instr {
     /// Whether the instruction is a pure computation on its operands
     /// (safe to CSE: same operands always give the same result).
     pub fn is_pure(&self) -> bool {
-        matches!(self, Instr::Alu { .. } | Instr::FpConst { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. })
+        matches!(
+            self,
+            Instr::Alu { .. }
+                | Instr::FpConst { .. }
+                | Instr::IntToFp { .. }
+                | Instr::FpToInt { .. }
+        )
     }
 }
 
 /// A basic block's terminating control transfer.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
@@ -386,7 +382,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::Ret { .. } => vec![],
         }
     }
@@ -399,10 +397,25 @@ mod tests {
     #[test]
     fn sizes_are_positive() {
         let samples: Vec<Instr> = vec![
-            Instr::Alu { dst: Reg(0), op: AluOp::Add, a: Operand::Imm(1), b: Operand::Imm(2) },
-            Instr::FpConst { dst: Reg(0), bits: 0 },
-            Instr::LoadSlot { dst: Reg(0), slot: 0 },
-            Instr::Call { func: FuncId(0), args: vec![], ret: None },
+            Instr::Alu {
+                dst: Reg(0),
+                op: AluOp::Add,
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
+            Instr::FpConst {
+                dst: Reg(0),
+                bits: 0,
+            },
+            Instr::LoadSlot {
+                dst: Reg(0),
+                slot: 0,
+            },
+            Instr::Call {
+                func: FuncId(0),
+                args: vec![],
+                ret: None,
+            },
             Instr::Nop { bytes: 3 },
         ];
         for i in &samples {
@@ -422,7 +435,11 @@ mod tests {
         assert_eq!(i.def(), Some(Reg(3)));
         assert_eq!(i.uses(), vec![Reg(1), Reg(2)]);
 
-        let s = Instr::StorePtr { src: Operand::Reg(Reg(5)), base: Reg(6), offset: 8 };
+        let s = Instr::StorePtr {
+            src: Operand::Reg(Reg(5)),
+            base: Reg(6),
+            offset: 8,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![Reg(5), Reg(6)]);
         assert!(s.has_side_effects());
@@ -430,11 +447,24 @@ mod tests {
 
     #[test]
     fn purity_classification() {
-        let alu = Instr::Alu { dst: Reg(0), op: AluOp::Mul, a: Operand::Imm(2), b: Operand::Imm(3) };
+        let alu = Instr::Alu {
+            dst: Reg(0),
+            op: AluOp::Mul,
+            a: Operand::Imm(2),
+            b: Operand::Imm(3),
+        };
         assert!(alu.is_pure() && !alu.has_side_effects());
-        let call = Instr::Call { func: FuncId(1), args: vec![], ret: Some(Reg(0)) };
+        let call = Instr::Call {
+            func: FuncId(1),
+            args: vec![],
+            ret: Some(Reg(0)),
+        };
         assert!(!call.is_pure() && call.has_side_effects());
-        let load = Instr::LoadPtr { dst: Reg(0), base: Reg(1), offset: 0 };
+        let load = Instr::LoadPtr {
+            dst: Reg(0),
+            base: Reg(1),
+            offset: 0,
+        };
         assert!(!load.is_pure(), "loads observe memory, not pure");
     }
 

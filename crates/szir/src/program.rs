@@ -1,9 +1,9 @@
 //! Whole programs, globals, and validation.
 
-use crate::{Function, FuncId, Instr, IrError, Operand, Terminator};
+use crate::{FuncId, Function, Instr, IrError, Operand, Terminator};
 
 /// Initial contents of a global.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GlobalInit {
     /// Zero-initialized (BSS).
     Zero,
@@ -15,7 +15,7 @@ pub enum GlobalInit {
 }
 
 /// A global data object.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Global {
     /// Symbol name.
     pub name: String,
@@ -26,7 +26,7 @@ pub struct Global {
 }
 
 /// A complete program: functions, globals, and an entry point.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Program name (benchmark name in the suite).
     pub name: String,
@@ -72,7 +72,10 @@ impl Program {
                 return Err(IrError::EmptyFunction { func });
             }
             if f.params > f.num_regs {
-                return Err(IrError::BadRegister { func, reg: crate::Reg(f.params - 1) });
+                return Err(IrError::BadRegister {
+                    func,
+                    reg: crate::Reg(f.params - 1),
+                });
             }
             for block in &f.blocks {
                 for instr in &block.instrs {
@@ -118,17 +121,22 @@ impl Program {
             self.validate_reg(func, f, u)?;
         }
         match instr {
-            Instr::LoadSlot { slot, .. } | Instr::StoreSlot { slot, .. } => {
-                if *slot >= f.num_slots {
-                    return Err(IrError::BadSlot { func, slot: *slot });
-                }
+            Instr::LoadSlot { slot, .. } | Instr::StoreSlot { slot, .. }
+                if *slot >= f.num_slots =>
+            {
+                return Err(IrError::BadSlot { func, slot: *slot });
             }
-            Instr::LoadGlobal { global, .. } | Instr::StoreGlobal { global, .. } => {
-                if global.0 as usize >= self.globals.len() {
-                    return Err(IrError::BadGlobal { func, global: *global });
-                }
+            Instr::LoadGlobal { global, .. } | Instr::StoreGlobal { global, .. }
+                if global.0 as usize >= self.globals.len() =>
+            {
+                return Err(IrError::BadGlobal {
+                    func,
+                    global: *global,
+                });
             }
-            Instr::Call { func: callee, args, .. } => {
+            Instr::Call {
+                func: callee, args, ..
+            } => {
                 let Some(target) = self.functions.get(callee.0 as usize) else {
                     return Err(IrError::BadFunction { func: *callee });
                 };
@@ -160,7 +168,10 @@ mod tests {
                 params: 0,
                 num_regs: 1,
                 num_slots: 0,
-                blocks: vec![Block { instrs: vec![], term: Terminator::Ret { value: None } }],
+                blocks: vec![Block {
+                    instrs: vec![],
+                    term: Terminator::Ret { value: None },
+                }],
             }],
             globals: vec![],
             entry: FuncId(0),
@@ -194,7 +205,10 @@ mod tests {
     #[test]
     fn detects_bad_slot_global_block() {
         let mut p = minimal();
-        p.functions[0].blocks[0].instrs.push(Instr::LoadSlot { dst: Reg(0), slot: 3 });
+        p.functions[0].blocks[0].instrs.push(Instr::LoadSlot {
+            dst: Reg(0),
+            slot: 3,
+        });
         assert!(matches!(p.validate(), Err(IrError::BadSlot { .. })));
 
         let mut p = minimal();
@@ -218,14 +232,24 @@ mod tests {
             params: 2,
             num_regs: 2,
             num_slots: 0,
-            blocks: vec![Block { instrs: vec![], term: Terminator::Ret { value: None } }],
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Ret { value: None },
+            }],
         });
         p.functions[0].blocks[0].instrs.push(Instr::Call {
             func: FuncId(1),
             args: vec![Operand::Imm(1)],
             ret: None,
         });
-        assert!(matches!(p.validate(), Err(IrError::BadArity { expected: 2, got: 1, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(IrError::BadArity {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ const HEAP_SIZE: u64 = 1 << 34;
 const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
 
 /// How the linker orders functions in the text segment.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinkOrder {
     /// Program order (`FuncId` order) — the "default build".
     Default,
@@ -122,7 +122,11 @@ impl LinkedLayout {
     /// Starts a builder with default-order linking and an empty
     /// environment.
     pub fn builder() -> LinkedLayoutBuilder {
-        LinkedLayoutBuilder { order: LinkOrder::Default, env_bytes: 0, function_alignment: 16 }
+        LinkedLayoutBuilder {
+            order: LinkOrder::Default,
+            env_bytes: 0,
+            function_alignment: 16,
+        }
     }
 
     /// The code placement produced for the last prepared program
@@ -323,7 +327,10 @@ mod tests {
         };
         let times: Vec<u64> = (0..10).map(cycles).collect();
         let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
-        assert!(distinct.len() > 1, "link order must affect timing: {times:?}");
+        assert!(
+            distinct.len() > 1,
+            "link order must affect timing: {times:?}"
+        );
     }
 
     #[test]
@@ -335,9 +342,14 @@ mod tests {
                 .link_order(LinkOrder::Shuffled { seed: 3 })
                 .env_bytes(512)
                 .build();
-            vm.run(&mut e, MachineConfig::tiny(), RunLimits::default()).unwrap()
+            vm.run(&mut e, MachineConfig::tiny(), RunLimits::default())
+                .unwrap()
         };
-        assert_eq!(run().cycles, run().cycles, "one binary = one layout = one time");
+        assert_eq!(
+            run().cycles,
+            run().cycles,
+            "one binary = one layout = one time"
+        );
     }
 
     #[test]

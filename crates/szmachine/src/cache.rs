@@ -1,7 +1,7 @@
 //! Set-associative caches with true-LRU replacement.
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -134,7 +134,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -176,7 +180,11 @@ mod tests {
         // share a set in a direct-mapped-ish pattern thrash; moved apart
         // they coexist.
         // 8 sets x 1 way: addresses 512 bytes apart share a set.
-        let mut c = Cache::new(CacheConfig { size_bytes: 512, ways: 1, line_bytes: 64 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 1,
+            line_bytes: 64,
+        });
         let (a, conflicting, friendly) = (0u64, 512u64, 64u64);
         let mut misses_bad = 0;
         for _ in 0..100 {
@@ -226,6 +234,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_geometry() {
-        Cache::new(CacheConfig { size_bytes: 96, ways: 1, line_bytes: 48 });
+        Cache::new(CacheConfig {
+            size_bytes: 96,
+            ways: 1,
+            line_bytes: 48,
+        });
     }
 }

@@ -3,7 +3,7 @@
 use crate::{CacheConfig, TlbConfig};
 
 /// Latency (in cycles) charged for each event class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Extra cycles for an L1 data hit (loads have a use latency).
     pub l1_hit: u64,
@@ -35,7 +35,7 @@ impl Default for CostModel {
 }
 
 /// Full description of the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,
@@ -64,12 +64,36 @@ impl MachineConfig {
     /// i3-550 at 3.2 GHz with 256 KB per-core L2 and a shared 4 MB L3.
     pub fn core_i3_550() -> Self {
         MachineConfig {
-            l1i: CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 256 * 1024, ways: 8, line_bytes: 64 },
-            l3: CacheConfig { size_bytes: 4 * 1024 * 1024, ways: 16, line_bytes: 64 },
-            itlb: TlbConfig { entries: 64, ways: 4, page_bytes: 4096 },
-            dtlb: TlbConfig { entries: 64, ways: 4, page_bytes: 4096 },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l3: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
+            itlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                page_bytes: 4096,
+            },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                page_bytes: 4096,
+            },
             predictor_index_bits: 12,
             predictor_history_bits: 8,
             costs: CostModel::default(),
@@ -81,12 +105,36 @@ impl MachineConfig {
     /// layout effects appear with small working sets.
     pub fn tiny() -> Self {
         MachineConfig {
-            l1i: CacheConfig { size_bytes: 2 * 1024, ways: 2, line_bytes: 64 },
-            l1d: CacheConfig { size_bytes: 2 * 1024, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 },
-            l3: CacheConfig { size_bytes: 64 * 1024, ways: 8, line_bytes: 64 },
-            itlb: TlbConfig { entries: 16, ways: 4, page_bytes: 4096 },
-            dtlb: TlbConfig { entries: 16, ways: 4, page_bytes: 4096 },
+            l1i: CacheConfig {
+                size_bytes: 2 * 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                size_bytes: 2 * 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            l3: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            itlb: TlbConfig {
+                entries: 16,
+                ways: 4,
+                page_bytes: 4096,
+            },
+            dtlb: TlbConfig {
+                entries: 16,
+                ways: 4,
+                page_bytes: 4096,
+            },
             predictor_index_bits: 10,
             predictor_history_bits: 4,
             costs: CostModel::default(),
@@ -116,7 +164,7 @@ impl Default for MachineConfig {
 /// The simulator has no connection to host time; STABILIZER's 500 ms
 /// re-randomization timer (§3.3) counts *simulated* milliseconds
 /// derived from the cycle counter and the configured clock.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime {
     nanos: f64,
 }
@@ -159,14 +207,18 @@ impl SimTime {
 impl std::ops::Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime { nanos: self.nanos + rhs.nanos }
+        SimTime {
+            nanos: self.nanos + rhs.nanos,
+        }
     }
 }
 
 impl std::ops::Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime { nanos: self.nanos - rhs.nanos }
+        SimTime {
+            nanos: self.nanos - rhs.nanos,
+        }
     }
 }
 
@@ -190,7 +242,11 @@ mod tests {
     fn i3_geometry_matches_paper() {
         let m = MachineConfig::core_i3_550();
         assert_eq!(m.l2.size_bytes, 256 * 1024, "each core has a 256KB L2 (§5)");
-        assert_eq!(m.l3.size_bytes, 4 * 1024 * 1024, "cores share a 4MB L3 (§5)");
+        assert_eq!(
+            m.l3.size_bytes,
+            4 * 1024 * 1024,
+            "cores share a 4MB L3 (§5)"
+        );
         assert_eq!(m.clock_ghz, 3.2);
     }
 

@@ -1,7 +1,7 @@
 //! Performance counters.
 
 /// Event counts accumulated over a simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Instructions executed.
     pub instructions: u64,
@@ -57,9 +57,46 @@ impl PerfCounters {
     }
 }
 
+/// Event counts for one randomization period of a run.
+///
+/// STABILIZER's statistical argument (§4) treats a run's time as the
+/// sum of many independent per-period contributions; this snapshot is
+/// the observable for that claim — each period's cycle count, cache
+/// and TLB misses, and branch mispredicts, as deltas over the period.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeriodSnapshot {
+    /// Zero-based period index within the run.
+    pub index: u32,
+    /// Cycle count at which the period began.
+    pub start_cycles: u64,
+    /// Cycle count at which the period ended (the re-randomization
+    /// point, or the end of the run for the final period).
+    pub end_cycles: u64,
+    /// Events charged during this period only.
+    pub counters: PerfCounters,
+}
+
+impl PeriodSnapshot {
+    /// Cycles spent in this period.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycles - self.start_cycles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn period_cycles_are_a_span() {
+        let p = PeriodSnapshot {
+            index: 1,
+            start_cycles: 100,
+            end_cycles: 350,
+            counters: PerfCounters::default(),
+        };
+        assert_eq!(p.cycles(), 250);
+    }
 
     #[test]
     fn cpi_and_rates() {
@@ -77,8 +114,16 @@ mod tests {
 
     #[test]
     fn delta() {
-        let early = PerfCounters { instructions: 10, cycles: 20, ..Default::default() };
-        let late = PerfCounters { instructions: 25, cycles: 70, ..Default::default() };
+        let early = PerfCounters {
+            instructions: 10,
+            cycles: 20,
+            ..Default::default()
+        };
+        let late = PerfCounters {
+            instructions: 25,
+            cycles: 70,
+            ..Default::default()
+        };
         let d = late.delta_since(&early);
         assert_eq!(d.instructions, 15);
         assert_eq!(d.cycles, 50);

@@ -33,6 +33,6 @@ mod tlb;
 pub use branch::BranchPredictor;
 pub use cache::{Cache, CacheConfig};
 pub use config::{CostModel, MachineConfig, SimTime};
-pub use counters::PerfCounters;
+pub use counters::{PerfCounters, PeriodSnapshot};
 pub use mem::MemorySystem;
 pub use tlb::{Tlb, TlbConfig};

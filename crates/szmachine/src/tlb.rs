@@ -5,7 +5,7 @@
 //! a first-class part of the cost model.
 
 /// Geometry of a TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: u32,
@@ -34,7 +34,7 @@ impl Tlb {
     /// Panics on inconsistent geometry (entries not divisible into a
     /// power-of-two number of sets, or a non-power-of-two page size).
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.ways > 0 && config.entries % config.ways == 0);
+        assert!(config.ways > 0 && config.entries.is_multiple_of(config.ways));
         assert!(config.page_bytes.is_power_of_two());
         let sets = u64::from(config.entries / config.ways);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
@@ -103,7 +103,11 @@ mod tests {
     use super::*;
 
     fn dtlb() -> Tlb {
-        Tlb::new(TlbConfig { entries: 64, ways: 4, page_bytes: 4096 })
+        Tlb::new(TlbConfig {
+            entries: 64,
+            ways: 4,
+            page_bytes: 4096,
+        })
     }
 
     #[test]

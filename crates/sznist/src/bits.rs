@@ -10,7 +10,10 @@ pub struct Bits {
 impl Bits {
     /// Builds a stream of `n` bits from a predicate on the index.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut b = Bits { words: vec![0; n.div_ceil(64)], len: n };
+        let mut b = Bits {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        };
         for i in 0..n {
             if f(i) {
                 b.words[i / 64] |= 1 << (i % 64);

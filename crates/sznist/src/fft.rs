@@ -103,7 +103,9 @@ mod tests {
     #[test]
     fn parseval_energy_is_conserved() {
         // sum |x|^2 = (1/n) sum |X|^2 ; with ±1 inputs sum |x|^2 = n.
-        let signal: Vec<f64> = (0..256).map(|i| if (i * 7) % 13 < 6 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..256)
+            .map(|i| if (i * 7) % 13 < 6 { 1.0 } else { -1.0 })
+            .collect();
         let n = 256.0;
         let mut re = signal.clone();
         let mut im = vec![0.0; 256];

@@ -39,7 +39,7 @@ pub use tests_impl::{
 pub const ALPHA: f64 = 0.05;
 
 /// One NIST test outcome.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NistResult {
     /// Test name as the paper lists it.
     pub name: &'static str,
@@ -51,7 +51,11 @@ pub struct NistResult {
 
 impl NistResult {
     fn new(name: &'static str, p_value: f64) -> Self {
-        NistResult { name, p_value, pass: p_value >= ALPHA }
+        NistResult {
+            name,
+            p_value,
+            pass: p_value >= ALPHA,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl NistResult {
 /// Panics if the stream is shorter than 1024 bits (the Rank test's
 /// single-matrix minimum).
 pub fn run_suite(bits: &Bits) -> Vec<NistResult> {
-    assert!(bits.len() >= 1024, "need at least 1024 bits, got {}", bits.len());
+    assert!(
+        bits.len() >= 1024,
+        "need at least 1024 bits, got {}",
+        bits.len()
+    );
     vec![
         NistResult::new("Frequency", frequency(bits)),
         NistResult::new("BlockFrequency", block_frequency(bits, 128)),
@@ -121,7 +129,10 @@ mod suite_tests {
         let results = run_suite(&bits);
         assert!(results.iter().find(|r| r.name == "Frequency").unwrap().pass);
         assert!(!results.iter().find(|r| r.name == "Runs").unwrap().pass);
-        assert!(!results.iter().find(|r| r.name == "FFT").unwrap().pass, "periodic signal lights up the spectrum");
+        assert!(
+            !results.iter().find(|r| r.name == "FFT").unwrap().pass,
+            "periodic signal lights up the spectrum"
+        );
     }
 
     #[test]
@@ -135,6 +146,9 @@ mod suite_tests {
                 below_half += 1;
             }
         }
-        assert!((10..=30).contains(&below_half), "got {below_half}/40 below 0.5");
+        assert!(
+            (10..=30).contains(&below_half),
+            "got {below_half}/40 below 0.5"
+        );
     }
 }

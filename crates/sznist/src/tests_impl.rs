@@ -99,7 +99,11 @@ pub fn longest_run(bits: &Bits) -> f64 {
     } else if n < 750_000 {
         (128, 4, &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124])
     } else {
-        (10_000, 10, &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727])
+        (
+            10_000,
+            10,
+            &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        )
     };
     let k = pi.len() - 1;
     let n_blocks = n / m;

@@ -50,7 +50,7 @@ pub use passes::{
 use sz_ir::Program;
 
 /// An optimization level, as in the paper's §6 evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OptLevel {
     /// No optimization.
     O0,
@@ -99,7 +99,11 @@ pub fn optimize(program: &Program, level: OptLevel) -> Program {
             o3(&mut p);
         }
     }
-    debug_assert_eq!(p.validate(), Ok(()), "optimizer produced invalid IR at {level}");
+    debug_assert_eq!(
+        p.validate(),
+        Ok(()),
+        "optimizer produced invalid IR at {level}"
+    );
     p
 }
 

@@ -10,7 +10,12 @@ use sz_ir::{AluOp, Function, GlobalId, Instr, Operand, Program, Reg, Terminator}
 
 /// Canonical move encoding.
 fn mov(dst: Reg, src: Operand) -> Instr {
-    Instr::Alu { dst, op: AluOp::Add, a: src, b: Operand::Imm(0) }
+    Instr::Alu {
+        dst,
+        op: AluOp::Add,
+        a: src,
+        b: Operand::Imm(0),
+    }
 }
 
 /// A hashable, order-canonical key for an ALU expression.
@@ -67,13 +72,17 @@ pub fn const_fold(p: &mut Program) {
                             subst(a, &known);
                         }
                     }
-                    Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => {
-                        subst(src, &known)
-                    }
+                    Instr::IntToFp { src, .. } | Instr::FpToInt { src, .. } => subst(src, &known),
                     _ => {}
                 }
                 // Fold two-immediate ALU ops.
-                if let Instr::Alu { dst, op, a: Operand::Imm(x), b: Operand::Imm(y) } = *instr {
+                if let Instr::Alu {
+                    dst,
+                    op,
+                    a: Operand::Imm(x),
+                    b: Operand::Imm(y),
+                } = *instr
+                {
                     let v = op.eval(x as u64, y as u64);
                     *instr = mov(dst, Operand::Imm(v as i64));
                     known.insert(dst, v);
@@ -82,7 +91,12 @@ pub fn const_fold(p: &mut Program) {
                 // Track constants from movs; invalidate other defs.
                 if let Some(d) = instr.def() {
                     match instr {
-                        Instr::Alu { op: AluOp::Add, a: Operand::Imm(v), b: Operand::Imm(0), .. } => {
+                        Instr::Alu {
+                            op: AluOp::Add,
+                            a: Operand::Imm(v),
+                            b: Operand::Imm(0),
+                            ..
+                        } => {
                             known.insert(d, *v as u64);
                         }
                         _ => {
@@ -108,7 +122,9 @@ pub fn strength_reduce(p: &mut Program) {
     for f in &mut p.functions {
         for block in &mut f.blocks {
             for instr in &mut block.instrs {
-                let Instr::Alu { dst, op, a, b } = *instr else { continue };
+                let Instr::Alu { dst, op, a, b } = *instr else {
+                    continue;
+                };
                 let pow2 = |o: Operand| match o {
                     Operand::Imm(v) if v > 0 && (v as u64).is_power_of_two() => {
                         Some((v as u64).trailing_zeros() as i64)
@@ -117,20 +133,32 @@ pub fn strength_reduce(p: &mut Program) {
                 };
                 *instr = match (op, a, b) {
                     // x * 2^k  (either side)
-                    (AluOp::Mul, x, c) if pow2(c).is_some() => {
-                        Instr::Alu { dst, op: AluOp::Shl, a: x, b: Operand::Imm(pow2(c).unwrap()) }
-                    }
-                    (AluOp::Mul, c, x) if pow2(c).is_some() => {
-                        Instr::Alu { dst, op: AluOp::Shl, a: x, b: Operand::Imm(pow2(c).unwrap()) }
-                    }
+                    (AluOp::Mul, x, c) if pow2(c).is_some() => Instr::Alu {
+                        dst,
+                        op: AluOp::Shl,
+                        a: x,
+                        b: Operand::Imm(pow2(c).unwrap()),
+                    },
+                    (AluOp::Mul, c, x) if pow2(c).is_some() => Instr::Alu {
+                        dst,
+                        op: AluOp::Shl,
+                        a: x,
+                        b: Operand::Imm(pow2(c).unwrap()),
+                    },
                     // x / 2^k, x % 2^k (unsigned semantics make this exact)
-                    (AluOp::Div, x, c) if pow2(c).is_some() => {
-                        Instr::Alu { dst, op: AluOp::Shr, a: x, b: Operand::Imm(pow2(c).unwrap()) }
-                    }
-                    (AluOp::Rem, x, Operand::Imm(c))
-                        if c > 0 && (c as u64).is_power_of_two() =>
-                    {
-                        Instr::Alu { dst, op: AluOp::And, a: x, b: Operand::Imm(c - 1) }
+                    (AluOp::Div, x, c) if pow2(c).is_some() => Instr::Alu {
+                        dst,
+                        op: AluOp::Shr,
+                        a: x,
+                        b: Operand::Imm(pow2(c).unwrap()),
+                    },
+                    (AluOp::Rem, x, Operand::Imm(c)) if c > 0 && (c as u64).is_power_of_two() => {
+                        Instr::Alu {
+                            dst,
+                            op: AluOp::And,
+                            a: x,
+                            b: Operand::Imm(c - 1),
+                        }
                     }
                     // Identities.
                     (AluOp::Mul, x, Operand::Imm(1)) => mov(dst, x),
@@ -171,7 +199,8 @@ pub fn promote_slots(p: &mut Program, limit: u32) {
                     Instr::StoreSlot { src, slot } if slot < promoted => {
                         *instr = mov(Reg(base_reg + slot as u16), src);
                     }
-                    Instr::LoadSlot { ref mut slot, .. } | Instr::StoreSlot { ref mut slot, .. } => {
+                    Instr::LoadSlot { ref mut slot, .. }
+                    | Instr::StoreSlot { ref mut slot, .. } => {
                         *slot -= promoted;
                     }
                     _ => {}
@@ -232,7 +261,13 @@ pub fn copy_propagate(p: &mut Program) {
                 if let Some(d) = instr.def() {
                     copy_of.remove(&d);
                     copy_of.retain(|_, v| *v != Operand::Reg(d));
-                    if let Instr::Alu { dst, op: AluOp::Add, a, b: Operand::Imm(0) } = *instr {
+                    if let Instr::Alu {
+                        dst,
+                        op: AluOp::Add,
+                        a,
+                        b: Operand::Imm(0),
+                    } = *instr
+                    {
                         if a != Operand::Reg(dst) {
                             copy_of.insert(dst, a);
                         }
@@ -259,10 +294,15 @@ pub fn dce(p: &mut Program) {
                     used.extend(instr.uses());
                 }
                 match &block.term {
-                    Terminator::Branch { cond: Operand::Reg(r), .. } => {
+                    Terminator::Branch {
+                        cond: Operand::Reg(r),
+                        ..
+                    } => {
                         used.insert(*r);
                     }
-                    Terminator::Ret { value: Some(Operand::Reg(r)) } => {
+                    Terminator::Ret {
+                        value: Some(Operand::Reg(r)),
+                    } => {
                         used.insert(*r);
                     }
                     _ => {}
@@ -410,22 +450,28 @@ fn inline_into(
     while bi < caller.blocks.len() {
         let mut ii = 0;
         while ii < caller.blocks[bi].instrs.len() {
-            let Instr::Call { func, ref args, ret } = caller.blocks[bi].instrs[ii] else {
+            let Instr::Call {
+                func,
+                ref args,
+                ret,
+            } = caller.blocks[bi].instrs[ii]
+            else {
                 ii += 1;
                 continue;
             };
             let callee = &snapshot[func.0 as usize];
             let shape_ok = if multi_block {
-                callee.blocks.iter().any(|b| matches!(b.term, Terminator::Ret { .. }))
+                callee
+                    .blocks
+                    .iter()
+                    .any(|b| matches!(b.term, Terminator::Ret { .. }))
             } else {
-                callee.blocks.len() == 1
-                    && matches!(callee.blocks[0].term, Terminator::Ret { .. })
+                callee.blocks.len() == 1 && matches!(callee.blocks[0].term, Terminator::Ret { .. })
             };
             let inlinable = func.0 as usize != caller_idx
                 && shape_ok
                 && callee.instr_count() <= threshold
-                && u32::from(caller.num_regs) + u32::from(callee.num_regs)
-                    <= u32::from(u16::MAX)
+                && u32::from(caller.num_regs) + u32::from(callee.num_regs) <= u32::from(u16::MAX)
                 && caller.num_slots.checked_add(callee.num_slots).is_some();
             if !inlinable {
                 ii += 1;
@@ -479,11 +525,14 @@ fn inline_into(
             );
             // Parameter moves sit at the end of the pre-call block.
             for (i, a) in args.iter().enumerate() {
-                caller.blocks[bi].instrs.push(mov(Reg(reg_off + i as u16), *a));
+                caller.blocks[bi]
+                    .instrs
+                    .push(mov(Reg(reg_off + i as u16), *a));
             }
-            caller
-                .blocks
-                .push(sz_ir::Block { instrs: tail, term: cont_term });
+            caller.blocks.push(sz_ir::Block {
+                instrs: tail,
+                term: cont_term,
+            });
 
             // Append the callee's blocks.
             for cb in &callee.blocks {
@@ -494,7 +543,11 @@ fn inline_into(
                     .collect();
                 let term = match &cb.term {
                     Terminator::Jump(t) => Terminator::Jump(sz_ir::BlockId(t.0 + block_off)),
-                    Terminator::Branch { cond, taken, not_taken } => Terminator::Branch {
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => Terminator::Branch {
                         cond: remap_op(*cond),
                         taken: sz_ir::BlockId(taken.0 + block_off),
                         not_taken: sz_ir::BlockId(not_taken.0 + block_off),
@@ -530,29 +583,67 @@ fn remap_instr(
     slot_off: u32,
 ) -> Instr {
     match *instr {
-        Instr::Alu { dst, op, a, b } => Instr::Alu { dst: rr(dst), op, a: ro(a), b: ro(b) },
+        Instr::Alu { dst, op, a, b } => Instr::Alu {
+            dst: rr(dst),
+            op,
+            a: ro(a),
+            b: ro(b),
+        },
         Instr::FpConst { dst, bits } => Instr::FpConst { dst: rr(dst), bits },
-        Instr::IntToFp { dst, src } => Instr::IntToFp { dst: rr(dst), src: ro(src) },
-        Instr::FpToInt { dst, src } => Instr::FpToInt { dst: rr(dst), src: ro(src) },
-        Instr::LoadSlot { dst, slot } => Instr::LoadSlot { dst: rr(dst), slot: slot + slot_off },
-        Instr::StoreSlot { src, slot } => {
-            Instr::StoreSlot { src: ro(src), slot: slot + slot_off }
-        }
-        Instr::LoadGlobal { dst, global, offset } => {
-            Instr::LoadGlobal { dst: rr(dst), global, offset: ro(offset) }
-        }
-        Instr::StoreGlobal { src, global, offset } => {
-            Instr::StoreGlobal { src: ro(src), global, offset: ro(offset) }
-        }
-        Instr::LoadPtr { dst, base, offset } => {
-            Instr::LoadPtr { dst: rr(dst), base: rr(base), offset }
-        }
-        Instr::StorePtr { src, base, offset } => {
-            Instr::StorePtr { src: ro(src), base: rr(base), offset }
-        }
-        Instr::Malloc { dst, size } => Instr::Malloc { dst: rr(dst), size: ro(size) },
+        Instr::IntToFp { dst, src } => Instr::IntToFp {
+            dst: rr(dst),
+            src: ro(src),
+        },
+        Instr::FpToInt { dst, src } => Instr::FpToInt {
+            dst: rr(dst),
+            src: ro(src),
+        },
+        Instr::LoadSlot { dst, slot } => Instr::LoadSlot {
+            dst: rr(dst),
+            slot: slot + slot_off,
+        },
+        Instr::StoreSlot { src, slot } => Instr::StoreSlot {
+            src: ro(src),
+            slot: slot + slot_off,
+        },
+        Instr::LoadGlobal {
+            dst,
+            global,
+            offset,
+        } => Instr::LoadGlobal {
+            dst: rr(dst),
+            global,
+            offset: ro(offset),
+        },
+        Instr::StoreGlobal {
+            src,
+            global,
+            offset,
+        } => Instr::StoreGlobal {
+            src: ro(src),
+            global,
+            offset: ro(offset),
+        },
+        Instr::LoadPtr { dst, base, offset } => Instr::LoadPtr {
+            dst: rr(dst),
+            base: rr(base),
+            offset,
+        },
+        Instr::StorePtr { src, base, offset } => Instr::StorePtr {
+            src: ro(src),
+            base: rr(base),
+            offset,
+        },
+        Instr::Malloc { dst, size } => Instr::Malloc {
+            dst: rr(dst),
+            size: ro(size),
+        },
         Instr::Free { ptr } => Instr::Free { ptr: rr(ptr) },
-        Instr::Call { func, ref args, ret } => Instr::Call {
+        Instr::Call {
+            func,
+            ref args,
+            ret,
+        } => Instr::Call {
             func,
             args: args.iter().map(|a| ro(*a)).collect(),
             ret: ret.map(&rr),
@@ -627,12 +718,19 @@ mod tests {
         let instrs = &prog.functions[0].blocks[0].instrs;
         assert!(matches!(
             instrs[1],
-            Instr::Alu { op: AluOp::Add, a: Operand::Imm(50), b: Operand::Imm(0), .. }
+            Instr::Alu {
+                op: AluOp::Add,
+                a: Operand::Imm(50),
+                b: Operand::Imm(0),
+                ..
+            }
         ));
         // The return value also becomes an immediate.
         assert!(matches!(
             prog.functions[0].blocks[0].term,
-            Terminator::Ret { value: Some(Operand::Imm(50)) }
+            Terminator::Ret {
+                value: Some(Operand::Imm(50))
+            }
         ));
     }
 
@@ -647,9 +745,30 @@ mod tests {
         });
         strength_reduce(&mut prog);
         let instrs = &prog.functions[0].blocks[0].instrs;
-        assert!(matches!(instrs[0], Instr::Alu { op: AluOp::Shl, b: Operand::Imm(3), .. }));
-        assert!(matches!(instrs[1], Instr::Alu { op: AluOp::Shr, b: Operand::Imm(2), .. }));
-        assert!(matches!(instrs[2], Instr::Alu { op: AluOp::And, b: Operand::Imm(15), .. }));
+        assert!(matches!(
+            instrs[0],
+            Instr::Alu {
+                op: AluOp::Shl,
+                b: Operand::Imm(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[1],
+            Instr::Alu {
+                op: AluOp::Shr,
+                b: Operand::Imm(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[2],
+            Instr::Alu {
+                op: AluOp::And,
+                b: Operand::Imm(15),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -663,7 +782,10 @@ mod tests {
         promote_slots(&mut prog, u32::MAX);
         assert_eq!(prog.functions[0].num_slots, 0);
         for i in &prog.functions[0].blocks[0].instrs {
-            assert!(!matches!(i, Instr::LoadSlot { .. } | Instr::StoreSlot { .. }));
+            assert!(!matches!(
+                i,
+                Instr::LoadSlot { .. } | Instr::StoreSlot { .. }
+            ));
         }
         assert_eq!(prog.validate(), Ok(()));
     }
@@ -726,12 +848,27 @@ mod tests {
         local_cse(&mut prog);
         let instrs = &prog.functions[0].blocks[0].instrs;
         assert!(
-            matches!(instrs[1], Instr::Alu { op: AluOp::Add, a: Operand::Reg(_), b: Operand::Imm(0), .. }),
+            matches!(
+                instrs[1],
+                Instr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(_),
+                    b: Operand::Imm(0),
+                    ..
+                }
+            ),
             "second compute became a mov: {:?}",
             instrs[1]
         );
         assert!(
-            matches!(instrs[3], Instr::Alu { op: AluOp::Add, b: Operand::Imm(5), .. }),
+            matches!(
+                instrs[3],
+                Instr::Alu {
+                    op: AluOp::Add,
+                    b: Operand::Imm(5),
+                    ..
+                }
+            ),
             "post-redefinition compute survives: {:?}",
             instrs[3]
         );
@@ -749,7 +886,11 @@ mod tests {
         local_cse(&mut prog);
         assert!(matches!(
             prog.functions[0].blocks[0].instrs[1],
-            Instr::Alu { a: Operand::Reg(_), b: Operand::Imm(0), .. }
+            Instr::Alu {
+                a: Operand::Reg(_),
+                b: Operand::Imm(0),
+                ..
+            }
         ));
     }
 
@@ -771,7 +912,11 @@ mod tests {
         assert!(
             matches!(
                 prog.functions[0].blocks[1].instrs[0],
-                Instr::Alu { a: Operand::Reg(_), b: Operand::Imm(0), .. }
+                Instr::Alu {
+                    a: Operand::Reg(_),
+                    b: Operand::Imm(0),
+                    ..
+                }
             ),
             "{:?}",
             prog.functions[0].blocks[1].instrs[0]
@@ -818,7 +963,10 @@ mod tests {
         inline_calls(&mut prog, 10, 1, false);
         let main_f = &prog.functions[1];
         assert!(
-            main_f.blocks[0].instrs.iter().all(|i| !matches!(i, Instr::Call { .. })),
+            main_f.blocks[0]
+                .instrs
+                .iter()
+                .all(|i| !matches!(i, Instr::Call { .. })),
             "call must be gone"
         );
         assert_eq!(prog.validate(), Ok(()));
@@ -866,7 +1014,10 @@ mod tests {
         let mut prog = p.finish(entry).unwrap();
         inline_calls(&mut prog, 10, 2, false);
         assert!(
-            prog.functions[2].blocks[0].instrs.iter().all(|i| !matches!(i, Instr::Call { .. })),
+            prog.functions[2].blocks[0]
+                .instrs
+                .iter()
+                .all(|i| !matches!(i, Instr::Call { .. })),
             "main should be fully flat after two rounds"
         );
         assert_eq!(prog.validate(), Ok(()));
@@ -887,7 +1038,10 @@ mod tests {
         assert_eq!(prog.globals[0].name, "live");
         assert!(matches!(
             prog.functions[0].blocks[0].instrs[0],
-            Instr::LoadGlobal { global: GlobalId(0), .. }
+            Instr::LoadGlobal {
+                global: GlobalId(0),
+                ..
+            }
         ));
         assert_eq!(prog.validate(), Ok(()));
     }

@@ -81,7 +81,10 @@ mod tests {
         // Reference values from glibc: srand48(0); lrand48() x 4.
         let mut rng = Lrand48::seeded(0);
         let got: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
-        assert_eq!(got, vec![366_850_414, 1_610_402_240, 206_956_554, 1_869_309_841]);
+        assert_eq!(
+            got,
+            vec![366_850_414, 1_610_402_240, 206_956_554, 1_869_309_841]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::error::check_finite;
 use crate::StatError;
 
 /// Result of an analysis of variance.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnovaResult {
     /// The F statistic.
     pub f: f64,
@@ -58,11 +58,17 @@ impl AnovaResult {
 /// ```
 pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<AnovaResult, StatError> {
     if groups.len() < 2 {
-        return Err(StatError::TooFewSamples { needed: 2, got: groups.len() });
+        return Err(StatError::TooFewSamples {
+            needed: 2,
+            got: groups.len(),
+        });
     }
     for g in groups {
         if g.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: g.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: g.len(),
+            });
         }
         check_finite(g)?;
     }
@@ -85,8 +91,16 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<AnovaResult, StatError> {
     }
     let ms_t = ss_between / df_t;
     let ms_e = ss_within / df_e;
-    let f = if ms_e == 0.0 { f64::INFINITY } else { ms_t / ms_e };
-    let p_value = if f.is_finite() { FDist::new(df_t, df_e).sf(f) } else { 0.0 };
+    let f = if ms_e == 0.0 {
+        f64::INFINITY
+    } else {
+        ms_t / ms_e
+    };
+    let p_value = if f.is_finite() {
+        FDist::new(df_t, df_e).sf(f)
+    } else {
+        0.0
+    };
     Ok(AnovaResult {
         f,
         df_treatment: df_t,
@@ -175,8 +189,16 @@ pub fn repeated_measures_anova(data: &[Vec<f64>]) -> Result<AnovaResult, StatErr
     }
     let ms_t = ss_treatment / df_t;
     let ms_e = ss_error / df_e;
-    let f = if ms_e == 0.0 { f64::INFINITY } else { ms_t / ms_e };
-    let p_value = if f.is_finite() { FDist::new(df_t, df_e).sf(f) } else { 0.0 };
+    let f = if ms_e == 0.0 {
+        f64::INFINITY
+    } else {
+        ms_t / ms_e
+    };
+    let p_value = if f.is_finite() {
+        FDist::new(df_t, df_e).sf(f)
+    } else {
+        0.0
+    };
     Ok(AnovaResult {
         f,
         df_treatment: df_t,
@@ -243,7 +265,11 @@ mod tests {
         ];
         let r = repeated_measures_anova(&data).unwrap();
         let grand = data.iter().flatten().sum::<f64>() / 12.0;
-        let ss_total: f64 = data.iter().flatten().map(|v| (v - grand) * (v - grand)).sum();
+        let ss_total: f64 = data
+            .iter()
+            .flatten()
+            .map(|v| (v - grand) * (v - grand))
+            .sum();
         let mut ss_subjects = 0.0;
         for row in &data {
             let rm = mean(row);

@@ -70,7 +70,10 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
 /// Panics on an empty slice or non-positive values.
 pub fn geometric_mean(data: &[f64]) -> f64 {
     assert!(!data.is_empty(), "geometric mean of empty data");
-    assert!(data.iter().all(|&v| v > 0.0), "geometric mean needs positive data");
+    assert!(
+        data.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive data"
+    );
     (data.iter().map(|v| v.ln()).sum::<f64>() / data.len() as f64).exp()
 }
 
@@ -86,7 +89,7 @@ pub fn geometric_mean(data: &[f64]) -> f64 {
 /// assert!(s.mean > s.median, "the outlier pulls the mean up");
 /// # Ok::<(), sz_stats::StatError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,
@@ -115,7 +118,10 @@ impl Summary {
     /// observations and [`StatError::NonFinite`] for NaN/infinite data.
     pub fn from_slice(data: &[f64]) -> Result<Self, StatError> {
         if data.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: data.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: data.len(),
+            });
         }
         check_finite(data)?;
         Ok(Summary {
@@ -175,7 +181,10 @@ mod tests {
             Summary::from_slice(&[1.0]),
             Err(StatError::TooFewSamples { .. })
         ));
-        assert_eq!(Summary::from_slice(&[1.0, f64::NAN]), Err(StatError::NonFinite));
+        assert_eq!(
+            Summary::from_slice(&[1.0, f64::NAN]),
+            Err(StatError::NonFinite)
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl Normal {
             -3.969_683_028_665_376e1,
             2.209_460_984_245_205e2,
             -2.759_285_104_469_687e2,
-            1.383_577_518_672_690e2,
+            1.383_577_518_672_69e2,
             -3.066_479_806_614_716e1,
             2.506_628_277_459_239,
         ];
@@ -257,7 +257,19 @@ mod tests {
 
     #[test]
     fn normal_quantile_round_trip() {
-        for p in [1e-10, 1e-6, 0.001, 0.01, 0.05, 0.3, 0.5, 0.7, 0.95, 0.999, 1.0 - 1e-9] {
+        for p in [
+            1e-10,
+            1e-6,
+            0.001,
+            0.01,
+            0.05,
+            0.3,
+            0.5,
+            0.7,
+            0.95,
+            0.999,
+            1.0 - 1e-9,
+        ] {
             let z = Normal::quantile(p);
             close(Normal::cdf(z), p, 1e-12);
         }

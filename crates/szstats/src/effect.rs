@@ -12,7 +12,7 @@ use crate::error::check_finite;
 use crate::StatError;
 
 /// A two-sided confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Point estimate (the sample mean or mean difference).
     pub estimate: f64,
@@ -80,16 +80,27 @@ fn t_critical(df: f64, confidence: f64) -> f64 {
 /// # Ok::<(), sz_stats::StatError>(())
 /// ```
 pub fn mean_ci(data: &[f64], confidence: f64) -> Result<ConfidenceInterval, StatError> {
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
     if data.len() < 2 {
-        return Err(StatError::TooFewSamples { needed: 2, got: data.len() });
+        return Err(StatError::TooFewSamples {
+            needed: 2,
+            got: data.len(),
+        });
     }
     check_finite(data)?;
     let n = data.len() as f64;
     let m = mean(data);
     let se = (sample_variance(data) / n).sqrt();
     let t = t_critical(n - 1.0, confidence);
-    Ok(ConfidenceInterval { estimate: m, lo: m - t * se, hi: m + t * se, confidence })
+    Ok(ConfidenceInterval {
+        estimate: m,
+        lo: m - t * se,
+        hi: m + t * se,
+        confidence,
+    })
 }
 
 /// Welch confidence interval for the difference of means
@@ -100,10 +111,16 @@ pub fn mean_ci(data: &[f64], confidence: f64) -> Result<ConfidenceInterval, Stat
 /// Same conditions as [`mean_ci`]; additionally
 /// [`StatError::ZeroVariance`] when both samples are constant.
 pub fn diff_ci(a: &[f64], b: &[f64], confidence: f64) -> Result<ConfidenceInterval, StatError> {
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
     for s in [a, b] {
         if s.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: s.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: s.len(),
+            });
         }
         check_finite(s)?;
     }
@@ -113,12 +130,16 @@ pub fn diff_ci(a: &[f64], b: &[f64], confidence: f64) -> Result<ConfidenceInterv
     if se2 <= 0.0 {
         return Err(StatError::ZeroVariance);
     }
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let d = mean(a) - mean(b);
     let t = t_critical(df, confidence);
     let se = se2.sqrt();
-    Ok(ConfidenceInterval { estimate: d, lo: d - t * se, hi: d + t * se, confidence })
+    Ok(ConfidenceInterval {
+        estimate: d,
+        lo: d - t * se,
+        hi: d + t * se,
+        confidence,
+    })
 }
 
 /// Cohen's d with pooled standard deviation: the standardized effect
@@ -132,13 +153,16 @@ pub fn diff_ci(a: &[f64], b: &[f64], confidence: f64) -> Result<ConfidenceInterv
 pub fn cohens_d(a: &[f64], b: &[f64]) -> Result<f64, StatError> {
     for s in [a, b] {
         if s.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: s.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: s.len(),
+            });
         }
         check_finite(s)?;
     }
     let (na, nb) = (a.len() as f64, b.len() as f64);
-    let pooled = ((na - 1.0) * sample_variance(a) + (nb - 1.0) * sample_variance(b))
-        / (na + nb - 2.0);
+    let pooled =
+        ((na - 1.0) * sample_variance(a) + (nb - 1.0) * sample_variance(b)) / (na + nb - 2.0);
     if pooled <= 0.0 {
         return Err(StatError::ZeroVariance);
     }
@@ -164,7 +188,10 @@ mod tests {
         let ci90 = mean_ci(&data, 0.90).unwrap();
         let ci99 = mean_ci(&data, 0.99).unwrap();
         assert!(ci90.lo < ci90.estimate && ci90.estimate < ci90.hi);
-        assert!(ci99.margin() > ci90.margin(), "higher confidence = wider interval");
+        assert!(
+            ci99.margin() > ci90.margin(),
+            "higher confidence = wider interval"
+        );
         assert_eq!(ci90.estimate, ci99.estimate);
     }
 
@@ -198,8 +225,14 @@ mod tests {
 
     #[test]
     fn error_paths() {
-        assert!(matches!(mean_ci(&[1.0], 0.95), Err(StatError::TooFewSamples { .. })));
-        assert_eq!(cohens_d(&[1.0, 1.0], &[1.0, 1.0]), Err(StatError::ZeroVariance));
+        assert!(matches!(
+            mean_ci(&[1.0], 0.95),
+            Err(StatError::TooFewSamples { .. })
+        ));
+        assert_eq!(
+            cohens_d(&[1.0, 1.0], &[1.0, 1.0]),
+            Err(StatError::ZeroVariance)
+        );
     }
 
     #[test]

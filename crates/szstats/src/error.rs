@@ -63,7 +63,10 @@ mod tests {
             StatError::TooFewSamples { needed: 3, got: 1 }.to_string(),
             "needs at least 3 samples, got 1"
         );
-        assert_eq!(StatError::ZeroVariance.to_string(), "all observations are identical");
+        assert_eq!(
+            StatError::ZeroVariance.to_string(),
+            "all observations are identical"
+        );
     }
 
     #[test]

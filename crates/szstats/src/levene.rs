@@ -10,7 +10,7 @@ use crate::desc::median;
 use crate::StatError;
 
 /// Result of the Brown–Forsythe (median-centered Levene) test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeveneResult {
     /// The F statistic of the ANOVA on absolute median deviations.
     pub f: f64,
@@ -46,12 +46,18 @@ pub struct LeveneResult {
 /// ```
 pub fn brown_forsythe(groups: &[Vec<f64>]) -> Result<LeveneResult, StatError> {
     if groups.len() < 2 {
-        return Err(StatError::TooFewSamples { needed: 2, got: groups.len() });
+        return Err(StatError::TooFewSamples {
+            needed: 2,
+            got: groups.len(),
+        });
     }
     let mut deviations = Vec::with_capacity(groups.len());
     for g in groups {
         if g.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: g.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: g.len(),
+            });
         }
         let med = median(g);
         deviations.push(g.iter().map(|v| (v - med).abs()).collect::<Vec<f64>>());

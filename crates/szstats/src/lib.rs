@@ -61,7 +61,7 @@ pub use wilcoxon::{mann_whitney_u, wilcoxon_signed_rank, RankTest};
 pub const ALPHA: f64 = 0.05;
 
 /// Outcome of a two-sided hypothesis test at a given significance level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The null hypothesis is rejected at the chosen `α`.
     Significant,

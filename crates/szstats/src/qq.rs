@@ -5,7 +5,7 @@ use crate::error::check_finite;
 use crate::{mean, sample_std, StatError};
 
 /// One point of a QQ plot.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QqPoint {
     /// Theoretical standard-normal quantile (x axis).
     pub theoretical: f64,

@@ -9,7 +9,7 @@ use crate::error::check_finite;
 use crate::StatError;
 
 /// Result of the Shapiro–Wilk normality test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShapiroWilk {
     /// The W statistic, in `(0, 1]`; values near 1 are consistent with
     /// normality.
@@ -75,8 +75,12 @@ pub fn shapiro_wilk(data: &[f64]) -> Result<ShapiroWilk, StatError> {
     if n == 3 {
         a[0] = std::f64::consts::FRAC_1_SQRT_2;
     } else {
-        const C1: [f64; 6] = [0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056];
-        const C2: [f64; 6] = [0.0, 0.042_981, -0.293_762, -1.752_461, 5.682_633, -3.582_633];
+        const C1: [f64; 6] = [
+            0.0, 0.221_157, -0.147_981, -2.071_190, 4.434_685, -2.706_056,
+        ];
+        const C2: [f64; 6] = [
+            0.0, 0.042_981, -0.293_762, -1.752_461, 5.682_633, -3.582_633,
+        ];
         let an25 = an + 0.25;
         let mut summ2 = 0.0;
         for (k, ak) in a.iter_mut().enumerate() {
@@ -138,7 +142,7 @@ pub fn shapiro_wilk(data: &[f64]) -> Result<ShapiroWilk, StatError> {
     // Significance level.
     let p_value = if n == 3 {
         let pi6 = 1.909_859_317_102_744; // 6 / pi
-        let stqr = 1.047_197_551_196_598; // asin(sqrt(3/4))
+        let stqr = std::f64::consts::FRAC_PI_3; // asin(sqrt(3/4))
         (pi6 * (w.sqrt().asin() - stqr)).clamp(0.0, 1.0)
     } else {
         const C3: [f64; 4] = [0.544, -0.399_78, 0.025_054, -6.714e-4];
@@ -187,7 +191,7 @@ mod tests {
     fn heavy_skew_is_rejected() {
         // Exponential-looking data, n = 30: decisively non-normal.
         let data: Vec<f64> = (1..=30)
-            .map(|i| -((1.0 - (i as f64 - 0.5) / 30.0) as f64).ln())
+            .map(|i| -(1.0 - (i as f64 - 0.5) / 30.0).ln())
             .collect();
         let r = shapiro_wilk(&data).unwrap();
         assert!(r.p_value < 0.01, "p = {}", r.p_value);
@@ -246,9 +250,14 @@ mod tests {
             Err(StatError::TooFewSamples { .. })
         ));
         assert_eq!(shapiro_wilk(&[5.0; 10]), Err(StatError::ZeroVariance));
-        assert_eq!(shapiro_wilk(&[1.0, 2.0, f64::NAN]), Err(StatError::NonFinite));
+        assert_eq!(
+            shapiro_wilk(&[1.0, 2.0, f64::NAN]),
+            Err(StatError::NonFinite)
+        );
         let big = vec![0.0; 5001];
-        assert!(matches!(big.as_slice(), _s if matches!(shapiro_wilk(&big), Err(StatError::TooManySamples { .. }))));
+        assert!(
+            matches!(big.as_slice(), _s if matches!(shapiro_wilk(&big), Err(StatError::TooManySamples { .. })))
+        );
     }
 
     #[test]

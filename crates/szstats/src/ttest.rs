@@ -6,7 +6,7 @@ use crate::error::check_finite;
 use crate::StatError;
 
 /// Result of a t-test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TTest {
     /// The t statistic.
     pub t: f64,
@@ -21,7 +21,10 @@ pub struct TTest {
 fn validate_pair(a: &[f64], b: &[f64]) -> Result<(), StatError> {
     for s in [a, b] {
         if s.len() < 2 {
-            return Err(StatError::TooFewSamples { needed: 2, got: s.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 2,
+                got: s.len(),
+            });
         }
         check_finite(s)?;
     }
@@ -61,10 +64,14 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTest, StatError> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p_value = StudentT::new(df).two_sided_p(t);
-    Ok(TTest { t, df, p_value, mean_diff: ma - mb })
+    Ok(TTest {
+        t,
+        df,
+        p_value,
+        mean_diff: ma - mb,
+    })
 }
 
 /// Student's two-sample t-test with pooled variance (equal variances
@@ -85,7 +92,12 @@ pub fn student_t_test(a: &[f64], b: &[f64]) -> Result<TTest, StatError> {
     }
     let t = (ma - mb) / (pooled * (1.0 / na + 1.0 / nb)).sqrt();
     let p_value = StudentT::new(df).two_sided_p(t);
-    Ok(TTest { t, df, p_value, mean_diff: ma - mb })
+    Ok(TTest {
+        t,
+        df,
+        p_value,
+        mean_diff: ma - mb,
+    })
 }
 
 /// Paired t-test on per-index differences `a[i] - b[i]`.
@@ -109,7 +121,12 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTest, StatError> {
     let t = md / (vd / n).sqrt();
     let df = n - 1.0;
     let p_value = StudentT::new(df).two_sided_p(t);
-    Ok(TTest { t, df, p_value, mean_diff: md })
+    Ok(TTest {
+        t,
+        df,
+        p_value,
+        mean_diff: md,
+    })
 }
 
 #[cfg(test)]

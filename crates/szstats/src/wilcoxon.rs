@@ -9,7 +9,7 @@ use crate::error::check_finite;
 use crate::StatError;
 
 /// Result of a rank-based test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankTest {
     /// The test statistic (W⁺ for signed-rank, U for Mann–Whitney).
     pub statistic: f64,
@@ -106,7 +106,11 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<RankTest, StatError>
     // Continuity correction toward the mean.
     let z = (delta - 0.5 * delta.signum()) / var.sqrt();
     let p_value = (2.0 * Normal::sf(z.abs())).min(1.0);
-    Ok(RankTest { statistic: w_plus, z, p_value })
+    Ok(RankTest {
+        statistic: w_plus,
+        z,
+        p_value,
+    })
 }
 
 /// Mann–Whitney U test (Wilcoxon rank-sum) on two independent samples.
@@ -122,7 +126,10 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<RankTest, StatError>
 pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<RankTest, StatError> {
     for s in [a, b] {
         if s.len() < 4 {
-            return Err(StatError::TooFewSamples { needed: 4, got: s.len() });
+            return Err(StatError::TooFewSamples {
+                needed: 4,
+                got: s.len(),
+            });
         }
         check_finite(s)?;
     }
@@ -140,7 +147,11 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<RankTest, StatError> {
     let delta = u - mean;
     let z = (delta - 0.5 * delta.signum()) / var.sqrt();
     let p_value = (2.0 * Normal::sf(z.abs())).min(1.0);
-    Ok(RankTest { statistic: u, z, p_value })
+    Ok(RankTest {
+        statistic: u,
+        z,
+        p_value,
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The layout-engine abstraction and a deterministic default.
 
 use sz_ir::{FuncId, GlobalId, Program};
-use sz_machine::MemorySystem;
+use sz_machine::{MemorySystem, PerfCounters};
 
 /// One live activation as seen by a stack walk: which function, and
 /// the code base its return address points into.
@@ -64,6 +64,18 @@ pub trait LayoutEngine {
 
     /// Engine name for reports.
     fn name(&self) -> &'static str;
+
+    /// Cumulative counter snapshots taken at each completed
+    /// randomization-period boundary, in boundary order.
+    ///
+    /// Engines that re-randomize record `*mem.counters()` every time a
+    /// period ends; the VM turns consecutive snapshots into per-period
+    /// deltas on the final [`crate::RunReport`]. Engines with a single
+    /// immutable layout (the default) report no interior boundaries,
+    /// so the whole run is one period.
+    fn period_marks(&self) -> &[PerfCounters] {
+        &[]
+    }
 }
 
 /// Deterministic, unrandomized layout: functions placed sequentially

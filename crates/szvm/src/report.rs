@@ -1,9 +1,9 @@
 //! Run results, limits, and errors.
 
-use sz_machine::{PerfCounters, SimTime};
+use sz_machine::{PerfCounters, PeriodSnapshot, SimTime};
 
 /// Execution limits protecting against runaway programs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimits {
     /// Maximum instructions to execute before aborting.
     pub max_instructions: u64,
@@ -13,12 +13,15 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_instructions: 2_000_000_000, max_stack_depth: 100_000 }
+        RunLimits {
+            max_instructions: 2_000_000_000,
+            max_stack_depth: 100_000,
+        }
     }
 }
 
 /// The result of one complete program execution.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -28,6 +31,10 @@ pub struct RunReport {
     pub time: SimTime,
     /// Full hardware event counts.
     pub counters: PerfCounters,
+    /// Per-randomization-period counter deltas (one entry covering the
+    /// whole run for engines that never re-randomize). The sum of the
+    /// period counters always equals [`RunReport::counters`].
+    pub periods: Vec<PeriodSnapshot>,
     /// The entry function's return value.
     pub return_value: Option<u64>,
     /// Which layout engine produced this run.

@@ -98,15 +98,46 @@ impl<'p> Vm<'p> {
         }
 
         let counters = *mem.counters();
+        let periods = assemble_periods(engine.period_marks(), &counters);
         Ok(RunReport {
             cycles: counters.cycles,
             instructions: counters.instructions,
             time: config.time_of(counters.cycles),
             counters,
+            periods,
             return_value,
             engine: engine.name().to_string(),
         })
     }
+}
+
+/// Converts an engine's cumulative boundary snapshots into per-period
+/// deltas, closing the final (possibly partial) period at the run's
+/// end. Every run has at least one period.
+fn assemble_periods(
+    marks: &[sz_machine::PerfCounters],
+    end: &sz_machine::PerfCounters,
+) -> Vec<sz_machine::PeriodSnapshot> {
+    let mut periods = Vec::with_capacity(marks.len() + 1);
+    let mut prev = sz_machine::PerfCounters::default();
+    for mark in marks {
+        periods.push(sz_machine::PeriodSnapshot {
+            index: periods.len() as u32,
+            start_cycles: prev.cycles,
+            end_cycles: mark.cycles,
+            counters: mark.delta_since(&prev),
+        });
+        prev = *mark;
+    }
+    if periods.is_empty() || *end != prev {
+        periods.push(sz_machine::PeriodSnapshot {
+            index: periods.len() as u32,
+            start_cycles: prev.cycles,
+            end_cycles: end.cycles,
+            counters: end.delta_since(&prev),
+        });
+    }
+    periods
 }
 
 /// Mutable execution state, split out so borrows stay simple.
@@ -136,7 +167,9 @@ impl Exec<'_, '_> {
         ret_to: Option<Reg>,
     ) -> Result<(), VmError> {
         if self.stack.len() >= self.limits.max_stack_depth {
-            return Err(VmError::StackOverflow { limit: self.limits.max_stack_depth });
+            return Err(VmError::StackOverflow {
+                limit: self.limits.max_stack_depth,
+            });
         }
         // Re-randomization check fires at function entry, modelling the
         // trap STABILIZER plants at each function's first byte (§3.3).
@@ -174,7 +207,9 @@ impl Exec<'_, '_> {
     /// Returns the program's final value when the last frame returns.
     fn step(&mut self) -> Result<Option<u64>, VmError> {
         if self.mem.counters().instructions >= self.limits.max_instructions {
-            return Err(VmError::OutOfFuel { limit: self.limits.max_instructions });
+            return Err(VmError::OutOfFuel {
+                limit: self.limits.max_instructions,
+            });
         }
 
         let top = self.stack.len() - 1;
@@ -235,13 +270,21 @@ impl Exec<'_, '_> {
                 self.mem.store(addr);
                 self.values.write(addr, v);
             }
-            Instr::LoadGlobal { dst, global, offset } => {
+            Instr::LoadGlobal {
+                dst,
+                global,
+                offset,
+            } => {
                 let off = self.operand(&self.stack[top], offset);
                 let addr = self.engine.global_base(global).wrapping_add(off);
                 self.mem.load(addr);
                 self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
             }
-            Instr::StoreGlobal { src, global, offset } => {
+            Instr::StoreGlobal {
+                src,
+                global,
+                offset,
+            } => {
                 let frame = &self.stack[top];
                 let v = self.operand(frame, src);
                 let off = self.operand(frame, offset);
@@ -295,7 +338,11 @@ impl Exec<'_, '_> {
                 self.stack[top].instr = 0;
                 Ok(None)
             }
-            Terminator::Branch { cond, taken, not_taken } => {
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
                 let c = self.operand(&self.stack[top], cond) != 0;
                 self.mem.branch(pc, c);
                 let target = if c { taken } else { not_taken };
@@ -505,7 +552,10 @@ mod tests {
             .run(
                 &mut engine,
                 MachineConfig::tiny(),
-                RunLimits { max_instructions: 1000, max_stack_depth: 10 },
+                RunLimits {
+                    max_instructions: 1000,
+                    max_stack_depth: 10,
+                },
             )
             .unwrap_err();
         assert_eq!(err, VmError::OutOfFuel { limit: 1000 });
@@ -529,7 +579,10 @@ mod tests {
             .run(
                 &mut engine,
                 MachineConfig::tiny(),
-                RunLimits { max_instructions: 10_000_000, max_stack_depth: 64 },
+                RunLimits {
+                    max_instructions: 10_000_000,
+                    max_stack_depth: 64,
+                },
             )
             .unwrap_err();
         assert_eq!(err, VmError::StackOverflow { limit: 64 });

@@ -75,7 +75,7 @@ pub fn build(scale: Scale) -> Program {
     });
     // Checksum: center cell, bit pattern truncated.
     let field = m.load_global(field_ptr, 0);
-    let mid_off = ((cells / 2) * 8) as i64;
+    let mid_off = (cells / 2) * 8;
     let center = m.load_ptr(field, mid_off);
     let sum = m.alu(AluOp::Shr, center, 32);
     m.free(a1);

@@ -125,6 +125,10 @@ mod tests {
         let r = Vm::new(&prog)
             .run(&mut e, MachineConfig::tiny(), RunLimits::default())
             .unwrap();
-        assert!(r.counters.l1i_misses > 50, "only {} L1I misses", r.counters.l1i_misses);
+        assert!(
+            r.counters.l1i_misses > 50,
+            "only {} L1I misses",
+            r.counters.l1i_misses
+        );
     }
 }

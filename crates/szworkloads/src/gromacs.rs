@@ -71,7 +71,7 @@ pub fn build(scale: Scale) -> Program {
             f.store_global(fs, io, total);
         });
     });
-    let mid = ((particles / 2) * 8) as i64;
+    let mid = (particles / 2) * 8;
     let out = m.load_global(fs, mid);
     let sum = m.alu(AluOp::Shr, out, 30);
     m.ret(Some(sum.into()));

@@ -98,9 +98,24 @@ mod tests {
     fn suite_matches_paper_names() {
         let names: Vec<&str> = suite().iter().map(|s| s.name).collect();
         for expected in [
-            "astar", "bzip2", "cactusADM", "gcc", "gobmk", "gromacs", "h264ref", "hmmer",
-            "lbm", "libquantum", "mcf", "milc", "namd", "perlbench", "sjeng", "sphinx3",
-            "wrf", "zeusmp",
+            "astar",
+            "bzip2",
+            "cactusADM",
+            "gcc",
+            "gobmk",
+            "gromacs",
+            "h264ref",
+            "hmmer",
+            "lbm",
+            "libquantum",
+            "mcf",
+            "milc",
+            "namd",
+            "perlbench",
+            "sjeng",
+            "sphinx3",
+            "wrf",
+            "zeusmp",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -122,7 +137,13 @@ mod tests {
             .iter()
             .map(|s| (s.build)(Scale::Small).functions.len())
             .collect();
-        assert!(fn_counts.iter().max().unwrap() >= &20, "gcc-likes need many functions");
-        assert!(fn_counts.iter().min().unwrap() <= &8, "lbm-likes need few functions");
+        assert!(
+            fn_counts.iter().max().unwrap() >= &20,
+            "gcc-likes need many functions"
+        );
+        assert!(
+            fn_counts.iter().min().unwrap() <= &8,
+            "lbm-likes need few functions"
+        );
     }
 }

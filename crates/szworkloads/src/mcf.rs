@@ -114,7 +114,11 @@ mod tests {
         let miss_rate = r.counters.l1d_misses as f64
             / (r.counters.l1d_misses + 1).max(r.instructions / 4) as f64;
         // mcf's defining trait: it misses a lot.
-        assert!(r.counters.l1d_misses > 100, "only {} misses", r.counters.l1d_misses);
+        assert!(
+            r.counters.l1d_misses > 100,
+            "only {} misses",
+            r.counters.l1d_misses
+        );
         let _ = miss_rate;
     }
 }

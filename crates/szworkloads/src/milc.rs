@@ -82,7 +82,10 @@ mod tests {
         let r = Vm::new(&prog)
             .run(&mut e, MachineConfig::tiny(), RunLimits::default())
             .unwrap();
-        assert!(r.counters.mispredict_rate() < 0.15, "regular strides predict well");
+        assert!(
+            r.counters.mispredict_rate() < 0.15,
+            "regular strides predict well"
+        );
         assert!(r.return_value.is_some());
     }
 }

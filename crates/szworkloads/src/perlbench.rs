@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn heap_churn_and_dispatch() {
         let prog = build(Scale::Tiny);
-        assert!(prog.functions.len() >= HANDLERS + 1);
+        assert!(prog.functions.len() > HANDLERS);
         let mut e = SimpleLayout::new();
         let r = Vm::new(&prog)
             .run(&mut e, MachineConfig::tiny(), RunLimits::default())

@@ -101,6 +101,10 @@ mod tests {
         let r = Vm::new(&prog)
             .run(&mut e, MachineConfig::tiny(), RunLimits::default())
             .unwrap();
-        assert!(r.counters.cpi() > 1.5, "FP latency should show: CPI {}", r.counters.cpi());
+        assert!(
+            r.counters.cpi() > 1.5,
+            "FP latency should show: CPI {}",
+            r.counters.cpi()
+        );
     }
 }

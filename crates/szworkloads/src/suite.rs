@@ -136,7 +136,10 @@ pub fn suite() -> Vec<BenchmarkSpec> {
 /// Builds a benchmark by name (in naive frontend form), if it exists
 /// in the suite.
 pub fn build(name: &str, scale: Scale) -> Option<Program> {
-    suite().into_iter().find(|s| s.name == name).map(|s| s.program(scale))
+    suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| s.program(scale))
 }
 
 #[cfg(test)]

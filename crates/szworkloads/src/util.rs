@@ -4,7 +4,7 @@ use sz_ir::{AluOp, FunctionBuilder, Instr, Operand, Program, Reg};
 
 /// Workload size: all benchmarks scale their loop counts and data
 /// footprints from the same knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Minimal: unit tests and smoke checks (sub-second suites).
     Tiny,
@@ -114,28 +114,27 @@ pub fn naive_codegen(p: &mut Program) {
                     // Find the next in-block use of dst after i.
                     let next_use = block.instrs[i + 1..]
                         .iter()
-                        .position(|ins| {
-                            ins.uses().contains(&dst)
-                                && ins.def() != Some(dst)
-                        })
+                        .position(|ins| ins.uses().contains(&dst) && ins.def() != Some(dst))
                         .map(|k| i + 1 + k);
                     // Only duplicate if no redefinition of dst or the
                     // operands occurs before that use.
                     if let Some(u) = next_use {
-                        let clobbered = block.instrs[i + 1..u].iter().any(|ins| {
-                            match ins.def() {
-                                Some(d) => {
-                                    d == dst
-                                        || a == Operand::Reg(d)
-                                        || b == Operand::Reg(d)
-                                }
-                                None => false,
-                            }
+                        let clobbered = block.instrs[i + 1..u].iter().any(|ins| match ins.def() {
+                            Some(d) => d == dst || a == Operand::Reg(d) || b == Operand::Reg(d),
+                            None => false,
                         });
                         if !clobbered {
                             let scratch = Reg(f.num_regs);
                             f.num_regs += 1;
-                            block.instrs.insert(i + 1, Instr::Alu { dst: scratch, op, a, b });
+                            block.instrs.insert(
+                                i + 1,
+                                Instr::Alu {
+                                    dst: scratch,
+                                    op,
+                                    a,
+                                    b,
+                                },
+                            );
                             replace_use(&mut block.instrs[u + 1], dst, scratch);
                             i += 2;
                             continue;
@@ -150,6 +149,9 @@ pub fn naive_codegen(p: &mut Program) {
 }
 
 /// Rewrites the first read of `from` in `instr` to `to`.
+// Collapsing these ifs into match guards would run `swap_op`'s side
+// effect during arm selection; keep the mutation inside the arm body.
+#[allow(clippy::collapsible_match)]
 fn replace_use(instr: &mut Instr, from: Reg, to: Reg) {
     let swap_op = |o: &mut Operand| {
         if *o == Operand::Reg(from) {

@@ -114,7 +114,13 @@ mod tests {
         let r = Vm::new(&prog)
             .run(&mut e, MachineConfig::tiny(), RunLimits::default())
             .unwrap();
-        assert!(r.counters.l1d_misses > 20, "three streamed fields must miss");
-        assert!(r.counters.mispredict_rate() < 0.2, "stencil branches are regular");
+        assert!(
+            r.counters.l1d_misses > 20,
+            "three streamed fields must miss"
+        );
+        assert!(
+            r.counters.mispredict_rate() < 0.2,
+            "stencil branches are regular"
+        );
     }
 }

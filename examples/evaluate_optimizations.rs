@@ -17,10 +17,19 @@ fn main() {
     // A representative slice of the suite so the example finishes in
     // about a minute; drop the filter to run all 18.
     opts.benchmarks = Some(
-        ["astar", "bzip2", "gcc", "hmmer", "libquantum", "mcf", "milc", "sphinx3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "astar",
+            "bzip2",
+            "gcc",
+            "hmmer",
+            "libquantum",
+            "mcf",
+            "milc",
+            "sphinx3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
 
     let rows = fig7::run(&opts);

@@ -25,10 +25,7 @@ fn main() {
             link.summary.max * 1e3,
             link.swing * 100.0
         );
-        println!(
-            "{:<8} 12 env sizes:   swing {:+.1}%",
-            "", env.swing * 100.0
-        );
+        println!("{:<8} 12 env sizes:   swing {:+.1}%", "", env.swing * 100.0);
     }
     println!(
         "\n(The paper reports up to 57% from link order alone, and cites\n\

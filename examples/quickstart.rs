@@ -41,7 +41,11 @@ fn main() {
         "Shapiro-Wilk: W = {:.4}, p = {:.3} -> {}",
         sw.w,
         sw.p_value,
-        if sw.p_value >= 0.05 { "consistent with a normal distribution" } else { "non-normal" }
+        if sw.p_value >= 0.05 {
+            "consistent with a normal distribution"
+        } else {
+            "non-normal"
+        }
     );
 
     // 4. Evaluate a change: does -O2 beat -O1 on this benchmark?

@@ -1,0 +1,81 @@
+//! Thread-count invariance of the experiment engine.
+//!
+//! The in-tree pool (`sz_harness::pool`) claims run indices atomically
+//! but reassembles results *by index*, and run `i` always derives its
+//! seed from `seed_base + i` — so the sample vector an experiment
+//! produces must be bit-identical no matter how many worker threads
+//! execute it. These tests pin that contract at the public API level;
+//! the pool's own unit tests cover the scheduling edge cases.
+
+use stabilizer::Config;
+use sz_harness::pool::run_indexed;
+use sz_harness::runner::{stabilized_samples, ExperimentOptions};
+use sz_workloads::Scale;
+
+fn opts_with_threads(threads: usize) -> ExperimentOptions {
+    let mut o = ExperimentOptions::quick();
+    o.threads = threads;
+    o
+}
+
+/// The acceptance check: identical sample vectors for 1 and 8 threads
+/// (and 2, while we're at it), compared bit-for-bit.
+#[test]
+fn stabilized_samples_are_identical_across_thread_counts() {
+    let program = sz_workloads::build("bzip2", Scale::Tiny).unwrap();
+    let runs = 12; // more runs than any thread count so work actually interleaves
+    let baseline = stabilized_samples(&program, &opts_with_threads(1), Config::default(), runs);
+    assert_eq!(baseline.len(), runs);
+    for threads in [2, 8] {
+        let samples = stabilized_samples(
+            &program,
+            &opts_with_threads(threads),
+            Config::default(),
+            runs,
+        );
+        let eq = baseline.len() == samples.len()
+            && baseline
+                .iter()
+                .zip(&samples)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            eq,
+            "threads={threads} changed the samples:\n  1 thread: {baseline:?}\n  {threads} threads: {samples:?}"
+        );
+    }
+}
+
+/// Fewer jobs than workers: the pool must not deadlock, drop, or
+/// duplicate runs when most workers find the queue already empty.
+#[test]
+fn fewer_runs_than_threads_still_complete_in_order() {
+    let program = sz_workloads::build("mcf", Scale::Tiny).unwrap();
+    let few = stabilized_samples(&program, &opts_with_threads(8), Config::default(), 3);
+    let one = stabilized_samples(&program, &opts_with_threads(1), Config::default(), 3);
+    assert_eq!(few.len(), 3);
+    assert_eq!(
+        few.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        one.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+    );
+}
+
+/// Zero runs is a valid request and yields an empty vector.
+#[test]
+fn zero_runs_yield_no_samples() {
+    let program = sz_workloads::build("lbm", Scale::Tiny).unwrap();
+    let none = stabilized_samples(&program, &opts_with_threads(8), Config::default(), 0);
+    assert!(none.is_empty());
+}
+
+/// The same invariants hold for the raw pool with a job whose result
+/// depends only on its index.
+#[test]
+fn raw_pool_preserves_order_for_every_thread_count() {
+    let expected: Vec<u64> = (0..40u64).map(|i| i * i).collect();
+    for threads in [1, 2, 8, 32] {
+        let got = run_indexed(threads, 40, |i| (i as u64) * (i as u64));
+        assert_eq!(got, expected, "threads={threads}");
+    }
+    assert!(run_indexed(8, 0, |i| i).is_empty());
+    assert_eq!(run_indexed(8, 2, |i| i), vec![0, 1]);
+}

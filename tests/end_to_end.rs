@@ -28,7 +28,11 @@ fn stabilized_execution_preserves_benchmark_results() {
             .run(&mut engine, machine, RunLimits::default())
             .unwrap()
             .return_value;
-        assert_eq!(expected, got, "{} result changed under STABILIZER", spec.name);
+        assert_eq!(
+            expected, got,
+            "{} result changed under STABILIZER",
+            spec.name
+        );
     }
 }
 
@@ -77,7 +81,9 @@ fn stabilizer_run_report_is_reproducible_across_engines() {
     let (prepared, info) = prepare_program(&program);
     let run = |seed| {
         let mut e = Stabilizer::new(Config::default().with_seed(seed), &machine, &info);
-        Vm::new(&prepared).run(&mut e, machine, RunLimits::default()).unwrap()
+        Vm::new(&prepared)
+            .run(&mut e, machine, RunLimits::default())
+            .unwrap()
     };
     assert_eq!(run(5).counters, run(5).counters);
     assert_ne!(run(5).cycles, run(6).cycles);
@@ -92,5 +98,9 @@ fn shapiro_wilk_accepts_rerandomized_times_on_a_clean_benchmark() {
     let program = sz_workloads::build("milc", Scale::Tiny).unwrap();
     let samples = runner::stabilized_samples(&program, &opts, Config::default(), opts.runs);
     let sw = shapiro_wilk(&samples).unwrap();
-    assert!(sw.p_value > 0.001, "unexpectedly strong non-normality: p = {}", sw.p_value);
+    assert!(
+        sw.p_value > 0.001,
+        "unexpectedly strong non-normality: p = {}",
+        sw.p_value
+    );
 }

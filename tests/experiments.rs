@@ -64,7 +64,11 @@ fn nist_comparison_has_the_papers_shape() {
         sh.passes(),
         lr.passes()
     );
-    assert!(sh.passes() >= 6, "shuffle(256) passed only {}/7", sh.passes());
+    assert!(
+        sh.passes() >= 6,
+        "shuffle(256) passed only {}/7",
+        sh.passes()
+    );
 }
 
 #[test]

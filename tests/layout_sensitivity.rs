@@ -115,8 +115,8 @@ fn moving_one_global_changes_execution_time() {
     // so add the stack/linkage line pressure by choosing the exact
     // stack set) vs somewhere harmless.
     let (t_far, m_far) = cycles_with_b_at(0x100_0040); // next line: no conflict
-    let (t_alias, m_alias) = cycles_with_b_at(0x7FFF_0000 - 0x8 & !0x3F); // stack's set
-    // The two layouts run the same instructions...
+    let (t_alias, m_alias) = cycles_with_b_at((0x7FFF_0000 - 0x8) & !0x3F); // stack's set
+                                                                            // The two layouts run the same instructions...
     assert_ne!(
         (t_far, m_far),
         (t_alias, m_alias),
@@ -130,11 +130,16 @@ fn semantics_are_layout_independent_even_when_time_is_not() {
     let machine = MachineConfig::tiny();
     let run = |b: u64| {
         let mut e = PinnedLayout::new(b);
-        Vm::new(&program).run(&mut e, machine, RunLimits::default()).unwrap()
+        Vm::new(&program)
+            .run(&mut e, machine, RunLimits::default())
+            .unwrap()
     };
     let x = run(0x100_0040);
     let y = run(0x300_0000);
-    assert_eq!(x.return_value, y.return_value, "results never depend on layout");
+    assert_eq!(
+        x.return_value, y.return_value,
+        "results never depend on layout"
+    );
 }
 
 #[test]

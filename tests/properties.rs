@@ -1,90 +1,123 @@
 //! Property-based cross-crate tests: a random-program differential
 //! fuzzer for the optimizer and the randomizing runtime, plus
 //! allocator and statistics invariants.
-
-use proptest::prelude::*;
+//!
+//! The generators are hand-rolled on [`sz_rng::SplitMix64`] so the
+//! suite has no dependencies outside the workspace: each property runs
+//! a fixed number of cases from a fixed seed, which also makes every
+//! failure trivially reproducible (the failing case index *is* the
+//! repro).
 
 use stabilizer::{prepare_program, Config, Stabilizer};
 use sz_heap::{Allocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator};
 use sz_ir::{AluOp, Block, BlockId, FuncId, Function, Instr, Operand, Program, Reg, Terminator};
 use sz_machine::MachineConfig;
 use sz_opt::{optimize, OptLevel};
-use sz_rng::Marsaglia;
+use sz_rng::{Marsaglia, Rng, SplitMix64};
 use sz_vm::{RunLimits, SimpleLayout, Vm};
 
 /// Number of registers in generated functions.
 const REGS: u16 = 8;
 /// Stack slots in generated functions.
 const SLOTS: u32 = 4;
+/// Cases per property (matches the proptest suite this replaces).
+const CASES: u64 = 64;
 
-/// Strategy for one random (pure-ish) instruction.
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let reg = 0..REGS;
-    let operand = prop_oneof![
-        (0..REGS).prop_map(|r| Operand::Reg(Reg(r))),
-        (-100i64..100).prop_map(Operand::Imm),
+fn rng_for(property: &str, case: u64) -> SplitMix64 {
+    // Mix the property name in so distinct properties see distinct
+    // streams even at the same case index.
+    let tag: u64 = property.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    SplitMix64::new(tag ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn gen_operand(rng: &mut SplitMix64) -> Operand {
+    if rng.chance(0.5) {
+        Operand::Reg(Reg(rng.below(u64::from(REGS)) as u16))
+    } else {
+        Operand::Imm(rng.below(200) as i64 - 100)
+    }
+}
+
+fn gen_instr(rng: &mut SplitMix64) -> Instr {
+    const OPS: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::CmpLt,
+        AluOp::CmpEq,
     ];
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::CmpLt),
-        Just(AluOp::CmpEq),
-    ];
-    prop_oneof![
-        8 => (reg.clone(), op, operand.clone(), operand.clone())
-            .prop_map(|(d, op, a, b)| Instr::Alu { dst: Reg(d), op, a, b }),
-        2 => (reg.clone(), 0..SLOTS).prop_map(|(d, s)| Instr::LoadSlot { dst: Reg(d), slot: s }),
-        2 => (operand, 0..SLOTS).prop_map(|(src, s)| Instr::StoreSlot { src, slot: s }),
-        1 => (1u8..20).prop_map(|b| Instr::Nop { bytes: b }),
-    ]
+    // Same weighting as the original proptest strategy: 8/2/2/1.
+    match rng.below(13) {
+        0..=7 => Instr::Alu {
+            dst: Reg(rng.below(u64::from(REGS)) as u16),
+            op: OPS[rng.below(OPS.len() as u64) as usize],
+            a: gen_operand(rng),
+            b: gen_operand(rng),
+        },
+        8 | 9 => Instr::LoadSlot {
+            dst: Reg(rng.below(u64::from(REGS)) as u16),
+            slot: rng.below(u64::from(SLOTS)) as u32,
+        },
+        10 | 11 => Instr::StoreSlot {
+            src: gen_operand(rng),
+            slot: rng.below(u64::from(SLOTS)) as u32,
+        },
+        _ => Instr::Nop {
+            bytes: 1 + rng.below(19) as u8,
+        },
+    }
 }
 
 /// A structured random program: a chain of blocks with forward-only
 /// control flow (always terminates), ending in a return of r0.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (2usize..6, proptest::collection::vec(proptest::collection::vec(arb_instr(), 0..12), 2..6))
-        .prop_map(|(_, block_bodies)| {
-            let n = block_bodies.len();
-            let blocks: Vec<Block> = block_bodies
-                .into_iter()
-                .enumerate()
-                .map(|(i, instrs)| {
-                    let term = if i + 1 >= n {
-                        Terminator::Ret { value: Some(Operand::Reg(Reg(0))) }
-                    } else if i % 2 == 0 && i + 2 < n {
-                        Terminator::Branch {
-                            cond: Operand::Reg(Reg(1)),
-                            taken: BlockId((i + 1) as u32),
-                            not_taken: BlockId((i + 2) as u32),
-                        }
-                    } else {
-                        Terminator::Jump(BlockId((i + 1) as u32))
-                    };
-                    Block { instrs, term }
-                })
-                .collect();
-            Program {
-                name: "fuzz".into(),
-                functions: vec![Function {
-                    name: "main".into(),
-                    params: 0,
-                    num_regs: REGS,
-                    num_slots: SLOTS,
-                    blocks,
-                }],
-                globals: vec![],
-                entry: FuncId(0),
-            }
+fn gen_program(rng: &mut SplitMix64) -> Program {
+    let n = 2 + rng.below(4) as usize;
+    let blocks: Vec<Block> = (0..n)
+        .map(|i| {
+            let instrs = (0..rng.below(12)).map(|_| gen_instr(rng)).collect();
+            let term = if i + 1 >= n {
+                Terminator::Ret {
+                    value: Some(Operand::Reg(Reg(0))),
+                }
+            } else if i % 2 == 0 && i + 2 < n {
+                Terminator::Branch {
+                    cond: Operand::Reg(Reg(1)),
+                    taken: BlockId((i + 1) as u32),
+                    not_taken: BlockId((i + 2) as u32),
+                }
+            } else {
+                Terminator::Jump(BlockId((i + 1) as u32))
+            };
+            Block { instrs, term }
         })
-        .prop_filter("valid", |p| p.validate().is_ok())
+        .collect();
+    let p = Program {
+        name: "fuzz".into(),
+        functions: vec![Function {
+            name: "main".into(),
+            params: 0,
+            num_regs: REGS,
+            num_slots: SLOTS,
+            blocks,
+        }],
+        globals: vec![],
+        entry: FuncId(0),
+    };
+    assert_eq!(
+        p.validate(),
+        Ok(()),
+        "generator produced an invalid program"
+    );
+    p
 }
 
 fn run_simple(p: &Program) -> Option<u64> {
@@ -95,25 +128,30 @@ fn run_simple(p: &Program) -> Option<u64> {
         .return_value
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Differential test: every optimization level preserves the
-    /// result of every random program.
-    #[test]
-    fn optimizer_preserves_semantics(p in arb_program()) {
+/// Differential test: every optimization level preserves the result of
+/// every random program.
+#[test]
+fn optimizer_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = rng_for("optimizer_preserves_semantics", case);
+        let p = gen_program(&mut rng);
         let expected = run_simple(&p);
         for level in OptLevel::ALL {
             let o = optimize(&p, level);
-            prop_assert_eq!(o.validate(), Ok(()));
-            prop_assert_eq!(run_simple(&o), expected, "{} diverged", level);
+            assert_eq!(o.validate(), Ok(()), "case {case}");
+            assert_eq!(run_simple(&o), expected, "case {case}: {level} diverged");
         }
     }
+}
 
-    /// STABILIZER's transformation and randomizing runtime preserve the
-    /// result of every random program, for any seed.
-    #[test]
-    fn stabilizer_preserves_semantics(p in arb_program(), seed in 0u64..1000) {
+/// STABILIZER's transformation and randomizing runtime preserve the
+/// result of every random program, for any seed.
+#[test]
+fn stabilizer_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = rng_for("stabilizer_preserves_semantics", case);
+        let p = gen_program(&mut rng);
+        let seed = rng.below(1000);
         let expected = run_simple(&p);
         let machine = MachineConfig::tiny();
         let (prepared, info) = prepare_program(&p);
@@ -122,13 +160,19 @@ proptest! {
             .run(&mut engine, machine, RunLimits::default())
             .unwrap()
             .return_value;
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case} seed {seed}");
     }
+}
 
-    /// Allocators never hand out overlapping live blocks, under any
-    /// operation sequence.
-    #[test]
-    fn allocators_never_overlap(ops in proptest::collection::vec((1u64..500, any::<bool>()), 1..120)) {
+/// Allocators never hand out overlapping live blocks, under any
+/// operation sequence.
+#[test]
+fn allocators_never_overlap() {
+    for case in 0..CASES {
+        let mut rng = rng_for("allocators_never_overlap", case);
+        let ops: Vec<(u64, bool)> = (0..1 + rng.below(119))
+            .map(|_| (1 + rng.below(499), rng.chance(0.5)))
+            .collect();
         let allocators: Vec<Box<dyn Allocator>> = vec![
             Box::new(SegregatedAllocator::new(Region::new(0x10000, 1 << 28))),
             Box::new(TlsfAllocator::new(Region::new(0x10000, 1 << 28))),
@@ -147,46 +191,73 @@ proptest! {
                 } else {
                     let addr = a.malloc(size).unwrap();
                     for &(o, os) in &live {
-                        prop_assert!(addr + size <= o || o + os <= addr,
-                            "{}: overlap {addr:#x}+{size} vs {o:#x}+{os}", a.name());
+                        assert!(
+                            addr + size <= o || o + os <= addr,
+                            "case {case} {}: overlap {addr:#x}+{size} vs {o:#x}+{os}",
+                            a.name()
+                        );
                     }
                     live.push((addr, size));
                 }
             }
             let total: u64 = live.iter().map(|&(_, s)| s).sum();
-            prop_assert_eq!(a.live_bytes(), total);
+            assert_eq!(a.live_bytes(), total, "case {case} {}", a.name());
         }
     }
+}
 
-    /// Shapiro-Wilk is invariant under positive affine transforms.
-    #[test]
-    fn shapiro_wilk_affine_invariant(
-        data in proptest::collection::vec(-1000.0f64..1000.0, 5..40),
-        scale in 0.001f64..1000.0,
-        shift in -1e6f64..1e6,
-    ) {
-        prop_assume!(data.iter().any(|&v| (v - data[0]).abs() > 1e-9));
+/// Shapiro-Wilk is invariant under positive affine transforms.
+#[test]
+fn shapiro_wilk_affine_invariant() {
+    let mut tested = 0u64;
+    for case in 0..CASES * 2 {
+        let mut rng = rng_for("shapiro_wilk_affine_invariant", case);
+        let data: Vec<f64> = (0..5 + rng.below(35))
+            .map(|_| rng.next_f64() * 2000.0 - 1000.0)
+            .collect();
+        let scale = 0.001 + rng.next_f64() * 999.999;
+        let shift = rng.next_f64() * 2e6 - 1e6;
+        if !data.iter().any(|&v| (v - data[0]).abs() > 1e-9) {
+            continue;
+        }
+        tested += 1;
         let base = sz_stats::shapiro_wilk(&data);
         let moved: Vec<f64> = data.iter().map(|v| shift + scale * v).collect();
         let transformed = sz_stats::shapiro_wilk(&moved);
         match (base, transformed) {
             (Ok(a), Ok(b)) => {
-                prop_assert!((a.w - b.w).abs() < 1e-6, "W {} vs {}", a.w, b.w);
+                assert!(
+                    (a.w - b.w).abs() < 1e-6,
+                    "case {case}: W {} vs {}",
+                    a.w,
+                    b.w
+                );
             }
-            (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "case {case}"),
         }
     }
+    assert!(tested >= CASES, "degenerate-data filter rejected too much");
+}
 
-    /// The t-test p-value is symmetric in its arguments and bounded.
-    #[test]
-    fn t_test_symmetry(
-        a in proptest::collection::vec(-100.0f64..100.0, 3..20),
-        b in proptest::collection::vec(-100.0f64..100.0, 3..20),
-    ) {
-        if let (Ok(ab), Ok(ba)) = (sz_stats::welch_t_test(&a, &b), sz_stats::welch_t_test(&b, &a)) {
-            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
-            prop_assert!((0.0..=1.0).contains(&ab.p_value));
-            prop_assert!((ab.t + ba.t).abs() < 1e-9);
+/// The t-test p-value is symmetric in its arguments and bounded.
+#[test]
+fn t_test_symmetry() {
+    for case in 0..CASES {
+        let mut rng = rng_for("t_test_symmetry", case);
+        let mut series = || -> Vec<f64> {
+            (0..3 + rng.below(17))
+                .map(|_| rng.next_f64() * 200.0 - 100.0)
+                .collect()
+        };
+        let a = series();
+        let b = series();
+        if let (Ok(ab), Ok(ba)) = (
+            sz_stats::welch_t_test(&a, &b),
+            sz_stats::welch_t_test(&b, &a),
+        ) {
+            assert!((ab.p_value - ba.p_value).abs() < 1e-9, "case {case}");
+            assert!((0.0..=1.0).contains(&ab.p_value), "case {case}");
+            assert!((ab.t + ba.t).abs() < 1e-9, "case {case}");
         }
     }
 }

