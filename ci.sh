@@ -20,4 +20,12 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: micro emits parseable BENCH_sim.json"
+SZ_BENCH_SIM_PATH=target/BENCH_sim.json cargo run -q --release --offline -p sz-bench --bin micro >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq empty target/BENCH_sim.json
+else
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' target/BENCH_sim.json
+fi
+
 echo "ci.sh: all checks passed"

@@ -6,11 +6,18 @@
 //! Run with `cargo run --release -p sz-bench --bin micro`. Build with
 //! `--features criterion` for criterion-grade sampling (more warmup
 //! and samples; see [`sz_bench::timing`]).
+//!
+//! Besides the human-readable table, the run writes a machine-readable
+//! summary to `BENCH_sim.json` in the current directory (override the
+//! path with `SZ_BENCH_SIM_PATH`; see EXPERIMENTS.md for the schema).
+//! The simulator-speed numbers there gate hot-path regressions.
 
 use std::hint::black_box;
+use std::time::Instant;
 
 use sz_bench::emit;
-use sz_bench::timing::bench;
+use sz_bench::timing::{bench, Measurement};
+use sz_harness::{experiments::fig6, ExperimentOptions, Json};
 use sz_heap::{
     Allocator, DieHardAllocator, Region, SegregatedAllocator, ShuffleLayer, TlsfAllocator,
 };
@@ -59,46 +66,38 @@ fn main() {
         256,
         Marsaglia::seeded(1),
     );
-    out.push_str(
-        &bench(|| {
-            let p = sh.malloc(black_box(64)).unwrap();
-            sh.free(p);
-        })
-        .render("allocator/shuffle256_over_segregated"),
-    );
+    let shuffle = bench(|| {
+        let p = sh.malloc(black_box(64)).unwrap();
+        sh.free(p);
+    });
+    out.push_str(&shuffle.render("allocator/shuffle256_over_segregated"));
     out.push('\n');
 
     // Memory-system and predictor simulation speed.
     let mut m = MemorySystem::new(MachineConfig::core_i3_550());
     m.load(0x1000);
-    out.push_str(
-        &bench(|| {
-            m.load(black_box(0x1000));
-        })
-        .render("machine/l1_hit_load"),
-    );
+    let l1_hit = bench(|| {
+        m.load(black_box(0x1000));
+    });
+    out.push_str(&l1_hit.render("machine/l1_hit_load"));
     out.push('\n');
 
     let mut m = MemorySystem::new(MachineConfig::core_i3_550());
     let mut addr = 0u64;
-    out.push_str(
-        &bench(|| {
-            addr = addr.wrapping_add(64);
-            m.load(black_box(addr));
-        })
-        .render("machine/streaming_loads"),
-    );
+    let streaming = bench(|| {
+        addr = addr.wrapping_add(64);
+        m.load(black_box(addr));
+    });
+    out.push_str(&streaming.render("machine/streaming_loads"));
     out.push('\n');
 
     let mut m = MemorySystem::new(MachineConfig::core_i3_550());
     let mut i = 0u64;
-    out.push_str(
-        &bench(|| {
-            i += 1;
-            m.branch(black_box(0x40_0000), i.is_multiple_of(7));
-        })
-        .render("machine/branch_predict"),
-    );
+    let branch = bench(|| {
+        i += 1;
+        m.branch(black_box(0x40_0000), i.is_multiple_of(7));
+    });
+    out.push_str(&branch.render("machine/branch_predict"));
     out.push('\n');
 
     // Interpreter throughput over a full benchmark.
@@ -125,5 +124,78 @@ fn main() {
     );
     out.push('\n');
 
+    // End-to-end simulator speed: one quick Figure 6 sweep, wall clock.
+    let opts = ExperimentOptions::quick();
+    let fig6_start = Instant::now();
+    let fig6_result = fig6::run(&opts);
+    let fig6_seconds = fig6_start.elapsed().as_secs_f64();
+    out.push_str(&format!(
+        "{:<32} {fig6_seconds:>12.2} s wall ({} benchmarks, {} runs/config)\n",
+        "e2e/fig6_quick",
+        fig6_result.rows.len(),
+        opts.runs,
+    ));
+
     emit("micro", &out);
+    write_bench_sim(
+        &l1_hit,
+        &streaming,
+        &branch,
+        &shuffle,
+        fig6_seconds,
+        &opts,
+        fig6_result.rows.len(),
+    );
+}
+
+/// Writes the machine-readable simulator-speed summary. The schema is
+/// documented in EXPERIMENTS.md ("Simulator speed: BENCH_sim.json");
+/// bump `schema_version` on any shape change.
+fn write_bench_sim(
+    l1_hit: &Measurement,
+    streaming: &Measurement,
+    branch: &Measurement,
+    shuffle: &Measurement,
+    fig6_seconds: f64,
+    opts: &ExperimentOptions,
+    fig6_benchmarks: usize,
+) {
+    let access = |m: &Measurement| {
+        Json::obj([
+            ("ns_per_op", m.mean_ns.into()),
+            ("median_ns", m.median_ns.into()),
+            ("min_ns", m.min_ns.into()),
+            ("ops_per_sec", (1e9 / m.mean_ns).into()),
+        ])
+    };
+    let doc = Json::obj([
+        ("schema_version", 1u64.into()),
+        ("machine", "core_i3_550".into()),
+        ("l1_hit_load", access(l1_hit)),
+        ("streaming_loads", access(streaming)),
+        ("branch_predict", access(branch)),
+        // One shuffle-layer malloc+free round-trip per op: mallocs/sec
+        // equals ops/sec.
+        (
+            "shuffle_malloc_free",
+            Json::obj([
+                ("ns_per_pair", shuffle.mean_ns.into()),
+                ("mallocs_per_sec", (1e9 / shuffle.mean_ns).into()),
+            ]),
+        ),
+        (
+            "fig6_quick",
+            Json::obj([
+                ("wall_seconds", fig6_seconds.into()),
+                ("benchmarks", fig6_benchmarks.into()),
+                ("runs_per_config", opts.runs.into()),
+                ("threads", opts.threads.into()),
+            ]),
+        ),
+    ]);
+    let path = std::env::var("SZ_BENCH_SIM_PATH").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_sim.json not written ({path}): {e}"),
+    }
 }

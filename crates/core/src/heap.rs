@@ -93,17 +93,20 @@ impl StabilizerHeap {
         }
     }
 
-    /// Frees, charging the layer's own work to `mem`.
-    pub fn free(&mut self, addr: u64, mem: &mut MemorySystem) {
+    /// Frees, charging the layer's own work to `mem`. Returns `false`
+    /// — with the heap untouched — when `addr` is not a live
+    /// allocation, so the VM can report a structured error for wild
+    /// guest frees instead of aborting the experiment process.
+    pub fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
         self.frees += 1;
         if self.is_randomized() {
             mem.charge(costs::SHUFFLE_OP_CYCLES);
         }
         match &mut self.inner {
-            HeapImpl::Shuffled(h) => h.free(addr),
-            HeapImpl::ShuffledTlsf(h) => h.free(addr),
-            HeapImpl::DieHard(h) => h.free(addr),
-            HeapImpl::Plain(h) => h.free(addr),
+            HeapImpl::Shuffled(h) => h.try_free(addr),
+            HeapImpl::ShuffledTlsf(h) => h.try_free(addr),
+            HeapImpl::DieHard(h) => h.try_free(addr),
+            HeapImpl::Plain(h) => h.try_free(addr),
         }
     }
 

@@ -195,8 +195,8 @@ impl LayoutEngine for Stabilizer {
         self.heap_mut().malloc(size, mem)
     }
 
-    fn free(&mut self, addr: u64, mem: &mut MemorySystem) {
-        self.heap_mut().free(addr, mem);
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
+        self.heap_mut().free(addr, mem)
     }
 
     fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
@@ -220,7 +220,15 @@ impl LayoutEngine for Stabilizer {
             s.refill(&mut self.stack_rng, mem);
         }
         self.rerandomizations += 1;
-        self.next_rerand = now_cycles + self.interval_cycles;
+        // Re-arm from the elapsed interval boundary, not from `now`:
+        // ticks only happen at function entries, so arming from `now`
+        // adds each entry's lateness to the schedule and the effective
+        // period drifts above the configured interval without bound.
+        // Boundaries that fell entirely inside the gap are skipped so a
+        // long straight-line stretch is one re-randomization, not a
+        // burst.
+        let missed = (now_cycles - self.next_rerand) / self.interval_cycles;
+        self.next_rerand += (missed + 1) * self.interval_cycles;
         // The period that just ended carries the relocation/refill
         // work that closed it: snapshot after charging it.
         self.period_marks.push(*mem.counters());
@@ -415,6 +423,40 @@ mod tests {
         let mut mem = MemorySystem::new(machine);
         let base = engine.enter_function(FuncId(0), &mut mem);
         assert_eq!(base, TEXT_BASE);
+    }
+
+    #[test]
+    fn timer_rearms_from_the_elapsed_boundary_not_the_tick_site() {
+        // Ticks only happen at function entries. With sparse entries
+        // the old re-arm (`next = now + interval`) added each tick's
+        // lateness to the schedule, so the effective period drifted
+        // without bound. The fixed re-arm schedules from interval
+        // boundaries: a tick landing anywhere inside period k arms the
+        // timer for boundary k+1.
+        let machine = MachineConfig::tiny();
+        let (prepared, info) = prepare_program(&workload());
+        let mut engine = Stabilizer::new(Config::default().with_seed(3), &machine, &info);
+        engine.prepare(&prepared);
+        let mut mem = MemorySystem::new(machine);
+        let i = engine.interval_cycles;
+
+        // A long straight-line stretch covers boundaries 1..=10, then
+        // the first entry happens mid-period at 10.5 intervals: one
+        // round fires (missed boundaries collapse, no burst) and the
+        // timer arms for boundary 11.
+        engine.tick(10 * i + i / 2, &[], &mut mem);
+        assert_eq!(engine.rerandomizations, 1);
+        assert_eq!(engine.next_rerand, 11 * i);
+
+        // An entry just after boundary 11 must fire. The old re-arm
+        // had scheduled 11.5 intervals and would sit this one out.
+        engine.tick(11 * i + 1, &[], &mut mem);
+        assert_eq!(engine.rerandomizations, 2);
+        assert_eq!(engine.next_rerand, 12 * i);
+
+        // Entries inside the current period stay quiet.
+        engine.tick(11 * i + i / 4, &[], &mut mem);
+        assert_eq!(engine.rerandomizations, 2);
     }
 
     #[test]

@@ -67,7 +67,10 @@ where
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for buffer in &mut buffers {
         for (i, value) in buffer.drain(..) {
-            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            // Always-on: a duplicate claim means the steal counter is
+            // broken, and silently overwriting would corrupt results in
+            // release builds exactly where it matters.
+            assert!(out[i].is_none(), "index {i} produced twice");
             out[i] = Some(value);
         }
     }
@@ -118,6 +121,27 @@ mod tests {
         assert_eq!(count.load(Ordering::Relaxed), 1000);
         assert_eq!(out.len(), 1000);
         assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn contention_with_many_more_threads_than_jobs_claims_each_index_once() {
+        // Thread counts far above the job count maximize simultaneous
+        // pressure on the steal counter; with `workers = min(threads,
+        // n)` plus the surplus capped away, every spawned worker races
+        // for the same handful of indices. Repeat to give the race
+        // many chances.
+        for round in 0..50 {
+            let claims: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            let out = run_indexed(64, 4, |i| {
+                claims[i].fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+                i + round
+            });
+            assert_eq!(out, (0..4).map(|i| i + round).collect::<Vec<_>>());
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} ran twice");
+            }
+        }
     }
 
     #[test]

@@ -111,10 +111,13 @@ impl Allocator for DieHardAllocator {
     }
 
     fn free(&mut self, addr: u64) {
-        let size = self
-            .live
-            .remove(&addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        assert!(self.try_free(addr), "free of non-live address {addr:#x}");
+    }
+
+    fn try_free(&mut self, addr: u64) -> bool {
+        let Some(size) = self.live.remove(&addr) else {
+            return false;
+        };
         self.live_bytes -= size;
         let class = size_class(size, MIN_CLASS);
         let k = class.trailing_zeros() as usize;
@@ -126,6 +129,7 @@ impl Allocator for DieHardAllocator {
         assert!(heap.used[slot], "slot bookkeeping corrupt");
         heap.used[slot] = false;
         heap.live -= 1;
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -31,12 +31,14 @@
 //! ```
 
 mod diehard;
+mod livemap;
 mod region;
 mod segregated;
 mod shuffle;
 mod tlsf;
 
 pub use diehard::DieHardAllocator;
+pub use livemap::LiveMap;
 pub use region::Region;
 pub use segregated::SegregatedAllocator;
 pub use shuffle::ShuffleLayer;
@@ -51,9 +53,10 @@ pub trait Allocator {
     /// Allocates `size` bytes; returns the address, or `None` if the
     /// backing region is exhausted.
     ///
-    /// # Panics
-    ///
-    /// Panics if `size` is zero.
+    /// A zero-byte request is implementation-defined: the shuffling
+    /// layer rounds it up to its minimum size class (C's `malloc(0)`
+    /// is legal and appears in real workloads); the deterministic
+    /// base allocators panic.
     fn malloc(&mut self, size: u64) -> Option<u64>;
 
     /// Releases an allocation.
@@ -62,6 +65,19 @@ pub trait Allocator {
     ///
     /// Panics if `addr` is not a live allocation from this allocator.
     fn free(&mut self, addr: u64);
+
+    /// Fallible variant of [`Allocator::free`]: returns `false` —
+    /// leaving the allocator untouched — when `addr` is not a live
+    /// allocation, so callers (the VM's `Free` instruction) can turn
+    /// a bad guest free into a structured error instead of aborting
+    /// the whole experiment process.
+    ///
+    /// The default delegates to [`Allocator::free`] for allocators
+    /// that cannot detect liveness cheaply; those still panic.
+    fn try_free(&mut self, addr: u64) -> bool {
+        self.free(addr);
+        true
+    }
 
     /// Human-readable allocator name (for reports).
     fn name(&self) -> &'static str;

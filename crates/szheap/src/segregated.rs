@@ -65,13 +65,17 @@ impl Allocator for SegregatedAllocator {
     }
 
     fn free(&mut self, addr: u64) {
-        let size = self
-            .live
-            .remove(&addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        assert!(self.try_free(addr), "free of non-live address {addr:#x}");
+    }
+
+    fn try_free(&mut self, addr: u64) -> bool {
+        let Some(size) = self.live.remove(&addr) else {
+            return false;
+        };
         self.live_bytes -= size;
         let class = self.class_of[&addr];
         self.free[class.trailing_zeros() as usize].push(addr);
+        true
     }
 
     fn name(&self) -> &'static str {

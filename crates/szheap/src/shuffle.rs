@@ -10,11 +10,9 @@
 //! shuffle, so the stream of returned addresses is a random
 //! interleaving of base-heap objects.
 
-use std::collections::HashMap;
-
 use sz_rng::{fisher_yates, Rng};
 
-use crate::{size_class, Allocator};
+use crate::{size_class, Allocator, LiveMap};
 
 /// Smallest shuffled size class (matches the base allocator's floor).
 const MIN_CLASS: u64 = 16;
@@ -31,8 +29,10 @@ pub struct ShuffleLayer<A, R = sz_rng::Marsaglia> {
     shuffle_size: usize,
     /// Shuffle array per class exponent, created lazily.
     arrays: Vec<Option<Vec<u64>>>,
-    /// Requested size of allocations handed to the caller.
-    live: HashMap<u64, u64>,
+    /// Requested size of allocations handed to the caller, in an
+    /// open-addressed table keyed by the class-aligned address — the
+    /// per-malloc bookkeeping is on the simulation's hottest path.
+    live: LiveMap,
     live_bytes: u64,
 }
 
@@ -50,7 +50,7 @@ impl<A: Allocator, R: Rng> ShuffleLayer<A, R> {
             rng,
             shuffle_size,
             arrays: (0..64).map(|_| None).collect(),
-            live: HashMap::new(),
+            live: LiveMap::new(),
             live_bytes: 0,
         }
     }
@@ -72,7 +72,17 @@ impl<A: Allocator, R: Rng> ShuffleLayer<A, R> {
         if self.arrays[k].is_none() {
             let mut array = Vec::with_capacity(self.shuffle_size);
             for _ in 0..self.shuffle_size {
-                array.push(self.base.malloc(class)?);
+                match self.base.malloc(class) {
+                    Some(p) => array.push(p),
+                    None => {
+                        // Mid-fill exhaustion: hand the partial fill
+                        // back so the failed attempt leaks nothing.
+                        for p in array {
+                            self.base.free(p);
+                        }
+                        return None;
+                    }
+                }
             }
             fisher_yates(&mut array, &mut self.rng);
             self.arrays[k] = Some(array);
@@ -83,7 +93,8 @@ impl<A: Allocator, R: Rng> ShuffleLayer<A, R> {
 
 impl<A: Allocator, R: Rng> Allocator for ShuffleLayer<A, R> {
     fn malloc(&mut self, size: u64) -> Option<u64> {
-        assert!(size > 0, "zero-size allocation");
+        // C's `malloc(0)` is legal and must return a unique pointer;
+        // `size_class` rounds the request up to the minimum class.
         let class = size_class(size, MIN_CLASS);
         let k = class.trailing_zeros() as usize;
         self.ensure_array(k, class)?;
@@ -99,10 +110,13 @@ impl<A: Allocator, R: Rng> Allocator for ShuffleLayer<A, R> {
     }
 
     fn free(&mut self, addr: u64) {
-        let size = self
-            .live
-            .remove(&addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        assert!(self.try_free(addr), "free of non-live address {addr:#x}");
+    }
+
+    fn try_free(&mut self, addr: u64) -> bool {
+        let Some(size) = self.live.remove(addr) else {
+            return false;
+        };
         self.live_bytes -= size;
         let class = size_class(size, MIN_CLASS);
         let k = class.trailing_zeros() as usize;
@@ -114,6 +128,7 @@ impl<A: Allocator, R: Rng> Allocator for ShuffleLayer<A, R> {
             .expect("freeing into an initialized class");
         let out = std::mem::replace(&mut array[i], addr);
         self.base.free(out);
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -230,5 +245,52 @@ mod tests {
         let mut h = layer(8, 1);
         h.malloc(64).unwrap();
         h.free(0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn try_free_of_non_live_address_reports_without_state_damage() {
+        let mut h = layer(8, 1);
+        let p = h.malloc(64).unwrap();
+        assert!(!h.try_free(0xDEAD_BEEF), "unknown address");
+        assert!(!h.try_free(p + 8), "interior pointer");
+        assert_eq!(
+            h.live_bytes(),
+            64,
+            "failed frees must not disturb accounting"
+        );
+        assert!(h.try_free(p), "the real allocation still frees");
+        assert!(!h.try_free(p), "double free is reported, not fatal");
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn mid_fill_exhaustion_leaks_nothing() {
+        // A base region that fits only 5 of the 8 fill objects: the
+        // fill fails partway and every already-carved object must be
+        // handed back (the pre-fix code dropped them on the floor).
+        let base = SegregatedAllocator::new(Region::new(0x1000, 5 * 64));
+        let mut h = ShuffleLayer::new(base, 8, Marsaglia::seeded(4));
+        assert_eq!(h.malloc(64), None, "fill cannot complete");
+        assert_eq!(
+            h.base().live_bytes(),
+            0,
+            "partial fill must be freed back to the base"
+        );
+        // A retry pulls the rolled-back blocks off the free list,
+        // fails at the same carve, and must roll back again.
+        assert_eq!(h.malloc(64), None);
+        assert_eq!(h.base().live_bytes(), 0, "repeated attempts stay leak-free");
+    }
+
+    #[test]
+    fn malloc_zero_is_legal_and_rounds_to_the_minimum_class() {
+        let mut h = layer(16, 7);
+        let p = h.malloc(0).unwrap();
+        let q = h.malloc(0).unwrap();
+        assert_ne!(p, q, "zero-size allocations are distinct objects");
+        assert_eq!(h.live_bytes(), 0, "zero bytes are live to the caller");
+        h.free(p);
+        h.free(q);
+        assert_eq!(h.live_bytes(), 0);
     }
 }

@@ -166,10 +166,13 @@ impl Allocator for TlsfAllocator {
     }
 
     fn free(&mut self, addr: u64) {
-        let size = self
-            .live
-            .remove(&addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        assert!(self.try_free(addr), "free of non-live address {addr:#x}");
+    }
+
+    fn try_free(&mut self, addr: u64) -> bool {
+        let Some(size) = self.live.remove(&addr) else {
+            return false;
+        };
         self.live_bytes -= size;
 
         let mut addr = addr;
@@ -206,6 +209,7 @@ impl Allocator for TlsfAllocator {
             }
         }
         self.insert_free(addr);
+        true
     }
 
     fn name(&self) -> &'static str {

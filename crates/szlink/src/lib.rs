@@ -198,8 +198,8 @@ impl LayoutEngine for LinkedLayout {
         self.heap.malloc(size)
     }
 
-    fn free(&mut self, addr: u64, _mem: &mut MemorySystem) {
-        self.heap.free(addr);
+    fn free(&mut self, addr: u64, _mem: &mut MemorySystem) -> bool {
+        self.heap.try_free(addr)
     }
 
     fn tick(&mut self, _now: u64, _stack: &[sz_vm::FrameView], _mem: &mut MemorySystem) {}

@@ -42,12 +42,17 @@ impl BranchPredictor {
 
     /// Table slot used by a branch at `pc` under the current history —
     /// exposed so tests can construct aliasing pairs deliberately.
+    #[inline]
     pub fn slot(&self, pc: u64) -> u64 {
         ((pc >> 2) ^ (self.history & self.history_mask)) & self.index_mask
     }
 
     /// Predicts and then resolves a branch at `pc` with actual outcome
     /// `taken`; returns `true` if the prediction was correct.
+    ///
+    /// The counter table is a single flat allocation (the BTB-style
+    /// direction table), so this path never touches the heap.
+    #[inline]
     pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
         let slot = self.slot(pc) as usize;
         let counter = self.table[slot];

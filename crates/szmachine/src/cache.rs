@@ -1,5 +1,7 @@
 //! Set-associative caches with true-LRU replacement.
 
+use crate::lru::LruSets;
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -31,8 +33,8 @@ pub struct Cache {
     config: CacheConfig,
     line_shift: u32,
     set_mask: u64,
-    /// `sets[s]` holds up to `ways` tags in LRU order (front = MRU).
-    sets: Vec<Vec<u64>>,
+    /// All sets in one flat preallocated slot array (see `lru.rs`).
+    sets: LruSets,
     hits: u64,
     misses: u64,
 }
@@ -59,7 +61,7 @@ impl Cache {
             config,
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets - 1,
-            sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            sets: LruSets::new(sets as usize, config.ways as usize),
             hits: 0,
             misses: 0,
         }
@@ -71,58 +73,53 @@ impl Cache {
     }
 
     /// Set index for an address (useful to reason about conflicts).
+    #[inline]
     pub fn set_index(&self, addr: u64) -> u64 {
         (addr >> self.line_shift) & self.set_mask
     }
 
+    #[inline]
     fn tag(&self, addr: u64) -> u64 {
         addr >> self.line_shift >> self.set_mask.count_ones()
     }
 
     /// Accesses the line containing `addr`; returns `true` on a hit.
     /// On a miss the line is filled, evicting the LRU way if needed.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let set = self.set_index(addr) as usize;
         let tag = self.tag(addr);
-        let lines = &mut self.sets[set];
-        if let Some(pos) = lines.iter().position(|&t| t == tag) {
-            // Move to front (MRU).
-            let t = lines.remove(pos);
-            lines.insert(0, t);
+        if self.sets.access(set, tag) {
             self.hits += 1;
             true
         } else {
-            if lines.len() == self.config.ways as usize {
-                lines.pop();
-            }
-            lines.insert(0, tag);
             self.misses += 1;
             false
         }
     }
 
     /// Probes without updating replacement state or statistics.
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
         let set = self.set_index(addr) as usize;
-        let tag = self.tag(addr);
-        self.sets[set].contains(&tag)
+        self.sets.contains(set, self.tag(addr))
     }
 
     /// Lifetime hit count.
+    #[inline]
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
     /// Lifetime miss count.
+    #[inline]
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
     /// Empties the cache and zeroes the statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.sets.reset();
         self.hits = 0;
         self.misses = 0;
     }

@@ -27,6 +27,7 @@ pub struct PerfCounters {
 
 impl PerfCounters {
     /// Cycles per instruction; `NaN` before any instruction retires.
+    #[inline]
     pub fn cpi(&self) -> f64 {
         self.cycles as f64 / self.instructions as f64
     }
@@ -41,6 +42,7 @@ impl PerfCounters {
     }
 
     /// Element-wise difference, for measuring a region of interest.
+    #[inline]
     pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
         PerfCounters {
             instructions: self.instructions - earlier.instructions,
@@ -78,6 +80,7 @@ pub struct PeriodSnapshot {
 
 impl PeriodSnapshot {
     /// Cycles spent in this period.
+    #[inline]
     pub fn cycles(&self) -> u64 {
         self.end_cycles - self.start_cycles
     }

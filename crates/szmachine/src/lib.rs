@@ -27,6 +27,7 @@ mod branch;
 mod cache;
 mod config;
 mod counters;
+mod lru;
 mod mem;
 mod tlb;
 

@@ -1,0 +1,156 @@
+//! A flat, preallocated set-associative true-LRU array — the shared
+//! storage engine behind [`crate::Cache`] and [`crate::Tlb`].
+//!
+//! The original representation kept one `Vec<u64>` per set in MRU
+//! order, so every hit paid a `remove` + `insert` shift and every set
+//! was its own heap allocation. Here all sets live in two contiguous
+//! slabs allocated once at construction: a key slab (cache tags or
+//! TLB virtual page numbers) and an age-stamp slab, each `sets *
+//! ways` long. Recency is a monotonically increasing access clock
+//! stamped into the touched slot; the eviction victim is the slot
+//! with the smallest stamp. Empty slots carry stamp 0, below every
+//! possible clock value, so sets fill before they evict.
+//!
+//! This reproduces true-LRU *bit-for-bit*: the minimal stamp in a set
+//! is exactly the least recently touched way, and which of several
+//! empty slots gets filled first cannot affect hit/miss behaviour
+//! (resident keys and their relative recency are identical either
+//! way). The differential test `tests/differential_lru.rs` pins this
+//! equivalence against a naive MRU-list model over randomized
+//! geometries and access streams.
+
+/// Flat set-associative LRU state: `sets * ways` slots, no per-access
+/// heap traffic.
+#[derive(Debug, Clone)]
+pub(crate) struct LruSets {
+    /// Slot keys, set-major (`keys[set * ways + way]`).
+    keys: Box<[u64]>,
+    /// Age stamps parallel to `keys`; 0 = empty slot.
+    stamps: Box<[u64]>,
+    ways: usize,
+    /// Monotonic access clock; pre-incremented, so live stamps are ≥ 1.
+    clock: u64,
+}
+
+impl LruSets {
+    /// Allocates an empty array of `sets * ways` slots.
+    pub(crate) fn new(sets: usize, ways: usize) -> Self {
+        let slots = sets.checked_mul(ways).expect("geometry fits in memory");
+        LruSets {
+            keys: vec![0; slots].into_boxed_slice(),
+            stamps: vec![0; slots].into_boxed_slice(),
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Looks up `key` in `set`, refreshing its stamp on a hit; on a
+    /// miss, installs `key` over the empty or least-recently-used
+    /// slot. Returns `true` on a hit.
+    #[inline]
+    pub(crate) fn access(&mut self, set: usize, key: u64) -> bool {
+        self.clock += 1;
+        let base = set * self.ways;
+        let keys = &mut self.keys[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for ((i, k), &s) in keys.iter().enumerate().zip(stamps.iter()) {
+            if s != 0 && *k == key {
+                stamps[i] = self.clock;
+                return true;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = i;
+            }
+        }
+        keys[victim] = key;
+        stamps[victim] = self.clock;
+        false
+    }
+
+    /// Probes for `key` in `set` without updating recency.
+    #[inline]
+    pub(crate) fn contains(&self, set: usize, key: u64) -> bool {
+        let base = set * self.ways;
+        self.keys[base..base + self.ways]
+            .iter()
+            .zip(&self.stamps[base..base + self.ways])
+            .any(|(&k, &s)| s != 0 && k == key)
+    }
+
+    /// Empties every set and rewinds the clock.
+    pub(crate) fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_empty_slots_before_evicting() {
+        let mut l = LruSets::new(1, 2);
+        assert!(!l.access(0, 10));
+        assert!(!l.access(0, 20));
+        assert!(l.access(0, 10), "both keys resident");
+        assert!(l.access(0, 20));
+    }
+
+    #[test]
+    fn evicts_the_least_recently_used() {
+        let mut l = LruSets::new(1, 2);
+        l.access(0, 1);
+        l.access(0, 2);
+        l.access(0, 1); // 2 is now LRU
+        assert!(!l.access(0, 3)); // evicts 2
+        assert!(l.contains(0, 1));
+        assert!(!l.contains(0, 2));
+        assert!(l.contains(0, 3));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l = LruSets::new(2, 1);
+        l.access(0, 7);
+        l.access(1, 8);
+        assert!(l.contains(0, 7));
+        assert!(l.contains(1, 8));
+        assert!(!l.contains(0, 8));
+    }
+
+    #[test]
+    fn contains_does_not_perturb_recency() {
+        let mut l = LruSets::new(1, 2);
+        l.access(0, 1);
+        l.access(0, 2); // LRU = 1
+        assert!(l.contains(0, 1));
+        l.access(0, 3); // must still evict 1, not 2
+        assert!(!l.contains(0, 1));
+        assert!(l.contains(0, 2));
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let mut l = LruSets::new(2, 2);
+        l.access(0, 1);
+        l.access(1, 2);
+        l.reset();
+        assert!(!l.contains(0, 1));
+        assert!(!l.contains(1, 2));
+        assert!(!l.access(0, 1), "cold again after reset");
+    }
+
+    #[test]
+    fn key_zero_is_a_legal_key() {
+        // Emptiness is carried by the stamp, not the key value, so a
+        // tag/VPN of 0 must behave like any other key.
+        let mut l = LruSets::new(1, 2);
+        assert!(!l.access(0, 0));
+        assert!(l.access(0, 0));
+        assert!(l.contains(0, 0));
+    }
+}

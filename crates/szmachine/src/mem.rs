@@ -46,11 +46,13 @@ impl MemorySystem {
     }
 
     /// Accumulated performance counters.
+    #[inline]
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
     }
 
     /// Charges `cycles` of straight-line execution for one instruction.
+    #[inline]
     pub fn retire(&mut self, base_cycles: u64) {
         self.counters.instructions += 1;
         self.counters.cycles += base_cycles;
@@ -58,6 +60,7 @@ impl MemorySystem {
 
     /// Adds raw cycles (used for runtime-system costs such as
     /// STABILIZER's relocation work).
+    #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.counters.cycles += cycles;
     }
@@ -76,6 +79,7 @@ impl MemorySystem {
         extra
     }
 
+    #[inline]
     fn fetch_line(&mut self, addr: u64) -> u64 {
         let costs = self.config.costs;
         let mut extra = 0;
@@ -91,6 +95,7 @@ impl MemorySystem {
     }
 
     /// Loads the data at `addr`; returns the extra cycles charged.
+    #[inline]
     pub fn load(&mut self, addr: u64) -> u64 {
         let extra = self.data_access(addr);
         self.counters.cycles += extra;
@@ -99,12 +104,17 @@ impl MemorySystem {
 
     /// Stores to `addr`; returns the extra cycles charged. The cache is
     /// write-allocate, so the cost path matches a load.
+    #[inline]
     pub fn store(&mut self, addr: u64) -> u64 {
         let extra = self.data_access(addr);
         self.counters.cycles += extra;
         extra
     }
 
+    /// The common case — DTLB hit, L1D hit — runs straight through
+    /// two flat-array probes with no heap traffic; the miss ladders
+    /// are kept out of line in [`MemorySystem::lower_levels`].
+    #[inline]
     fn data_access(&mut self, addr: u64) -> u64 {
         let costs = self.config.costs;
         let mut extra = 0;
@@ -122,6 +132,7 @@ impl MemorySystem {
     }
 
     /// L2 -> L3 -> DRAM path shared by instruction and data misses.
+    #[cold]
     fn lower_levels(&mut self, addr: u64) -> u64 {
         let costs = self.config.costs;
         if self.l2.access(addr) {
@@ -137,6 +148,7 @@ impl MemorySystem {
 
     /// Executes a conditional branch at `pc` with outcome `taken`;
     /// returns the extra cycles charged (0 or the mispredict penalty).
+    #[inline]
     pub fn branch(&mut self, pc: u64, taken: bool) -> u64 {
         self.counters.branches += 1;
         if self.predictor.predict_and_update(pc, taken) {

@@ -4,6 +4,8 @@
 //! program across a larger virtual address space (§5.2), so the TLB is
 //! a first-class part of the cost model.
 
+use crate::lru::LruSets;
+
 /// Geometry of a TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
@@ -21,7 +23,8 @@ pub struct Tlb {
     config: TlbConfig,
     page_shift: u32,
     set_mask: u64,
-    sets: Vec<Vec<u64>>,
+    /// All sets in one flat preallocated slot array (see `lru.rs`).
+    sets: LruSets,
     hits: u64,
     misses: u64,
 }
@@ -42,7 +45,7 @@ impl Tlb {
             config,
             page_shift: config.page_bytes.trailing_zeros(),
             set_mask: sets - 1,
-            sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            sets: LruSets::new(sets as usize, config.ways as usize),
             hits: 0,
             misses: 0,
         }
@@ -54,45 +57,40 @@ impl Tlb {
     }
 
     /// Virtual page number of an address.
+    #[inline]
     pub fn vpn(&self, addr: u64) -> u64 {
         addr >> self.page_shift
     }
 
     /// Translates the page containing `addr`; returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let vpn = self.vpn(addr);
         let set = (vpn & self.set_mask) as usize;
-        let entries = &mut self.sets[set];
-        if let Some(pos) = entries.iter().position(|&v| v == vpn) {
-            let v = entries.remove(pos);
-            entries.insert(0, v);
+        if self.sets.access(set, vpn) {
             self.hits += 1;
             true
         } else {
-            if entries.len() == self.config.ways as usize {
-                entries.pop();
-            }
-            entries.insert(0, vpn);
             self.misses += 1;
             false
         }
     }
 
     /// Lifetime hit count.
+    #[inline]
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
     /// Lifetime miss count.
+    #[inline]
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
     /// Empties the TLB and zeroes the statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.sets.reset();
         self.hits = 0;
         self.misses = 0;
     }

@@ -1,0 +1,173 @@
+//! Differential test of the flat packed-LRU cache/TLB representation
+//! against a naive reference model.
+//!
+//! The hot-path rewrite replaced per-set MRU-ordered vectors with a
+//! single flat slot array and monotonic age stamps. These tests pit
+//! that implementation against the obviously-correct model — a
+//! `Vec<u64>` per set, front = most recent — across randomized
+//! geometries and access streams, checking every per-access hit/miss
+//! verdict (which pins the resident set and the eviction order, i.e.
+//! full true-LRU semantics).
+
+use sz_machine::{Cache, CacheConfig, Tlb, TlbConfig};
+
+/// SplitMix64, inlined so the test needs no extra dependency edge.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The reference: per-set MRU-ordered lists, textbook true LRU.
+struct NaiveLru {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl NaiveLru {
+    fn new(sets: usize, ways: usize) -> Self {
+        NaiveLru {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    fn access(&mut self, set: usize, key: u64) -> bool {
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&k| k == key) {
+            list.remove(pos);
+            list.insert(0, key);
+            return true;
+        }
+        if list.len() == self.ways {
+            list.pop();
+        }
+        list.insert(0, key);
+        false
+    }
+
+    fn contains(&self, set: usize, key: u64) -> bool {
+        self.sets[set].contains(&key)
+    }
+}
+
+/// Random geometries for a cache: power-of-two sets, small ways, real
+/// line sizes.
+fn cache_geometry(rng: &mut SplitMix) -> CacheConfig {
+    let sets = 1u64 << rng.below(7); // 1..=64 sets
+    let ways = 1 + rng.below(8) as u32; // 1..=8 ways
+    let line_bytes = 16u64 << rng.below(4); // 16..=128 B
+    CacheConfig {
+        size_bytes: sets * u64::from(ways) * line_bytes,
+        ways,
+        line_bytes,
+    }
+}
+
+#[test]
+fn cache_matches_naive_reference_on_random_streams() {
+    let mut rng = SplitMix(0xC0FF_EE00);
+    for trial in 0..40 {
+        let config = cache_geometry(&mut rng);
+        let mut cache = Cache::new(config);
+        let mut naive = NaiveLru::new(config.sets() as usize, config.ways as usize);
+        let line_shift = config.line_bytes.trailing_zeros();
+        let index_bits = config.sets().trailing_zeros();
+
+        // A window a few times the cache capacity: enough reuse for
+        // hits, enough pressure for evictions.
+        let window = config.size_bytes * (2 + rng.below(4));
+        let mut hits = 0u64;
+        for step in 0..4000u64 {
+            let addr = rng.below(window);
+            let set = ((addr >> line_shift) & (config.sets() - 1)) as usize;
+            let tag = addr >> line_shift >> index_bits;
+            let expected = naive.access(set, tag);
+            let got = cache.access(addr);
+            assert_eq!(
+                got, expected,
+                "trial {trial} step {step}: {config:?} addr {addr:#x}"
+            );
+            // `contains` must agree and must not perturb LRU state.
+            if step % 17 == 0 {
+                let probe = rng.below(window);
+                let pset = ((probe >> line_shift) & (config.sets() - 1)) as usize;
+                let ptag = probe >> line_shift >> index_bits;
+                assert_eq!(cache.contains(probe), naive.contains(pset, ptag));
+            }
+            if expected {
+                hits += 1;
+            }
+        }
+        assert_eq!(cache.hits(), hits, "trial {trial}: hit counter drifted");
+        assert_eq!(cache.misses(), 4000 - hits);
+    }
+}
+
+#[test]
+fn tlb_matches_naive_reference_on_random_streams() {
+    let mut rng = SplitMix(0xDEAD_BEEF);
+    for trial in 0..40 {
+        let sets = 1u32 << rng.below(5); // 1..=16 sets
+        let ways = 1 + rng.below(6) as u32; // 1..=6 ways
+        let config = TlbConfig {
+            entries: sets * ways,
+            ways,
+            page_bytes: 1024 << rng.below(3), // 1..=4 KiB pages
+        };
+        let mut tlb = Tlb::new(config);
+        let mut naive = NaiveLru::new(sets as usize, ways as usize);
+
+        let reach = u64::from(config.entries) * config.page_bytes;
+        let window = reach * (2 + rng.below(4));
+        for step in 0..4000u64 {
+            let addr = rng.below(window);
+            let vpn = addr / config.page_bytes;
+            let set = (vpn & u64::from(sets - 1)) as usize;
+            let expected = naive.access(set, vpn);
+            let got = tlb.access(addr);
+            assert_eq!(
+                got, expected,
+                "trial {trial} step {step}: {config:?} addr {addr:#x}"
+            );
+        }
+        assert_eq!(tlb.hits() + tlb.misses(), 4000);
+    }
+}
+
+#[test]
+fn reset_restores_the_cold_state_differentially() {
+    // After reset, the implementation must behave exactly like a fresh
+    // reference model — stale stamps or keys would show up as phantom
+    // hits.
+    let mut rng = SplitMix(7);
+    let config = CacheConfig {
+        size_bytes: 2048,
+        ways: 4,
+        line_bytes: 64,
+    };
+    let mut cache = Cache::new(config);
+    for _ in 0..1000 {
+        cache.access(rng.below(1 << 16));
+    }
+    cache.reset();
+    let mut naive = NaiveLru::new(config.sets() as usize, config.ways as usize);
+    let line_shift = config.line_bytes.trailing_zeros();
+    let index_bits = config.sets().trailing_zeros();
+    for _ in 0..1000 {
+        let addr = rng.below(1 << 14);
+        let set = ((addr >> line_shift) & (config.sets() - 1)) as usize;
+        let tag = addr >> line_shift >> index_bits;
+        assert_eq!(cache.access(addr), naive.access(set, tag));
+    }
+}

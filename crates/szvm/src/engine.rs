@@ -51,8 +51,11 @@ pub trait LayoutEngine {
     /// Allocates `size` bytes of heap; `None` when out of memory.
     fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64>;
 
-    /// Frees a heap allocation.
-    fn free(&mut self, addr: u64, mem: &mut MemorySystem);
+    /// Frees a heap allocation. Returns `false` when `addr` is not a
+    /// live allocation; the VM surfaces that as
+    /// [`crate::VmError::InvalidFree`] instead of aborting the
+    /// process. Engines that cannot detect liveness return `true`.
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool;
 
     /// Called at function-call boundaries with the current cycle count
     /// and a view of the live call stack.
@@ -169,9 +172,11 @@ impl LayoutEngine for SimpleLayout {
         Some(addr)
     }
 
-    fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) {
-        // Bump allocator: no reuse. (Timing of the free call is charged
-        // by the instruction's base cost in the VM.)
+    fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) -> bool {
+        // Bump allocator: no reuse, and no liveness tracking. (Timing
+        // of the free call is charged by the instruction's base cost
+        // in the VM.)
+        true
     }
 
     fn tick(&mut self, _now_cycles: u64, _stack: &[FrameView], _mem: &mut MemorySystem) {}

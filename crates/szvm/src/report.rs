@@ -67,6 +67,12 @@ pub enum VmError {
         /// The failing request size.
         request: u64,
     },
+    /// The program freed an address that is not a live heap
+    /// allocation (wild free, interior pointer, or double free).
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for VmError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for VmError {
             }
             VmError::OutOfMemory { request } => {
                 write!(f, "heap exhausted allocating {request} bytes")
+            }
+            VmError::InvalidFree { addr } => {
+                write!(f, "free of non-live heap address {addr:#x}")
             }
         }
     }

@@ -314,7 +314,9 @@ impl Exec<'_, '_> {
             }
             Instr::Free { ptr } => {
                 let addr = self.stack[top].regs[ptr.0 as usize];
-                self.engine.free(addr, self.mem);
+                if !self.engine.free(addr, self.mem) {
+                    return Err(VmError::InvalidFree { addr });
+                }
             }
             Instr::Call { func, args, ret } => {
                 let frame = &self.stack[top];

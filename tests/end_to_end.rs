@@ -104,3 +104,29 @@ fn shapiro_wilk_accepts_rerandomized_times_on_a_clean_benchmark() {
         sw.p_value
     );
 }
+
+#[test]
+fn wild_free_is_a_structured_error_not_a_crash() {
+    // A guest program freeing an interior pointer must surface as
+    // `VmError::InvalidFree` so the harness can record a failed run
+    // instead of the whole experiment process aborting.
+    use sz_ir::{AluOp, ProgramBuilder};
+    use sz_vm::VmError;
+
+    let mut p = ProgramBuilder::new("wildfree");
+    let mut main = p.function("main", 0);
+    let buf = main.malloc(64);
+    let bogus = main.alu(AluOp::Add, buf, 8);
+    main.free(bogus);
+    main.ret(None);
+    let entry = p.add_function(main);
+    let program = p.finish(entry).unwrap();
+
+    let machine = MachineConfig::core_i3_550();
+    let (prepared, info) = prepare_program(&program);
+    let mut engine = Stabilizer::new(Config::default().with_seed(11), &machine, &info);
+    let err = Vm::new(&prepared)
+        .run(&mut engine, machine, RunLimits::default())
+        .unwrap_err();
+    assert!(matches!(err, VmError::InvalidFree { addr } if addr % 16 == 8));
+}

@@ -59,7 +59,9 @@ impl LayoutEngine for PinnedLayout {
         Some(addr)
     }
 
-    fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) {}
+    fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) -> bool {
+        true
+    }
 
     fn tick(&mut self, _now: u64, _stack: &[FrameView], _mem: &mut MemorySystem) {}
 
