@@ -20,6 +20,12 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> conformance: cross-engine differential suite (seed ${SZ_CONF_SEED:-default})"
+# Runs the generated-program conformance suite at its fixed committed
+# seeds; export SZ_CONF_SEED=<n> to sweep a different region of program
+# space without a code change.
+SZ_CONF_SEED="${SZ_CONF_SEED:-}" cargo test -q --release --offline --test conformance_differential
+
 echo "==> bench smoke: micro emits parseable BENCH_sim.json"
 SZ_BENCH_SIM_PATH=target/BENCH_sim.json cargo run -q --release --offline -p sz-bench --bin micro >/dev/null
 if command -v jq >/dev/null 2>&1; then
@@ -27,5 +33,19 @@ if command -v jq >/dev/null 2>&1; then
 else
     python3 -c 'import json,sys; json.load(open(sys.argv[1]))' target/BENCH_sim.json
 fi
+
+echo "==> throughput smoke: fig6 sweep vs committed baseline"
+# Fails if the fresh fig6 wall time regresses more than 20% against the
+# committed BENCH_sim.json baseline (it ratchets forward when the
+# committed file is re-baselined).
+python3 - target/BENCH_sim.json BENCH_sim.json <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["fig6_quick"]["wall_seconds"]
+baseline = json.load(open(sys.argv[2]))["fig6_quick"]["wall_seconds"]
+limit = baseline * 1.20
+print(f"fig6_quick: fresh {fresh:.3f}s vs baseline {baseline:.3f}s (limit {limit:.3f}s)")
+if fresh > limit:
+    sys.exit(f"fig6 throughput regressed >20%: {fresh:.3f}s > {limit:.3f}s")
+EOF
 
 echo "ci.sh: all checks passed"

@@ -103,15 +103,40 @@ fn main() {
     // Interpreter throughput over a full benchmark.
     let program = sz_workloads::build("bzip2", Scale::Tiny).unwrap();
     let vm = Vm::new(&program);
-    out.push_str(
-        &bench(|| {
-            let mut e = SimpleLayout::new();
-            vm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
-                .unwrap();
-        })
-        .render("vm/bzip2_tiny_simple_layout"),
-    );
+    let vm_run = bench(|| {
+        let mut e = SimpleLayout::new();
+        vm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap();
+    });
+    out.push_str(&vm_run.render("vm/bzip2_tiny_simple_layout"));
     out.push('\n');
+
+    // Decoded-dispatch speed in ns per simulated instruction, with the
+    // in-tree reference interpreter (the pre-decode path) alongside so
+    // the dispatch rewrite's gain is tracked, not just asserted.
+    let instructions = {
+        let mut e = SimpleLayout::new();
+        vm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap()
+            .instructions
+    } as f64;
+    let reference_run = bench(|| {
+        let mut e = SimpleLayout::new();
+        sz_vm::run_reference(
+            &program,
+            &mut e,
+            MachineConfig::core_i3_550(),
+            RunLimits::default(),
+        )
+        .unwrap();
+    });
+    let dispatch_ns = vm_run.mean_ns / instructions;
+    let reference_ns = reference_run.mean_ns / instructions;
+    out.push_str(&format!(
+        "{:<32} {dispatch_ns:>12.2} ns/instr decoded, {reference_ns:.2} ns/instr reference ({:.2}x)\n",
+        "vm/dispatch",
+        reference_ns / dispatch_ns,
+    ));
 
     // Statistical kernels.
     let mut rng = Marsaglia::seeded(1);
@@ -142,9 +167,9 @@ fn main() {
         &streaming,
         &branch,
         &shuffle,
-        fig6_seconds,
+        (dispatch_ns, reference_ns),
+        (fig6_seconds, fig6_result.rows.len()),
         &opts,
-        fig6_result.rows.len(),
     );
 }
 
@@ -156,9 +181,9 @@ fn write_bench_sim(
     streaming: &Measurement,
     branch: &Measurement,
     shuffle: &Measurement,
-    fig6_seconds: f64,
+    (dispatch_ns, reference_ns): (f64, f64),
+    (fig6_seconds, fig6_benchmarks): (f64, usize),
     opts: &ExperimentOptions,
-    fig6_benchmarks: usize,
 ) {
     let access = |m: &Measurement| {
         Json::obj([
@@ -169,11 +194,23 @@ fn write_bench_sim(
         ])
     };
     let doc = Json::obj([
-        ("schema_version", 1u64.into()),
+        ("schema_version", 2u64.into()),
         ("machine", "core_i3_550".into()),
         ("l1_hit_load", access(l1_hit)),
         ("streaming_loads", access(streaming)),
         ("branch_predict", access(branch)),
+        // Interpreter dispatch cost per simulated instruction: the
+        // decoded hot path vs the in-tree pre-decode reference
+        // interpreter (bzip2 Tiny under the simple layout).
+        (
+            "vm_dispatch",
+            Json::obj([
+                ("ns_per_instr", dispatch_ns.into()),
+                ("instrs_per_sec", (1e9 / dispatch_ns).into()),
+                ("reference_ns_per_instr", reference_ns.into()),
+                ("speedup_vs_reference", (reference_ns / dispatch_ns).into()),
+            ]),
+        ),
         // One shuffle-layer malloc+free round-trip per op: mallocs/sec
         // equals ops/sec.
         (

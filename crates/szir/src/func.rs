@@ -76,6 +76,59 @@ impl Function {
     }
 }
 
+/// One element of a function's linear code stream: either an
+/// instruction or the terminator of the block it closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodeElem<'f> {
+    /// A straight-line instruction.
+    Instr(&'f Instr),
+    /// A block's terminating control transfer.
+    Term(&'f Terminator),
+}
+
+impl CodeElem<'_> {
+    /// Encoded size in bytes of this element.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            CodeElem::Instr(i) => i.encoded_size(),
+            CodeElem::Term(t) => t.encoded_size(),
+        }
+    }
+
+    /// Base execution latency in cycles of this element.
+    pub fn base_cycles(&self) -> u64 {
+        match self {
+            CodeElem::Instr(i) => i.base_cycles(),
+            CodeElem::Term(t) => t.base_cycles(),
+        }
+    }
+}
+
+impl Function {
+    /// Walks the code stream in layout order — block after block, each
+    /// block's instructions followed by its terminator — yielding
+    /// `(block_index, byte_offset, element)` for every element.
+    ///
+    /// This is the stable decode-time metadata contract: the offsets
+    /// agree with [`Function::layout`] exactly (the pre-decoder in
+    /// `sz-vm` folds them into its flat stream instead of chasing
+    /// `instr_offsets` per executed instruction), and the walk order is
+    /// the order [`CodeLayout`] assigns offsets in.
+    pub fn code_stream(&self) -> impl Iterator<Item = (usize, u64, CodeElem<'_>)> + '_ {
+        let mut pc = 0u64;
+        self.blocks.iter().enumerate().flat_map(move |(bi, block)| {
+            let mut out = Vec::with_capacity(block.instrs.len() + 1);
+            for instr in &block.instrs {
+                out.push((bi, pc, CodeElem::Instr(instr)));
+                pc += instr.encoded_size();
+            }
+            out.push((bi, pc, CodeElem::Term(&block.term)));
+            pc += block.term.encoded_size();
+            out
+        })
+    }
+}
+
 /// Byte offsets of every instruction within a function's code, laid
 /// out block after block in block order.
 ///
@@ -160,5 +213,30 @@ mod tests {
     fn layout_is_deterministic() {
         let f = two_block_function();
         assert_eq!(f.layout(), f.layout());
+    }
+
+    #[test]
+    fn code_stream_offsets_agree_with_layout() {
+        let f = two_block_function();
+        let layout = f.layout();
+        let mut count = 0;
+        for (block, pc, elem) in f.code_stream() {
+            match elem {
+                CodeElem::Instr(i) => {
+                    let pos = f.blocks[block]
+                        .instrs
+                        .iter()
+                        .position(|x| std::ptr::eq(x, i))
+                        .unwrap();
+                    assert_eq!(pc, layout.instr_offsets[block][pos]);
+                }
+                CodeElem::Term(_) => {
+                    assert_eq!(pc, layout.terminator_offset(BlockId(block as u32)));
+                }
+            }
+            count += 1;
+        }
+        // Every instruction plus one terminator per block.
+        assert_eq!(count, f.instr_count() + f.blocks.len());
     }
 }

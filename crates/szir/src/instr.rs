@@ -378,6 +378,16 @@ impl Terminator {
         }
     }
 
+    /// Base execution latency in cycles, before memory-system effects.
+    ///
+    /// Every control transfer retires in one base cycle; mispredict
+    /// and fetch penalties come from the memory/branch model, not from
+    /// here. The interpreter and the pre-decoder both read this so the
+    /// charged latency can never diverge between them.
+    pub fn base_cycles(&self) -> u64 {
+        1
+    }
+
     /// Successor blocks.
     pub fn successors(&self) -> Vec<BlockId> {
         match self {

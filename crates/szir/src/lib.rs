@@ -37,7 +37,7 @@ mod program;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use error::IrError;
-pub use func::{Block, CodeLayout, Function};
+pub use func::{Block, CodeElem, CodeLayout, Function};
 pub use instr::{AluOp, Instr, Operand, Terminator};
 pub use program::{Global, GlobalInit, Program};
 

@@ -1,0 +1,388 @@
+//! Pre-decoded programs: flat, cache-friendly code streams.
+//!
+//! [`Vm::new`](crate::Vm::new) lowers every [`sz_ir::Function`] into a
+//! [`DecodedFunc`]: one contiguous `Vec<DecodedOp>` holding the
+//! function's instructions *and* terminators in layout order, with
+//!
+//! - the byte offset (`pc`), encoded size, and base latency of every
+//!   op precomputed (folding `CodeLayout::instr_offsets` and the
+//!   `encoded_size()`/`base_cycles()` virtual calls out of the
+//!   interpreter loop),
+//! - block targets pre-resolved to flat stream indices, so a taken
+//!   branch is one integer assignment instead of a
+//!   `(block, instr) -> Vec<Vec<_>>` walk, and
+//! - frame metadata (`num_regs`, `frame_bytes`) copied out so frame
+//!   push/pop never touches the original `Program`.
+//!
+//! Decoding changes *nothing* observable: the decoded stream drives the
+//! exact same `fetch`/`retire`/`load`/`store`/`branch` sequence as the
+//! pre-decode interpreter (kept in [`crate::reference`] as a
+//! differential oracle), so `PerfCounters` and `RunReport`s are
+//! bit-identical. `tests/` pins this with golden and property tests.
+
+use sz_ir::{
+    AluOp, CodeElem, FuncId, Function, GlobalId, Instr, Operand, Program, Reg, Terminator,
+};
+
+/// One pre-decoded operation: per-op metadata plus the operation
+/// payload. Terminators are ordinary ops living inline at the end of
+/// their block's range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedOp {
+    /// Byte offset of this op within the function's code — the fold of
+    /// `CodeLayout::instr_offsets[block][i]` (or `terminator_offset`)
+    /// into the stream. The interpreter adds the function's current
+    /// base address to form the fetch address.
+    pub pc: u64,
+    /// Encoded size in bytes (`Instr::encoded_size`).
+    pub size: u32,
+    /// Base latency in cycles (`Instr::base_cycles`; terminators retire
+    /// `Terminator::base_cycles`).
+    pub cycles: u32,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+/// The decoded operation payload.
+///
+/// Mirrors [`sz_ir::Instr`] / [`sz_ir::Terminator`] with decode-time
+/// work already done: stack-slot indices are pre-scaled to byte
+/// offsets, pointer displacements are pre-cast to wrapping `u64`, and
+/// control-flow targets are flat stream indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// `dst = a <op> b`.
+    Alu {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Materialize an f64 bit pattern.
+    FpConst {
+        /// Destination register.
+        dst: Reg,
+        /// IEEE-754 bit pattern.
+        bits: u64,
+    },
+    /// Integer to floating point.
+    IntToFp {
+        /// Destination register.
+        dst: Reg,
+        /// Integer source.
+        src: Operand,
+    },
+    /// Floating point to integer.
+    FpToInt {
+        /// Destination register.
+        dst: Reg,
+        /// Floating source.
+        src: Operand,
+    },
+    /// `dst = frame[byte_off]` (slot index pre-scaled by 8).
+    LoadSlot {
+        /// Destination register.
+        dst: Reg,
+        /// Byte offset within the frame.
+        byte_off: u64,
+    },
+    /// `frame[byte_off] = src`.
+    StoreSlot {
+        /// Value to store.
+        src: Operand,
+        /// Byte offset within the frame.
+        byte_off: u64,
+    },
+    /// `dst = global[offset]`.
+    LoadGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// The global.
+        global: GlobalId,
+        /// Byte offset within the global.
+        offset: Operand,
+    },
+    /// `global[offset] = src`.
+    StoreGlobal {
+        /// Value to store.
+        src: Operand,
+        /// The global.
+        global: GlobalId,
+        /// Byte offset within the global.
+        offset: Operand,
+    },
+    /// `dst = *(base + offset)` (displacement pre-cast for wrapping add).
+    LoadPtr {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base address.
+        base: Reg,
+        /// Two's-complement displacement.
+        offset: u64,
+    },
+    /// `*(base + offset) = src`.
+    StorePtr {
+        /// Value to store.
+        src: Operand,
+        /// Register holding the base address.
+        base: Reg,
+        /// Two's-complement displacement.
+        offset: u64,
+    },
+    /// Heap allocation.
+    Malloc {
+        /// Destination register for the address.
+        dst: Reg,
+        /// Allocation size in bytes.
+        size: Operand,
+    },
+    /// Heap release.
+    Free {
+        /// Register holding the address to free.
+        ptr: Reg,
+    },
+    /// Call another function.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument values.
+        args: Box<[Operand]>,
+        /// Register receiving the return value, if any.
+        ret: Option<Reg>,
+    },
+    /// Padding.
+    Nop,
+    /// Unconditional jump to a flat stream index.
+    Jump {
+        /// Flat index of the target block's first op.
+        target: u32,
+    },
+    /// Conditional branch to flat stream indices.
+    Branch {
+        /// Condition value.
+        cond: Operand,
+        /// Flat index when the condition is non-zero.
+        taken: u32,
+        /// Flat index when the condition is zero.
+        not_taken: u32,
+    },
+    /// Return from the function.
+    Ret {
+        /// Optional return value.
+        value: Option<Operand>,
+    },
+}
+
+/// A function lowered to a flat decoded stream plus the frame metadata
+/// the interpreter needs, so execution never re-touches the
+/// [`sz_ir::Function`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFunc {
+    /// The flat code stream. Block `b` occupies
+    /// `block_starts[b]..block_starts[b+1]` (or the end, for the last
+    /// block); the final op of each range is the block's terminator.
+    pub ops: Vec<DecodedOp>,
+    /// Flat index of each block's first op. Entry execution starts at
+    /// index 0 (block 0 is the entry block).
+    pub block_starts: Vec<u32>,
+    /// Virtual register count (`Function::num_regs`).
+    pub num_regs: u16,
+    /// Frame size in bytes (`Function::frame_bytes`).
+    pub frame_bytes: u64,
+}
+
+/// Lowers one function. The program must already be validated —
+/// decode assumes in-range blocks, registers, and slots.
+pub fn decode_function(f: &Function) -> DecodedFunc {
+    // Blocks are laid out consecutively; each contributes its
+    // instructions plus one terminator op.
+    let mut block_starts = Vec::with_capacity(f.blocks.len());
+    let mut idx = 0u32;
+    for block in &f.blocks {
+        block_starts.push(idx);
+        idx += block.instrs.len() as u32 + 1;
+    }
+
+    let mut ops = Vec::with_capacity(idx as usize);
+    for (_, pc, elem) in f.code_stream() {
+        let kind = match elem {
+            CodeElem::Instr(i) => decode_instr(i),
+            CodeElem::Term(t) => decode_term(t, &block_starts),
+        };
+        ops.push(DecodedOp {
+            pc,
+            size: elem.encoded_size() as u32,
+            cycles: elem.base_cycles() as u32,
+            kind,
+        });
+    }
+    DecodedFunc {
+        ops,
+        block_starts,
+        num_regs: f.num_regs,
+        frame_bytes: f.frame_bytes(),
+    }
+}
+
+/// Lowers every function of a validated program, indexed by `FuncId`.
+pub fn decode_program(program: &Program) -> Vec<DecodedFunc> {
+    program.functions.iter().map(decode_function).collect()
+}
+
+fn decode_instr(i: &Instr) -> OpKind {
+    match i {
+        Instr::Alu { dst, op, a, b } => OpKind::Alu {
+            dst: *dst,
+            op: *op,
+            a: *a,
+            b: *b,
+        },
+        Instr::FpConst { dst, bits } => OpKind::FpConst {
+            dst: *dst,
+            bits: *bits,
+        },
+        Instr::IntToFp { dst, src } => OpKind::IntToFp {
+            dst: *dst,
+            src: *src,
+        },
+        Instr::FpToInt { dst, src } => OpKind::FpToInt {
+            dst: *dst,
+            src: *src,
+        },
+        Instr::LoadSlot { dst, slot } => OpKind::LoadSlot {
+            dst: *dst,
+            byte_off: u64::from(*slot) * 8,
+        },
+        Instr::StoreSlot { src, slot } => OpKind::StoreSlot {
+            src: *src,
+            byte_off: u64::from(*slot) * 8,
+        },
+        Instr::LoadGlobal {
+            dst,
+            global,
+            offset,
+        } => OpKind::LoadGlobal {
+            dst: *dst,
+            global: *global,
+            offset: *offset,
+        },
+        Instr::StoreGlobal {
+            src,
+            global,
+            offset,
+        } => OpKind::StoreGlobal {
+            src: *src,
+            global: *global,
+            offset: *offset,
+        },
+        Instr::LoadPtr { dst, base, offset } => OpKind::LoadPtr {
+            dst: *dst,
+            base: *base,
+            offset: *offset as u64,
+        },
+        Instr::StorePtr { src, base, offset } => OpKind::StorePtr {
+            src: *src,
+            base: *base,
+            offset: *offset as u64,
+        },
+        Instr::Malloc { dst, size } => OpKind::Malloc {
+            dst: *dst,
+            size: *size,
+        },
+        Instr::Free { ptr } => OpKind::Free { ptr: *ptr },
+        Instr::Call { func, args, ret } => OpKind::Call {
+            func: *func,
+            args: args.clone().into_boxed_slice(),
+            ret: *ret,
+        },
+        Instr::Nop { .. } => OpKind::Nop,
+    }
+}
+
+fn decode_term(t: &Terminator, block_starts: &[u32]) -> OpKind {
+    match t {
+        Terminator::Jump(target) => OpKind::Jump {
+            target: block_starts[target.0 as usize],
+        },
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => OpKind::Branch {
+            cond: *cond,
+            taken: block_starts[taken.0 as usize],
+            not_taken: block_starts[not_taken.0 as usize],
+        },
+        Terminator::Ret { value } => OpKind::Ret { value: *value },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_ir::{AluOp, BlockId, ProgramBuilder};
+
+    fn looped_program() -> Program {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main", 0);
+        let s = f.slot();
+        f.store_slot(s, 0);
+        let header = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        let i = f.load_slot(s);
+        let c = f.alu(AluOp::CmpLt, i, 3);
+        f.branch(c, exit, exit);
+        f.switch_to(exit);
+        f.ret(Some(i.into()));
+        let main = p.add_function(f);
+        p.finish(main).unwrap()
+    }
+
+    #[test]
+    fn stream_covers_every_instr_and_terminator() {
+        let p = looped_program();
+        let f = &p.functions[0];
+        let d = decode_function(f);
+        assert_eq!(d.ops.len(), f.instr_count() + f.blocks.len());
+        assert_eq!(d.block_starts.len(), f.blocks.len());
+        assert_eq!(d.num_regs, f.num_regs);
+        assert_eq!(d.frame_bytes, f.frame_bytes());
+    }
+
+    #[test]
+    fn metadata_matches_the_layout_path() {
+        let p = looped_program();
+        let f = &p.functions[0];
+        let layout = f.layout();
+        let d = decode_function(f);
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let start = d.block_starts[bi] as usize;
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let op = &d.ops[start + ii];
+                assert_eq!(op.pc, layout.instr_offsets[bi][ii]);
+                assert_eq!(u64::from(op.size), instr.encoded_size());
+                assert_eq!(u64::from(op.cycles), instr.base_cycles());
+            }
+            let term = &d.ops[start + block.instrs.len()];
+            assert_eq!(term.pc, layout.terminator_offset(BlockId(bi as u32)));
+            assert_eq!(u64::from(term.size), block.term.encoded_size());
+            assert_eq!(u64::from(term.cycles), block.term.base_cycles());
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_flat_indices() {
+        let p = looped_program();
+        let d = decode_function(&p.functions[0]);
+        let OpKind::Jump { target } = d.ops[d.block_starts[0] as usize + 1].kind else {
+            panic!("entry block ends in a jump");
+        };
+        assert_eq!(target, d.block_starts[1]);
+    }
+}

@@ -51,10 +51,27 @@ pub trait LayoutEngine {
     /// Allocates `size` bytes of heap; `None` when out of memory.
     fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64>;
 
-    /// Frees a heap allocation. Returns `false` when `addr` is not a
-    /// live allocation; the VM surfaces that as
-    /// [`crate::VmError::InvalidFree`] instead of aborting the
-    /// process. Engines that cannot detect liveness return `true`.
+    /// Frees a heap allocation.
+    ///
+    /// The contract has exactly two outcomes:
+    ///
+    /// - `true` — the engine *accepted* the free. Either `addr` was a
+    ///   live allocation and is now released, or the engine does not
+    ///   track liveness and accepts every address (see below).
+    /// - `false` — the engine tracks liveness and `addr` is not a live
+    ///   allocation (wild free, interior pointer, or double free). The
+    ///   VM surfaces this as [`crate::VmError::InvalidFree`] instead of
+    ///   aborting the process; the engine must remain usable
+    ///   afterwards.
+    ///
+    /// Engines are **not** required to detect invalid frees:
+    /// [`SimpleLayout`] is a bump allocator with no metadata and
+    /// returns `true` unconditionally, while the `sz-link` and
+    /// stabilizer engines delegate to real allocators whose `try_free`
+    /// detects non-live addresses. Programs that must run identically
+    /// under every engine therefore may only free live pointers —
+    /// `tests/conformance_differential.rs` pins each in-tree engine's
+    /// behaviour.
     fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool;
 
     /// Called at function-call boundaries with the current cycle count
@@ -173,9 +190,11 @@ impl LayoutEngine for SimpleLayout {
     }
 
     fn free(&mut self, _addr: u64, _mem: &mut MemorySystem) -> bool {
-        // Bump allocator: no reuse, and no liveness tracking. (Timing
-        // of the free call is charged by the instruction's base cost
-        // in the VM.)
+        // Bump allocator: no reuse and no per-allocation metadata, so
+        // liveness is undecidable here — per the trait contract this
+        // engine accepts every address, including wild and double
+        // frees, and can never report InvalidFree. (Timing of the free
+        // call is charged by the instruction's base cost in the VM.)
         true
     }
 

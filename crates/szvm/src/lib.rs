@@ -31,12 +31,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod decode;
 mod engine;
 mod memory;
+pub mod reference;
 mod report;
 mod vm;
 
+pub use decode::{DecodedFunc, DecodedOp, OpKind};
 pub use engine::{FrameView, LayoutEngine, SimpleLayout};
 pub use memory::ValueMemory;
+pub use reference::run_reference;
 pub use report::{RunLimits, RunReport, VmError};
 pub use vm::Vm;

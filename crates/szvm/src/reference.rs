@@ -1,0 +1,334 @@
+//! The pre-decode interpreter, kept as a differential oracle.
+//!
+//! This is the original `Vm::step` path: per executed instruction it
+//! re-resolves `function -> layout -> block -> instr` through indexed
+//! lookups and clones the [`Instr`]/[`Terminator`] out of the program.
+//! [`crate::Vm`] replaced it with pre-decoded dispatch
+//! ([`crate::decode`]); this copy stays in-tree so tests can assert —
+//! run by run, counter by counter — that the rewrite changed *nothing*
+//! observable: `tests/decode_equivalence.rs` compares full
+//! [`RunReport`]s (totals and per-period snapshots) across every
+//! experiment configuration, and the error-path tests compare the
+//! counter state at each failure point.
+//!
+//! Not a public execution API: use [`crate::Vm`] for real work — this
+//! path is slower by design and only exists to be disagreed with.
+
+use sz_ir::{CodeLayout, FuncId, Instr, Operand, Program, Reg, Terminator};
+use sz_machine::{MachineConfig, MemorySystem};
+
+use crate::engine::FrameView;
+use crate::report::assemble_periods;
+use crate::vm::guest_malloc_size;
+use crate::{LayoutEngine, RunLimits, RunReport, ValueMemory, VmError};
+
+/// Executes `program` to completion with the pre-decode interpreter.
+///
+/// Mirrors [`crate::Vm::run`] exactly (including validation panics on
+/// an invalid program).
+///
+/// # Errors
+///
+/// Returns [`VmError`] under the same conditions as [`crate::Vm::run`].
+///
+/// # Panics
+///
+/// Panics if the program fails validation, like [`crate::Vm::new`].
+pub fn run_reference(
+    program: &Program,
+    engine: &mut dyn LayoutEngine,
+    config: MachineConfig,
+    limits: RunLimits,
+) -> Result<RunReport, VmError> {
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid program {}: {e}", program.name));
+    let layouts: Vec<CodeLayout> = program.functions.iter().map(|f| f.layout()).collect();
+
+    let mut mem = MemorySystem::new(config);
+    engine.prepare(program);
+
+    let mut values = ValueMemory::new();
+    for (i, g) in program.globals.iter().enumerate() {
+        let base = engine.global_base(sz_ir::GlobalId(i as u32));
+        match g.init {
+            sz_ir::GlobalInit::Zero => {}
+            sz_ir::GlobalInit::F64Bits(b) | sz_ir::GlobalInit::U64(b) => {
+                values.write(base, b);
+            }
+        }
+    }
+
+    let mut exec = Exec {
+        program,
+        layouts: &layouts,
+        engine,
+        mem: &mut mem,
+        values,
+        stack: Vec::new(),
+        stack_view: Vec::new(),
+        sp: 0,
+        limits,
+    };
+    exec.sp = exec.engine.stack_base();
+    exec.push_frame(program.entry, &[], None)?;
+
+    let mut return_value = None;
+    while !exec.stack.is_empty() {
+        return_value = exec.step()?;
+    }
+
+    let counters = *mem.counters();
+    let periods = assemble_periods(engine.period_marks(), &counters);
+    Ok(RunReport {
+        cycles: counters.cycles,
+        instructions: counters.instructions,
+        time: config.time_of(counters.cycles),
+        counters,
+        periods,
+        return_value,
+        engine: engine.name().to_string(),
+    })
+}
+
+/// One activation record of the reference interpreter.
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    code_base: u64,
+    regs: Vec<u64>,
+    frame_addr: u64,
+    ret_to: Option<Reg>,
+    block: usize,
+    instr: usize,
+    sp_restore: u64,
+}
+
+struct Exec<'a, 'p> {
+    program: &'p Program,
+    layouts: &'a [CodeLayout],
+    engine: &'a mut dyn LayoutEngine,
+    mem: &'a mut MemorySystem,
+    values: ValueMemory,
+    stack: Vec<Frame>,
+    stack_view: Vec<FrameView>,
+    sp: u64,
+    limits: RunLimits,
+}
+
+impl Exec<'_, '_> {
+    fn operand(&self, frame: &Frame, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => frame.regs[r.0 as usize],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: &[u64],
+        ret_to: Option<Reg>,
+    ) -> Result<(), VmError> {
+        if self.stack.len() >= self.limits.max_stack_depth {
+            return Err(VmError::StackOverflow {
+                limit: self.limits.max_stack_depth,
+            });
+        }
+        // Re-randomization check fires at function entry, modelling the
+        // trap STABILIZER plants at each function's first byte (§3.3).
+        self.engine
+            .tick(self.mem.counters().cycles, &self.stack_view, self.mem);
+
+        let code_base = self.engine.enter_function(func, self.mem);
+        let f = &self.program.functions[func.0 as usize];
+        let pad = self.engine.stack_pad(func, self.mem);
+        let sp_restore = self.sp;
+        // Layout below the caller: [linkage word][slots...], padded.
+        let new_sp = self.sp - pad - f.frame_bytes() - 8;
+        // Pushing the return address is a real store through the cache.
+        self.mem.store(new_sp + f.frame_bytes());
+        self.sp = new_sp;
+
+        let mut regs = vec![0u64; usize::from(f.num_regs)];
+        regs[..args.len()].copy_from_slice(args);
+        self.stack.push(Frame {
+            func,
+            code_base,
+            regs,
+            frame_addr: new_sp,
+            ret_to,
+            block: 0,
+            instr: 0,
+            sp_restore,
+        });
+        self.stack_view.push(FrameView { func, code_base });
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<Option<u64>, VmError> {
+        if self.mem.counters().instructions >= self.limits.max_instructions {
+            return Err(VmError::OutOfFuel {
+                limit: self.limits.max_instructions,
+            });
+        }
+
+        let top = self.stack.len() - 1;
+        let (func, block, instr_idx, code_base) = {
+            let f = &self.stack[top];
+            (f.func, f.block, f.instr, f.code_base)
+        };
+        let function = &self.program.functions[func.0 as usize];
+        let layout = &self.layouts[func.0 as usize];
+        let block_ref = &function.blocks[block];
+
+        if instr_idx < block_ref.instrs.len() {
+            let instr = &block_ref.instrs[instr_idx];
+            let pc = code_base + layout.instr_offsets[block][instr_idx];
+            self.mem.fetch(pc, instr.encoded_size());
+            self.mem.retire(instr.base_cycles());
+            self.stack[top].instr += 1;
+            self.exec_instr(top, instr.clone())?;
+        } else {
+            let pc = code_base + layout.terminator_offset(sz_ir::BlockId(block as u32));
+            let term = block_ref.term.clone();
+            self.mem.fetch(pc, term.encoded_size());
+            self.mem.retire(term.base_cycles());
+            return self.exec_terminator(top, pc, term);
+        }
+        Ok(None)
+    }
+
+    fn exec_instr(&mut self, top: usize, instr: Instr) -> Result<(), VmError> {
+        match instr {
+            Instr::Alu { dst, op, a, b } => {
+                let frame = &self.stack[top];
+                let x = self.operand(frame, a);
+                let y = self.operand(frame, b);
+                self.stack[top].regs[dst.0 as usize] = op.eval(x, y);
+            }
+            Instr::FpConst { dst, bits } => {
+                self.stack[top].regs[dst.0 as usize] = bits;
+            }
+            Instr::IntToFp { dst, src } => {
+                let v = self.operand(&self.stack[top], src) as i64;
+                self.stack[top].regs[dst.0 as usize] = (v as f64).to_bits();
+            }
+            Instr::FpToInt { dst, src } => {
+                let v = f64::from_bits(self.operand(&self.stack[top], src));
+                self.stack[top].regs[dst.0 as usize] = v as i64 as u64;
+            }
+            Instr::LoadSlot { dst, slot } => {
+                let addr = self.stack[top].frame_addr + u64::from(slot) * 8;
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StoreSlot { src, slot } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let addr = frame.frame_addr + u64::from(slot) * 8;
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::LoadGlobal {
+                dst,
+                global,
+                offset,
+            } => {
+                let off = self.operand(&self.stack[top], offset);
+                let addr = self.engine.global_base(global).wrapping_add(off);
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StoreGlobal {
+                src,
+                global,
+                offset,
+            } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let off = self.operand(frame, offset);
+                let addr = self.engine.global_base(global).wrapping_add(off);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::LoadPtr { dst, base, offset } => {
+                let addr = self.stack[top].regs[base.0 as usize].wrapping_add(offset as u64);
+                self.mem.load(addr);
+                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+            }
+            Instr::StorePtr { src, base, offset } => {
+                let frame = &self.stack[top];
+                let v = self.operand(frame, src);
+                let addr = frame.regs[base.0 as usize].wrapping_add(offset as u64);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Instr::Malloc { dst, size } => {
+                let sz = guest_malloc_size(self.operand(&self.stack[top], size));
+                let addr = self
+                    .engine
+                    .malloc(sz, self.mem)
+                    .ok_or(VmError::OutOfMemory { request: sz })?;
+                self.stack[top].regs[dst.0 as usize] = addr;
+            }
+            Instr::Free { ptr } => {
+                let addr = self.stack[top].regs[ptr.0 as usize];
+                if !self.engine.free(addr, self.mem) {
+                    return Err(VmError::InvalidFree { addr });
+                }
+            }
+            Instr::Call { func, args, ret } => {
+                let frame = &self.stack[top];
+                let argv: Vec<u64> = args.iter().map(|a| self.operand(frame, *a)).collect();
+                self.push_frame(func, &argv, ret)?;
+            }
+            Instr::Nop { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn exec_terminator(
+        &mut self,
+        top: usize,
+        pc: u64,
+        term: Terminator,
+    ) -> Result<Option<u64>, VmError> {
+        match term {
+            Terminator::Jump(target) => {
+                self.stack[top].block = target.0 as usize;
+                self.stack[top].instr = 0;
+                Ok(None)
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                let c = self.operand(&self.stack[top], cond) != 0;
+                self.mem.branch(pc, c);
+                let target = if c { taken } else { not_taken };
+                self.stack[top].block = target.0 as usize;
+                self.stack[top].instr = 0;
+                Ok(None)
+            }
+            Terminator::Ret { value } => {
+                let v = value.map(|op| self.operand(&self.stack[top], op));
+                let frame = self.stack.pop().expect("top frame exists");
+                self.stack_view.pop();
+                // Popping the return address is a load.
+                let function = &self.program.functions[frame.func.0 as usize];
+                self.mem.load(frame.frame_addr + function.frame_bytes());
+                self.sp = frame.sp_restore;
+                if let Some(caller) = self.stack.last_mut() {
+                    if let (Some(reg), Some(val)) = (frame.ret_to, v) {
+                        caller.regs[reg.0 as usize] = val;
+                    }
+                    Ok(None)
+                } else {
+                    Ok(v)
+                }
+            }
+        }
+    }
+}

@@ -96,6 +96,37 @@ impl std::fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// Converts an engine's cumulative boundary snapshots into per-period
+/// deltas, closing the final (possibly partial) period at the run's
+/// end. Every run has at least one period. Shared by the decoded
+/// interpreter and the reference interpreter so reports assemble
+/// identically.
+pub(crate) fn assemble_periods(
+    marks: &[sz_machine::PerfCounters],
+    end: &sz_machine::PerfCounters,
+) -> Vec<sz_machine::PeriodSnapshot> {
+    let mut periods = Vec::with_capacity(marks.len() + 1);
+    let mut prev = sz_machine::PerfCounters::default();
+    for mark in marks {
+        periods.push(sz_machine::PeriodSnapshot {
+            index: periods.len() as u32,
+            start_cycles: prev.cycles,
+            end_cycles: mark.cycles,
+            counters: mark.delta_since(&prev),
+        });
+        prev = *mark;
+    }
+    if periods.is_empty() || *end != prev {
+        periods.push(sz_machine::PeriodSnapshot {
+            index: periods.len() as u32,
+            start_cycles: prev.cycles,
+            end_cycles: end.cycles,
+            counters: end.delta_since(&prev),
+        });
+    }
+    periods
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

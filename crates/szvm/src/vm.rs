@@ -1,40 +1,74 @@
-//! The interpreter proper.
+//! The interpreter proper: pre-decoded flat dispatch.
+//!
+//! [`Vm::new`] lowers every function into a [`DecodedFunc`] (see
+//! [`crate::decode`]); [`Vm::run`] then executes the flat stream by
+//! bumping a per-frame cursor and executing ops *by reference* — no
+//! per-instruction cloning, no nested `Vec` indexing, no layout-table
+//! lookups. Registers for all live frames share one contiguous pool.
+//!
+//! The memory-model call sequence (`fetch`/`retire`/`load`/`store`/
+//! `branch` and every engine callback) is identical to the pre-decode
+//! interpreter preserved in [`crate::reference`], so counters and
+//! reports are bit-identical; `tests/decode_equivalence.rs` holds that
+//! line.
 
-use sz_ir::{AluOp, CodeLayout, FuncId, Instr, Operand, Program, Reg, Terminator};
+use sz_ir::{FuncId, Operand, Program, Reg};
 use sz_machine::{MachineConfig, MemorySystem};
 
+use crate::decode::{decode_program, DecodedFunc, OpKind};
 use crate::engine::FrameView;
+use crate::report::assemble_periods;
 use crate::{LayoutEngine, RunLimits, RunReport, ValueMemory, VmError};
+
+/// The guest-facing zero-size-malloc policy, in one place.
+///
+/// C's `malloc(0)` is legal and appears in real workloads; the VM
+/// normalizes every guest allocation request through this function
+/// before any [`LayoutEngine`] sees it, so engines (and the allocators
+/// beneath them) may demand `size > 0` and still behave identically on
+/// zero-size guest requests. Allocators keep their own size-class
+/// floors (e.g. the shuffle layer's minimum class) — those round a
+/// *positive* request up and are not zero-size policy.
+#[inline]
+pub(crate) fn guest_malloc_size(requested: u64) -> u64 {
+    requested.max(1)
+}
 
 /// An interpreter for one program.
 ///
-/// Construction precomputes per-function code layouts (instruction
-/// byte offsets); [`Vm::run`] then executes the program under any
+/// Construction pre-decodes every function into a flat code stream
+/// ([`DecodedFunc`]); [`Vm::run`] then executes the program under any
 /// [`LayoutEngine`].
 #[derive(Debug)]
 pub struct Vm<'p> {
     program: &'p Program,
-    layouts: Vec<CodeLayout>,
+    decoded: Vec<DecodedFunc>,
 }
 
 /// One activation record.
+///
+/// Registers live in the shared [`Exec::regs`] pool starting at
+/// `reg_base`; the instruction cursor `ip` indexes the owning
+/// function's flat decoded stream.
 #[derive(Debug)]
 struct Frame {
     func: FuncId,
     code_base: u64,
-    regs: Vec<u64>,
+    /// First register of this frame in the shared pool.
+    reg_base: usize,
     /// Address of stack slot 0 (frames grow down from the caller).
     frame_addr: u64,
     /// Where the caller stores this activation's return value.
     ret_to: Option<Reg>,
-    block: usize,
-    instr: usize,
+    /// Cursor into the decoded stream.
+    ip: u32,
     /// Stack pointer to restore on return.
     sp_restore: u64,
 }
 
 impl<'p> Vm<'p> {
-    /// Prepares the program for execution.
+    /// Prepares the program for execution: validates it and lowers
+    /// every function to its decoded stream.
     ///
     /// # Panics
     ///
@@ -44,8 +78,10 @@ impl<'p> Vm<'p> {
         program
             .validate()
             .unwrap_or_else(|e| panic!("invalid program {}: {e}", program.name));
-        let layouts = program.functions.iter().map(|f| f.layout()).collect();
-        Vm { program, layouts }
+        Vm {
+            program,
+            decoded: decode_program(program),
+        }
     }
 
     /// The program this VM executes.
@@ -53,12 +89,18 @@ impl<'p> Vm<'p> {
         self.program
     }
 
+    /// The decoded streams, indexed by `FuncId` — exposed so tests can
+    /// check the decoder against [`sz_ir::CodeLayout`] ground truth.
+    pub fn decoded_funcs(&self) -> &[DecodedFunc] {
+        &self.decoded
+    }
+
     /// Executes the program to completion under `engine`.
     ///
     /// # Errors
     ///
     /// Returns [`VmError`] if the instruction budget, stack depth, or
-    /// heap is exhausted.
+    /// heap is exhausted, or the program frees a non-live address.
     pub fn run(
         &self,
         engine: &mut dyn LayoutEngine,
@@ -86,6 +128,8 @@ impl<'p> Vm<'p> {
             values,
             stack: Vec::new(),
             stack_view: Vec::new(),
+            regs: Vec::new(),
+            scratch: Vec::new(),
             sp: 0,
             limits,
         };
@@ -111,33 +155,13 @@ impl<'p> Vm<'p> {
     }
 }
 
-/// Converts an engine's cumulative boundary snapshots into per-period
-/// deltas, closing the final (possibly partial) period at the run's
-/// end. Every run has at least one period.
-fn assemble_periods(
-    marks: &[sz_machine::PerfCounters],
-    end: &sz_machine::PerfCounters,
-) -> Vec<sz_machine::PeriodSnapshot> {
-    let mut periods = Vec::with_capacity(marks.len() + 1);
-    let mut prev = sz_machine::PerfCounters::default();
-    for mark in marks {
-        periods.push(sz_machine::PeriodSnapshot {
-            index: periods.len() as u32,
-            start_cycles: prev.cycles,
-            end_cycles: mark.cycles,
-            counters: mark.delta_since(&prev),
-        });
-        prev = *mark;
+/// Reads an operand against a frame's register window.
+#[inline]
+fn operand(regs: &[u64], op: Operand) -> u64 {
+    match op {
+        Operand::Reg(r) => regs[r.0 as usize],
+        Operand::Imm(v) => v as u64,
     }
-    if periods.is_empty() || *end != prev {
-        periods.push(sz_machine::PeriodSnapshot {
-            index: periods.len() as u32,
-            start_cycles: prev.cycles,
-            end_cycles: end.cycles,
-            counters: end.delta_since(&prev),
-        });
-    }
-    periods
 }
 
 /// Mutable execution state, split out so borrows stay simple.
@@ -148,18 +172,16 @@ struct Exec<'a, 'p> {
     values: ValueMemory,
     stack: Vec<Frame>,
     stack_view: Vec<FrameView>,
+    /// Register pool: frame `i` owns `regs[frame.reg_base..]` up to the
+    /// next frame's base (or the pool's end for the top frame).
+    regs: Vec<u64>,
+    /// Reusable call-argument buffer.
+    scratch: Vec<u64>,
     sp: u64,
     limits: RunLimits,
 }
 
 impl Exec<'_, '_> {
-    fn operand(&self, frame: &Frame, op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => frame.regs[r.0 as usize],
-            Operand::Imm(v) => v as u64,
-        }
-    }
-
     fn push_frame(
         &mut self,
         func: FuncId,
@@ -177,34 +199,34 @@ impl Exec<'_, '_> {
             .tick(self.mem.counters().cycles, &self.stack_view, self.mem);
 
         let code_base = self.engine.enter_function(func, self.mem);
-        let f = &self.vm.program.functions[func.0 as usize];
+        let f = &self.vm.decoded[func.0 as usize];
         let pad = self.engine.stack_pad(func, self.mem);
         let sp_restore = self.sp;
         // Layout below the caller: [linkage word][slots...], padded.
-        let new_sp = self.sp - pad - f.frame_bytes() - 8;
+        let new_sp = self.sp - pad - f.frame_bytes - 8;
         // Pushing the return address is a real store through the cache:
         // this is how stack placement reaches the timing model.
-        self.mem.store(new_sp + f.frame_bytes());
+        self.mem.store(new_sp + f.frame_bytes);
         self.sp = new_sp;
 
-        let mut regs = vec![0u64; usize::from(f.num_regs)];
-        regs[..args.len()].copy_from_slice(args);
+        let reg_base = self.regs.len();
+        self.regs.resize(reg_base + usize::from(f.num_regs), 0);
+        self.regs[reg_base..reg_base + args.len()].copy_from_slice(args);
         self.stack.push(Frame {
             func,
             code_base,
-            regs,
+            reg_base,
             frame_addr: new_sp,
             ret_to,
-            block: 0,
-            instr: 0,
+            ip: 0,
             sp_restore,
         });
         self.stack_view.push(FrameView { func, code_base });
         Ok(())
     }
 
-    /// Executes one instruction or terminator of the top frame.
-    /// Returns the program's final value when the last frame returns.
+    /// Executes one decoded op of the top frame. Returns the program's
+    /// final value when the last frame returns.
     fn step(&mut self) -> Result<Option<u64>, VmError> {
         if self.mem.counters().instructions >= self.limits.max_instructions {
             return Err(VmError::OutOfFuel {
@@ -212,178 +234,162 @@ impl Exec<'_, '_> {
             });
         }
 
+        // `vm` is a shared reference copied out of `self`, so `op`
+        // borrows the decoded stream independently of `self` — the hot
+        // loop executes by reference with zero cloning.
+        let vm = self.vm;
         let top = self.stack.len() - 1;
-        let (func, block, instr_idx, code_base) = {
-            let f = &self.stack[top];
-            (f.func, f.block, f.instr, f.code_base)
-        };
-        let function = &self.vm.program.functions[func.0 as usize];
-        let layout = &self.vm.layouts[func.0 as usize];
-        let block_ref = &function.blocks[block];
+        let frame = &mut self.stack[top];
+        let reg_base = frame.reg_base;
+        let op = &vm.decoded[frame.func.0 as usize].ops[frame.ip as usize];
+        let pc = frame.code_base + op.pc;
+        self.mem.fetch(pc, u64::from(op.size));
+        self.mem.retire(u64::from(op.cycles));
 
-        if instr_idx < block_ref.instrs.len() {
-            let instr = &block_ref.instrs[instr_idx];
-            let pc = code_base + layout.instr_offsets[block][instr_idx];
-            self.mem.fetch(pc, instr.encoded_size());
-            self.mem.retire(instr.base_cycles());
-            self.stack[top].instr += 1;
-            self.exec_instr(top, instr.clone())?;
-        } else {
-            let pc = code_base + layout.terminator_offset(sz_ir::BlockId(block as u32));
-            let term = block_ref.term.clone();
-            self.mem.fetch(pc, term.encoded_size());
-            self.mem.retire(1);
-            return self.exec_terminator(top, pc, term);
-        }
-        Ok(None)
-    }
-
-    fn exec_instr(&mut self, top: usize, instr: Instr) -> Result<(), VmError> {
-        match instr {
-            Instr::Alu { dst, op, a, b } => {
-                let frame = &self.stack[top];
-                let x = self.operand(frame, a);
-                let y = self.operand(frame, b);
-                let v = alu(op, x, y);
-                self.stack[top].regs[dst.0 as usize] = v;
+        match &op.kind {
+            OpKind::Alu { dst, op, a, b } => {
+                frame.ip += 1;
+                let regs = &mut self.regs[reg_base..];
+                let x = operand(regs, *a);
+                let y = operand(regs, *b);
+                regs[dst.0 as usize] = op.eval(x, y);
             }
-            Instr::FpConst { dst, bits } => {
-                self.stack[top].regs[dst.0 as usize] = bits;
+            OpKind::FpConst { dst, bits } => {
+                frame.ip += 1;
+                self.regs[reg_base + dst.0 as usize] = *bits;
             }
-            Instr::IntToFp { dst, src } => {
-                let v = self.operand(&self.stack[top], src) as i64;
-                self.stack[top].regs[dst.0 as usize] = (v as f64).to_bits();
+            OpKind::IntToFp { dst, src } => {
+                frame.ip += 1;
+                let regs = &mut self.regs[reg_base..];
+                let v = operand(regs, *src) as i64;
+                regs[dst.0 as usize] = (v as f64).to_bits();
             }
-            Instr::FpToInt { dst, src } => {
-                let v = f64::from_bits(self.operand(&self.stack[top], src));
-                self.stack[top].regs[dst.0 as usize] = v as i64 as u64;
+            OpKind::FpToInt { dst, src } => {
+                frame.ip += 1;
+                let regs = &mut self.regs[reg_base..];
+                let v = f64::from_bits(operand(regs, *src));
+                regs[dst.0 as usize] = v as i64 as u64;
             }
-            Instr::LoadSlot { dst, slot } => {
-                let addr = self.stack[top].frame_addr + u64::from(slot) * 8;
+            OpKind::LoadSlot { dst, byte_off } => {
+                frame.ip += 1;
+                let addr = frame.frame_addr + byte_off;
                 self.mem.load(addr);
-                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+                self.regs[reg_base + dst.0 as usize] = self.values.read(addr);
             }
-            Instr::StoreSlot { src, slot } => {
-                let frame = &self.stack[top];
-                let v = self.operand(frame, src);
-                let addr = frame.frame_addr + u64::from(slot) * 8;
+            OpKind::StoreSlot { src, byte_off } => {
+                frame.ip += 1;
+                let v = operand(&self.regs[reg_base..], *src);
+                let addr = frame.frame_addr + byte_off;
                 self.mem.store(addr);
                 self.values.write(addr, v);
             }
-            Instr::LoadGlobal {
+            OpKind::LoadGlobal {
                 dst,
                 global,
                 offset,
             } => {
-                let off = self.operand(&self.stack[top], offset);
-                let addr = self.engine.global_base(global).wrapping_add(off);
+                frame.ip += 1;
+                let off = operand(&self.regs[reg_base..], *offset);
+                let addr = self.engine.global_base(*global).wrapping_add(off);
                 self.mem.load(addr);
-                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+                self.regs[reg_base + dst.0 as usize] = self.values.read(addr);
             }
-            Instr::StoreGlobal {
+            OpKind::StoreGlobal {
                 src,
                 global,
                 offset,
             } => {
-                let frame = &self.stack[top];
-                let v = self.operand(frame, src);
-                let off = self.operand(frame, offset);
-                let addr = self.engine.global_base(global).wrapping_add(off);
+                frame.ip += 1;
+                let regs = &self.regs[reg_base..];
+                let v = operand(regs, *src);
+                let off = operand(regs, *offset);
+                let addr = self.engine.global_base(*global).wrapping_add(off);
                 self.mem.store(addr);
                 self.values.write(addr, v);
             }
-            Instr::LoadPtr { dst, base, offset } => {
-                let addr = self.stack[top].regs[base.0 as usize].wrapping_add(offset as u64);
+            OpKind::LoadPtr { dst, base, offset } => {
+                frame.ip += 1;
+                let addr = self.regs[reg_base + base.0 as usize].wrapping_add(*offset);
                 self.mem.load(addr);
-                self.stack[top].regs[dst.0 as usize] = self.values.read(addr);
+                self.regs[reg_base + dst.0 as usize] = self.values.read(addr);
             }
-            Instr::StorePtr { src, base, offset } => {
-                let frame = &self.stack[top];
-                let v = self.operand(frame, src);
-                let addr = frame.regs[base.0 as usize].wrapping_add(offset as u64);
+            OpKind::StorePtr { src, base, offset } => {
+                frame.ip += 1;
+                let regs = &self.regs[reg_base..];
+                let v = operand(regs, *src);
+                let addr = regs[base.0 as usize].wrapping_add(*offset);
                 self.mem.store(addr);
                 self.values.write(addr, v);
             }
-            Instr::Malloc { dst, size } => {
-                let sz = self.operand(&self.stack[top], size).max(1);
+            OpKind::Malloc { dst, size } => {
+                frame.ip += 1;
+                let sz = guest_malloc_size(operand(&self.regs[reg_base..], *size));
                 let addr = self
                     .engine
                     .malloc(sz, self.mem)
                     .ok_or(VmError::OutOfMemory { request: sz })?;
-                self.stack[top].regs[dst.0 as usize] = addr;
+                self.regs[reg_base + dst.0 as usize] = addr;
             }
-            Instr::Free { ptr } => {
-                let addr = self.stack[top].regs[ptr.0 as usize];
+            OpKind::Free { ptr } => {
+                frame.ip += 1;
+                let addr = self.regs[reg_base + ptr.0 as usize];
                 if !self.engine.free(addr, self.mem) {
                     return Err(VmError::InvalidFree { addr });
                 }
             }
-            Instr::Call { func, args, ret } => {
-                let frame = &self.stack[top];
-                let argv: Vec<u64> = args.iter().map(|a| self.operand(frame, *a)).collect();
-                self.push_frame(func, &argv, ret)?;
+            OpKind::Call { func, args, ret } => {
+                frame.ip += 1;
+                let mut argv = std::mem::take(&mut self.scratch);
+                argv.clear();
+                let regs = &self.regs[reg_base..];
+                argv.extend(args.iter().map(|a| operand(regs, *a)));
+                let result = self.push_frame(*func, &argv, *ret);
+                self.scratch = argv;
+                result?;
             }
-            Instr::Nop { .. } => {}
-        }
-        Ok(())
-    }
-
-    fn exec_terminator(
-        &mut self,
-        top: usize,
-        pc: u64,
-        term: Terminator,
-    ) -> Result<Option<u64>, VmError> {
-        match term {
-            Terminator::Jump(target) => {
-                self.stack[top].block = target.0 as usize;
-                self.stack[top].instr = 0;
-                Ok(None)
+            OpKind::Nop => {
+                frame.ip += 1;
             }
-            Terminator::Branch {
+            OpKind::Jump { target } => {
+                frame.ip = *target;
+            }
+            OpKind::Branch {
                 cond,
                 taken,
                 not_taken,
             } => {
-                let c = self.operand(&self.stack[top], cond) != 0;
+                let c = operand(&self.regs[reg_base..], *cond) != 0;
                 self.mem.branch(pc, c);
-                let target = if c { taken } else { not_taken };
-                self.stack[top].block = target.0 as usize;
-                self.stack[top].instr = 0;
-                Ok(None)
+                frame.ip = if c { *taken } else { *not_taken };
             }
-            Terminator::Ret { value } => {
-                let v = value.map(|op| self.operand(&self.stack[top], op));
+            OpKind::Ret { value } => {
+                let v = value.map(|op| operand(&self.regs[reg_base..], op));
                 let frame = self.stack.pop().expect("top frame exists");
                 self.stack_view.pop();
                 // Popping the return address is a load.
-                let function = &self.vm.program.functions[frame.func.0 as usize];
-                self.mem.load(frame.frame_addr + function.frame_bytes());
+                let frame_bytes = vm.decoded[frame.func.0 as usize].frame_bytes;
+                self.mem.load(frame.frame_addr + frame_bytes);
                 self.sp = frame.sp_restore;
-                if let Some(caller) = self.stack.last_mut() {
+                self.regs.truncate(frame.reg_base);
+                return if let Some(caller) = self.stack.last() {
                     if let (Some(reg), Some(val)) = (frame.ret_to, v) {
-                        caller.regs[reg.0 as usize] = val;
+                        self.regs[caller.reg_base + reg.0 as usize] = val;
                     }
                     Ok(None)
                 } else {
                     Ok(v)
-                }
+                };
             }
         }
+        Ok(None)
     }
-}
-
-/// ALU semantics live on [`AluOp::eval`] so the optimizer's constant
-/// folder and the interpreter can never disagree.
-fn alu(op: AluOp, a: u64, b: u64) -> u64 {
-    op.eval(a, b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SimpleLayout;
-    use sz_ir::ProgramBuilder;
+    use sz_ir::{AluOp, ProgramBuilder};
 
     fn run(program: &Program) -> RunReport {
         let mut engine = SimpleLayout::new();
@@ -617,5 +623,61 @@ mod tests {
         let cfg = MachineConfig::tiny();
         assert!((r.time.as_nanos() - cfg.time_of(r.cycles).as_nanos()).abs() < 1e-9);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn matches_the_reference_interpreter_bit_for_bit() {
+        // The in-module smoke version of tests/decode_equivalence.rs:
+        // a loop with calls, heap, floats, and globals must produce an
+        // identical RunReport under both interpreters.
+        let mut p = ProgramBuilder::new("t");
+        let g = p.global("table", 256);
+        let mut leaf = p.function("leaf", 1);
+        let x = leaf.param(0);
+        let v = leaf.load_global(g, x);
+        let w = leaf.alu(AluOp::Add, v, 3);
+        leaf.store_global(g, x, w);
+        leaf.ret(Some(w.into()));
+        let leaf = p.add_function(leaf);
+        let mut f = p.function("main", 0);
+        let s = f.slot();
+        f.store_slot(s, 0);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        let i = f.load_slot(s);
+        let c = f.alu(AluOp::CmpLt, i, 40);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i = f.load_slot(s);
+        let off = f.alu(AluOp::And, i, 31);
+        let buf = f.malloc(32);
+        f.store_ptr(buf, 0, off);
+        f.call_void(leaf, vec![off.into()]);
+        f.free(buf);
+        let ni = f.alu(AluOp::Add, i, 1);
+        f.store_slot(s, ni);
+        f.jump(header);
+        f.switch_to(exit);
+        let out = f.load_slot(s);
+        f.ret(Some(out.into()));
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+
+        let mut e1 = SimpleLayout::new();
+        let decoded = Vm::new(&prog)
+            .run(&mut e1, MachineConfig::tiny(), RunLimits::default())
+            .unwrap();
+        let mut e2 = SimpleLayout::new();
+        let reference = crate::reference::run_reference(
+            &prog,
+            &mut e2,
+            MachineConfig::tiny(),
+            RunLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(decoded, reference);
     }
 }

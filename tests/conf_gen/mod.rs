@@ -1,0 +1,322 @@
+//! Deterministic staged random-IR generator for the cross-engine
+//! conformance suite.
+//!
+//! Programs come out of a seeded [`SplitMix64`]; equal seeds produce
+//! identical programs, so every failure is replayable from the seed
+//! alone. Generation is *staged*: globals first, then straight-line
+//! leaf functions, then an optional looping mid-tier that calls the
+//! leaves, then a looping `main` that calls everything — the call graph
+//! is acyclic by construction and every loop is a bounded counter loop,
+//! so every generated program terminates.
+//!
+//! The generator enforces the *layout-invariance discipline* that makes
+//! a program's architectural result (return value + error class)
+//! independent of the layout engine executing it:
+//!
+//! - **Addresses never become data.** A register holding a `malloc`
+//!   result is used only as a load/store base and as the operand of
+//!   `free`; it never flows into ALU inputs, comparisons, call
+//!   arguments, stores, or return values.
+//! - **Reads are dominated by writes.** Stack slots are initialized at
+//!   function entry before any load; heap cells are loaded only at
+//!   offsets the same allocation has already stored. (Engines reuse
+//!   freed memory differently, so reading an unwritten heap cell would
+//!   observe engine-dependent stale data.) Global cells may be read
+//!   uninitialized — globals are never reused, so the zero/init value
+//!   is engine-independent.
+//! - **Only live pointers are freed**, each at most once, because
+//!   engines legitimately disagree on wild frees: allocator-backed
+//!   engines report them, the bump-allocator engine cannot (see
+//!   `LayoutEngine::free`).
+
+// Each integration-test binary that includes this module uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use sz_ir::{AluOp, FuncId, FunctionBuilder, GlobalId, GlobalInit, Operand, Program};
+use sz_ir::{ProgramBuilder, Reg};
+use sz_rng::{Rng, SplitMix64};
+
+/// Base seed used when `SZ_CONF_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0xC0FF_EE00;
+
+/// Number of programs the suite checks per run.
+pub const DEFAULT_PROGRAMS: u64 = 64;
+
+/// Reads the suite's base seed, overridable via `SZ_CONF_SEED` so CI
+/// (and bug hunts) can sweep fresh regions of program space without a
+/// code change.
+pub fn base_seed() -> u64 {
+    match std::env::var("SZ_CONF_SEED") {
+        Ok(s) if !s.trim().is_empty() => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("SZ_CONF_SEED must be an integer, got {s:?}")),
+        _ => DEFAULT_SEED,
+    }
+}
+
+/// A function the generator may call: id, arity.
+#[derive(Clone, Copy)]
+struct Callee {
+    id: FuncId,
+    params: u16,
+}
+
+/// Generates one always-terminating, layout-invariant program.
+pub fn generate(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let mut p = ProgramBuilder::new(format!("conf-{seed:#x}"));
+
+    // Stage 1: globals (always at least one, 128 bytes each — offsets
+    // stay 8-aligned and in-bounds).
+    let globals: Vec<GlobalId> = (0..1 + rng.below(3))
+        .map(|i| {
+            if rng.chance(0.5) {
+                p.global_init(format!("g{i}"), 128, GlobalInit::U64(rng.below(100_000)))
+            } else {
+                p.global(format!("g{i}"), 128)
+            }
+        })
+        .collect();
+
+    // Stage 2: straight-line leaves.
+    let mut callees: Vec<Callee> = Vec::new();
+    for i in 0..1 + rng.below(3) {
+        let params = rng.below(3) as u16;
+        let mut f = p.function(format!("leaf{i}"), params);
+        gen_straight_body(&mut f, &mut rng, &globals, &[], params);
+        let id = p.add_function(f);
+        callees.push(Callee { id, params });
+    }
+
+    // Stage 3: an optional looping mid-tier calling the leaves.
+    if rng.chance(0.5) {
+        let params = 1;
+        let mut f = p.function("mid", params);
+        let trip = 2 + rng.below(5);
+        gen_loop_body(&mut f, &mut rng, &globals, &callees, params, trip);
+        let id = p.add_function(f);
+        callees.push(Callee { id, params });
+    }
+
+    // Stage 4: main loops over everything.
+    let mut f = p.function("main", 0);
+    let trip = 3 + rng.below(10);
+    gen_loop_body(&mut f, &mut rng, &globals, &callees, 0, trip);
+    let main = p.add_function(f);
+    p.finish(main).expect("generated programs are valid")
+}
+
+/// Emits a function that initializes its slots, runs a bounded counter
+/// loop accumulating into a slot, and returns the accumulator.
+fn gen_loop_body(
+    f: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    globals: &[GlobalId],
+    callees: &[Callee],
+    params: u16,
+    trip: u64,
+) {
+    let s_i = f.slot();
+    let s_acc = f.slot();
+    f.store_slot(s_i, 0);
+    let acc0 = (rng.below(1 << 20)) as i64;
+    f.store_slot(s_acc, acc0);
+
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jump(header);
+
+    f.switch_to(header);
+    let i = f.load_slot(s_i);
+    let c = f.alu(AluOp::CmpLt, i, trip as i64);
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    let i = f.load_slot(s_i);
+    let acc = f.load_slot(s_acc);
+    let mut data: Vec<Reg> = vec![i, acc];
+    for k in 0..params {
+        data.push(f.param(k));
+    }
+    let n_ops = 2 + rng.below(6);
+    for _ in 0..n_ops {
+        emit_op(f, rng, &mut data, globals, callees);
+    }
+    let new_acc = fold_data(f, rng, &data);
+    f.store_slot(s_acc, new_acc);
+    let ni = f.alu(AluOp::Add, i, 1);
+    f.store_slot(s_i, ni);
+    f.jump(header);
+
+    f.switch_to(exit);
+    let out = f.load_slot(s_acc);
+    f.ret(Some(out.into()));
+}
+
+/// Emits a straight-line function body: init slots, a few ops, return
+/// a fold of the data pool.
+fn gen_straight_body(
+    f: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    globals: &[GlobalId],
+    callees: &[Callee],
+    params: u16,
+) {
+    let mut data: Vec<Reg> = (0..params).map(|k| f.param(k)).collect();
+    let n_slots = rng.below(3);
+    for _ in 0..n_slots {
+        let s = f.slot();
+        let init = (rng.below(1 << 16)) as i64;
+        f.store_slot(s, init);
+        let v = f.load_slot(s);
+        data.push(v);
+    }
+    if data.is_empty() {
+        let v = f.alu(AluOp::Add, (rng.below(1 << 16)) as i64, 0);
+        data.push(v);
+    }
+    let n_ops = 1 + rng.below(5);
+    for _ in 0..n_ops {
+        emit_op(f, rng, &mut data, globals, callees);
+    }
+    let out = fold_data(f, rng, &data);
+    f.ret(Some(out.into()));
+}
+
+/// Emits one random operation into the current block, growing the data
+/// pool. Pointer values produced here never enter `data`.
+fn emit_op(
+    f: &mut FunctionBuilder,
+    rng: &mut SplitMix64,
+    data: &mut Vec<Reg>,
+    globals: &[GlobalId],
+    callees: &[Callee],
+) {
+    match rng.below(10) {
+        // ALU on data values.
+        0..=3 => {
+            const OPS: [AluOp; 13] = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Div,
+                AluOp::Rem,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::CmpLt,
+                AluOp::CmpEq,
+                AluOp::CmpGt,
+            ];
+            let op = OPS[rng.below(OPS.len() as u64) as usize];
+            let a = pick_operand(rng, data);
+            let b = pick_operand(rng, data);
+            let r = f.alu(op, a, b);
+            data.push(r);
+        }
+        // Float round trip: int -> f64 -> arithmetic -> int.
+        4 => {
+            let a = f.int_to_fp(pick_operand(rng, data));
+            let b = f.fp_const(rng.below(1000) as f64 + 0.5);
+            const FOPS: [AluOp; 4] = [AluOp::FAdd, AluOp::FSub, AluOp::FMul, AluOp::FDiv];
+            let op = FOPS[rng.below(4) as usize];
+            let c = f.alu(op, a, b);
+            let r = f.fp_to_int(c);
+            data.push(r);
+        }
+        // Global traffic, constant or masked register offset.
+        5 | 6 => {
+            let g = globals[rng.below(globals.len() as u64) as usize];
+            let off: Operand = if rng.chance(0.5) {
+                (8 * rng.below(16) as i64).into()
+            } else {
+                // Mask a data value to an 8-aligned in-bounds offset.
+                let base = pick_reg(rng, data);
+                f.alu(AluOp::And, base, 0x78).into()
+            };
+            if rng.chance(0.5) {
+                let v = pick_operand(rng, data);
+                f.store_global(g, off, v);
+            } else {
+                let r = f.load_global(g, off);
+                data.push(r);
+            }
+        }
+        // A heap episode: malloc, stores, loads of stored cells, free.
+        7 | 8 => {
+            let words = 1 + rng.below(12);
+            let ptr = f.malloc((words * 8) as i64);
+            let mut stored: Vec<i64> = Vec::new();
+            for w in 0..words {
+                if rng.chance(0.6) {
+                    let v = pick_operand(rng, data);
+                    f.store_ptr(ptr, (w * 8) as i64, v);
+                    stored.push((w * 8) as i64);
+                }
+            }
+            for _ in 0..rng.below(3) {
+                if let Some(&off) = pick(rng, &stored) {
+                    let r = f.load_ptr(ptr, off);
+                    data.push(r);
+                }
+            }
+            // Leaking sometimes is deliberate: engines must agree with
+            // and without reuse pressure.
+            if rng.chance(0.75) {
+                f.free(ptr);
+            }
+        }
+        // A call; arguments are data values only.
+        _ => {
+            if let Some(&callee) = pick(rng, callees) {
+                let args: Vec<Operand> = (0..callee.params)
+                    .map(|_| pick_operand(rng, data))
+                    .collect();
+                let r = f.call(callee.id, args);
+                data.push(r);
+            } else {
+                f.nop(rng.below(6) as u8 + 1);
+            }
+        }
+    }
+}
+
+/// Folds a few pool values into one register for accumulation.
+fn fold_data(f: &mut FunctionBuilder, rng: &mut SplitMix64, data: &[Reg]) -> Reg {
+    let mut acc = *data.last().expect("pool is never empty");
+    for _ in 0..2 {
+        let other = *pick(rng, data).expect("pool is never empty");
+        let op = if rng.chance(0.5) {
+            AluOp::Add
+        } else {
+            AluOp::Xor
+        };
+        acc = f.alu(op, acc, other);
+    }
+    acc
+}
+
+fn pick_operand(rng: &mut SplitMix64, data: &[Reg]) -> Operand {
+    if data.is_empty() || rng.chance(0.3) {
+        ((rng.below(1 << 12)) as i64).into()
+    } else {
+        data[rng.below(data.len() as u64) as usize].into()
+    }
+}
+
+fn pick_reg(rng: &mut SplitMix64, data: &[Reg]) -> Reg {
+    data[rng.below(data.len() as u64) as usize]
+}
+
+fn pick<'a, T>(rng: &mut SplitMix64, pool: &'a [T]) -> Option<&'a T> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(&pool[rng.below(pool.len() as u64) as usize])
+    }
+}

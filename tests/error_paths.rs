@@ -1,0 +1,299 @@
+//! Error paths through the decoded dispatch: `OutOfFuel`,
+//! `OutOfMemory`, and `InvalidFree` must fire identically under the
+//! decoded and reference interpreters — same error, and the same
+//! engine-observed counter state at the failure point — plus pinning
+//! tests for each engine's `free` semantics and the consolidated
+//! zero-size-malloc policy.
+
+use stabilizer::{prepare_program, Config, Stabilizer};
+use sz_ir::{AluOp, FuncId, GlobalId, Program, ProgramBuilder};
+use sz_link::LinkedLayout;
+use sz_machine::{MachineConfig, MemorySystem, PerfCounters};
+use sz_vm::{
+    reference::run_reference, FrameView, LayoutEngine, RunLimits, SimpleLayout, Vm, VmError,
+};
+
+/// Wraps any engine and records the counter state the engine observes
+/// at every callback that carries the memory system. Two interpreters
+/// executing the same instruction stream must produce identical
+/// traces — including the trailing entries right before a failure.
+struct SpyEngine<E> {
+    inner: E,
+    trace: Vec<(&'static str, PerfCounters)>,
+}
+
+impl<E> SpyEngine<E> {
+    fn new(inner: E) -> Self {
+        SpyEngine {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl<E: LayoutEngine> LayoutEngine for SpyEngine<E> {
+    fn prepare(&mut self, program: &Program) {
+        self.inner.prepare(program);
+    }
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.trace.push(("enter", *mem.counters()));
+        self.inner.enter_function(func, mem)
+    }
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.trace.push(("pad", *mem.counters()));
+        self.inner.stack_pad(func, mem)
+    }
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.inner.global_base(g)
+    }
+    fn stack_base(&self) -> u64 {
+        self.inner.stack_base()
+    }
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.trace.push(("malloc", *mem.counters()));
+        self.inner.malloc(size, mem)
+    }
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
+        self.trace.push(("free", *mem.counters()));
+        self.inner.free(addr, mem)
+    }
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
+        self.trace.push(("tick", *mem.counters()));
+        self.inner.tick(now_cycles, stack, mem);
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn period_marks(&self) -> &[PerfCounters] {
+        self.inner.period_marks()
+    }
+}
+
+/// Runs `program` under both interpreters on spy-wrapped copies of the
+/// engine, asserts the errors match exactly and the engine-observed
+/// counter traces are identical, and returns the error.
+fn assert_error_identical<E: LayoutEngine>(
+    program: &Program,
+    make_engine: impl Fn() -> E,
+    limits: RunLimits,
+    label: &str,
+) -> VmError {
+    let machine = MachineConfig::tiny();
+    let mut a = SpyEngine::new(make_engine());
+    let decoded = Vm::new(program).run(&mut a, machine, limits);
+    let mut b = SpyEngine::new(make_engine());
+    let reference = run_reference(program, &mut b, machine, limits);
+    let de = decoded.expect_err(&format!("{label}: decoded run should fail"));
+    let re = reference.expect_err(&format!("{label}: reference run should fail"));
+    assert_eq!(de, re, "{label}: interpreters disagree on the error");
+    assert_eq!(
+        a.trace, b.trace,
+        "{label}: engine-observed counter state diverged before the failure"
+    );
+    de
+}
+
+fn infinite_loop() -> Program {
+    let mut p = ProgramBuilder::new("spin");
+    let mut f = p.function("main", 0);
+    let spin = f.new_block();
+    f.jump(spin);
+    f.switch_to(spin);
+    let g = f.alu(AluOp::Add, 1, 1);
+    let _ = g;
+    f.jump(spin);
+    let main = p.add_function(f);
+    p.finish(main).unwrap()
+}
+
+fn huge_malloc() -> Program {
+    let mut p = ProgramBuilder::new("oom");
+    let mut f = p.function("main", 0);
+    // Allocate far beyond any engine's arena, in a loop so engines
+    // with different capacities all eventually refuse.
+    let header = f.new_block();
+    f.jump(header);
+    f.switch_to(header);
+    let ptr = f.malloc(1 << 30);
+    f.store_ptr(ptr, 0, 1);
+    f.jump(header);
+    let main = p.add_function(f);
+    p.finish(main).unwrap()
+}
+
+fn double_free() -> Program {
+    let mut p = ProgramBuilder::new("dfree");
+    let mut f = p.function("main", 0);
+    let ptr = f.malloc(32);
+    f.store_ptr(ptr, 0, 9);
+    f.free(ptr);
+    f.free(ptr);
+    f.ret(Some(0.into()));
+    let main = p.add_function(f);
+    p.finish(main).unwrap()
+}
+
+fn wild_free() -> Program {
+    let mut p = ProgramBuilder::new("wfree");
+    let mut f = p.function("main", 0);
+    // A made-up address that was never allocated.
+    let r = f.alu(AluOp::Add, 0x1234, 0);
+    f.free(r);
+    f.ret(Some(7.into()));
+    let main = p.add_function(f);
+    p.finish(main).unwrap()
+}
+
+#[test]
+fn out_of_fuel_is_identical_on_both_interpreters() {
+    let program = infinite_loop();
+    let limits = RunLimits {
+        max_instructions: 5_000,
+        max_stack_depth: 100,
+    };
+    let e = assert_error_identical(&program, SimpleLayout::new, limits, "fuel/simple");
+    assert_eq!(e, VmError::OutOfFuel { limit: 5_000 });
+    let e = assert_error_identical(
+        &program,
+        || LinkedLayout::builder().build(),
+        limits,
+        "fuel/linked",
+    );
+    assert_eq!(e, VmError::OutOfFuel { limit: 5_000 });
+}
+
+#[test]
+fn out_of_memory_is_identical_on_both_interpreters() {
+    let program = huge_malloc();
+    let limits = RunLimits::default();
+    let e = assert_error_identical(&program, SimpleLayout::new, limits, "oom/simple");
+    assert!(matches!(e, VmError::OutOfMemory { .. }), "got {e:?}");
+    let e = assert_error_identical(
+        &program,
+        || LinkedLayout::builder().build(),
+        limits,
+        "oom/linked",
+    );
+    assert!(matches!(e, VmError::OutOfMemory { .. }), "got {e:?}");
+}
+
+#[test]
+fn invalid_free_is_identical_on_both_interpreters() {
+    // SimpleLayout cannot detect invalid frees, so the detecting
+    // engines carry this test: the linked engine and STABILIZER.
+    let limits = RunLimits::default();
+    for program in [double_free(), wild_free()] {
+        let e = assert_error_identical(
+            &program,
+            || LinkedLayout::builder().build(),
+            limits,
+            "invalid-free/linked",
+        );
+        assert!(matches!(e, VmError::InvalidFree { .. }), "got {e:?}");
+
+        let (prepared, info) = prepare_program(&program);
+        let machine = MachineConfig::tiny();
+        let e = assert_error_identical(
+            &prepared,
+            || Stabilizer::new(Config::one_time().with_seed(3), &machine, &info),
+            limits,
+            "invalid-free/stabilizer",
+        );
+        assert!(matches!(e, VmError::InvalidFree { .. }), "got {e:?}");
+    }
+}
+
+/// Pins each in-tree engine's documented `free` semantics: the bump
+/// engine accepts every address (it cannot detect liveness); the
+/// allocator-backed engines report wild and double frees.
+#[test]
+fn free_semantics_are_pinned_per_engine() {
+    let machine = MachineConfig::tiny();
+    let limits = RunLimits::default();
+    for program in [double_free(), wild_free()] {
+        // simple: accepts, run completes.
+        let mut simple = SimpleLayout::new();
+        let r = Vm::new(&program).run(&mut simple, machine, limits);
+        assert!(
+            r.is_ok(),
+            "SimpleLayout is documented to accept every free: {r:?}"
+        );
+
+        // linked: detects.
+        let mut linked = LinkedLayout::builder().build();
+        let r = Vm::new(&program).run(&mut linked, machine, limits);
+        assert!(matches!(r, Err(VmError::InvalidFree { .. })), "got {r:?}");
+
+        // stabilizer: detects under every base allocator.
+        use stabilizer::BaseAllocator;
+        for base in [
+            BaseAllocator::Segregated,
+            BaseAllocator::Tlsf,
+            BaseAllocator::DieHard,
+        ] {
+            let (prepared, info) = prepare_program(&program);
+            let config = Config {
+                base_allocator: base,
+                ..Config::one_time()
+            };
+            let mut engine = Stabilizer::new(config.with_seed(5), &machine, &info);
+            let r = Vm::new(&prepared).run(&mut engine, machine, limits);
+            assert!(
+                matches!(r, Err(VmError::InvalidFree { .. })),
+                "stabilizer/{base:?}: got {r:?}"
+            );
+        }
+    }
+}
+
+/// The zero-size-malloc policy lives in one place (the VM clamps the
+/// guest request to one byte) — so on EVERY engine, `malloc(0)` yields
+/// a real, distinct, freeable allocation.
+#[test]
+fn malloc_zero_is_consistent_across_engines() {
+    let mut p = ProgramBuilder::new("mz");
+    let mut f = p.function("main", 0);
+    let a = f.malloc(0);
+    let b = f.malloc(0);
+    // Addresses must be distinct; their equality bit is the only
+    // address-derived value that is layout-invariant.
+    let same = f.alu(AluOp::CmpEq, a, b);
+    f.free(a);
+    f.free(b);
+    f.ret(Some(same.into()));
+    let main = p.add_function(f);
+    let program = p.finish(main).unwrap();
+
+    let machine = MachineConfig::tiny();
+    let limits = RunLimits::default();
+
+    let run = |engine: &mut dyn LayoutEngine, program: &Program| {
+        let decoded = Vm::new(program).run(engine, machine, limits);
+        let report = decoded.expect("malloc(0) must succeed on every engine");
+        assert_eq!(
+            report.return_value,
+            Some(0),
+            "two zero-size allocations returned the same address"
+        );
+    };
+
+    let mut simple = SimpleLayout::new();
+    run(&mut simple, &program);
+    let mut linked = LinkedLayout::builder().build();
+    run(&mut linked, &program);
+
+    use stabilizer::BaseAllocator;
+    for base in [
+        BaseAllocator::Segregated,
+        BaseAllocator::Tlsf,
+        BaseAllocator::DieHard,
+    ] {
+        let (prepared, info) = prepare_program(&program);
+        let config = Config {
+            base_allocator: base,
+            ..Config::one_time()
+        };
+        let mut engine = Stabilizer::new(config.with_seed(11), &machine, &info);
+        run(&mut engine, &prepared);
+    }
+}
