@@ -138,6 +138,29 @@ fn main() {
         reference_ns / dispatch_ns,
     ));
 
+    // Front-end batching in isolation: a long basic block of
+    // register-only ALU work has no data traffic and almost no
+    // dispatch variety, so ns/instr here tracks the fetch-span +
+    // memoization path and nothing else.
+    let straight = straight_line_program(200, 2000);
+    let svm = Vm::new(&straight);
+    let straight_instrs = {
+        let mut e = SimpleLayout::new();
+        svm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap()
+            .instructions
+    } as f64;
+    let straight_run = bench(|| {
+        let mut e = SimpleLayout::new();
+        svm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap();
+    });
+    let fetch_span_ns = straight_run.mean_ns / straight_instrs;
+    out.push_str(&format!(
+        "{:<32} {fetch_span_ns:>12.2} ns/instr straight-line ({straight_instrs:.0} instrs)\n",
+        "vm/fetch_span",
+    ));
+
     // Statistical kernels.
     let mut rng = Marsaglia::seeded(1);
     let data: Vec<f64> = (0..30).map(|_| rng.next_f64()).collect();
@@ -149,16 +172,22 @@ fn main() {
     );
     out.push('\n');
 
-    // End-to-end simulator speed: one quick Figure 6 sweep, wall clock.
-    let opts = ExperimentOptions::quick();
+    // End-to-end simulator speed: one quick Figure 6 sweep, wall
+    // clock, run through the harness pool on every core the machine
+    // has (the pool is bit-identical for any thread count, so this
+    // only changes the wall clock — and the count is recorded in the
+    // JSON so baselines from different machines are comparable).
+    let mut opts = ExperimentOptions::quick();
+    opts.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let fig6_start = Instant::now();
     let fig6_result = fig6::run(&opts);
     let fig6_seconds = fig6_start.elapsed().as_secs_f64();
     out.push_str(&format!(
-        "{:<32} {fig6_seconds:>12.2} s wall ({} benchmarks, {} runs/config)\n",
+        "{:<32} {fig6_seconds:>12.2} s wall ({} benchmarks, {} runs/config, {} threads)\n",
         "e2e/fig6_quick",
         fig6_result.rows.len(),
         opts.runs,
+        opts.threads,
     ));
 
     emit("micro", &out);
@@ -167,10 +196,34 @@ fn main() {
         &streaming,
         &branch,
         &shuffle,
-        (dispatch_ns, reference_ns),
+        (dispatch_ns, reference_ns, fetch_span_ns),
         (fig6_seconds, fig6_result.rows.len()),
         &opts,
     );
+}
+
+/// Builds the fetch-dominated microbench: `iters` trips around one
+/// long basic block of register-only ALU ops. No loads, stores,
+/// mallocs, or calls — the only memory-system traffic is the front
+/// end's, and the only span breaks are the loop's decrement/branch.
+fn straight_line_program(block_len: usize, iters: i64) -> sz_ir::Program {
+    let mut p = sz_ir::ProgramBuilder::new("straightline");
+    let mut f = p.function("main", 0);
+    let n = f.alu(sz_ir::AluOp::Add, 0, iters);
+    let acc = f.alu(sz_ir::AluOp::Add, 0, 0);
+    let header = f.new_block();
+    let exit = f.new_block();
+    f.jump(header);
+    f.switch_to(header);
+    for i in 0..block_len {
+        f.alu_into(acc, sz_ir::AluOp::Add, acc, (i as i64) & 7);
+    }
+    f.alu_into(n, sz_ir::AluOp::Sub, n, 1);
+    f.branch(n, header, exit);
+    f.switch_to(exit);
+    f.ret(Some(acc.into()));
+    let main = p.add_function(f);
+    p.finish(main).expect("straight-line program is valid")
 }
 
 /// Writes the machine-readable simulator-speed summary. The schema is
@@ -181,7 +234,7 @@ fn write_bench_sim(
     streaming: &Measurement,
     branch: &Measurement,
     shuffle: &Measurement,
-    (dispatch_ns, reference_ns): (f64, f64),
+    (dispatch_ns, reference_ns, fetch_span_ns): (f64, f64, f64),
     (fig6_seconds, fig6_benchmarks): (f64, usize),
     opts: &ExperimentOptions,
 ) {
@@ -194,7 +247,7 @@ fn write_bench_sim(
         ])
     };
     let doc = Json::obj([
-        ("schema_version", 2u64.into()),
+        ("schema_version", 3u64.into()),
         ("machine", "core_i3_550".into()),
         ("l1_hit_load", access(l1_hit)),
         ("streaming_loads", access(streaming)),
@@ -209,6 +262,17 @@ fn write_bench_sim(
                 ("instrs_per_sec", (1e9 / dispatch_ns).into()),
                 ("reference_ns_per_instr", reference_ns.into()),
                 ("speedup_vs_reference", (reference_ns / dispatch_ns).into()),
+            ]),
+        ),
+        // Front-end cost in isolation: ns per simulated instruction on
+        // a fetch-dominated straight-line workload (long basic blocks,
+        // register-only ALU, zero data traffic), so span batching and
+        // the fetch memoization are tracked separately from dispatch.
+        (
+            "fetch_span",
+            Json::obj([
+                ("ns_per_instr", fetch_span_ns.into()),
+                ("instrs_per_sec", (1e9 / fetch_span_ns).into()),
             ]),
         ),
         // One shuffle-layer malloc+free round-trip per op: mallocs/sec

@@ -117,6 +117,15 @@ impl Cache {
         self.misses
     }
 
+    /// Test support: whether two caches hold bit-identical replacement
+    /// state (keys, age stamps, and the access clock), ignoring the
+    /// hit/miss statistics. The MRU-idempotence property tests use this
+    /// to prove certain re-accesses cannot perturb future behaviour.
+    #[doc(hidden)]
+    pub fn replacement_state_eq(&self, other: &Cache) -> bool {
+        self.sets == other.sets
+    }
+
     /// Empties the cache and zeroes the statistics.
     pub fn reset(&mut self) {
         self.sets.reset();

@@ -21,7 +21,11 @@
 
 /// Flat set-associative LRU state: `sets * ways` slots, no per-access
 /// heap traffic.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the complete replacement state (keys, stamps,
+/// clock) — the idempotence tests below use it to prove that certain
+/// re-accesses are literal no-ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct LruSets {
     /// Slot keys, set-major (`keys[set * ways + way]`).
     keys: Box<[u64]>,
@@ -47,9 +51,15 @@ impl LruSets {
     /// Looks up `key` in `set`, refreshing its stamp on a hit; on a
     /// miss, installs `key` over the empty or least-recently-used
     /// slot. Returns `true` on a hit.
+    ///
+    /// Re-accessing the globally most recent slot (`stamp == clock`) is
+    /// a *literal* no-op: the slot is already the maximum of its set,
+    /// so refreshing its stamp cannot change any future victim choice,
+    /// and skipping the clock bump keeps the state bit-identical to
+    /// not having accessed at all. This is the invariant the
+    /// front-end memoization in `mem.rs` relies on.
     #[inline]
     pub(crate) fn access(&mut self, set: usize, key: u64) -> bool {
-        self.clock += 1;
         let base = set * self.ways;
         let keys = &mut self.keys[base..base + self.ways];
         let stamps = &mut self.stamps[base..base + self.ways];
@@ -57,7 +67,10 @@ impl LruSets {
         let mut victim_stamp = u64::MAX;
         for ((i, k), &s) in keys.iter().enumerate().zip(stamps.iter()) {
             if s != 0 && *k == key {
-                stamps[i] = self.clock;
+                if s != self.clock {
+                    self.clock += 1;
+                    stamps[i] = self.clock;
+                }
                 return true;
             }
             if s < victim_stamp {
@@ -65,6 +78,7 @@ impl LruSets {
                 victim = i;
             }
         }
+        self.clock += 1;
         keys[victim] = key;
         stamps[victim] = self.clock;
         false
@@ -142,6 +156,42 @@ mod tests {
         assert!(!l.contains(0, 1));
         assert!(!l.contains(1, 2));
         assert!(!l.access(0, 1), "cold again after reset");
+    }
+
+    #[test]
+    fn reaccessing_the_most_recent_slot_is_a_literal_noop() {
+        let mut l = LruSets::new(2, 2);
+        l.access(0, 1);
+        l.access(1, 9);
+        l.access(0, 2); // key 2 holds the global clock stamp
+        let before = l.clone();
+        assert!(l.access(0, 2));
+        assert_eq!(l, before, "keys, stamps, and clock all unchanged");
+        // A hit on an older (non-clock) slot still refreshes recency.
+        assert!(l.access(0, 1));
+        assert_ne!(l, before);
+    }
+
+    #[test]
+    fn mru_refresh_keeps_future_evictions_identical() {
+        // Refreshing the MRU way of a set (even when it is not the
+        // globally newest slot) must not change which key a later miss
+        // evicts — the observational half of the no-op invariant.
+        let mut a = LruSets::new(2, 2);
+        let mut b = LruSets::new(2, 2);
+        for l in [&mut a, &mut b] {
+            l.access(0, 1);
+            l.access(0, 2); // set 0 MRU = 2
+            l.access(1, 7); // global clock moves past set 0
+        }
+        assert!(b.access(0, 2), "re-touch set 0's MRU way in b only");
+        a.access(0, 3);
+        b.access(0, 3);
+        for l in [&a, &b] {
+            assert!(!l.contains(0, 1), "1 was LRU in both");
+            assert!(l.contains(0, 2));
+            assert!(l.contains(0, 3));
+        }
     }
 
     #[test]

@@ -3,11 +3,32 @@
 
 use crate::{BranchPredictor, Cache, MachineConfig, PerfCounters, Tlb};
 
+/// "No line/page memoized" sentinel for the front-end memo fields. No
+/// reachable code address maps to this index (it would need an address
+/// within one line of `u64::MAX`).
+const NO_MEMO: u64 = u64::MAX;
+
 /// The full simulated memory hierarchy of one core.
 ///
 /// All methods return the number of *extra* cycles charged for the
 /// event (beyond an instruction's base cost) and update the
 /// [`PerfCounters`].
+///
+/// # Front-end memoization
+///
+/// Every instruction fetch goes through [`MemorySystem::fetch`] /
+/// [`MemorySystem::fetch_lines`], so the system can remember the last
+/// fetched I-line and iTLB page and skip the probe when a re-access is
+/// provably idempotent: the memoized line/page was, by construction,
+/// the *most recent* access of the L1I / iTLB, so it is resident and
+/// MRU in its set, the probe would be a zero-extra-cycle hit, and the
+/// stamp refresh is a literal no-op on the flat-LRU state (see
+/// `lru.rs`). The memo is one compare deep, so any control transfer to
+/// a different line, any relocation/re-randomization that moves code,
+/// or any set-conflicting fetch simply *updates* the memo on its own
+/// (non-skipped) probe — there is no separate invalidation path to get
+/// wrong. D-side traffic never touches the memo because loads/stores
+/// probe the dTLB/L1D, not the front end.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: MachineConfig,
@@ -19,6 +40,15 @@ pub struct MemorySystem {
     dtlb: Tlb,
     predictor: BranchPredictor,
     counters: PerfCounters,
+    /// `log2(l1i.line_bytes)`, hoisted out of the fetch path.
+    iline_shift: u32,
+    /// `log2(itlb.page_bytes)`, hoisted out of the fetch path.
+    ipage_shift: u32,
+    /// Line index of the most recently fetched I-line ([`NO_MEMO`] when
+    /// cold).
+    last_iline: u64,
+    /// Page index of the most recently translated I-page.
+    last_ipage: u64,
 }
 
 impl MemorySystem {
@@ -36,6 +66,10 @@ impl MemorySystem {
                 config.predictor_history_bits,
             ),
             counters: PerfCounters::default(),
+            iline_shift: config.l1i.line_bytes.trailing_zeros(),
+            ipage_shift: config.itlb.page_bytes.trailing_zeros(),
+            last_iline: NO_MEMO,
+            last_ipage: NO_MEMO,
             config,
         }
     }
@@ -58,6 +92,15 @@ impl MemorySystem {
         self.counters.cycles += base_cycles;
     }
 
+    /// Retires a whole straight-line run at once: `instructions` ops
+    /// whose base latencies sum to `base_cycles`. Counters are pure
+    /// sums, so this equals that many [`MemorySystem::retire`] calls.
+    #[inline]
+    pub fn retire_batch(&mut self, instructions: u64, base_cycles: u64) {
+        self.counters.instructions += instructions;
+        self.counters.cycles += base_cycles;
+    }
+
     /// Adds raw cycles (used for runtime-system costs such as
     /// STABILIZER's relocation work).
     #[inline]
@@ -67,25 +110,60 @@ impl MemorySystem {
 
     /// Fetches the instruction bytes `[addr, addr + len)`; returns the
     /// extra cycles charged. Every cache line touched is fetched.
+    ///
+    /// A zero-length fetch touches no bytes, so it charges nothing and
+    /// leaves every counter and all cache/TLB state untouched — the
+    /// early return here is the single place that policy lives.
+    #[inline]
     pub fn fetch(&mut self, addr: u64, len: u64) -> u64 {
-        let line = self.config.l1i.line_bytes;
-        let first = addr / line;
-        let last = (addr + len.max(1) - 1) / line;
+        if len == 0 {
+            return 0;
+        }
+        self.fetch_lines(addr, addr + len - 1)
+    }
+
+    /// Fetches every I-line in the inclusive byte range
+    /// `[first_addr, last_addr]` — the batched front-end event behind a
+    /// decoded fetch span. Returns the extra cycles charged.
+    #[inline]
+    pub fn fetch_lines(&mut self, first_addr: u64, last_addr: u64) -> u64 {
+        let first = first_addr >> self.iline_shift;
+        let last = last_addr >> self.iline_shift;
         let mut extra = 0;
-        for l in first..=last {
-            extra += self.fetch_line(l * line);
+        for line in first..=last {
+            extra += self.fetch_line(line);
         }
         self.counters.cycles += extra;
         extra
     }
 
+    /// Whether `a` and `b` fall on the same L1I line — lets callers
+    /// decide if a byte range is a single front-end event.
     #[inline]
-    fn fetch_line(&mut self, addr: u64) -> u64 {
+    pub fn same_fetch_line(&self, a: u64, b: u64) -> bool {
+        a >> self.iline_shift == b >> self.iline_shift
+    }
+
+    /// Probes the front end for one I-line (by line index). The memo
+    /// skip is exact: when `line` was the previous fetch it is the MRU
+    /// way of both the iTLB set and the L1I set, so the probes would
+    /// hit for 0 extra cycles and perturb no replacement state.
+    #[inline]
+    fn fetch_line(&mut self, line: u64) -> u64 {
+        if line == self.last_iline {
+            return 0;
+        }
+        self.last_iline = line;
+        let addr = line << self.iline_shift;
         let costs = self.config.costs;
         let mut extra = 0;
-        if !self.itlb.access(addr) {
-            self.counters.itlb_misses += 1;
-            extra += costs.tlb_miss;
+        let page = addr >> self.ipage_shift;
+        if page != self.last_ipage {
+            self.last_ipage = page;
+            if !self.itlb.access(addr) {
+                self.counters.itlb_misses += 1;
+                extra += costs.tlb_miss;
+            }
         }
         if !self.l1i.access(addr) {
             self.counters.l1i_misses += 1;
@@ -171,6 +249,8 @@ impl MemorySystem {
         self.dtlb.reset();
         self.predictor.reset();
         self.counters = PerfCounters::default();
+        self.last_iline = NO_MEMO;
+        self.last_ipage = NO_MEMO;
     }
 }
 
@@ -201,6 +281,88 @@ mod tests {
         let extra = m.fetch(0x20_038, 16);
         assert_eq!(m.counters().l1i_misses, 2);
         assert!(extra >= 2 * m.config().costs.memory);
+    }
+
+    #[test]
+    fn zero_length_fetch_charges_nothing_and_touches_no_counters() {
+        let mut m = sys();
+        let extra = m.fetch(0x40_0000, 0);
+        assert_eq!(extra, 0);
+        assert_eq!(*m.counters(), crate::PerfCounters::default());
+        // The line was not installed either: the next real fetch of the
+        // same address still takes the full cold path.
+        let cold = m.fetch(0x40_0000, 4);
+        let c = m.config().costs;
+        assert_eq!(cold, c.tlb_miss + c.memory);
+        assert_eq!(m.counters().l1i_misses, 1);
+        assert_eq!(m.counters().itlb_misses, 1);
+    }
+
+    #[test]
+    fn refetching_the_last_line_is_free_and_invisible() {
+        let mut m = sys();
+        m.fetch(0x40_0000, 4);
+        let snap = *m.counters();
+        // Same line, any offsets: memoized, zero extra, zero counter
+        // movement — exactly what a probing hit would have produced.
+        assert_eq!(m.fetch(0x40_0004, 4), 0);
+        assert_eq!(m.fetch(0x40_003C, 4), 0);
+        assert_eq!(*m.counters(), snap);
+        // A different line takes the normal path again: same page (no
+        // iTLB charge), but a cold L1I line fills from memory.
+        assert_eq!(m.fetch(0x40_0040, 4), m.config().costs.memory);
+        assert_eq!(m.counters().l1i_misses, 2, "new line misses L1I");
+        assert_eq!(m.counters().itlb_misses, 1, "page still translated");
+    }
+
+    #[test]
+    fn fetch_lines_equals_per_instruction_fetches() {
+        // A straight-line run fetched as one span must charge exactly
+        // what the same bytes charge fetched op by op.
+        let ops: &[(u64, u64)] = &[(0, 5), (5, 4), (9, 6), (15, 5), (20, 1)];
+        let run = |m: &mut MemorySystem, base: u64| {
+            for (pc, size) in ops {
+                m.fetch(base + pc, *size);
+            }
+            *m.counters()
+        };
+        for base in [0x40_0000u64, 0x40_0030, 0x7F_FFF8] {
+            let mut per_op = sys();
+            let a = run(&mut per_op, base);
+            let mut spanned = sys();
+            spanned.fetch_lines(base, base + 20);
+            let b = *spanned.counters();
+            assert_eq!(a, b, "base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn same_fetch_line_matches_line_geometry() {
+        let m = sys();
+        let line = m.config().l1i.line_bytes;
+        assert!(m.same_fetch_line(0x40_0000, 0x40_0000 + line - 1));
+        assert!(!m.same_fetch_line(0x40_0000, 0x40_0000 + line));
+        assert!(!m.same_fetch_line(line - 1, line));
+    }
+
+    #[test]
+    fn retire_batch_equals_repeated_retires() {
+        let mut a = sys();
+        let mut b = sys();
+        for c in [1u64, 3, 1, 7] {
+            a.retire(c);
+        }
+        b.retire_batch(4, 12);
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn reset_clears_the_front_end_memo() {
+        let mut m = sys();
+        let first = m.fetch(0x40_0000, 4);
+        m.reset();
+        let second = m.fetch(0x40_0000, 4);
+        assert_eq!(first, second, "cold again after reset");
     }
 
     #[test]

@@ -88,6 +88,14 @@ impl Tlb {
         self.misses
     }
 
+    /// Test support: whether two TLBs hold bit-identical replacement
+    /// state (keys, age stamps, and the access clock), ignoring the
+    /// hit/miss statistics. See [`crate::Cache::replacement_state_eq`].
+    #[doc(hidden)]
+    pub fn replacement_state_eq(&self, other: &Tlb) -> bool {
+        self.sets == other.sets
+    }
+
     /// Empties the TLB and zeroes the statistics.
     pub fn reset(&mut self) {
         self.sets.reset();

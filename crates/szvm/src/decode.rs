@@ -12,7 +12,11 @@
 //!   branch is one integer assignment instead of a
 //!   `(block, instr) -> Vec<Vec<_>>` walk, and
 //! - frame metadata (`num_regs`, `frame_bytes`) copied out so frame
-//!   push/pop never touches the original `Program`.
+//!   push/pop never touches the original `Program`, and
+//! - straight-line runs grouped into [`FetchSpan`]s with their byte
+//!   extent and summed base latency precomputed, so the interpreter
+//!   issues one batched `fetch_lines` + `retire_batch` per span
+//!   instead of per-instruction front-end traffic.
 //!
 //! Decoding changes *nothing* observable: the decoded stream drives the
 //! exact same `fetch`/`retire`/`load`/`store`/`branch` sequence as the
@@ -177,6 +181,46 @@ pub enum OpKind {
     },
 }
 
+/// One decoded **fetch span**: a maximal straight-line run of
+/// consecutive ops ending at (and including) the first op that can
+/// transfer control or call back into the layout engine
+/// (`Jump`/`Branch`/`Ret`/`Call`/`Malloc`/`Free`). Within a span,
+/// execution is a pure left-to-right sweep: no target can land
+/// mid-span (every dispatchable index — block starts and call
+/// continuations — is a span start by construction) and no engine
+/// callback or error can fire before the final op.
+///
+/// The interpreter turns each span into one batched front-end event:
+/// a single `fetch_lines` + `retire_batch` instead of a per-op
+/// `fetch` + `retire`. The span stores its *byte extent relative to
+/// the function* rather than absolute cache lines, because the code
+/// base is chosen by the layout engine at run time and moves under
+/// STABILIZER re-randomization; the interpreter derives
+/// `(first_line, last_line)` per activation by adding the live base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchSpan {
+    /// Flat index of the span's first op.
+    pub start: u32,
+    /// Number of ops, `>= 1`; the last one is the span's terminal op.
+    pub count: u32,
+    /// Byte offset of the first op within the function's code.
+    pub first_pc: u64,
+    /// One past the last byte of the final op (`pc + size`), so the
+    /// span's code occupies `[first_pc, end_pc)`.
+    pub end_pc: u64,
+    /// Sum of the ops' base latencies, precomputed for `retire_batch`.
+    pub base_cycles: u64,
+    /// No op *before* the terminal one touches data memory. The
+    /// reference's front-end line sequence for such a span is an
+    /// uninterrupted ascending walk (any terminal-op data traffic or
+    /// engine work happens after its fetch), so the interpreter may
+    /// hoist the whole line range into one `fetch_lines` even when it
+    /// straddles lines. Impure spans interleave D-side traffic with
+    /// I-side misses in the shared L2/L3, so they only batch when
+    /// they sit on a single line.
+    pub pure: bool,
+}
+
 /// A function lowered to a flat decoded stream plus the frame metadata
 /// the interpreter needs, so execution never re-touches the
 /// [`sz_ir::Function`].
@@ -189,10 +233,73 @@ pub struct DecodedFunc {
     /// Flat index of each block's first op. Entry execution starts at
     /// index 0 (block 0 is the entry block).
     pub block_starts: Vec<u32>,
+    /// The straight-line fetch spans partitioning `ops`, in stream
+    /// order.
+    pub spans: Vec<FetchSpan>,
+    /// Span index owning each op (`span_of[i]` indexes `spans`), so
+    /// dispatch maps an `ip` to its span in one load.
+    pub span_of: Vec<u32>,
     /// Virtual register count (`Function::num_regs`).
     pub num_regs: u16,
     /// Frame size in bytes (`Function::frame_bytes`).
     pub frame_bytes: u64,
+}
+
+/// Whether an op terminates a fetch span: control transfers end the
+/// straight-line run, and engine-visible ops (`Call`'s frame push plus
+/// the fallible `Malloc`/`Free`) must be span-terminal so callbacks and
+/// errors observe exactly the counters the per-op reference produces.
+fn ends_span(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Malloc { .. }
+            | OpKind::Free { .. }
+            | OpKind::Call { .. }
+            | OpKind::Jump { .. }
+            | OpKind::Branch { .. }
+            | OpKind::Ret { .. }
+    )
+}
+
+/// Groups a decoded stream into fetch spans. Every block ends in a
+/// terminator (which always ends a span), so the spans exactly
+/// partition the stream and never cross a block boundary.
+fn build_spans(ops: &[DecodedOp]) -> (Vec<FetchSpan>, Vec<u32>) {
+    let mut spans = Vec::new();
+    let mut span_of = vec![0u32; ops.len()];
+    let mut start = 0usize;
+    let mut cycles = 0u64;
+    let mut pure = true;
+    for (i, op) in ops.iter().enumerate() {
+        cycles += u64::from(op.cycles);
+        span_of[i] = spans.len() as u32;
+        if ends_span(&op.kind) {
+            spans.push(FetchSpan {
+                start: start as u32,
+                count: (i - start + 1) as u32,
+                first_pc: ops[start].pc,
+                end_pc: op.pc + u64::from(op.size),
+                base_cycles: cycles,
+                pure,
+            });
+            start = i + 1;
+            cycles = 0;
+            pure = true;
+        } else if !matches!(
+            op.kind,
+            OpKind::Alu { .. }
+                | OpKind::FpConst { .. }
+                | OpKind::IntToFp { .. }
+                | OpKind::FpToInt { .. }
+                | OpKind::Nop
+        ) {
+            // A mid-span load/store interleaves D-side traffic with the
+            // span's remaining I-side misses.
+            pure = false;
+        }
+    }
+    debug_assert_eq!(start, ops.len(), "every block ends in a terminator");
+    (spans, span_of)
 }
 
 /// Lowers one function. The program must already be validated —
@@ -220,9 +327,12 @@ pub fn decode_function(f: &Function) -> DecodedFunc {
             kind,
         });
     }
+    let (spans, span_of) = build_spans(&ops);
     DecodedFunc {
         ops,
         block_starts,
+        spans,
+        span_of,
         num_regs: f.num_regs,
         frame_bytes: f.frame_bytes(),
     }
@@ -374,6 +484,97 @@ mod tests {
             assert_eq!(u64::from(term.size), block.term.encoded_size());
             assert_eq!(u64::from(term.cycles), block.term.base_cycles());
         }
+    }
+
+    /// The span invariants every decoded function must satisfy:
+    /// spans partition the stream in order, only the final op of a
+    /// span may end one, extents and latency sums match the ops, and
+    /// every dispatchable index (block start or call continuation) is
+    /// a span start.
+    fn assert_span_invariants(d: &DecodedFunc) {
+        assert_eq!(d.span_of.len(), d.ops.len());
+        let mut next = 0u32;
+        for (si, span) in d.spans.iter().enumerate() {
+            assert_eq!(span.start, next, "spans are contiguous and ordered");
+            assert!(span.count >= 1);
+            next += span.count;
+            let ops = &d.ops[span.start as usize..next as usize];
+            let (mid, last) = ops.split_at(ops.len() - 1);
+            assert!(ends_span(&last[0].kind), "spans end at a breaking op");
+            for op in mid {
+                assert!(!ends_span(&op.kind), "no breaking op mid-span");
+            }
+            assert_eq!(span.first_pc, ops[0].pc);
+            assert_eq!(span.end_pc, last[0].pc + u64::from(last[0].size));
+            assert_eq!(
+                span.base_cycles,
+                ops.iter().map(|op| u64::from(op.cycles)).sum::<u64>()
+            );
+            let data_free = mid.iter().all(|op| {
+                matches!(
+                    op.kind,
+                    OpKind::Alu { .. }
+                        | OpKind::FpConst { .. }
+                        | OpKind::IntToFp { .. }
+                        | OpKind::FpToInt { .. }
+                        | OpKind::Nop
+                )
+            });
+            assert_eq!(span.pure, data_free, "pure = no mid-span data traffic");
+            for i in span.start..next {
+                assert_eq!(d.span_of[i as usize], si as u32);
+            }
+        }
+        assert_eq!(next as usize, d.ops.len(), "spans cover the stream");
+        for &bs in &d.block_starts {
+            assert_eq!(
+                d.spans[d.span_of[bs as usize] as usize].start, bs,
+                "every block start begins a span"
+            );
+        }
+        for (i, op) in d.ops.iter().enumerate() {
+            if matches!(op.kind, OpKind::Call { .. }) && i + 1 < d.ops.len() {
+                assert_eq!(
+                    d.spans[d.span_of[i + 1] as usize].start as usize,
+                    i + 1,
+                    "call continuations begin a span"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_partition_the_looped_program() {
+        let p = looped_program();
+        let d = decode_function(&p.functions[0]);
+        assert_span_invariants(&d);
+        // Entry block: [store_slot, jump] is one span; header:
+        // [load_slot, cmp, branch]; exit: [ret].
+        let counts: Vec<u32> = d.spans.iter().map(|s| s.count).collect();
+        assert_eq!(counts, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn engine_visible_ops_are_span_terminal() {
+        let mut p = ProgramBuilder::new("t");
+        let callee = p.declare();
+        let mut cb = p.function("leaf", 0);
+        cb.ret(None);
+        p.define(callee, cb);
+        let mut f = p.function("main", 0);
+        let a = f.alu(AluOp::Add, 1, 2);
+        let b = f.malloc(32); // ends span 0
+        let c = f.alu(AluOp::Add, a, 4);
+        f.call_void(callee, vec![]); // ends span 1
+        f.free(b); // ends span 2
+        let d2 = f.alu(AluOp::Add, c, 8);
+        f.ret(Some(d2.into())); // ends span 3
+        let main = p.add_function(f);
+        let prog = p.finish(main).unwrap();
+        let d = decode_function(&prog.functions[main.0 as usize]);
+        assert_span_invariants(&d);
+        let counts: Vec<u32> = d.spans.iter().map(|s| s.count).collect();
+        assert_eq!(counts, vec![2, 2, 1, 2]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod reference;
 mod report;
 mod vm;
 
-pub use decode::{DecodedFunc, DecodedOp, OpKind};
+pub use decode::{DecodedFunc, DecodedOp, FetchSpan, OpKind};
 pub use engine::{FrameView, LayoutEngine, SimpleLayout};
 pub use memory::ValueMemory;
 pub use reference::run_reference;

@@ -4,18 +4,21 @@
 //! [`crate::decode`]); [`Vm::run`] then executes the flat stream by
 //! bumping a per-frame cursor and executing ops *by reference* — no
 //! per-instruction cloning, no nested `Vec` indexing, no layout-table
-//! lookups. Registers for all live frames share one contiguous pool.
+//! lookups. Registers for all live frames share one contiguous pool,
+//! and execution proceeds one decoded *fetch span* at a time: a
+//! single batched `fetch_lines` + `retire_batch` covers a whole
+//! straight-line run (see [`Exec::run_span`] for why that is exact).
 //!
-//! The memory-model call sequence (`fetch`/`retire`/`load`/`store`/
-//! `branch` and every engine callback) is identical to the pre-decode
-//! interpreter preserved in [`crate::reference`], so counters and
-//! reports are bit-identical; `tests/decode_equivalence.rs` holds that
-//! line.
+//! The observable memory-model behaviour (`PerfCounters`, per-period
+//! snapshots, and every engine callback with the counter values it
+//! sees) is identical to the pre-decode interpreter preserved in
+//! [`crate::reference`], so counters and reports are bit-identical;
+//! `tests/decode_equivalence.rs` holds that line.
 
 use sz_ir::{FuncId, Operand, Program, Reg};
 use sz_machine::{MachineConfig, MemorySystem};
 
-use crate::decode::{decode_program, DecodedFunc, OpKind};
+use crate::decode::{decode_program, DecodedFunc, DecodedOp, OpKind};
 use crate::engine::FrameView;
 use crate::report::assemble_periods;
 use crate::{LayoutEngine, RunLimits, RunReport, ValueMemory, VmError};
@@ -138,7 +141,7 @@ impl<'p> Vm<'p> {
 
         let mut return_value = None;
         while !exec.stack.is_empty() {
-            return_value = exec.step()?;
+            return_value = exec.run_span()?;
         }
 
         let counters = *mem.counters();
@@ -225,8 +228,84 @@ impl Exec<'_, '_> {
         Ok(())
     }
 
-    /// Executes one decoded op of the top frame. Returns the program's
+    /// Executes the fetch span the top frame's `ip` points at as one
+    /// batched front-end event: a single line-range fetch plus a
+    /// single batched retire, then the ops back to back with no
+    /// per-instruction memory-system traffic. Returns the program's
     /// final value when the last frame returns.
+    ///
+    /// Exactness: dispatch only ever lands on span starts, mid-span
+    /// ops are infallible and engine-invisible, and nothing observes
+    /// the counters between two ops of a span — engine callbacks
+    /// (tick / enter / pad / malloc / free), period snapshots, and
+    /// error paths all sit at span-terminal ops, where the batched
+    /// totals equal the reference interpreter's running totals. Spans
+    /// that would cross the fuel limit fall back to the per-op path
+    /// ([`Exec::step`]); impure spans straddling an L1I line under the
+    /// current code base keep per-op fetches (memoized inside
+    /// [`MemorySystem::fetch`]) so the shared-L2/L3 access order
+    /// matches the reference exactly.
+    fn run_span(&mut self) -> Result<Option<u64>, VmError> {
+        let retired = self.mem.counters().instructions;
+        let limit = self.limits.max_instructions;
+        if retired >= limit {
+            return Err(VmError::OutOfFuel { limit });
+        }
+
+        // `vm` is a shared reference copied out of `self`, so the span
+        // and its ops borrow the decoded stream independently of
+        // `self` — the hot loop executes by reference with zero
+        // cloning.
+        let vm = self.vm;
+        let top = self.stack.len() - 1;
+        let frame = &self.stack[top];
+        let func = &vm.decoded[frame.func.0 as usize];
+        let span = &func.spans[func.span_of[frame.ip as usize] as usize];
+        debug_assert_eq!(span.start, frame.ip, "dispatch lands on span starts");
+        if retired + u64::from(span.count) > limit {
+            // Run op by op so OutOfFuel fires at exactly the same
+            // instruction, with the same counters, as the reference.
+            return self.step();
+        }
+
+        let code_base = frame.code_base;
+        let first = code_base + span.first_pc;
+        let last = code_base + span.end_pc - 1;
+        // A span may hoist its whole footprint into one front-end
+        // event when that cannot reorder anything the shared L2/L3
+        // observes: either the bytes sit on ONE line (the reference's
+        // only probe then happens at the first op, exactly where the
+        // batch puts it), or the span is `pure` — no mid-span data
+        // traffic — so the reference's line walk is already an
+        // uninterrupted ascending sweep identical to `fetch_lines`.
+        // Otherwise, keep per-op fetches (memoized internally) so
+        // I-side misses interleave with D-side fills in the
+        // reference's order.
+        let batched = span.pure || self.mem.same_fetch_line(first, last);
+        if batched {
+            self.mem.fetch_lines(first, last);
+        }
+        self.mem
+            .retire_batch(u64::from(span.count), span.base_cycles);
+
+        let end = span.start + span.count;
+        for idx in span.start..end {
+            let op = &func.ops[idx as usize];
+            let pc = code_base + op.pc;
+            if !batched {
+                self.mem.fetch(pc, u64::from(op.size));
+            }
+            let out = self.exec_op(top, op, pc)?;
+            if idx + 1 == end {
+                return Ok(out);
+            }
+        }
+        unreachable!("spans have at least one op");
+    }
+
+    /// Executes one decoded op of the top frame with per-instruction
+    /// fetch/retire — the exact reference sequence. [`Exec::run_span`]
+    /// uses it whenever a span cannot be batched.
     fn step(&mut self) -> Result<Option<u64>, VmError> {
         if self.mem.counters().instructions >= self.limits.max_instructions {
             return Err(VmError::OutOfFuel {
@@ -234,18 +313,23 @@ impl Exec<'_, '_> {
             });
         }
 
-        // `vm` is a shared reference copied out of `self`, so `op`
-        // borrows the decoded stream independently of `self` — the hot
-        // loop executes by reference with zero cloning.
         let vm = self.vm;
         let top = self.stack.len() - 1;
-        let frame = &mut self.stack[top];
-        let reg_base = frame.reg_base;
+        let frame = &self.stack[top];
         let op = &vm.decoded[frame.func.0 as usize].ops[frame.ip as usize];
         let pc = frame.code_base + op.pc;
         self.mem.fetch(pc, u64::from(op.size));
         self.mem.retire(u64::from(op.cycles));
+        self.exec_op(top, op, pc)
+    }
 
+    /// Executes one already-fetched, already-retired op of frame
+    /// `top`. Returns the program's final value when the last frame
+    /// returns.
+    fn exec_op(&mut self, top: usize, op: &DecodedOp, pc: u64) -> Result<Option<u64>, VmError> {
+        let vm = self.vm;
+        let frame = &mut self.stack[top];
+        let reg_base = frame.reg_base;
         match &op.kind {
             OpKind::Alu { dst, op, a, b } => {
                 frame.ip += 1;

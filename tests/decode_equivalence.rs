@@ -186,6 +186,81 @@ fn decoded_metadata_matches_layout_for_the_whole_suite() {
     }
 }
 
+/// Property: for every function of every suite benchmark, the decoded
+/// fetch spans partition the stream, break exactly at control
+/// transfers and engine-visible ops, carry correct extents and
+/// latency sums, and start at every dispatchable index — the
+/// structural facts the batched interpreter's exactness argument
+/// rests on.
+#[test]
+fn fetch_spans_partition_every_suite_function() {
+    let breaking = |k: &OpKind| {
+        matches!(
+            k,
+            OpKind::Malloc { .. }
+                | OpKind::Free { .. }
+                | OpKind::Call { .. }
+                | OpKind::Jump { .. }
+                | OpKind::Branch { .. }
+                | OpKind::Ret { .. }
+        )
+    };
+    for spec in sz_workloads::suite() {
+        let program = spec.program(Scale::Tiny);
+        let vm = Vm::new(&program);
+        for d in vm.decoded_funcs() {
+            assert_eq!(d.span_of.len(), d.ops.len(), "{}", spec.name);
+            let mut next = 0u32;
+            for span in &d.spans {
+                assert_eq!(span.start, next, "{}: contiguous spans", spec.name);
+                assert!(span.count >= 1, "{}", spec.name);
+                next += span.count;
+                let ops = &d.ops[span.start as usize..next as usize];
+                let (mid, last) = ops.split_at(ops.len() - 1);
+                assert!(breaking(&last[0].kind), "{}: span ends breaking", spec.name);
+                assert!(
+                    mid.iter().all(|op| !breaking(&op.kind)),
+                    "{}: breaking op mid-span",
+                    spec.name
+                );
+                assert_eq!(span.first_pc, ops[0].pc, "{}", spec.name);
+                assert_eq!(
+                    span.end_pc,
+                    last[0].pc + u64::from(last[0].size),
+                    "{}",
+                    spec.name
+                );
+                assert_eq!(
+                    span.base_cycles,
+                    ops.iter().map(|op| u64::from(op.cycles)).sum::<u64>(),
+                    "{}",
+                    spec.name
+                );
+            }
+            assert_eq!(next as usize, d.ops.len(), "{}: full coverage", spec.name);
+            // Every dispatchable index is a span start: block starts
+            // (jump/branch targets) and call continuations.
+            for &bs in &d.block_starts {
+                assert_eq!(
+                    d.spans[d.span_of[bs as usize] as usize].start, bs,
+                    "{}: block start mid-span",
+                    spec.name
+                );
+            }
+            for (i, op) in d.ops.iter().enumerate() {
+                if matches!(op.kind, OpKind::Call { .. }) && i + 1 < d.ops.len() {
+                    assert_eq!(
+                        d.spans[d.span_of[i + 1] as usize].start as usize,
+                        i + 1,
+                        "{}: call continuation mid-span",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Golden snapshot: the decoded stream of one small program, op by op.
 /// Any change to instruction sizes, latencies, or decode lowering
 /// shows up here first.
