@@ -1,0 +1,27 @@
+//! Review scratch: fuel limit landing mid-span (>=2 ops left).
+
+use sz_ir::{AluOp, ProgramBuilder};
+use sz_machine::MachineConfig;
+use sz_vm::{RunLimits, SimpleLayout, Vm, VmError};
+
+#[test]
+fn fuel_straddle_mid_span() {
+    let mut p = ProgramBuilder::new("straddle");
+    let mut f = p.function("main", 0);
+    let a = f.alu(AluOp::Add, 1, 1);
+    let b = f.alu(AluOp::Add, a, 1);
+    let c = f.alu(AluOp::Add, b, 1);
+    f.ret(Some(c.into()));
+    let main = p.add_function(f);
+    let prog = p.finish(main).unwrap();
+
+    let limits = RunLimits {
+        max_instructions: 2,
+        max_stack_depth: 16,
+    };
+    let mut e = SimpleLayout::new();
+    let err = Vm::new(&prog)
+        .run(&mut e, MachineConfig::tiny(), limits)
+        .unwrap_err();
+    assert_eq!(err, VmError::OutOfFuel { limit: 2 });
+}
