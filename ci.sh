@@ -66,4 +66,40 @@ if failed:
     sys.exit("; ".join(failed))
 EOF
 
+echo "==> sz-serve smoke: daemon round-trip with a cache hit"
+# Start the daemon on an ephemeral port, make the same quick request
+# twice (the second must be a cache hit), and shut it down cleanly —
+# all within a bounded timeout.
+SERVE_LOG="target/sz-serve-smoke.log"
+cargo run -q --release --offline -p sz-serve --bin sz-serve -- \
+    --addr 127.0.0.1:0 --workers 1 --queue 4 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^sz-serve listening on //p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "sz-serve did not start"; cat "$SERVE_LOG"; exit 1; }
+SZCTL="target/release/szctl"
+"$SZCTL" --addr "$SERVE_ADDR" --json run table1 --bench bzip2 --runs 3 \
+    | grep -q '"cached":false' || { echo "first request should miss"; exit 1; }
+"$SZCTL" --addr "$SERVE_ADDR" --json run table1 --bench bzip2 --runs 3 \
+    | grep -q '"cached":true' || { echo "second request should hit the cache"; exit 1; }
+"$SZCTL" --addr "$SERVE_ADDR" --json stats | grep -q '"type":"stats"' \
+    || { echo "stats request failed"; exit 1; }
+"$SZCTL" --addr "$SERVE_ADDR" shutdown >/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "sz-serve did not shut down within 10s"
+    kill "$SERVE_PID"
+    exit 1
+fi
+trap - EXIT
+echo "sz-serve smoke: miss, hit, stats, clean shutdown"
+
 echo "ci.sh: all checks passed"

@@ -33,10 +33,16 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads.max(1).min(n);
-    if workers == 1 {
+    // Sequential fast path: a single job or a single worker never
+    // touches the steal counter or spawns a scope. Long-lived callers
+    // (the experiment service) issue many tiny requests, and paying a
+    // thread spawn per one-run job would dwarf the job itself; the
+    // inline loop is bit-identical because reassembly is positional
+    // either way.
+    if n == 1 || threads <= 1 {
         return (0..n).map(job).collect();
     }
+    let workers = threads.min(n);
 
     let next = AtomicUsize::new(0);
     let mut buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
@@ -109,6 +115,18 @@ mod tests {
     fn zero_threads_behaves_like_one() {
         let out = run_indexed(0, 4, |i| i);
         assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tiny_requests_run_inline_on_the_caller_thread() {
+        // n == 1 and threads == 1 take the sequential path: the job
+        // observes the caller's thread id, proving no worker was
+        // spawned for it.
+        let caller = std::thread::current().id();
+        let out = run_indexed(8, 1, |i| (i, std::thread::current().id()));
+        assert_eq!(out, vec![(0, caller)]);
+        let out = run_indexed(1, 5, |_| std::thread::current().id());
+        assert!(out.iter().all(|&id| id == caller));
     }
 
     #[test]

@@ -110,6 +110,23 @@ pub fn stabilized_reports(
     config: Config,
     n: usize,
 ) -> Vec<RunReport> {
+    stabilized_reports_range(program, opts, config, 0, n)
+}
+
+/// Collects runs `start .. start + n` of the stabilized sample stream:
+/// run `i` always derives its seed from `opts.seed_base + i`, so
+/// drawing a sample set in batches (`[0, 5)`, then `[5, 12)`, …)
+/// yields bit-identical prefixes of the one-shot protocol. This is the
+/// batch hook behind adaptive sequential sampling: stopping early
+/// leaves you with exactly the first `k` samples the fixed 30-run
+/// protocol would have produced.
+pub fn stabilized_reports_range(
+    program: &Program,
+    opts: &ExperimentOptions,
+    config: Config,
+    start: usize,
+    n: usize,
+) -> Vec<RunReport> {
     let (prepared, info) = prepare_program(program);
     // The library default of 500 ms is meant for full-length programs;
     // experiments replace it with the scaled `opts.interval`. A caller
@@ -122,7 +139,7 @@ pub fn stabilized_reports(
     };
     let machine = opts.machine;
     let fingerprint = program_fingerprint(program);
-    parallel_reports(opts, n, &prepared, move |seed| {
+    parallel_reports_range(opts, start, n, &prepared, move |seed| {
         let mut mix = SplitMix64::new(seed ^ fingerprint);
         Stabilizer::new(config.clone().with_seed(mix.next_u64()), &machine, &info)
     })
@@ -195,11 +212,28 @@ where
     E: LayoutEngine,
     F: Fn(u64) -> E + Sync,
 {
+    parallel_reports_range(opts, 0, n, program, make_engine)
+}
+
+/// [`parallel_reports`] over the run-index window `start .. start + n`
+/// of the same seed stream (run `i` uses `seed_base + i`). The program
+/// is decoded once and the `Vm` shared across all workers.
+fn parallel_reports_range<E, F>(
+    opts: &ExperimentOptions,
+    start: usize,
+    n: usize,
+    program: &Program,
+    make_engine: F,
+) -> Vec<RunReport>
+where
+    E: LayoutEngine,
+    F: Fn(u64) -> E + Sync,
+{
     let vm = Vm::new(program);
     let machine = opts.machine;
     let seed_base = opts.seed_base;
     crate::pool::run_indexed(opts.threads, n, |i| {
-        let mut engine = make_engine(seed_base + i as u64);
+        let mut engine = make_engine(seed_base + (start + i) as u64);
         vm.run(&mut engine, machine, RunLimits::default())
             .expect("benchmark programs terminate")
     })
@@ -243,6 +277,22 @@ mod tests {
         let b = stabilized_samples(&p, &opts, Config::default(), 7);
         assert_eq!(a.len(), 7);
         assert_eq!(a, b, "same seeds, same samples, regardless of threading");
+    }
+
+    #[test]
+    fn batched_ranges_are_a_bit_identical_prefix_of_the_one_shot_stream() {
+        let opts = ExperimentOptions::quick();
+        let p = program();
+        let full = stabilized_reports(&p, &opts, Config::default(), 9);
+        let head = stabilized_reports_range(&p, &opts, Config::default(), 0, 4);
+        let tail = stabilized_reports_range(&p, &opts, Config::default(), 4, 5);
+        let batched: Vec<u64> = head
+            .iter()
+            .chain(&tail)
+            .map(|r| r.seconds().to_bits())
+            .collect();
+        let expected: Vec<u64> = full.iter().map(|r| r.seconds().to_bits()).collect();
+        assert_eq!(batched, expected, "batches must extend the same stream");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Adaptive sequential sampling for change evaluation.
+//!
+//! The paper's protocol draws a fixed 30 re-randomized samples per
+//! configuration. Kalibera & Jones ("Quantifying Performance Changes
+//! with Effect Size Confidence Intervals") observe that most
+//! comparisons settle long before that: once the confidence interval
+//! on the effect size is narrow relative to the baseline, further
+//! samples change nothing but the bill. This module implements that
+//! stopping rule on top of STABILIZER's re-randomized sampling.
+//!
+//! Determinism is preserved exactly: batches are drawn through
+//! [`sz_harness::runner::stabilized_reports_range`], so the samples
+//! an adaptive run stops with are a bit-identical *prefix* of the
+//! stream the fixed protocol would have produced. Stopping early
+//! discards information; it never changes it.
+
+use stabilizer::Config;
+use sz_harness::runner::{stabilized_reports_range, ExperimentOptions};
+use sz_harness::{Json, TraceSink};
+use sz_ir::Program;
+use sz_stats::{diff_ci, mean, welch_t_test, ALPHA};
+use sz_vm::RunReport;
+
+use crate::exec::{ExecError, JobCtl};
+use crate::proto::AdaptiveParams;
+
+/// The result of one adaptive (or fixed) change evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// Samples actually drawn per arm.
+    pub samples_per_arm: usize,
+    /// The fixed-protocol cap the savings are measured against.
+    pub max_runs: usize,
+    /// Whether the stopping rule fired before the cap.
+    pub stopped_early: bool,
+    /// Final half-width of the effect CI relative to the baseline
+    /// mean (infinity if the interval was not computable).
+    pub relative_half_width: f64,
+    /// Welch two-sided p-value on the final samples.
+    pub p_value: f64,
+    /// `p < 0.05` — the same accept/reject rule as the paper.
+    pub significant: bool,
+    /// `mean(before) / mean(after)`; > 1 means the change helped.
+    pub speedup: f64,
+    /// Final samples (seconds) of the baseline arm.
+    pub before: Vec<f64>,
+    /// Final samples (seconds) of the changed arm.
+    pub after: Vec<f64>,
+}
+
+impl AdaptiveOutcome {
+    /// Samples the adaptive run did not have to draw, across both
+    /// arms, compared with running the fixed protocol to `max_runs`.
+    pub fn samples_saved(&self) -> usize {
+        2 * (self.max_runs - self.samples_per_arm)
+    }
+}
+
+fn seconds(reports: &[RunReport]) -> impl Iterator<Item = f64> + '_ {
+    reports.iter().map(RunReport::seconds)
+}
+
+/// Runs the adaptive evaluation of `after` vs `before`.
+///
+/// Batches of `params.batch` samples per arm are drawn until the
+/// Welch CI on `mean(after) - mean(before)` has a half-width at or
+/// below `params.half_width` of the baseline mean (once at least
+/// `params.min_runs` samples exist), or `params.max_runs` is hit.
+/// Each drawn run is traced as a `run` record (variants `before` /
+/// `after`) and each stopping-rule evaluation as a `summary` record,
+/// so a traced adaptive session is fully replayable.
+///
+/// # Errors
+///
+/// [`ExecError::Cancelled`] / [`ExecError::Deadline`] when the job's
+/// cancellation flag or deadline fires at a batch boundary.
+pub fn adaptive_evaluate(
+    before: &Program,
+    after: &Program,
+    opts: &ExperimentOptions,
+    params: &AdaptiveParams,
+    benchmark: &str,
+    ctl: &JobCtl<'_>,
+    trace: Option<&TraceSink>,
+) -> Result<AdaptiveOutcome, ExecError> {
+    let mut before_s: Vec<f64> = Vec::new();
+    let mut after_s: Vec<f64> = Vec::new();
+    let mut rel = f64::INFINITY;
+    let mut stopped_early = false;
+
+    while before_s.len() < params.max_runs {
+        ctl.checkpoint()?;
+        let start = before_s.len();
+        let batch = params.batch.min(params.max_runs - start);
+        for (program, variant, sink_into) in [
+            (before, "before", &mut before_s),
+            (after, "after", &mut after_s),
+        ] {
+            let reports = stabilized_reports_range(program, opts, Config::default(), start, batch);
+            if let Some(t) = trace {
+                for (i, report) in reports.iter().enumerate() {
+                    t.run_record("evaluate", benchmark, variant, start + i, report);
+                }
+            }
+            sink_into.extend(seconds(&reports));
+        }
+        let n = before_s.len();
+        if n >= params.min_runs {
+            rel = diff_ci(&after_s, &before_s, params.confidence)
+                .map(|ci| ci.relative_margin(mean(&before_s)))
+                .unwrap_or(f64::INFINITY);
+            if let Some(t) = trace {
+                t.summary_record(
+                    "evaluate",
+                    vec![
+                        ("benchmark", benchmark.into()),
+                        ("event", "adaptive-batch".into()),
+                        ("samples_per_arm", n.into()),
+                        ("relative_half_width", rel.into()),
+                        ("target_half_width", params.half_width.into()),
+                    ],
+                );
+            }
+            if rel <= params.half_width {
+                stopped_early = n < params.max_runs;
+                break;
+            }
+        }
+    }
+
+    let p_value = welch_t_test(&before_s, &after_s).map_or(1.0, |t| t.p_value);
+    Ok(AdaptiveOutcome {
+        samples_per_arm: before_s.len(),
+        max_runs: params.max_runs,
+        stopped_early,
+        relative_half_width: rel,
+        p_value,
+        significant: p_value < ALPHA,
+        speedup: mean(&before_s) / mean(&after_s),
+        before: before_s,
+        after: after_s,
+    })
+}
+
+/// The outcome's wire summary object.
+pub fn outcome_json(outcome: &AdaptiveOutcome, adaptive: bool) -> Json {
+    Json::obj([
+        ("mode", if adaptive { "adaptive" } else { "fixed" }.into()),
+        ("samples_per_arm", outcome.samples_per_arm.into()),
+        ("max_runs", outcome.max_runs.into()),
+        ("stopped_early", outcome.stopped_early.into()),
+        ("samples_saved", outcome.samples_saved().into()),
+        ("relative_half_width", outcome.relative_half_width.into()),
+        ("p_value", outcome.p_value.into()),
+        ("significant", outcome.significant.into()),
+        ("speedup", outcome.speedup.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use sz_opt::{optimize, OptLevel};
+    use sz_workloads::Scale;
+
+    fn opts() -> ExperimentOptions {
+        ExperimentOptions::quick()
+    }
+
+    #[test]
+    fn adaptive_samples_are_a_prefix_of_the_fixed_stream() {
+        let base = sz_workloads::build("gobmk", Scale::Tiny).unwrap();
+        let faster = optimize(&base, OptLevel::O2);
+        let params = AdaptiveParams {
+            half_width: 0.25,
+            min_runs: 4,
+            batch: 4,
+            max_runs: 12,
+            ..AdaptiveParams::default()
+        };
+        let cancel = AtomicBool::new(false);
+        let ctl = JobCtl {
+            cancel: &cancel,
+            deadline: None,
+        };
+        let outcome =
+            adaptive_evaluate(&base, &faster, &opts(), &params, "gobmk", &ctl, None).unwrap();
+        let full = stabilized_reports_range(&base, &opts(), Config::default(), 0, 12);
+        let prefix: Vec<u64> = full
+            .iter()
+            .take(outcome.samples_per_arm)
+            .map(|r| r.seconds().to_bits())
+            .collect();
+        let got: Vec<u64> = outcome.before.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(
+            got, prefix,
+            "adaptive must draw the fixed protocol's prefix"
+        );
+    }
+
+    #[test]
+    fn cancellation_fires_at_batch_boundaries() {
+        let base = sz_workloads::build("mcf", Scale::Tiny).unwrap();
+        let cancel = AtomicBool::new(true);
+        let ctl = JobCtl {
+            cancel: &cancel,
+            deadline: None,
+        };
+        let err = adaptive_evaluate(
+            &base,
+            &base,
+            &opts(),
+            &AdaptiveParams::default(),
+            "mcf",
+            &ctl,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_sampling() {
+        let base = sz_workloads::build("mcf", Scale::Tiny).unwrap();
+        let cancel = AtomicBool::new(false);
+        let ctl = JobCtl {
+            cancel: &cancel,
+            deadline: Some(std::time::Instant::now()),
+        };
+        let err = adaptive_evaluate(
+            &base,
+            &base,
+            &opts(),
+            &AdaptiveParams::default(),
+            "mcf",
+            &ctl,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Deadline);
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment service daemon (`sz-serve`) and its client library.
+//!
+//! Every paper artifact in this repository began life as a one-shot
+//! `sz-bench` binary that recomputes its figures from scratch. This
+//! crate turns the same experiment engine into a long-lived service:
+//!
+//! - [`proto`] — a line-delimited JSON wire protocol over TCP, parsed
+//!   and encoded with [`sz_harness::report::Json`] (no new
+//!   dependencies);
+//! - [`scheduler`] — a bounded job queue over worker threads, with
+//!   per-job deadlines, cancellation, and reject-with-retry-after
+//!   backpressure so a flood of clients degrades gracefully;
+//! - [`cache`] — a deterministic content-addressed result cache: runs
+//!   are bit-identical for any thread count (pinned by
+//!   `tests/determinism.rs`), so a hit can return the exact sample
+//!   vectors and period snapshots of a prior computation;
+//! - [`adaptive`] — adaptive sequential sampling: batches of
+//!   re-randomized runs that stop early once the confidence interval
+//!   on the effect size is narrower than a requested half-width
+//!   (Kalibera & Jones' protocol), reporting samples saved vs the
+//!   fixed 30-run paper methodology;
+//! - [`server`] — the TCP daemon tying it together, plus the `szctl`
+//!   client binary.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sz_serve::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.serve(); // blocks until a shutdown request
+//! ```
+
+pub mod adaptive;
+pub mod cache;
+pub mod exec;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use exec::JobOutput;
+pub use proto::{AdaptiveParams, Experiment, Request, RunRequest, DEFAULT_ADDR};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,374 @@
+//! The TCP front end: line-delimited JSON requests in, line-delimited
+//! JSON records out.
+//!
+//! Each accepted connection is handled on its own thread; each request
+//! line produces one or more response lines. Traced `run` responses
+//! stream the job's captured records (`type: "run"` / `"summary"`) —
+//! byte-identical to an `sz-bench --trace` file — followed by exactly
+//! one terminal line whose `type` is `result`, `accepted`, `rejected`,
+//! or `error`. Clients read until they see a terminal line.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sz_harness::Json;
+
+use crate::exec::JobOutput;
+use crate::proto::{Request, RunRequest, DEFAULT_ADDR};
+use crate::scheduler::{JobState, Scheduler, SchedulerConfig, SubmitOutcome};
+
+/// How long a `wait: true` request may block before the connection
+/// gives up and degrades to an `accepted` line. Generous on purpose:
+/// per-job deadlines (`deadline_ms`) are the intended bound.
+const WAIT_CAP: Duration = Duration::from_secs(600);
+
+/// Server sizing and bind address.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7457` (port 0 for ephemeral).
+    pub addr: String,
+    /// Scheduler sizing.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A bound experiment server, not yet serving.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and starts the scheduler's workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            scheduler: Arc::new(Scheduler::new(config.scheduler)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes `serve` return from another thread.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accepts connections until a `shutdown` request (or the stop
+    /// handle) fires, then drains the scheduler and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected accept failures.
+    pub fn serve(&self) -> std::io::Result<()> {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let scheduler = Arc::clone(&self.scheduler);
+                    let stop = Arc::clone(&self.stop);
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(stream, &scheduler, &stop);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            connections.retain(|handle| !handle.is_finished());
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        self.scheduler.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &AtomicBool) {
+    let Ok(peer_reader) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(peer_reader);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = match Request::parse(&line) {
+            Ok(request) => respond(request, scheduler, stop, &mut writer),
+            Err(message) => {
+                write_line(
+                    &mut writer,
+                    &Json::obj([("type", "error".into()), ("message", message.into())]),
+                );
+                false
+            }
+        };
+        if writer.flush().is_err() || done {
+            return;
+        }
+    }
+}
+
+/// Handles one request; returns true when the connection should close.
+fn respond(
+    request: Request,
+    scheduler: &Scheduler,
+    stop: &AtomicBool,
+    writer: &mut impl Write,
+) -> bool {
+    match request {
+        Request::Run(spec) => {
+            respond_run(spec, scheduler, writer);
+            false
+        }
+        Request::Status { job } => {
+            let line = match scheduler.status(job) {
+                None => Json::obj([
+                    ("type", "status".into()),
+                    ("job", job.into()),
+                    ("state", "unknown".into()),
+                ]),
+                Some(state) => {
+                    let mut fields = vec![
+                        ("type".to_string(), Json::from("status")),
+                        ("job".to_string(), job.into()),
+                        ("state".to_string(), state.name().into()),
+                    ];
+                    if let JobState::Failed(err) = &state {
+                        fields.push(("reason".to_string(), err.reason().into()));
+                    }
+                    Json::Obj(fields)
+                }
+            };
+            write_line(writer, &line);
+            false
+        }
+        Request::Cancel { job } => {
+            let ok = scheduler.cancel(job);
+            write_line(
+                writer,
+                &Json::obj([
+                    ("type", "cancelled".into()),
+                    ("job", job.into()),
+                    ("ok", ok.into()),
+                ]),
+            );
+            false
+        }
+        Request::Stats => {
+            let mut fields = vec![("type".to_string(), Json::from("stats"))];
+            if let Json::Obj(stats) = scheduler.stats_json() {
+                fields.extend(stats);
+            }
+            write_line(writer, &Json::Obj(fields));
+            false
+        }
+        Request::Shutdown => {
+            write_line(writer, &Json::obj([("type", "shutdown".into())]));
+            stop.store(true, Ordering::SeqCst);
+            true
+        }
+    }
+}
+
+fn respond_run(spec: RunRequest, scheduler: &Scheduler, writer: &mut impl Write) {
+    let wants_trace = spec.trace;
+    let wait = spec.wait;
+    let experiment = spec.experiment.name();
+    match scheduler.submit(spec) {
+        SubmitOutcome::Cached(output) => {
+            emit_output(writer, experiment, &output, true, None, wants_trace);
+        }
+        SubmitOutcome::Rejected { retry_after_ms } => {
+            write_line(
+                writer,
+                &Json::obj([
+                    ("type", "rejected".into()),
+                    ("retry_after_ms", retry_after_ms.into()),
+                ]),
+            );
+        }
+        SubmitOutcome::Accepted(id) => {
+            if !wait {
+                write_line(
+                    writer,
+                    &Json::obj([("type", "accepted".into()), ("job", id.into())]),
+                );
+                return;
+            }
+            match scheduler.wait(id, WAIT_CAP) {
+                Some(JobState::Done(output)) => {
+                    emit_output(writer, experiment, &output, false, Some(id), wants_trace);
+                }
+                Some(JobState::Failed(err)) => {
+                    write_line(
+                        writer,
+                        &Json::obj([
+                            ("type", "error".into()),
+                            ("job", id.into()),
+                            ("message", err.reason().into()),
+                        ]),
+                    );
+                }
+                _ => {
+                    write_line(
+                        writer,
+                        &Json::obj([("type", "accepted".into()), ("job", id.into())]),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn emit_output(
+    writer: &mut impl Write,
+    experiment: &str,
+    output: &JobOutput,
+    cached: bool,
+    job: Option<u64>,
+    wants_trace: bool,
+) {
+    if wants_trace {
+        // The captured trace is already line-delimited JSON; relay it
+        // byte-for-byte so cached and fresh responses are identical.
+        let _ = writer.write_all(output.trace.as_bytes());
+    }
+    let mut fields = vec![
+        ("type".to_string(), Json::from("result")),
+        ("experiment".to_string(), experiment.into()),
+        ("cached".to_string(), cached.into()),
+        ("samples_used".to_string(), output.samples_used.into()),
+        ("samples_saved".to_string(), output.samples_saved.into()),
+        ("summary".to_string(), output.summary.clone()),
+    ];
+    if let Some(id) = job {
+        fields.insert(1, ("job".to_string(), id.into()));
+    }
+    write_line(writer, &Json::Obj(fields));
+}
+
+fn write_line(writer: &mut impl Write, value: &Json) {
+    let _ = writeln!(writer, "{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                exec_threads: 1,
+                cache_budget: 4 << 20,
+            },
+        })
+        .expect("bind ephemeral");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").expect("send");
+            writer.flush().expect("flush");
+            loop {
+                let mut response = String::new();
+                if reader.read_line(&mut response).expect("recv") == 0 {
+                    return responses;
+                }
+                let value = Json::parse(&response).expect("well-formed response");
+                let ty = value.get("type").and_then(Json::as_str).unwrap_or("");
+                let terminal = matches!(
+                    ty,
+                    "result"
+                        | "accepted"
+                        | "rejected"
+                        | "error"
+                        | "status"
+                        | "cancelled"
+                        | "stats"
+                        | "shutdown"
+                );
+                responses.push(value);
+                if terminal {
+                    break;
+                }
+            }
+        }
+        responses
+    }
+
+    #[test]
+    fn malformed_lines_get_an_error_response() {
+        let (addr, handle) = spawn_server();
+        let responses = roundtrip(
+            addr,
+            &[
+                "this is not json".to_string(),
+                r#"{"type":"shutdown"}"#.to_string(),
+            ],
+        );
+        assert_eq!(responses[0].get("type").unwrap().as_str(), Some("error"));
+        assert_eq!(responses[1].get("type").unwrap().as_str(), Some("shutdown"));
+        handle.join().expect("server exits cleanly");
+    }
+
+    #[test]
+    fn stats_and_status_respond_on_a_fresh_server() {
+        let (addr, handle) = spawn_server();
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"type":"stats"}"#.to_string(),
+                r#"{"type":"status","job":42}"#.to_string(),
+                r#"{"type":"shutdown"}"#.to_string(),
+            ],
+        );
+        assert_eq!(responses[0].get("type").unwrap().as_str(), Some("stats"));
+        assert_eq!(responses[0].get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(responses[1].get("state").unwrap().as_str(), Some("unknown"));
+        handle.join().expect("server exits cleanly");
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end tests against a live `sz-serve` instance on an
+//! ephemeral port: cache-hit bit-identity, backpressure, cancellation,
+//! the adaptive-stopping golden run, and a 64-client burst.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sz_harness::Json;
+use sz_serve::scheduler::SchedulerConfig;
+use sz_serve::{Server, ServerConfig};
+
+fn start(workers: usize, queue_capacity: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        scheduler: SchedulerConfig {
+            workers,
+            queue_capacity,
+            exec_threads: 2,
+            cache_budget: 32 << 20,
+        },
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("resolved addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+/// One request over a fresh connection; returns every response line
+/// (trace records included) up to and including the terminal line.
+fn request(addr: SocketAddr, line: &str) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    writeln!(writer, "{line}").expect("send");
+    writer.flush().expect("flush");
+    let mut lines = Vec::new();
+    for response in BufReader::new(stream).lines() {
+        let response = response.expect("receive");
+        let value = Json::parse(&response).expect("responses are well-formed JSON");
+        let ty = value.get("type").and_then(Json::as_str).expect("typed");
+        let terminal = !matches!(ty, "run" | "summary");
+        lines.push(response);
+        if terminal {
+            return lines;
+        }
+    }
+    panic!("connection closed before a terminal line");
+}
+
+fn terminal(lines: &[String]) -> Json {
+    Json::parse(lines.last().expect("at least one line")).expect("well-formed")
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let lines = request(addr, r#"{"type":"shutdown"}"#);
+    assert_eq!(
+        terminal(&lines).get("type").unwrap().as_str(),
+        Some("shutdown")
+    );
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn second_identical_run_is_a_bit_identical_cache_hit() {
+    let (addr, handle) = start(2, 8);
+    let run =
+        r#"{"type":"run","experiment":"table1","benchmarks":["bzip2"],"runs":4,"trace":true}"#;
+
+    let first = request(addr, run);
+    let first_terminal = terminal(&first);
+    assert_eq!(
+        first_terminal.get("cached").unwrap().as_bool(),
+        Some(false),
+        "cold run must miss"
+    );
+    assert!(
+        first.len() > 1,
+        "traced responses stream run records before the result"
+    );
+
+    let second = request(addr, run);
+    let second_terminal = terminal(&second);
+    assert_eq!(
+        second_terminal.get("cached").unwrap().as_bool(),
+        Some(true),
+        "identical request must hit"
+    );
+    // Bit-identity: every streamed trace line — full sample vectors
+    // and per-period counter snapshots — matches the cold run's bytes.
+    assert_eq!(
+        &first[..first.len() - 1],
+        &second[..second.len() - 1],
+        "cached trace must be byte-identical to the cold run"
+    );
+    assert_eq!(
+        first_terminal.get("summary").unwrap(),
+        second_terminal.get("summary").unwrap()
+    );
+
+    let stats = terminal(&request(addr, r#"{"type":"stats"}"#));
+    let cache = stats.get("cache").expect("stats carry cache counters");
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("insertions").unwrap().as_u64(), Some(1));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after() {
+    let (addr, handle) = start(1, 1);
+    // Occupy the single worker and the single queue slot with slow
+    // sleeps submitted without waiting.
+    let sleep = r#"{"type":"run","experiment":"selftest-sleep","sleep_ms":1500,"wait":false}"#;
+    assert_eq!(
+        terminal(&request(addr, sleep))
+            .get("type")
+            .unwrap()
+            .as_str(),
+        Some("accepted")
+    );
+    // Let the worker dequeue the first job so the next occupies the queue.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        terminal(&request(addr, sleep))
+            .get("type")
+            .unwrap()
+            .as_str(),
+        Some("accepted")
+    );
+    let rejected = terminal(&request(addr, sleep));
+    assert_eq!(rejected.get("type").unwrap().as_str(), Some("rejected"));
+    let retry = rejected.get("retry_after_ms").unwrap().as_u64().unwrap();
+    assert!(retry >= 25, "retry hint should be meaningful, got {retry}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn queued_jobs_cancel_and_report_status() {
+    let (addr, handle) = start(1, 4);
+    let sleep = r#"{"type":"run","experiment":"selftest-sleep","sleep_ms":3000,"wait":false}"#;
+    let running = terminal(&request(addr, sleep))
+        .get("job")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = terminal(&request(addr, sleep))
+        .get("job")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    let status = terminal(&request(
+        addr,
+        &format!(r#"{{"type":"status","job":{queued}}}"#),
+    ));
+    assert_eq!(status.get("state").unwrap().as_str(), Some("queued"));
+
+    let cancelled = terminal(&request(
+        addr,
+        &format!(r#"{{"type":"cancel","job":{queued}}}"#),
+    ));
+    assert_eq!(cancelled.get("ok").unwrap().as_bool(), Some(true));
+    let status = terminal(&request(
+        addr,
+        &format!(r#"{{"type":"status","job":{queued}}}"#),
+    ));
+    assert_eq!(status.get("state").unwrap().as_str(), Some("failed"));
+    assert_eq!(status.get("reason").unwrap().as_str(), Some("cancelled"));
+
+    // The running job is flagged best-effort and settles promptly —
+    // the sleep checks its cancellation flag every few milliseconds.
+    let cancelled = terminal(&request(
+        addr,
+        &format!(r#"{{"type":"cancel","job":{running}}}"#),
+    ));
+    assert_eq!(cancelled.get("ok").unwrap().as_bool(), Some(true));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let status = terminal(&request(
+            addr,
+            &format!(r#"{{"type":"status","job":{running}}}"#),
+        ));
+        if status.get("state").unwrap().as_str() == Some("failed") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "running job did not honor its cancellation flag"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shutdown(addr, handle);
+}
+
+/// The adaptive-stopping golden run: gobmk O1 -> O2, fixed seed. The
+/// stop point is pinned — any drift means the sampling stream, the
+/// stopping rule, or the statistics changed.
+#[test]
+fn adaptive_stopping_matches_fixed_verdict_with_fewer_samples() {
+    let (addr, handle) = start(1, 4);
+    let fixed = terminal(&request(
+        addr,
+        r#"{"type":"run","experiment":"evaluate","benchmarks":["gobmk"],"runs":30}"#,
+    ));
+    assert_eq!(fixed.get("type").unwrap().as_str(), Some("result"));
+    let fixed_summary = fixed.get("summary").unwrap();
+    assert_eq!(fixed_summary.get("mode").unwrap().as_str(), Some("fixed"));
+    assert_eq!(fixed.get("samples_used").unwrap().as_u64(), Some(60));
+
+    let adaptive = terminal(&request(
+        addr,
+        r#"{"type":"run","experiment":"evaluate","benchmarks":["gobmk"],"runs":30,"adaptive":{"half_width":0.05,"batch":5,"min_runs":5,"max_runs":30}}"#,
+    ));
+    let summary = adaptive.get("summary").unwrap();
+    assert_eq!(summary.get("mode").unwrap().as_str(), Some("adaptive"));
+    assert_eq!(summary.get("stopped_early").unwrap().as_bool(), Some(true));
+
+    // Same accept/reject verdict as the fixed 30-run protocol...
+    assert_eq!(
+        summary.get("significant").unwrap().as_bool(),
+        fixed_summary.get("significant").unwrap().as_bool(),
+        "adaptive and fixed protocols must agree on the verdict"
+    );
+    // ...from strictly fewer samples, with the savings reported.
+    let used = adaptive.get("samples_used").unwrap().as_u64().unwrap();
+    let saved = adaptive.get("samples_saved").unwrap().as_u64().unwrap();
+    assert!(used < 60, "adaptive must stop early, used {used}");
+    assert_eq!(used + saved, 60, "savings are measured against fixed-30");
+
+    // Golden stop point for seed 0x5EED0000: the first batch where the
+    // stopping rule can fire. Samples are a bit-identical prefix of
+    // the fixed stream, so this is stable across machines and thread
+    // counts.
+    assert_eq!(summary.get("samples_per_arm").unwrap().as_u64(), Some(5));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn server_survives_a_64_client_concurrent_burst() {
+    let (addr, handle) = start(2, 64);
+    let clients: Vec<_> = (0..64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                // Mix cacheable work (all clients share one nist key)
+                // with uncacheable sleeps so the queue sees pressure.
+                let line = if i % 2 == 0 {
+                    r#"{"type":"run","experiment":"nist"}"#.to_string()
+                } else {
+                    r#"{"type":"run","experiment":"selftest-sleep","sleep_ms":5}"#.to_string()
+                };
+                let lines = request(addr, &line);
+                terminal(&lines)
+            })
+        })
+        .collect();
+    let mut results = 0;
+    let mut rejections = 0;
+    for client in clients {
+        let response = client.join().expect("client thread survives");
+        match response.get("type").unwrap().as_str().unwrap() {
+            "result" => results += 1,
+            "rejected" => rejections += 1,
+            other => panic!("unexpected terminal line type {other:?}"),
+        }
+    }
+    assert_eq!(results + rejections, 64);
+    assert!(results > 0, "the burst must make forward progress");
+    // The server is still healthy: stats respond and shutdown drains.
+    let stats = terminal(&request(addr, r#"{"type":"stats"}"#));
+    assert_eq!(stats.get("type").unwrap().as_str(), Some("stats"));
+    shutdown(addr, handle);
+}

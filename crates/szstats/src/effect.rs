@@ -35,6 +35,31 @@ impl ConfidenceInterval {
     pub fn excludes(&self, value: f64) -> bool {
         value < self.lo || value > self.hi
     }
+
+    /// Half-width as a fraction of `reference`'s magnitude — the
+    /// scale-free precision measure behind adaptive stopping rules:
+    /// "keep sampling until the interval on the effect is narrower
+    /// than x% of the baseline mean". Returns infinity for a zero
+    /// reference.
+    pub fn relative_margin(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            f64::INFINITY
+        } else {
+            self.margin() / reference.abs()
+        }
+    }
+}
+
+/// Half-width of the Welch confidence interval on `mean(a) - mean(b)`
+/// — the quantity an adaptive sequential-sampling loop drives below a
+/// target before stopping (Kalibera & Jones' effect-size-interval
+/// protocol). Equivalent to `diff_ci(a, b, confidence)?.margin()`.
+///
+/// # Errors
+///
+/// Same conditions as [`diff_ci`].
+pub fn diff_half_width(a: &[f64], b: &[f64], confidence: f64) -> Result<f64, StatError> {
+    Ok(diff_ci(a, b, confidence)?.margin())
 }
 
 /// Upper quantile `t*` with `P(|T| <= t*) = confidence`, found by
@@ -221,6 +246,28 @@ mod tests {
         assert!((d - 1.0).abs() < 0.15, "d = {d}");
         // Antisymmetry.
         assert!((cohens_d(&a, &b).unwrap() + d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_width_helpers_agree_with_the_interval() {
+        let a: Vec<f64> = (0..15).map(|i| 10.0 + 0.05 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| 9.0 + 0.05 * (i % 5) as f64).collect();
+        let ci = diff_ci(&a, &b, 0.95).unwrap();
+        let hw = diff_half_width(&a, &b, 0.95).unwrap();
+        assert_eq!(hw, ci.margin());
+        assert!((ci.relative_margin(10.0) - ci.margin() / 10.0).abs() < 1e-15);
+        assert_eq!(ci.relative_margin(0.0), f64::INFINITY);
+        assert_eq!(ci.relative_margin(-10.0), ci.relative_margin(10.0));
+    }
+
+    #[test]
+    fn half_width_shrinks_with_more_samples() {
+        let gen = |n: usize, base: f64| -> Vec<f64> {
+            (0..n).map(|i| base + 0.2 * (i % 7) as f64).collect()
+        };
+        let small = diff_half_width(&gen(8, 10.0), &gen(8, 9.5), 0.95).unwrap();
+        let large = diff_half_width(&gen(32, 10.0), &gen(32, 9.5), 0.95).unwrap();
+        assert!(large < small, "more samples must narrow the interval");
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod wilcoxon;
 
 pub use anova::{one_way_anova, repeated_measures_anova, AnovaResult};
 pub use desc::{geometric_mean, mean, median, quantile, sample_std, sample_variance, Summary};
-pub use effect::{cohens_d, diff_ci, mean_ci, ConfidenceInterval};
+pub use effect::{cohens_d, diff_ci, diff_half_width, mean_ci, ConfidenceInterval};
 pub use error::StatError;
 pub use levene::{brown_forsythe, LeveneResult};
 pub use qq::{qq_points, QqPoint};

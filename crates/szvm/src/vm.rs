@@ -234,17 +234,19 @@ impl Exec<'_, '_> {
     /// per-instruction memory-system traffic. Returns the program's
     /// final value when the last frame returns.
     ///
-    /// Exactness: dispatch only ever lands on span starts, mid-span
-    /// ops are infallible and engine-invisible, and nothing observes
-    /// the counters between two ops of a span — engine callbacks
-    /// (tick / enter / pad / malloc / free), period snapshots, and
-    /// error paths all sit at span-terminal ops, where the batched
-    /// totals equal the reference interpreter's running totals. Spans
-    /// that would cross the fuel limit fall back to the per-op path
-    /// ([`Exec::step`]); impure spans straddling an L1I line under the
-    /// current code base keep per-op fetches (memoized inside
-    /// [`MemorySystem::fetch`]) so the shared-L2/L3 access order
-    /// matches the reference exactly.
+    /// Exactness: batching is only applied from a span's first op,
+    /// mid-span ops are infallible and engine-invisible, and nothing
+    /// observes the counters between two ops of a span — engine
+    /// callbacks (tick / enter / pad / malloc / free), period
+    /// snapshots, and error paths all sit at span-terminal ops, where
+    /// the batched totals equal the reference interpreter's running
+    /// totals. Spans that would cross the fuel limit fall back to the
+    /// per-op path ([`Exec::step`]), and a dispatch that lands
+    /// mid-span (the tail of a span a fuel fallback stepped into)
+    /// stays per-op until the next span start; impure spans straddling
+    /// an L1I line under the current code base keep per-op fetches
+    /// (memoized inside [`MemorySystem::fetch`]) so the shared-L2/L3
+    /// access order matches the reference exactly.
     fn run_span(&mut self) -> Result<Option<u64>, VmError> {
         let retired = self.mem.counters().instructions;
         let limit = self.limits.max_instructions;
@@ -261,10 +263,12 @@ impl Exec<'_, '_> {
         let frame = &self.stack[top];
         let func = &vm.decoded[frame.func.0 as usize];
         let span = &func.spans[func.span_of[frame.ip as usize] as usize];
-        debug_assert_eq!(span.start, frame.ip, "dispatch lands on span starts");
-        if retired + u64::from(span.count) > limit {
+        if frame.ip != span.start || retired + u64::from(span.count) > limit {
             // Run op by op so OutOfFuel fires at exactly the same
             // instruction, with the same counters, as the reference.
+            // The mid-span case (`ip` past the span start) is the
+            // tail of a span a previous fuel fallback stepped into;
+            // it stays on the per-op path until the next span start.
             return self.step();
         }
 

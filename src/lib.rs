@@ -30,6 +30,7 @@ pub use sz_machine;
 pub use sz_nist;
 pub use sz_opt;
 pub use sz_rng;
+pub use sz_serve;
 pub use sz_stats;
 pub use sz_vm;
 pub use sz_workloads;
@@ -38,6 +39,6 @@ pub use sz_workloads;
 pub mod prelude {
     pub use crate::{
         stabilizer, sz_harness, sz_heap, sz_ir, sz_link, sz_machine, sz_nist, sz_opt, sz_rng,
-        sz_stats, sz_vm, sz_workloads,
+        sz_serve, sz_stats, sz_vm, sz_workloads,
     };
 }

@@ -162,6 +162,29 @@ fn out_of_fuel_is_identical_on_both_interpreters() {
     assert_eq!(e, VmError::OutOfFuel { limit: 5_000 });
 }
 
+/// A fuel limit that lands *mid-span* — the decoded interpreter has
+/// fetched a span with two or more undispatched ops remaining when the
+/// budget runs out — must fail exactly like the reference interpreter,
+/// which meters one instruction at a time.
+#[test]
+fn out_of_fuel_mid_span_is_identical_on_both_interpreters() {
+    let mut p = ProgramBuilder::new("straddle");
+    let mut f = p.function("main", 0);
+    let a = f.alu(AluOp::Add, 1, 1);
+    let b = f.alu(AluOp::Add, a, 1);
+    let c = f.alu(AluOp::Add, b, 1);
+    f.ret(Some(c.into()));
+    let main = p.add_function(f);
+    let program = p.finish(main).unwrap();
+
+    let limits = RunLimits {
+        max_instructions: 2,
+        max_stack_depth: 16,
+    };
+    let e = assert_error_identical(&program, SimpleLayout::new, limits, "straddle/simple");
+    assert_eq!(e, VmError::OutOfFuel { limit: 2 });
+}
+
 #[test]
 fn out_of_memory_is_identical_on_both_interpreters() {
     let program = huge_malloc();
