@@ -20,11 +20,26 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> conformance: cross-engine differential suite (seed ${SZ_CONF_SEED:-default})"
-# Runs the generated-program conformance suite at its fixed committed
-# seeds; export SZ_CONF_SEED=<n> to sweep a different region of program
-# space without a code change.
-SZ_CONF_SEED="${SZ_CONF_SEED:-}" cargo test -q --release --offline --test conformance_differential
+echo "==> fuzz gate: differential fuzz, 2000 programs (seed base ${SZ_CONF_SEED:-default})"
+# The standing conformance gate: 2,000 generated programs through all
+# six engine/allocator configurations and both interpreters, wall-time
+# capped. Export SZ_CONF_SEED=<n> to sweep a different region of
+# program space without a code change; on divergence the binary exits
+# nonzero and prints a self-contained reproducer artifact.
+SZ_CONF_SEED="${SZ_CONF_SEED:-}" cargo run -q --release --offline -p sz-fuzz --bin sz-fuzz -- \
+    --programs 2000 --time-cap-ms 50000
+
+echo "==> fuzz negative control: injected engine must be caught and shrunk"
+# Arm the deliberately broken global-aliasing engine at a pinned seed
+# base: the fuzzer must exit nonzero and print a reproducer. This
+# proves the gate can actually fail, and that failures arrive shrunk.
+if OUT="$(cargo run -q --release --offline -p sz-fuzz --bin sz-fuzz -- \
+    --seed-base 0xC0FFEE00 --programs 500 --inject-global-alias 2>/dev/null)"; then
+    echo "injected divergence was not detected"; exit 1
+fi
+echo "$OUT" | grep -q '"type":"reproducer"' \
+    || { echo "no reproducer artifact printed"; exit 1; }
+echo "fuzz negative control: divergence caught, reproducer emitted"
 
 echo "==> bench smoke: micro emits parseable BENCH_sim.json (3 runs for medians)"
 # Three full micro runs: the regression gate below compares the

@@ -1,0 +1,167 @@
+//! Self-contained reproducer artifacts for divergences.
+//!
+//! A reproducer carries everything needed to replay and triage a
+//! failure without this repo's generator even existing: the seed (for
+//! `sz-fuzz --seed`), the recorded choice tapes (the program's exact
+//! structural decisions), the shrunk program as readable text, and
+//! the engine/comparison that failed. The JSON form is what the CI
+//! fuzz gate prints on failure; EXPERIMENTS.md documents the format.
+
+use crate::diff::Divergence;
+use crate::gen::{ChoiceTapes, CLASSES};
+use crate::shrink::ShrinkOutcome;
+use crate::text::render_program;
+use sz_harness::Json;
+use sz_ir::Program;
+
+/// Everything needed to replay and understand one divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// The failure, as observed on the original generated program.
+    pub divergence: Divergence,
+    /// Choice tapes recorded for the failing seed.
+    pub tapes: ChoiceTapes,
+    /// Instruction count of the original generated program.
+    pub original_instructions: usize,
+    /// Instruction count of the shrunk program.
+    pub reduced_instructions: usize,
+    /// Instruction count after each accepted shrink step.
+    pub shrink_steps: Vec<usize>,
+    /// The shrunk program, still reproducing the divergence class.
+    pub reduced: Program,
+}
+
+impl Reproducer {
+    /// Assembles a reproducer from a divergence, the failing seed's
+    /// tapes, and a finished shrink.
+    pub fn new(
+        divergence: Divergence,
+        tapes: ChoiceTapes,
+        original_instructions: usize,
+        shrunk: &ShrinkOutcome,
+    ) -> Reproducer {
+        Reproducer {
+            divergence,
+            tapes,
+            original_instructions,
+            reduced_instructions: shrunk.program.instr_count(),
+            shrink_steps: shrunk.steps.clone(),
+            reduced: shrunk.program.clone(),
+        }
+    }
+
+    /// The machine-readable artifact (one JSON object).
+    pub fn to_json(&self) -> Json {
+        let d = &self.divergence;
+        let tapes = Json::Obj(
+            CLASSES
+                .iter()
+                .map(|class| {
+                    (
+                        class.name().to_string(),
+                        Json::Arr(
+                            self.tapes
+                                .tape(*class)
+                                .iter()
+                                .map(|&v| Json::U64(v))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("type", Json::Str("reproducer".into())),
+            ("seed", Json::U64(d.seed)),
+            ("engine", Json::Str(d.engine.into())),
+            ("kind", Json::Str(d.kind.name().into())),
+            ("expected", Json::Str(d.expected.render())),
+            ("got", Json::Str(d.got.render())),
+            (
+                "original_instructions",
+                Json::U64(self.original_instructions as u64),
+            ),
+            (
+                "reduced_instructions",
+                Json::U64(self.reduced_instructions as u64),
+            ),
+            (
+                "shrink_steps",
+                Json::Arr(
+                    self.shrink_steps
+                        .iter()
+                        .map(|&s| Json::U64(s as u64))
+                        .collect(),
+                ),
+            ),
+            ("tapes", tapes),
+            ("reduced_ir", Json::Str(render_program(&self.reduced))),
+        ])
+    }
+
+    /// The human-readable triage report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("=== conformance divergence ===\n");
+        s.push_str(&self.divergence.render());
+        s.push('\n');
+        s.push_str(&format!(
+            "shrunk {} -> {} instructions in {} accepted steps\n",
+            self.original_instructions,
+            self.reduced_instructions,
+            self.shrink_steps.len()
+        ));
+        s.push_str(&format!(
+            "replay: sz-fuzz --seed {:#x}{}\n",
+            self.divergence.seed,
+            if self.divergence.engine == crate::inject::GlobalAlias::LABEL {
+                " --inject-global-alias"
+            } else {
+                ""
+            }
+        ));
+        s.push_str("reduced program:\n");
+        s.push_str(&render_program(&self.reduced));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{ArchResult, DivergenceKind};
+
+    #[test]
+    fn artifact_round_trips_through_json_text() {
+        let mut generator = crate::gen::Generator::new();
+        let program = generator.generate(42);
+        let tapes = generator.record(42).clone();
+        let divergence = Divergence {
+            seed: 42,
+            engine: "simple",
+            kind: DivergenceKind::InterpreterMismatch,
+            expected: ArchResult::Ok(Some(7)),
+            got: ArchResult::OutOfFuel,
+        };
+        let shrunk = ShrinkOutcome {
+            program: program.clone(),
+            steps: vec![program.instr_count()],
+            candidates_tried: 1,
+        };
+        let rep = Reproducer::new(divergence, tapes, program.instr_count(), &shrunk);
+        let text = rep.to_json().to_string();
+        let back = Json::parse(&text).expect("artifact is valid JSON");
+        assert_eq!(back.get("type").and_then(Json::as_str), Some("reproducer"));
+        assert_eq!(back.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            back.get("kind").and_then(Json::as_str),
+            Some("interpreter-mismatch")
+        );
+        assert!(back
+            .get("tapes")
+            .and_then(|t| t.get("structure"))
+            .and_then(Json::as_arr)
+            .is_some_and(|a| !a.is_empty()));
+        assert!(rep.render().contains("replay: sz-fuzz --seed 0x2a"));
+    }
+}

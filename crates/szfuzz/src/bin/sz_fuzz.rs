@@ -1,0 +1,145 @@
+//! `sz-fuzz` — the standing differential fuzz gate.
+//!
+//! Generates seeded random programs and checks that every layout
+//! engine × allocator configuration (and both interpreters) agree on
+//! each program's architectural result. Exits 0 when every program
+//! agrees, 1 with a printed (and shrunk) reproducer on the first
+//! failure in seed order.
+//!
+//!     sz-fuzz --programs 2000 --threads 8 --time-cap-ms 50000
+//!     sz-fuzz --seed 0xc0ffee42          # replay one seed
+//!     SZ_CONF_SEED=12345 sz-fuzz         # sweep a fresh seed region
+//!
+//! Results are bit-identical at any `--threads` value; the wall-clock
+//! cap only decides *how many* seeds run, never what any seed reports.
+
+use std::process::ExitCode;
+use sz_fuzz::driver::{self, FuzzConfig, FuzzFailure};
+use sz_fuzz::gen::base_seed;
+
+const USAGE: &str = "usage: sz-fuzz [options]
+
+options:
+  --seed <u64>          check exactly one seed (replay mode)
+  --seed-base <u64>     first seed of the sweep (default: SZ_CONF_SEED or the built-in base)
+  --programs <n>        how many consecutive seeds to check (default 2000)
+  --threads <n>         worker threads (default: available parallelism)
+  --batch <n>           seeds per pool dispatch (default 256)
+  --time-cap-ms <n>     stop cleanly at the next batch boundary past this budget
+  --inject-global-alias arm the deliberately broken engine (negative control)
+  --no-shrink           report divergences without minimizing them
+  --json                print the machine-readable summary record
+  --help                this text
+
+numbers accept decimal or 0x-prefixed hex";
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct Options {
+    config: FuzzConfig,
+    single_seed: Option<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut config = FuzzConfig {
+        seed_base: base_seed(),
+        programs: 2000,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..FuzzConfig::default()
+    };
+    let mut single_seed = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                single_seed = Some(parse_u64(&v).ok_or_else(|| format!("bad --seed {v:?}"))?);
+            }
+            "--seed-base" => {
+                let v = value("--seed-base")?;
+                config.seed_base = parse_u64(&v).ok_or_else(|| format!("bad --seed-base {v:?}"))?;
+            }
+            "--programs" => {
+                let v = value("--programs")?;
+                config.programs = parse_u64(&v).ok_or_else(|| format!("bad --programs {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                config.threads =
+                    parse_u64(&v).ok_or_else(|| format!("bad --threads {v:?}"))? as usize;
+            }
+            "--batch" => {
+                let v = value("--batch")?;
+                config.batch = parse_u64(&v)
+                    .ok_or_else(|| format!("bad --batch {v:?}"))?
+                    .max(1) as usize;
+            }
+            "--time-cap-ms" => {
+                let v = value("--time-cap-ms")?;
+                let ms = parse_u64(&v).ok_or_else(|| format!("bad --time-cap-ms {v:?}"))?;
+                config.time_cap = Some(std::time::Duration::from_millis(ms));
+            }
+            "--inject-global-alias" => config.inject_global_alias = true,
+            "--no-shrink" => config.shrink = false,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if let Some(seed) = single_seed {
+        config.seed_base = seed;
+        config.programs = 1;
+        config.time_cap = None;
+    }
+    Ok(Options {
+        config,
+        single_seed,
+        json,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sz-fuzz: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(seed) = options.single_seed {
+        eprintln!("sz-fuzz: replaying seed {seed:#x}");
+    }
+    let summary = driver::run(&options.config);
+    if options.json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render());
+    }
+    match (&summary.failure, &summary.reproducer) {
+        (None, _) => ExitCode::SUCCESS,
+        (Some(FuzzFailure::Divergence(_)), Some(rep)) => {
+            // The artifact goes to stdout in both modes so CI can
+            // capture it with a plain redirect.
+            println!("{}", rep.to_json());
+            eprint!("{}", rep.render());
+            ExitCode::FAILURE
+        }
+        (Some(_), _) => ExitCode::FAILURE,
+    }
+}

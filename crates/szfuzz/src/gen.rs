@@ -1,0 +1,1126 @@
+//! Staged random-IR generation: a precomputed choice-tape stage and an
+//! allocation-lean instantiation stage.
+//!
+//! The single-pass generator this replaces (preserved verbatim as
+//! [`single_pass`], and pinned bit-identical by the golden tests)
+//! interleaved RNG draws with IR construction: every structural
+//! decision paid for rejection sampling, `f64` conversion, *and* the
+//! `String`/`Vec` churn of the builder, per decision. Following the
+//! Fail-Faster staging idea (PAPERS.md #4), generation is now split:
+//!
+//! 1. **Record** ([`Generator::record`]): walk the structural decision
+//!    tree with a *skeleton* sink that builds no IR — the data pool is
+//!    a `Vec<()>` (length-only, never allocates), function handles are
+//!    units — and write every decoded decision onto one flat `u64`
+//!    tape per decision [`Class`]. All RNG work (rejection sampling,
+//!    float draws) happens here, against reusable tape arenas.
+//! 2. **Instantiate** ([`instantiate`]): replay the tapes through the
+//!    *same* generic walker with the real [`ProgramBuilder`] sink.
+//!    This stage is RNG-free: every choice is a bounds-checked tape
+//!    read.
+//!
+//! Both stages run the one shared walker ([`build_program`]), generic
+//! over where choices come from ([`ChoiceSource`]) and where IR goes
+//! ([`GenSink`]) — record and replay cannot drift apart by
+//! construction, and the tapes are a self-contained, inspectable
+//! description of a program's structure (they ship inside reproducer
+//! artifacts).
+//!
+//! The generated-program *contract* is unchanged from the original
+//! generator, because the conformance suite's soundness depends on it:
+//! programs are always-terminating (bounded counter loops, acyclic
+//! calls) and layout-invariant by construction — addresses never
+//! become data, heap reads are dominated by same-allocation writes,
+//! and only live pointers are freed. See the module comment on
+//! [`single_pass`]'s original in git history (`tests/conf_gen/mod.rs`)
+//! and DESIGN.md §8.
+
+use sz_ir::{AluOp, FuncId, FunctionBuilder, GlobalId, GlobalInit, Operand, Program};
+use sz_ir::{ProgramBuilder, Reg};
+use sz_rng::{Rng, SplitMix64};
+
+/// Base seed used when `SZ_CONF_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0xC0FF_EE00;
+
+/// Number of programs the in-tree conformance test checks per run (the
+/// CI fuzz gate runs far more; see `ci.sh`).
+pub const DEFAULT_PROGRAMS: u64 = 64;
+
+/// Reads the suite's base seed, overridable via `SZ_CONF_SEED` so CI
+/// (and bug hunts) can sweep fresh regions of program space without a
+/// code change.
+pub fn base_seed() -> u64 {
+    match std::env::var("SZ_CONF_SEED") {
+        Ok(s) if !s.trim().is_empty() => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("SZ_CONF_SEED must be an integer, got {s:?}")),
+        _ => DEFAULT_SEED,
+    }
+}
+
+// --- choice tapes ----------------------------------------------------
+
+/// Structural decision classes. Every decision the generator makes
+/// lands on exactly one class tape; the split keeps the tapes
+/// human-readable in reproducer artifacts (all loop-trip choices in
+/// one place, all constants in another) and lets the instantiation
+/// stage read each stream with a dedicated cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Counts and coin flips that shape the program: how many globals,
+    /// leaves, slots, ops; whether the mid-tier exists.
+    Structure,
+    /// Operation selection: op-kind dice, ALU/float op indices, callee
+    /// picks, nop widths.
+    Ops,
+    /// Operand routing: immediate-vs-pool coins and pool indices.
+    Operands,
+    /// Memory shape: global indices, offsets, heap episode geometry,
+    /// store/load/free coins.
+    Mem,
+    /// Literal constants: initializers, immediates, trip counts.
+    Consts,
+}
+
+/// Number of decision classes (tape count).
+pub const NUM_CLASSES: usize = 5;
+
+/// All classes, in tape-index order.
+pub const CLASSES: [Class; NUM_CLASSES] = [
+    Class::Structure,
+    Class::Ops,
+    Class::Operands,
+    Class::Mem,
+    Class::Consts,
+];
+
+impl Class {
+    /// Tape index of this class.
+    pub fn index(self) -> usize {
+        match self {
+            Class::Structure => 0,
+            Class::Ops => 1,
+            Class::Operands => 2,
+            Class::Mem => 3,
+            Class::Consts => 4,
+        }
+    }
+
+    /// Stable wire/artifact name of this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Structure => "structure",
+            Class::Ops => "ops",
+            Class::Operands => "operands",
+            Class::Mem => "mem",
+            Class::Consts => "consts",
+        }
+    }
+}
+
+/// Flat decision tapes, one per [`Class`]. Coin flips are stored as
+/// 0/1; bounded draws store the decoded value (always `< bound`).
+///
+/// The vectors are arenas: [`ChoiceTapes::clear`] keeps their capacity,
+/// so a long fuzz run stops allocating for tapes after the largest
+/// program seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChoiceTapes {
+    tapes: [Vec<u64>; NUM_CLASSES],
+}
+
+impl ChoiceTapes {
+    /// Empty tapes.
+    pub fn new() -> ChoiceTapes {
+        ChoiceTapes::default()
+    }
+
+    /// Clears all tapes, keeping their capacity.
+    pub fn clear(&mut self) {
+        for t in &mut self.tapes {
+            t.clear();
+        }
+    }
+
+    /// The tape for `class`.
+    pub fn tape(&self, class: Class) -> &[u64] {
+        &self.tapes[class.index()]
+    }
+
+    /// Total decisions recorded across all classes.
+    pub fn len(&self) -> usize {
+        self.tapes.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no decisions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tapes.iter().all(Vec::is_empty)
+    }
+}
+
+/// Where the walker's decisions come from: a recording RNG in stage 1,
+/// a cursor over finished tapes in stage 2.
+trait ChoiceSource {
+    /// A uniform draw in `[0, bound)` of decision class `class`.
+    fn below(&mut self, class: Class, bound: u64) -> u64;
+    /// A biased coin of decision class `class`.
+    fn chance(&mut self, class: Class, p: f64) -> bool;
+}
+
+/// Stage 1: draws from SplitMix64 exactly like the single-pass
+/// generator and records every decoded decision on its class tape.
+struct TapeRecorder<'a> {
+    rng: SplitMix64,
+    tapes: &'a mut ChoiceTapes,
+}
+
+impl ChoiceSource for TapeRecorder<'_> {
+    fn below(&mut self, class: Class, bound: u64) -> u64 {
+        let v = self.rng.below(bound);
+        self.tapes.tapes[class.index()].push(v);
+        v
+    }
+
+    fn chance(&mut self, class: Class, p: f64) -> bool {
+        let v = self.rng.chance(p);
+        self.tapes.tapes[class.index()].push(u64::from(v));
+        v
+    }
+}
+
+/// Stage 2: replays recorded decisions; never touches an RNG.
+struct TapeReader<'a> {
+    tapes: &'a ChoiceTapes,
+    cursors: [usize; NUM_CLASSES],
+}
+
+impl<'a> TapeReader<'a> {
+    fn new(tapes: &'a ChoiceTapes) -> TapeReader<'a> {
+        TapeReader {
+            tapes,
+            cursors: [0; NUM_CLASSES],
+        }
+    }
+
+    fn next(&mut self, class: Class) -> u64 {
+        let i = class.index();
+        let v = self.tapes.tapes[i][self.cursors[i]];
+        self.cursors[i] += 1;
+        v
+    }
+
+    /// Panics unless every tape was consumed exactly — a misaligned
+    /// walk (which the shared-walker design makes impossible short of
+    /// tape corruption) fails loudly instead of emitting a skewed
+    /// program.
+    fn finish(self) {
+        for (i, class) in CLASSES.iter().enumerate() {
+            assert_eq!(
+                self.cursors[i],
+                self.tapes.tapes[i].len(),
+                "tape {} not fully consumed",
+                class.name()
+            );
+        }
+    }
+}
+
+impl ChoiceSource for TapeReader<'_> {
+    fn below(&mut self, class: Class, bound: u64) -> u64 {
+        let v = self.next(class);
+        debug_assert!(v < bound, "tape value {v} out of range for bound {bound}");
+        v
+    }
+
+    fn chance(&mut self, class: Class, _p: f64) -> bool {
+        self.next(class) != 0
+    }
+}
+
+// --- generation sinks ------------------------------------------------
+
+/// An operand as the walker sees it: a pool value or an immediate.
+#[derive(Clone, Copy)]
+enum Opnd<V> {
+    Val(V),
+    Imm(i64),
+}
+
+/// Names the walker assigns (the build sink formats them; the skeleton
+/// sink ignores them — stage 1 allocates no strings).
+#[derive(Clone, Copy)]
+enum FnName {
+    Leaf(u64),
+    Mid,
+    Main,
+}
+
+/// A callable function: sink-specific id plus arity.
+#[derive(Clone, Copy)]
+struct Callee<F> {
+    id: F,
+    params: u16,
+}
+
+/// Where generated structure goes. The build sink emits real IR; the
+/// skeleton sink only models the state decisions depend on (pool
+/// lengths, callee arities), with zero-sized values throughout.
+trait GenSink {
+    /// A data-pool value (`Reg`, or `()` in the skeleton).
+    type Val: Copy;
+    /// A heap pointer (never enters the data pool).
+    type Ptr: Copy;
+    /// A finished function.
+    type Func: Copy;
+    /// A global.
+    type Global: Copy;
+    /// A block id.
+    type Block: Copy;
+
+    fn global(&mut self, index: u64, size: u64, init: Option<u64>) -> Self::Global;
+    fn begin_function(&mut self, name: FnName, params: u16);
+    fn end_function(&mut self) -> Self::Func;
+    fn param(&mut self, k: u16) -> Self::Val;
+    fn slot(&mut self) -> u32;
+    fn store_slot(&mut self, slot: u32, v: Opnd<Self::Val>);
+    fn load_slot(&mut self, slot: u32) -> Self::Val;
+    fn new_block(&mut self) -> Self::Block;
+    fn switch_to(&mut self, block: Self::Block);
+    fn jump(&mut self, target: Self::Block);
+    fn branch(&mut self, cond: Self::Val, taken: Self::Block, not_taken: Self::Block);
+    fn ret(&mut self, value: Self::Val);
+    fn alu(&mut self, op: AluOp, a: Opnd<Self::Val>, b: Opnd<Self::Val>) -> Self::Val;
+    fn fp_const(&mut self, value: f64) -> Self::Val;
+    fn int_to_fp(&mut self, src: Opnd<Self::Val>) -> Self::Val;
+    fn fp_to_int(&mut self, src: Self::Val) -> Self::Val;
+    fn load_global(&mut self, g: Self::Global, offset: Opnd<Self::Val>) -> Self::Val;
+    fn store_global(&mut self, g: Self::Global, offset: Opnd<Self::Val>, v: Opnd<Self::Val>);
+    fn malloc(&mut self, size: i64) -> Self::Ptr;
+    fn store_ptr(&mut self, base: Self::Ptr, offset: i64, v: Opnd<Self::Val>);
+    fn load_ptr(&mut self, base: Self::Ptr, offset: i64) -> Self::Val;
+    fn free(&mut self, ptr: Self::Ptr);
+    fn call(&mut self, func: Self::Func, args: &[Opnd<Self::Val>]) -> Self::Val;
+    fn nop(&mut self, bytes: u8);
+}
+
+/// Stage-1 sink: no IR, no strings, no per-value allocation. Only the
+/// slot counter is real (nothing depends on it, but keeping it costs
+/// nothing and keeps the impl honest).
+#[derive(Default)]
+struct SkeletonSink {
+    next_slot: u32,
+}
+
+impl GenSink for SkeletonSink {
+    type Val = ();
+    type Ptr = ();
+    type Func = ();
+    type Global = ();
+    type Block = ();
+
+    fn global(&mut self, _index: u64, _size: u64, _init: Option<u64>) {}
+    fn begin_function(&mut self, _name: FnName, _params: u16) {
+        self.next_slot = 0;
+    }
+    fn end_function(&mut self) {}
+    fn param(&mut self, _k: u16) {}
+    fn slot(&mut self) -> u32 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+    fn store_slot(&mut self, _slot: u32, _v: Opnd<()>) {}
+    fn load_slot(&mut self, _slot: u32) {}
+    fn new_block(&mut self) {}
+    fn switch_to(&mut self, _block: ()) {}
+    fn jump(&mut self, _target: ()) {}
+    fn branch(&mut self, _cond: (), _taken: (), _not_taken: ()) {}
+    fn ret(&mut self, _value: ()) {}
+    fn alu(&mut self, _op: AluOp, _a: Opnd<()>, _b: Opnd<()>) {}
+    fn fp_const(&mut self, _value: f64) {}
+    fn int_to_fp(&mut self, _src: Opnd<()>) {}
+    fn fp_to_int(&mut self, _src: ()) {}
+    fn load_global(&mut self, _g: (), _offset: Opnd<()>) {}
+    fn store_global(&mut self, _g: (), _offset: Opnd<()>, _v: Opnd<()>) {}
+    fn malloc(&mut self, _size: i64) {}
+    fn store_ptr(&mut self, _base: (), _offset: i64, _v: Opnd<()>) {}
+    fn load_ptr(&mut self, _base: (), _offset: i64) {}
+    fn free(&mut self, _ptr: ()) {}
+    fn call(&mut self, _func: (), _args: &[Opnd<()>]) {}
+    fn nop(&mut self, _bytes: u8) {}
+}
+
+/// Stage-2 sink: the real [`ProgramBuilder`]. Emits the exact builder
+/// calls the single-pass generator made, in the exact order.
+struct BuildSink {
+    program: ProgramBuilder,
+    func: Option<FunctionBuilder>,
+}
+
+impl BuildSink {
+    fn new(seed: u64) -> BuildSink {
+        BuildSink {
+            program: ProgramBuilder::new(format!("conf-{seed:#x}")),
+            func: None,
+        }
+    }
+
+    fn f(&mut self) -> &mut FunctionBuilder {
+        self.func.as_mut().expect("inside a function")
+    }
+}
+
+fn to_operand(o: Opnd<Reg>) -> Operand {
+    match o {
+        Opnd::Val(r) => r.into(),
+        Opnd::Imm(v) => v.into(),
+    }
+}
+
+impl GenSink for BuildSink {
+    type Val = Reg;
+    type Ptr = Reg;
+    type Func = FuncId;
+    type Global = GlobalId;
+    type Block = sz_ir::BlockId;
+
+    fn global(&mut self, index: u64, size: u64, init: Option<u64>) -> GlobalId {
+        match init {
+            Some(v) => self
+                .program
+                .global_init(format!("g{index}"), size, GlobalInit::U64(v)),
+            None => self.program.global(format!("g{index}"), size),
+        }
+    }
+    fn begin_function(&mut self, name: FnName, params: u16) {
+        let name = match name {
+            FnName::Leaf(i) => format!("leaf{i}"),
+            FnName::Mid => "mid".to_string(),
+            FnName::Main => "main".to_string(),
+        };
+        self.func = Some(self.program.function(name, params));
+    }
+    fn end_function(&mut self) -> FuncId {
+        let fb = self.func.take().expect("inside a function");
+        self.program.add_function(fb)
+    }
+    fn param(&mut self, k: u16) -> Reg {
+        self.f().param(k)
+    }
+    fn slot(&mut self) -> u32 {
+        self.f().slot()
+    }
+    fn store_slot(&mut self, slot: u32, v: Opnd<Reg>) {
+        let v = to_operand(v);
+        self.f().store_slot(slot, v);
+    }
+    fn load_slot(&mut self, slot: u32) -> Reg {
+        self.f().load_slot(slot)
+    }
+    fn new_block(&mut self) -> sz_ir::BlockId {
+        self.f().new_block()
+    }
+    fn switch_to(&mut self, block: sz_ir::BlockId) {
+        self.f().switch_to(block);
+    }
+    fn jump(&mut self, target: sz_ir::BlockId) {
+        self.f().jump(target);
+    }
+    fn branch(&mut self, cond: Reg, taken: sz_ir::BlockId, not_taken: sz_ir::BlockId) {
+        self.f().branch(cond, taken, not_taken);
+    }
+    fn ret(&mut self, value: Reg) {
+        self.f().ret(Some(value.into()));
+    }
+    fn alu(&mut self, op: AluOp, a: Opnd<Reg>, b: Opnd<Reg>) -> Reg {
+        let (a, b) = (to_operand(a), to_operand(b));
+        self.f().alu(op, a, b)
+    }
+    fn fp_const(&mut self, value: f64) -> Reg {
+        self.f().fp_const(value)
+    }
+    fn int_to_fp(&mut self, src: Opnd<Reg>) -> Reg {
+        let src = to_operand(src);
+        self.f().int_to_fp(src)
+    }
+    fn fp_to_int(&mut self, src: Reg) -> Reg {
+        self.f().fp_to_int(src)
+    }
+    fn load_global(&mut self, g: GlobalId, offset: Opnd<Reg>) -> Reg {
+        let offset = to_operand(offset);
+        self.f().load_global(g, offset)
+    }
+    fn store_global(&mut self, g: GlobalId, offset: Opnd<Reg>, v: Opnd<Reg>) {
+        let (offset, v) = (to_operand(offset), to_operand(v));
+        self.f().store_global(g, offset, v);
+    }
+    fn malloc(&mut self, size: i64) -> Reg {
+        self.f().malloc(size)
+    }
+    fn store_ptr(&mut self, base: Reg, offset: i64, v: Opnd<Reg>) {
+        let v = to_operand(v);
+        self.f().store_ptr(base, offset, v);
+    }
+    fn load_ptr(&mut self, base: Reg, offset: i64) -> Reg {
+        self.f().load_ptr(base, offset)
+    }
+    fn free(&mut self, ptr: Reg) {
+        self.f().free(ptr);
+    }
+    fn call(&mut self, func: FuncId, args: &[Opnd<Reg>]) -> Reg {
+        let args: Vec<Operand> = args.iter().map(|&a| to_operand(a)).collect();
+        self.f().call(func, args)
+    }
+    fn nop(&mut self, bytes: u8) {
+        self.f().nop(bytes);
+    }
+}
+
+// --- the shared walker -----------------------------------------------
+
+/// Walks the whole program structure once: globals, straight-line
+/// leaves, an optional looping mid-tier, then a looping `main`.
+/// Returns the entry function. The decision sequence (and, with the
+/// build sink, the emitted IR sequence) is statement-for-statement the
+/// single-pass generator's.
+fn build_program<C: ChoiceSource, S: GenSink>(c: &mut C, s: &mut S) -> S::Func {
+    // Stage 1: globals (always at least one, 128 bytes each — offsets
+    // stay 8-aligned and in-bounds).
+    let n_globals = 1 + c.below(Class::Structure, 3);
+    let mut globals: Vec<S::Global> = Vec::with_capacity(n_globals as usize);
+    for i in 0..n_globals {
+        let init = if c.chance(Class::Structure, 0.5) {
+            Some(c.below(Class::Consts, 100_000))
+        } else {
+            None
+        };
+        globals.push(s.global(i, 128, init));
+    }
+
+    // Stage 2: straight-line leaves.
+    let mut callees: Vec<Callee<S::Func>> = Vec::new();
+    let n_leaves = 1 + c.below(Class::Structure, 3);
+    for i in 0..n_leaves {
+        let params = c.below(Class::Structure, 3) as u16;
+        s.begin_function(FnName::Leaf(i), params);
+        gen_straight_body(c, s, &globals, &[], params);
+        let id = s.end_function();
+        callees.push(Callee { id, params });
+    }
+
+    // Stage 3: an optional looping mid-tier calling the leaves.
+    if c.chance(Class::Structure, 0.5) {
+        let params = 1;
+        s.begin_function(FnName::Mid, params);
+        let trip = 2 + c.below(Class::Consts, 5);
+        gen_loop_body(c, s, &globals, &callees, params, trip);
+        let id = s.end_function();
+        callees.push(Callee { id, params });
+    }
+
+    // Stage 4: main loops over everything.
+    s.begin_function(FnName::Main, 0);
+    let trip = 3 + c.below(Class::Consts, 10);
+    gen_loop_body(c, s, &globals, &callees, 0, trip);
+    s.end_function()
+}
+
+/// Emits a function that initializes its slots, runs a bounded counter
+/// loop accumulating into a slot, and returns the accumulator.
+fn gen_loop_body<C: ChoiceSource, S: GenSink>(
+    c: &mut C,
+    s: &mut S,
+    globals: &[S::Global],
+    callees: &[Callee<S::Func>],
+    params: u16,
+    trip: u64,
+) {
+    let s_i = s.slot();
+    let s_acc = s.slot();
+    s.store_slot(s_i, Opnd::Imm(0));
+    let acc0 = c.below(Class::Consts, 1 << 20) as i64;
+    s.store_slot(s_acc, Opnd::Imm(acc0));
+
+    let header = s.new_block();
+    let body = s.new_block();
+    let exit = s.new_block();
+    s.jump(header);
+
+    s.switch_to(header);
+    let i = s.load_slot(s_i);
+    let cond = s.alu(AluOp::CmpLt, Opnd::Val(i), Opnd::Imm(trip as i64));
+    s.branch(cond, body, exit);
+
+    s.switch_to(body);
+    let i = s.load_slot(s_i);
+    let acc = s.load_slot(s_acc);
+    let mut data: Vec<S::Val> = vec![i, acc];
+    for k in 0..params {
+        let p = s.param(k);
+        data.push(p);
+    }
+    let n_ops = 2 + c.below(Class::Structure, 6);
+    for _ in 0..n_ops {
+        emit_op(c, s, &mut data, globals, callees);
+    }
+    let new_acc = fold_data(c, s, &data);
+    s.store_slot(s_acc, Opnd::Val(new_acc));
+    let ni = s.alu(AluOp::Add, Opnd::Val(i), Opnd::Imm(1));
+    s.store_slot(s_i, Opnd::Val(ni));
+    s.jump(header);
+
+    s.switch_to(exit);
+    let out = s.load_slot(s_acc);
+    s.ret(out);
+}
+
+/// Emits a straight-line function body: init slots, a few ops, return
+/// a fold of the data pool.
+fn gen_straight_body<C: ChoiceSource, S: GenSink>(
+    c: &mut C,
+    s: &mut S,
+    globals: &[S::Global],
+    callees: &[Callee<S::Func>],
+    params: u16,
+) {
+    let mut data: Vec<S::Val> = Vec::new();
+    for k in 0..params {
+        let p = s.param(k);
+        data.push(p);
+    }
+    let n_slots = c.below(Class::Structure, 3);
+    for _ in 0..n_slots {
+        let sl = s.slot();
+        let init = c.below(Class::Consts, 1 << 16) as i64;
+        s.store_slot(sl, Opnd::Imm(init));
+        let v = s.load_slot(sl);
+        data.push(v);
+    }
+    if data.is_empty() {
+        let init = c.below(Class::Consts, 1 << 16) as i64;
+        let v = s.alu(AluOp::Add, Opnd::Imm(init), Opnd::Imm(0));
+        data.push(v);
+    }
+    let n_ops = 1 + c.below(Class::Structure, 5);
+    for _ in 0..n_ops {
+        emit_op(c, s, &mut data, globals, callees);
+    }
+    let out = fold_data(c, s, &data);
+    s.ret(out);
+}
+
+/// Emits one random operation into the current block, growing the data
+/// pool. Pointer values produced here never enter `data`.
+fn emit_op<C: ChoiceSource, S: GenSink>(
+    c: &mut C,
+    s: &mut S,
+    data: &mut Vec<S::Val>,
+    globals: &[S::Global],
+    callees: &[Callee<S::Func>],
+) {
+    match c.below(Class::Ops, 10) {
+        // ALU on data values.
+        0..=3 => {
+            const OPS: [AluOp; 13] = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Div,
+                AluOp::Rem,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::CmpLt,
+                AluOp::CmpEq,
+                AluOp::CmpGt,
+            ];
+            let op = OPS[c.below(Class::Ops, OPS.len() as u64) as usize];
+            let a = pick_operand(c, data);
+            let b = pick_operand(c, data);
+            let r = s.alu(op, a, b);
+            data.push(r);
+        }
+        // Float round trip: int -> f64 -> arithmetic -> int.
+        4 => {
+            let src = pick_operand(c, data);
+            let a = s.int_to_fp(src);
+            let fv = c.below(Class::Consts, 1000) as f64 + 0.5;
+            let b = s.fp_const(fv);
+            const FOPS: [AluOp; 4] = [AluOp::FAdd, AluOp::FSub, AluOp::FMul, AluOp::FDiv];
+            let op = FOPS[c.below(Class::Ops, 4) as usize];
+            let fr = s.alu(op, Opnd::Val(a), Opnd::Val(b));
+            let r = s.fp_to_int(fr);
+            data.push(r);
+        }
+        // Global traffic, constant or masked register offset.
+        5 | 6 => {
+            let g = globals[c.below(Class::Mem, globals.len() as u64) as usize];
+            let off: Opnd<S::Val> = if c.chance(Class::Mem, 0.5) {
+                Opnd::Imm(8 * c.below(Class::Mem, 16) as i64)
+            } else {
+                // Mask a data value to an 8-aligned in-bounds offset.
+                let base = data[c.below(Class::Operands, data.len() as u64) as usize];
+                Opnd::Val(s.alu(AluOp::And, Opnd::Val(base), Opnd::Imm(0x78)))
+            };
+            if c.chance(Class::Mem, 0.5) {
+                let v = pick_operand(c, data);
+                s.store_global(g, off, v);
+            } else {
+                let r = s.load_global(g, off);
+                data.push(r);
+            }
+        }
+        // A heap episode: malloc, stores, loads of stored cells, free.
+        7 | 8 => {
+            let words = 1 + c.below(Class::Mem, 12);
+            let ptr = s.malloc((words * 8) as i64);
+            let mut stored: Vec<i64> = Vec::new();
+            for w in 0..words {
+                if c.chance(Class::Mem, 0.6) {
+                    let v = pick_operand(c, data);
+                    s.store_ptr(ptr, (w * 8) as i64, v);
+                    stored.push((w * 8) as i64);
+                }
+            }
+            for _ in 0..c.below(Class::Mem, 3) {
+                if !stored.is_empty() {
+                    let off = stored[c.below(Class::Mem, stored.len() as u64) as usize];
+                    let r = s.load_ptr(ptr, off);
+                    data.push(r);
+                }
+            }
+            // Leaking sometimes is deliberate: engines must agree with
+            // and without reuse pressure.
+            if c.chance(Class::Mem, 0.75) {
+                s.free(ptr);
+            }
+        }
+        // A call; arguments are data values only.
+        _ => {
+            if callees.is_empty() {
+                s.nop(c.below(Class::Ops, 6) as u8 + 1);
+            } else {
+                let callee = callees[c.below(Class::Ops, callees.len() as u64) as usize];
+                let args: Vec<Opnd<S::Val>> =
+                    (0..callee.params).map(|_| pick_operand(c, data)).collect();
+                let r = s.call(callee.id, &args);
+                data.push(r);
+            }
+        }
+    }
+}
+
+/// Folds a few pool values into one register for accumulation.
+fn fold_data<C: ChoiceSource, S: GenSink>(c: &mut C, s: &mut S, data: &[S::Val]) -> S::Val {
+    let mut acc = *data.last().expect("pool is never empty");
+    for _ in 0..2 {
+        let other = data[c.below(Class::Operands, data.len() as u64) as usize];
+        let op = if c.chance(Class::Ops, 0.5) {
+            AluOp::Add
+        } else {
+            AluOp::Xor
+        };
+        acc = s.alu(op, Opnd::Val(acc), Opnd::Val(other));
+    }
+    acc
+}
+
+/// Short-circuit order matters: an empty pool must not draw the coin,
+/// exactly like the single-pass generator's `is_empty() || chance`.
+fn pick_operand<C: ChoiceSource, V: Copy>(c: &mut C, data: &[V]) -> Opnd<V> {
+    if data.is_empty() || c.chance(Class::Operands, 0.3) {
+        Opnd::Imm(c.below(Class::Consts, 1 << 12) as i64)
+    } else {
+        Opnd::Val(data[c.below(Class::Operands, data.len() as u64) as usize])
+    }
+}
+
+// --- the public pipeline ---------------------------------------------
+
+/// The staged generator: owns the tape arenas so a fuzz loop reuses
+/// their capacity across programs.
+#[derive(Debug, Default)]
+pub struct Generator {
+    tapes: ChoiceTapes,
+}
+
+impl Generator {
+    /// A generator with empty arenas.
+    pub fn new() -> Generator {
+        Generator::default()
+    }
+
+    /// Stage 1 only: records `seed`'s decision tapes (for inspection or
+    /// artifacts) without building the program.
+    pub fn record(&mut self, seed: u64) -> &ChoiceTapes {
+        self.tapes.clear();
+        let mut recorder = TapeRecorder {
+            rng: SplitMix64::new(seed),
+            tapes: &mut self.tapes,
+        };
+        let mut skeleton = SkeletonSink::default();
+        build_program(&mut recorder, &mut skeleton);
+        &self.tapes
+    }
+
+    /// Both stages: records `seed`'s tapes, then instantiates the
+    /// program from them. Bit-identical to [`single_pass`] for every
+    /// seed (golden-pinned in `tests/staged_equivalence.rs`).
+    pub fn generate(&mut self, seed: u64) -> Program {
+        self.record(seed);
+        instantiate(seed, &self.tapes)
+    }
+}
+
+/// Stage 2 only: builds the program for `seed` from finished tapes.
+/// RNG-free — every decision is a tape read.
+///
+/// # Panics
+///
+/// Panics if the tapes were not recorded for this program shape (a
+/// cursor runs past a tape's end or a tape is left unconsumed).
+pub fn instantiate(seed: u64, tapes: &ChoiceTapes) -> Program {
+    let mut reader = TapeReader::new(tapes);
+    let mut sink = BuildSink::new(seed);
+    let entry = build_program(&mut reader, &mut sink);
+    reader.finish();
+    sink.program
+        .finish(entry)
+        .expect("generated programs are valid")
+}
+
+/// Generates one program through the full staged pipeline (convenience
+/// for one-shot callers; fuzz loops should hold a [`Generator`] to
+/// reuse the tape arenas).
+pub fn generate(seed: u64) -> Program {
+    Generator::new().generate(seed)
+}
+
+// --- the pinned single-pass reference --------------------------------
+
+/// The original single-pass generator, preserved verbatim from
+/// `tests/conf_gen/mod.rs` as the equivalence oracle for the staged
+/// pipeline. The golden tests pin `generate(seed) == single_pass(seed)`
+/// so the suite's covered program space can never silently shift;
+/// nothing else should call this.
+pub fn single_pass(seed: u64) -> Program {
+    legacy::generate(seed)
+}
+
+mod legacy {
+    //! Verbatim copy of the retired `tests/conf_gen/mod.rs` generator
+    //! (sans the seed/env plumbing that moved to the crate root). Do
+    //! not edit: its only job is to stay exactly what the conformance
+    //! suite ran before the staged pipeline existed.
+
+    use sz_ir::{AluOp, FuncId, FunctionBuilder, GlobalId, GlobalInit, Operand, Program};
+    use sz_ir::{ProgramBuilder, Reg};
+    use sz_rng::{Rng, SplitMix64};
+
+    /// A function the generator may call: id, arity.
+    #[derive(Clone, Copy)]
+    struct Callee {
+        id: FuncId,
+        params: u16,
+    }
+
+    /// Generates one always-terminating, layout-invariant program.
+    pub fn generate(seed: u64) -> Program {
+        let mut rng = SplitMix64::new(seed);
+        let mut p = ProgramBuilder::new(format!("conf-{seed:#x}"));
+
+        // Stage 1: globals (always at least one, 128 bytes each).
+        let globals: Vec<GlobalId> = (0..1 + rng.below(3))
+            .map(|i| {
+                if rng.chance(0.5) {
+                    p.global_init(format!("g{i}"), 128, GlobalInit::U64(rng.below(100_000)))
+                } else {
+                    p.global(format!("g{i}"), 128)
+                }
+            })
+            .collect();
+
+        // Stage 2: straight-line leaves.
+        let mut callees: Vec<Callee> = Vec::new();
+        for i in 0..1 + rng.below(3) {
+            let params = rng.below(3) as u16;
+            let mut f = p.function(format!("leaf{i}"), params);
+            gen_straight_body(&mut f, &mut rng, &globals, &[], params);
+            let id = p.add_function(f);
+            callees.push(Callee { id, params });
+        }
+
+        // Stage 3: an optional looping mid-tier calling the leaves.
+        if rng.chance(0.5) {
+            let params = 1;
+            let mut f = p.function("mid", params);
+            let trip = 2 + rng.below(5);
+            gen_loop_body(&mut f, &mut rng, &globals, &callees, params, trip);
+            let id = p.add_function(f);
+            callees.push(Callee { id, params });
+        }
+
+        // Stage 4: main loops over everything.
+        let mut f = p.function("main", 0);
+        let trip = 3 + rng.below(10);
+        gen_loop_body(&mut f, &mut rng, &globals, &callees, 0, trip);
+        let main = p.add_function(f);
+        p.finish(main).expect("generated programs are valid")
+    }
+
+    fn gen_loop_body(
+        f: &mut FunctionBuilder,
+        rng: &mut SplitMix64,
+        globals: &[GlobalId],
+        callees: &[Callee],
+        params: u16,
+        trip: u64,
+    ) {
+        let s_i = f.slot();
+        let s_acc = f.slot();
+        f.store_slot(s_i, 0);
+        let acc0 = (rng.below(1 << 20)) as i64;
+        f.store_slot(s_acc, acc0);
+
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+
+        f.switch_to(header);
+        let i = f.load_slot(s_i);
+        let c = f.alu(AluOp::CmpLt, i, trip as i64);
+        f.branch(c, body, exit);
+
+        f.switch_to(body);
+        let i = f.load_slot(s_i);
+        let acc = f.load_slot(s_acc);
+        let mut data: Vec<Reg> = vec![i, acc];
+        for k in 0..params {
+            data.push(f.param(k));
+        }
+        let n_ops = 2 + rng.below(6);
+        for _ in 0..n_ops {
+            emit_op(f, rng, &mut data, globals, callees);
+        }
+        let new_acc = fold_data(f, rng, &data);
+        f.store_slot(s_acc, new_acc);
+        let ni = f.alu(AluOp::Add, i, 1);
+        f.store_slot(s_i, ni);
+        f.jump(header);
+
+        f.switch_to(exit);
+        let out = f.load_slot(s_acc);
+        f.ret(Some(out.into()));
+    }
+
+    fn gen_straight_body(
+        f: &mut FunctionBuilder,
+        rng: &mut SplitMix64,
+        globals: &[GlobalId],
+        callees: &[Callee],
+        params: u16,
+    ) {
+        let mut data: Vec<Reg> = (0..params).map(|k| f.param(k)).collect();
+        let n_slots = rng.below(3);
+        for _ in 0..n_slots {
+            let s = f.slot();
+            let init = (rng.below(1 << 16)) as i64;
+            f.store_slot(s, init);
+            let v = f.load_slot(s);
+            data.push(v);
+        }
+        if data.is_empty() {
+            let v = f.alu(AluOp::Add, (rng.below(1 << 16)) as i64, 0);
+            data.push(v);
+        }
+        let n_ops = 1 + rng.below(5);
+        for _ in 0..n_ops {
+            emit_op(f, rng, &mut data, globals, callees);
+        }
+        let out = fold_data(f, rng, &data);
+        f.ret(Some(out.into()));
+    }
+
+    fn emit_op(
+        f: &mut FunctionBuilder,
+        rng: &mut SplitMix64,
+        data: &mut Vec<Reg>,
+        globals: &[GlobalId],
+        callees: &[Callee],
+    ) {
+        match rng.below(10) {
+            0..=3 => {
+                const OPS: [AluOp; 13] = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Div,
+                    AluOp::Rem,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::Shl,
+                    AluOp::Shr,
+                    AluOp::CmpLt,
+                    AluOp::CmpEq,
+                    AluOp::CmpGt,
+                ];
+                let op = OPS[rng.below(OPS.len() as u64) as usize];
+                let a = pick_operand(rng, data);
+                let b = pick_operand(rng, data);
+                let r = f.alu(op, a, b);
+                data.push(r);
+            }
+            4 => {
+                let a = f.int_to_fp(pick_operand(rng, data));
+                let b = f.fp_const(rng.below(1000) as f64 + 0.5);
+                const FOPS: [AluOp; 4] = [AluOp::FAdd, AluOp::FSub, AluOp::FMul, AluOp::FDiv];
+                let op = FOPS[rng.below(4) as usize];
+                let c = f.alu(op, a, b);
+                let r = f.fp_to_int(c);
+                data.push(r);
+            }
+            5 | 6 => {
+                let g = globals[rng.below(globals.len() as u64) as usize];
+                let off: Operand = if rng.chance(0.5) {
+                    (8 * rng.below(16) as i64).into()
+                } else {
+                    let base = pick_reg(rng, data);
+                    f.alu(AluOp::And, base, 0x78).into()
+                };
+                if rng.chance(0.5) {
+                    let v = pick_operand(rng, data);
+                    f.store_global(g, off, v);
+                } else {
+                    let r = f.load_global(g, off);
+                    data.push(r);
+                }
+            }
+            7 | 8 => {
+                let words = 1 + rng.below(12);
+                let ptr = f.malloc((words * 8) as i64);
+                let mut stored: Vec<i64> = Vec::new();
+                for w in 0..words {
+                    if rng.chance(0.6) {
+                        let v = pick_operand(rng, data);
+                        f.store_ptr(ptr, (w * 8) as i64, v);
+                        stored.push((w * 8) as i64);
+                    }
+                }
+                for _ in 0..rng.below(3) {
+                    if let Some(&off) = pick(rng, &stored) {
+                        let r = f.load_ptr(ptr, off);
+                        data.push(r);
+                    }
+                }
+                if rng.chance(0.75) {
+                    f.free(ptr);
+                }
+            }
+            _ => {
+                if let Some(&callee) = pick(rng, callees) {
+                    let args: Vec<Operand> = (0..callee.params)
+                        .map(|_| pick_operand(rng, data))
+                        .collect();
+                    let r = f.call(callee.id, args);
+                    data.push(r);
+                } else {
+                    f.nop(rng.below(6) as u8 + 1);
+                }
+            }
+        }
+    }
+
+    fn fold_data(f: &mut FunctionBuilder, rng: &mut SplitMix64, data: &[Reg]) -> Reg {
+        let mut acc = *data.last().expect("pool is never empty");
+        for _ in 0..2 {
+            let other = *pick(rng, data).expect("pool is never empty");
+            let op = if rng.chance(0.5) {
+                AluOp::Add
+            } else {
+                AluOp::Xor
+            };
+            acc = f.alu(op, acc, other);
+        }
+        acc
+    }
+
+    fn pick_operand(rng: &mut SplitMix64, data: &[Reg]) -> Operand {
+        if data.is_empty() || rng.chance(0.3) {
+            ((rng.below(1 << 12)) as i64).into()
+        } else {
+            data[rng.below(data.len() as u64) as usize].into()
+        }
+    }
+
+    fn pick_reg(rng: &mut SplitMix64, data: &[Reg]) -> Reg {
+        data[rng.below(data.len() as u64) as usize]
+    }
+
+    fn pick<'a, T>(rng: &mut SplitMix64, pool: &'a [T]) -> Option<&'a T> {
+        if pool.is_empty() {
+            None
+        } else {
+            Some(&pool[rng.below(pool.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_matches_single_pass_on_a_seed() {
+        assert_eq!(generate(DEFAULT_SEED), single_pass(DEFAULT_SEED));
+    }
+
+    #[test]
+    fn equal_seeds_equal_programs() {
+        let mut g = Generator::new();
+        assert_eq!(g.generate(0xDEAD_BEEF), g.generate(0xDEAD_BEEF));
+        assert_ne!(g.generate(0xDEAD_BEEF), g.generate(0xDEAD_BEF0));
+    }
+
+    #[test]
+    fn tapes_are_reusable_and_exhausted_exactly() {
+        let mut g = Generator::new();
+        // Interleave two seeds; arena reuse must not leak state.
+        let a1 = g.generate(1);
+        let b = g.generate(2);
+        let a2 = g.generate(1);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        // record + instantiate separately agrees with generate.
+        let tapes = g.record(7).clone();
+        assert!(!tapes.is_empty());
+        assert_eq!(instantiate(7, &tapes), generate(7));
+    }
+
+    #[test]
+    fn every_class_tape_is_populated_somewhere() {
+        // Across a handful of seeds, each decision class must see
+        // traffic — an always-empty tape means a misclassified site.
+        let mut g = Generator::new();
+        let mut seen = [false; NUM_CLASSES];
+        for seed in 0..16u64 {
+            g.record(seed);
+            for (i, class) in CLASSES.iter().enumerate() {
+                seen[i] |= !g.tapes.tape(*class).is_empty();
+            }
+        }
+        assert_eq!(seen, [true; NUM_CLASSES]);
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..32u64 {
+            let p = generate(DEFAULT_SEED.wrapping_add(seed));
+            assert!(p.validate().is_ok(), "seed {seed}");
+        }
+    }
+}

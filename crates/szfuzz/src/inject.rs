@@ -1,0 +1,84 @@
+//! A deliberately broken layout engine: the fuzz pipeline's negative
+//! control.
+//!
+//! A fuzzer that never fires is indistinguishable from a fuzzer that
+//! cannot fire. [`GlobalAlias`] wraps [`SimpleLayout`] and answers
+//! every [`global_base`] query with global 0's address, aliasing all
+//! globals onto one 128-byte region. Any program that initializes or
+//! stores through more than one global then computes a different
+//! result than under every honest engine — a genuine, layout-caused
+//! architectural divergence, detected by the ordinary matrix check
+//! with no special-casing.
+//!
+//! CI runs a short fuzz batch with this engine armed
+//! (`sz-fuzz --inject-global-alias`) and requires a nonzero exit plus
+//! a shrunk reproducer; the shrinker property tests use it the same
+//! way. It is gated by a runtime flag rather than a cargo feature so
+//! the control runs against the identical binary CI just built.
+//!
+//! [`global_base`]: LayoutEngine::global_base
+
+use sz_ir::{FuncId, GlobalId, Program};
+use sz_machine::{MemorySystem, PerfCounters};
+use sz_vm::{FrameView, LayoutEngine, SimpleLayout};
+
+/// [`SimpleLayout`] with every global aliased onto global 0.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAlias {
+    inner: SimpleLayout,
+}
+
+impl GlobalAlias {
+    /// Engine label used in divergence reports.
+    pub const LABEL: &'static str = "injected-global-alias";
+
+    /// Creates the engine.
+    pub fn new() -> GlobalAlias {
+        GlobalAlias {
+            inner: SimpleLayout::new(),
+        }
+    }
+}
+
+impl LayoutEngine for GlobalAlias {
+    fn prepare(&mut self, program: &Program) {
+        self.inner.prepare(program);
+    }
+
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.inner.enter_function(func, mem)
+    }
+
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.inner.stack_pad(func, mem)
+    }
+
+    fn global_base(&self, _g: GlobalId) -> u64 {
+        // The bug: every global lands on global 0.
+        self.inner.global_base(GlobalId(0))
+    }
+
+    fn stack_base(&self) -> u64 {
+        self.inner.stack_base()
+    }
+
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.inner.malloc(size, mem)
+    }
+
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
+        self.inner.free(addr, mem)
+    }
+
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
+        self.inner.tick(now_cycles, stack, mem);
+    }
+
+    fn name(&self) -> &'static str {
+        GlobalAlias::LABEL
+    }
+
+    fn period_marks(&self) -> &[PerfCounters] {
+        self.inner.period_marks()
+    }
+}

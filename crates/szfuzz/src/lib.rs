@@ -1,0 +1,39 @@
+//! Staged differential fuzzing for the layout-engine conformance
+//! contract.
+//!
+//! STABILIZER's statistical claims assume layout randomization is
+//! *semantics-preserving* (paper §3). This crate makes that premise a
+//! standing proof obligation at fuzzing scale:
+//!
+//! - [`gen`] — the staged random-IR generator: a choice-tape recording
+//!   stage plus an RNG-free, allocation-lean instantiation stage,
+//!   bit-identical per seed to the retired single-pass generator.
+//! - [`diff`] — one program, every engine: runs the full 6-config
+//!   engine/allocator matrix under both interpreters and classifies
+//!   any disagreement.
+//! - [`driver`] — the parallel fuzz loop on `sz_harness::pool`:
+//!   deterministic seed→slot assignment, so results are bit-identical
+//!   at any thread count.
+//! - [`shrink`] — greedy deterministic minimization of a failing
+//!   program, re-checking the divergence class at every step.
+//! - [`artifact`] — self-contained reproducer artifacts (seed, stage
+//!   tapes, reduced IR text, engine label) for divergences.
+//! - [`inject`] — a deliberately wrong layout engine used to prove,
+//!   in CI, that the pipeline catches and shrinks real divergences.
+//!
+//! See DESIGN.md §8 and EXPERIMENTS.md "Fuzzing the engines".
+
+pub mod artifact;
+pub mod diff;
+pub mod driver;
+pub mod gen;
+pub mod inject;
+pub mod shrink;
+pub mod text;
+
+pub use artifact::Reproducer;
+pub use diff::{ArchResult, Divergence, DivergenceClass, DivergenceKind};
+pub use driver::{FuzzConfig, FuzzFailure, FuzzSummary};
+pub use gen::{base_seed, generate, instantiate, ChoiceTapes, Generator};
+pub use gen::{DEFAULT_PROGRAMS, DEFAULT_SEED};
+pub use shrink::{shrink, ShrinkOutcome};

@@ -1,0 +1,629 @@
+//! Greedy deterministic minimization of a diverging program.
+//!
+//! Classic delta debugging, specialized to the IR: six candidate
+//! passes — drop uncalled functions, straighten branches (pruning
+//! unreachable blocks), return early from loop bodies, remove
+//! instruction chunks, stub out calls, shrink operands (constants
+//! toward zero, registers severed to `0`) — run to a fixpoint. A candidate is accepted only if it still
+//! validates *and* the checker reports a divergence of the same
+//! [`DivergenceClass`] (same engine, same comparison kind) as the
+//! original failure; the expected/got values may drift, since removing
+//! code changes what the program computes.
+//!
+//! Invariants (pinned by `tests/shrinker_props.rs`):
+//!
+//! - **Deterministic**: candidate order is fixed and the checker is a
+//!   pure function of the program, so equal inputs shrink identically.
+//! - **Monotone**: every accepted step has an instruction count ≤ the
+//!   previous step's; the final program is ≤ the original.
+//! - **Class-preserving**: every accepted step (and hence the result)
+//!   reproduces the original divergence class.
+//!
+//! Termination: every accepted candidate strictly decreases the
+//! lexicographic potential (instructions, blocks, functions, non-`ret`
+//! terminators, branches, calls, register operands, constant
+//! magnitude) and no pass ever increases an earlier component; a
+//! global candidate budget bounds checker work on adversarial inputs.
+
+use crate::diff::{Divergence, DivergenceClass};
+use sz_ir::{AluOp, BlockId, Instr, Operand, Program, Terminator};
+
+/// Hard cap on checker invocations per shrink.
+const CANDIDATE_BUDGET: usize = 20_000;
+
+/// Instruction-chunk sizes tried by the removal pass, coarse to fine.
+const CHUNKS: [usize; 4] = [8, 4, 2, 1];
+
+/// The result of shrinking.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized program (still reproducing the divergence class).
+    pub program: Program,
+    /// Instruction count after each accepted step, in order.
+    pub steps: Vec<usize>,
+    /// Total candidates handed to the checker.
+    pub candidates_tried: usize,
+}
+
+/// Shrinks `original` while `check` keeps reporting a divergence of
+/// `class`. `check` runs the full conformance matrix on a candidate
+/// and returns its divergence, if any; it must be deterministic.
+pub fn shrink(
+    original: &Program,
+    class: DivergenceClass,
+    check: &mut dyn FnMut(&Program) -> Option<Divergence>,
+) -> ShrinkOutcome {
+    let mut state = Shrinker {
+        program: original.clone(),
+        class,
+        check,
+        steps: Vec::new(),
+        tried: 0,
+    };
+    loop {
+        let before = state.steps.len();
+        state.pass_drop_functions();
+        state.pass_straighten_branches();
+        state.pass_early_ret();
+        state.pass_remove_instructions();
+        state.pass_stub_calls();
+        state.pass_shrink_constants();
+        if state.steps.len() == before || state.exhausted() {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        program: state.program,
+        steps: state.steps,
+        candidates_tried: state.tried,
+    }
+}
+
+struct Shrinker<'a> {
+    program: Program,
+    class: DivergenceClass,
+    check: &'a mut dyn FnMut(&Program) -> Option<Divergence>,
+    steps: Vec<usize>,
+    tried: usize,
+}
+
+impl Shrinker<'_> {
+    fn exhausted(&self) -> bool {
+        self.tried >= CANDIDATE_BUDGET
+    }
+
+    /// Tries one candidate; on acceptance it becomes the current
+    /// program and the step is recorded.
+    fn try_accept(&mut self, candidate: Program) -> bool {
+        if self.exhausted() || candidate.validate().is_err() {
+            return false;
+        }
+        self.tried += 1;
+        match (self.check)(&candidate) {
+            Some(d) if d.class() == self.class => {
+                debug_assert!(candidate.instr_count() <= self.program.instr_count());
+                self.steps.push(candidate.instr_count());
+                self.program = candidate;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops functions nothing calls (the entry is never a candidate),
+    /// remapping every `FuncId` above the hole.
+    fn pass_drop_functions(&mut self) {
+        let mut fi = self.program.functions.len();
+        while fi > 0 {
+            fi -= 1;
+            if fi == self.program.entry.0 as usize || self.exhausted() {
+                continue;
+            }
+            let called = self.program.functions.iter().enumerate().any(|(i, f)| {
+                i != fi
+                    && f.blocks.iter().any(|b| {
+                        b.instrs.iter().any(
+                            |ins| matches!(ins, Instr::Call { func, .. } if func.0 as usize == fi),
+                        )
+                    })
+            });
+            if called {
+                continue;
+            }
+            let mut cand = self.program.clone();
+            cand.functions.remove(fi);
+            for f in &mut cand.functions {
+                for b in &mut f.blocks {
+                    for ins in &mut b.instrs {
+                        if let Instr::Call { func, .. } = ins {
+                            if func.0 as usize > fi {
+                                func.0 -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if cand.entry.0 as usize > fi {
+                cand.entry.0 -= 1;
+            }
+            self.try_accept(cand);
+            // Whether or not it was accepted, move on; indices below
+            // `fi` are unaffected either way.
+        }
+    }
+
+    /// Rewrites branches to unconditional jumps (each arm tried in
+    /// turn), pruning blocks that become unreachable.
+    fn pass_straighten_branches(&mut self) {
+        for fi in 0..self.program.functions.len() {
+            let mut bi = 0;
+            while bi < self.program.functions[fi].blocks.len() {
+                if self.exhausted() {
+                    return;
+                }
+                let term = self.program.functions[fi].blocks[bi].term.clone();
+                if let Terminator::Branch {
+                    taken, not_taken, ..
+                } = term
+                {
+                    let mut accepted = false;
+                    for target in [taken, not_taken] {
+                        let mut cand = self.program.clone();
+                        cand.functions[fi].blocks[bi].term = Terminator::Jump(target);
+                        prune_unreachable_blocks(&mut cand, fi);
+                        if self.try_accept(cand) {
+                            accepted = true;
+                            break;
+                        }
+                    }
+                    if accepted {
+                        // Pruning may have renumbered or removed this
+                        // block; rescan the function from the top.
+                        bi = 0;
+                        continue;
+                    }
+                }
+                bi += 1;
+            }
+        }
+    }
+
+    /// Tries to end blocks early with a `ret`, short-circuiting loop
+    /// machinery: when the divergent value is computed inside a loop
+    /// body, returning it right there makes the back-edge, the exit
+    /// test, and the blocks after the loop unreachable in one step.
+    /// Candidate values are the block's own defs, latest first (the
+    /// most processed value), then no value. `Malloc` defs are skipped
+    /// — returning a raw address would manufacture a layout-dependent
+    /// result that no honest program has.
+    fn pass_early_ret(&mut self) {
+        for fi in 0..self.program.functions.len() {
+            let mut bi = 0;
+            while bi < self.program.functions[fi].blocks.len() {
+                if self.exhausted() {
+                    return;
+                }
+                let block = &self.program.functions[fi].blocks[bi];
+                if matches!(block.term, Terminator::Ret { .. }) {
+                    bi += 1;
+                    continue;
+                }
+                let mut candidates: Vec<Option<Operand>> = block
+                    .instrs
+                    .iter()
+                    .rev()
+                    .filter(|ins| !matches!(ins, Instr::Malloc { .. }))
+                    .filter_map(Instr::def)
+                    .take(4)
+                    .map(|r| Some(Operand::Reg(r)))
+                    .collect();
+                candidates.push(None);
+                let mut accepted = false;
+                for value in candidates {
+                    let mut cand = self.program.clone();
+                    cand.functions[fi].blocks[bi].term = Terminator::Ret { value };
+                    prune_unreachable_blocks(&mut cand, fi);
+                    if self.try_accept(cand) {
+                        accepted = true;
+                        break;
+                    }
+                }
+                if accepted {
+                    // Pruning may have renumbered or removed blocks;
+                    // rescan the function from the top. Blocks already
+                    // ending in `ret` are skipped, so this converges.
+                    bi = 0;
+                    continue;
+                }
+                bi += 1;
+            }
+        }
+    }
+
+    /// Removes instruction chunks, coarse to fine, scanning each block
+    /// from the back (later instructions depend on earlier ones, so
+    /// suffixes are the likeliest dead weight).
+    fn pass_remove_instructions(&mut self) {
+        for chunk in CHUNKS {
+            for fi in 0..self.program.functions.len() {
+                for bi in 0..self.program.functions[fi].blocks.len() {
+                    let len = self.program.functions[fi].blocks[bi].instrs.len();
+                    let mut start = len.saturating_sub(chunk);
+                    loop {
+                        if self.exhausted() {
+                            return;
+                        }
+                        let len = self.program.functions[fi].blocks[bi].instrs.len();
+                        if len < chunk || start + chunk > len {
+                            if start == 0 {
+                                break;
+                            }
+                            start = start.saturating_sub(1).min(len.saturating_sub(chunk));
+                            continue;
+                        }
+                        let mut cand = self.program.clone();
+                        cand.functions[fi].blocks[bi]
+                            .instrs
+                            .drain(start..start + chunk);
+                        if !self.try_accept(cand) {
+                            if start == 0 {
+                                break;
+                            }
+                            start -= 1;
+                        }
+                        // On acceptance, retry the same start: new
+                        // instructions shifted into the window.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces calls with cheap equivalents — a zero-producing ALU op
+    /// when the result is used, plain removal when it is not — so the
+    /// callee becomes uncalled and a later `pass_drop_functions` round
+    /// can delete it whole.
+    fn pass_stub_calls(&mut self) {
+        for fi in 0..self.program.functions.len() {
+            for bi in 0..self.program.functions[fi].blocks.len() {
+                let mut ii = 0;
+                while ii < self.program.functions[fi].blocks[bi].instrs.len() {
+                    if self.exhausted() {
+                        return;
+                    }
+                    let ins = self.program.functions[fi].blocks[bi].instrs[ii].clone();
+                    if let Instr::Call { ret, .. } = ins {
+                        let mut cand = self.program.clone();
+                        match ret {
+                            Some(dst) => {
+                                cand.functions[fi].blocks[bi].instrs[ii] = Instr::Alu {
+                                    dst,
+                                    op: AluOp::Add,
+                                    a: Operand::Imm(0),
+                                    b: Operand::Imm(0),
+                                };
+                            }
+                            None => {
+                                cand.functions[fi].blocks[bi].instrs.remove(ii);
+                            }
+                        }
+                        if self.try_accept(cand) && ret.is_none() {
+                            // The removal shifted the next instruction
+                            // into this index; don't skip it.
+                            continue;
+                        }
+                    }
+                    ii += 1;
+                }
+            }
+        }
+    }
+
+    /// Shrinks operands toward zero: immediates, pointer offsets, FP
+    /// bit patterns, global initializers (tried as `0` first, then
+    /// halving), and register operands (replaced outright with `0` to
+    /// sever def-use edges).
+    fn pass_shrink_constants(&mut self) {
+        // Global initializers first (cheap, high leverage for the
+        // aliasing class of bugs).
+        for gi in 0..self.program.globals.len() {
+            // Chase the halving chain to its floor inside this pass,
+            // instead of paying a whole fixpoint round per halving.
+            while let sz_ir::GlobalInit::U64(v) = self.program.globals[gi].init {
+                let mut accepted = false;
+                for next in [0, v / 2] {
+                    if next == v || self.exhausted() {
+                        continue;
+                    }
+                    let mut cand = self.program.clone();
+                    cand.globals[gi].init = sz_ir::GlobalInit::U64(next);
+                    if self.try_accept(cand) {
+                        accepted = true;
+                        break;
+                    }
+                }
+                if !accepted {
+                    break;
+                }
+            }
+        }
+        for fi in 0..self.program.functions.len() {
+            for bi in 0..self.program.functions[fi].blocks.len() {
+                let n = self.program.functions[fi].blocks[bi].instrs.len();
+                for ii in 0..n {
+                    // Instruction counts are frozen inside this pass,
+                    // so indices stay valid across accepted candidates.
+                    // Halving chains are chased to their floor here
+                    // (accepted shrinks re-enter the loop with the
+                    // smaller constant) rather than one halving per
+                    // fixpoint round.
+                    loop {
+                        if self.exhausted() {
+                            return;
+                        }
+                        let ins = self.program.functions[fi].blocks[bi].instrs[ii].clone();
+                        let mut accepted = false;
+                        for cand_ins in shrink_instr_constants(&ins) {
+                            let mut cand = self.program.clone();
+                            cand.functions[fi].blocks[bi].instrs[ii] = cand_ins;
+                            if self.try_accept(cand) {
+                                accepted = true;
+                                break;
+                            }
+                        }
+                        if !accepted {
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    if self.exhausted() {
+                        return;
+                    }
+                    let term = self.program.functions[fi].blocks[bi].term.clone();
+                    let mut accepted = false;
+                    for cand_term in shrink_term_constants(&term) {
+                        let mut cand = self.program.clone();
+                        cand.functions[fi].blocks[bi].term = cand_term;
+                        if self.try_accept(cand) {
+                            accepted = true;
+                            break;
+                        }
+                    }
+                    if !accepted {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Removes blocks unreachable from the function's entry block (0),
+/// remapping terminator targets onto the compacted numbering.
+fn prune_unreachable_blocks(p: &mut Program, fi: usize) {
+    let f = &mut p.functions[fi];
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        for succ in f.blocks[b].term.successors() {
+            let s = succ.0 as usize;
+            if s < n && !reachable[s] {
+                work.push(s);
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return;
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let mut kept = Vec::with_capacity(next as usize);
+    for (i, block) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if reachable[i] {
+            kept.push(block);
+        }
+    }
+    for block in &mut kept {
+        block.term = match block.term.clone() {
+            Terminator::Jump(b) => Terminator::Jump(BlockId(remap[b.0 as usize])),
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => Terminator::Branch {
+                cond,
+                taken: BlockId(remap[taken.0 as usize]),
+                not_taken: BlockId(remap[not_taken.0 as usize]),
+            },
+            ret @ Terminator::Ret { .. } => ret,
+        };
+    }
+    f.blocks = kept;
+}
+
+/// Halves toward zero, zero first.
+fn smaller_i64(v: i64) -> Vec<i64> {
+    if v == 0 {
+        Vec::new()
+    } else {
+        let mut out = vec![0];
+        if v / 2 != 0 {
+            out.push(v / 2);
+        }
+        out
+    }
+}
+
+fn shrink_operand(o: Operand) -> Vec<Operand> {
+    match o {
+        Operand::Imm(v) => smaller_i64(v).into_iter().map(Operand::Imm).collect(),
+        // Replacing a register with zero cuts the def-use edge, which
+        // is what lets the removal pass later delete the now-unused
+        // defining instruction.
+        Operand::Reg(_) => vec![Operand::Imm(0)],
+    }
+}
+
+/// Candidate replacements for one instruction with some constant made
+/// smaller. At most a handful per instruction; order is fixed.
+fn shrink_instr_constants(ins: &Instr) -> Vec<Instr> {
+    let mut out = Vec::new();
+    match ins {
+        Instr::Alu { dst, op, a, b } => {
+            for na in shrink_operand(*a) {
+                out.push(Instr::Alu {
+                    dst: *dst,
+                    op: *op,
+                    a: na,
+                    b: *b,
+                });
+            }
+            for nb in shrink_operand(*b) {
+                out.push(Instr::Alu {
+                    dst: *dst,
+                    op: *op,
+                    a: *a,
+                    b: nb,
+                });
+            }
+        }
+        Instr::FpConst { dst, bits } => {
+            if *bits != 0 {
+                out.push(Instr::FpConst { dst: *dst, bits: 0 });
+            }
+        }
+        Instr::IntToFp { dst, src } => {
+            for ns in shrink_operand(*src) {
+                out.push(Instr::IntToFp { dst: *dst, src: ns });
+            }
+        }
+        Instr::FpToInt { dst, src } => {
+            for ns in shrink_operand(*src) {
+                out.push(Instr::FpToInt { dst: *dst, src: ns });
+            }
+        }
+        Instr::StoreSlot { src, slot } => {
+            for ns in shrink_operand(*src) {
+                out.push(Instr::StoreSlot {
+                    src: ns,
+                    slot: *slot,
+                });
+            }
+        }
+        Instr::LoadGlobal {
+            dst,
+            global,
+            offset,
+        } => {
+            for no in shrink_operand(*offset) {
+                out.push(Instr::LoadGlobal {
+                    dst: *dst,
+                    global: *global,
+                    offset: no,
+                });
+            }
+        }
+        Instr::StoreGlobal {
+            src,
+            global,
+            offset,
+        } => {
+            for ns in shrink_operand(*src) {
+                out.push(Instr::StoreGlobal {
+                    src: ns,
+                    global: *global,
+                    offset: *offset,
+                });
+            }
+            for no in shrink_operand(*offset) {
+                out.push(Instr::StoreGlobal {
+                    src: *src,
+                    global: *global,
+                    offset: no,
+                });
+            }
+        }
+        Instr::LoadPtr { dst, base, offset } => {
+            for no in smaller_i64(*offset) {
+                out.push(Instr::LoadPtr {
+                    dst: *dst,
+                    base: *base,
+                    offset: no,
+                });
+            }
+        }
+        Instr::StorePtr { src, base, offset } => {
+            for ns in shrink_operand(*src) {
+                out.push(Instr::StorePtr {
+                    src: ns,
+                    base: *base,
+                    offset: *offset,
+                });
+            }
+            for no in smaller_i64(*offset) {
+                out.push(Instr::StorePtr {
+                    src: *src,
+                    base: *base,
+                    offset: no,
+                });
+            }
+        }
+        Instr::Malloc { dst, size } => {
+            for ns in shrink_operand(*size) {
+                out.push(Instr::Malloc {
+                    dst: *dst,
+                    size: ns,
+                });
+            }
+        }
+        Instr::Call { func, args, ret } => {
+            for (k, a) in args.iter().enumerate() {
+                for na in shrink_operand(*a) {
+                    let mut nargs = args.clone();
+                    nargs[k] = na;
+                    out.push(Instr::Call {
+                        func: *func,
+                        args: nargs,
+                        ret: *ret,
+                    });
+                }
+            }
+        }
+        Instr::Free { .. } | Instr::LoadSlot { .. } | Instr::Nop { .. } => {}
+    }
+    out
+}
+
+fn shrink_term_constants(term: &Terminator) -> Vec<Terminator> {
+    match term {
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => shrink_operand(*cond)
+            .into_iter()
+            .map(|nc| Terminator::Branch {
+                cond: nc,
+                taken: *taken,
+                not_taken: *not_taken,
+            })
+            .collect(),
+        Terminator::Ret { value: Some(v) } => shrink_operand(*v)
+            .into_iter()
+            .map(|nv| Terminator::Ret { value: Some(nv) })
+            .collect(),
+        _ => Vec::new(),
+    }
+}

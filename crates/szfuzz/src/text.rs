@@ -1,0 +1,115 @@
+//! A readable text rendering of IR programs for reproducer artifacts.
+//!
+//! The dump is for humans triaging a divergence: one line per
+//! instruction, `#` marks immediates, block labels are jump targets.
+//! It is not a parseable syntax — the tapes in the same artifact are
+//! the machine-replayable form.
+
+use std::fmt::Write;
+use sz_ir::{GlobalInit, Instr, Operand, Program, Terminator};
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => format!("#{v}"),
+    }
+}
+
+/// Renders `program` as indented text, one instruction per line.
+pub fn render_program(program: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "program {} (entry {}, {} instrs)",
+        program.name,
+        program.functions[program.entry.0 as usize].name,
+        program.instr_count()
+    );
+    for (gi, g) in program.globals.iter().enumerate() {
+        let init = match g.init {
+            GlobalInit::Zero => "zero".to_string(),
+            GlobalInit::U64(v) => format!("u64 {v}"),
+            GlobalInit::F64Bits(b) => format!("f64 {}", f64::from_bits(b)),
+        };
+        let _ = writeln!(s, "global g{gi} \"{}\" size={} init={init}", g.name, g.size);
+    }
+    for (fi, f) in program.functions.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "fn f{fi} \"{}\" params={} regs={} slots={}",
+            f.name, f.params, f.num_regs, f.num_slots
+        );
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(s, "  b{bi}:");
+            for ins in &b.instrs {
+                let line = match ins {
+                    Instr::Alu { dst, op: o, a, b } => {
+                        format!("r{} = {:?} {}, {}", dst.0, o, op(a), op(b))
+                    }
+                    Instr::FpConst { dst, bits } => {
+                        format!("r{} = fpconst {}", dst.0, f64::from_bits(*bits))
+                    }
+                    Instr::IntToFp { dst, src } => format!("r{} = int_to_fp {}", dst.0, op(src)),
+                    Instr::FpToInt { dst, src } => format!("r{} = fp_to_int {}", dst.0, op(src)),
+                    Instr::LoadSlot { dst, slot } => format!("r{} = slot[{slot}]", dst.0),
+                    Instr::StoreSlot { src, slot } => format!("slot[{slot}] = {}", op(src)),
+                    Instr::LoadGlobal {
+                        dst,
+                        global,
+                        offset,
+                    } => format!("r{} = g{}[{}]", dst.0, global.0, op(offset)),
+                    Instr::StoreGlobal {
+                        src,
+                        global,
+                        offset,
+                    } => format!("g{}[{}] = {}", global.0, op(offset), op(src)),
+                    Instr::LoadPtr { dst, base, offset } => {
+                        format!("r{} = [r{} + {offset}]", dst.0, base.0)
+                    }
+                    Instr::StorePtr { src, base, offset } => {
+                        format!("[r{} + {offset}] = {}", base.0, op(src))
+                    }
+                    Instr::Malloc { dst, size } => format!("r{} = malloc {}", dst.0, op(size)),
+                    Instr::Free { ptr } => format!("free r{}", ptr.0),
+                    Instr::Call { func, args, ret } => {
+                        let args: Vec<String> = args.iter().map(op).collect();
+                        let dst = match ret {
+                            Some(r) => format!("r{} = ", r.0),
+                            None => String::new(),
+                        };
+                        format!("{dst}call f{}({})", func.0, args.join(", "))
+                    }
+                    Instr::Nop { bytes } => format!("nop {bytes}"),
+                };
+                let _ = writeln!(s, "    {line}");
+            }
+            let term = match &b.term {
+                Terminator::Jump(t) => format!("jump b{}", t.0),
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => format!("branch {} ? b{} : b{}", op(cond), taken.0, not_taken.0),
+                Terminator::Ret { value: Some(v) } => format!("ret {}", op(v)),
+                Terminator::Ret { value: None } => "ret".to_string(),
+            };
+            let _ = writeln!(s, "    {term}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_construct() {
+        let p = crate::gen::generate(crate::gen::DEFAULT_SEED);
+        let text = render_program(&p);
+        assert!(text.contains("program conf-0xc0ffee00"));
+        assert!(text.contains("fn f0"));
+        assert!(text.contains("b0:"));
+        assert!(text.lines().count() > p.instr_count());
+    }
+}

@@ -1,0 +1,128 @@
+//! Shrinker properties, exercised against a real divergence: the
+//! injected global-aliasing engine (`--inject-global-alias` in the
+//! binary) makes the ordinary matrix check fail, and the shrinker must
+//! minimize that failure deterministically, monotonically, and without
+//! ever losing the divergence class.
+
+use sz_fuzz::diff::{check_program, recheck_class, Divergence, DivergenceKind};
+use sz_fuzz::gen;
+use sz_fuzz::inject::GlobalAlias;
+use sz_fuzz::shrink::shrink;
+use sz_ir::Program;
+
+/// Finds a seed whose generated program the aliasing engine breaks,
+/// with enough instructions that shrinking has real work to do.
+fn find_injected_divergence() -> (u64, Program, Divergence) {
+    for k in 0..500u64 {
+        let seed = gen::DEFAULT_SEED.wrapping_add(k);
+        let program = gen::generate(seed);
+        if program.instr_count() < 40 {
+            continue;
+        }
+        if let Err(d) = check_program(&program, seed, true) {
+            assert_eq!(
+                d.engine,
+                GlobalAlias::LABEL,
+                "seed {seed:#x}: the honest engines diverged before the injected one"
+            );
+            return (seed, program, d);
+        }
+    }
+    panic!("no seed in 500 triggered the injected aliasing engine");
+}
+
+fn run_shrink(seed: u64, program: &Program, divergence: &Divergence) -> sz_fuzz::ShrinkOutcome {
+    let class = divergence.class();
+    shrink(program, class, &mut |candidate: &Program| {
+        recheck_class(candidate, seed, class)
+    })
+}
+
+#[test]
+fn shrinking_is_deterministic_monotone_and_class_preserving() {
+    let (seed, program, divergence) = find_injected_divergence();
+    assert_eq!(divergence.kind, DivergenceKind::EngineDisagreement);
+
+    let first = run_shrink(seed, &program, &divergence);
+    let second = run_shrink(seed, &program, &divergence);
+
+    // Deterministic: equal inputs, equal trajectory and result.
+    assert_eq!(first.program, second.program, "shrink is not deterministic");
+    assert_eq!(first.steps, second.steps);
+    assert_eq!(first.candidates_tried, second.candidates_tried);
+
+    // Monotone: every accepted step is no larger than the previous,
+    // starting from the original.
+    let mut prev = program.instr_count();
+    for (i, &count) in first.steps.iter().enumerate() {
+        assert!(
+            count <= prev,
+            "step {i} grew the program: {prev} -> {count}"
+        );
+        prev = count;
+    }
+    assert_eq!(first.program.instr_count(), prev);
+
+    // Class-preserving: the reduced program still fails, on the same
+    // engine with the same comparison kind, and still validates. (The
+    // check is the focused one the shrinker itself uses: shrinking may
+    // break the generator's layout-invariance discipline for *other*
+    // engines, which is fine — the preserved class is the contract.)
+    assert!(first.program.validate().is_ok());
+    let reduced_divergence = recheck_class(&first.program, seed, divergence.class())
+        .expect("reduced program no longer diverges");
+    assert_eq!(reduced_divergence.class(), divergence.class());
+
+    // And the minimization is substantial — the acceptance bar is ≤25%
+    // of the original instruction count.
+    let original = program.instr_count();
+    let reduced = first.program.instr_count();
+    assert!(
+        reduced * 4 <= original,
+        "reduced {reduced} instrs from {original}: more than 25% left"
+    );
+}
+
+#[test]
+fn driver_catches_and_shrinks_the_injected_divergence() {
+    // End to end through the fuzz driver: armed with the broken
+    // engine, a short run must fail and hand back a finished
+    // reproducer whose artifact identifies the injected engine.
+    let config = sz_fuzz::FuzzConfig {
+        seed_base: gen::DEFAULT_SEED,
+        programs: 500,
+        threads: 4,
+        inject_global_alias: true,
+        ..sz_fuzz::FuzzConfig::default()
+    };
+    let summary = sz_fuzz::driver::run(&config);
+    let failure = summary.failure.expect("injected engine must be caught");
+    let divergence = match failure {
+        sz_fuzz::FuzzFailure::Divergence(d) => d,
+        other => panic!("expected a divergence, got {other:?}"),
+    };
+    assert_eq!(divergence.engine, GlobalAlias::LABEL);
+
+    let reproducer = summary.reproducer.expect("driver must shrink on failure");
+    assert!(reproducer.reduced_instructions <= reproducer.original_instructions);
+    assert!(reproducer.reduced.validate().is_ok());
+    let json = reproducer.to_json().to_string();
+    assert!(json.contains("\"type\":\"reproducer\""));
+    assert!(json.contains(GlobalAlias::LABEL));
+}
+
+#[test]
+fn clean_programs_do_not_trigger_the_shrinker() {
+    // Sanity on the negative control's scope: without the injected
+    // engine, the same seed region is clean.
+    let config = sz_fuzz::FuzzConfig {
+        seed_base: gen::DEFAULT_SEED,
+        programs: 64,
+        threads: 4,
+        ..sz_fuzz::FuzzConfig::default()
+    };
+    let summary = sz_fuzz::driver::run(&config);
+    assert_eq!(summary.failure, None, "honest engines diverged");
+    assert_eq!(summary.programs_run, 64);
+    assert!(summary.reproducer.is_none());
+}

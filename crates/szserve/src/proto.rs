@@ -515,6 +515,109 @@ mod tests {
         assert_eq!(explicit.interval_ms, 0.02);
     }
 
+    /// Parse must fail AND say why: clients see these strings verbatim
+    /// on `error` lines, so the message text is part of the protocol.
+    fn expect_error(line: &str, needle: &str) {
+        let err = Request::parse(line).expect_err(&format!("accepted {line:?}"));
+        assert!(
+            err.contains(needle),
+            "error for {line:?} was {err:?}, expected it to mention {needle:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_json_reports_the_parse_error() {
+        expect_error("not json", "parse error at byte 0");
+        expect_error("{\"type\":\"run\"", "parse error at byte");
+        expect_error("{\"type\":\"run\"} trailing", "trailing");
+        expect_error("", "parse error at byte");
+    }
+
+    #[test]
+    fn unknown_request_kinds_are_named_in_the_error() {
+        expect_error(r#"{"type":"warp"}"#, "unknown request type \"warp\"");
+        // A non-string or absent type is a different failure than an
+        // unknown one.
+        expect_error(r#"{"type":7}"#, "missing a string \"type\"");
+        expect_error(r#"{"experiment":"fig7"}"#, "missing a string \"type\"");
+        expect_error(r#"[1,2,3]"#, "missing a string \"type\"");
+    }
+
+    #[test]
+    fn missing_required_fields_are_reported() {
+        expect_error(r#"{"type":"run"}"#, "missing a string \"experiment\"");
+        expect_error(r#"{"type":"status"}"#, "missing integer \"job\"");
+        expect_error(r#"{"type":"cancel"}"#, "missing integer \"job\"");
+        expect_error(
+            r#"{"type":"status","job":"seven"}"#,
+            "missing integer \"job\"",
+        );
+    }
+
+    #[test]
+    fn ill_typed_run_fields_are_reported() {
+        expect_error(
+            r#"{"type":"run","experiment":"fig99"}"#,
+            "unknown experiment \"fig99\"",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","scale":"huge"}"#,
+            "unknown scale \"huge\"",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","scale":3}"#,
+            "\"scale\" must be a string",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","benchmarks":"bzip2"}"#,
+            "\"benchmarks\" must be an array",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","benchmarks":[1]}"#,
+            "\"benchmarks\" entries must be strings",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","runs":"many"}"#,
+            "\"runs\" must be an integer",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","runs":0}"#,
+            "\"runs\" must be at least 1",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","interval_ms":-1}"#,
+            "\"interval_ms\" must be a positive number",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"fig7","trace":"yes"}"#,
+            "\"trace\" must be a bool",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"evaluate","before":"O9"}"#,
+            "unknown optimization level \"O9\"",
+        );
+    }
+
+    #[test]
+    fn adaptive_constraints_are_reported() {
+        expect_error(
+            r#"{"type":"run","experiment":"table1","adaptive":{}}"#,
+            "only applies to the evaluate experiment",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"evaluate","adaptive":{"half_width":0}}"#,
+            "\"half_width\" must be a positive number",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"evaluate","adaptive":{"confidence":1.5}}"#,
+            "\"confidence\" must be in (0, 1)",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"evaluate","adaptive":{"min_runs":20,"max_runs":10}}"#,
+            "\"max_runs\" must be >= \"min_runs\"",
+        );
+    }
+
     #[test]
     fn malformed_requests_are_rejected() {
         for bad in [
