@@ -29,6 +29,15 @@ echo "==> fuzz gate: differential fuzz, 2000 programs (seed base ${SZ_CONF_SEED:
 SZ_CONF_SEED="${SZ_CONF_SEED:-}" cargo run -q --release --offline -p sz-fuzz --bin sz-fuzz -- \
     --programs 2000 --time-cap-ms 50000
 
+echo "==> fuzz fuel sweep: 300 programs re-cut at reduced budgets"
+# Re-run a slice of the sweep with --fuel-sweep: each clean program is
+# replayed at 2-3 reduced max_instructions budgets and both
+# interpreters must report OutOfFuel at exactly the cut with identical
+# engine-visible counter traces. Catches batched executors that retire
+# fuel in different-sized chunks than the reference.
+SZ_CONF_SEED="${SZ_CONF_SEED:-}" cargo run -q --release --offline -p sz-fuzz --bin sz-fuzz -- \
+    --programs 300 --fuel-sweep --time-cap-ms 30000
+
 echo "==> fuzz negative control: injected engine must be caught and shrunk"
 # Arm the deliberately broken global-aliasing engine at a pinned seed
 # base: the fuzzer must exit nonzero and print a reproducer. This
@@ -55,7 +64,7 @@ else
     python3 -c 'import json,sys; json.load(open(sys.argv[1]))' target/BENCH_sim.1.json
 fi
 
-echo "==> throughput gate: vm_dispatch / fetch_span / fig6 vs committed baseline"
+echo "==> throughput gate: vm_dispatch / fused_dispatch / fetch_span / fig6 vs committed baseline"
 # Fails if the median of the three fresh runs regresses more than 20%
 # against the committed BENCH_sim.json baseline on any gated metric
 # (the limits ratchet forward when the committed file is re-baselined).
@@ -66,6 +75,7 @@ baseline = json.load(open(sys.argv[4]))
 median = lambda xs: sorted(xs)[len(xs) // 2]
 gates = [  # (label, path to metric, unit)
     ("vm_dispatch", ("vm_dispatch", "ns_per_instr"), "ns/instr"),
+    ("fused_dispatch", ("fused_dispatch", "ns_per_instr"), "ns/instr"),
     ("fetch_span", ("fetch_span", "ns_per_instr"), "ns/instr"),
     ("fig6_quick", ("fig6_quick", "wall_seconds"), "s"),
 ]

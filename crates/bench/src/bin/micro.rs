@@ -130,8 +130,12 @@ fn main() {
         )
         .unwrap();
     });
-    let dispatch_ns = vm_run.mean_ns / instructions;
-    let reference_ns = reference_run.mean_ns / instructions;
+    // The interpreter runs are deterministic, so sample-to-sample
+    // variation is strictly additive host noise; the median resists
+    // the right-tail contamination that a shared core injects, where
+    // even the trimmed mean drifts upward under load spikes.
+    let dispatch_ns = vm_run.median_ns / instructions;
+    let reference_ns = reference_run.median_ns / instructions;
     out.push_str(&format!(
         "{:<32} {dispatch_ns:>12.2} ns/instr decoded, {reference_ns:.2} ns/instr reference ({:.2}x)\n",
         "vm/dispatch",
@@ -155,10 +159,34 @@ fn main() {
         svm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
             .unwrap();
     });
-    let fetch_span_ns = straight_run.mean_ns / straight_instrs;
+    let fetch_span_ns = straight_run.median_ns / straight_instrs;
     out.push_str(&format!(
         "{:<32} {fetch_span_ns:>12.2} ns/instr straight-line ({straight_instrs:.0} instrs)\n",
         "vm/fetch_span",
+    ));
+
+    // Superinstruction dispatch in isolation: a one-line loop body
+    // made almost entirely of load_slot+alu / alu+store_slot pairs
+    // with a cmp+branch terminal, so ns/instr here tracks the fused
+    // step handlers and the folded branch, not the general per-op
+    // path.
+    let fused = fused_pairs_program(5000);
+    let fvm = Vm::new(&fused);
+    let fused_instrs = {
+        let mut e = SimpleLayout::new();
+        fvm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap()
+            .instructions
+    } as f64;
+    let fused_run = bench(|| {
+        let mut e = SimpleLayout::new();
+        fvm.run(&mut e, MachineConfig::core_i3_550(), RunLimits::default())
+            .unwrap();
+    });
+    let fused_ns = fused_run.median_ns / fused_instrs;
+    out.push_str(&format!(
+        "{:<32} {fused_ns:>12.2} ns/instr fused pairs ({fused_instrs:.0} instrs)\n",
+        "vm/fused_dispatch",
     ));
 
     // Statistical kernels.
@@ -196,10 +224,46 @@ fn main() {
         &streaming,
         &branch,
         &shuffle,
-        (dispatch_ns, reference_ns, fetch_span_ns),
+        (dispatch_ns, reference_ns, fetch_span_ns, fused_ns),
         (fig6_seconds, fig6_result.rows.len()),
         &opts,
     );
+}
+
+/// Builds the superinstruction microbench: a loop whose body is one
+/// fetch span of `load_slot`+ALU and ALU+`store_slot` pairs ending in
+/// a compare-and-branch, padded so the whole span sits on a single
+/// 64-byte I-line (it batches every activation and every mid pair runs
+/// through a fused step handler, with the compare folded into the
+/// branch terminal).
+fn fused_pairs_program(iters: i64) -> sz_ir::Program {
+    let mut p = sz_ir::ProgramBuilder::new("fusedpairs");
+    let mut f = p.function("main", 0);
+    let s = f.slot();
+    let n = f.alu(sz_ir::AluOp::Add, 0, iters);
+    let acc = f.alu(sz_ir::AluOp::Add, 0, 0);
+    f.store_slot(s, acc);
+    let header = f.new_block();
+    let exit = f.new_block();
+    // Entry is 14 bytes of setup; 45 bytes of nop plus the 5-byte
+    // jump put the loop header at byte 64 of the function, and the
+    // body span below is 56 bytes, so span and line coincide.
+    f.nop(45);
+    f.jump(header);
+    f.switch_to(header);
+    for _ in 0..3 {
+        let r = f.load_slot(s); // 4B: fuses with the next alu
+        f.alu_into(acc, sz_ir::AluOp::Add, acc, r); // 3B
+        let t = f.alu(sz_ir::AluOp::Xor, acc, r); // 3B: fuses with the store
+        f.store_slot(s, t); // 4B
+    }
+    f.alu_into(n, sz_ir::AluOp::Sub, n, 1); // 5B
+    let c = f.alu(sz_ir::AluOp::CmpLt, 0, n); // 3B: folds into the branch
+    f.branch(c, header, exit); // 6B terminal
+    f.switch_to(exit);
+    f.ret(Some(acc.into()));
+    let main = p.add_function(f);
+    p.finish(main).expect("fused-pairs program is valid")
 }
 
 /// Builds the fetch-dominated microbench: `iters` trips around one
@@ -234,7 +298,7 @@ fn write_bench_sim(
     streaming: &Measurement,
     branch: &Measurement,
     shuffle: &Measurement,
-    (dispatch_ns, reference_ns, fetch_span_ns): (f64, f64, f64),
+    (dispatch_ns, reference_ns, fetch_span_ns, fused_ns): (f64, f64, f64, f64),
     (fig6_seconds, fig6_benchmarks): (f64, usize),
     opts: &ExperimentOptions,
 ) {
@@ -247,7 +311,7 @@ fn write_bench_sim(
         ])
     };
     let doc = Json::obj([
-        ("schema_version", 3u64.into()),
+        ("schema_version", 4u64.into()),
         ("machine", "core_i3_550".into()),
         ("l1_hit_load", access(l1_hit)),
         ("streaming_loads", access(streaming)),
@@ -275,6 +339,16 @@ fn write_bench_sim(
                 ("instrs_per_sec", (1e9 / fetch_span_ns).into()),
             ]),
         ),
+        // Superinstruction dispatch: ns per simulated instruction on
+        // a single-line loop of fused load_slot+alu / alu+store_slot
+        // pairs with a folded compare-and-branch terminal.
+        (
+            "fused_dispatch",
+            Json::obj([
+                ("ns_per_instr", fused_ns.into()),
+                ("instrs_per_sec", (1e9 / fused_ns).into()),
+            ]),
+        ),
         // One shuffle-layer malloc+free round-trip per op: mallocs/sec
         // equals ops/sec.
         (
@@ -298,5 +372,52 @@ fn write_bench_sim(
     match std::fs::write(&path, format!("{doc}\n")) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("BENCH_sim.json not written ({path}): {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fused_pairs_program;
+    use sz_vm::decode::{decode_function, SpanBody, SpanTerm, Step};
+
+    /// The fused-dispatch metric is only meaningful if the loop body
+    /// really compiles to superinstructions on a single I-line; pin
+    /// that shape so layout drift can't silently turn the benchmark
+    /// into a per-op measurement.
+    #[test]
+    fn fused_pairs_program_compiles_to_fused_steps_on_one_line() {
+        let p = fused_pairs_program(16);
+        let d = decode_function(&p.functions[p.entry.0 as usize]);
+        let body = d
+            .spans
+            .iter()
+            .zip(&d.bodies)
+            .find(|(span, _)| span.first_pc == 64)
+            .expect("the loop body span starts at byte 64 (line-aligned)");
+        let (span, SpanBody::Steps { first, count, term }) = body else {
+            panic!("loop body did not compile to a Steps body: {body:?}");
+        };
+        assert!(
+            span.end_pc - span.first_pc <= 64,
+            "loop body span fits one 64-byte I-line"
+        );
+        let steps = &d.steps[*first as usize..(*first + *count) as usize];
+        let loads = steps
+            .iter()
+            .filter(|s| matches!(s, Step::LoadSlotAlu { .. }))
+            .count();
+        let stores = steps
+            .iter()
+            .filter(|s| matches!(s, Step::AluStoreSlot { .. }))
+            .count();
+        assert_eq!((loads, stores), (3, 3), "all six pairs fused: {steps:?}");
+        assert!(
+            !steps.iter().any(|s| matches!(s, Step::Op(_))),
+            "no step fell back to the general handler: {steps:?}"
+        );
+        assert!(
+            matches!(term, SpanTerm::CmpBranch { .. }),
+            "the compare folded into the branch terminal: {term:?}"
+        );
     }
 }

@@ -27,6 +27,7 @@ options:
   --batch <n>           seeds per pool dispatch (default 256)
   --time-cap-ms <n>     stop cleanly at the next batch boundary past this budget
   --inject-global-alias arm the deliberately broken engine (negative control)
+  --fuel-sweep          re-cut every clean program at reduced fuel budgets
   --no-shrink           report divergences without minimizing them
   --json                print the machine-readable summary record
   --help                this text
@@ -92,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
                 config.time_cap = Some(std::time::Duration::from_millis(ms));
             }
             "--inject-global-alias" => config.inject_global_alias = true,
+            "--fuel-sweep" => config.fuel_sweep = true,
             "--no-shrink" => config.shrink = false,
             "--json" => json = true,
             "--help" | "-h" => {

@@ -9,10 +9,10 @@
 
 use crate::inject::GlobalAlias;
 use stabilizer::{prepare_program, BaseAllocator, Config, Stabilizer};
-use sz_ir::Program;
+use sz_ir::{FuncId, GlobalId, Program};
 use sz_link::{LinkOrder, LinkedLayout};
-use sz_machine::{MachineConfig, SimTime};
-use sz_vm::{reference::run_reference, LayoutEngine, RunLimits, RunReport, Vm, VmError};
+use sz_machine::{MachineConfig, MemorySystem, PerfCounters, SimTime};
+use sz_vm::{reference::run_reference, FrameView, LayoutEngine, RunLimits, RunReport, Vm, VmError};
 
 /// Fuel/stack budget for every fuzz run. Generated programs terminate
 /// by construction well under this bound (bounded counter loops,
@@ -96,6 +96,11 @@ pub enum DivergenceKind {
     /// An engine produced a different architectural result than the
     /// baseline `simple` engine.
     EngineDisagreement,
+    /// Re-running the program at a reduced instruction budget made the
+    /// interpreters disagree — on the error, or on the counter state
+    /// an engine observed before the cut. This exercises exactly the
+    /// fuel-fallback seams of the batched span executor.
+    FuelSeam,
 }
 
 impl DivergenceKind {
@@ -104,6 +109,7 @@ impl DivergenceKind {
         match self {
             DivergenceKind::InterpreterMismatch => "interpreter-mismatch",
             DivergenceKind::EngineDisagreement => "engine-disagreement",
+            DivergenceKind::FuelSeam => "fuel-seam",
         }
     }
 }
@@ -326,7 +332,127 @@ pub fn recheck_class(program: &Program, seed: u64, class: DivergenceClass) -> Op
                 got,
             })
         }
+        DivergenceKind::FuelSeam => {
+            // A shrink candidate must still terminate cleanly to have
+            // a retirement count worth sweeping below.
+            let mut engine = sz_vm::SimpleLayout::new();
+            let clean = Vm::new(program).run(&mut engine, MachineConfig::tiny(), FUZZ_LIMITS);
+            let baseline = clean.ok().map(|r| r.instructions)?;
+            fuel_sweep_check(program, seed, baseline)
+        }
     }
+}
+
+/// Wraps the baseline engine and records the counter state it observes
+/// at every callback carrying the memory system — the same oracle
+/// `tests/error_paths.rs` uses. Identical traces mean the two
+/// interpreters walked the engine past identical counter states all
+/// the way to the cut.
+struct CounterSpy {
+    inner: sz_vm::SimpleLayout,
+    trace: Vec<(&'static str, PerfCounters)>,
+}
+
+impl CounterSpy {
+    fn new() -> Self {
+        CounterSpy {
+            inner: sz_vm::SimpleLayout::new(),
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl LayoutEngine for CounterSpy {
+    fn prepare(&mut self, program: &Program) {
+        self.inner.prepare(program);
+    }
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.trace.push(("enter", *mem.counters()));
+        self.inner.enter_function(func, mem)
+    }
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.trace.push(("pad", *mem.counters()));
+        self.inner.stack_pad(func, mem)
+    }
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.inner.global_base(g)
+    }
+    fn stack_base(&self) -> u64 {
+        self.inner.stack_base()
+    }
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.trace.push(("malloc", *mem.counters()));
+        self.inner.malloc(size, mem)
+    }
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
+        self.trace.push(("free", *mem.counters()));
+        self.inner.free(addr, mem)
+    }
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
+        self.trace.push(("tick", *mem.counters()));
+        self.inner.tick(now_cycles, stack, mem);
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn period_marks(&self) -> &[PerfCounters] {
+        self.inner.period_marks()
+    }
+}
+
+/// Re-runs `program` at reduced instruction budgets and checks both
+/// interpreters report `OutOfFuel` identically — same error, same
+/// engine-observed counter trace up to the cut.
+///
+/// A budget strictly below the clean-run retirement count is
+/// *guaranteed* to cut the run short, and where it lands is
+/// arbitrary relative to span boundaries — so the sweep drives the
+/// span executor's fuel-fallback seams (span-straddling budgets, the
+/// per-op tail after a mid-span cut) that a full-budget differential
+/// run never touches.
+pub fn fuel_sweep_check(
+    program: &Program,
+    seed: u64,
+    baseline_instructions: u64,
+) -> Option<Divergence> {
+    let machine = MachineConfig::tiny();
+    let budgets = [
+        (baseline_instructions / 4).max(1),
+        (baseline_instructions / 2).max(1),
+        (baseline_instructions * 3 / 4).max(1),
+    ];
+    let mut prev = 0;
+    for budget in budgets {
+        if budget == prev || budget >= baseline_instructions {
+            continue; // deduplicate tiny sweeps; only true cuts count
+        }
+        prev = budget;
+        let limits = RunLimits {
+            max_instructions: budget,
+            max_stack_depth: FUZZ_LIMITS.max_stack_depth,
+        };
+        let mut spy_d = CounterSpy::new();
+        let decoded = Vm::new(program).run(&mut spy_d, machine, limits);
+        let mut spy_r = CounterSpy::new();
+        let reference = run_reference(program, &mut spy_r, machine, limits);
+        let exact_cut = matches!(
+            (&decoded, &reference),
+            (
+                Err(VmError::OutOfFuel { limit: a }),
+                Err(VmError::OutOfFuel { limit: b }),
+            ) if *a == budget && *b == budget
+        );
+        if !exact_cut || spy_d.trace != spy_r.trace {
+            return Some(Divergence {
+                seed,
+                engine: "simple",
+                kind: DivergenceKind::FuelSeam,
+                expected: arch(&reference),
+                got: arch(&decoded),
+            });
+        }
+    }
+    None
 }
 
 /// One full conformance check: every engine/allocator combination must

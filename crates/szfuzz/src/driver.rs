@@ -77,6 +77,10 @@ pub struct FuzzConfig {
     pub batch: usize,
     /// Arm the deliberately broken engine (negative control).
     pub inject_global_alias: bool,
+    /// Re-run each cleanly terminating program at 2–3 reduced fuel
+    /// budgets and require both interpreters to cut identically
+    /// ([`crate::diff::fuel_sweep_check`]).
+    pub fuel_sweep: bool,
     /// Shrink the failing program and build a reproducer on failure.
     pub shrink: bool,
     /// Stop (cleanly, `capped = true`) once a batch boundary passes
@@ -92,6 +96,7 @@ impl Default for FuzzConfig {
             threads: 1,
             batch: 256,
             inject_global_alias: false,
+            fuel_sweep: false,
             shrink: true,
             time_cap: None,
         }
@@ -120,6 +125,8 @@ pub struct Diversity {
     pub arch_classes: [u64; ARCH_CLASSES],
     /// How many clean runs returned `Ok(Some(_))`.
     pub returns_value: u64,
+    /// How many programs were re-run through the reduced-fuel sweep.
+    pub fuel_sweeps: u64,
     /// Static instruction-kind counts across all generated programs.
     pub op_mix: [u64; OP_KINDS],
 }
@@ -163,6 +170,8 @@ impl PartialEq for FuzzSummary {
 struct SeedOutcome {
     verdict: Result<ProgramVerdict, Divergence>,
     op_mix: [u64; OP_KINDS],
+    /// Whether the reduced-fuel sweep ran for this seed.
+    swept: bool,
 }
 
 thread_local! {
@@ -171,7 +180,7 @@ thread_local! {
     static GENERATOR: RefCell<Generator> = RefCell::new(Generator::new());
 }
 
-fn run_seed(seed: u64, inject: bool) -> SeedOutcome {
+fn run_seed(seed: u64, inject: bool, fuel_sweep: bool) -> SeedOutcome {
     let program = GENERATOR.with(|g| g.borrow_mut().generate(seed));
     let mut op_mix = [0u64; OP_KINDS];
     for f in &program.functions {
@@ -181,9 +190,24 @@ fn run_seed(seed: u64, inject: bool) -> SeedOutcome {
             }
         }
     }
+    let mut verdict = check_program(&program, seed, inject);
+    let mut swept = false;
+    if fuel_sweep {
+        // Sweep only programs the matrix already certified clean, at
+        // budgets that genuinely cut the run short (count > 1).
+        if let Ok(v) = &verdict {
+            if let Some(n) = v.baseline_instructions.filter(|&n| n > 1) {
+                swept = true;
+                if let Some(d) = crate::diff::fuel_sweep_check(&program, seed, n) {
+                    verdict = Err(d);
+                }
+            }
+        }
+    }
     SeedOutcome {
-        verdict: check_program(&program, seed, inject),
+        verdict,
         op_mix,
+        swept,
     }
 }
 
@@ -211,8 +235,9 @@ pub fn run(config: &FuzzConfig) -> FuzzSummary {
         let n = ((config.programs - offset) as usize).min(batch);
         let base = config.seed_base.wrapping_add(offset);
         let inject = config.inject_global_alias;
+        let fuel_sweep = config.fuel_sweep;
         let outcomes = pool::run_indexed(config.threads, n, |i| {
-            run_seed(base.wrapping_add(i as u64), inject)
+            run_seed(base.wrapping_add(i as u64), inject, fuel_sweep)
         });
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let seed = base.wrapping_add(i as u64);
@@ -226,6 +251,9 @@ pub fn run(config: &FuzzConfig) -> FuzzSummary {
                     summary.diversity.arch_classes[verdict.arch.class_index()] += 1;
                     if matches!(verdict.arch, ArchResult::Ok(Some(_))) {
                         summary.diversity.returns_value += 1;
+                    }
+                    if outcome.swept {
+                        summary.diversity.fuel_sweeps += 1;
                     }
                     for (k, c) in outcome.op_mix.iter().enumerate() {
                         summary.diversity.op_mix[k] += c;
@@ -297,6 +325,7 @@ impl FuzzSummary {
             ("programs_run", Json::U64(self.programs_run)),
             ("arch_classes", arch),
             ("returns_value", Json::U64(self.diversity.returns_value)),
+            ("fuel_sweeps", Json::U64(self.diversity.fuel_sweeps)),
             ("op_mix", ops),
             ("max_instructions", Json::U64(self.max_instructions)),
             ("capped", Json::Bool(self.capped)),
@@ -342,6 +371,12 @@ impl FuzzSummary {
             "max baseline instructions: {}\n",
             self.max_instructions
         ));
+        if self.diversity.fuel_sweeps > 0 {
+            s.push_str(&format!(
+                "fuel sweeps: {} programs re-cut at reduced budgets\n",
+                self.diversity.fuel_sweeps
+            ));
+        }
         match &self.failure {
             None => s.push_str("no divergence\n"),
             Some(FuzzFailure::Divergence(d)) => {

@@ -68,6 +68,7 @@ impl AluOp {
     /// Integer ops wrap; division by zero yields 0 (and remainder by
     /// zero yields the dividend), matching a guarded divide; `F*` ops
     /// operate on the f64 bit patterns; comparisons yield 0 or 1.
+    #[inline]
     pub fn eval(self, a: u64, b: u64) -> u64 {
         match self {
             AluOp::Add => a.wrapping_add(b),

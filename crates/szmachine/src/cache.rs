@@ -87,8 +87,17 @@ impl Cache {
     /// On a miss the line is filled, evicting the LRU way if needed.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let set = self.set_index(addr) as usize;
-        let tag = self.tag(addr);
+        self.access_line(addr >> self.line_shift)
+    }
+
+    /// Accesses a line by *line index* (`addr >> log2(line_bytes)`) —
+    /// the strength-reduced probe for callers that already track line
+    /// indices (the batched fetch path): set and tag come straight off
+    /// the index with no per-probe shift by the line offset.
+    #[inline]
+    pub fn access_line(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
         if self.sets.access(set, tag) {
             self.hits += 1;
             true

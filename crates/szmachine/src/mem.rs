@@ -4,8 +4,10 @@
 use crate::{BranchPredictor, Cache, MachineConfig, PerfCounters, Tlb};
 
 /// "No line/page memoized" sentinel for the front-end memo fields. No
-/// reachable code address maps to this index (it would need an address
-/// within one line of `u64::MAX`).
+/// fetchable line maps to this index: with lines of at least 2 bytes
+/// (asserted in [`MemorySystem::new`]) the largest line index is
+/// `u64::MAX >> 1`, even for a fetch saturating at the top of the
+/// address space.
 const NO_MEMO: u64 = u64::MAX;
 
 /// The full simulated memory hierarchy of one core.
@@ -27,8 +29,11 @@ const NO_MEMO: u64 = u64::MAX;
 /// a different line, any relocation/re-randomization that moves code,
 /// or any set-conflicting fetch simply *updates* the memo on its own
 /// (non-skipped) probe — there is no separate invalidation path to get
-/// wrong. D-side traffic never touches the memo because loads/stores
-/// probe the dTLB/L1D, not the front end.
+/// wrong. The D side keeps its own independent one-line memo in
+/// [`MemorySystem::data_access`] under the same MRU argument (a skipped
+/// re-probe still charges the L1D hit latency — only the probes are
+/// elided, never the cycles); I-side traffic probes the iTLB/L1I, so
+/// neither memo can alias the other.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: MachineConfig,
@@ -42,18 +47,38 @@ pub struct MemorySystem {
     counters: PerfCounters,
     /// `log2(l1i.line_bytes)`, hoisted out of the fetch path.
     iline_shift: u32,
-    /// `log2(itlb.page_bytes)`, hoisted out of the fetch path.
-    ipage_shift: u32,
+    /// `log2(itlb.page_bytes) - iline_shift`: one shift takes a line
+    /// index to its virtual page number, so the fetch path never
+    /// reconstructs a byte address on the hit path.
+    ipage_line_shift: u32,
+    /// `log2(l1d.line_bytes)`, hoisted out of the data path.
+    dline_shift: u32,
+    /// `log2(dtlb.page_bytes) - dline_shift`, as for the front end.
+    dpage_line_shift: u32,
     /// Line index of the most recently fetched I-line ([`NO_MEMO`] when
     /// cold).
     last_iline: u64,
     /// Page index of the most recently translated I-page.
     last_ipage: u64,
+    /// Line index of the most recent load/store ([`NO_MEMO`] when
+    /// cold).
+    last_dline: u64,
 }
 
 impl MemorySystem {
     /// Builds the hierarchy from a machine description.
     pub fn new(config: MachineConfig) -> Self {
+        // The NO_MEMO sentinel and the line->page strength reduction
+        // both lean on this geometry; see their comments.
+        assert!(
+            config.l1i.line_bytes >= 2 && config.l1d.line_bytes >= 2,
+            "cache lines must be at least 2 bytes so no line index reaches NO_MEMO"
+        );
+        assert!(
+            config.itlb.page_bytes >= config.l1i.line_bytes
+                && config.dtlb.page_bytes >= config.l1d.line_bytes,
+            "pages must not be smaller than the level-1 lines they map"
+        );
         MemorySystem {
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
@@ -67,9 +92,14 @@ impl MemorySystem {
             ),
             counters: PerfCounters::default(),
             iline_shift: config.l1i.line_bytes.trailing_zeros(),
-            ipage_shift: config.itlb.page_bytes.trailing_zeros(),
+            ipage_line_shift: config.itlb.page_bytes.trailing_zeros()
+                - config.l1i.line_bytes.trailing_zeros(),
+            dline_shift: config.l1d.line_bytes.trailing_zeros(),
+            dpage_line_shift: config.dtlb.page_bytes.trailing_zeros()
+                - config.l1d.line_bytes.trailing_zeros(),
             last_iline: NO_MEMO,
             last_ipage: NO_MEMO,
+            last_dline: NO_MEMO,
             config,
         }
     }
@@ -114,12 +144,23 @@ impl MemorySystem {
     /// A zero-length fetch touches no bytes, so it charges nothing and
     /// leaves every counter and all cache/TLB state untouched — the
     /// early return here is the single place that policy lives.
+    /// Code placed within `len` bytes of the top of the address space
+    /// saturates rather than wrapping: the range is clipped at
+    /// `u64::MAX`, so no layout-engine placement can panic (debug) or
+    /// fetch from address zero (release) here.
     #[inline]
     pub fn fetch(&mut self, addr: u64, len: u64) -> u64 {
         if len == 0 {
             return 0;
         }
-        self.fetch_lines(addr, addr + len - 1)
+        let last_addr = addr.saturating_add(len - 1);
+        // Per-op refetches of the current line dominate this path;
+        // resolve them with one compare before the general line walk.
+        let line = addr >> self.iline_shift;
+        if line == self.last_iline && line == last_addr >> self.iline_shift {
+            return 0;
+        }
+        self.fetch_lines(addr, last_addr)
     }
 
     /// Fetches every I-line in the inclusive byte range
@@ -129,6 +170,17 @@ impl MemorySystem {
     pub fn fetch_lines(&mut self, first_addr: u64, last_addr: u64) -> u64 {
         let first = first_addr >> self.iline_shift;
         let last = last_addr >> self.iline_shift;
+        // Single-line spans dominate (spans only batch when they fit
+        // one line or are pure); resolve the memoized re-fetch with
+        // one compare and no cycle-counter write.
+        if first == last {
+            if first == self.last_iline {
+                return 0;
+            }
+            let extra = self.fetch_line(first);
+            self.counters.cycles += extra;
+            return extra;
+        }
         let mut extra = 0;
         for line in first..=last {
             extra += self.fetch_line(line);
@@ -148,26 +200,31 @@ impl MemorySystem {
     /// skip is exact: when `line` was the previous fetch it is the MRU
     /// way of both the iTLB set and the L1I set, so the probes would
     /// hit for 0 extra cycles and perturb no replacement state.
+    ///
+    /// The hit path is strength-reduced to index arithmetic: the iTLB
+    /// and L1I are probed by page/line number directly
+    /// ([`Tlb::access_page`] / [`Cache::access_line`]), and the byte
+    /// address is only reconstructed on the cold L1I-miss path for the
+    /// shared lower levels.
     #[inline]
     fn fetch_line(&mut self, line: u64) -> u64 {
         if line == self.last_iline {
             return 0;
         }
         self.last_iline = line;
-        let addr = line << self.iline_shift;
         let costs = self.config.costs;
         let mut extra = 0;
-        let page = addr >> self.ipage_shift;
+        let page = line >> self.ipage_line_shift;
         if page != self.last_ipage {
             self.last_ipage = page;
-            if !self.itlb.access(addr) {
+            if !self.itlb.access_page(page) {
                 self.counters.itlb_misses += 1;
                 extra += costs.tlb_miss;
             }
         }
-        if !self.l1i.access(addr) {
+        if !self.l1i.access_line(line) {
             self.counters.l1i_misses += 1;
-            extra += self.lower_levels(addr);
+            extra += self.lower_levels(line << self.iline_shift);
         }
         extra
     }
@@ -192,19 +249,31 @@ impl MemorySystem {
     /// The common case — DTLB hit, L1D hit — runs straight through
     /// two flat-array probes with no heap traffic; the miss ladders
     /// are kept out of line in [`MemorySystem::lower_levels`].
+    ///
+    /// A re-access of the most recent D-line skips both probes under
+    /// the same MRU argument as the front-end memo: that line is
+    /// resident and MRU in the L1D, its page is MRU in the dTLB, so
+    /// the probes would hit and refresh already-fresh LRU stamps. The
+    /// skip still charges `l1_hit` — the memo elides simulator work,
+    /// never simulated cycles.
     #[inline]
     fn data_access(&mut self, addr: u64) -> u64 {
         let costs = self.config.costs;
+        let line = addr >> self.dline_shift;
+        if line == self.last_dline {
+            return costs.l1_hit;
+        }
+        self.last_dline = line;
         let mut extra = 0;
-        if !self.dtlb.access(addr) {
+        if !self.dtlb.access_page(line >> self.dpage_line_shift) {
             self.counters.dtlb_misses += 1;
             extra += costs.tlb_miss;
         }
-        if self.l1d.access(addr) {
+        if self.l1d.access_line(line) {
             extra += costs.l1_hit;
         } else {
             self.counters.l1d_misses += 1;
-            extra += costs.l1_hit + self.lower_levels(addr);
+            extra += costs.l1_hit + self.lower_levels(line << self.dline_shift);
         }
         extra
     }
@@ -251,6 +320,7 @@ impl MemorySystem {
         self.counters = PerfCounters::default();
         self.last_iline = NO_MEMO;
         self.last_ipage = NO_MEMO;
+        self.last_dline = NO_MEMO;
     }
 }
 
@@ -334,6 +404,33 @@ mod tests {
             let b = *spanned.counters();
             assert_eq!(a, b, "base {base:#x}");
         }
+    }
+
+    #[test]
+    fn fetch_at_the_top_of_the_address_space_saturates() {
+        // `addr + len - 1` used to overflow here; the range now clips
+        // at u64::MAX, so the last line is fetched and the memo
+        // sentinel stays unreachable (line index u64::MAX >> 6).
+        let mut m = sys();
+        let line = m.config().l1i.line_bytes;
+        let extra = m.fetch(u64::MAX - 3, 8);
+        assert!(extra > 0, "the top line is genuinely fetched");
+        assert_eq!(m.counters().l1i_misses, 1, "one line: the range clips");
+        // Refetching the same (memoized) top line is free — the memo
+        // holds a real line index, not NO_MEMO.
+        assert_eq!(m.fetch(u64::MAX - line + 1, line), 0);
+        let snap = *m.counters();
+        assert_eq!(m.fetch(u64::MAX, 1), 0);
+        assert_eq!(*m.counters(), snap);
+    }
+
+    #[test]
+    fn fetch_straddling_into_the_top_line_counts_both_lines() {
+        let mut m = sys();
+        let line = m.config().l1i.line_bytes;
+        // Starts on the second-to-last line, saturates into the last.
+        m.fetch(u64::MAX - line - 3, line);
+        assert_eq!(m.counters().l1i_misses, 2);
     }
 
     #[test]

@@ -65,7 +65,14 @@ impl Tlb {
     /// Translates the page containing `addr`; returns `true` on a hit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let vpn = self.vpn(addr);
+        self.access_page(self.vpn(addr))
+    }
+
+    /// Translates by *virtual page number* — the strength-reduced
+    /// probe for callers that already track page indices (the batched
+    /// fetch path derives the VPN from its line index with one shift).
+    #[inline]
+    pub fn access_page(&mut self, vpn: u64) -> bool {
         let set = (vpn & self.set_mask) as usize;
         if self.sets.access(set, vpn) {
             self.hits += 1;

@@ -24,6 +24,8 @@
 //! differential oracle), so `PerfCounters` and `RunReport`s are
 //! bit-identical. `tests/` pins this with golden and property tests.
 
+use std::collections::HashMap;
+
 use sz_ir::{
     AluOp, CodeElem, FuncId, Function, GlobalId, Instr, Operand, Program, Reg, Terminator,
 };
@@ -221,10 +223,318 @@ pub struct FetchSpan {
     pub pure: bool,
 }
 
+/// A compiled register-effect operation: one flat tag covering every
+/// pure op, selected at decode time. [`EffectOp::eval`] is a single
+/// jump table whose arms are one ALU instruction each (the ALU arms
+/// call [`AluOp::eval`] with a constant op, which inlines to exactly
+/// that operation — the semantics stay single-sourced in `sz_ir`).
+/// The tag replaces the interpreter's per-op `match` on [`OpKind`]
+/// and the nested `match` on [`Operand`], and the one-byte payload
+/// keeps [`Effect`] half the size of a function-pointer table.
+#[derive(Debug, Clone, Copy)]
+#[repr(u8)]
+pub enum EffectOp {
+    /// `a + b` (wrapping).
+    Add,
+    /// `a - b` (wrapping).
+    Sub,
+    /// `a * b` (wrapping).
+    Mul,
+    /// Guarded `a / b` (0 on zero divisor).
+    Div,
+    /// Guarded `a % b` (`a` on zero divisor).
+    Rem,
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a ^ b`.
+    Xor,
+    /// `a << (b & 63)`.
+    Shl,
+    /// `a >> (b & 63)`.
+    Shr,
+    /// `(a < b) as u64`.
+    CmpLt,
+    /// `(a == b) as u64`.
+    CmpEq,
+    /// `(a > b) as u64`.
+    CmpGt,
+    /// f64 addition on the bit patterns.
+    FAdd,
+    /// f64 subtraction on the bit patterns.
+    FSub,
+    /// f64 multiplication on the bit patterns.
+    FMul,
+    /// f64 division on the bit patterns.
+    FDiv,
+    /// `a` (compiled `fp_const` reads its interned bits).
+    Move,
+    /// `(a as i64 as f64).to_bits()`.
+    IntToFp,
+    /// `f64::from_bits(a) as i64 as u64`.
+    FpToInt,
+}
+
+impl EffectOp {
+    /// The tag for an ALU operation.
+    fn from_alu(op: AluOp) -> Self {
+        match op {
+            AluOp::Add => EffectOp::Add,
+            AluOp::Sub => EffectOp::Sub,
+            AluOp::Mul => EffectOp::Mul,
+            AluOp::Div => EffectOp::Div,
+            AluOp::Rem => EffectOp::Rem,
+            AluOp::And => EffectOp::And,
+            AluOp::Or => EffectOp::Or,
+            AluOp::Xor => EffectOp::Xor,
+            AluOp::Shl => EffectOp::Shl,
+            AluOp::Shr => EffectOp::Shr,
+            AluOp::CmpLt => EffectOp::CmpLt,
+            AluOp::CmpEq => EffectOp::CmpEq,
+            AluOp::CmpGt => EffectOp::CmpGt,
+            AluOp::FAdd => EffectOp::FAdd,
+            AluOp::FSub => EffectOp::FSub,
+            AluOp::FMul => EffectOp::FMul,
+            AluOp::FDiv => EffectOp::FDiv,
+        }
+    }
+
+    /// Evaluates the effect on two resolved operand values.
+    #[inline(always)]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            EffectOp::Add => AluOp::Add.eval(a, b),
+            EffectOp::Sub => AluOp::Sub.eval(a, b),
+            EffectOp::Mul => AluOp::Mul.eval(a, b),
+            EffectOp::Div => AluOp::Div.eval(a, b),
+            EffectOp::Rem => AluOp::Rem.eval(a, b),
+            EffectOp::And => AluOp::And.eval(a, b),
+            EffectOp::Or => AluOp::Or.eval(a, b),
+            EffectOp::Xor => AluOp::Xor.eval(a, b),
+            EffectOp::Shl => AluOp::Shl.eval(a, b),
+            EffectOp::Shr => AluOp::Shr.eval(a, b),
+            EffectOp::CmpLt => AluOp::CmpLt.eval(a, b),
+            EffectOp::CmpEq => AluOp::CmpEq.eval(a, b),
+            EffectOp::CmpGt => AluOp::CmpGt.eval(a, b),
+            EffectOp::FAdd => AluOp::FAdd.eval(a, b),
+            EffectOp::FSub => AluOp::FSub.eval(a, b),
+            EffectOp::FMul => AluOp::FMul.eval(a, b),
+            EffectOp::FDiv => AluOp::FDiv.eval(a, b),
+            EffectOp::Move => a,
+            EffectOp::IntToFp => (a as i64 as f64).to_bits(),
+            EffectOp::FpToInt => f64::from_bits(a) as i64 as u64,
+        }
+    }
+}
+
+/// One precomputed register effect: `window[dst] = op(window[a],
+/// window[b])` against a frame's *execution window* — its `num_regs`
+/// registers followed by the function's interned constants
+/// ([`DecodedFunc::consts`]), so register and immediate operands are
+/// addressed uniformly with no per-operand branch (the Lua-style
+/// "K register" trick).
+#[derive(Debug, Clone, Copy)]
+pub struct Effect {
+    /// The operation, pre-selected at decode time.
+    pub op: EffectOp,
+    /// Destination window index (always `< num_regs`).
+    pub dst: u16,
+    /// Left operand window index (register or interned constant).
+    pub a: u16,
+    /// Right operand window index.
+    pub b: u16,
+}
+
+/// How a batched span executes its terminal op.
+#[derive(Debug, Clone, Copy)]
+pub enum SpanTerm {
+    /// Run the terminal through the general per-op handler.
+    Op,
+    /// Fused compare+branch superinstruction: the span's final mid-op
+    /// effect wrote exactly the branch condition register, so one
+    /// handler computes the effect, stores it, and branches on the
+    /// result — no window re-read, no second dispatch.
+    /// Control-flow targets are *span* indices, not op indices: every
+    /// branch target is a block start, every block start begins a
+    /// span, so the dispatch loop chains span to span without an
+    /// `span_of` lookup per hop (the op-level `ip` is recovered as the
+    /// target span's `start` where someone needs it).
+    CmpBranch {
+        /// The folded final effect (its `dst` is still written, so
+        /// the architectural register state is unchanged).
+        eff: Effect,
+        /// Byte offset of the branch op within the function (the
+        /// branch-predictor probe needs the branch's own pc).
+        pc_rel: u64,
+        /// Target span index when the result is non-zero.
+        taken: u32,
+        /// Target span index when the result is zero.
+        not_taken: u32,
+    },
+    /// Unconditional jump terminal: just a span hop, no operand
+    /// read and no predictor probe, so the general handler is skipped.
+    Jump {
+        /// Target span index.
+        target: u32,
+    },
+    /// Unfused conditional branch terminal: one window read (register
+    /// or interned immediate), the predictor probe, and the span hop
+    /// — the same observable sequence as the general handler.
+    Branch {
+        /// Condition window index.
+        cond: u16,
+        /// Byte offset of the branch op within the function (the
+        /// branch-predictor probe needs the branch's own pc).
+        pc_rel: u64,
+        /// Target span index when the condition is non-zero.
+        taken: u32,
+        /// Target span index when the condition is zero.
+        not_taken: u32,
+    },
+}
+
+/// One step of a batched *impure* span body: pure runs compile to
+/// [`Effect`]s, the hottest memory-crossing pairs fuse into
+/// superinstructions, and everything else routes through the general
+/// per-op handler by flat index.
+#[derive(Debug, Clone, Copy)]
+pub enum Step {
+    /// A pure register effect.
+    Effect(Effect),
+    /// The general handler for the op at this flat stream index
+    /// (loads, stores, and anything else without a dedicated step).
+    Op(u32),
+    /// Fused `load_slot` + ALU: load the slot into `dst`, then run
+    /// the effect (which may read `dst`).
+    LoadSlotAlu {
+        /// Flat stream index of the `load_slot` (the ALU is `idx+1`);
+        /// the straddling-span executor pins fetch runs to it.
+        idx: u32,
+        /// Destination window index of the load.
+        dst: u16,
+        /// Byte offset of the slot within the frame.
+        byte_off: u64,
+        /// The fused ALU effect, executed after the load lands.
+        eff: Effect,
+    },
+    /// Fused ALU + `store_slot`: run the effect, then store window
+    /// index `src` (which may be the effect's `dst`).
+    AluStoreSlot {
+        /// Flat stream index of the ALU (the store is `idx+1`); the
+        /// straddling-span executor pins fetch runs to it.
+        idx: u32,
+        /// The fused ALU effect, executed before the store.
+        eff: Effect,
+        /// Window index of the value to store.
+        src: u16,
+        /// Byte offset of the slot within the frame.
+        byte_off: u64,
+    },
+    /// An unfused `load_slot` (no ALU followed to pair with).
+    LoadSlot {
+        /// Flat stream index (pins fetch runs in straddling spans).
+        idx: u32,
+        /// Destination window index.
+        dst: u16,
+        /// Byte offset of the slot within the frame.
+        byte_off: u64,
+    },
+    /// An unfused `store_slot` (no ALU preceded to pair with).
+    StoreSlot {
+        /// Flat stream index.
+        idx: u32,
+        /// Window index of the value to store.
+        src: u16,
+        /// Byte offset of the slot within the frame.
+        byte_off: u64,
+    },
+    /// `load_global` with its offset pre-resolved to a window index.
+    /// The global's base is still read from the layout engine per
+    /// access (the reference does the same), so a mid-run relocation
+    /// policy sees identical queries.
+    LoadGlobal {
+        /// Flat stream index (pins fetch runs in straddling spans).
+        idx: u32,
+        /// Destination window index.
+        dst: u16,
+        /// Window index of the byte offset.
+        offset: u16,
+        /// The global.
+        global: GlobalId,
+    },
+    /// `store_global` with both operands pre-resolved.
+    StoreGlobal {
+        /// Flat stream index.
+        idx: u32,
+        /// Window index of the value to store.
+        src: u16,
+        /// Window index of the byte offset.
+        offset: u16,
+        /// The global.
+        global: GlobalId,
+    },
+    /// `load_ptr` with its base register pre-resolved.
+    LoadPtr {
+        /// Flat stream index.
+        idx: u32,
+        /// Destination window index.
+        dst: u16,
+        /// Window index of the base address register.
+        base: u16,
+        /// Two's-complement displacement.
+        offset: u64,
+    },
+    /// `store_ptr` with both register operands pre-resolved.
+    StorePtr {
+        /// Flat stream index.
+        idx: u32,
+        /// Window index of the value to store.
+        src: u16,
+        /// Window index of the base address register.
+        base: u16,
+        /// Two's-complement displacement.
+        offset: u64,
+    },
+}
+
+/// The compiled execution body of one span, selected at decode time
+/// so the batched executor never re-inspects [`OpKind`]s.
+#[derive(Debug, Clone, Copy)]
+pub enum SpanBody {
+    /// A pure span: mid ops are `effects[first..first + count]`, run
+    /// by a tight loop with no per-op dispatch, then `term`.
+    Effects {
+        /// First index into [`DecodedFunc::effects`].
+        first: u32,
+        /// Number of effects (Nops compile to nothing — their
+        /// latency already sits in the span's `base_cycles`).
+        count: u32,
+        /// Terminal handling.
+        term: SpanTerm,
+    },
+    /// An impure span: mid ops are `steps[first..first + count]`,
+    /// then `term`. Only used when the span batches (single-line
+    /// footprint); a straddling impure span stays per-op.
+    Steps {
+        /// First index into [`DecodedFunc::steps`].
+        first: u32,
+        /// Number of steps.
+        count: u32,
+        /// Terminal handling.
+        term: SpanTerm,
+    },
+    /// Uncompiled fallback: the batched executor walks `ops`
+    /// directly. Used for every span of a function whose execution
+    /// window (`num_regs + consts`) would overflow the `u16` operand
+    /// index space — correctness never depends on a body compiling.
+    Ops,
+}
+
 /// A function lowered to a flat decoded stream plus the frame metadata
 /// the interpreter needs, so execution never re-touches the
 /// [`sz_ir::Function`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DecodedFunc {
     /// The flat code stream. Block `b` occupies
     /// `block_starts[b]..block_starts[b+1]` (or the end, for the last
@@ -239,6 +549,16 @@ pub struct DecodedFunc {
     /// Span index owning each op (`span_of[i]` indexes `spans`), so
     /// dispatch maps an `ip` to its span in one load.
     pub span_of: Vec<u32>,
+    /// Compiled execution body of each span (parallel to `spans`).
+    pub bodies: Vec<SpanBody>,
+    /// Flat effect pool backing [`SpanBody::Effects`] bodies.
+    pub effects: Vec<Effect>,
+    /// Flat step pool backing [`SpanBody::Steps`] bodies.
+    pub steps: Vec<Step>,
+    /// Interned immediates. A frame's execution window is its
+    /// `num_regs` registers followed by a copy of these values, so
+    /// effects address registers and constants uniformly.
+    pub consts: Vec<u64>,
     /// Virtual register count (`Function::num_regs`).
     pub num_regs: u16,
     /// Frame size in bytes (`Function::frame_bytes`).
@@ -302,6 +622,322 @@ fn build_spans(ops: &[DecodedOp]) -> (Vec<FetchSpan>, Vec<u32>) {
     (spans, span_of)
 }
 
+/// Builds a function's interned-constant pool while resolving operand
+/// window indices. Interning fails (returns `None`) only when the
+/// window `num_regs + consts` would outgrow the `u16` index space; the
+/// caller then abandons body compilation for the whole function.
+struct ConstPool {
+    num_regs: u16,
+    values: Vec<u64>,
+    index: HashMap<u64, u16>,
+}
+
+impl ConstPool {
+    fn new(num_regs: u16) -> Self {
+        ConstPool {
+            num_regs,
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn operand(&mut self, op: Operand) -> Option<u16> {
+        match op {
+            Operand::Reg(r) => Some(r.0),
+            Operand::Imm(v) => self.intern(v as u64),
+        }
+    }
+
+    fn intern(&mut self, v: u64) -> Option<u16> {
+        if let Some(&i) = self.index.get(&v) {
+            return Some(i);
+        }
+        let idx = u16::try_from(usize::from(self.num_regs) + self.values.len()).ok()?;
+        self.values.push(v);
+        self.index.insert(v, idx);
+        Some(idx)
+    }
+}
+
+/// Compiles one *pure* op to its effect (`None` on pool overflow).
+/// Callers never pass Nops (they compile to nothing) or impure kinds.
+fn compile_effect(pool: &mut ConstPool, kind: &OpKind) -> Option<Effect> {
+    match kind {
+        OpKind::Alu { dst, op, a, b } => Some(Effect {
+            op: EffectOp::from_alu(*op),
+            dst: dst.0,
+            a: pool.operand(*a)?,
+            b: pool.operand(*b)?,
+        }),
+        OpKind::FpConst { dst, bits } => {
+            let a = pool.intern(*bits)?;
+            Some(Effect {
+                op: EffectOp::Move,
+                dst: dst.0,
+                a,
+                b: a,
+            })
+        }
+        OpKind::IntToFp { dst, src } => {
+            let a = pool.operand(*src)?;
+            Some(Effect {
+                op: EffectOp::IntToFp,
+                dst: dst.0,
+                a,
+                b: a,
+            })
+        }
+        OpKind::FpToInt { dst, src } => {
+            let a = pool.operand(*src)?;
+            Some(Effect {
+                op: EffectOp::FpToInt,
+                dst: dst.0,
+                a,
+                b: a,
+            })
+        }
+        _ => unreachable!("only pure non-Nop ops compile to effects"),
+    }
+}
+
+/// Folds a span's final effect into its branch terminal when the
+/// effect wrote exactly the condition register. Exact because the
+/// branch would read back the value the effect just produced, and the
+/// fused handler still writes `dst` before branching. Targets are
+/// mapped op index -> span index through `span_of` (branch targets
+/// are block starts, and block starts always start a span).
+fn fuse_cmp_branch(
+    term_op: &DecodedOp,
+    last: Option<&Effect>,
+    span_of: &[u32],
+) -> Option<SpanTerm> {
+    let OpKind::Branch {
+        cond: Operand::Reg(r),
+        taken,
+        not_taken,
+    } = term_op.kind
+    else {
+        return None;
+    };
+    let eff = *last?;
+    (eff.dst == r.0).then_some(SpanTerm::CmpBranch {
+        eff,
+        pc_rel: term_op.pc,
+        taken: span_of[taken as usize],
+        not_taken: span_of[not_taken as usize],
+    })
+}
+
+/// Compiles an unfused terminal to its specialized variant where one
+/// exists (`Jump`, plain `Branch`); control ops with deeper side
+/// effects (`Ret`, `Call`, `Malloc`, `Free`) stay on the general
+/// handler. `None` only on const-pool overflow.
+fn compile_term(pool: &mut ConstPool, term_op: &DecodedOp, span_of: &[u32]) -> Option<SpanTerm> {
+    Some(match term_op.kind {
+        OpKind::Jump { target } => SpanTerm::Jump {
+            target: span_of[target as usize],
+        },
+        OpKind::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => SpanTerm::Branch {
+            cond: pool.operand(cond)?,
+            pc_rel: term_op.pc,
+            taken: span_of[taken as usize],
+            not_taken: span_of[not_taken as usize],
+        },
+        _ => SpanTerm::Op,
+    })
+}
+
+fn is_pure_kind(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Alu { .. }
+            | OpKind::FpConst { .. }
+            | OpKind::IntToFp { .. }
+            | OpKind::FpToInt { .. }
+            | OpKind::Nop
+    )
+}
+
+/// Compiles every span's execution body. Returns `None` if the
+/// function's window would overflow `u16` operand indices, in which
+/// case the caller falls back to [`SpanBody::Ops`] everywhere.
+#[allow(clippy::type_complexity)]
+fn compile_bodies(
+    ops: &[DecodedOp],
+    spans: &[FetchSpan],
+    span_of: &[u32],
+    num_regs: u16,
+) -> Option<(Vec<SpanBody>, Vec<Effect>, Vec<Step>, Vec<u64>)> {
+    let mut pool = ConstPool::new(num_regs);
+    let mut effects = Vec::new();
+    let mut steps = Vec::new();
+    let mut bodies = Vec::with_capacity(spans.len());
+    for span in spans {
+        let start = span.start as usize;
+        let term_idx = start + span.count as usize - 1;
+        let term_op = &ops[term_idx];
+        if span.pure {
+            let first = effects.len() as u32;
+            for op in &ops[start..term_idx] {
+                if matches!(op.kind, OpKind::Nop) {
+                    continue;
+                }
+                effects.push(compile_effect(&mut pool, &op.kind)?);
+            }
+            // Only this span's own final effect may fold into the
+            // terminal — `effects.last()` past `first` would belong
+            // to a previous span.
+            let last = (effects.len() as u32 > first)
+                .then(|| effects.last())
+                .flatten();
+            let term = match fuse_cmp_branch(term_op, last, span_of) {
+                Some(t) => {
+                    effects.pop();
+                    t
+                }
+                None => compile_term(&mut pool, term_op, span_of)?,
+            };
+            bodies.push(SpanBody::Effects {
+                first,
+                count: effects.len() as u32 - first,
+                term,
+            });
+        } else {
+            let first = steps.len() as u32;
+            let mut i = start;
+            while i < term_idx {
+                let kind = &ops[i].kind;
+                let next = (i + 1 < term_idx).then(|| &ops[i + 1].kind);
+                match (kind, next) {
+                    // The two hottest pure/impure boundary pairs fuse
+                    // greedily left to right; execution order inside
+                    // each fused handler matches the op order, so the
+                    // data-traffic sequence is unchanged.
+                    (OpKind::LoadSlot { dst, byte_off }, Some(n @ OpKind::Alu { .. })) => {
+                        let eff = compile_effect(&mut pool, n)?;
+                        steps.push(Step::LoadSlotAlu {
+                            idx: i as u32,
+                            dst: dst.0,
+                            byte_off: *byte_off,
+                            eff,
+                        });
+                        i += 2;
+                    }
+                    (OpKind::Alu { .. }, Some(OpKind::StoreSlot { src, byte_off })) => {
+                        let eff = compile_effect(&mut pool, kind)?;
+                        let src = pool.operand(*src)?;
+                        steps.push(Step::AluStoreSlot {
+                            idx: i as u32,
+                            eff,
+                            src,
+                            byte_off: *byte_off,
+                        });
+                        i += 2;
+                    }
+                    (OpKind::Nop, _) => i += 1,
+                    (k, _) if is_pure_kind(k) => {
+                        steps.push(Step::Effect(compile_effect(&mut pool, k)?));
+                        i += 1;
+                    }
+                    (OpKind::LoadSlot { dst, byte_off }, _) => {
+                        steps.push(Step::LoadSlot {
+                            idx: i as u32,
+                            dst: dst.0,
+                            byte_off: *byte_off,
+                        });
+                        i += 1;
+                    }
+                    (OpKind::StoreSlot { src, byte_off }, _) => {
+                        steps.push(Step::StoreSlot {
+                            idx: i as u32,
+                            src: pool.operand(*src)?,
+                            byte_off: *byte_off,
+                        });
+                        i += 1;
+                    }
+                    (
+                        OpKind::LoadGlobal {
+                            dst,
+                            global,
+                            offset,
+                        },
+                        _,
+                    ) => {
+                        steps.push(Step::LoadGlobal {
+                            idx: i as u32,
+                            dst: dst.0,
+                            offset: pool.operand(*offset)?,
+                            global: *global,
+                        });
+                        i += 1;
+                    }
+                    (
+                        OpKind::StoreGlobal {
+                            src,
+                            global,
+                            offset,
+                        },
+                        _,
+                    ) => {
+                        steps.push(Step::StoreGlobal {
+                            idx: i as u32,
+                            src: pool.operand(*src)?,
+                            offset: pool.operand(*offset)?,
+                            global: *global,
+                        });
+                        i += 1;
+                    }
+                    (OpKind::LoadPtr { dst, base, offset }, _) => {
+                        steps.push(Step::LoadPtr {
+                            idx: i as u32,
+                            dst: dst.0,
+                            base: base.0,
+                            offset: *offset,
+                        });
+                        i += 1;
+                    }
+                    (OpKind::StorePtr { src, base, offset }, _) => {
+                        steps.push(Step::StorePtr {
+                            idx: i as u32,
+                            src: pool.operand(*src)?,
+                            base: base.0,
+                            offset: *offset,
+                        });
+                        i += 1;
+                    }
+                    _ => {
+                        steps.push(Step::Op(i as u32));
+                        i += 1;
+                    }
+                }
+            }
+            let term = match steps.last() {
+                Some(Step::Effect(e)) if steps.len() as u32 > first => {
+                    fuse_cmp_branch(term_op, Some(e), span_of)
+                }
+                _ => None,
+            };
+            let term = match term {
+                Some(t) => {
+                    steps.pop();
+                    t
+                }
+                None => compile_term(&mut pool, term_op, span_of)?,
+            };
+            bodies.push(SpanBody::Steps {
+                first,
+                count: steps.len() as u32 - first,
+                term,
+            });
+        }
+    }
+    Some((bodies, effects, steps, pool.values))
+}
+
 /// Lowers one function. The program must already be validated —
 /// decode assumes in-range blocks, registers, and slots.
 pub fn decode_function(f: &Function) -> DecodedFunc {
@@ -328,13 +964,214 @@ pub fn decode_function(f: &Function) -> DecodedFunc {
         });
     }
     let (spans, span_of) = build_spans(&ops);
-    DecodedFunc {
+    let (bodies, effects, steps, consts) = compile_bodies(&ops, &spans, &span_of, f.num_regs)
+        .unwrap_or_else(|| (vec![SpanBody::Ops; spans.len()], vec![], vec![], vec![]));
+    let d = DecodedFunc {
         ops,
         block_starts,
         spans,
         span_of,
+        bodies,
+        effects,
+        steps,
+        consts,
         num_regs: f.num_regs,
         frame_bytes: f.frame_bytes(),
+    };
+    #[cfg(debug_assertions)]
+    d.validate_bodies();
+    d
+}
+
+impl DecodedFunc {
+    /// Checks every span-body invariant the batched executor relies
+    /// on. Panics on violation; `decode_function` runs this in debug
+    /// builds and the decode tests run it on every constructed
+    /// function.
+    pub fn validate_bodies(&self) {
+        assert_eq!(self.bodies.len(), self.spans.len());
+        let window = usize::from(self.num_regs) + self.consts.len();
+        let check_effect = |e: &Effect| {
+            assert!(
+                usize::from(e.dst) < usize::from(self.num_regs),
+                "dst is a register"
+            );
+            assert!(usize::from(e.a) < window, "operand a in window");
+            assert!(usize::from(e.b) < window, "operand b in window");
+        };
+        let check_term = |span: &FetchSpan, term: &SpanTerm| {
+            let term_op = &self.ops[(span.start + span.count - 1) as usize];
+            match term {
+                SpanTerm::Op => {}
+                SpanTerm::CmpBranch {
+                    eff,
+                    pc_rel,
+                    taken,
+                    not_taken,
+                } => {
+                    check_effect(eff);
+                    let OpKind::Branch {
+                        cond: Operand::Reg(r),
+                        taken: t,
+                        not_taken: nt,
+                    } = term_op.kind
+                    else {
+                        panic!("CmpBranch terminal must be a register branch");
+                    };
+                    assert_eq!(eff.dst, r.0, "fused effect writes the condition");
+                    assert_eq!(*pc_rel, term_op.pc);
+                    assert_eq!(self.spans[*taken as usize].start, t, "taken span");
+                    assert_eq!(self.spans[*not_taken as usize].start, nt, "not-taken span");
+                }
+                SpanTerm::Jump { target } => {
+                    let OpKind::Jump { target: t } = term_op.kind else {
+                        panic!("Jump terminal must be a jump op");
+                    };
+                    assert_eq!(self.spans[*target as usize].start, t, "target span");
+                }
+                SpanTerm::Branch {
+                    cond,
+                    pc_rel,
+                    taken,
+                    not_taken,
+                } => {
+                    assert!(usize::from(*cond) < window, "condition in window");
+                    let OpKind::Branch {
+                        cond: c,
+                        taken: t,
+                        not_taken: nt,
+                    } = term_op.kind
+                    else {
+                        panic!("Branch terminal must be a branch op");
+                    };
+                    match c {
+                        Operand::Reg(r) => assert_eq!(*cond, r.0, "condition register"),
+                        Operand::Imm(v) => assert_eq!(
+                            self.consts[usize::from(*cond) - usize::from(self.num_regs)],
+                            v as u64,
+                            "condition immediate is interned"
+                        ),
+                    }
+                    assert_eq!(*pc_rel, term_op.pc);
+                    assert_eq!(self.spans[*taken as usize].start, t, "taken span");
+                    assert_eq!(self.spans[*not_taken as usize].start, nt, "not-taken span");
+                }
+            }
+        };
+        for (span, body) in self.spans.iter().zip(&self.bodies) {
+            let mid_ops = || {
+                self.ops[span.start as usize..(span.start + span.count - 1) as usize]
+                    .iter()
+                    .filter(|op| !matches!(op.kind, OpKind::Nop))
+                    .count()
+            };
+            match body {
+                SpanBody::Effects { first, count, term } => {
+                    assert!(window <= usize::from(u16::MAX) + 1);
+                    assert!(span.pure, "Effects bodies are for pure spans");
+                    let effects = &self.effects[*first as usize..(*first + *count) as usize];
+                    effects.iter().for_each(check_effect);
+                    check_term(span, term);
+                    let fused = matches!(term, SpanTerm::CmpBranch { .. }) as usize;
+                    assert_eq!(
+                        effects.len() + fused,
+                        mid_ops(),
+                        "effects cover the mid ops"
+                    );
+                }
+                SpanBody::Steps { first, count, term } => {
+                    assert!(window <= usize::from(u16::MAX) + 1);
+                    assert!(!span.pure, "Steps bodies are for impure spans");
+                    let steps = &self.steps[*first as usize..(*first + *count) as usize];
+                    let mids = span.start..span.start + span.count - 1;
+                    let pinned = |idx: &u32, kinds: fn(&OpKind) -> bool| {
+                        assert!(mids.contains(idx), "step indexes a mid op of its span");
+                        assert!(kinds(&self.ops[*idx as usize].kind), "idx pins its op kind");
+                    };
+                    let mut covered = 0usize;
+                    for step in steps {
+                        match step {
+                            Step::Effect(e) => {
+                                check_effect(e);
+                                covered += 1;
+                            }
+                            Step::Op(idx) => {
+                                assert!(mids.contains(idx), "Op step indexes a mid op of its span");
+                                covered += 1;
+                            }
+                            Step::LoadSlot { idx, dst, .. } => {
+                                assert!(usize::from(*dst) < usize::from(self.num_regs));
+                                pinned(idx, |k| matches!(k, OpKind::LoadSlot { .. }));
+                                covered += 1;
+                            }
+                            Step::StoreSlot { idx, src, .. } => {
+                                assert!(usize::from(*src) < window);
+                                pinned(idx, |k| matches!(k, OpKind::StoreSlot { .. }));
+                                covered += 1;
+                            }
+                            Step::LoadGlobal {
+                                idx, dst, offset, ..
+                            } => {
+                                assert!(usize::from(*dst) < usize::from(self.num_regs));
+                                assert!(usize::from(*offset) < window);
+                                pinned(idx, |k| matches!(k, OpKind::LoadGlobal { .. }));
+                                covered += 1;
+                            }
+                            Step::StoreGlobal {
+                                idx, src, offset, ..
+                            } => {
+                                assert!(usize::from(*src) < window);
+                                assert!(usize::from(*offset) < window);
+                                pinned(idx, |k| matches!(k, OpKind::StoreGlobal { .. }));
+                                covered += 1;
+                            }
+                            Step::LoadPtr { idx, dst, base, .. } => {
+                                assert!(usize::from(*dst) < usize::from(self.num_regs));
+                                assert!(usize::from(*base) < usize::from(self.num_regs));
+                                pinned(idx, |k| matches!(k, OpKind::LoadPtr { .. }));
+                                covered += 1;
+                            }
+                            Step::StorePtr { idx, src, base, .. } => {
+                                assert!(usize::from(*src) < window);
+                                assert!(usize::from(*base) < usize::from(self.num_regs));
+                                pinned(idx, |k| matches!(k, OpKind::StorePtr { .. }));
+                                covered += 1;
+                            }
+                            Step::LoadSlotAlu { idx, dst, eff, .. } => {
+                                assert!(usize::from(*dst) < usize::from(self.num_regs));
+                                check_effect(eff);
+                                assert!(
+                                    (span.start..span.start + span.count - 2).contains(idx),
+                                    "fused pair sits among the mid ops of its span"
+                                );
+                                assert!(
+                                    matches!(self.ops[*idx as usize].kind, OpKind::LoadSlot { .. }),
+                                    "idx pins the load half"
+                                );
+                                covered += 2;
+                            }
+                            Step::AluStoreSlot { idx, eff, src, .. } => {
+                                check_effect(eff);
+                                assert!(usize::from(*src) < window);
+                                assert!(
+                                    (span.start..span.start + span.count - 2).contains(idx),
+                                    "fused pair sits among the mid ops of its span"
+                                );
+                                assert!(
+                                    matches!(self.ops[*idx as usize].kind, OpKind::Alu { .. }),
+                                    "idx pins the ALU half"
+                                );
+                                covered += 2;
+                            }
+                        }
+                    }
+                    check_term(span, term);
+                    covered += matches!(term, SpanTerm::CmpBranch { .. }) as usize;
+                    assert_eq!(covered, mid_ops(), "steps cover the mid ops");
+                }
+                SpanBody::Ops => {}
+            }
+        }
     }
 }
 

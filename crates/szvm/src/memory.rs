@@ -1,41 +1,132 @@
 //! Sparse value memory for the simulated address space.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Words per page: 4 KiB pages of 8-byte cells.
+const PAGE_WORDS: u64 = 512;
+
+/// "No page memoized" sentinel; no reachable page index maps to it
+/// because page indices are word indices shifted right again.
+const NO_PAGE: u64 = u64::MAX;
+
+/// One-shot multiplicative hasher for the page index. Page numbers are
+/// single `u64`s, so the general byte-stream protocol never runs; one
+/// Fibonacci-style multiply spreads consecutive indices across the
+/// table.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are hashed here; keep a correct fallback
+        // anyway so the type can't silently miscompile a future use.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Word-granular sparse memory holding the *values* at simulated
 /// addresses (the timing side of memory lives in `sz-machine`).
 ///
 /// Cells are 8 bytes, aligned down; uninitialized memory reads zero,
-/// matching zero-filled pages from the OS.
-#[derive(Debug, Clone, Default)]
+/// matching zero-filled pages from the OS. Storage is paged: a flat
+/// 4 KiB page pool indexed by a page table, with the most recently
+/// touched page memoized so the stack-slot and streaming traffic that
+/// dominates interpretation resolves to one compare plus an array
+/// index instead of a hash probe per access.
+#[derive(Debug, Clone)]
 pub struct ValueMemory {
-    words: HashMap<u64, u64>,
+    /// Page number -> index into `pages`.
+    table: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
+    /// The page pool; pages are never freed (zero writes just store
+    /// zeros), matching an OS that keeps dirtied pages mapped.
+    pages: Vec<Box<[u64; PAGE_WORDS as usize]>>,
+    /// Page number of the most recent access ([`NO_PAGE`] when cold).
+    last_page: u64,
+    /// `pages` index of the most recent access.
+    last_slot: u32,
+}
+
+impl Default for ValueMemory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ValueMemory {
     /// Creates empty (all-zero) memory.
     pub fn new() -> Self {
-        Self::default()
+        ValueMemory {
+            table: HashMap::default(),
+            pages: Vec::new(),
+            last_page: NO_PAGE,
+            last_slot: 0,
+        }
     }
 
     /// Reads the 8-byte word containing `addr`.
-    pub fn read(&self, addr: u64) -> u64 {
-        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    #[inline]
+    pub fn read(&mut self, addr: u64) -> u64 {
+        let word = addr >> 3;
+        let page = word / PAGE_WORDS;
+        if page == self.last_page {
+            return self.pages[self.last_slot as usize][(word % PAGE_WORDS) as usize];
+        }
+        match self.table.get(&page) {
+            Some(&slot) => {
+                self.last_page = page;
+                self.last_slot = slot;
+                self.pages[slot as usize][(word % PAGE_WORDS) as usize]
+            }
+            // Reads never allocate: untouched memory is all zeros.
+            None => 0,
+        }
     }
 
     /// Writes the 8-byte word containing `addr`.
+    #[inline]
     pub fn write(&mut self, addr: u64, value: u64) {
-        if value == 0 {
-            // Keep the map sparse: zero is the default.
-            self.words.remove(&(addr & !7));
-        } else {
-            self.words.insert(addr & !7, value);
+        let word = addr >> 3;
+        let page = word / PAGE_WORDS;
+        if page == self.last_page {
+            self.pages[self.last_slot as usize][(word % PAGE_WORDS) as usize] = value;
+            return;
         }
+        let slot = match self.table.get(&page) {
+            Some(&slot) => slot,
+            None => {
+                if value == 0 {
+                    // Keep untouched pages unmapped: zero is the
+                    // default contents anyway.
+                    return;
+                }
+                let slot = u32::try_from(self.pages.len()).expect("page pool fits u32");
+                self.pages.push(Box::new([0; PAGE_WORDS as usize]));
+                self.table.insert(page, slot);
+                slot
+            }
+        };
+        self.last_page = page;
+        self.last_slot = slot;
+        self.pages[slot as usize][(word % PAGE_WORDS) as usize] = value;
     }
 
     /// Number of non-zero words (for footprint assertions in tests).
     pub fn nonzero_words(&self) -> usize {
-        self.words.len()
+        self.pages
+            .iter()
+            .map(|p| p.iter().filter(|&&w| w != 0).count())
+            .sum()
     }
 }
 
@@ -45,7 +136,7 @@ mod tests {
 
     #[test]
     fn uninitialized_reads_zero() {
-        let m = ValueMemory::new();
+        let mut m = ValueMemory::new();
         assert_eq!(m.read(0x1234), 0);
     }
 
@@ -67,5 +158,29 @@ mod tests {
         m.write(0x10, 0);
         assert_eq!(m.nonzero_words(), 0);
         assert_eq!(m.read(0x10), 0);
+    }
+
+    #[test]
+    fn cross_page_traffic_does_not_alias() {
+        let mut m = ValueMemory::new();
+        // Same word offset on three different pages, interleaved so
+        // the last-page memo is exercised in both hit and miss
+        // directions.
+        let pages = [4096u64, 8192, 1 << 40];
+        for (i, base) in pages.iter().enumerate() {
+            m.write(base + 8, i as u64 + 1);
+        }
+        for (i, base) in pages.iter().enumerate() {
+            assert_eq!(m.read(base + 8), i as u64 + 1);
+        }
+        assert_eq!(m.read(8), 0, "page zero is untouched");
+    }
+
+    #[test]
+    fn top_of_address_space_round_trips() {
+        let mut m = ValueMemory::new();
+        m.write(u64::MAX, 7);
+        assert_eq!(m.read(u64::MAX - 7), 7);
+        assert_eq!(m.nonzero_words(), 1);
     }
 }

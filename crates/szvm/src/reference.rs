@@ -145,7 +145,16 @@ impl Exec<'_, '_> {
         let pad = self.engine.stack_pad(func, self.mem);
         let sp_restore = self.sp;
         // Layout below the caller: [linkage word][slots...], padded.
-        let new_sp = self.sp - pad - f.frame_bytes() - 8;
+        // A frame extending below address zero is a stack overflow,
+        // exactly as in the decoded interpreter's `push_frame`.
+        let new_sp = self
+            .sp
+            .checked_sub(pad)
+            .and_then(|sp| sp.checked_sub(f.frame_bytes()))
+            .and_then(|sp| sp.checked_sub(8))
+            .ok_or(VmError::StackOverflow {
+                limit: self.limits.max_stack_depth,
+            })?;
         // Pushing the return address is a real store through the cache.
         self.mem.store(new_sp + f.frame_bytes());
         self.sp = new_sp;

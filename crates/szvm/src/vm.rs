@@ -18,7 +18,9 @@
 use sz_ir::{FuncId, Operand, Program, Reg};
 use sz_machine::{MachineConfig, MemorySystem};
 
-use crate::decode::{decode_program, DecodedFunc, DecodedOp, OpKind};
+use crate::decode::{
+    decode_program, DecodedFunc, DecodedOp, FetchSpan, OpKind, SpanBody, SpanTerm, Step,
+};
 use crate::engine::FrameView;
 use crate::report::assemble_periods;
 use crate::{LayoutEngine, RunLimits, RunReport, ValueMemory, VmError};
@@ -135,6 +137,7 @@ impl<'p> Vm<'p> {
             scratch: Vec::new(),
             sp: 0,
             limits,
+            gb_memo: (u32::MAX, 0),
         };
         exec.sp = exec.engine.stack_base();
         exec.push_frame(self.program.entry, &[], None)?;
@@ -176,15 +179,37 @@ struct Exec<'a, 'p> {
     stack: Vec<Frame>,
     stack_view: Vec<FrameView>,
     /// Register pool: frame `i` owns `regs[frame.reg_base..]` up to the
-    /// next frame's base (or the pool's end for the top frame).
+    /// next frame's base (or the pool's end for the top frame). Each
+    /// frame's window is its `num_regs` registers followed by the
+    /// function's interned constants ([`DecodedFunc::consts`]), so
+    /// compiled effects address registers and immediates uniformly.
     regs: Vec<u64>,
     /// Reusable call-argument buffer.
     scratch: Vec<u64>,
     sp: u64,
     limits: RunLimits,
+    /// One-entry memo for [`LayoutEngine::global_base`], `(global,
+    /// base)`, invalidated at every [`Exec::run_span`] entry. Sound
+    /// because the engine is only handed `&mut self` at span-terminal
+    /// `Op` sites (tick / enter / pad / malloc / free), all of which
+    /// return from `run_span` — so between two resets no engine state
+    /// can change and the base it would report is constant. `u32::MAX`
+    /// marks the memo cold (no program has 2^32 - 1 globals).
+    gb_memo: (u32, u64),
 }
 
 impl Exec<'_, '_> {
+    /// Resolves a global's base through the one-entry memo (see
+    /// [`Exec::gb_memo`]); the dyn engine call only runs on the first
+    /// access to each distinct global per `run_span` entry.
+    #[inline]
+    fn global_base(&mut self, g: sz_ir::GlobalId) -> u64 {
+        if self.gb_memo.0 != g.0 {
+            self.gb_memo = (g.0, self.engine.global_base(g));
+        }
+        self.gb_memo.1
+    }
+
     fn push_frame(
         &mut self,
         func: FuncId,
@@ -206,7 +231,17 @@ impl Exec<'_, '_> {
         let pad = self.engine.stack_pad(func, self.mem);
         let sp_restore = self.sp;
         // Layout below the caller: [linkage word][slots...], padded.
-        let new_sp = self.sp - pad - f.frame_bytes - 8;
+        // A frame that would extend below address zero has run the
+        // guest stack off the bottom of the address space — that is a
+        // stack overflow, not a wrap to the top of memory.
+        let new_sp = self
+            .sp
+            .checked_sub(pad)
+            .and_then(|sp| sp.checked_sub(f.frame_bytes))
+            .and_then(|sp| sp.checked_sub(8))
+            .ok_or(VmError::StackOverflow {
+                limit: self.limits.max_stack_depth,
+            })?;
         // Pushing the return address is a real store through the cache:
         // this is how stack placement reaches the timing model.
         self.mem.store(new_sp + f.frame_bytes);
@@ -215,6 +250,10 @@ impl Exec<'_, '_> {
         let reg_base = self.regs.len();
         self.regs.resize(reg_base + usize::from(f.num_regs), 0);
         self.regs[reg_base..reg_base + args.len()].copy_from_slice(args);
+        // The frame's execution window is its registers followed by
+        // the function's interned constants, so effect operands
+        // address both uniformly.
+        self.regs.extend_from_slice(&f.consts);
         self.stack.push(Frame {
             func,
             code_base,
@@ -244,15 +283,15 @@ impl Exec<'_, '_> {
     /// per-op path ([`Exec::step`]), and a dispatch that lands
     /// mid-span (the tail of a span a fuel fallback stepped into)
     /// stays per-op until the next span start; impure spans straddling
-    /// an L1I line under the current code base keep per-op fetches
-    /// (memoized inside [`MemorySystem::fetch`]) so the shared-L2/L3
-    /// access order matches the reference exactly.
+    /// an L1I line under the current code base keep the reference's
+    /// fetch interleaving ([`Exec::run_steps_fetching`]) so the
+    /// shared-L2/L3 access order matches the reference exactly.
     fn run_span(&mut self) -> Result<Option<u64>, VmError> {
-        let retired = self.mem.counters().instructions;
         let limit = self.limits.max_instructions;
-        if retired >= limit {
-            return Err(VmError::OutOfFuel { limit });
-        }
+        // Anything that mutated the engine since the last entry exited
+        // through an `Op` terminal, so one reset here re-validates the
+        // global-base memo for the whole dispatch.
+        self.gb_memo.0 = u32::MAX;
 
         // `vm` is a shared reference copied out of `self`, so the span
         // and its ops borrow the decoded stream independently of
@@ -262,36 +301,160 @@ impl Exec<'_, '_> {
         let top = self.stack.len() - 1;
         let frame = &self.stack[top];
         let func = &vm.decoded[frame.func.0 as usize];
-        let span = &func.spans[func.span_of[frame.ip as usize] as usize];
-        if frame.ip != span.start || retired + u64::from(span.count) > limit {
-            // Run op by op so OutOfFuel fires at exactly the same
-            // instruction, with the same counters, as the reference.
-            // The mid-span case (`ip` past the span start) is the
-            // tail of a span a previous fuel fallback stepped into;
-            // it stays on the per-op path until the next span start.
+        let code_base = frame.code_base;
+        let reg_base = frame.reg_base;
+        let ip = frame.ip;
+        // The entry dispatch is the only op-index -> span mapping: a
+        // stored `ip` may sit mid-span (the tail of a span a fuel
+        // fallback stepped into), which stays on the per-op path until
+        // the next span start. Terminals carry *span* indices, so the
+        // chain loop below hops span to span with no `span_of` lookup
+        // and no alignment re-check.
+        let mut span_idx = func.span_of[ip as usize] as usize;
+        if ip != func.spans[span_idx].start {
             return self.step();
         }
+        // Jump and branch terminals (fused or not) stay inside this
+        // frame, so their spans chain through this loop without
+        // surfacing to the caller: the hoisted frame state above is
+        // paid for once per chain, not once per span. Anything that
+        // can grow or shrink the stack is an `Op` terminal, which
+        // returns. The frame's stored `ip` is only re-synced where
+        // someone reads it (the per-op fallback, fuel exits, and `Op`
+        // terminals — recovered as the current span's `start`);
+        // mid-chain it is stale and nothing observes it. `retired`
+        // likewise tracks the instruction counter locally: the only
+        // retirement mid-chain is this loop's own `retire_batch`.
+        let mut retired = self.mem.counters().instructions;
+        loop {
+            let span = &func.spans[span_idx];
+            if retired >= limit {
+                self.stack[top].ip = span.start;
+                return Err(VmError::OutOfFuel { limit });
+            }
+            if retired + u64::from(span.count) > limit {
+                // Run op by op so OutOfFuel fires at exactly the same
+                // instruction, with the same counters, as the
+                // reference.
+                self.stack[top].ip = span.start;
+                return self.step();
+            }
 
-        let code_base = frame.code_base;
-        let first = code_base + span.first_pc;
-        let last = code_base + span.end_pc - 1;
-        // A span may hoist its whole footprint into one front-end
-        // event when that cannot reorder anything the shared L2/L3
-        // observes: either the bytes sit on ONE line (the reference's
-        // only probe then happens at the first op, exactly where the
-        // batch puts it), or the span is `pure` — no mid-span data
-        // traffic — so the reference's line walk is already an
-        // uninterrupted ascending sweep identical to `fetch_lines`.
-        // Otherwise, keep per-op fetches (memoized internally) so
-        // I-side misses interleave with D-side fills in the
-        // reference's order.
-        let batched = span.pure || self.mem.same_fetch_line(first, last);
-        if batched {
-            self.mem.fetch_lines(first, last);
+            let first = code_base + span.first_pc;
+            let last = code_base + span.end_pc - 1;
+            // A span may hoist its whole footprint into one front-end
+            // event when that cannot reorder anything the shared
+            // L2/L3 observes: either the bytes sit on ONE line (the
+            // reference's only probe then happens at the first op,
+            // exactly where the batch puts it), or the span is `pure`
+            // — no mid-span data traffic — so the reference's line
+            // walk is already an uninterrupted ascending sweep
+            // identical to `fetch_lines`.
+            let batched = span.pure || self.mem.same_fetch_line(first, last);
+            self.mem
+                .retire_batch(u64::from(span.count), span.base_cycles);
+            retired += u64::from(span.count);
+
+            // A compiled span body executes the exact op sequence —
+            // same register writes, same data traffic in the same
+            // order — so nothing observable differs from the per-op
+            // walk in `run_ops` (the window-overflow fallback where
+            // no body compiled): pure spans sweep a flat effect list
+            // with no per-op dispatch at all, impure single-line
+            // spans walk their step list (fused pairs plus
+            // general-handler hops), and straddling impure spans walk
+            // the same step list with the reference's fetch
+            // interleaving. The terminal is handled below, shared by
+            // all three.
+            let term = if batched {
+                self.mem.fetch_lines(first, last);
+                match func.bodies[span_idx] {
+                    SpanBody::Effects { first, count, term } => {
+                        let window = &mut self.regs[reg_base..];
+                        for e in &func.effects[first as usize..(first + count) as usize] {
+                            window[usize::from(e.dst)] =
+                                e.op.eval(window[usize::from(e.a)], window[usize::from(e.b)]);
+                        }
+                        term
+                    }
+                    SpanBody::Steps { first, count, term } => {
+                        let frame_addr = self.stack[top].frame_addr;
+                        for step in &func.steps[first as usize..(first + count) as usize] {
+                            self.exec_step(top, func, step, reg_base, frame_addr, code_base)?;
+                        }
+                        term
+                    }
+                    SpanBody::Ops => return self.run_ops(top, func, span, true, code_base),
+                }
+            } else {
+                match func.bodies[span_idx] {
+                    SpanBody::Steps { first, count, term } => {
+                        self.run_steps_fetching(top, func, span, first, count, code_base)?;
+                        term
+                    }
+                    // An unbatched span is impure, so a compiled body
+                    // for it is always `Steps`; `Ops` (and a
+                    // hypothetical `Effects`) take the uncompiled
+                    // walk.
+                    _ => return self.run_ops(top, func, span, false, code_base),
+                }
+            };
+
+            match term {
+                SpanTerm::CmpBranch {
+                    eff,
+                    pc_rel,
+                    taken,
+                    not_taken,
+                } => {
+                    let window = &mut self.regs[reg_base..];
+                    let c = eff
+                        .op
+                        .eval(window[usize::from(eff.a)], window[usize::from(eff.b)]);
+                    window[usize::from(eff.dst)] = c;
+                    let t = c != 0;
+                    self.mem.branch(code_base + pc_rel, t);
+                    span_idx = if t { taken } else { not_taken } as usize;
+                }
+                SpanTerm::Jump { target } => span_idx = target as usize,
+                SpanTerm::Branch {
+                    cond,
+                    pc_rel,
+                    taken,
+                    not_taken,
+                } => {
+                    let c = self.regs[reg_base + usize::from(cond)] != 0;
+                    self.mem.branch(code_base + pc_rel, c);
+                    span_idx = if c { taken } else { not_taken } as usize;
+                }
+                SpanTerm::Op => {
+                    // Re-sync `ip` to the terminal index (mid-span
+                    // `Step::Op` handlers bump the stored `ip`
+                    // incidentally, so it must be repositioned, not
+                    // trusted) and take the general per-op path.
+                    let term_idx = span.start + span.count - 1;
+                    self.stack[top].ip = term_idx;
+                    let op = &func.ops[term_idx as usize];
+                    return self.exec_op(top, op, code_base + op.pc);
+                }
+            }
         }
-        self.mem
-            .retire_batch(u64::from(span.count), span.base_cycles);
+    }
 
+    /// The uncompiled span walk (window-overflow fallback): every op,
+    /// terminal included, goes through the general handler, with per-op
+    /// fetches unless the span's footprint was already batched.
+    fn run_ops(
+        &mut self,
+        top: usize,
+        func: &DecodedFunc,
+        span: &FetchSpan,
+        batched: bool,
+        code_base: u64,
+    ) -> Result<Option<u64>, VmError> {
+        // `exec_op` advances the stored `ip` op by op, so restore the
+        // entry invariant (`run_span` only dispatches span starts).
+        self.stack[top].ip = span.start;
         let end = span.start + span.count;
         for idx in span.start..end {
             let op = &func.ops[idx as usize];
@@ -305,6 +468,297 @@ impl Exec<'_, '_> {
             }
         }
         unreachable!("spans have at least one op");
+    }
+
+    /// Executes an impure span that straddles I-lines: the mid ops
+    /// dispatch through the compiled step list while instruction
+    /// fetch keeps the reference's exact interleaving with the data
+    /// traffic. The step list is a faithful in-order lowering of the
+    /// mid ops with Nops dropped and a possibly-folded terminal
+    /// compare, so an op cursor walks the decoded stream alongside
+    /// the steps. Fetch is issued in pending runs: between two data
+    /// accesses every op is fetch-only (pure effects, dropped Nops, a
+    /// folded compare — none emits an observable event), and their
+    /// per-op fetches form the same uninterrupted ascending line
+    /// sweep [`MemorySystem::fetch_lines`] performs, so each run is
+    /// flushed as one walk exactly where the next data access (or the
+    /// span's end) pins it. Inside a fused pair the flushes
+    /// interleave with the pair's data traffic exactly as the two
+    /// unfused ops' fetches would.
+    fn run_steps_fetching(
+        &mut self,
+        top: usize,
+        func: &DecodedFunc,
+        span: &FetchSpan,
+        first: u32,
+        count: u32,
+        code_base: u64,
+    ) -> Result<(), VmError> {
+        let term_idx = (span.start + span.count - 1) as usize;
+        // Mid-span steps never push or pop frames (everything that
+        // can is an `Op` terminal), so the frame geometry is loop
+        // invariant even though `exec_op` may bump the stored `ip`.
+        let frame = &self.stack[top];
+        let reg_base = frame.reg_base;
+        let frame_addr = frame.frame_addr;
+        // First op whose fetch has not been issued yet. Every
+        // data-bearing step carries its own flat stream index, so the
+        // fetch runs are pinned without walking the op stream; the
+        // fetch-only ops in between (pure effects, Nops) just stay in
+        // the pending run.
+        let mut pend = span.start as usize;
+        let flush = |mem: &mut MemorySystem, pend: usize, last: usize| {
+            debug_assert!(pend <= last, "a flush covers at least one op");
+            let first_op = &func.ops[pend];
+            let last_op = &func.ops[last];
+            mem.fetch_lines(
+                code_base + first_op.pc,
+                code_base + last_op.pc + u64::from(last_op.size) - 1,
+            );
+        };
+        for step in &func.steps[first as usize..(first + count) as usize] {
+            match *step {
+                Step::Effect(e) => {
+                    let window = &mut self.regs[reg_base..];
+                    window[usize::from(e.dst)] =
+                        e.op.eval(window[usize::from(e.a)], window[usize::from(e.b)]);
+                }
+                Step::Op(idx) => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let op = &func.ops[idx];
+                    self.exec_op(top, op, code_base + op.pc)?;
+                }
+                Step::LoadSlotAlu {
+                    idx,
+                    dst,
+                    byte_off,
+                    eff,
+                } => {
+                    // The load's own fetch lands before its data
+                    // access; the fused ALU's fetch joins the next
+                    // pending run (the effect itself is unobservable,
+                    // so running it early reorders nothing).
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let addr = frame_addr + byte_off;
+                    self.mem.load(addr);
+                    let v = self.values.read(addr);
+                    let window = &mut self.regs[reg_base..];
+                    window[usize::from(dst)] = v;
+                    window[usize::from(eff.dst)] = eff
+                        .op
+                        .eval(window[usize::from(eff.a)], window[usize::from(eff.b)]);
+                }
+                Step::AluStoreSlot {
+                    idx,
+                    eff,
+                    src,
+                    byte_off,
+                } => {
+                    // Both halves fetch before the store's data
+                    // access (the ALU emits no event in between).
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx + 1);
+                    pend = idx + 2;
+                    let window = &mut self.regs[reg_base..];
+                    window[usize::from(eff.dst)] = eff
+                        .op
+                        .eval(window[usize::from(eff.a)], window[usize::from(eff.b)]);
+                    let v = window[usize::from(src)];
+                    let addr = frame_addr + byte_off;
+                    self.mem.store(addr);
+                    self.values.write(addr, v);
+                }
+                Step::LoadSlot { idx, dst, byte_off } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let addr = frame_addr + byte_off;
+                    self.mem.load(addr);
+                    self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+                }
+                Step::StoreSlot { idx, src, byte_off } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let v = self.regs[reg_base + usize::from(src)];
+                    let addr = frame_addr + byte_off;
+                    self.mem.store(addr);
+                    self.values.write(addr, v);
+                }
+                Step::LoadGlobal {
+                    idx,
+                    dst,
+                    offset,
+                    global,
+                } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let off = self.regs[reg_base + usize::from(offset)];
+                    let addr = self.global_base(global).wrapping_add(off);
+                    self.mem.load(addr);
+                    self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+                }
+                Step::StoreGlobal {
+                    idx,
+                    src,
+                    offset,
+                    global,
+                } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let window = &self.regs[reg_base..];
+                    let v = window[usize::from(src)];
+                    let off = window[usize::from(offset)];
+                    let addr = self.global_base(global).wrapping_add(off);
+                    self.mem.store(addr);
+                    self.values.write(addr, v);
+                }
+                Step::LoadPtr {
+                    idx,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let addr = self.regs[reg_base + usize::from(base)].wrapping_add(offset);
+                    self.mem.load(addr);
+                    self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+                }
+                Step::StorePtr {
+                    idx,
+                    src,
+                    base,
+                    offset,
+                } => {
+                    let idx = idx as usize;
+                    flush(self.mem, pend, idx);
+                    pend = idx + 1;
+                    let window = &self.regs[reg_base..];
+                    let v = window[usize::from(src)];
+                    let addr = window[usize::from(base)].wrapping_add(offset);
+                    self.mem.store(addr);
+                    self.values.write(addr, v);
+                }
+            }
+        }
+        // Everything still pending through the terminal (trailing
+        // Nops, a folded compare, the terminal op itself) is
+        // fetch-only until the terminal executes in `run_span`, so
+        // one final flush pins the span's whole front-end tail.
+        flush(self.mem, pend, term_idx);
+        Ok(())
+    }
+
+    /// Executes one batched mid-span step of frame `top`. Mid-span
+    /// steps are infallible and engine-invisible (every fallible or
+    /// callback-bearing op is span-terminal by construction); fused
+    /// steps issue their data traffic in the original op order. The
+    /// frame geometry is passed in, hoisted by the caller: mid-span
+    /// steps never push or pop frames.
+    fn exec_step(
+        &mut self,
+        top: usize,
+        func: &DecodedFunc,
+        step: &Step,
+        reg_base: usize,
+        frame_addr: u64,
+        code_base: u64,
+    ) -> Result<(), VmError> {
+        match *step {
+            Step::Effect(e) => {
+                let window = &mut self.regs[reg_base..];
+                window[usize::from(e.dst)] =
+                    e.op.eval(window[usize::from(e.a)], window[usize::from(e.b)]);
+            }
+            Step::Op(idx) => {
+                let op = &func.ops[idx as usize];
+                self.exec_op(top, op, code_base + op.pc)?;
+            }
+            Step::LoadSlotAlu {
+                dst, byte_off, eff, ..
+            } => {
+                let addr = frame_addr + byte_off;
+                self.mem.load(addr);
+                let v = self.values.read(addr);
+                let window = &mut self.regs[reg_base..];
+                window[usize::from(dst)] = v;
+                window[usize::from(eff.dst)] = eff
+                    .op
+                    .eval(window[usize::from(eff.a)], window[usize::from(eff.b)]);
+            }
+            Step::AluStoreSlot {
+                eff, src, byte_off, ..
+            } => {
+                let window = &mut self.regs[reg_base..];
+                window[usize::from(eff.dst)] = eff
+                    .op
+                    .eval(window[usize::from(eff.a)], window[usize::from(eff.b)]);
+                let v = window[usize::from(src)];
+                let addr = frame_addr + byte_off;
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Step::LoadSlot { dst, byte_off, .. } => {
+                let addr = frame_addr + byte_off;
+                self.mem.load(addr);
+                self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+            }
+            Step::StoreSlot { src, byte_off, .. } => {
+                let v = self.regs[reg_base + usize::from(src)];
+                let addr = frame_addr + byte_off;
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Step::LoadGlobal {
+                dst,
+                offset,
+                global,
+                ..
+            } => {
+                let off = self.regs[reg_base + usize::from(offset)];
+                let addr = self.global_base(global).wrapping_add(off);
+                self.mem.load(addr);
+                self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+            }
+            Step::StoreGlobal {
+                src,
+                offset,
+                global,
+                ..
+            } => {
+                let window = &self.regs[reg_base..];
+                let v = window[usize::from(src)];
+                let off = window[usize::from(offset)];
+                let addr = self.global_base(global).wrapping_add(off);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+            Step::LoadPtr {
+                dst, base, offset, ..
+            } => {
+                let addr = self.regs[reg_base + usize::from(base)].wrapping_add(offset);
+                self.mem.load(addr);
+                self.regs[reg_base + usize::from(dst)] = self.values.read(addr);
+            }
+            Step::StorePtr {
+                src, base, offset, ..
+            } => {
+                let window = &self.regs[reg_base..];
+                let v = window[usize::from(src)];
+                let addr = window[usize::from(base)].wrapping_add(offset);
+                self.mem.store(addr);
+                self.values.write(addr, v);
+            }
+        }
+        Ok(())
     }
 
     /// Executes one decoded op of the top frame with per-instruction
@@ -378,7 +832,7 @@ impl Exec<'_, '_> {
             } => {
                 frame.ip += 1;
                 let off = operand(&self.regs[reg_base..], *offset);
-                let addr = self.engine.global_base(*global).wrapping_add(off);
+                let addr = self.global_base(*global).wrapping_add(off);
                 self.mem.load(addr);
                 self.regs[reg_base + dst.0 as usize] = self.values.read(addr);
             }
@@ -391,7 +845,7 @@ impl Exec<'_, '_> {
                 let regs = &self.regs[reg_base..];
                 let v = operand(regs, *src);
                 let off = operand(regs, *offset);
-                let addr = self.engine.global_base(*global).wrapping_add(off);
+                let addr = self.global_base(*global).wrapping_add(off);
                 self.mem.store(addr);
                 self.values.write(addr, v);
             }

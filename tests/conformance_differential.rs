@@ -65,6 +65,25 @@ fn fuzz_results_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn fuel_sweep_cuts_every_clean_program_identically() {
+    // Re-run a slice of the sweep at reduced fuel budgets: both
+    // interpreters must report OutOfFuel at exactly the budget with
+    // identical layout-engine traces at every cut point. A seam here
+    // would mean the batched executor retires fuel in different-sized
+    // chunks than the reference.
+    let summary = driver::run(&FuzzConfig {
+        programs: 150,
+        fuel_sweep: true,
+        ..suite_config()
+    });
+    assert_eq!(summary.failure, None, "fuel sweep found a seam");
+    assert!(
+        summary.diversity.fuel_sweeps > 0,
+        "no program was actually re-cut; the sweep is vacuous"
+    );
+}
+
+#[test]
 fn fuzz_smoke_terminates_within_bound_with_diverse_programs() {
     // Termination-by-construction across the whole in-tree sweep (the
     // driver turns a baseline OutOfFuel into a failure), plus

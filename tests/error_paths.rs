@@ -185,6 +185,80 @@ fn out_of_fuel_mid_span_is_identical_on_both_interpreters() {
     assert_eq!(e, VmError::OutOfFuel { limit: 2 });
 }
 
+/// Delegates to [`SimpleLayout`] but plants the stack low, so a deep
+/// call chain with large frames runs the guest stack off the bottom of
+/// the address space long before the depth limit.
+struct LowStack(SimpleLayout);
+
+impl LayoutEngine for LowStack {
+    fn prepare(&mut self, program: &Program) {
+        self.0.prepare(program);
+    }
+    fn enter_function(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.0.enter_function(func, mem)
+    }
+    fn stack_pad(&mut self, func: FuncId, mem: &mut MemorySystem) -> u64 {
+        self.0.stack_pad(func, mem)
+    }
+    fn global_base(&self, g: GlobalId) -> u64 {
+        self.0.global_base(g)
+    }
+    fn stack_base(&self) -> u64 {
+        64 * 1024
+    }
+    fn malloc(&mut self, size: u64, mem: &mut MemorySystem) -> Option<u64> {
+        self.0.malloc(size, mem)
+    }
+    fn free(&mut self, addr: u64, mem: &mut MemorySystem) -> bool {
+        self.0.free(addr, mem)
+    }
+    fn tick(&mut self, now_cycles: u64, stack: &[FrameView], mem: &mut MemorySystem) {
+        self.0.tick(now_cycles, stack, mem);
+    }
+    fn name(&self) -> &'static str {
+        "low-stack"
+    }
+    fn period_marks(&self) -> &[PerfCounters] {
+        self.0.period_marks()
+    }
+}
+
+/// Recursing with oversized frames under a low stack base used to
+/// underflow the unchecked `sp - pad - frame_bytes - 8` in
+/// `push_frame` (debug panic, silent wrap in release). It must surface
+/// as a clean `StackOverflow`, identically on both interpreters.
+#[test]
+fn stack_bytes_underflow_is_a_clean_overflow_on_both_interpreters() {
+    let mut p = ProgramBuilder::new("deep");
+    let rec = p.declare();
+    let mut fb = p.function("rec", 0);
+    // A ~16 KiB frame: a few activations outgrow the 64 KiB stack,
+    // well inside the 100-frame depth limit.
+    let slots: Vec<_> = (0..2048).map(|_| fb.slot()).collect();
+    fb.store_slot(slots[0], 1);
+    fb.store_slot(*slots.last().unwrap(), 2);
+    fb.call_void(rec, vec![]);
+    fb.ret(None);
+    p.define(rec, fb);
+    let mut main = p.function("main", 0);
+    main.call_void(rec, vec![]);
+    main.ret(None);
+    let entry = p.add_function(main);
+    let program = p.finish(entry).unwrap();
+
+    let limits = RunLimits {
+        max_instructions: 10_000_000,
+        max_stack_depth: 100,
+    };
+    let e = assert_error_identical(
+        &program,
+        || LowStack(SimpleLayout::new()),
+        limits,
+        "stack-bytes/low",
+    );
+    assert_eq!(e, VmError::StackOverflow { limit: 100 });
+}
+
 #[test]
 fn out_of_memory_is_identical_on_both_interpreters() {
     let program = huge_malloc();
