@@ -30,7 +30,7 @@ fn warmup_ms() -> u128 {
 
 /// One measured operation's timing summary, in nanoseconds per
 /// iteration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Trimmed mean (middle 80% of samples).
     pub mean_ns: f64,
@@ -42,6 +42,9 @@ pub struct Measurement {
     pub samples: usize,
     /// Iterations per sample.
     pub iters_per_sample: u64,
+    /// Every per-iteration sample, sorted ascending — the raw material
+    /// for bootstrap effect CIs over baseline vs fresh runs.
+    pub samples_ns: Vec<f64>,
 }
 
 impl Measurement {
@@ -88,6 +91,7 @@ pub fn bench<F: FnMut()>(mut op: F) -> Measurement {
         min_ns: per_iter[0],
         samples,
         iters_per_sample,
+        samples_ns: per_iter,
     }
 }
 
@@ -102,6 +106,11 @@ mod tests {
         assert!(m.min_ns >= 0.0);
         assert!(m.mean_ns >= m.min_ns);
         assert_eq!(m.samples, sample_count());
+        assert_eq!(m.samples_ns.len(), m.samples);
+        assert!(
+            m.samples_ns.windows(2).all(|w| w[0] <= w[1]),
+            "samples are sorted"
+        );
         assert!(m.render("noop").contains("ns/iter"));
     }
 

@@ -5,8 +5,8 @@
 use stabilizer::Config;
 use sz_ir::Program;
 use sz_stats::{
-    cohens_d, diff_ci, mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, ConfidenceInterval,
-    Verdict, ALPHA,
+    cohens_d, diff_ci, judge, mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank,
+    ConfidenceInterval, EffectCi, EffectVerdict, Verdict, VerdictConfig, ALPHA,
 };
 
 use crate::runner::{stabilized_samples, ExperimentOptions};
@@ -31,6 +31,10 @@ pub struct ChangeEvaluation {
     pub parametric: bool,
     /// The verdict at α = 0.05.
     pub verdict: Verdict,
+    /// Bootstrap CI on the speedup ratio `mean(before) / mean(after)`.
+    pub effect_ci: EffectCi,
+    /// Practical-equivalence verdict at the default ±5% band.
+    pub practical: EffectVerdict,
     /// Samples for the unchanged program (simulated seconds).
     pub before: Vec<f64>,
     /// Samples for the changed program.
@@ -40,7 +44,7 @@ pub struct ChangeEvaluation {
 impl ChangeEvaluation {
     /// One-line human-readable answer to the push-button question.
     pub fn summary(&self) -> String {
-        match (self.verdict, self.speedup > 1.0) {
+        let base = match (self.verdict, self.speedup > 1.0) {
             (Verdict::NotSignificant, _) => format!(
                 "no significant effect (speedup {:.3}x, p = {:.3}) — \
                  indistinguishable from noise",
@@ -54,7 +58,11 @@ impl ChangeEvaluation {
                 "significant REGRESSION: {:.3}x (p = {:.3}, d = {:.2})",
                 self.speedup, self.p_value, -self.effect_size
             ),
-        }
+        };
+        format!(
+            "{base}; practically {} (ratio CI [{:.3}, {:.3}])",
+            self.practical, self.effect_ci.lo, self.effect_ci.hi
+        )
     }
 }
 
@@ -85,6 +93,10 @@ pub fn evaluate_change(
         hi: f64::INFINITY,
         confidence: 0.95,
     });
+    // Practical-equivalence verdict at the default band: before is the
+    // baseline arm, so ratio > 1 means the change helped.
+    let vcfg = VerdictConfig::default();
+    let practical = judge(&a, &b, &vcfg).ok();
     ChangeEvaluation {
         speedup: mean(&a) / mean(&b),
         p_value,
@@ -92,6 +104,15 @@ pub fn evaluate_change(
         effect_size: cohens_d(&b, &a).unwrap_or(0.0),
         parametric,
         verdict: Verdict::from_p(p_value, ALPHA),
+        effect_ci: practical.map(|r| r.effect).unwrap_or(EffectCi {
+            ratio: mean(&a) / mean(&b),
+            lo: 0.0,
+            hi: f64::INFINITY,
+            confidence: vcfg.confidence,
+            resamples: 0,
+            seed: vcfg.seed,
+        }),
+        practical: practical.map_or(EffectVerdict::Inconclusive, |r| r.verdict),
         before: a,
         after: b,
     }
@@ -118,7 +139,13 @@ mod tests {
         assert!(eval.verdict.is_significant(), "p = {}", eval.p_value);
         assert!(eval.diff_ci.excludes(0.0));
         assert!(eval.effect_size < 0.0, "after is faster");
+        assert!(
+            eval.effect_ci.lo > 1.0,
+            "the ratio CI must clear 1: {:?}",
+            eval.effect_ci
+        );
         assert!(eval.summary().contains("speedup"));
+        assert!(eval.summary().contains("practically"), "{}", eval.summary());
     }
 
     #[test]

@@ -85,11 +85,7 @@ pub fn run_traced(opts: &ExperimentOptions, trace: Option<&TraceSink>) -> Fig6Re
         });
     }
     let fulls: Vec<f64> = rows.iter().map(|r| r.overhead[2]).collect();
-    let median_full_overhead = if fulls.is_empty() {
-        f64::NAN
-    } else {
-        median(&fulls)
-    };
+    let median_full_overhead = median(&fulls).unwrap_or(f64::NAN);
     if let Some(t) = trace {
         t.summary_record(
             "fig6",

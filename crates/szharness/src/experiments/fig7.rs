@@ -7,10 +7,13 @@
 
 use stabilizer::Config;
 use sz_opt::{optimize, OptLevel};
-use sz_stats::{mean, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, Verdict, ALPHA};
+use sz_stats::{
+    mean, reduce_suite, shapiro_wilk, welch_t_test, wilcoxon_signed_rank, BenchmarkArms, StatError,
+    SuiteReduction, Verdict, VerdictConfig, VerdictReport, ALPHA,
+};
 use sz_vm::RunReport;
 
-use crate::report::{render_table, TraceSink};
+use crate::report::{render_table, verdict_json, TraceSink};
 use crate::runner::{stabilized_reports, ExperimentOptions};
 
 /// One optimization comparison for one benchmark.
@@ -26,6 +29,9 @@ pub struct OptComparison {
     pub used_t_test: bool,
     /// Verdict at α = 0.05.
     pub verdict: Verdict,
+    /// Practical-equivalence verdict with its effect CI (None when
+    /// the samples cannot support a bootstrap, e.g. a single run).
+    pub practical: Option<VerdictReport>,
 }
 
 /// One benchmark's Figure 7 entry.
@@ -76,12 +82,16 @@ pub fn run_traced(opts: &ExperimentOptions, trace: Option<&TraceSink>) -> Vec<Fi
             let o3_vs_o2 = compare(&samples[1], &samples[2]);
             if let Some(t) = trace {
                 let cmp = |c: &OptComparison| {
-                    crate::report::Json::obj([
-                        ("speedup", c.speedup.into()),
-                        ("p_value", c.p_value.into()),
-                        ("used_t_test", c.used_t_test.into()),
-                        ("significant", c.verdict.is_significant().into()),
-                    ])
+                    let mut fields = vec![
+                        ("speedup".to_string(), crate::report::Json::from(c.speedup)),
+                        ("p_value".to_string(), c.p_value.into()),
+                        ("used_t_test".to_string(), c.used_t_test.into()),
+                        ("significant".to_string(), c.verdict.is_significant().into()),
+                    ];
+                    if let Some(r) = &c.practical {
+                        fields.push(("practical".to_string(), verdict_json(r)));
+                    }
+                    crate::report::Json::Obj(fields)
                 };
                 t.summary_record(
                     "fig7",
@@ -130,7 +140,25 @@ pub fn compare(lower: &[f64], higher: &[f64]) -> OptComparison {
         p_value,
         used_t_test: both_normal,
         verdict: Verdict::from_p(p_value, ALPHA),
+        practical: sz_stats::judge(lower, higher, &VerdictConfig::default()).ok(),
     }
+}
+
+/// μOpTime-style static suite reduction over the `-O3` vs `-O2`
+/// comparison: ranks benchmarks by the stability of their effect CIs
+/// and returns the smallest prefix that reproduces the full-suite
+/// verdict. `samples[1]` (O2) is the baseline arm, `samples[2]` (O3)
+/// the treatment arm, matching [`OptComparison::speedup`]'s direction.
+pub fn suite_reduction(rows: &[Fig7Row], cfg: &VerdictConfig) -> Result<SuiteReduction, StatError> {
+    let arms: Vec<BenchmarkArms> = rows
+        .iter()
+        .map(|r| BenchmarkArms {
+            name: &r.benchmark,
+            a: &r.samples[1],
+            b: &r.samples[2],
+        })
+        .collect();
+    reduce_suite(&arms, cfg)
 }
 
 /// Summary counts matching the paper's §6 narrative.
@@ -171,7 +199,7 @@ pub fn summarize(rows: &[Fig7Row]) -> Fig7Summary {
 pub fn render(rows: &[Fig7Row]) -> String {
     let fmt = |c: &OptComparison| {
         format!(
-            "{:.3}{} (p={:.3}, {})",
+            "{:.3}{} (p={:.3}, {}, {})",
             c.speedup,
             if c.verdict.is_significant() {
                 "†"
@@ -180,6 +208,9 @@ pub fn render(rows: &[Fig7Row]) -> String {
             },
             c.p_value,
             if c.used_t_test { "t" } else { "wilcoxon" },
+            c.practical
+                .as_ref()
+                .map_or("no-verdict", |r| r.verdict.as_str()),
         )
     };
     let body: Vec<Vec<String>> = rows
@@ -226,5 +257,24 @@ mod tests {
         assert!(text.contains("bzip2"));
         let s = summarize(&rows);
         assert_eq!(s.total, 1);
+        let red = suite_reduction(&rows, &VerdictConfig::default()).unwrap();
+        assert_eq!(red.selected, vec!["bzip2".to_string()]);
+        assert_eq!(red.full, red.reduced, "one benchmark must reproduce itself");
+    }
+
+    #[test]
+    fn compare_attaches_a_practical_verdict() {
+        let slow: Vec<f64> = (0..12).map(|i| 10.0 + 0.01 * (i % 5) as f64).collect();
+        let fast: Vec<f64> = (0..12).map(|i| 8.0 + 0.01 * ((i + 2) % 5) as f64).collect();
+        let c = compare(&slow, &fast);
+        let r = c.practical.expect("bootstrap must succeed on 12 samples");
+        assert_eq!(r.verdict, sz_stats::EffectVerdict::RobustlyFaster);
+        assert!(render(&[Fig7Row {
+            benchmark: "x".into(),
+            o2_vs_o1: c.clone(),
+            o3_vs_o2: c,
+            samples: [slow.clone(), fast.clone(), fast],
+        }])
+        .contains("robustly-faster"));
     }
 }

@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 
 pub use evaluate::{evaluate_change, ChangeEvaluation};
-pub use report::{Json, JsonParseError, TraceBuffer, TraceSink};
+pub use report::{fmt_verdict, verdict_json, Json, JsonParseError, TraceBuffer, TraceSink};
 pub use runner::{run_once, ExperimentOptions};
 
 #[cfg(test)]

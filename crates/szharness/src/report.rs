@@ -78,6 +78,43 @@ pub fn fmt_p_marked(p: f64) -> String {
     }
 }
 
+/// Flattens a [`sz_stats::VerdictReport`] into the flat wire fields
+/// shared by the service summaries, `szctl`'s renderer, and the CI
+/// gate: the four-way verdict plus everything needed to audit it
+/// (both CI bounds, the band, n per arm, and the bootstrap seed and
+/// resample count that make the numbers reproducible).
+pub fn verdict_json(r: &sz_stats::VerdictReport) -> Json {
+    Json::obj([
+        ("verdict", r.verdict.as_str().into()),
+        ("effect_ratio", r.effect.ratio.into()),
+        ("effect_lo", r.effect.lo.into()),
+        ("effect_hi", r.effect.hi.into()),
+        ("confidence", r.effect.confidence.into()),
+        ("resamples", r.effect.resamples.into()),
+        ("boot_seed", r.effect.seed.into()),
+        ("band", r.band.into()),
+        ("welch_lo", r.welch.lo.into()),
+        ("welch_hi", r.welch.hi.into()),
+        ("n_a", r.n_a.into()),
+        ("n_b", r.n_b.into()),
+    ])
+}
+
+/// One-line human rendering of a [`sz_stats::VerdictReport`].
+pub fn fmt_verdict(r: &sz_stats::VerdictReport) -> String {
+    format!(
+        "{} (ratio {:.4} in [{:.4}, {:.4}] @{:.0}%, band ±{:.0}%, n {}+{})",
+        r.verdict,
+        r.effect.ratio,
+        r.effect.lo,
+        r.effect.hi,
+        100.0 * r.effect.confidence,
+        100.0 * r.band,
+        r.n_a,
+        r.n_b,
+    )
+}
+
 /// A JSON value, sufficient for trace records.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -696,6 +733,28 @@ mod tests {
         assert_eq!(fmt_p(0.0004), "<0.001");
         assert_eq!(fmt_p_marked(0.01), "0.010*");
         assert_eq!(fmt_p_marked(0.2), "0.200");
+    }
+
+    #[test]
+    fn verdict_report_serializes_flat_and_renders() {
+        let r = sz_stats::judge(
+            &[10.0, 10.2, 9.8, 10.1, 9.9, 10.0],
+            &[8.0, 8.2, 7.8, 8.1, 7.9, 8.0],
+            &sz_stats::VerdictConfig::default(),
+        )
+        .unwrap();
+        let j = verdict_json(&r);
+        assert_eq!(j.get("verdict").unwrap().as_str(), Some("robustly-faster"));
+        assert_eq!(j.get("n_a").unwrap().as_u64(), Some(6));
+        assert_eq!(j.get("resamples").unwrap().as_u64(), Some(1000));
+        assert_eq!(j.get("boot_seed").unwrap().as_u64(), Some(0x5EED_B007));
+        assert_eq!(j.get("band").unwrap().as_f64(), Some(0.05));
+        assert!(j.get("effect_lo").unwrap().as_f64().unwrap() > 1.0);
+        // The wire object round-trips through the hand-rolled parser.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+        let line = fmt_verdict(&r);
+        assert!(line.contains("robustly-faster"), "{line}");
+        assert!(line.contains("band ±5%"), "{line}");
     }
 
     #[test]

@@ -16,9 +16,9 @@
 
 use stabilizer::Config;
 use sz_harness::runner::{stabilized_reports_range, ExperimentOptions};
-use sz_harness::{Json, TraceSink};
+use sz_harness::{verdict_json, Json, TraceSink};
 use sz_ir::Program;
-use sz_stats::{diff_ci, mean, welch_t_test, ALPHA};
+use sz_stats::{diff_ci, judge, mean, welch_t_test, VerdictConfig, VerdictReport, ALPHA};
 use sz_vm::RunReport;
 
 use crate::exec::{ExecError, JobCtl};
@@ -42,6 +42,9 @@ pub struct AdaptiveOutcome {
     pub significant: bool,
     /// `mean(before) / mean(after)`; > 1 means the change helped.
     pub speedup: f64,
+    /// Practical-equivalence verdict on the final samples (None when
+    /// the bootstrap was not computable, e.g. too few samples).
+    pub verdict: Option<VerdictReport>,
     /// Final samples (seconds) of the baseline arm.
     pub before: Vec<f64>,
     /// Final samples (seconds) of the changed arm.
@@ -62,13 +65,16 @@ fn seconds(reports: &[RunReport]) -> impl Iterator<Item = f64> + '_ {
 
 /// Runs the adaptive evaluation of `after` vs `before`.
 ///
-/// Batches of `params.batch` samples per arm are drawn until the
-/// Welch CI on `mean(after) - mean(before)` has a half-width at or
-/// below `params.half_width` of the baseline mean (once at least
-/// `params.min_runs` samples exist), or `params.max_runs` is hit.
-/// Each drawn run is traced as a `run` record (variants `before` /
-/// `after`) and each stopping-rule evaluation as a `summary` record,
-/// so a traced adaptive session is fully replayable.
+/// Batches of `params.batch` samples per arm are drawn until (once at
+/// least `params.min_runs` samples exist) either the practical
+/// verdict settles — the bootstrap ratio CI plus Welch CI decide
+/// `RobustlyFaster`, `RobustlySlower`, or `Equivalent` at
+/// `params.band` — or the Welch CI on `mean(after) - mean(before)`
+/// has a half-width at or below `params.half_width` of the baseline
+/// mean, or `params.max_runs` is hit. Each drawn run is traced as a
+/// `run` record (variants `before` / `after`) and each stopping-rule
+/// evaluation as a `summary` record, so a traced adaptive session is
+/// fully replayable.
 ///
 /// # Errors
 ///
@@ -87,6 +93,12 @@ pub fn adaptive_evaluate(
     let mut after_s: Vec<f64> = Vec::new();
     let mut rel = f64::INFINITY;
     let mut stopped_early = false;
+    let mut verdict: Option<VerdictReport> = None;
+    let vcfg = VerdictConfig {
+        band: params.band,
+        confidence: params.confidence,
+        ..VerdictConfig::default()
+    };
 
     while before_s.len() < params.max_runs {
         ctl.checkpoint()?;
@@ -109,6 +121,7 @@ pub fn adaptive_evaluate(
             rel = diff_ci(&after_s, &before_s, params.confidence)
                 .map(|ci| ci.relative_margin(mean(&before_s)))
                 .unwrap_or(f64::INFINITY);
+            verdict = judge(&before_s, &after_s, &vcfg).ok();
             if let Some(t) = trace {
                 t.summary_record(
                     "evaluate",
@@ -118,10 +131,18 @@ pub fn adaptive_evaluate(
                         ("samples_per_arm", n.into()),
                         ("relative_half_width", rel.into()),
                         ("target_half_width", params.half_width.into()),
+                        (
+                            "verdict",
+                            verdict
+                                .as_ref()
+                                .map_or("no-verdict", |r| r.verdict.as_str())
+                                .into(),
+                        ),
                     ],
                 );
             }
-            if rel <= params.half_width {
+            let decided = verdict.is_some_and(|r| r.verdict.is_decided());
+            if decided || rel <= params.half_width {
                 stopped_early = n < params.max_runs;
                 break;
             }
@@ -137,24 +158,39 @@ pub fn adaptive_evaluate(
         p_value,
         significant: p_value < ALPHA,
         speedup: mean(&before_s) / mean(&after_s),
+        verdict,
         before: before_s,
         after: after_s,
     })
 }
 
-/// The outcome's wire summary object.
+/// The outcome's wire summary object. When a practical verdict was
+/// computable, its full metadata is nested under `"practical"`.
 pub fn outcome_json(outcome: &AdaptiveOutcome, adaptive: bool) -> Json {
-    Json::obj([
-        ("mode", if adaptive { "adaptive" } else { "fixed" }.into()),
-        ("samples_per_arm", outcome.samples_per_arm.into()),
-        ("max_runs", outcome.max_runs.into()),
-        ("stopped_early", outcome.stopped_early.into()),
-        ("samples_saved", outcome.samples_saved().into()),
-        ("relative_half_width", outcome.relative_half_width.into()),
-        ("p_value", outcome.p_value.into()),
-        ("significant", outcome.significant.into()),
-        ("speedup", outcome.speedup.into()),
-    ])
+    let mut fields: Vec<(String, Json)> = vec![
+        (
+            "mode".to_string(),
+            if adaptive { "adaptive" } else { "fixed" }.into(),
+        ),
+        (
+            "samples_per_arm".to_string(),
+            outcome.samples_per_arm.into(),
+        ),
+        ("max_runs".to_string(), outcome.max_runs.into()),
+        ("stopped_early".to_string(), outcome.stopped_early.into()),
+        ("samples_saved".to_string(), outcome.samples_saved().into()),
+        (
+            "relative_half_width".to_string(),
+            outcome.relative_half_width.into(),
+        ),
+        ("p_value".to_string(), outcome.p_value.into()),
+        ("significant".to_string(), outcome.significant.into()),
+        ("speedup".to_string(), outcome.speedup.into()),
+    ];
+    if let Some(r) = &outcome.verdict {
+        fields.push(("practical".to_string(), verdict_json(r)));
+    }
+    Json::Obj(fields)
 }
 
 #[cfg(test)]

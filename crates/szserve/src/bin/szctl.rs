@@ -12,8 +12,8 @@
 //! `--runs N`, `--seed N|0xHEX`, `--interval MS`, `--threads N`,
 //! `--trace`, `--no-wait`, `--deadline MS`, `--before Ox`,
 //! `--after Ox`, `--adaptive`, `--half-width X`, `--confidence X`,
-//! `--batch N`, `--min-runs N`, `--max-runs N`, `--sleep-ms N`,
-//! `--json` (raw JSONL instead of tables).
+//! `--band X`, `--batch N`, `--min-runs N`, `--max-runs N`,
+//! `--sleep-ms N`, `--json` (raw JSONL instead of tables).
 //!
 //! The address defaults to `$SZ_SERVE_ADDR`, then `127.0.0.1:7457`.
 //! Streamed trace records are always relayed raw; the terminal line is
@@ -34,8 +34,8 @@ fn usage() -> ExitCode {
          run <experiment> [--bench a,b] [--scale tiny|small|full] [--runs N]\n\
          \x20   [--seed N] [--interval MS] [--threads N] [--trace] [--no-wait]\n\
          \x20   [--deadline MS] [--before Ox] [--after Ox] [--adaptive]\n\
-         \x20   [--half-width X] [--confidence X] [--batch N] [--min-runs N]\n\
-         \x20   [--max-runs N] [--sleep-ms N] [--json]"
+         \x20   [--half-width X] [--confidence X] [--band X] [--batch N]\n\
+         \x20   [--min-runs N] [--max-runs N] [--sleep-ms N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +115,7 @@ fn parse_cli() -> Option<Cli> {
                     "--after" => run.after_opt = args.next()?,
                     "--half-width" => adaptive.half_width = args.next()?.parse().ok()?,
                     "--confidence" => adaptive.confidence = args.next()?.parse().ok()?,
+                    "--band" => adaptive.band = args.next()?.parse().ok()?,
                     "--batch" => adaptive.batch = parse_u64(&args.next()?)? as usize,
                     "--min-runs" => adaptive.min_runs = parse_u64(&args.next()?)? as usize,
                     "--max-runs" => adaptive.max_runs = parse_u64(&args.next()?)? as usize,

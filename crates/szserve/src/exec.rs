@@ -342,6 +342,14 @@ fn evaluate(
             ("p_value", outcome.p_value.into()),
             ("speedup", outcome.speedup.into()),
             ("samples_per_arm", outcome.samples_per_arm.into()),
+            (
+                "practical",
+                outcome
+                    .verdict
+                    .as_ref()
+                    .map_or("no-verdict", |r| r.verdict.as_str())
+                    .into(),
+            ),
         ],
     );
     sink.flush();
@@ -378,6 +386,7 @@ fn fixed_evaluate(
     let rel = sz_stats::diff_ci(&after_s, &before_s, 0.95)
         .map(|ci| ci.relative_margin(mean(&before_s)))
         .unwrap_or(f64::INFINITY);
+    let verdict = sz_stats::judge(&before_s, &after_s, &sz_stats::VerdictConfig::default()).ok();
     Ok(AdaptiveOutcome {
         samples_per_arm: opts.runs,
         max_runs: opts.runs,
@@ -386,6 +395,7 @@ fn fixed_evaluate(
         p_value,
         significant: p_value < ALPHA,
         speedup: mean(&before_s) / mean(&after_s),
+        verdict,
         before: before_s,
         after: after_s,
     })
@@ -447,6 +457,10 @@ mod tests {
         let out = run(&spec);
         assert_eq!(out.summary.get("mode").unwrap().as_str(), Some("fixed"));
         assert!(out.summary.get("p_value").unwrap().as_f64().is_some());
+        let practical = out.summary.get("practical").expect("practical verdict");
+        assert!(practical.get("verdict").unwrap().as_str().is_some());
+        assert!(practical.get("effect_lo").unwrap().as_f64().is_some());
+        assert!(out.trace.contains(r#""practical":"#));
         assert_eq!(out.samples_used, 12);
         assert_eq!(out.samples_saved, 0);
         assert!(out.trace.contains(r#""variant":"before""#));

@@ -21,8 +21,8 @@
 //! `wait` (default `true`; `false` returns an `accepted` line with a
 //! job id to poll), `deadline_ms`, `before`/`after` (opt levels for
 //! `evaluate`), `adaptive` (object: `half_width`, `confidence`,
-//! `batch`, `min_runs`, `max_runs`), `sleep_ms` (`selftest-sleep`
-//! only).
+//! `band`, `batch`, `min_runs`, `max_runs`), `sleep_ms`
+//! (`selftest-sleep` only).
 //!
 //! ## Responses
 //!
@@ -111,6 +111,9 @@ pub struct AdaptiveParams {
     pub half_width: f64,
     /// Confidence level of the interval (default 0.95).
     pub confidence: f64,
+    /// Practical-equivalence band half-width for the verdict stopping
+    /// rule: effects inside `[1/(1+band), 1+band]` are equivalent.
+    pub band: f64,
     /// Samples drawn per arm per batch.
     pub batch: usize,
     /// Minimum samples per arm before the stopping rule may fire.
@@ -125,6 +128,7 @@ impl Default for AdaptiveParams {
         AdaptiveParams {
             half_width: 0.1,
             confidence: 0.95,
+            band: 0.05,
             batch: 5,
             min_runs: 5,
             max_runs: 30,
@@ -369,6 +373,12 @@ fn parse_run(v: &Json) -> Result<RunRequest, String> {
                 return Err("\"confidence\" must be in (0, 1)".to_string());
             }
         }
+        if let Some(b) = a.get("band") {
+            params.band = b.as_f64().ok_or("\"band\" must be a number")?;
+            if !(params.band.is_finite() && params.band > 0.0) {
+                return Err("\"band\" must be a positive number".to_string());
+            }
+        }
         if let Some(b) = a.get("batch") {
             params.batch = b.as_u64().ok_or("\"batch\" must be an integer")?.max(1) as usize;
         }
@@ -424,6 +434,7 @@ fn run_to_json(run: &RunRequest) -> Json {
             Json::obj([
                 ("half_width", a.half_width.into()),
                 ("confidence", a.confidence.into()),
+                ("band", a.band.into()),
                 ("batch", a.batch.into()),
                 ("min_runs", a.min_runs.into()),
                 ("max_runs", a.max_runs.into()),
@@ -464,6 +475,7 @@ mod tests {
         run.adaptive = Some(AdaptiveParams {
             half_width: 0.05,
             confidence: 0.9,
+            band: 0.03,
             batch: 4,
             min_runs: 8,
             max_runs: 24,
@@ -611,6 +623,10 @@ mod tests {
         expect_error(
             r#"{"type":"run","experiment":"evaluate","adaptive":{"confidence":1.5}}"#,
             "\"confidence\" must be in (0, 1)",
+        );
+        expect_error(
+            r#"{"type":"run","experiment":"evaluate","adaptive":{"band":-0.1}}"#,
+            "\"band\" must be a positive number",
         );
         expect_error(
             r#"{"type":"run","experiment":"evaluate","adaptive":{"min_runs":20,"max_runs":10}}"#,

@@ -209,6 +209,10 @@ fn adaptive_stopping_matches_fixed_verdict_with_fewer_samples() {
     let fixed_summary = fixed.get("summary").unwrap();
     assert_eq!(fixed_summary.get("mode").unwrap().as_str(), Some("fixed"));
     assert_eq!(fixed.get("samples_used").unwrap().as_u64(), Some(60));
+    let fixed_practical = fixed_summary
+        .get("practical")
+        .expect("fixed mode must report a practical verdict");
+    let fixed_verdict = fixed_practical.get("verdict").unwrap().as_str().unwrap();
 
     let adaptive = terminal(&request(
         addr,
@@ -235,6 +239,25 @@ fn adaptive_stopping_matches_fixed_verdict_with_fewer_samples() {
     // the fixed stream, so this is stable across machines and thread
     // counts.
     assert_eq!(summary.get("samples_per_arm").unwrap().as_u64(), Some(5));
+
+    // The practical verdict ships full audit metadata and matches the
+    // fixed protocol's call (gobmk O1 -> O2 is a clear, large win).
+    let practical = summary
+        .get("practical")
+        .expect("adaptive mode must report a practical verdict");
+    assert_eq!(
+        practical.get("verdict").unwrap().as_str(),
+        Some(fixed_verdict),
+        "adaptive and fixed must agree on the practical verdict"
+    );
+    assert_eq!(fixed_verdict, "robustly-faster");
+    for key in ["effect_ratio", "effect_lo", "effect_hi", "band"] {
+        assert!(
+            practical.get(key).unwrap().as_f64().unwrap().is_finite(),
+            "{key} must be a finite number"
+        );
+    }
+    assert_eq!(practical.get("n_a").unwrap().as_u64(), Some(5));
     shutdown(addr, handle);
 }
 

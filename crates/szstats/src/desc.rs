@@ -35,32 +35,43 @@ pub fn sample_std(data: &[f64]) -> f64 {
 
 /// Median (average of the two central order statistics for even `n`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an empty slice.
-pub fn median(data: &[f64]) -> f64 {
+/// Same conditions as [`quantile`].
+pub fn median(data: &[f64]) -> Result<f64, StatError> {
     quantile(data, 0.5)
 }
 
 /// Quantile with linear interpolation between order statistics
 /// (R's default "type 7" definition).
 ///
+/// # Errors
+///
+/// Returns [`StatError::TooFewSamples`] on an empty slice and
+/// [`StatError::NonFinite`] on NaN/infinite observations (instead of
+/// panicking mid-sort or silently propagating a NaN into downstream
+/// statistics).
+///
 /// # Panics
 ///
-/// Panics on an empty slice or if `q` is outside `[0, 1]`.
-pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!(!data.is_empty(), "quantile of empty data");
+/// Panics if `q` is outside `[0, 1]` (a programmer error, unlike bad
+/// data).
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatError> {
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    if data.is_empty() {
+        return Err(StatError::TooFewSamples { needed: 1, got: 0 });
+    }
+    check_finite(data)?;
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
-    if lo == hi {
+    Ok(if lo == hi {
         sorted[lo]
     } else {
         sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
-    }
+    })
 }
 
 /// Geometric mean of strictly positive data.
@@ -128,11 +139,11 @@ impl Summary {
             n: data.len(),
             mean: mean(data),
             std: sample_std(data),
-            min: quantile(data, 0.0),
-            q1: quantile(data, 0.25),
-            median: median(data),
-            q3: quantile(data, 0.75),
-            max: quantile(data, 1.0),
+            min: quantile(data, 0.0)?,
+            q1: quantile(data, 0.25)?,
+            median: median(data)?,
+            q3: quantile(data, 0.75)?,
+            max: quantile(data, 1.0)?,
         })
     }
 
@@ -156,17 +167,55 @@ mod tests {
 
     #[test]
     fn median_even_odd() {
-        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Ok(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Ok(2.5));
     }
 
     #[test]
     fn quantile_interpolation() {
         let data = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile(&data, 0.0), 1.0);
-        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.0), Ok(1.0));
+        assert_eq!(quantile(&data, 1.0), Ok(4.0));
         // h = 0.25 * 3 = 0.75 -> 1 + 0.75*(2-1) = 1.75 (type 7).
-        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_degenerate_inputs() {
+        // One element: every quantile is that element.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile(&[7.5], q), Ok(7.5));
+        }
+        assert_eq!(median(&[7.5]), Ok(7.5));
+        // Two elements: interpolation between the pair.
+        assert_eq!(median(&[1.0, 3.0]), Ok(2.0));
+        assert_eq!(quantile(&[1.0, 3.0], 0.25), Ok(1.5));
+        assert_eq!(quantile(&[1.0, 3.0], 0.0), Ok(1.0));
+        assert_eq!(quantile(&[1.0, 3.0], 1.0), Ok(3.0));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_data_instead_of_panicking() {
+        assert_eq!(
+            quantile(&[], 0.5),
+            Err(StatError::TooFewSamples { needed: 1, got: 0 })
+        );
+        assert_eq!(
+            median(&[]),
+            Err(StatError::TooFewSamples { needed: 1, got: 0 })
+        );
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), Err(StatError::NonFinite));
+        assert_eq!(
+            quantile(&[f64::INFINITY, 1.0], 0.5),
+            Err(StatError::NonFinite)
+        );
+        assert_eq!(median(&[f64::NAN]), Err(StatError::NonFinite));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level must be in [0, 1]")]
+    fn out_of_range_level_is_a_programmer_error() {
+        let _ = quantile(&[1.0, 2.0], 1.5);
     }
 
     #[test]

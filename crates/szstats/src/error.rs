@@ -22,6 +22,9 @@ pub enum StatError {
     ZeroVariance,
     /// An observation was NaN or infinite.
     NonFinite,
+    /// An observation was zero or negative where strictly positive
+    /// data is required (e.g. ratios of mean execution times).
+    NonPositive,
     /// Group sizes are inconsistent (e.g. ragged repeated-measures data).
     RaggedData,
 }
@@ -37,6 +40,7 @@ impl std::fmt::Display for StatError {
             }
             StatError::ZeroVariance => write!(f, "all observations are identical"),
             StatError::NonFinite => write!(f, "observations must be finite"),
+            StatError::NonPositive => write!(f, "observations must be strictly positive"),
             StatError::RaggedData => write!(f, "groups must have equal sizes"),
         }
     }

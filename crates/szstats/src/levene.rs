@@ -59,7 +59,7 @@ pub fn brown_forsythe(groups: &[Vec<f64>]) -> Result<LeveneResult, StatError> {
                 got: g.len(),
             });
         }
-        let med = median(g);
+        let med = median(g)?;
         deviations.push(g.iter().map(|v| (v - med).abs()).collect::<Vec<f64>>());
     }
     let anova = one_way_anova(&deviations)?;

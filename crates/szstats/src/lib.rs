@@ -16,7 +16,15 @@
 //! - [`qq_points`] — quantile-quantile points against the Gaussian for
 //!   **Figure 5**;
 //! - [`dist`] — normal, Student-t, F and χ² distributions built on the
-//!   special functions in [`special`].
+//!   special functions in [`special`];
+//! - [`effect_ci`] / [`effect_ci_hierarchical`] — deterministic
+//!   percentile-bootstrap CIs on the ratio-of-means effect size
+//!   (Kalibera & Jones);
+//! - [`judge`] / [`judge_hierarchical`] — practical-equivalence
+//!   verdicts (`RobustlyFaster` / `RobustlySlower` / `Equivalent` /
+//!   `Inconclusive`) combining the bootstrap and Welch intervals;
+//! - [`reduce_suite`] — μOpTime-style static suite reduction by
+//!   stability metrics.
 //!
 //! # Examples
 //!
@@ -35,10 +43,13 @@
 //! ```
 
 pub mod anova;
+pub mod bootstrap;
 pub mod desc;
 pub mod dist;
 pub mod qq;
+pub mod reduce;
 pub mod special;
+pub mod verdict;
 
 mod effect;
 mod error;
@@ -48,13 +59,16 @@ mod ttest;
 mod wilcoxon;
 
 pub use anova::{one_way_anova, repeated_measures_anova, AnovaResult};
+pub use bootstrap::{effect_ci, effect_ci_hierarchical, EffectCi};
 pub use desc::{geometric_mean, mean, median, quantile, sample_std, sample_variance, Summary};
 pub use effect::{cohens_d, diff_ci, diff_half_width, mean_ci, ConfidenceInterval};
 pub use error::StatError;
 pub use levene::{brown_forsythe, LeveneResult};
 pub use qq::{qq_points, QqPoint};
+pub use reduce::{rank_stability, reduce_suite, BenchmarkArms, StabilityRow, SuiteReduction};
 pub use shapiro::{shapiro_wilk, ShapiroWilk};
 pub use ttest::{paired_t_test, student_t_test, welch_t_test, TTest};
+pub use verdict::{judge, judge_hierarchical, EffectVerdict, VerdictConfig, VerdictReport};
 pub use wilcoxon::{mann_whitney_u, wilcoxon_signed_rank, RankTest};
 
 /// Conventional significance threshold used throughout the paper.

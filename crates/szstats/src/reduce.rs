@@ -1,0 +1,280 @@
+//! μOpTime-style static suite reduction.
+//!
+//! A full-suite comparison (say `-O3` vs `-O2` across all 18
+//! benchmarks) is expensive; μOpTime's observation is that a *stable*
+//! subset of the suite usually reaches the same verdict. This module
+//! ranks benchmarks by stability — the relative half-width of each
+//! benchmark's own bootstrap effect CI, with the coefficient of
+//! variation as a tie-break — and selects the shortest
+//! stability-ranked prefix whose suite-level verdict matches the full
+//! suite's.
+//!
+//! The suite-level verdict treats each benchmark as one *run* of a
+//! hierarchical arm ([`judge_hierarchical`]): run-level resampling
+//! captures benchmark-to-benchmark disagreement, iteration-level
+//! resampling the per-benchmark noise. (The resulting ratio weighs
+//! benchmarks by their mean execution time, like a total-time-of-suite
+//! comparison; it is pinned in the golden file alongside everything
+//! else.) The full-suite verdict is computed over the same
+//! stability-ranked ordering the prefixes are drawn from, so the
+//! search is guaranteed to terminate: the full prefix is bit-identical
+//! to the full suite.
+
+use crate::bootstrap::effect_ci;
+use crate::desc::{mean, sample_std};
+use crate::verdict::{judge_hierarchical, VerdictConfig, VerdictReport};
+use crate::StatError;
+
+/// One benchmark's two arms: baseline `a`, candidate `b`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkArms<'a> {
+    /// Benchmark name (carried through ranking and selection).
+    pub name: &'a str,
+    /// Baseline samples (e.g. `-O2` seconds).
+    pub a: &'a [f64],
+    /// Candidate samples (e.g. `-O3` seconds).
+    pub b: &'a [f64],
+}
+
+/// One benchmark's stability metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Relative half-width of the benchmark's own effect CI — the
+    /// primary (ascending) ranking key.
+    pub rel_half_width: f64,
+    /// Worst coefficient of variation of the two arms — the
+    /// tie-break.
+    pub cv: f64,
+    /// The benchmark's own effect ratio (`mean(a) / mean(b)`).
+    pub ratio: f64,
+}
+
+/// The outcome of a suite reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReduction {
+    /// All benchmarks, most stable first.
+    pub ranking: Vec<StabilityRow>,
+    /// Names of the selected (minimal verdict-preserving) subset, in
+    /// ranking order.
+    pub selected: Vec<String>,
+    /// Suite-level verdict over the full ranked suite.
+    pub full: VerdictReport,
+    /// Suite-level verdict over the selected subset.
+    pub reduced: VerdictReport,
+}
+
+impl SuiteReduction {
+    /// Fraction of benchmarks the reduced suite drops.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.selected.len() as f64 / self.ranking.len() as f64
+    }
+}
+
+/// Ranks benchmarks by stability: ascending relative CI half-width,
+/// then ascending CV, then name.
+///
+/// # Errors
+///
+/// As [`effect_ci`], per benchmark.
+pub fn rank_stability(
+    benches: &[BenchmarkArms<'_>],
+    cfg: &VerdictConfig,
+) -> Result<Vec<StabilityRow>, StatError> {
+    let mut rows = Vec::with_capacity(benches.len());
+    for bench in benches {
+        let ci = effect_ci(bench.a, bench.b, cfg.confidence, cfg.resamples, cfg.seed)?;
+        let cv = |s: &[f64]| sample_std(s) / mean(s);
+        rows.push(StabilityRow {
+            name: bench.name.to_string(),
+            rel_half_width: ci.relative_half_width(),
+            cv: cv(bench.a).max(cv(bench.b)),
+            ratio: ci.ratio,
+        });
+    }
+    rows.sort_by(|x, y| {
+        x.rel_half_width
+            .total_cmp(&y.rel_half_width)
+            .then(x.cv.total_cmp(&y.cv))
+            .then(x.name.cmp(&y.name))
+    });
+    Ok(rows)
+}
+
+/// Reduces a suite: returns the shortest stability-ranked prefix
+/// whose suite-level verdict matches the full suite's.
+///
+/// # Errors
+///
+/// As [`rank_stability`] / [`judge_hierarchical`];
+/// [`StatError::TooFewSamples`] for an empty suite.
+pub fn reduce_suite(
+    benches: &[BenchmarkArms<'_>],
+    cfg: &VerdictConfig,
+) -> Result<SuiteReduction, StatError> {
+    if benches.is_empty() {
+        return Err(StatError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let ranking = rank_stability(benches, cfg)?;
+    let by_name = |name: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == name)
+            .expect("ranked benchmark exists")
+    };
+    let a_runs: Vec<Vec<f64>> = ranking
+        .iter()
+        .map(|r| by_name(&r.name).a.to_vec())
+        .collect();
+    let b_runs: Vec<Vec<f64>> = ranking
+        .iter()
+        .map(|r| by_name(&r.name).b.to_vec())
+        .collect();
+    let full = judge_hierarchical(&a_runs, &b_runs, cfg)?;
+    for k in 1..=ranking.len() {
+        let reduced = judge_hierarchical(&a_runs[..k], &b_runs[..k], cfg)?;
+        if reduced.verdict == full.verdict {
+            return Ok(SuiteReduction {
+                selected: ranking[..k].iter().map(|r| r.name.clone()).collect(),
+                ranking,
+                full,
+                reduced,
+            });
+        }
+    }
+    unreachable!("the full prefix is the full suite and matches itself")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::EffectVerdict;
+
+    fn arm(base: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| base + spread * (i % 7) as f64 / 7.0)
+            .collect()
+    }
+
+    fn cfg() -> VerdictConfig {
+        VerdictConfig::default()
+    }
+
+    #[test]
+    fn ranking_prefers_tight_benchmarks() {
+        let tight_a = arm(10.0, 0.05, 12);
+        let tight_b = arm(9.0, 0.05, 12);
+        let loose_a = arm(10.0, 5.0, 12);
+        let loose_b = arm(9.0, 5.0, 12);
+        let rows = rank_stability(
+            &[
+                BenchmarkArms {
+                    name: "loose",
+                    a: &loose_a,
+                    b: &loose_b,
+                },
+                BenchmarkArms {
+                    name: "tight",
+                    a: &tight_a,
+                    b: &tight_b,
+                },
+            ],
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(rows[0].name, "tight");
+        assert!(rows[0].rel_half_width < rows[1].rel_half_width);
+    }
+
+    #[test]
+    fn homogeneous_suite_reduces_to_one_benchmark() {
+        // Every benchmark shows the same clear 20% speedup: the most
+        // stable one alone already reproduces the suite verdict.
+        let arms: Vec<(Vec<f64>, Vec<f64>)> = (0..6)
+            .map(|i| {
+                (
+                    arm(10.0 + i as f64, 0.1 + 0.02 * i as f64, 10),
+                    arm(8.0 + 0.8 * i as f64, 0.1 + 0.02 * i as f64, 10),
+                )
+            })
+            .collect();
+        let names: Vec<String> = (0..6).map(|i| format!("bench{i}")).collect();
+        let benches: Vec<BenchmarkArms<'_>> = arms
+            .iter()
+            .zip(&names)
+            .map(|((a, b), name)| BenchmarkArms { name, a, b })
+            .collect();
+        let red = reduce_suite(&benches, &cfg()).unwrap();
+        assert_eq!(red.full.verdict, EffectVerdict::RobustlyFaster);
+        assert_eq!(red.reduced.verdict, red.full.verdict);
+        assert_eq!(red.selected.len(), 1, "{:?}", red.selected);
+        assert!(red.savings() > 0.8);
+    }
+
+    #[test]
+    fn conflicted_suite_keeps_enough_benchmarks() {
+        // One stable benchmark says "faster", the rest disagree; the
+        // one-benchmark prefix must NOT satisfy the (inconclusive or
+        // slower) suite verdict, forcing a larger subset.
+        let fast_a = arm(10.0, 0.05, 10);
+        let fast_b = arm(8.0, 0.05, 10);
+        let slow: Vec<(Vec<f64>, Vec<f64>)> = (0..4)
+            .map(|i| {
+                (
+                    arm(8.0 + i as f64, 0.4, 10),
+                    arm(10.0 + 1.3 * i as f64, 0.4, 10),
+                )
+            })
+            .collect();
+        let names: Vec<String> = (0..4).map(|i| format!("slow{i}")).collect();
+        let mut benches = vec![BenchmarkArms {
+            name: "fast",
+            a: &fast_a,
+            b: &fast_b,
+        }];
+        benches.extend(
+            slow.iter()
+                .zip(&names)
+                .map(|((a, b), name)| BenchmarkArms { name, a, b }),
+        );
+        let red = reduce_suite(&benches, &cfg()).unwrap();
+        assert_ne!(red.full.verdict, EffectVerdict::RobustlyFaster);
+        assert!(
+            red.selected.len() > 1,
+            "a single benchmark cannot fake this suite: {red:?}"
+        );
+        assert_eq!(red.reduced.verdict, red.full.verdict);
+    }
+
+    #[test]
+    fn empty_suite_is_an_error() {
+        assert!(matches!(
+            reduce_suite(&[], &cfg()),
+            Err(StatError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let a0 = arm(10.0, 0.3, 10);
+        let b0 = arm(9.0, 0.3, 10);
+        let a1 = arm(12.0, 0.4, 10);
+        let b1 = arm(11.0, 0.4, 10);
+        let benches = [
+            BenchmarkArms {
+                name: "x",
+                a: &a0,
+                b: &b0,
+            },
+            BenchmarkArms {
+                name: "y",
+                a: &a1,
+                b: &b1,
+            },
+        ];
+        let r1 = rank_stability(&benches, &cfg()).unwrap();
+        let r2 = rank_stability(&benches, &cfg()).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Practical-equivalence verdicts on performance comparisons.
+//!
+//! A p-value answers "is there *a* difference?"; a benchmark gate
+//! needs "is the difference *big enough to care about*, and in which
+//! direction?". Following the benchmark-defense rule popularized by
+//! kiwi-rs-style CI gates, a comparison is judged against a
+//! *practical-equivalence band* around a ratio of 1: effects inside
+//! the band are noise by decree, and only an effect whose entire
+//! confidence interval clears the band is "robust".
+//!
+//! The band is **multiplicative**: with `band = 0.05` the equivalence
+//! region is `[1/1.05, 1.05]`, not `[0.95, 1.05]`. A multiplicative
+//! band is symmetric in log space, which is what makes the verdict
+//! flip exactly when the two arms are swapped (the bootstrap interval
+//! maps to its reciprocal; see [`crate::bootstrap`]).
+//!
+//! Both interval estimators must agree before a comparison is called
+//! robust: the bootstrap ratio CI must clear the band *and* the Welch
+//! CI on the difference of means must exclude zero. Everything a
+//! reader needs to audit the call — n per arm, both CIs, the band,
+//! the bootstrap seed — travels in the [`VerdictReport`].
+
+use crate::bootstrap::{effect_ci, effect_ci_hierarchical, EffectCi};
+use crate::desc::mean;
+use crate::effect::{diff_ci, ConfidenceInterval};
+use crate::StatError;
+
+/// The four-way outcome of a practical-equivalence comparison of a
+/// candidate `b` against a baseline `a` (times: smaller is better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectVerdict {
+    /// The whole ratio CI clears the band upward and Welch agrees:
+    /// `b` is faster by more than the band.
+    RobustlyFaster,
+    /// The whole ratio CI clears the band downward and Welch agrees:
+    /// `b` is slower by more than the band.
+    RobustlySlower,
+    /// The whole ratio CI lies inside the band: any difference is
+    /// below the practical threshold.
+    Equivalent,
+    /// The CI straddles a band edge — more samples could still move
+    /// the call.
+    Inconclusive,
+}
+
+impl EffectVerdict {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EffectVerdict::RobustlyFaster => "robustly-faster",
+            EffectVerdict::RobustlySlower => "robustly-slower",
+            EffectVerdict::Equivalent => "equivalent",
+            EffectVerdict::Inconclusive => "inconclusive",
+        }
+    }
+
+    /// Stable numeric discriminant, for golden-file pinning.
+    pub fn code(self) -> u8 {
+        match self {
+            EffectVerdict::RobustlyFaster => 0,
+            EffectVerdict::RobustlySlower => 1,
+            EffectVerdict::Equivalent => 2,
+            EffectVerdict::Inconclusive => 3,
+        }
+    }
+
+    /// Whether the comparison has settled (anything but
+    /// [`EffectVerdict::Inconclusive`]) — the adaptive sampler's
+    /// stopping condition.
+    pub fn is_decided(self) -> bool {
+        !matches!(self, EffectVerdict::Inconclusive)
+    }
+}
+
+impl std::fmt::Display for EffectVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Parameters of a practical-equivalence judgement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictConfig {
+    /// Half-width of the multiplicative equivalence band: effects
+    /// inside `[1/(1+band), 1+band]` are practically equivalent.
+    pub band: f64,
+    /// Confidence level of both intervals.
+    pub confidence: f64,
+    /// Bootstrap resamples.
+    pub resamples: usize,
+    /// Bootstrap seed.
+    pub seed: u64,
+}
+
+impl Default for VerdictConfig {
+    fn default() -> Self {
+        VerdictConfig {
+            band: 0.05,
+            confidence: 0.95,
+            resamples: 1000,
+            seed: 0x5EED_B007,
+        }
+    }
+}
+
+/// A verdict with the publication-grade metadata needed to audit it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictReport {
+    /// The four-way call.
+    pub verdict: EffectVerdict,
+    /// Bootstrap CI on `mean(a) / mean(b)`.
+    pub effect: EffectCi,
+    /// Welch CI on `mean(a) - mean(b)` (for hierarchical arms, over
+    /// per-run means).
+    pub welch: ConfidenceInterval,
+    /// The equivalence band the verdict was judged against.
+    pub band: f64,
+    /// Total observations in the baseline arm.
+    pub n_a: usize,
+    /// Total observations in the candidate arm.
+    pub n_b: usize,
+}
+
+/// Classifies a bootstrap ratio CI + Welch difference CI against a
+/// multiplicative equivalence band.
+pub fn classify(effect: &EffectCi, welch: &ConfidenceInterval, band: f64) -> EffectVerdict {
+    assert!(band > 0.0 && band.is_finite(), "band must be positive");
+    let gamma = 1.0 + band;
+    let inv_gamma = 1.0 / gamma;
+    if effect.lo > gamma && welch.lo > 0.0 {
+        EffectVerdict::RobustlyFaster
+    } else if effect.hi < inv_gamma && welch.hi < 0.0 {
+        EffectVerdict::RobustlySlower
+    } else if effect.lo >= inv_gamma && effect.hi <= gamma {
+        EffectVerdict::Equivalent
+    } else {
+        EffectVerdict::Inconclusive
+    }
+}
+
+/// Judges candidate `b` against baseline `a` (flat arms of positive
+/// measurements, e.g. seconds per run).
+///
+/// # Errors
+///
+/// As [`effect_ci`]; Welch needs two observations per arm, which
+/// [`effect_ci`] already guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use sz_stats::verdict::{judge, EffectVerdict, VerdictConfig};
+///
+/// let before = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 10.15, 9.95];
+/// let after = [8.0, 8.2, 7.8, 8.1, 7.9, 8.0, 8.15, 7.95];
+/// let report = judge(&before, &after, &VerdictConfig::default())?;
+/// assert_eq!(report.verdict, EffectVerdict::RobustlyFaster);
+/// # Ok::<(), sz_stats::StatError>(())
+/// ```
+pub fn judge(a: &[f64], b: &[f64], cfg: &VerdictConfig) -> Result<VerdictReport, StatError> {
+    let effect = effect_ci(a, b, cfg.confidence, cfg.resamples, cfg.seed)?;
+    let welch = welch_or_degenerate(a, b, cfg.confidence)?;
+    Ok(VerdictReport {
+        verdict: classify(&effect, &welch, cfg.band),
+        effect,
+        welch,
+        band: cfg.band,
+        n_a: a.len(),
+        n_b: b.len(),
+    })
+}
+
+/// [`judge`] over hierarchical arms (runs of iterations). The
+/// bootstrap resamples both levels; the Welch interval is computed
+/// over per-run means (each run is one independent observation) when
+/// an arm has at least two runs, and over the single run's iterations
+/// otherwise.
+///
+/// # Errors
+///
+/// As [`effect_ci_hierarchical`].
+pub fn judge_hierarchical(
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    cfg: &VerdictConfig,
+) -> Result<VerdictReport, StatError> {
+    let effect = effect_ci_hierarchical(a, b, cfg.confidence, cfg.resamples, cfg.seed)?;
+    let wa = welch_arm(a);
+    let wb = welch_arm(b);
+    let welch = welch_or_degenerate(&wa, &wb, cfg.confidence)?;
+    Ok(VerdictReport {
+        verdict: classify(&effect, &welch, cfg.band),
+        effect,
+        welch,
+        band: cfg.band,
+        n_a: a.iter().map(Vec::len).sum(),
+        n_b: b.iter().map(Vec::len).sum(),
+    })
+}
+
+fn welch_arm(runs: &[Vec<f64>]) -> Vec<f64> {
+    if runs.len() >= 2 {
+        runs.iter().map(|r| mean(r)).collect()
+    } else {
+        runs.first().cloned().unwrap_or_default()
+    }
+}
+
+/// Welch CI, degrading gracefully when both arms are constant (the
+/// difference is then exact, so the interval collapses to a point).
+fn welch_or_degenerate(
+    a: &[f64],
+    b: &[f64],
+    confidence: f64,
+) -> Result<ConfidenceInterval, StatError> {
+    match diff_ci(a, b, confidence) {
+        Err(StatError::ZeroVariance) => {
+            let d = mean(a) - mean(b);
+            Ok(ConfidenceInterval {
+                estimate: d,
+                lo: d,
+                hi: d,
+                confidence,
+            })
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm(base: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| base + spread * (i % 7) as f64 / 7.0)
+            .collect()
+    }
+
+    fn cfg() -> VerdictConfig {
+        VerdictConfig::default()
+    }
+
+    #[test]
+    fn clear_speedup_is_robustly_faster() {
+        let r = judge(&arm(10.0, 0.3, 16), &arm(8.0, 0.3, 16), &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::RobustlyFaster);
+        assert!(r.effect.lo > 1.05);
+        assert!(r.welch.lo > 0.0);
+        assert_eq!((r.n_a, r.n_b), (16, 16));
+    }
+
+    #[test]
+    fn clear_slowdown_is_robustly_slower() {
+        let r = judge(&arm(8.0, 0.3, 16), &arm(10.0, 0.3, 16), &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::RobustlySlower);
+        assert!(r.effect.hi < 1.0 / 1.05);
+        assert!(r.welch.hi < 0.0);
+    }
+
+    #[test]
+    fn matched_arms_are_equivalent() {
+        let r = judge(&arm(10.0, 0.2, 20), &arm(10.02, 0.2, 20), &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::Equivalent, "{r:?}");
+    }
+
+    #[test]
+    fn noisy_borderline_effect_is_inconclusive() {
+        // ~6% effect with large spread at small n: the CI straddles
+        // the band edge.
+        let r = judge(&arm(10.0, 4.0, 6), &arm(9.4, 4.0, 6), &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::Inconclusive, "{r:?}");
+    }
+
+    #[test]
+    fn identical_constant_arms_are_equivalent() {
+        // Zero variance collapses the Welch interval instead of
+        // erroring out.
+        let a = vec![5.0; 8];
+        let r = judge(&a, &a, &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::Equivalent);
+        assert_eq!((r.effect.lo, r.effect.hi), (1.0, 1.0));
+        assert_eq!((r.welch.lo, r.welch.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn constant_arms_with_a_real_gap_are_robust() {
+        let r = judge(&[10.0; 8], &[8.0; 8], &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::RobustlyFaster);
+    }
+
+    #[test]
+    fn welch_must_agree_for_a_robust_call() {
+        // A ratio CI that clears the band but a Welch interval that
+        // touches zero must not be called robust.
+        let effect = EffectCi {
+            ratio: 1.2,
+            lo: 1.1,
+            hi: 1.3,
+            confidence: 0.95,
+            resamples: 100,
+            seed: 0,
+        };
+        let welch = ConfidenceInterval {
+            estimate: 0.5,
+            lo: -0.1,
+            hi: 1.1,
+            confidence: 0.95,
+        };
+        assert_eq!(classify(&effect, &welch, 0.05), EffectVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn hierarchical_judgement_uses_run_means() {
+        let fast: Vec<Vec<f64>> = (0..5).map(|r| arm(8.0 + 0.01 * r as f64, 0.1, 6)).collect();
+        let slow: Vec<Vec<f64>> = (0..5)
+            .map(|r| arm(10.0 + 0.01 * r as f64, 0.1, 6))
+            .collect();
+        let r = judge_hierarchical(&slow, &fast, &cfg()).unwrap();
+        assert_eq!(r.verdict, EffectVerdict::RobustlyFaster);
+        assert_eq!((r.n_a, r.n_b), (30, 30));
+    }
+
+    #[test]
+    fn verdict_codes_and_names_are_stable() {
+        let all = [
+            EffectVerdict::RobustlyFaster,
+            EffectVerdict::RobustlySlower,
+            EffectVerdict::Equivalent,
+            EffectVerdict::Inconclusive,
+        ];
+        let names: Vec<&str> = all.iter().map(|v| v.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "robustly-faster",
+                "robustly-slower",
+                "equivalent",
+                "inconclusive"
+            ]
+        );
+        let codes: Vec<u8> = all.iter().map(|v| v.code()).collect();
+        assert_eq!(codes, [0, 1, 2, 3]);
+        assert!(EffectVerdict::Equivalent.is_decided());
+        assert!(!EffectVerdict::Inconclusive.is_decided());
+    }
+
+    #[test]
+    fn widening_the_band_moves_calls_toward_equivalent() {
+        let a = arm(10.0, 0.3, 16);
+        let b = arm(9.2, 0.3, 16);
+        let narrow = judge(
+            &a,
+            &b,
+            &VerdictConfig {
+                band: 0.02,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let wide = judge(&a, &b, &VerdictConfig { band: 0.2, ..cfg() }).unwrap();
+        assert_eq!(narrow.verdict, EffectVerdict::RobustlyFaster);
+        assert_eq!(wide.verdict, EffectVerdict::Equivalent);
+    }
+}

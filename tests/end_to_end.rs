@@ -106,6 +106,45 @@ fn shapiro_wilk_accepts_rerandomized_times_on_a_clean_benchmark() {
 }
 
 #[test]
+fn reduced_suite_reproduces_the_full_o2_vs_o3_verdict() {
+    // μOpTime-style reduction over the real 18-benchmark suite: run
+    // Figure 7 at quick settings, reduce, and confirm — by an
+    // independent recomputation over the selected benchmarks only —
+    // that the reduced subset reaches the same practical verdict as
+    // the full suite for the O2 -> O3 comparison.
+    use sz_harness::experiments::fig7;
+    use sz_stats::{judge_hierarchical, VerdictConfig};
+
+    let opts = ExperimentOptions::quick();
+    let rows = fig7::run(&opts);
+    assert_eq!(rows.len(), sz_workloads::suite().len());
+
+    let cfg = VerdictConfig::default();
+    let reduction = fig7::suite_reduction(&rows, &cfg).unwrap();
+    assert!(!reduction.selected.is_empty());
+    assert!(reduction.selected.len() <= rows.len());
+    assert_eq!(
+        reduction.reduced.verdict, reduction.full.verdict,
+        "reduction must preserve the suite verdict"
+    );
+
+    // Independent check: recompute the verdict from the selected
+    // benchmarks' raw samples without going through reduce_suite.
+    let selected_rows: Vec<&fig7::Fig7Row> = reduction
+        .selected
+        .iter()
+        .map(|name| rows.iter().find(|r| &r.benchmark == name).unwrap())
+        .collect();
+    let o2: Vec<Vec<f64>> = selected_rows.iter().map(|r| r.samples[1].clone()).collect();
+    let o3: Vec<Vec<f64>> = selected_rows.iter().map(|r| r.samples[2].clone()).collect();
+    let recomputed = judge_hierarchical(&o2, &o3, &cfg).unwrap();
+    assert_eq!(
+        recomputed.verdict, reduction.full.verdict,
+        "independent recomputation over the reduced subset disagreed"
+    );
+}
+
+#[test]
 fn wild_free_is_a_structured_error_not_a_crash() {
     // A guest program freeing an interior pointer must surface as
     // `VmError::InvalidFree` so the harness can record a failed run

@@ -239,6 +239,123 @@ fn shapiro_wilk_affine_invariant() {
     assert!(tested >= CASES, "degenerate-data filter rejected too much");
 }
 
+/// Positive timing-like samples for the verdict properties: a base
+/// level with mild multiplicative noise, scaled per arm.
+fn timing_series(rng: &mut SplitMix64, n: usize, level: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| level * (1.0 + 0.1 * (rng.next_f64() - 0.5)))
+        .collect()
+}
+
+/// Widening the equivalence band never radicalizes a verdict: anything
+/// `Equivalent` stays `Equivalent`, and a wider band can only move
+/// verdicts *toward* `Equivalent` (Robustly* may soften to
+/// `Equivalent`/`Inconclusive`, never appear from nowhere).
+#[test]
+fn verdict_band_widening_is_monotone() {
+    use sz_stats::{judge, EffectVerdict, VerdictConfig};
+    for case in 0..CASES {
+        let mut rng = rng_for("verdict_band_widening_is_monotone", case);
+        let n_a = 6 + rng.below(12) as usize;
+        let a = timing_series(&mut rng, n_a, 10.0);
+        let b_level = 8.0 + 4.0 * rng.next_f64();
+        let n_b = 6 + rng.below(12) as usize;
+        let b = timing_series(&mut rng, n_b, b_level);
+        let at = |band: f64| {
+            judge(
+                &a,
+                &b,
+                &VerdictConfig {
+                    band,
+                    ..VerdictConfig::default()
+                },
+            )
+            .unwrap()
+            .verdict
+        };
+        let mut prev = at(0.01);
+        for band in [0.03, 0.05, 0.1, 0.2, 0.5] {
+            let next = at(band);
+            if prev == EffectVerdict::Equivalent {
+                assert_eq!(
+                    next,
+                    EffectVerdict::Equivalent,
+                    "case {case}: widening to {band} left Equivalent"
+                );
+            }
+            if prev == EffectVerdict::Inconclusive {
+                assert_ne!(
+                    next,
+                    EffectVerdict::RobustlyFaster,
+                    "case {case}: widening to {band} manufactured Faster"
+                );
+                assert_ne!(
+                    next,
+                    EffectVerdict::RobustlySlower,
+                    "case {case}: widening to {band} manufactured Slower"
+                );
+            }
+            prev = next;
+        }
+    }
+}
+
+/// Swapping the arms flips Faster and Slower and fixes Equivalent and
+/// Inconclusive — the CI construction is exactly antisymmetric, so
+/// this holds bit-for-bit, not just in distribution.
+#[test]
+fn verdict_swap_antisymmetry() {
+    use sz_stats::{judge, EffectVerdict, VerdictConfig};
+    for case in 0..CASES {
+        let mut rng = rng_for("verdict_swap_antisymmetry", case);
+        let n_a = 6 + rng.below(12) as usize;
+        let a = timing_series(&mut rng, n_a, 10.0);
+        let b_level = 8.0 + 4.0 * rng.next_f64();
+        let n_b = 6 + rng.below(12) as usize;
+        let b = timing_series(&mut rng, n_b, b_level);
+        let cfg = VerdictConfig::default();
+        let fwd = judge(&a, &b, &cfg).unwrap();
+        let rev = judge(&b, &a, &cfg).unwrap();
+        let expected = match fwd.verdict {
+            EffectVerdict::RobustlyFaster => EffectVerdict::RobustlySlower,
+            EffectVerdict::RobustlySlower => EffectVerdict::RobustlyFaster,
+            other => other,
+        };
+        assert_eq!(rev.verdict, expected, "case {case}");
+        // Reciprocal intervals: swap inverts and swaps the CI bounds.
+        assert!(
+            (rev.effect.lo * fwd.effect.hi - 1.0).abs() < 1e-12
+                && (rev.effect.hi * fwd.effect.lo - 1.0).abs() < 1e-12,
+            "case {case}: CIs are not reciprocal: {:?} vs {:?}",
+            fwd.effect,
+            rev.effect
+        );
+    }
+}
+
+/// The harness pool is bit-deterministic for any thread count, so a
+/// verdict computed over pool-generated samples cannot depend on the
+/// machine's parallelism.
+#[test]
+fn pool_results_are_thread_count_invariant() {
+    use sz_harness::pool;
+    let job = |i: usize| {
+        let mut rng = SplitMix64::new(0xF1EE7 ^ i as u64);
+        (0..50).map(|_| rng.next_f64()).sum::<f64>()
+    };
+    let reference: Vec<u64> = pool::run_indexed(1, 24, job)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    for threads in [2, 3, 8] {
+        let got: Vec<u64> = pool::run_indexed(threads, 24, job)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(got, reference, "{threads} threads diverged from 1");
+    }
+}
+
 /// The t-test p-value is symmetric in its arguments and bounded.
 #[test]
 fn t_test_symmetry() {

@@ -6,13 +6,19 @@
 //! code (run with `SZ_GOLDEN_PRINT=1 cargo test --test
 //! statistics_golden -- --nocapture` to regenerate after an
 //! *intentional* change). Any unintentional drift in Shapiro–Wilk, the
-//! two-sample t-test, or the one-way ANOVA — the three tests every
-//! experiment's verdicts rest on — fails here at 1e-9.
+//! two-sample t-test, the one-way ANOVA, the bootstrap effect CIs,
+//! the practical-equivalence verdicts, or the suite reduction — the
+//! machinery every experiment's verdicts rest on — fails here at 1e-9
+//! (verdict codes and the reduction membership mask are exact
+//! integers, so any tolerance pins them exactly).
 
 use std::collections::BTreeMap;
 
 use sz_rng::{Rng, SplitMix64};
-use sz_stats::{one_way_anova, shapiro_wilk, welch_t_test};
+use sz_stats::{
+    effect_ci, judge, one_way_anova, reduce_suite, shapiro_wilk, welch_t_test, BenchmarkArms,
+    VerdictConfig,
+};
 
 const TOLERANCE: f64 = 1e-9;
 
@@ -53,12 +59,70 @@ fn computed() -> Vec<(String, f64)> {
     out.push(("welch_t.a_vs_b.df".into(), t.df));
     out.push(("welch_t.a_vs_b.p".into(), t.p_value));
     out.push(("welch_t.a_vs_b.mean_diff".into(), t.mean_diff));
-    let f = one_way_anova(&[a, b, c]).expect("three valid groups");
+    let f = one_way_anova(&[a.clone(), b.clone(), c.clone()]).expect("three valid groups");
     out.push(("anova.f".into(), f.f));
     out.push(("anova.df_treatment".into(), f.df_treatment));
     out.push(("anova.df_error".into(), f.df_error));
     out.push(("anova.p".into(), f.p_value));
+
+    // Bootstrap effect CIs and practical-equivalence verdicts over the
+    // same pinned groups. a vs b is a small (~5%) shift; b vs c is a
+    // large one — together they exercise both sides of the band.
+    let cfg = VerdictConfig::default();
+    for (name, x, y) in [("a_vs_b", &a, &b), ("b_vs_c", &b, &c)] {
+        let ci = effect_ci(x, y, 0.95, 2000, 0x5EED_B007).expect("arms are valid");
+        out.push((format!("effect.{name}.ratio"), ci.ratio));
+        out.push((format!("effect.{name}.lo"), ci.lo));
+        out.push((format!("effect.{name}.hi"), ci.hi));
+        let v = judge(x, y, &cfg).expect("verdict is computable");
+        out.push((format!("verdict.{name}.code"), f64::from(v.verdict.code())));
+        out.push((format!("verdict.{name}.welch_lo"), v.welch.lo));
+        out.push((format!("verdict.{name}.welch_hi"), v.welch.hi));
+    }
+
+    // Suite reduction over a synthetic 18-benchmark fixture built on
+    // the real suite's names: the selected subset is pinned as a count
+    // plus an 18-bit membership mask in fixture (suite) order.
+    let fixture = reduction_fixture();
+    let arms: Vec<BenchmarkArms> = fixture
+        .iter()
+        .map(|(name, x, y)| BenchmarkArms { name, a: x, b: y })
+        .collect();
+    let red = reduce_suite(&arms, &cfg).expect("fixture reduces");
+    out.push(("reduction.selected_count".into(), red.selected.len() as f64));
+    let mut mask = 0u64;
+    for (i, (name, _, _)) in fixture.iter().enumerate() {
+        if red.selected.iter().any(|s| s == name) {
+            mask |= 1 << i;
+        }
+    }
+    out.push(("reduction.membership_mask".into(), mask as f64));
+    out.push((
+        "reduction.full_verdict_code".into(),
+        f64::from(red.full.verdict.code()),
+    ));
+    out.push((
+        "reduction.reduced_verdict_code".into(),
+        f64::from(red.reduced.verdict.code()),
+    ));
     out
+}
+
+/// An 18-benchmark reduction fixture on the real suite's names: every
+/// benchmark sees the same true ~8% speedup, but noise grows with the
+/// benchmark's index so the stability ranking is non-trivial and the
+/// minimal verdict-preserving prefix is a strict subset.
+fn reduction_fixture() -> Vec<(String, Vec<f64>, Vec<f64>)> {
+    sz_workloads::suite()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let sd = 0.05 + 0.04 * i as f64;
+            let a = pseudo_normal(0x9000 + 2 * i as u64, 12, 10.0, sd);
+            let b = pseudo_normal(0x9001 + 2 * i as u64, 12, 9.26, sd);
+            (spec.name.to_string(), a, b)
+        })
+        .collect()
 }
 
 fn golden_path() -> std::path::PathBuf {
