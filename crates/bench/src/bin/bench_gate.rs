@@ -1,7 +1,7 @@
 //! `bench_gate` — the statistically sound throughput-regression gate.
 //!
 //! ```text
-//! bench_gate --baseline BENCH_sim.json fresh1.json fresh2.json fresh3.json
+//! bench_gate [--gates a,b] --baseline BENCH_sim.json fresh1.json fresh2.json ...
 //! ```
 //!
 //! Replaces the old fixed "median > baseline × 1.20 fails" rule with a
@@ -18,8 +18,14 @@
 //! slowdown behind a lucky median. Every verdict is printed with its
 //! full audit metadata (ratio CI, band, seed, samples per arm).
 //!
-//! Requires `schema_version` >= 5 baselines (per-sample arrays); exit
-//! codes: 0 pass, 1 regression, 2 usage/parse error.
+//! `--gates` restricts the run to a comma-separated subset of gate
+//! labels (unknown labels are an error), so CI can judge the serving
+//! latency gate against freshly measured files without re-reading the
+//! interpreter sections.
+//!
+//! Requires `schema_version` >= 5 baselines (per-sample arrays; the
+//! `loadgen` gate needs >= 6); exit codes: 0 pass, 1 regression,
+//! 2 usage/parse error.
 
 use std::process::ExitCode;
 
@@ -32,11 +38,12 @@ const GATE_SEED: u64 = 0x6A7E_5EED;
 
 /// The gated metrics: `(label, section, samples key)`. Sections carry
 /// raw per-sample arrays; lower is better for all of them.
-const GATES: [(&str, &str, &str); 4] = [
+const GATES: [(&str, &str, &str); 5] = [
     ("vm_dispatch", "vm_dispatch", "samples_ns_per_instr"),
     ("fused_dispatch", "fused_dispatch", "samples_ns_per_instr"),
     ("fetch_span", "fetch_span", "samples_ns_per_instr"),
     ("fig6_quick", "fig6_quick", "wall_samples"),
+    ("loadgen", "loadgen", "samples_p99_us"),
 ];
 
 fn load(path: &str) -> Result<Json, String> {
@@ -60,12 +67,29 @@ fn samples(doc: &Json, section: &str, key: &str, path: &str) -> Result<Vec<f64>,
 }
 
 fn run() -> Result<bool, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let selected = match args.first().map(String::as_str) {
+        Some("--gates") => {
+            if args.len() < 2 {
+                return Err("--gates needs a comma-separated label list".to_string());
+            }
+            let list: Vec<String> = args[1].split(',').map(str::to_string).collect();
+            for label in &list {
+                if !GATES.iter().any(|(l, _, _)| l == label) {
+                    return Err(format!("unknown gate label {label:?}"));
+                }
+            }
+            args.drain(..2);
+            Some(list)
+        }
+        _ => None,
+    };
     let (baseline_path, fresh_paths) = match args.split_first() {
         Some((flag, rest)) if flag == "--baseline" && rest.len() >= 2 => (&rest[0], &rest[1..]),
         _ => {
             return Err(
-                "usage: bench_gate --baseline BENCH_sim.json fresh1.json [fresh2.json ...]"
+                "usage: bench_gate [--gates a,b] --baseline BENCH_sim.json fresh1.json \
+                 [fresh2.json ...]"
                     .to_string(),
             )
         }
@@ -98,6 +122,12 @@ fn run() -> Result<bool, String> {
 
     let mut failed = Vec::new();
     for (label, section, key) in GATES {
+        if selected
+            .as_ref()
+            .is_some_and(|list| !list.iter().any(|l| l == label))
+        {
+            continue;
+        }
         let base_arm = vec![samples(&baseline, section, key, baseline_path)?];
         let fresh_arm: Vec<Vec<f64>> = fresh
             .iter()

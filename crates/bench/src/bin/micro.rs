@@ -23,6 +23,8 @@ use sz_heap::{
 };
 use sz_machine::{MachineConfig, MemorySystem};
 use sz_rng::{Marsaglia, Rng};
+use sz_serve::loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+use sz_serve::{Server, ServerConfig};
 use sz_stats::shapiro_wilk;
 use sz_vm::{RunLimits, SimpleLayout, Vm};
 use sz_workloads::Scale;
@@ -227,6 +229,22 @@ fn main() {
         opts.threads,
     ));
 
+    // Serving-path latency under concurrency: an in-process sz-serve
+    // on an ephemeral port, hammered with cache-hit run + stats
+    // requests by the event-loop load generator. Each wave contributes
+    // one p99 sample, so the regression gate bootstraps over waves the
+    // same way it bootstraps over interpreter timing runs. The client
+    // count is reduced for CI (override with SZ_LOADGEN_CLIENTS).
+    let loadgen = run_loadgen_bench();
+    out.push_str(&format!(
+        "{:<32} {:>12} µs p99 serve latency ({} clients, {} waves, {:.0} req/s)\n",
+        "serve/loadgen",
+        loadgen.p99_us,
+        loadgen.clients,
+        loadgen.samples_p99_us.len(),
+        loadgen.throughput_rps,
+    ));
+
     emit("micro", &out);
     write_bench_sim(
         &l1_hit,
@@ -237,8 +255,44 @@ fn main() {
         (&straight_run, straight_instrs),
         (&fused_run, fused_instrs),
         (fig6_seconds, &fig6_walls, fig6_benchmarks),
+        &loadgen,
         &opts,
     );
+}
+
+/// Drives the sz-serve load generator against an in-process server
+/// and returns its latency report for the `loadgen` gate section.
+fn run_loadgen_bench() -> LoadgenReport {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port for loadgen");
+    let addr = server
+        .local_addr()
+        .expect("loadgen server address")
+        .to_string();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let clients = std::env::var("SZ_LOADGEN_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(512);
+    let report = run_loadgen(&LoadgenConfig {
+        addr: addr.clone(),
+        clients,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen run completes");
+    assert_eq!(report.errors, 0, "loadgen connections survived");
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    // A final connection wakes the event loop so it notices the flag.
+    drop(std::net::TcpStream::connect(&addr));
+    handle.join().expect("loadgen server exits cleanly");
+    report
 }
 
 /// Builds the superinstruction microbench: a loop whose body is one
@@ -314,6 +368,7 @@ fn write_bench_sim(
     (straight_run, straight_instrs): (&Measurement, f64),
     (fused_run, fused_instrs): (&Measurement, f64),
     (fig6_seconds, fig6_walls, fig6_benchmarks): (f64, &[f64; 3], usize),
+    loadgen: &LoadgenReport,
     opts: &ExperimentOptions,
 ) {
     let access = |m: &Measurement| {
@@ -333,7 +388,7 @@ fn write_bench_sim(
     let fetch_span_ns = straight_run.median_ns / straight_instrs;
     let fused_ns = fused_run.median_ns / fused_instrs;
     let doc = Json::obj([
-        ("schema_version", 5u64.into()),
+        ("schema_version", 6u64.into()),
         ("machine", "core_i3_550".into()),
         ("l1_hit_load", access(l1_hit)),
         ("streaming_loads", access(streaming)),
@@ -405,6 +460,10 @@ fn write_bench_sim(
                 ("threads", opts.threads.into()),
             ]),
         ),
+        // Serving-path p99 latency under concurrent cache-hit load:
+        // the event-loop front-end's regression gate (`samples_p99_us`
+        // carries one p99 per wave).
+        ("loadgen", loadgen.to_json()),
     ]);
     let path = std::env::var("SZ_BENCH_SIM_PATH").unwrap_or_else(|_| "BENCH_sim.json".to_string());
     match std::fs::write(&path, format!("{doc}\n")) {

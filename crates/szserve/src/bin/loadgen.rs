@@ -1,0 +1,127 @@
+//! `sz-loadgen` — concurrency load generator for `sz-serve`.
+//!
+//! ```text
+//! sz-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
+//!            [--waves N] [--spawn] [--json]
+//! ```
+//!
+//! Primes the server's result cache, then drives `--clients`
+//! concurrent connections through `--waves` waves of alternating
+//! cache-hit `run` and `stats` requests, recording request latency in
+//! an HDR-style histogram. `--spawn` starts an in-process server on an
+//! ephemeral port first (self-contained smoke); otherwise the target
+//! must already be listening. `--json` prints the report as the
+//! `loadgen` object consumed by `BENCH_sim.json`; the default is a
+//! human-readable summary.
+//!
+//! Exit code 0 when every connection survived, 1 when any connection
+//! died or the run failed outright.
+
+use std::process::ExitCode;
+
+use sz_serve::loadgen::{run_loadgen, LoadgenConfig};
+use sz_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sz-loadgen [--addr HOST:PORT] [--clients N] [--requests N] \
+         [--waves N] [--spawn] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut spawn = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--spawn" => spawn = true,
+            "--json" => json = true,
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => return usage(),
+            },
+            "--clients" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config.clients = n,
+                _ => return usage(),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config.requests_per_client = n,
+                _ => return usage(),
+            },
+            "--waves" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config.waves = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // --spawn: host the server in this process on an ephemeral port so
+    // the binary is a one-command smoke test.
+    let server_thread = if spawn {
+        let server = match Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        }) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("sz-loadgen: spawn failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Ok(addr) = server.local_addr() else {
+            eprintln!("sz-loadgen: spawned server has no address");
+            return ExitCode::FAILURE;
+        };
+        config.addr = addr.to_string();
+        Some(std::thread::spawn(move || server.serve()))
+    } else {
+        None
+    };
+
+    let result = run_loadgen(&config);
+
+    if server_thread.is_some() {
+        // A shutdown request stops the spawned server; ignore errors —
+        // the process is exiting either way.
+        use std::io::Write as _;
+        if let Ok(mut stream) = std::net::TcpStream::connect(&config.addr) {
+            let _ = writeln!(stream, r#"{{"type":"shutdown"}}"#);
+        }
+    }
+    if let Some(handle) = server_thread {
+        let _ = handle.join();
+    }
+
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sz-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "sz-loadgen: {} clients × {} waves → {} replies in {:.0} ms ({:.0} req/s)",
+            report.clients,
+            report.samples_p99_us.len(),
+            report.requests,
+            report.elapsed_ms,
+            report.throughput_rps,
+        );
+        println!(
+            "latency µs: p50 {}  p90 {}  p99 {}  max {}  errors {}",
+            report.p50_us, report.p90_us, report.p99_us, report.max_us, report.errors
+        );
+    }
+    if report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,11 +1,12 @@
 //! `szctl` — thin client for the `sz-serve` daemon.
 //!
 //! ```text
-//! szctl [--addr HOST:PORT] run <experiment> [options]
+//! szctl [--addr HOST:PORT] [--peers H:P,...] run <experiment> [options]
 //! szctl [--addr HOST:PORT] status <job>
 //! szctl [--addr HOST:PORT] cancel <job>
-//! szctl [--addr HOST:PORT] stats
-//! szctl [--addr HOST:PORT] shutdown
+//! szctl [--addr HOST:PORT] [--peers H:P,...] stats
+//! szctl [--addr HOST:PORT] [--peers H:P,...] shutdown
+//! szctl [--addr HOST:PORT] loadgen [--clients N] [--requests N] [--waves N]
 //! ```
 //!
 //! `run` options: `--bench a,b`, `--scale tiny|small|full`,
@@ -16,6 +17,12 @@
 //! `--sleep-ms N`, `--json` (raw JSONL instead of tables).
 //!
 //! The address defaults to `$SZ_SERVE_ADDR`, then `127.0.0.1:7457`.
+//! `--peers` (default `$SZ_SERVE_PEERS`) fans `stats` and `shutdown`
+//! out to every listed worker after the primary address — one command
+//! inspects or stops a whole federation. `loadgen` drives concurrent
+//! cache-hit load against the primary address and reports latency
+//! quantiles.
+//!
 //! Streamed trace records are always relayed raw; the terminal line is
 //! pretty-printed unless `--json` is set. Exit code 0 for `result` /
 //! `accepted` / single-line responses, 1 for `error` / `rejected`.
@@ -26,24 +33,34 @@ use std::process::ExitCode;
 
 use sz_harness::report::render_table;
 use sz_harness::Json;
+use sz_serve::loadgen::{run_loadgen, LoadgenConfig};
+use sz_serve::proto::parse_peers;
 use sz_serve::{AdaptiveParams, Experiment, Request, RunRequest, DEFAULT_ADDR};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: szctl [--addr HOST:PORT] <run|status|cancel|stats|shutdown> ...\n\
+        "usage: szctl [--addr HOST:PORT] [--peers H:P,...] \
+         <run|status|cancel|stats|shutdown|loadgen> ...\n\
          run <experiment> [--bench a,b] [--scale tiny|small|full] [--runs N]\n\
          \x20   [--seed N] [--interval MS] [--threads N] [--trace] [--no-wait]\n\
          \x20   [--deadline MS] [--before Ox] [--after Ox] [--adaptive]\n\
          \x20   [--half-width X] [--confidence X] [--band X] [--batch N]\n\
-         \x20   [--min-runs N] [--max-runs N] [--sleep-ms N] [--json]"
+         \x20   [--min-runs N] [--max-runs N] [--sleep-ms N] [--json]\n\
+         loadgen [--clients N] [--requests N] [--waves N] [--json]"
     );
     ExitCode::from(2)
 }
 
+enum Command {
+    Request(Request),
+    Loadgen(LoadgenConfig),
+}
+
 struct Cli {
     addr: String,
+    peers: Vec<String>,
     json: bool,
-    request: Request,
+    command: Command,
 }
 
 fn parse_u64(value: &str) -> Option<u64> {
@@ -59,25 +76,65 @@ fn parse_u64(value: &str) -> Option<u64> {
 
 fn parse_cli() -> Option<Cli> {
     let mut addr = std::env::var("SZ_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let mut peers_source = std::env::var("SZ_SERVE_PEERS").ok();
     let mut json = false;
     let mut args = std::env::args().skip(1).peekable();
-    while args.peek().is_some_and(|a| a == "--addr" || a == "--json") {
+    while args
+        .peek()
+        .is_some_and(|a| a == "--addr" || a == "--json" || a == "--peers")
+    {
         match args.next().as_deref() {
             Some("--addr") => addr = args.next()?,
+            Some("--peers") => peers_source = Some(args.next()?),
             Some("--json") => json = true,
             _ => return None,
         }
     }
+    let peers = match peers_source {
+        Some(list) => match parse_peers(&list) {
+            Ok(peers) => peers,
+            Err(e) => {
+                eprintln!("szctl: {e}");
+                return None;
+            }
+        },
+        None => Vec::new(),
+    };
     let command = args.next()?;
-    let request = match command.as_str() {
-        "stats" => Request::Stats,
-        "shutdown" => Request::Shutdown,
-        "status" => Request::Status {
+    let command = match command.as_str() {
+        "stats" => Command::Request(Request::Stats),
+        "shutdown" => Command::Request(Request::Shutdown),
+        "status" => Command::Request(Request::Status {
             job: parse_u64(&args.next()?)?,
-        },
-        "cancel" => Request::Cancel {
+        }),
+        "cancel" => Command::Request(Request::Cancel {
             job: parse_u64(&args.next()?)?,
-        },
+        }),
+        "loadgen" => {
+            let mut config = LoadgenConfig {
+                addr: addr.clone(),
+                ..LoadgenConfig::default()
+            };
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--clients" => match args.next()?.parse() {
+                        Ok(n) if n > 0 => config.clients = n,
+                        _ => return None,
+                    },
+                    "--requests" => match args.next()?.parse() {
+                        Ok(n) if n > 0 => config.requests_per_client = n,
+                        _ => return None,
+                    },
+                    "--waves" => match args.next()?.parse() {
+                        Ok(n) if n > 0 => config.waves = n,
+                        _ => return None,
+                    },
+                    _ => return None,
+                }
+            }
+            Command::Loadgen(config)
+        }
         "run" => {
             let experiment = Experiment::from_name(&args.next()?)?;
             let mut run = RunRequest::quick(experiment);
@@ -126,7 +183,7 @@ fn parse_cli() -> Option<Cli> {
             if wants_adaptive {
                 run.adaptive = Some(adaptive);
             }
-            Request::Run(run)
+            Command::Request(Request::Run(run))
         }
         _ => return None,
     };
@@ -135,8 +192,9 @@ fn parse_cli() -> Option<Cli> {
     }
     Some(Cli {
         addr,
+        peers,
         json,
-        request,
+        command,
     })
 }
 
@@ -155,14 +213,13 @@ fn pretty_print(value: &Json) {
     print!("{}", render_table(&["field", "value"], &rows));
 }
 
-fn main() -> ExitCode {
-    let Some(cli) = parse_cli() else {
-        return usage();
-    };
-    let stream = match TcpStream::connect(&cli.addr) {
+/// Sends `request` to `addr` and relays the reply stream; returns the
+/// command's exit code.
+fn issue(addr: &str, request: &Request, json: bool) -> ExitCode {
+    let stream = match TcpStream::connect(addr) {
         Ok(stream) => stream,
         Err(e) => {
-            eprintln!("szctl: cannot connect to {}: {e}", cli.addr);
+            eprintln!("szctl: cannot connect to {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -171,7 +228,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut writer = BufWriter::new(stream);
-    if writeln!(writer, "{}", cli.request.to_json())
+    if writeln!(writer, "{}", request.to_json())
         .and_then(|()| writer.flush())
         .is_err()
     {
@@ -194,7 +251,7 @@ fn main() -> ExitCode {
             // Streamed trace records: relay raw, keep reading.
             "run" | "summary" => println!("{line}"),
             "error" | "rejected" => {
-                if cli.json {
+                if json {
                     println!("{line}");
                 } else {
                     pretty_print(&value);
@@ -202,7 +259,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             _ => {
-                if cli.json {
+                if json {
                     println!("{line}");
                 } else {
                     pretty_print(&value);
@@ -213,4 +270,57 @@ fn main() -> ExitCode {
     }
     eprintln!("szctl: server closed the connection without a terminal line");
     ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(cli) = parse_cli() else {
+        return usage();
+    };
+    let request = match cli.command {
+        Command::Loadgen(config) => {
+            let report = match run_loadgen(&config) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("szctl: loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cli.json {
+                println!("{}", report.to_json());
+            } else {
+                pretty_print(&Json::obj([
+                    ("type", "loadgen".into()),
+                    ("clients", report.clients.into()),
+                    ("requests", report.requests.into()),
+                    ("errors", report.errors.into()),
+                    ("p50_us", report.p50_us.into()),
+                    ("p99_us", report.p99_us.into()),
+                    ("throughput_rps", report.throughput_rps.into()),
+                ]));
+            }
+            return if report.errors == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        Command::Request(request) => request,
+    };
+
+    // `stats` and `shutdown` fan out across the federation; everything
+    // else targets the primary address only.
+    let fan_out = matches!(request, Request::Stats | Request::Shutdown);
+    let mut worst = issue(&cli.addr, &request, cli.json);
+    if fan_out {
+        for peer in &cli.peers {
+            if !cli.json {
+                println!("-- {peer}");
+            }
+            let code = issue(peer, &request, cli.json);
+            if code != ExitCode::SUCCESS {
+                worst = code;
+            }
+        }
+    }
+    worst
 }

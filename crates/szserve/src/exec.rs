@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use sz_harness::experiments::{anova, bias, fig5, fig6, fig7, nist, table1};
-use sz_harness::runner::{stabilized_reports, ExperimentOptions};
+use sz_harness::runner::{stabilized_reports, stabilized_reports_range, ExperimentOptions};
 use sz_harness::{Json, TraceSink};
 use sz_machine::{MachineConfig, SimTime};
 use sz_opt::{optimize, OptLevel};
@@ -19,7 +19,7 @@ use sz_stats::{mean, welch_t_test, ALPHA};
 use sz_vm::RunReport;
 
 use crate::adaptive::{adaptive_evaluate, outcome_json, AdaptiveOutcome};
-use crate::proto::{Experiment, RunRequest};
+use crate::proto::{Experiment, RunRequest, ShardRange};
 
 /// Why a job did not produce a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -258,6 +258,9 @@ pub fn execute(
             (Json::obj([("sweeps", Json::Arr(sweeps))]), used, 0)
         }
         Experiment::Evaluate => {
+            if let Some(shard) = spec.shard {
+                return execute_shard(spec, &opts, &ctl, &sink, &buffer, shard);
+            }
             return evaluate(spec, &opts, &ctl, &sink, &buffer);
         }
         Experiment::SelftestSleep => {
@@ -285,13 +288,12 @@ pub fn execute(
     })
 }
 
-fn evaluate(
+/// The single benchmark an `evaluate` (or `run_shard`) targets, plus
+/// its before/after optimized programs.
+fn evaluate_programs(
     spec: &RunRequest,
     opts: &ExperimentOptions,
-    ctl: &JobCtl<'_>,
-    sink: &TraceSink,
-    buffer: &sz_harness::TraceBuffer,
-) -> Result<JobOutput, ExecError> {
+) -> Result<(&'static str, sz_ir::Program, sz_ir::Program), ExecError> {
     let suite = opts.selected_suite();
     let bench_spec = suite
         .first()
@@ -304,54 +306,37 @@ fn evaluate(
     let base = bench_spec.program(opts.scale);
     let before = optimize(&base, opt_level(&spec.before_opt)?);
     let after = optimize(&base, opt_level(&spec.after_opt)?);
+    Ok((bench_spec.name, before, after))
+}
+
+fn evaluate(
+    spec: &RunRequest,
+    opts: &ExperimentOptions,
+    ctl: &JobCtl<'_>,
+    sink: &TraceSink,
+    buffer: &sz_harness::TraceBuffer,
+) -> Result<JobOutput, ExecError> {
+    let (benchmark, before, after) = evaluate_programs(spec, opts)?;
 
     let (outcome, adaptive) = match &spec.adaptive {
         Some(params) => (
-            adaptive_evaluate(
-                &before,
-                &after,
-                opts,
-                params,
-                bench_spec.name,
-                ctl,
-                Some(sink),
-            )?,
+            adaptive_evaluate(&before, &after, opts, params, benchmark, ctl, Some(sink))?,
             true,
         ),
         None => (
-            fixed_evaluate(&before, &after, opts, bench_spec.name, ctl, sink)?,
+            fixed_evaluate(&before, &after, opts, benchmark, ctl, sink)?,
             false,
         ),
     };
 
-    let mut summary_fields = vec![
-        ("benchmark".to_string(), Json::from(bench_spec.name)),
-        ("before".to_string(), spec.before_opt.as_str().into()),
-        ("after".to_string(), spec.after_opt.as_str().into()),
-    ];
-    if let Json::Obj(fields) = outcome_json(&outcome, adaptive) {
-        summary_fields.extend(fields);
-    }
-    let summary = Json::Obj(summary_fields);
-    sink.summary_record(
-        "evaluate",
-        vec![
-            ("benchmark", bench_spec.name.into()),
-            ("event", "verdict".into()),
-            ("significant", outcome.significant.into()),
-            ("p_value", outcome.p_value.into()),
-            ("speedup", outcome.speedup.into()),
-            ("samples_per_arm", outcome.samples_per_arm.into()),
-            (
-                "practical",
-                outcome
-                    .verdict
-                    .as_ref()
-                    .map_or("no-verdict", |r| r.verdict.as_str())
-                    .into(),
-            ),
-        ],
+    let summary = evaluate_summary(
+        benchmark,
+        &spec.before_opt,
+        &spec.after_opt,
+        &outcome,
+        adaptive,
     );
+    sink.summary_record("evaluate", evaluate_verdict_fields(benchmark, &outcome));
     sink.flush();
     Ok(JobOutput {
         trace: buffer.contents(),
@@ -363,6 +348,76 @@ fn evaluate(
             0
         },
     })
+}
+
+/// The `result` line's summary object for an evaluate outcome. Public
+/// so the federation coordinator can rebuild the exact object from
+/// merged shard samples.
+pub fn evaluate_summary(
+    benchmark: &str,
+    before_opt: &str,
+    after_opt: &str,
+    outcome: &AdaptiveOutcome,
+    adaptive: bool,
+) -> Json {
+    let mut summary_fields = vec![
+        ("benchmark".to_string(), Json::from(benchmark)),
+        ("before".to_string(), before_opt.into()),
+        ("after".to_string(), after_opt.into()),
+    ];
+    if let Json::Obj(fields) = outcome_json(outcome, adaptive) {
+        summary_fields.extend(fields);
+    }
+    Json::Obj(summary_fields)
+}
+
+/// The fields of the trailing `verdict` summary trace record. Public
+/// for the same reason as [`evaluate_summary`]: the coordinator's
+/// merged transcript must end with a byte-identical record.
+pub fn evaluate_verdict_fields<'a>(
+    benchmark: &'a str,
+    outcome: &AdaptiveOutcome,
+) -> Vec<(&'a str, Json)> {
+    vec![
+        ("benchmark", benchmark.into()),
+        ("event", "verdict".into()),
+        ("significant", outcome.significant.into()),
+        ("p_value", outcome.p_value.into()),
+        ("speedup", outcome.speedup.into()),
+        ("samples_per_arm", outcome.samples_per_arm.into()),
+        (
+            "practical",
+            outcome
+                .verdict
+                .as_ref()
+                .map_or("no-verdict", |r| r.verdict.as_str())
+                .into(),
+        ),
+    ]
+}
+
+/// Derives the fixed-protocol outcome from complete sample arms.
+/// Shared by the in-process path and the coordinator's shard merge:
+/// both feed the same numbers through the same statistics, so the
+/// resulting summaries are bit-identical.
+pub fn fixed_outcome(before_s: Vec<f64>, after_s: Vec<f64>, runs: usize) -> AdaptiveOutcome {
+    let p_value = welch_t_test(&before_s, &after_s).map_or(1.0, |t| t.p_value);
+    let rel = sz_stats::diff_ci(&after_s, &before_s, 0.95)
+        .map(|ci| ci.relative_margin(mean(&before_s)))
+        .unwrap_or(f64::INFINITY);
+    let verdict = sz_stats::judge(&before_s, &after_s, &sz_stats::VerdictConfig::default()).ok();
+    AdaptiveOutcome {
+        samples_per_arm: runs,
+        max_runs: runs,
+        stopped_early: false,
+        relative_half_width: rel,
+        p_value,
+        significant: p_value < ALPHA,
+        speedup: mean(&before_s) / mean(&after_s),
+        verdict,
+        before: before_s,
+        after: after_s,
+    }
 }
 
 fn fixed_evaluate(
@@ -382,22 +437,77 @@ fn fixed_evaluate(
     }
     let after_s = arms.pop().expect("two arms");
     let before_s = arms.pop().expect("two arms");
-    let p_value = welch_t_test(&before_s, &after_s).map_or(1.0, |t| t.p_value);
-    let rel = sz_stats::diff_ci(&after_s, &before_s, 0.95)
-        .map(|ci| ci.relative_margin(mean(&before_s)))
-        .unwrap_or(f64::INFINITY);
-    let verdict = sz_stats::judge(&before_s, &after_s, &sz_stats::VerdictConfig::default()).ok();
-    Ok(AdaptiveOutcome {
-        samples_per_arm: opts.runs,
-        max_runs: opts.runs,
-        stopped_early: false,
-        relative_half_width: rel,
-        p_value,
-        significant: p_value < ALPHA,
-        speedup: mean(&before_s) / mean(&after_s),
-        verdict,
-        before: before_s,
-        after: after_s,
+    Ok(fixed_outcome(before_s, after_s, opts.runs))
+}
+
+/// Executes one `run_shard`: the window `shard` of a fixed-protocol
+/// evaluate. Run `i` of the stream always draws `seed_base + i`, so
+/// the records this produces are byte-identical to the corresponding
+/// slice of a full single-node run's transcript.
+///
+/// The trace holds the `before` arm's records followed by the
+/// `after` arm's; `summary` carries the byte offset of the split
+/// (`before_len`) plus the raw sample bits, which is everything the
+/// front end needs to build the `shard_result` wire line.
+fn execute_shard(
+    spec: &RunRequest,
+    opts: &ExperimentOptions,
+    ctl: &JobCtl<'_>,
+    sink: &TraceSink,
+    buffer: &sz_harness::TraceBuffer,
+    shard: ShardRange,
+) -> Result<JobOutput, ExecError> {
+    if spec.adaptive.is_some() {
+        return Err(ExecError::Failed(
+            "run_shard cannot be adaptive".to_string(),
+        ));
+    }
+    if shard.count == 0 || shard.start + shard.count > spec.runs {
+        return Err(ExecError::Failed(format!(
+            "bad shard range {}+{} for runs={}",
+            shard.start, shard.count, spec.runs
+        )));
+    }
+    let (benchmark, before, after) = evaluate_programs(spec, opts)?;
+
+    let mut before_len = 0usize;
+    let mut arms: Vec<Vec<f64>> = Vec::new();
+    for (program, variant) in [(&before, "before"), (&after, "after")] {
+        ctl.checkpoint()?;
+        let reports = stabilized_reports_range(
+            program,
+            opts,
+            stabilizer::Config::default(),
+            shard.start,
+            shard.count,
+        );
+        for (i, report) in reports.iter().enumerate() {
+            sink.run_record("evaluate", benchmark, variant, shard.start + i, report);
+        }
+        arms.push(reports.iter().map(RunReport::seconds).collect());
+        if variant == "before" {
+            sink.flush();
+            before_len = buffer.contents().len();
+        }
+    }
+    let after_s = arms.pop().expect("two arms");
+    let before_s = arms.pop().expect("two arms");
+    let bits = |samples: &[f64]| Json::Arr(samples.iter().map(|s| s.to_bits().into()).collect());
+    let summary = Json::obj([
+        ("benchmark", benchmark.into()),
+        ("shard_start", shard.start.into()),
+        ("shard_count", shard.count.into()),
+        ("before_len", before_len.into()),
+        ("before_bits", bits(&before_s)),
+        ("after_bits", bits(&after_s)),
+    ]);
+    ctl.checkpoint()?;
+    sink.flush();
+    Ok(JobOutput {
+        trace: buffer.contents(),
+        summary,
+        samples_used: 2 * shard.count as u64,
+        samples_saved: 0,
     })
 }
 

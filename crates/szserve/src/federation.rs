@@ -1,0 +1,631 @@
+//! Federation: scaling one sz-serve out to several.
+//!
+//! Every process speaks the same wire protocol; federation is purely
+//! a routing layer in front of the local scheduler. Three roles:
+//!
+//! - **single** — the default standalone server; peers are ignored;
+//! - **node** — a worker in someone else's federation: it serves
+//!   `run_shard` requests and owns a slice of the consistent-hash
+//!   cache keyspace, but never routes;
+//! - **coordinator** — routes client work across a static peer list:
+//!
+//!   1. *Cache sharding.* A cacheable blocking `run` is routed to the
+//!      peer that owns its FNV-1a-128 cache key on the [`Ring`]
+//!      (after a local-cache probe, so merged results and repeats
+//!      stay local). The peer's response lines are relayed verbatim.
+//!      A dead peer degrades to local execution — correctness never
+//!      depends on a peer being up — and counts a `forward_fallback`.
+//!   2. *Run sharding.* A fixed-protocol `evaluate` is split with
+//!      [`plan_shards`] into contiguous `run_shard` windows, one per
+//!      peer, executed in parallel. Because run `i` of the stream
+//!      always draws `seed_base + i`
+//!      (`sz_harness::runner::stabilized_reports_range`), each shard
+//!      is a bit-identical slice of the single-node record stream;
+//!      [`merge_shard_results`] reassembles the full transcript and
+//!      recomputes the summary through the *same* statistics code the
+//!      single-node path uses, so the merged bytes are identical to a
+//!      run that never left one machine. Any shard failure falls back
+//!      to a full local run.
+//!
+//! Peer I/O blocks, so it never runs on an event-loop thread: the
+//! coordinator hands each routed request to a small courier pool and
+//! answers the client later through [`Completions`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use sz_harness::{Json, TraceSink};
+
+use crate::cache::cache_key;
+use crate::event_loop::{Completions, ConnToken};
+use crate::exec::{evaluate_summary, evaluate_verdict_fields, fixed_outcome, JobOutput};
+use crate::proto::{
+    plan_shards, validate_shard_plan, Experiment, RunRequest, ShardRange, ShardResult,
+};
+use crate::ring::Ring;
+use crate::scheduler::Scheduler;
+use crate::server::{render_output, run_blocking};
+
+/// Cap on one peer read or write. Generous — per-job `deadline_ms` is
+/// the intended bound — but it guarantees a wedged peer cannot pin a
+/// courier forever.
+const PEER_IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// What this process is in the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Standalone server; any configured peers are ignored.
+    Single,
+    /// Worker: serves shards and its keyspace slice, never routes.
+    Node,
+    /// Router: shards cache lookups and run windows across peers.
+    Coordinator,
+}
+
+impl Role {
+    /// The `--role` flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Single => "single",
+            Role::Node => "node",
+            Role::Coordinator => "coordinator",
+        }
+    }
+
+    /// Parses a `--role` flag value.
+    pub fn from_name(name: &str) -> Option<Role> {
+        Some(match name {
+            "single" => Role::Single,
+            "node" => Role::Node,
+            "coordinator" => Role::Coordinator,
+            _ => return None,
+        })
+    }
+}
+
+/// Federation wiring for one server process.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// This process's role.
+    pub role: Role,
+    /// Peer `host:port` addresses (workers, from the coordinator's
+    /// point of view). Ignored unless the role is `coordinator`.
+    pub peers: Vec<String>,
+    /// Courier threads for blocking peer I/O.
+    pub couriers: usize,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            role: Role::Single,
+            peers: Vec::new(),
+            couriers: 4,
+        }
+    }
+}
+
+/// Routing counters, surfaced through the `stats` request.
+#[derive(Debug, Default)]
+pub struct FedStats {
+    /// Requests routed to their ring-owner peer.
+    pub forwarded: AtomicU64,
+    /// Forwards that failed and ran locally instead.
+    pub forward_fallbacks: AtomicU64,
+    /// Evaluate requests fanned out as shard windows.
+    pub shard_fanouts: AtomicU64,
+    /// Fan-outs that failed and re-ran fully locally.
+    pub shard_failovers: AtomicU64,
+    /// Individual shards answered from a worker's cache.
+    pub shard_cache_hits: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// How the federation layer wants a `run` request handled.
+pub enum Routed {
+    /// Not ours: execute on the local scheduler.
+    Local,
+    /// Answered synchronously (coordinator-local cache hit).
+    Reply(Vec<u8>),
+    /// A courier owns the reply; it arrives via [`Completions`].
+    Pending,
+}
+
+/// A coordinator's routing state: the ring, the peer list, and the
+/// courier pool that does the blocking legwork.
+pub struct Federation {
+    role: Role,
+    peers: Arc<Vec<String>>,
+    ring: Ring,
+    stats: Arc<FedStats>,
+    couriers: Couriers,
+}
+
+impl Federation {
+    /// Builds the routing state (and ring) for `config`.
+    pub fn new(config: &FederationConfig) -> Federation {
+        Federation {
+            role: config.role,
+            ring: Ring::new(&config.peers),
+            peers: Arc::new(config.peers.clone()),
+            stats: Arc::new(FedStats::default()),
+            couriers: Couriers::new(config.couriers),
+        }
+    }
+
+    /// The shared routing counters.
+    pub fn stats(&self) -> Arc<FedStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Routing counters as a wire object (nested under `federation`
+    /// in `stats` responses).
+    pub fn stats_json(&self) -> Json {
+        Json::obj([
+            ("role", self.role.name().into()),
+            ("peers", self.peers.len().into()),
+            (
+                "forwarded",
+                self.stats.forwarded.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "forward_fallbacks",
+                self.stats.forward_fallbacks.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "shard_fanouts",
+                self.stats.shard_fanouts.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "shard_failovers",
+                self.stats.shard_failovers.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "shard_cache_hits",
+                self.stats.shard_cache_hits.load(Ordering::Relaxed).into(),
+            ),
+        ])
+    }
+
+    /// Decides where a `run` goes. Anything that must block (peer
+    /// I/O, waiting on a local fallback) is moved to a courier; the
+    /// event-loop thread only ever probes the local cache.
+    pub fn route_run(
+        &self,
+        spec: &RunRequest,
+        scheduler: &Arc<Scheduler>,
+        completions: &Completions,
+        token: ConnToken,
+    ) -> Routed {
+        if self.role != Role::Coordinator || self.ring.is_empty() {
+            return Routed::Local;
+        }
+        // Non-blocking submissions poll a *local* job id; shards mean
+        // this coordinator is itself being used as a worker.
+        if !spec.wait || spec.shard.is_some() || !spec.experiment.cacheable() {
+            return Routed::Local;
+        }
+
+        let key = cache_key(spec);
+        if let Some(hit) = scheduler.cache_lookup(&key) {
+            return Routed::Reply(render_output(
+                spec.experiment.name(),
+                &hit,
+                true,
+                None,
+                spec.trace,
+            ));
+        }
+
+        let shardable =
+            spec.experiment == Experiment::Evaluate && spec.adaptive.is_none() && spec.runs >= 2;
+        let spec = spec.clone();
+        let scheduler = Arc::clone(scheduler);
+        let completions = completions.clone();
+        let stats = Arc::clone(&self.stats);
+        let peers = Arc::clone(&self.peers);
+        if shardable {
+            bump(&stats.shard_fanouts);
+            self.couriers.submit(Box::new(move || {
+                let bytes = shard_fan_out(&spec, &peers, &scheduler, &stats);
+                completions.send(token, bytes, false);
+            }));
+        } else {
+            let owner = self
+                .ring
+                .lookup(key.hash)
+                .expect("non-empty ring")
+                .to_string();
+            bump(&stats.forwarded);
+            self.couriers.submit(Box::new(move || {
+                let bytes = match forward_raw(&owner, &spec) {
+                    Ok(bytes) => bytes,
+                    Err(_) => {
+                        // The owner is unreachable: run it here. The
+                        // result is correct either way; only cache
+                        // locality degrades.
+                        bump(&stats.forward_fallbacks);
+                        run_blocking(&spec, &scheduler)
+                    }
+                };
+                completions.send(token, bytes, false);
+            }));
+        }
+        Routed::Pending
+    }
+}
+
+/// Splits the evaluate across the peers, collects `shard_result`
+/// lines, and merges them; any failure re-runs the whole request on
+/// the local scheduler.
+fn shard_fan_out(
+    spec: &RunRequest,
+    peers: &[String],
+    scheduler: &Arc<Scheduler>,
+    stats: &Arc<FedStats>,
+) -> Vec<u8> {
+    let plan = plan_shards(spec.runs, peers.len());
+    let results: Vec<Result<ShardResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .iter()
+            .zip(peers)
+            .map(|(&shard, peer)| {
+                let mut shard_spec = spec.clone();
+                shard_spec.shard = Some(shard);
+                shard_spec.trace = false;
+                shard_spec.wait = true;
+                scope.spawn(move || peer_shard(peer, &shard_spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("shard thread panicked".into()))
+            })
+            .collect()
+    });
+
+    let mut shards = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(shard) => {
+                if shard.cached {
+                    bump(&stats.shard_cache_hits);
+                }
+                shards.push(shard);
+            }
+            Err(_) => {
+                bump(&stats.shard_failovers);
+                return run_blocking(spec, scheduler);
+            }
+        }
+    }
+    match merge_shard_results(spec, &shards) {
+        Ok(output) => {
+            let output = Arc::new(output);
+            scheduler.cache_insert(&cache_key(spec), Arc::clone(&output));
+            render_output(spec.experiment.name(), &output, false, None, spec.trace)
+        }
+        Err(_) => {
+            bump(&stats.shard_failovers);
+            run_blocking(spec, scheduler)
+        }
+    }
+}
+
+/// Sends one `run_shard` to `peer` and reads its `shard_result`.
+fn peer_shard(peer: &str, shard_spec: &RunRequest) -> Result<ShardResult, String> {
+    let line = crate::proto::Request::Run(shard_spec.clone())
+        .to_json()
+        .to_string();
+    let reply = peer_request(peer, &line)?;
+    ShardResult::parse(&reply)
+}
+
+/// Forwards the request to its ring owner and relays every response
+/// line verbatim (trace records included) through the terminal line.
+fn forward_raw(peer: &str, spec: &RunRequest) -> Result<Vec<u8>, String> {
+    let line = crate::proto::Request::Run(spec.clone())
+        .to_json()
+        .to_string();
+    let stream = peer_connect(peer, &line)?;
+    let mut reader = BufReader::new(stream);
+    let mut bytes = Vec::new();
+    loop {
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("peer {peer}: {e}"))?;
+        if n == 0 {
+            return Err(format!("peer {peer}: closed before a terminal line"));
+        }
+        bytes.extend_from_slice(response.as_bytes());
+        let ty = Json::parse(&response)
+            .ok()
+            .and_then(|v| v.get("type").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_default();
+        if matches!(ty.as_str(), "result" | "rejected" | "error" | "accepted") {
+            return Ok(bytes);
+        }
+    }
+}
+
+/// One request line in, one reply line out.
+fn peer_request(peer: &str, line: &str) -> Result<String, String> {
+    let stream = peer_connect(peer, line)?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    let n = reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("peer {peer}: {e}"))?;
+    if n == 0 {
+        return Err(format!("peer {peer}: closed without replying"));
+    }
+    Ok(reply)
+}
+
+fn peer_connect(peer: &str, line: &str) -> Result<TcpStream, String> {
+    let mut stream = TcpStream::connect(peer).map_err(|e| format!("peer {peer}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(PEER_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(PEER_IO_TIMEOUT));
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("peer {peer}: {e}"))?;
+    Ok(stream)
+}
+
+/// Builds the `shard_result` wire value for a completed `run_shard`
+/// job: the trace splits at the `before_len` byte offset the executor
+/// recorded, and the sample arrays come back out of the summary's
+/// `to_bits` arrays.
+///
+/// # Errors
+///
+/// A summary that is not a shard summary (wrong experiment, missing
+/// fields, or an offset outside the trace).
+pub fn shard_result_from_output(output: &JobOutput, cached: bool) -> Result<ShardResult, String> {
+    let s = &output.summary;
+    let field_u64 = |name: &str| {
+        s.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("shard summary is missing \"{name}\""))
+    };
+    let benchmark = s
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("shard summary is missing \"benchmark\"")?
+        .to_string();
+    let samples = |name: &str| -> Result<Vec<f64>, String> {
+        s.get(name)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("shard summary is missing \"{name}\""))?
+            .iter()
+            .map(|j| match j {
+                Json::U64(bits) => Ok(f64::from_bits(*bits)),
+                _ => Err(format!("\"{name}\" entries must be u64 sample bits")),
+            })
+            .collect()
+    };
+    let before_len = field_u64("before_len")? as usize;
+    if before_len > output.trace.len() {
+        return Err("shard summary \"before_len\" exceeds the trace".to_string());
+    }
+    Ok(ShardResult {
+        shard: ShardRange {
+            start: field_u64("shard_start")? as usize,
+            count: field_u64("shard_count")? as usize,
+        },
+        benchmark,
+        cached,
+        before_trace: output.trace[..before_len].to_string(),
+        after_trace: output.trace[before_len..].to_string(),
+        before: samples("before_bits")?,
+        after: samples("after_bits")?,
+    })
+}
+
+/// Reassembles shard results into the output a single-node run of
+/// `spec` would have produced, byte for byte: `before`-arm records in
+/// shard order, then `after`-arm records, then the `verdict` summary
+/// record recomputed from the concatenated samples through the same
+/// statistics path ([`fixed_outcome`]) the local executor uses.
+///
+/// # Errors
+///
+/// Shards that do not tile `0..spec.runs` exactly, or that disagree
+/// on the benchmark.
+pub fn merge_shard_results(spec: &RunRequest, shards: &[ShardResult]) -> Result<JobOutput, String> {
+    let mut ordered: Vec<&ShardResult> = shards.iter().collect();
+    ordered.sort_by_key(|r| r.shard.start);
+    let plan: Vec<ShardRange> = ordered.iter().map(|r| r.shard).collect();
+    validate_shard_plan(&plan, spec.runs)?;
+    let benchmark = ordered[0].benchmark.clone();
+    if ordered.iter().any(|r| r.benchmark != benchmark) {
+        return Err("shards disagree on the benchmark".to_string());
+    }
+
+    let mut before_s = Vec::with_capacity(spec.runs);
+    let mut after_s = Vec::with_capacity(spec.runs);
+    let mut trace = String::new();
+    for shard in &ordered {
+        before_s.extend_from_slice(&shard.before);
+        trace.push_str(&shard.before_trace);
+    }
+    for shard in &ordered {
+        after_s.extend_from_slice(&shard.after);
+        trace.push_str(&shard.after_trace);
+    }
+
+    let outcome = fixed_outcome(before_s, after_s, spec.runs);
+    let (sink, buffer) = TraceSink::in_memory();
+    sink.summary_record("evaluate", evaluate_verdict_fields(&benchmark, &outcome));
+    sink.flush();
+    trace.push_str(&buffer.contents());
+
+    let summary = evaluate_summary(
+        &benchmark,
+        &spec.before_opt,
+        &spec.after_opt,
+        &outcome,
+        false,
+    );
+    Ok(JobOutput {
+        trace,
+        summary,
+        samples_used: 2 * spec.runs as u64,
+        samples_saved: 0,
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A minimal fixed-size thread pool for blocking peer I/O. Queued
+/// jobs drain in FIFO order; dropping the pool finishes what was
+/// queued and joins the threads.
+struct Couriers {
+    tx: Option<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Couriers {
+    fn new(count: usize) -> Couriers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..count.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock().expect("courier queue");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return,
+                    }
+                })
+            })
+            .collect();
+        Couriers {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        if let Some(tx) = &self.tx {
+            // A send can only fail if every courier died; run inline
+            // rather than dropping the client's reply.
+            if let Err(mpsc::SendError(job)) = tx.send(job) {
+                job();
+            }
+        }
+    }
+}
+
+impl Drop for Couriers {
+    fn drop(&mut self) {
+        self.tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn role_names_round_trip() {
+        for role in [Role::Single, Role::Node, Role::Coordinator] {
+            assert_eq!(Role::from_name(role.name()), Some(role));
+        }
+        assert_eq!(Role::from_name("primary"), None);
+    }
+
+    fn evaluate_spec(runs: usize) -> RunRequest {
+        let mut spec = RunRequest::quick(Experiment::Evaluate);
+        spec.benchmarks = Some(vec!["gobmk".into()]);
+        spec.runs = runs;
+        spec
+    }
+
+    fn run(spec: &RunRequest) -> JobOutput {
+        let cancel = AtomicBool::new(false);
+        execute(spec, 1, &cancel, None).expect("job succeeds")
+    }
+
+    /// The tentpole's correctness claim at unit scope: executing the
+    /// shards separately and merging reproduces the single-node
+    /// output byte for byte.
+    #[test]
+    fn merged_shards_are_byte_identical_to_a_single_node_run() {
+        let spec = evaluate_spec(5);
+        let whole = run(&spec);
+
+        let shards: Vec<ShardResult> = plan_shards(spec.runs, 2)
+            .into_iter()
+            .map(|shard| {
+                let mut shard_spec = spec.clone();
+                shard_spec.shard = Some(shard);
+                shard_result_from_output(&run(&shard_spec), false).expect("shard summary")
+            })
+            .collect();
+        assert_eq!(shards.len(), 2);
+        let merged = merge_shard_results(&spec, &shards).expect("merge");
+        assert_eq!(merged.trace, whole.trace, "trace bytes must match");
+        assert_eq!(merged.summary, whole.summary);
+        assert_eq!(merged.samples_used, whole.samples_used);
+    }
+
+    /// Merge order is by shard start, not arrival order.
+    #[test]
+    fn merge_sorts_shards_and_rejects_bad_tilings() {
+        let spec = evaluate_spec(4);
+        let whole = run(&spec);
+        let mut shards: Vec<ShardResult> = plan_shards(spec.runs, 2)
+            .into_iter()
+            .map(|shard| {
+                let mut shard_spec = spec.clone();
+                shard_spec.shard = Some(shard);
+                shard_result_from_output(&run(&shard_spec), false).expect("shard summary")
+            })
+            .collect();
+        shards.reverse();
+        let merged = merge_shard_results(&spec, &shards).expect("merge");
+        assert_eq!(merged.trace, whole.trace);
+
+        let err = merge_shard_results(&spec, &shards[1..]).expect_err("incomplete tiling");
+        assert!(err.contains("covers"), "{err:?}");
+    }
+
+    #[test]
+    fn shard_result_split_respects_before_len() {
+        let spec = {
+            let mut s = evaluate_spec(4);
+            s.shard = Some(ShardRange { start: 1, count: 2 });
+            s
+        };
+        let output = run(&spec);
+        let shard = shard_result_from_output(&output, true).expect("shard summary");
+        assert!(shard.cached);
+        assert_eq!(shard.shard, ShardRange { start: 1, count: 2 });
+        assert_eq!(
+            format!("{}{}", shard.before_trace, shard.after_trace),
+            output.trace
+        );
+        assert!(shard.before_trace.lines().count() >= 2);
+        assert_eq!(shard.before.len(), 2);
+        assert_eq!(shard.after.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Consistent hashing over the federation's peer list.
+//!
+//! Every cacheable request already has a 128-bit content address (the
+//! FNV-1a hash the [`crate::cache`] module computes), and every node
+//! computes bit-identical results, so *which* node owns a key is pure
+//! policy: any stable assignment works, and consistent hashing keeps
+//! the assignment stable when the fleet changes. Each peer is placed
+//! on the ring at [`VNODES`] pseudo-random points (hashes of
+//! `"{peer}\x1f{index}"`), and a key belongs to the peer owning the
+//! first point clockwise from the key's own hash.
+//!
+//! Two properties the tests pin:
+//!
+//! - **order independence** — placement depends only on peer *names*,
+//!   so reordering the configured peer list never remaps a key;
+//! - **bounded churn** — removing one peer remaps only the keys that
+//!   peer owned; every other key keeps its node.
+
+use crate::cache::fnv1a_128;
+
+/// Virtual nodes per peer. 64 points per peer keeps the expected load
+/// imbalance across a small fleet within a few percent while the ring
+/// stays tiny (a few KB per peer).
+pub const VNODES: usize = 64;
+
+/// An immutable consistent-hash ring over a set of node names.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(position, node index)`, sorted by position.
+    points: Vec<(u128, u32)>,
+    nodes: Vec<String>,
+}
+
+impl Ring {
+    /// Builds a ring with [`VNODES`] virtual nodes per entry.
+    /// Duplicate names are ignored after their first occurrence.
+    pub fn new(nodes: &[String]) -> Ring {
+        Ring::with_vnodes(nodes, VNODES)
+    }
+
+    /// [`Ring::new`] with an explicit virtual-node count (the property
+    /// tests sweep it).
+    pub fn with_vnodes(nodes: &[String], vnodes: usize) -> Ring {
+        let mut uniq: Vec<String> = Vec::new();
+        for n in nodes {
+            if !uniq.iter().any(|u| u == n) {
+                uniq.push(n.clone());
+            }
+        }
+        let mut points = Vec::with_capacity(uniq.len() * vnodes);
+        for (i, node) in uniq.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((placement(node, v), i as u32));
+            }
+        }
+        // Positions alone decide the order; ties (astronomically rare
+        // for 128-bit hashes) break by node name so the mapping never
+        // depends on configuration order.
+        points.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| uniq[a.1 as usize].cmp(&uniq[b.1 as usize]))
+        });
+        Ring {
+            points,
+            nodes: uniq,
+        }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node names, in first-seen configuration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The node owning `key`: the first ring point at or clockwise
+    /// after the key's position (wrapping). `None` on an empty ring.
+    pub fn lookup(&self, key: u128) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let position = key_position(key);
+        let idx = self.points.partition_point(|&(p, _)| p < position);
+        let (_, node) = self.points[if idx == self.points.len() { 0 } else { idx }];
+        Some(&self.nodes[node as usize])
+    }
+}
+
+/// A peer's `v`-th ring position. The unit separator keeps
+/// `("ab", 1)` and `("a", "b1")`-style collisions impossible. Public
+/// so the property tests can rebuild the circle with a naive scan.
+pub fn placement(node: &str, v: usize) -> u128 {
+    scramble(fnv1a_128(format!("{node}\u{1f}{v}").as_bytes()))
+}
+
+/// A key's position on the circle — what [`Ring::lookup`] compares
+/// placements against.
+pub fn key_position(key: u128) -> u128 {
+    scramble(key)
+}
+
+/// Finalizes a hash into a ring position. FNV-1a's upper bits barely
+/// avalanche on short inputs — two peers' vnode placements share long
+/// hex prefixes and would occupy disjoint arcs, collapsing the ring
+/// onto one node — so both placements and keys go through a
+/// splitmix-style mix before they are compared as circle positions.
+/// (The cache keeps the raw FNV hash: content addressing only needs
+/// equality, not uniformity.)
+fn scramble(x: u128) -> u128 {
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let lo = splitmix(x as u64 ^ (x >> 64) as u64);
+    let hi = splitmix((x >> 64) as u64 ^ lo);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn lookup_wraps_and_covers_every_node() {
+        let ring = Ring::new(&names(4));
+        assert_eq!(ring.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u32 {
+            let key = fnv1a_128(&i.to_le_bytes());
+            seen.insert(ring.lookup(key).unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 4, "4096 keys must touch all 4 nodes");
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::new(&[]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.lookup(42), None);
+    }
+
+    #[test]
+    fn duplicate_names_collapse() {
+        let mut dup = names(3);
+        dup.push(dup[0].clone());
+        let ring = Ring::new(&dup);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(&names(4));
+        let mut counts = std::collections::HashMap::new();
+        let total = 16_384u32;
+        for i in 0..total {
+            let key = fnv1a_128(&i.to_le_bytes());
+            *counts
+                .entry(ring.lookup(key).unwrap().to_string())
+                .or_insert(0u32) += 1;
+        }
+        for (node, count) in counts {
+            let share = f64::from(count) / f64::from(total);
+            assert!(
+                (0.10..0.45).contains(&share),
+                "{node} owns {share:.3} of the keyspace"
+            );
+        }
+    }
+}

@@ -17,9 +17,15 @@ use std::time::{Duration, Instant};
 
 use sz_harness::Json;
 
-use crate::cache::{cache_key, ResultCache};
+use crate::cache::{cache_key, CacheKey, ResultCache};
 use crate::exec::{execute, ExecError, JobOutput};
 use crate::proto::RunRequest;
+
+/// Called with a job id whenever that job settles (done, failed, or
+/// cancelled), strictly outside the scheduler lock. The event-loop
+/// front end registers one to wake pollers instead of blocking a
+/// thread per waiter.
+pub type SettleNotifier = Arc<dyn Fn(u64) + Send + Sync>;
 
 /// How many finished job records `status` can still see.
 const FINISHED_RETENTION: usize = 256;
@@ -110,6 +116,7 @@ struct Inner {
     failed: u64,
     cancelled: u64,
     rejected: u64,
+    notifier: Option<SettleNotifier>,
 }
 
 impl Inner {
@@ -161,6 +168,7 @@ impl Scheduler {
                 failed: 0,
                 cancelled: 0,
                 rejected: 0,
+                notifier: None,
             }),
             Condvar::new(),
         ));
@@ -176,6 +184,31 @@ impl Scheduler {
             config,
             workers: Mutex::new(workers),
         }
+    }
+
+    /// Registers the settle notifier (replacing any previous one).
+    /// It fires for every future settle — completion, failure,
+    /// cancellation, shutdown drain — outside the scheduler lock.
+    pub fn set_notifier(&self, notifier: SettleNotifier) {
+        let (lock, _) = &*self.shared;
+        lock.lock().expect("scheduler lock").notifier = Some(notifier);
+    }
+
+    /// Looks up a cache entry by key (the federation coordinator's
+    /// local-cache probe before routing to a peer).
+    pub fn cache_lookup(&self, key: &CacheKey) -> Option<Arc<JobOutput>> {
+        let (lock, _) = &*self.shared;
+        lock.lock().expect("scheduler lock").cache.get(key)
+    }
+
+    /// Inserts a result under `key` (the coordinator storing a merged
+    /// shard transcript so repeats are local hits).
+    pub fn cache_insert(&self, key: &CacheKey, output: Arc<JobOutput>) {
+        let (lock, _) = &*self.shared;
+        lock.lock()
+            .expect("scheduler lock")
+            .cache
+            .insert(key, output);
     }
 
     /// Submits a request: cache hit, queued job, or rejection.
@@ -235,6 +268,11 @@ impl Scheduler {
                 inner.cancelled += 1;
                 inner.settle(id, JobState::Failed(ExecError::Cancelled));
                 cvar.notify_all();
+                let notifier = inner.notifier.clone();
+                drop(inner);
+                if let Some(notify) = notifier {
+                    notify(id);
+                }
                 true
             }
             JobState::Running => {
@@ -291,12 +329,14 @@ impl Scheduler {
     /// Running jobs get their cancellation flag set and are joined.
     pub fn shutdown(&self) {
         let (lock, cvar) = &*self.shared;
-        {
+        let (drained, notifier) = {
             let mut inner = lock.lock().expect("scheduler lock");
             inner.shutdown = true;
+            let mut drained = Vec::new();
             while let Some(id) = inner.queue.pop_front() {
                 inner.cancelled += 1;
                 inner.settle(id, JobState::Failed(ExecError::Cancelled));
+                drained.push(id);
             }
             for job in inner.jobs.values() {
                 if job.state == JobState::Running {
@@ -304,6 +344,12 @@ impl Scheduler {
                 }
             }
             cvar.notify_all();
+            (drained, inner.notifier.clone())
+        };
+        if let Some(notify) = notifier {
+            for id in drained {
+                notify(id);
+            }
         }
         let handles: Vec<_> = self
             .workers
@@ -361,32 +407,38 @@ fn worker_loop(shared: &Arc<(Mutex<Inner>, Condvar)>, exec_threads: usize) {
         });
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
-        let mut inner = lock.lock().expect("scheduler lock");
-        inner.running -= 1;
-        inner.avg_job_ms = if inner.avg_job_ms == 0.0 {
-            elapsed_ms
-        } else {
-            0.7 * inner.avg_job_ms + 0.3 * elapsed_ms
+        let notifier = {
+            let mut inner = lock.lock().expect("scheduler lock");
+            inner.running -= 1;
+            inner.avg_job_ms = if inner.avg_job_ms == 0.0 {
+                elapsed_ms
+            } else {
+                0.7 * inner.avg_job_ms + 0.3 * elapsed_ms
+            };
+            match result {
+                Ok(output) => {
+                    let output = Arc::new(output);
+                    if spec.experiment.cacheable() {
+                        inner.cache.insert(&cache_key(&spec), Arc::clone(&output));
+                    }
+                    inner.completed += 1;
+                    inner.settle(id, JobState::Done(output));
+                }
+                Err(err) => {
+                    if err == ExecError::Cancelled {
+                        inner.cancelled += 1;
+                    } else {
+                        inner.failed += 1;
+                    }
+                    inner.settle(id, JobState::Failed(err));
+                }
+            }
+            cvar.notify_all();
+            inner.notifier.clone()
         };
-        match result {
-            Ok(output) => {
-                let output = Arc::new(output);
-                if spec.experiment.cacheable() {
-                    inner.cache.insert(&cache_key(&spec), Arc::clone(&output));
-                }
-                inner.completed += 1;
-                inner.settle(id, JobState::Done(output));
-            }
-            Err(err) => {
-                if err == ExecError::Cancelled {
-                    inner.cancelled += 1;
-                } else {
-                    inner.failed += 1;
-                }
-                inner.settle(id, JobState::Failed(err));
-            }
+        if let Some(notify) = notifier {
+            notify(id);
         }
-        cvar.notify_all();
     }
 }
 

@@ -1,29 +1,45 @@
 //! The TCP front end: line-delimited JSON requests in, line-delimited
 //! JSON records out.
 //!
-//! Each accepted connection is handled on its own thread; each request
-//! line produces one or more response lines. Traced `run` responses
-//! stream the job's captured records (`type: "run"` / `"summary"`) —
-//! byte-identical to an `sz-bench --trace` file — followed by exactly
-//! one terminal line whose `type` is `result`, `accepted`, `rejected`,
-//! or `error`. Clients read until they see a terminal line.
+//! Connections are multiplexed by the [`event_loop`] pool — a few
+//! threads holding every client — rather than one thread per
+//! connection. Each request line produces one or more response lines.
+//! Traced `run` responses stream the job's captured records (`type:
+//! "run"` / `"summary"`) — byte-identical to an `sz-bench --trace`
+//! file — followed by exactly one terminal line whose `type` is
+//! `result`, `accepted`, `rejected`, or `error`. Clients read until
+//! they see a terminal line.
+//!
+//! A blocking `run` no longer parks a thread: the connection's reply
+//! is registered as a *pending wait* and the scheduler's settle
+//! notifier pushes the result through [`Completions`] when the job
+//! finishes. An event-loop thread therefore never blocks on a job —
+//! it only parses, submits, and moves on to the next ready socket.
+//!
+//! With a [`FederationConfig`] naming peers, the same front end also
+//! serves the `coordinator` / `node` roles (see [`crate::federation`]).
+//!
+//! [`event_loop`]: crate::event_loop
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sz_harness::Json;
 
+use crate::event_loop::{Completions, ConnHandler, ConnToken, EventLoops, LineOutcome, NetStats};
 use crate::exec::JobOutput;
+use crate::federation::{shard_result_from_output, Federation, FederationConfig, Routed};
 use crate::proto::{Request, RunRequest, DEFAULT_ADDR};
 use crate::scheduler::{JobState, Scheduler, SchedulerConfig, SubmitOutcome};
 
-/// How long a `wait: true` request may block before the connection
-/// gives up and degrades to an `accepted` line. Generous on purpose:
-/// per-job deadlines (`deadline_ms`) are the intended bound.
-const WAIT_CAP: Duration = Duration::from_secs(600);
+/// How long a `wait: true` request may stay pending before the server
+/// degrades it to an `accepted` line (the job keeps running; the
+/// client can poll). Generous on purpose: per-job deadlines
+/// (`deadline_ms`) are the intended bound.
+pub(crate) const WAIT_CAP: Duration = Duration::from_secs(600);
 
 /// Server sizing and bind address.
 #[derive(Debug, Clone)]
@@ -32,6 +48,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Scheduler sizing.
     pub scheduler: SchedulerConfig,
+    /// Event-loop threads multiplexing the connections.
+    pub loops: usize,
+    /// Federation role and peer list.
+    pub federation: FederationConfig,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +59,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: DEFAULT_ADDR.to_string(),
             scheduler: SchedulerConfig::default(),
+            loops: 2,
+            federation: FederationConfig::default(),
         }
     }
 }
@@ -48,21 +70,45 @@ pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
     stop: Arc<AtomicBool>,
+    loops: EventLoops,
+    handler: Arc<ServeHandler>,
 }
 
 impl Server {
-    /// Binds the listener and starts the scheduler's workers.
+    /// Binds the listener, starts the scheduler's workers, and wires
+    /// the settle notifier to the event loops.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind or self-pipe failure.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loops = EventLoops::new(config.loops, Arc::clone(&stop))?;
+        let scheduler = Arc::new(Scheduler::new(config.scheduler));
+        let handler = Arc::new(ServeHandler {
+            scheduler: Arc::clone(&scheduler),
+            completions: loops.completions(),
+            net: loops.net_stats(),
+            federation: Federation::new(&config.federation),
+            waits: Mutex::new(HashMap::new()),
+            stop: Arc::clone(&stop),
+        });
+        // The notifier holds a Weak so a dropped server tears down
+        // cleanly: scheduler -> notifier -> handler -> scheduler would
+        // otherwise be a strong cycle.
+        let weak = Arc::downgrade(&handler);
+        scheduler.set_notifier(Arc::new(move |id| {
+            if let Some(handler) = weak.upgrade() {
+                handler.try_complete(id);
+            }
+        }));
         Ok(Server {
             listener,
-            scheduler: Arc::new(Scheduler::new(config.scheduler)),
-            stop: Arc::new(AtomicBool::new(false)),
+            scheduler,
+            stop,
+            loops,
+            handler,
         })
     }
 
@@ -75,197 +121,279 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A handle that makes `serve` return from another thread.
+    /// A handle that makes `serve` return from another thread (within
+    /// one poll timeout, without waiting on idle clients).
     pub fn stop_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
     }
 
-    /// Accepts connections until a `shutdown` request (or the stop
-    /// handle) fires, then drains the scheduler and returns.
+    /// Runs the event loops until a `shutdown` request (or the stop
+    /// handle) fires, then drains the scheduler and returns. Every
+    /// open connection — idle ones included — is flushed best-effort
+    /// and closed on the way out.
     ///
     /// # Errors
     ///
-    /// Propagates unexpected accept failures.
+    /// Propagates listener setup failures; per-connection I/O errors
+    /// are counted in the stats, never returned.
     pub fn serve(&self) -> std::io::Result<()> {
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let scheduler = Arc::clone(&self.scheduler);
-                    let stop = Arc::clone(&self.stop);
-                    connections.push(std::thread::spawn(move || {
-                        handle_connection(stream, &scheduler, &stop);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-            connections.retain(|handle| !handle.is_finished());
-        }
-        for handle in connections {
-            let _ = handle.join();
-        }
+        let handler: Arc<dyn ConnHandler> = Arc::clone(&self.handler) as Arc<dyn ConnHandler>;
+        self.loops.run(&self.listener, &handler)?;
         self.scheduler.shutdown();
         Ok(())
     }
 }
 
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &AtomicBool) {
-    let Ok(peer_reader) = stream.try_clone() else {
-        return;
-    };
-    let reader = BufReader::new(peer_reader);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            return;
-        };
-        if line.trim().is_empty() {
-            continue;
+/// A connection whose `run` reply is waiting on a scheduler job.
+struct Waiter {
+    token: ConnToken,
+    experiment: &'static str,
+    wants_trace: bool,
+    /// Reply with a `shard_result` line instead of a `result` line.
+    shard: bool,
+    /// When to degrade to an `accepted` line ([`WAIT_CAP`]).
+    deadline: Instant,
+}
+
+/// The per-request brain the event loops call into. Never blocks:
+/// long work lives on scheduler workers or federation couriers, and
+/// replies come back through [`Completions`].
+struct ServeHandler {
+    scheduler: Arc<Scheduler>,
+    completions: Completions,
+    net: Arc<NetStats>,
+    federation: Federation,
+    waits: Mutex<HashMap<u64, Waiter>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServeHandler {
+    fn respond_run(&self, token: ConnToken, spec: RunRequest) -> LineOutcome {
+        match self
+            .federation
+            .route_run(&spec, &self.scheduler, &self.completions, token)
+        {
+            Routed::Reply(bytes) => return LineOutcome::Reply(bytes),
+            Routed::Pending => return LineOutcome::Pending,
+            Routed::Local => {}
         }
-        let done = match Request::parse(&line) {
-            Ok(request) => respond(request, scheduler, stop, &mut writer),
-            Err(message) => {
-                write_line(
-                    &mut writer,
-                    &Json::obj([("type", "error".into()), ("message", message.into())]),
+
+        let shard = spec.shard.is_some();
+        // Shard replies embed their trace chunks in the shard_result
+        // line; streaming records as well would duplicate them.
+        let wants_trace = spec.trace && !shard;
+        let wait = spec.wait;
+        let experiment = spec.experiment.name();
+        match self.scheduler.submit(spec) {
+            SubmitOutcome::Cached(output) => LineOutcome::Reply(if shard {
+                render_shard_reply(&output, true)
+            } else {
+                render_output(experiment, &output, true, None, wants_trace)
+            }),
+            SubmitOutcome::Rejected { retry_after_ms } => {
+                LineOutcome::Reply(render_rejected(retry_after_ms))
+            }
+            SubmitOutcome::Accepted(id) => {
+                if !wait {
+                    return LineOutcome::Reply(render_accepted(id));
+                }
+                self.waits.lock().expect("wait registry").insert(
+                    id,
+                    Waiter {
+                        token,
+                        experiment,
+                        wants_trace,
+                        shard,
+                        deadline: Instant::now() + WAIT_CAP,
+                    },
                 );
-                false
+                // The job may have settled before the waiter was
+                // registered (the notifier fires on the worker
+                // thread); re-check so the reply cannot be lost.
+                if self
+                    .scheduler
+                    .status(id)
+                    .is_some_and(|s| matches!(s, JobState::Done(_) | JobState::Failed(_)))
+                {
+                    self.try_complete(id);
+                }
+                LineOutcome::Pending
+            }
+        }
+    }
+
+    /// Completes the pending wait for `id`, if any. Called from the
+    /// scheduler's settle notifier and from the register-time
+    /// re-check; the registry lock makes the removal idempotent.
+    fn try_complete(&self, id: u64) {
+        let (waiter, state) = {
+            let mut waits = self.waits.lock().expect("wait registry");
+            if !waits.contains_key(&id) {
+                return;
+            }
+            match self.scheduler.status(id) {
+                Some(state @ (JobState::Done(_) | JobState::Failed(_))) => {
+                    (waits.remove(&id).expect("checked above"), state)
+                }
+                _ => return,
             }
         };
-        if writer.flush().is_err() || done {
-            return;
+        let bytes = match state {
+            JobState::Done(output) => {
+                if waiter.shard {
+                    render_shard_reply(&output, false)
+                } else {
+                    render_output(
+                        waiter.experiment,
+                        &output,
+                        false,
+                        Some(id),
+                        waiter.wants_trace,
+                    )
+                }
+            }
+            JobState::Failed(err) => render_error(Some(id), &err.reason()),
+            _ => unreachable!("settled above"),
+        };
+        self.completions.send(waiter.token, bytes, false);
+    }
+
+    fn respond_stats(&self) -> Vec<u8> {
+        let mut fields = vec![("type".to_string(), Json::from("stats"))];
+        if let Json::Obj(stats) = self.scheduler.stats_json() {
+            fields.extend(stats);
         }
+        // Connection-level failures used to vanish: a try_clone error
+        // dropped the connection silently and final-flush errors were
+        // ignored. Now they are counted and visible.
+        for (name, counter) in [
+            ("connections_accepted", &self.net.accepted),
+            ("connections_open", &self.net.open),
+            ("conn_errors", &self.net.conn_errors),
+            ("write_errors", &self.net.write_errors),
+        ] {
+            fields.push((name.to_string(), counter.load(Ordering::Relaxed).into()));
+        }
+        fields.push(("federation".to_string(), self.federation.stats_json()));
+        render_line(&Json::Obj(fields))
     }
 }
 
-/// Handles one request; returns true when the connection should close.
-fn respond(
-    request: Request,
-    scheduler: &Scheduler,
-    stop: &AtomicBool,
-    writer: &mut impl Write,
-) -> bool {
-    match request {
-        Request::Run(spec) => {
-            respond_run(spec, scheduler, writer);
-            false
-        }
-        Request::Status { job } => {
-            let line = match scheduler.status(job) {
-                None => Json::obj([
-                    ("type", "status".into()),
-                    ("job", job.into()),
-                    ("state", "unknown".into()),
-                ]),
-                Some(state) => {
-                    let mut fields = vec![
-                        ("type".to_string(), Json::from("status")),
-                        ("job".to_string(), job.into()),
-                        ("state".to_string(), state.name().into()),
-                    ];
-                    if let JobState::Failed(err) = &state {
-                        fields.push(("reason".to_string(), err.reason().into()));
+impl ConnHandler for ServeHandler {
+    fn on_line(&self, token: ConnToken, line: &str) -> LineOutcome {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(message) => {
+                return LineOutcome::Reply(render_line(&Json::obj([
+                    ("type", "error".into()),
+                    ("message", message.into()),
+                ])));
+            }
+        };
+        match request {
+            Request::Run(spec) => self.respond_run(token, spec),
+            Request::Status { job } => {
+                let line = match self.scheduler.status(job) {
+                    None => Json::obj([
+                        ("type", "status".into()),
+                        ("job", job.into()),
+                        ("state", "unknown".into()),
+                    ]),
+                    Some(state) => {
+                        let mut fields = vec![
+                            ("type".to_string(), Json::from("status")),
+                            ("job".to_string(), job.into()),
+                            ("state".to_string(), state.name().into()),
+                        ];
+                        if let JobState::Failed(err) = &state {
+                            fields.push(("reason".to_string(), err.reason().into()));
+                        }
+                        Json::Obj(fields)
                     }
-                    Json::Obj(fields)
-                }
-            };
-            write_line(writer, &line);
-            false
-        }
-        Request::Cancel { job } => {
-            let ok = scheduler.cancel(job);
-            write_line(
-                writer,
-                &Json::obj([
+                };
+                LineOutcome::Reply(render_line(&line))
+            }
+            Request::Cancel { job } => {
+                let ok = self.scheduler.cancel(job);
+                LineOutcome::Reply(render_line(&Json::obj([
                     ("type", "cancelled".into()),
                     ("job", job.into()),
                     ("ok", ok.into()),
-                ]),
-            );
-            false
-        }
-        Request::Stats => {
-            let mut fields = vec![("type".to_string(), Json::from("stats"))];
-            if let Json::Obj(stats) = scheduler.stats_json() {
-                fields.extend(stats);
+                ])))
             }
-            write_line(writer, &Json::Obj(fields));
-            false
+            Request::Stats => LineOutcome::Reply(self.respond_stats()),
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                self.completions.wake_all();
+                LineOutcome::ReplyAndClose(render_line(&Json::obj([("type", "shutdown".into())])))
+            }
         }
-        Request::Shutdown => {
-            write_line(writer, &Json::obj([("type", "shutdown".into())]));
-            stop.store(true, Ordering::SeqCst);
-            true
+    }
+
+    /// Sweeps pending waits past [`WAIT_CAP`], degrading each to an
+    /// `accepted` line so the connection is never wedged forever.
+    fn tick(&self) {
+        let now = Instant::now();
+        let expired: Vec<(u64, ConnToken)> = {
+            let mut waits = self.waits.lock().expect("wait registry");
+            let ids: Vec<u64> = waits
+                .iter()
+                .filter(|(_, w)| w.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.into_iter()
+                .map(|id| {
+                    let waiter = waits.remove(&id).expect("listed above");
+                    (id, waiter.token)
+                })
+                .collect()
+        };
+        for (id, token) in expired {
+            self.completions.send(token, render_accepted(id), false);
         }
     }
 }
 
-fn respond_run(spec: RunRequest, scheduler: &Scheduler, writer: &mut impl Write) {
-    let wants_trace = spec.trace;
-    let wait = spec.wait;
-    let experiment = spec.experiment.name();
-    match scheduler.submit(spec) {
-        SubmitOutcome::Cached(output) => {
-            emit_output(writer, experiment, &output, true, None, wants_trace);
-        }
-        SubmitOutcome::Rejected { retry_after_ms } => {
-            write_line(
-                writer,
-                &Json::obj([
-                    ("type", "rejected".into()),
-                    ("retry_after_ms", retry_after_ms.into()),
-                ]),
-            );
-        }
-        SubmitOutcome::Accepted(id) => {
-            if !wait {
-                write_line(
-                    writer,
-                    &Json::obj([("type", "accepted".into()), ("job", id.into())]),
-                );
-                return;
-            }
-            match scheduler.wait(id, WAIT_CAP) {
-                Some(JobState::Done(output)) => {
-                    emit_output(writer, experiment, &output, false, Some(id), wants_trace);
-                }
-                Some(JobState::Failed(err)) => {
-                    write_line(
-                        writer,
-                        &Json::obj([
-                            ("type", "error".into()),
-                            ("job", id.into()),
-                            ("message", err.reason().into()),
-                        ]),
-                    );
-                }
-                _ => {
-                    write_line(
-                        writer,
-                        &Json::obj([("type", "accepted".into()), ("job", id.into())]),
-                    );
-                }
-            }
-        }
-    }
+pub(crate) fn render_line(value: &Json) -> Vec<u8> {
+    format!("{value}\n").into_bytes()
 }
 
-fn emit_output(
-    writer: &mut impl Write,
+pub(crate) fn render_accepted(id: u64) -> Vec<u8> {
+    render_line(&Json::obj([
+        ("type", "accepted".into()),
+        ("job", id.into()),
+    ]))
+}
+
+pub(crate) fn render_rejected(retry_after_ms: u64) -> Vec<u8> {
+    render_line(&Json::obj([
+        ("type", "rejected".into()),
+        ("retry_after_ms", retry_after_ms.into()),
+    ]))
+}
+
+pub(crate) fn render_error(job: Option<u64>, message: &str) -> Vec<u8> {
+    let mut fields = vec![("type".to_string(), Json::from("error"))];
+    if let Some(id) = job {
+        fields.push(("job".to_string(), id.into()));
+    }
+    fields.push(("message".to_string(), message.into()));
+    render_line(&Json::Obj(fields))
+}
+
+/// The bytes of a completed `run` reply: optional trace records (the
+/// captured JSONL is relayed byte-for-byte, so cached and fresh
+/// responses are identical) followed by the terminal `result` line.
+pub(crate) fn render_output(
     experiment: &str,
     output: &JobOutput,
     cached: bool,
     job: Option<u64>,
     wants_trace: bool,
-) {
+) -> Vec<u8> {
+    let mut bytes = Vec::new();
     if wants_trace {
-        // The captured trace is already line-delimited JSON; relay it
-        // byte-for-byte so cached and fresh responses are identical.
-        let _ = writer.write_all(output.trace.as_bytes());
+        bytes.extend_from_slice(output.trace.as_bytes());
     }
     let mut fields = vec![
         ("type".to_string(), Json::from("result")),
@@ -278,16 +406,43 @@ fn emit_output(
     if let Some(id) = job {
         fields.insert(1, ("job".to_string(), id.into()));
     }
-    write_line(writer, &Json::Obj(fields));
+    bytes.extend_from_slice(&render_line(&Json::Obj(fields)));
+    bytes
 }
 
-fn write_line(writer: &mut impl Write, value: &Json) {
-    let _ = writeln!(writer, "{value}");
+/// The bytes of a `run_shard` reply: one `shard_result` line.
+pub(crate) fn render_shard_reply(output: &JobOutput, cached: bool) -> Vec<u8> {
+    match shard_result_from_output(output, cached) {
+        Ok(shard) => render_line(&shard.to_json()),
+        Err(message) => render_error(None, &message),
+    }
+}
+
+/// Executes a `run` to completion on the calling thread — the
+/// federation couriers' local-fallback path, where blocking is fine.
+pub(crate) fn run_blocking(spec: &RunRequest, scheduler: &Arc<Scheduler>) -> Vec<u8> {
+    let wants_trace = spec.trace;
+    let experiment = spec.experiment.name();
+    match scheduler.submit(spec.clone()) {
+        SubmitOutcome::Cached(output) => {
+            render_output(experiment, &output, true, None, wants_trace)
+        }
+        SubmitOutcome::Rejected { retry_after_ms } => render_rejected(retry_after_ms),
+        SubmitOutcome::Accepted(id) => match scheduler.wait(id, WAIT_CAP) {
+            Some(JobState::Done(output)) => {
+                render_output(experiment, &output, false, Some(id), wants_trace)
+            }
+            Some(JobState::Failed(err)) => render_error(Some(id), &err.reason()),
+            _ => render_accepted(id),
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
 
     fn spawn_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
         let server = Server::bind(ServerConfig {
@@ -298,6 +453,8 @@ mod tests {
                 exec_threads: 1,
                 cache_budget: 4 << 20,
             },
+            loops: 2,
+            federation: FederationConfig::default(),
         })
         .expect("bind ephemeral");
         let addr = server.local_addr().expect("local addr");
@@ -330,6 +487,7 @@ mod tests {
                         | "cancelled"
                         | "stats"
                         | "shutdown"
+                        | "shard_result"
                 );
                 responses.push(value);
                 if terminal {
@@ -368,7 +526,31 @@ mod tests {
         );
         assert_eq!(responses[0].get("type").unwrap().as_str(), Some("stats"));
         assert_eq!(responses[0].get("queue_depth").unwrap().as_u64(), Some(0));
+        // Satellite: connection-error counters are first-class stats.
+        assert_eq!(responses[0].get("conn_errors").unwrap().as_u64(), Some(0));
+        assert_eq!(responses[0].get("write_errors").unwrap().as_u64(), Some(0));
+        let federation = responses[0].get("federation").expect("federation stats");
+        assert_eq!(federation.get("role").unwrap().as_str(), Some("single"));
         assert_eq!(responses[1].get("state").unwrap().as_str(), Some("unknown"));
+        handle.join().expect("server exits cleanly");
+    }
+
+    #[test]
+    fn run_shard_replies_with_a_shard_result_line() {
+        let (addr, handle) = spawn_server();
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"type":"run_shard","experiment":"evaluate","benchmarks":["gobmk"],"runs":4,"shard_start":1,"shard_count":2}"#
+                    .to_string(),
+                r#"{"type":"shutdown"}"#.to_string(),
+            ],
+        );
+        let shard = &responses[0];
+        assert_eq!(shard.get("type").unwrap().as_str(), Some("shard_result"));
+        assert_eq!(shard.get("shard_start").unwrap().as_u64(), Some(1));
+        assert_eq!(shard.get("shard_count").unwrap().as_u64(), Some(2));
+        assert_eq!(shard.get("before_bits").unwrap().as_arr().unwrap().len(), 2);
         handle.join().expect("server exits cleanly");
     }
 }

@@ -1,0 +1,224 @@
+//! End-to-end federation tests: a coordinator fanning a run out to
+//! two live node processes (in-process servers on ephemeral ports),
+//! byte-identical shard merges against a single-node reference,
+//! ring-forwarded lookups, and fallback when peers are dead.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use sz_harness::Json;
+use sz_serve::scheduler::SchedulerConfig;
+use sz_serve::{FederationConfig, Role, Server, ServerConfig};
+
+fn start(role: Role, peers: Vec<String>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            exec_threads: 2,
+            cache_budget: 32 << 20,
+        },
+        loops: 2,
+        federation: FederationConfig {
+            role,
+            peers,
+            couriers: 4,
+        },
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("resolved addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+/// One request over a fresh connection; returns every response line
+/// up to and including the terminal line.
+fn request(addr: SocketAddr, line: &str) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    writeln!(writer, "{line}").expect("send");
+    writer.flush().expect("flush");
+    let mut lines = Vec::new();
+    for response in BufReader::new(stream).lines() {
+        let response = response.expect("receive");
+        let value = Json::parse(&response).expect("responses are well-formed JSON");
+        let ty = value.get("type").and_then(Json::as_str).expect("typed");
+        let terminal = !matches!(ty, "run" | "summary");
+        lines.push(response);
+        if terminal {
+            return lines;
+        }
+    }
+    panic!("connection closed before a terminal line");
+}
+
+fn terminal(lines: &[String]) -> Json {
+    Json::parse(lines.last().expect("at least one line")).expect("well-formed")
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let lines = request(addr, r#"{"type":"shutdown"}"#);
+    assert_eq!(
+        terminal(&lines).get("type").unwrap().as_str(),
+        Some("shutdown")
+    );
+    handle.join().expect("server exits cleanly");
+}
+
+fn federation_counter(addr: SocketAddr, field: &str) -> u64 {
+    let stats = terminal(&request(addr, r#"{"type":"stats"}"#));
+    stats
+        .get("federation")
+        .expect("stats carry a federation object")
+        .get(field)
+        .unwrap_or_else(|| panic!("federation stats carry {field}"))
+        .as_u64()
+        .expect("counter")
+}
+
+/// An address that accepts nothing: bind, harvest the port, drop the
+/// listener.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    drop(listener);
+    addr
+}
+
+const EVALUATE: &str =
+    r#"{"type":"run","experiment":"evaluate","benchmarks":["bzip2"],"runs":4,"trace":true}"#;
+
+#[test]
+fn coordinator_merged_shard_run_is_byte_identical_to_a_single_node_run() {
+    let (single, single_handle) = start(Role::Single, Vec::new());
+    let (node_a, a_handle) = start(Role::Node, Vec::new());
+    let (node_b, b_handle) = start(Role::Node, Vec::new());
+    let (coord, coord_handle) = start(
+        Role::Coordinator,
+        vec![node_a.to_string(), node_b.to_string()],
+    );
+
+    let reference = request(single, EVALUATE);
+    let merged = request(coord, EVALUATE);
+
+    // Every streamed trace record — full sample vectors, run by run —
+    // must match the single-node transcript byte for byte.
+    assert_eq!(
+        &reference[..reference.len() - 1],
+        &merged[..merged.len() - 1],
+        "coordinator-merged trace must be byte-identical to single-node"
+    );
+    let ref_terminal = terminal(&reference);
+    let merged_terminal = terminal(&merged);
+    assert_eq!(
+        ref_terminal.get("summary").unwrap(),
+        merged_terminal.get("summary").unwrap(),
+        "merged verdict summary must match single-node"
+    );
+    assert_eq!(
+        merged_terminal.get("cached").unwrap().as_bool(),
+        Some(false)
+    );
+    assert_eq!(federation_counter(coord, "shard_fanouts"), 1);
+    assert_eq!(federation_counter(coord, "shard_failovers"), 0);
+
+    // The merged result was cached on the coordinator: a repeat is a
+    // local hit with the same bytes, no second fan-out.
+    let repeat = request(coord, EVALUATE);
+    assert_eq!(
+        terminal(&repeat).get("cached").unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        &reference[..reference.len() - 1],
+        &repeat[..repeat.len() - 1]
+    );
+    assert_eq!(federation_counter(coord, "shard_fanouts"), 1);
+
+    shutdown(coord, coord_handle);
+    shutdown(node_a, a_handle);
+    shutdown(node_b, b_handle);
+    shutdown(single, single_handle);
+}
+
+#[test]
+fn coordinator_forwards_non_shardable_runs_to_the_ring_owner() {
+    let (node_a, a_handle) = start(Role::Node, Vec::new());
+    let (node_b, b_handle) = start(Role::Node, Vec::new());
+    let (coord, coord_handle) = start(
+        Role::Coordinator,
+        vec![node_a.to_string(), node_b.to_string()],
+    );
+
+    // table1 is cacheable but not an evaluate, so it forwards whole to
+    // whichever peer owns the key.
+    let run = r#"{"type":"run","experiment":"table1","benchmarks":["bzip2"],"runs":2}"#;
+    let first = request(coord, run);
+    assert_eq!(
+        terminal(&first).get("type").unwrap().as_str(),
+        Some("result")
+    );
+    assert_eq!(federation_counter(coord, "forwarded"), 1);
+    assert_eq!(federation_counter(coord, "forward_fallbacks"), 0);
+
+    // Exactly one of the two nodes computed and cached it.
+    let insertions: u64 = [node_a, node_b]
+        .iter()
+        .map(|&addr| {
+            terminal(&request(addr, r#"{"type":"stats"}"#))
+                .get("cache")
+                .and_then(|c| c.get("insertions"))
+                .and_then(|v| v.as_u64())
+                .expect("cache stats")
+        })
+        .sum();
+    assert_eq!(insertions, 1, "the ring owner alone caches the result");
+
+    // The repeat forwards to the same owner and hits its cache.
+    let second = request(coord, run);
+    assert_eq!(
+        terminal(&second).get("cached").unwrap().as_bool(),
+        Some(true),
+        "second forward must hit the owner's cache"
+    );
+
+    shutdown(coord, coord_handle);
+    shutdown(node_a, a_handle);
+    shutdown(node_b, b_handle);
+}
+
+#[test]
+fn dead_peers_fall_back_to_local_execution() {
+    let (coord, coord_handle) = start(Role::Coordinator, vec![dead_addr(), dead_addr()]);
+
+    // Forwarding path: the owner is unreachable, so the coordinator
+    // runs the request itself and still answers correctly.
+    let run = r#"{"type":"run","experiment":"table1","benchmarks":["bzip2"],"runs":2}"#;
+    let lines = request(coord, run);
+    assert_eq!(
+        terminal(&lines).get("type").unwrap().as_str(),
+        Some("result")
+    );
+    assert_eq!(federation_counter(coord, "forward_fallbacks"), 1);
+
+    // Sharding path: every shard fails, so the evaluate fails over to
+    // a whole local run — the reply is still a complete result.
+    let evaluated = request(coord, EVALUATE);
+    let evaluated_terminal = terminal(&evaluated);
+    assert_eq!(
+        evaluated_terminal.get("type").unwrap().as_str(),
+        Some("result")
+    );
+    assert!(
+        evaluated_terminal.get("summary").is_some(),
+        "failed-over evaluate still carries its verdict summary"
+    );
+    assert!(federation_counter(coord, "shard_failovers") >= 1);
+
+    shutdown(coord, coord_handle);
+}

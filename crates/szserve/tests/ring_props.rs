@@ -1,0 +1,156 @@
+//! Property tests for the federation's consistent-hash ring: order
+//! independence, bounded churn under node removal, and a differential
+//! check of `Ring::lookup` against a naive linear-scan reference over
+//! the cache-key corpus the server e2e tests exercise.
+
+use sz_serve::cache::{cache_key, fnv1a_128};
+use sz_serve::proto::{AdaptiveParams, Experiment, ShardRange};
+use sz_serve::ring::{key_position, placement, Ring};
+use sz_serve::RunRequest;
+
+fn fleet(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7457")).collect()
+}
+
+/// A deterministic corpus of key material: hashes of small counters,
+/// the same distribution the ring unit tests use.
+fn keys(n: u32) -> impl Iterator<Item = u128> {
+    (0..n).map(|i| fnv1a_128(&i.to_le_bytes()))
+}
+
+#[test]
+fn assignment_is_stable_under_peer_list_reordering() {
+    let names = fleet(6);
+    let baseline = Ring::new(&names);
+
+    let mut reversed = names.clone();
+    reversed.reverse();
+    let mut rotated = names.clone();
+    rotated.rotate_left(2);
+    // Interleave front/back halves for a third distinct order.
+    let interleaved: Vec<String> = names[..3]
+        .iter()
+        .zip(&names[3..])
+        .flat_map(|(a, b)| [b.clone(), a.clone()])
+        .collect();
+
+    for (label, order) in [
+        ("reversed", reversed),
+        ("rotated", rotated),
+        ("interleaved", interleaved),
+    ] {
+        let ring = Ring::new(&order);
+        for key in keys(4096) {
+            assert_eq!(
+                baseline.lookup(key),
+                ring.lookup(key),
+                "{label}: key {key:#034x} must not remap when only the \
+                 configuration order changes"
+            );
+        }
+    }
+}
+
+#[test]
+fn removing_one_node_remaps_only_its_keys() {
+    let names = fleet(5);
+    let full = Ring::new(&names);
+
+    for removed in &names {
+        let rest: Vec<String> = names.iter().filter(|n| *n != removed).cloned().collect();
+        let reduced = Ring::new(&rest);
+        let mut moved = 0u32;
+        for key in keys(8192) {
+            let before = full.lookup(key).expect("non-empty ring");
+            let after = reduced.lookup(key).expect("non-empty ring");
+            if before == removed {
+                moved += 1;
+                assert_ne!(after, removed, "removed node cannot own keys");
+            } else {
+                assert_eq!(
+                    before, after,
+                    "key {key:#034x} was not on {removed} and must not move \
+                     when {removed} leaves"
+                );
+            }
+        }
+        // The removed node owned a real share of the keyspace, so the
+        // churn bound is non-vacuous.
+        assert!(moved > 0, "{removed} owned no keys out of 8192");
+    }
+}
+
+/// Linear-scan reference: every `(placement, name)` pair, first pair
+/// at or clockwise after the key's position, wrapping to the global
+/// minimum; ties break by name, exactly as `Ring::with_vnodes` sorts.
+fn naive_owner(names: &[String], vnodes: usize, key: u128) -> &str {
+    let mut points: Vec<(u128, &str)> = names
+        .iter()
+        .flat_map(|n| (0..vnodes).map(move |v| (placement(n, v), n.as_str())))
+        .collect();
+    points.sort();
+    let position = key_position(key);
+    points
+        .iter()
+        .find(|&&(p, _)| p >= position)
+        .or_else(|| points.first())
+        .expect("at least one point")
+        .1
+}
+
+/// The run requests the server e2e suite issues, rebuilt here so the
+/// differential corpus is exactly the cache keys a live federation
+/// would route.
+fn e2e_cache_key_corpus() -> Vec<RunRequest> {
+    let mut corpus = Vec::new();
+
+    let mut table1 = RunRequest::quick(Experiment::from_name("table1").expect("table1"));
+    table1.benchmarks = Some(vec!["bzip2".to_string()]);
+    table1.runs = 4;
+    table1.trace = true;
+    corpus.push(table1.clone());
+    table1.runs = 2;
+    corpus.push(table1);
+
+    let mut sleep = RunRequest::quick(Experiment::from_name("selftest-sleep").expect("sleep"));
+    sleep.sleep_ms = 1500;
+    sleep.wait = false;
+    corpus.push(sleep);
+
+    let mut evaluate = RunRequest::quick(Experiment::Evaluate);
+    evaluate.benchmarks = Some(vec!["bzip2".to_string()]);
+    evaluate.runs = 4;
+    corpus.push(evaluate.clone());
+
+    let mut adaptive = evaluate.clone();
+    adaptive.adaptive = Some(AdaptiveParams::default());
+    corpus.push(adaptive);
+
+    for (start, count) in [(0, 2), (2, 2)] {
+        let mut shard = evaluate.clone();
+        shard.shard = Some(ShardRange { start, count });
+        corpus.push(shard);
+    }
+
+    corpus
+}
+
+#[test]
+fn lookup_matches_naive_reference_on_the_e2e_cache_key_corpus() {
+    let corpus = e2e_cache_key_corpus();
+    assert!(corpus.len() >= 6, "corpus covers the e2e request shapes");
+    for fleet_size in [1usize, 2, 3, 5] {
+        let names = fleet(fleet_size);
+        for vnodes in [1usize, 7, 64] {
+            let ring = Ring::with_vnodes(&names, vnodes);
+            for spec in &corpus {
+                let key = cache_key(spec).hash;
+                assert_eq!(
+                    ring.lookup(key),
+                    Some(naive_owner(&names, vnodes, key)),
+                    "fleet={fleet_size} vnodes={vnodes} key={key:#034x}"
+                );
+            }
+        }
+    }
+}

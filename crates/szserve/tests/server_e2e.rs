@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use sz_harness::Json;
 use sz_serve::scheduler::SchedulerConfig;
-use sz_serve::{Server, ServerConfig};
+use sz_serve::{FederationConfig, Server, ServerConfig};
 
 fn start(workers: usize, queue_capacity: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
     let server = Server::bind(ServerConfig {
@@ -19,6 +19,8 @@ fn start(workers: usize, queue_capacity: usize) -> (SocketAddr, std::thread::Joi
             exec_threads: 2,
             cache_budget: 32 << 20,
         },
+        loops: 2,
+        federation: FederationConfig::default(),
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("resolved addr");
@@ -294,5 +296,71 @@ fn server_survives_a_64_client_concurrent_burst() {
     // The server is still healthy: stats respond and shutdown drains.
     let stats = terminal(&request(addr, r#"{"type":"stats"}"#));
     assert_eq!(stats.get("type").unwrap().as_str(), Some("stats"));
+    shutdown(addr, handle);
+}
+
+/// Regression: the thread-per-connection front end joined every
+/// handler thread on shutdown, so a connected client that never sent
+/// a byte parked its handler in a blocking `read` and hung `serve()`
+/// indefinitely. The event loop closes idle connections on stop.
+#[test]
+fn shutdown_with_a_silent_connected_client_completes_within_the_deadline() {
+    let (addr, handle) = start(1, 4);
+    // Clients that connect and then go silent — no request, no EOF.
+    let silent: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = std::time::Instant::now();
+    let lines = request(addr, r#"{"type":"shutdown"}"#);
+    assert_eq!(
+        terminal(&lines).get("type").unwrap().as_str(),
+        Some("shutdown")
+    );
+    handle.join().expect("server exits cleanly");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait on silent clients (took {:?})",
+        started.elapsed()
+    );
+    drop(silent);
+}
+
+/// Satellite: connection and write failures are counted, not dropped.
+/// An over-long request line is a `conn_error`; the old front end had
+/// no visible counter for either failure class.
+#[test]
+fn stats_count_connection_errors() {
+    let (addr, handle) = start(1, 4);
+    let baseline = terminal(&request(addr, r#"{"type":"stats"}"#));
+    assert_eq!(baseline.get("conn_errors").unwrap().as_u64(), Some(0));
+    assert_eq!(baseline.get("write_errors").unwrap().as_u64(), Some(0));
+
+    // A 1 MiB+ line without a newline overflows the read buffer; the
+    // server closes the connection and counts the error.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let huge = vec![b'x'; (1 << 20) + 4096];
+    let _ = (&stream).write_all(&huge);
+    let mut closed = String::new();
+    assert_eq!(
+        BufReader::new(&stream).read_line(&mut closed).unwrap_or(0),
+        0,
+        "oversized lines close the connection without a reply"
+    );
+    drop(stream);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = terminal(&request(addr, r#"{"type":"stats"}"#));
+        if stats.get("conn_errors").unwrap().as_u64() == Some(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "conn_errors never incremented"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
     shutdown(addr, handle);
 }
