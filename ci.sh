@@ -71,8 +71,14 @@ echo "==> throughput gate: bench_gate verdicts vs committed baseline (band ±${S
 # — the whole CI must clear the equivalence band, so one noisy CI run
 # can neither fail the build nor hide a real regression. On failure it
 # prints the full verdict metadata (ratio CI, Welch CI, band, seed,
-# samples per arm). Tune with SZ_GATE_BAND (default 0.20).
+# samples per arm). Tune with SZ_GATE_BAND (default 0.20). The
+# --history file gives the gate memory across runs: each invocation
+# appends its fresh sample sets and a sentinel change-point pass over
+# the per-entry trajectory fails the build if the *latest* entry is a
+# robustly-slower shift — catching slow drift that each individual
+# baseline comparison would wave through.
 SZ_GATE_BAND="${SZ_GATE_BAND:-}" cargo run -q --release --offline -p sz-bench --bin bench_gate -- \
+    --history paper-results/BENCH_history.jsonl \
     --baseline BENCH_sim.json \
     target/BENCH_sim.1.json target/BENCH_sim.2.json target/BENCH_sim.3.json
 
@@ -106,6 +112,10 @@ SZCTL="target/release/szctl"
     | grep -q '"cached":true' || { echo "second request should hit the cache"; exit 1; }
 "$SZCTL" --addr "$SERVE_ADDR" --json stats | grep -q '"type":"stats"' \
     || { echo "stats request failed"; exit 1; }
+# Record a real 8-runs-per-variant trace for the sentinel smoke below
+# (8 samples = exactly two 4-sample detector windows per series).
+"$SZCTL" --addr "$SERVE_ADDR" --json run evaluate --bench bzip2 --runs 8 --trace \
+    >target/sentinel-clean.jsonl
 "$SZCTL" --addr "$SERVE_ADDR" shutdown >/dev/null
 for _ in $(seq 1 100); do
     kill -0 "$SERVE_PID" 2>/dev/null || break
@@ -118,6 +128,25 @@ if kill -0 "$SERVE_PID" 2>/dev/null; then
 fi
 trap - EXIT
 echo "sz-serve smoke: miss, hit, stats, clean shutdown"
+
+echo "==> sentinel smoke: clean trace silent, injected regression caught"
+# Offline scan of the trace recorded above: a clean stream must exit 0
+# with no alerts, and the same stream with a +50% step injected into
+# the back half must alert — the armed negative control proving the
+# detector can actually fire — and the alert must name the offending
+# windows so the report is actionable.
+SENTINEL="target/release/sz-sentinel"
+"$SENTINEL" target/sentinel-clean.jsonl >/dev/null \
+    || { echo "clean trace must scan silently"; exit 1; }
+if OUT="$("$SENTINEL" --inject-step 1.5 --inject-at 4 \
+    target/sentinel-clean.jsonl 2>/dev/null)"; then
+    echo "injected regression was not detected"; exit 1
+fi
+echo "$OUT" | grep -q '"type":"alert"' \
+    || { echo "no alert record printed"; exit 1; }
+echo "$OUT" | grep -q '"old_window"' \
+    || { echo "alert does not carry the offending window"; exit 1; }
+echo "sentinel smoke: clean stream silent, injected step alerted with windows"
 
 echo "==> loadgen smoke: 512 concurrent clients against a spawned server"
 # The event-loop front-end under real concurrency: 512 clients issuing

@@ -23,10 +23,14 @@ pub mod evaluate;
 pub mod experiments;
 pub mod pool;
 pub mod report;
+pub mod ring;
 pub mod runner;
 
 pub use evaluate::{evaluate_change, ChangeEvaluation};
-pub use report::{fmt_verdict, verdict_json, Json, JsonParseError, TraceBuffer, TraceSink};
+pub use report::{
+    fmt_verdict, verdict_json, Json, JsonParseError, TraceBuffer, TraceSink, TRACE_SCHEMA,
+};
+pub use ring::RingBuffer;
 pub use runner::{run_once, ExperimentOptions};
 
 #[cfg(test)]

@@ -599,6 +599,12 @@ impl Write for TraceBuffer {
     }
 }
 
+/// Version stamped as a `{"schema":N}` header at the top of
+/// file-backed traces. Bump when a record shape changes
+/// incompatibly; parsers must keep accepting headerless (pre-stamp)
+/// streams as version 0.
+pub const TRACE_SCHEMA: u64 = 1;
+
 impl TraceSink {
     /// Wraps any writer.
     pub fn to_writer(out: Box<dyn Write + Send>) -> TraceSink {
@@ -607,15 +613,20 @@ impl TraceSink {
         }
     }
 
-    /// Creates (truncating) a JSONL trace file.
+    /// Creates (truncating) a JSONL trace file, stamped with a
+    /// leading `{"schema":N}` header line. Streaming sinks
+    /// ([`TraceSink::in_memory`] and [`TraceSink::to_writer`]) stay
+    /// headerless: server-streamed traces are concatenated across
+    /// nodes, and a mid-stream header would break byte-identity of
+    /// merged streams.
     ///
     /// # Errors
     ///
     /// Propagates the underlying file-creation error.
     pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<TraceSink> {
-        Ok(TraceSink::to_writer(Box::new(io::BufWriter::new(
-            std::fs::File::create(path)?,
-        ))))
+        let sink = TraceSink::to_writer(Box::new(io::BufWriter::new(std::fs::File::create(path)?)));
+        sink.record(&Json::obj([("schema", TRACE_SCHEMA.into())]));
+        Ok(sink)
     }
 
     /// An in-memory sink plus a handle to read back what was written.

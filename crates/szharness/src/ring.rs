@@ -1,0 +1,190 @@
+//! A bounded ring buffer that overwrites its oldest element when full.
+//!
+//! Both online consumers of trace streams need the same shape of
+//! store: the sentinel's per-(benchmark, metric) sample windows and
+//! the load generator's per-wave p99 samples must hold "the most
+//! recent N observations" in arrival order with O(1) appends and no
+//! reallocation after warm-up. Capacity is always a power of two so
+//! the wrap is a mask, never a division.
+
+/// A fixed-capacity FIFO that overwrites the oldest element once
+/// full. Iteration yields elements in arrival order (oldest first).
+///
+/// # Examples
+///
+/// ```
+/// use sz_harness::RingBuffer;
+///
+/// let mut ring = RingBuffer::new(4);
+/// for i in 0..6 {
+///     ring.push(i);
+/// }
+/// // Capacity 4 kept the newest four, oldest first.
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    items: Vec<T>,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    cap: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer holding at least `capacity` elements; the
+    /// actual capacity is `capacity` rounded up to the next power of
+    /// two (minimum 1).
+    pub fn new(capacity: usize) -> RingBuffer<T> {
+        let cap = capacity.max(1).next_power_of_two();
+        RingBuffer {
+            items: Vec::with_capacity(cap),
+            head: 0,
+            cap,
+        }
+    }
+
+    /// The power-of-two capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Elements currently held (saturates at the capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the next push will overwrite the oldest element.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.cap
+    }
+
+    /// Appends `value`, overwriting the oldest element when full.
+    pub fn push(&mut self, value: T) {
+        if self.items.len() < self.cap {
+            self.items.push(value);
+        } else {
+            self.items[self.head] = value;
+            self.head = (self.head + 1) & (self.cap - 1);
+        }
+    }
+
+    /// The element `index` positions from the oldest (None when out
+    /// of range).
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.items.len() {
+            return None;
+        }
+        let physical = if self.items.len() < self.cap {
+            index
+        } else {
+            (self.head + index) & (self.cap - 1)
+        };
+        self.items.get(physical)
+    }
+
+    /// Iterates in arrival order, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.items.len()).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Drops every element, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// The held elements as a fresh `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a RingBuffer<T> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_rng::{Rng, SplitMix64};
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        for (requested, expected) in [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (64, 64), (65, 128)] {
+            assert_eq!(RingBuffer::<u8>::new(requested).capacity(), expected);
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut ring = RingBuffer::new(4);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.push(i);
+        }
+        assert!(ring.is_full());
+        assert_eq!(ring.to_vec(), vec![0, 1, 2, 3]);
+        ring.push(4);
+        assert_eq!(ring.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.get(0), Some(&1));
+        assert_eq!(ring.get(3), Some(&4));
+        assert_eq!(ring.get(4), None);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut ring = RingBuffer::new(2);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 2);
+        ring.push(9);
+        assert_eq!(ring.to_vec(), vec![9]);
+    }
+
+    /// Property: against a reference model (an unbounded Vec truncated
+    /// to its last `cap` elements), arbitrary push sequences agree on
+    /// length, contents, and order.
+    #[test]
+    fn matches_reference_model_on_random_sequences() {
+        let mut rng = SplitMix64::new(0x0126_B0FF);
+        for trial in 0..200 {
+            let cap_request = 1 + (rng.next_u64() % 33) as usize;
+            let mut ring = RingBuffer::new(cap_request);
+            let cap = ring.capacity();
+            assert!(cap.is_power_of_two() && cap >= cap_request);
+            let mut model: Vec<u64> = Vec::new();
+            let pushes = (rng.next_u64() % 100) as usize;
+            for _ in 0..pushes {
+                let v = rng.next_u64();
+                ring.push(v);
+                model.push(v);
+            }
+            let expected: Vec<u64> = model[model.len().saturating_sub(cap)..].to_vec();
+            assert_eq!(ring.to_vec(), expected, "trial {trial} cap {cap}");
+            assert_eq!(ring.len(), expected.len());
+            for (i, want) in expected.iter().enumerate() {
+                assert_eq!(ring.get(i), Some(want), "trial {trial} index {i}");
+            }
+            assert_eq!(
+                ring.iter().count(),
+                expected.len(),
+                "iterator length matches"
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Rolling two-window change-point detection.
+//!
+//! "Did this metric shift?" is framed exactly the way the batch
+//! harness frames "is B slower than A?": the last `2w` samples are
+//! split into an old window and a new window and handed to
+//! `sz_stats::judge`, which combines a bootstrap effect-size CI with
+//! the ±band practical-equivalence call and a Welch interval. A
+//! change is flagged only on a robustly-slower or robustly-faster
+//! verdict — there is no fixed percentage threshold anywhere in
+//! this path; the band is the practical-equivalence region of the
+//! statistical verdict, not a trip-wire on the point estimate.
+//!
+//! A hysteresis latch keeps one shift from alerting on every sample
+//! while it straddles the windows: after an alert the detector
+//! disarms, and re-arms only once the two windows are judged
+//! *equivalent* again (i.e. the trajectory has settled at its new
+//! level).
+
+use sz_harness::RingBuffer;
+use sz_stats::{judge, EffectVerdict, VerdictConfig, VerdictReport};
+
+/// Change-point detector parameters.
+#[derive(Debug, Clone)]
+pub struct ChangeConfig {
+    /// Samples per window; the test needs `2 * window` samples.
+    pub window: usize,
+    /// Ring capacity (rounded up to a power of two); only the most
+    /// recent samples are retained.
+    pub capacity: usize,
+    /// Statistical verdict parameters (band, confidence, bootstrap
+    /// resamples, seed).
+    pub verdict: VerdictConfig,
+}
+
+impl Default for ChangeConfig {
+    fn default() -> ChangeConfig {
+        ChangeConfig {
+            window: 4,
+            capacity: 64,
+            verdict: VerdictConfig::default(),
+        }
+    }
+}
+
+/// A flagged shift: the statistical report plus the exact windows
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct ChangeAlert {
+    /// Arrival index (0-based) of the sample that completed the new
+    /// window.
+    pub at: u64,
+    /// Full verdict report (effect CI, Welch CI, band, sizes).
+    pub report: VerdictReport,
+    /// The old window, oldest first.
+    pub old_window: Vec<f64>,
+    /// The new window, oldest first.
+    pub new_window: Vec<f64>,
+}
+
+/// Online detector over one scalar metric trajectory.
+#[derive(Debug)]
+pub struct ChangePointDetector {
+    config: ChangeConfig,
+    samples: RingBuffer<f64>,
+    pushed: u64,
+    armed: bool,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector; `config.capacity` is clamped to at least
+    /// `2 * window` so a full test is always possible.
+    pub fn new(config: ChangeConfig) -> ChangePointDetector {
+        let capacity = config.capacity.max(config.window.max(1) * 2);
+        ChangePointDetector {
+            samples: RingBuffer::new(capacity),
+            config,
+            pushed: 0,
+            armed: true,
+        }
+    }
+
+    /// Total samples pushed (arrival index of the next sample).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Feeds one sample; returns an alert when the two-window test
+    /// reaches a robust verdict while the detector is armed.
+    ///
+    /// Samples that are non-finite or non-positive still advance the
+    /// trajectory but windows containing them are not judged (the
+    /// bootstrap ratio CI is only defined over positive values).
+    pub fn push(&mut self, value: f64) -> Option<ChangeAlert> {
+        self.samples.push(value);
+        let at = self.pushed;
+        self.pushed += 1;
+
+        let w = self.config.window.max(1);
+        let len = self.samples.len();
+        if len < 2 * w {
+            return None;
+        }
+        let tail: Vec<f64> = self.samples.iter().skip(len - 2 * w).copied().collect();
+        let (old_window, new_window) = tail.split_at(w);
+        if tail.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return None;
+        }
+        let report = judge(old_window, new_window, &self.config.verdict).ok()?;
+        match report.verdict {
+            EffectVerdict::RobustlySlower | EffectVerdict::RobustlyFaster => {
+                if self.armed {
+                    self.armed = false;
+                    return Some(ChangeAlert {
+                        at,
+                        report,
+                        old_window: old_window.to_vec(),
+                        new_window: new_window.to_vec(),
+                    });
+                }
+            }
+            EffectVerdict::Equivalent => self.armed = true,
+            EffectVerdict::Inconclusive => {}
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_rng::{Rng, SplitMix64};
+
+    fn noisy(rng: &mut SplitMix64, mean: f64) -> f64 {
+        // Irwin–Hall-ish noise: bounded, symmetric, cheap.
+        let u = rng.next_f64() + rng.next_f64() + rng.next_f64() - 1.5;
+        mean * (1.0 + 0.01 * u)
+    }
+
+    #[test]
+    fn needs_two_full_windows() {
+        let mut det = ChangePointDetector::new(ChangeConfig::default());
+        for i in 0..7 {
+            assert!(det.push(1.0 + i as f64 * 1e-6).is_none());
+        }
+        assert_eq!(det.pushed(), 7);
+    }
+
+    #[test]
+    fn step_change_alerts_once_then_relatches() {
+        let mut det = ChangePointDetector::new(ChangeConfig::default());
+        let mut rng = SplitMix64::new(42);
+        let mut alerts = Vec::new();
+        for i in 0..24 {
+            let mean = if i < 12 { 10.0 } else { 15.0 };
+            if let Some(alert) = det.push(noisy(&mut rng, mean)) {
+                alerts.push(alert);
+            }
+        }
+        assert_eq!(alerts.len(), 1, "one step, one alert");
+        let alert = &alerts[0];
+        assert_eq!(alert.report.verdict, EffectVerdict::RobustlySlower);
+        assert!(alert.at >= 12, "alert fires after the shift");
+        assert_eq!(alert.old_window.len(), 4);
+        assert_eq!(alert.new_window.len(), 4);
+
+        // A second, later step re-alerts because the windows settled
+        // (equivalent) in between.
+        for i in 0..16 {
+            let mean = if i < 8 { 15.0 } else { 22.0 };
+            if let Some(alert) = det.push(noisy(&mut rng, mean)) {
+                alerts.push(alert);
+            }
+        }
+        assert_eq!(alerts.len(), 2, "detector re-arms after settling");
+    }
+
+    #[test]
+    fn clean_stream_stays_silent() {
+        let mut det = ChangePointDetector::new(ChangeConfig::default());
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..64 {
+            assert!(det.push(noisy(&mut rng, 10.0)).is_none());
+        }
+    }
+
+    #[test]
+    fn non_positive_windows_are_skipped() {
+        let mut det = ChangePointDetector::new(ChangeConfig::default());
+        for _ in 0..8 {
+            assert!(det.push(0.0).is_none());
+        }
+        for i in 0..8 {
+            // Windows still contain the zeros at first; no panic, no
+            // alert from undefined ratios.
+            let _ = det.push(10.0 + i as f64 * 1e-3);
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! szctl [--addr HOST:PORT] status <job>
 //! szctl [--addr HOST:PORT] cancel <job>
 //! szctl [--addr HOST:PORT] [--peers H:P,...] stats
+//! szctl [--addr HOST:PORT] [--peers H:P,...] watch
 //! szctl [--addr HOST:PORT] [--peers H:P,...] shutdown
 //! szctl [--addr HOST:PORT] loadgen [--clients N] [--requests N] [--waves N]
 //! ```
@@ -19,9 +20,13 @@
 //! The address defaults to `$SZ_SERVE_ADDR`, then `127.0.0.1:7457`.
 //! `--peers` (default `$SZ_SERVE_PEERS`) fans `stats` and `shutdown`
 //! out to every listed worker after the primary address — one command
-//! inspects or stops a whole federation. `loadgen` drives concurrent
-//! cache-hit load against the primary address and reports latency
-//! quantiles.
+//! inspects or stops a whole federation; a fanned-out `stats` also
+//! prints one merged fleet summary (cache hit/miss totals, federation
+//! counters, connection/write errors). `watch` subscribes to the
+//! sentinel alert stream of the primary (and each `--peers` node) and
+//! relays alert lines as JSONL until the server goes away. `loadgen`
+//! drives concurrent cache-hit load against the primary address and
+//! reports latency quantiles.
 //!
 //! Streamed trace records are always relayed raw; the terminal line is
 //! pretty-printed unless `--json` is set. Exit code 0 for `result` /
@@ -40,7 +45,7 @@ use sz_serve::{AdaptiveParams, Experiment, Request, RunRequest, DEFAULT_ADDR};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: szctl [--addr HOST:PORT] [--peers H:P,...] \
-         <run|status|cancel|stats|shutdown|loadgen> ...\n\
+         <run|status|cancel|stats|watch|shutdown|loadgen> ...\n\
          run <experiment> [--bench a,b] [--scale tiny|small|full] [--runs N]\n\
          \x20   [--seed N] [--interval MS] [--threads N] [--trace] [--no-wait]\n\
          \x20   [--deadline MS] [--before Ox] [--after Ox] [--adaptive]\n\
@@ -54,6 +59,7 @@ fn usage() -> ExitCode {
 enum Command {
     Request(Request),
     Loadgen(LoadgenConfig),
+    Watch,
 }
 
 struct Cli {
@@ -103,6 +109,17 @@ fn parse_cli() -> Option<Cli> {
     let command = args.next()?;
     let command = match command.as_str() {
         "stats" => Command::Request(Request::Stats),
+        "watch" => {
+            // Watch output is raw JSONL either way; accept the flag
+            // for symmetry with the other subcommands.
+            for flag in args.by_ref() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    _ => return None,
+                }
+            }
+            Command::Watch
+        }
         "shutdown" => Command::Request(Request::Shutdown),
         "status" => Command::Request(Request::Status {
             job: parse_u64(&args.next()?)?,
@@ -214,18 +231,19 @@ fn pretty_print(value: &Json) {
 }
 
 /// Sends `request` to `addr` and relays the reply stream; returns the
-/// command's exit code.
-fn issue(addr: &str, request: &Request, json: bool) -> ExitCode {
+/// command's exit code plus the terminal response line (when one
+/// arrived) so fan-out callers can merge across nodes.
+fn issue(addr: &str, request: &Request, json: bool) -> (ExitCode, Option<Json>) {
     let stream = match TcpStream::connect(addr) {
         Ok(stream) => stream,
         Err(e) => {
             eprintln!("szctl: cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
+            return (ExitCode::FAILURE, None);
         }
     };
     let Ok(read_half) = stream.try_clone() else {
         eprintln!("szctl: cannot clone stream");
-        return ExitCode::FAILURE;
+        return (ExitCode::FAILURE, None);
     };
     let mut writer = BufWriter::new(stream);
     if writeln!(writer, "{}", request.to_json())
@@ -233,18 +251,18 @@ fn issue(addr: &str, request: &Request, json: bool) -> ExitCode {
         .is_err()
     {
         eprintln!("szctl: send failed");
-        return ExitCode::FAILURE;
+        return (ExitCode::FAILURE, None);
     }
 
     let reader = BufReader::new(read_half);
     for line in reader.lines() {
         let Ok(line) = line else {
             eprintln!("szctl: connection lost");
-            return ExitCode::FAILURE;
+            return (ExitCode::FAILURE, None);
         };
         let Ok(value) = Json::parse(&line) else {
             eprintln!("szctl: malformed response: {line}");
-            return ExitCode::FAILURE;
+            return (ExitCode::FAILURE, None);
         };
         let ty = value.get("type").and_then(Json::as_str).unwrap_or("");
         match ty {
@@ -256,7 +274,7 @@ fn issue(addr: &str, request: &Request, json: bool) -> ExitCode {
                 } else {
                     pretty_print(&value);
                 }
-                return ExitCode::FAILURE;
+                return (ExitCode::FAILURE, Some(value));
             }
             _ => {
                 if json {
@@ -264,12 +282,115 @@ fn issue(addr: &str, request: &Request, json: bool) -> ExitCode {
                 } else {
                     pretty_print(&value);
                 }
-                return ExitCode::SUCCESS;
+                return (ExitCode::SUCCESS, Some(value));
             }
         }
     }
     eprintln!("szctl: server closed the connection without a terminal line");
-    ExitCode::FAILURE
+    (ExitCode::FAILURE, None)
+}
+
+/// Tails the sentinel alert stream of every listed node, relaying
+/// each pushed line as raw JSONL until the servers go away.
+fn watch(addrs: &[String]) -> ExitCode {
+    let handles: Vec<std::thread::JoinHandle<bool>> = addrs
+        .iter()
+        .map(|addr| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let stream = match TcpStream::connect(&addr) {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("szctl: cannot connect to {addr}: {e}");
+                        return false;
+                    }
+                };
+                let Ok(read_half) = stream.try_clone() else {
+                    eprintln!("szctl: cannot clone stream");
+                    return false;
+                };
+                let mut writer = BufWriter::new(stream);
+                if writeln!(writer, "{}", Request::Watch.to_json())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    eprintln!("szctl: send failed to {addr}");
+                    return false;
+                }
+                // The ack, then pushed alerts; println! locks stdout
+                // per line, so fleet streams never interleave mid-line.
+                for line in BufReader::new(read_half).lines() {
+                    match line {
+                        Ok(line) => println!("{line}"),
+                        Err(_) => break,
+                    }
+                }
+                // EOF means the server shut down — a clean end of watch.
+                true
+            })
+        })
+        .collect();
+    let ok = handles
+        .into_iter()
+        .all(|handle| handle.join().unwrap_or(false));
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn sum_path(blobs: &[Json], path: &[&str]) -> u64 {
+    blobs
+        .iter()
+        .map(|blob| {
+            let mut node = blob;
+            for key in path {
+                match node.get(key) {
+                    Some(next) => node = next,
+                    None => return 0,
+                }
+            }
+            node.as_u64().unwrap_or(0)
+        })
+        .sum()
+}
+
+/// One merged row across every node's `stats` blob: totals for the
+/// cache, the federation counters, and connection-level errors.
+fn fleet_summary(blobs: &[Json]) -> Json {
+    Json::obj([
+        ("type", "fleet_summary".into()),
+        ("nodes", blobs.len().into()),
+        ("cache_hits", sum_path(blobs, &["cache", "hits"]).into()),
+        ("cache_misses", sum_path(blobs, &["cache", "misses"]).into()),
+        (
+            "shard_cache_hits",
+            sum_path(blobs, &["federation", "shard_cache_hits"]).into(),
+        ),
+        (
+            "forwarded",
+            sum_path(blobs, &["federation", "forwarded"]).into(),
+        ),
+        (
+            "forward_fallbacks",
+            sum_path(blobs, &["federation", "forward_fallbacks"]).into(),
+        ),
+        (
+            "shard_fanouts",
+            sum_path(blobs, &["federation", "shard_fanouts"]).into(),
+        ),
+        (
+            "shard_failovers",
+            sum_path(blobs, &["federation", "shard_failovers"]).into(),
+        ),
+        ("conn_errors", sum_path(blobs, &["conn_errors"]).into()),
+        ("write_errors", sum_path(blobs, &["write_errors"]).into()),
+        (
+            "sentinel_alerts",
+            sum_path(blobs, &["sentinel_alerts"]).into(),
+        ),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -304,21 +425,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             };
         }
+        Command::Watch => {
+            let mut addrs = vec![cli.addr.clone()];
+            addrs.extend(cli.peers.iter().cloned());
+            return watch(&addrs);
+        }
         Command::Request(request) => request,
     };
 
     // `stats` and `shutdown` fan out across the federation; everything
     // else targets the primary address only.
     let fan_out = matches!(request, Request::Stats | Request::Shutdown);
-    let mut worst = issue(&cli.addr, &request, cli.json);
+    let (mut worst, first) = issue(&cli.addr, &request, cli.json);
+    let mut stats_blobs: Vec<Json> = Vec::new();
+    let is_stats = |v: &Json| v.get("type").and_then(Json::as_str) == Some("stats");
+    if let Some(value) = first {
+        if is_stats(&value) {
+            stats_blobs.push(value);
+        }
+    }
     if fan_out {
         for peer in &cli.peers {
             if !cli.json {
                 println!("-- {peer}");
             }
-            let code = issue(peer, &request, cli.json);
+            let (code, value) = issue(peer, &request, cli.json);
             if code != ExitCode::SUCCESS {
                 worst = code;
+            }
+            if let Some(value) = value {
+                if is_stats(&value) {
+                    stats_blobs.push(value);
+                }
+            }
+        }
+        // One merged row for the whole fleet, so an operator polling
+        // stats gets a single line of totals after the per-peer blobs.
+        if matches!(request, Request::Stats) && !cli.peers.is_empty() {
+            let summary = fleet_summary(&stats_blobs);
+            if cli.json {
+                println!("{summary}");
+            } else {
+                println!("-- fleet");
+                pretty_print(&summary);
             }
         }
     }

@@ -24,7 +24,7 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use sz_harness::Json;
+use sz_harness::{Json, RingBuffer};
 
 use crate::event_loop::ffi;
 
@@ -295,7 +295,10 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
 
     let mut pooled = Histogram::new();
-    let mut samples_p99_us = Vec::with_capacity(config.waves);
+    // Bounded per-wave p99 store: the shared harness ring keeps the
+    // most recent waves if a caller ever asks for more waves than the
+    // gate's sample budget needs.
+    let mut samples_p99_us = RingBuffer::new(config.waves.max(1));
     let mut errors = 0u64;
     let started = Instant::now();
 
@@ -367,7 +370,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         p90_us: pooled.quantile(0.90),
         p99_us: pooled.quantile(0.99),
         max_us: pooled.max(),
-        samples_p99_us,
+        samples_p99_us: samples_p99_us.to_vec(),
         throughput_rps: pooled.count() as f64 / (elapsed_ms / 1e3).max(1e-9),
     })
 }

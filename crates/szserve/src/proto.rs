@@ -14,6 +14,7 @@
 //! | `status` | `job` |
 //! | `cancel` | `job` |
 //! | `stats` | — |
+//! | `watch` | — |
 //! | `shutdown` | — |
 //!
 //! `run_shard` is the federation's peer message: a coordinator splits
@@ -325,6 +326,11 @@ pub enum Request {
     },
     /// Server counters: cache, scheduler, adaptive savings.
     Stats,
+    /// Subscribe this connection to the sentinel's alert stream: the
+    /// server answers with one `watch_ack` line, then pushes `alert`
+    /// lines as completed jobs trip the change-point detector. The
+    /// connection should be dedicated to watching.
+    Watch,
     /// Stop accepting connections, drain, and exit.
     Shutdown,
 }
@@ -374,6 +380,7 @@ impl Request {
             "status" => Ok(Request::Status { job: job_id(&v)? }),
             "cancel" => Ok(Request::Cancel { job: job_id(&v)? }),
             "stats" => Ok(Request::Stats),
+            "watch" => Ok(Request::Watch),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -391,6 +398,7 @@ impl Request {
                 Json::obj([("type", "cancel".into()), ("job", (*job).into())])
             }
             Request::Stats => Json::obj([("type", "stats".into())]),
+            Request::Watch => Json::obj([("type", "watch".into())]),
             Request::Shutdown => Json::obj([("type", "shutdown".into())]),
         }
     }
@@ -746,6 +754,7 @@ mod tests {
             Request::Status { job: 7 },
             Request::Cancel { job: 9 },
             Request::Stats,
+            Request::Watch,
             Request::Shutdown,
         ] {
             let line = req.to_json().to_string();

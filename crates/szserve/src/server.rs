@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sz_harness::Json;
+use sz_sentinel::{Sentinel, SentinelConfig};
 
 use crate::event_loop::{Completions, ConnHandler, ConnToken, EventLoops, LineOutcome, NetStats};
 use crate::exec::JobOutput;
@@ -92,6 +93,11 @@ impl Server {
             net: loops.net_stats(),
             federation: Federation::new(&config.federation),
             waits: Mutex::new(HashMap::new()),
+            watch: Mutex::new(WatchState {
+                sentinel: Sentinel::new(SentinelConfig::default()),
+                watchers: Vec::new(),
+                alerts_emitted: 0,
+            }),
             stop: Arc::clone(&stop),
         });
         // The notifier holds a Weak so a dropped server tears down
@@ -101,6 +107,7 @@ impl Server {
         scheduler.set_notifier(Arc::new(move |id| {
             if let Some(handler) = weak.upgrade() {
                 handler.try_complete(id);
+                handler.feed_sentinel(id);
             }
         }));
         Ok(Server {
@@ -164,7 +171,19 @@ struct ServeHandler {
     net: Arc<NetStats>,
     federation: Federation,
     waits: Mutex<HashMap<u64, Waiter>>,
+    watch: Mutex<WatchState>,
     stop: Arc<AtomicBool>,
+}
+
+/// The regression sentinel riding on the job stream, plus its
+/// subscribers. The event loop has no connection-close hook, so the
+/// watcher list is append-only: [`Completions::send`] to a closed
+/// token is a silent no-op and tokens are never reused, which makes
+/// stale entries harmless (they cost one dropped send per alert).
+struct WatchState {
+    sentinel: Sentinel,
+    watchers: Vec<ConnToken>,
+    alerts_emitted: u64,
 }
 
 impl ServeHandler {
@@ -258,10 +277,67 @@ impl ServeHandler {
         self.completions.send(waiter.token, bytes, false);
     }
 
+    /// Feeds a settled job's captured trace through the sentinel and
+    /// pushes any resulting alert lines to every watcher. Called from
+    /// the settle notifier, which fires exactly once per settle —
+    /// cache hits answer without settling, so no result is ever
+    /// ingested twice.
+    fn feed_sentinel(&self, id: u64) {
+        let Some(JobState::Done(output)) = self.scheduler.status(id) else {
+            return;
+        };
+        if output.trace.is_empty() {
+            return;
+        }
+        let mut bytes = Vec::new();
+        let mut state = self.watch.lock().expect("watch state");
+        for line in output.trace.lines() {
+            // Server-captured traces are machine-written; a line the
+            // sentinel rejects (e.g. an embedded non-run payload) is
+            // skipped rather than poisoning the feed.
+            let Ok(alerts) = state.sentinel.ingest_line(line) else {
+                continue;
+            };
+            for alert in alerts {
+                state.alerts_emitted += 1;
+                bytes.extend_from_slice(&render_line(&alert));
+            }
+        }
+        if bytes.is_empty() {
+            return;
+        }
+        let watchers = state.watchers.clone();
+        drop(state);
+        for token in watchers {
+            self.completions.send(token, bytes.clone(), false);
+        }
+    }
+
+    fn respond_watch(&self, token: ConnToken) -> LineOutcome {
+        let mut state = self.watch.lock().expect("watch state");
+        state.watchers.push(token);
+        let ack = Json::obj([
+            ("type", "watch_ack".into()),
+            ("watchers", state.watchers.len().into()),
+            ("runs_seen", state.sentinel.runs_seen().into()),
+            ("alerts_emitted", state.alerts_emitted.into()),
+        ]);
+        LineOutcome::Reply(render_line(&ack))
+    }
+
     fn respond_stats(&self) -> Vec<u8> {
         let mut fields = vec![("type".to_string(), Json::from("stats"))];
         if let Json::Obj(stats) = self.scheduler.stats_json() {
             fields.extend(stats);
+        }
+        {
+            let watch = self.watch.lock().expect("watch state");
+            fields.push(("watchers".to_string(), watch.watchers.len().into()));
+            fields.push((
+                "sentinel_runs".to_string(),
+                watch.sentinel.runs_seen().into(),
+            ));
+            fields.push(("sentinel_alerts".to_string(), watch.alerts_emitted.into()));
         }
         // Connection-level failures used to vanish: a try_clone error
         // dropped the connection silently and final-flush errors were
@@ -322,6 +398,7 @@ impl ConnHandler for ServeHandler {
                 ])))
             }
             Request::Stats => LineOutcome::Reply(self.respond_stats()),
+            Request::Watch => self.respond_watch(token),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
                 self.completions.wake_all();
@@ -532,6 +609,41 @@ mod tests {
         let federation = responses[0].get("federation").expect("federation stats");
         assert_eq!(federation.get("role").unwrap().as_str(), Some("single"));
         assert_eq!(responses[1].get("state").unwrap().as_str(), Some("unknown"));
+        handle.join().expect("server exits cleanly");
+    }
+
+    #[test]
+    fn watch_acks_and_stats_count_watchers() {
+        let (addr, handle) = spawn_server();
+        // A dedicated watch connection: one request, one ack line,
+        // then the socket only ever receives pushed alerts.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, r#"{{"type":"watch"}}"#).expect("send");
+        writer.flush().expect("flush");
+        let mut ack = String::new();
+        reader.read_line(&mut ack).expect("recv ack");
+        let ack = Json::parse(&ack).expect("well-formed ack");
+        assert_eq!(ack.get("type").unwrap().as_str(), Some("watch_ack"));
+        assert_eq!(ack.get("watchers").unwrap().as_u64(), Some(1));
+        assert_eq!(ack.get("alerts_emitted").unwrap().as_u64(), Some(0));
+
+        // The sentinel sees completed jobs even with no trace flag on
+        // the request, and stats reflect both watcher and feed counts.
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"type":"run","experiment":"selftest-sleep","sleep_ms":1}"#.to_string(),
+                r#"{"type":"stats"}"#.to_string(),
+                r#"{"type":"shutdown"}"#.to_string(),
+            ],
+        );
+        assert_eq!(responses[0].get("type").unwrap().as_str(), Some("result"));
+        let stats = &responses[1];
+        assert_eq!(stats.get("watchers").unwrap().as_u64(), Some(1));
+        assert!(stats.get("sentinel_runs").is_some());
+        assert_eq!(stats.get("sentinel_alerts").unwrap().as_u64(), Some(0));
         handle.join().expect("server exits cleanly");
     }
 

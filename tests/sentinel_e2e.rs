@@ -1,0 +1,151 @@
+//! End-to-end pins for the szsentinel regression sentinel.
+//!
+//! Two properties the subsystem stakes its usefulness on:
+//!
+//! 1. **Statistical soundness** — the change-point detector frames
+//!    alerts as practical-equivalence verdicts over bootstrap effect
+//!    CIs, so on clean i.i.d. streams (no true shift) its
+//!    false-positive rate must stay at or below the nominal
+//!    `1 - confidence`. A Monte-Carlo sweep over many seeded streams
+//!    checks that empirically.
+//! 2. **Determinism** — for a given input stream the emitted alert
+//!    JSONL is byte-for-byte identical across repeated scans and
+//!    across the thread count of the process running the scan. Every
+//!    RNG in the pipeline is seeded and single-threaded, so this is
+//!    pinnable exactly.
+
+use std::fmt::Write as _;
+use std::io::Cursor;
+use std::thread;
+
+use sz_rng::{Rng, SplitMix64};
+use sz_sentinel::{Sentinel, SentinelConfig};
+
+/// Renders a synthetic recorded trace: `{"schema":1}` header plus
+/// `runs` run records per variant whose `seconds` metric is scaled by
+/// `factor` from `step_at` onward. Counter fields ride along so the
+/// anomaly forest has feature vectors to chew on.
+fn synthetic_trace(seed: u64, runs: u64, step_at: u64, factor: f64) -> String {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = String::from("{\"schema\":1}\n");
+    for run in 0..runs {
+        // Irwin-Hall pseudo-normal around 10ms with 1% noise.
+        let noise: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+        let mut seconds = 0.010 * (1.0 + 0.01 * noise);
+        if run >= step_at {
+            seconds *= factor;
+        }
+        let instructions = 1_000_000 + (rng.next_u64() % 1000);
+        let cycles = instructions + 500_000 + (rng.next_u64() % 1000);
+        writeln!(
+            out,
+            "{{\"type\":\"run\",\"experiment\":\"sentinel-e2e\",\
+             \"benchmark\":\"bzip2\",\"variant\":\"stabilized\",\"run\":{run},\
+             \"engine\":\"vm\",\"seconds\":{seconds:.9},\
+             \"counters\":{{\"instructions\":{instructions},\"cycles\":{cycles},\
+             \"l1i_misses\":{},\"l1d_misses\":{},\"branches\":100000,\
+             \"branch_mispredicts\":{}}}}}",
+            rng.next_u64() % 500,
+            rng.next_u64() % 2000,
+            rng.next_u64() % 300,
+        )
+        .expect("write to String");
+    }
+    out
+}
+
+/// Scans a trace and renders the full output (alerts then anomalies)
+/// as one JSONL string — the exact bytes `sz-sentinel` would print.
+fn scan_to_string(trace: &str) -> String {
+    let mut sentinel = Sentinel::new(SentinelConfig::default());
+    let records = sentinel
+        .scan(Cursor::new(trace.as_bytes()))
+        .expect("synthetic trace is well-formed");
+    let mut out = String::new();
+    for record in records {
+        writeln!(out, "{record}").expect("write to String");
+    }
+    out
+}
+
+#[test]
+fn injected_step_is_detected_end_to_end() {
+    let trace = synthetic_trace(0x5E2E_0001, 24, 12, 1.4);
+    let out = scan_to_string(&trace);
+    assert!(
+        out.contains("\"type\":\"alert\"") && out.contains("robustly-slower"),
+        "a +40% step must alert: {out}"
+    );
+    assert!(
+        out.contains("\"old_window\""),
+        "alerts must carry the offending windows: {out}"
+    );
+}
+
+/// Clean i.i.d. streams must alert at no more than the nominal rate.
+/// 120 independent streams at 95% confidence: the expected number of
+/// alerting streams is at most 6; we allow 2x slack (12) so the test
+/// is not itself flaky, while still catching any detector that trips
+/// on noise (a naive threshold detector alerts on most of these).
+#[test]
+fn monte_carlo_false_positive_rate_stays_nominal() {
+    const STREAMS: u64 = 120;
+    let mut alerting_streams = 0u64;
+    for stream in 0..STREAMS {
+        let trace = synthetic_trace(0xFA15_E000 + stream, 24, u64::MAX, 1.0);
+        let mut sentinel = Sentinel::new(SentinelConfig::default());
+        sentinel
+            .scan(Cursor::new(trace.as_bytes()))
+            .expect("synthetic trace is well-formed");
+        if sentinel.alerts_emitted() > 0 {
+            alerting_streams += 1;
+        }
+    }
+    assert!(
+        alerting_streams <= STREAMS / 10,
+        "false-positive rate too high: {alerting_streams}/{STREAMS} clean \
+         streams alerted"
+    );
+}
+
+/// The acceptance bar: byte-for-byte identical detections at any
+/// thread count. The scan is run in the main thread and concurrently
+/// from 1-, 2-, and 4-thread pools; every rendering must match the
+/// reference exactly.
+#[test]
+fn alert_stream_is_byte_identical_across_thread_counts() {
+    let trace = synthetic_trace(0x5E2E_0002, 24, 12, 1.4);
+    let reference = scan_to_string(&trace);
+    assert!(
+        reference.contains("\"type\":\"alert\""),
+        "fixture must produce at least one alert"
+    );
+    for threads in [1usize, 2, 4] {
+        let outputs: Vec<String> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| scan_to_string(&trace)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan thread panicked"))
+                .collect()
+        });
+        for out in outputs {
+            assert_eq!(
+                out, reference,
+                "sentinel output drifted at thread count {threads}"
+            );
+        }
+    }
+}
+
+/// Repeated scans of the same bytes in the same process must agree
+/// too (no hidden global state between Sentinel instances).
+#[test]
+fn repeated_scans_are_stable() {
+    let trace = synthetic_trace(0x5E2E_0003, 24, 12, 1.4);
+    let first = scan_to_string(&trace);
+    for _ in 0..3 {
+        assert_eq!(scan_to_string(&trace), first);
+    }
+}

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use sz_rng::{Rng, SplitMix64};
+use sz_sentinel::{score_matrix, ChangeConfig, ChangePointDetector, ForestConfig};
 use sz_stats::{
     effect_ci, judge, one_way_anova, reduce_suite, shapiro_wilk, welch_t_test, BenchmarkArms,
     VerdictConfig,
@@ -105,7 +106,74 @@ fn computed() -> Vec<(String, f64)> {
         "reduction.reduced_verdict_code".into(),
         f64::from(red.reduced.verdict.code()),
     ));
+
+    // Sentinel change-point detections over the pinned step/clean
+    // streams. The step stream must alert exactly once at a pinned
+    // position with a pinned bootstrap ratio CI; the clean stream must
+    // stay silent — both are exact-integer pins plus 1e-9 CI pins.
+    let (step, clean) = sentinel_streams();
+    let change = ChangeConfig::default();
+    let mut det = ChangePointDetector::new(change.clone());
+    let mut alerts = Vec::new();
+    for v in &step {
+        if let Some(alert) = det.push(*v) {
+            alerts.push(alert);
+        }
+    }
+    out.push(("sentinel.step.alerts".into(), alerts.len() as f64));
+    let first = alerts.first().expect("step stream alerts");
+    out.push(("sentinel.step.first_at".into(), first.at as f64));
+    out.push((
+        "sentinel.step.verdict_code".into(),
+        f64::from(first.report.verdict.code()),
+    ));
+    out.push(("sentinel.step.ratio".into(), first.report.effect.ratio));
+    out.push(("sentinel.step.ratio_lo".into(), first.report.effect.lo));
+    out.push(("sentinel.step.ratio_hi".into(), first.report.effect.hi));
+    let mut det = ChangePointDetector::new(change);
+    let clean_alerts = clean.iter().filter(|v| det.push(**v).is_some()).count();
+    out.push(("sentinel.clean.alerts".into(), clean_alerts as f64));
+
+    // Isolation-forest scores over a planted-outlier feature matrix:
+    // the outlier row's rank-1 position is an exact pin and its score
+    // (plus the matrix mean) pins the whole seeded forest traversal.
+    let matrix = forest_fixture();
+    let scores = score_matrix(&matrix, &ForestConfig::default());
+    let top = (0..scores.len())
+        .max_by(|&i, &j| scores[i].total_cmp(&scores[j]))
+        .expect("fixture is non-empty");
+    out.push(("sentinel.forest.top_index".into(), top as f64));
+    out.push(("sentinel.forest.top_score".into(), scores[top]));
+    out.push((
+        "sentinel.forest.mean_score".into(),
+        scores.iter().sum::<f64>() / scores.len() as f64,
+    ));
     out
+}
+
+/// Pinned sentinel inputs: a step stream that shifts +40% halfway
+/// (well outside the default ±5% band) and a clean stream with 1%
+/// noise around a flat mean.
+fn sentinel_streams() -> (Vec<f64>, Vec<f64>) {
+    let mut step = pseudo_normal(0x57E9, 12, 10.0, 0.05);
+    step.extend(pseudo_normal(0x57EA, 12, 14.0, 0.05));
+    let clean = pseudo_normal(0xC_1EA4, 24, 10.0, 0.1);
+    (step, clean)
+}
+
+/// A 24-row feature matrix: 23 rows clustered near the same counter
+/// profile plus one planted outlier far outside the cluster.
+fn forest_fixture() -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(0xF0_4E57);
+    let mut rows: Vec<Vec<f64>> = (0..23)
+        .map(|_| {
+            (0..8)
+                .map(|_| 1.0 + 0.05 * (rng.next_f64() - 0.5))
+                .collect()
+        })
+        .collect();
+    rows.push(vec![8.0; 8]);
+    rows
 }
 
 /// An 18-benchmark reduction fixture on the real suite's names: every
